@@ -1,0 +1,29 @@
+//! # temporal-baselines
+//!
+//! The two comparison approaches of the paper's evaluation (Sec. 7):
+//!
+//! * [`sql_outer_join`] — temporal outer joins expressed in **standard
+//!   SQL** following Snodgrass: the join part with overlap predicates and
+//!   `GREATEST`/`LEAST` intersection arithmetic, and the negative part via
+//!   candidate gap endpoints validated with `NOT EXISTS` (compiled, as in
+//!   PostgreSQL, to anti joins). On workloads without useful equality
+//!   predicates the anti join degenerates to nested loops — the quadratic
+//!   behaviour of Figs. 15a/15c.
+//! * [`sql_normalize`] — the join part in SQL plus the **normalization
+//!   primitive** for the negative part (a temporal difference between the
+//!   argument relation and the projected join result), the
+//!   `sql+normalize` series of Fig. 16. Normalizing against the
+//!   intermediate join result is what makes this approach slow.
+//!
+//! Both produce exactly the same relation as the reduction-rule
+//! implementation (`temporal_core::algebra`) — asserted by the
+//! `baselines_equivalence` integration tests — so the benchmarks compare
+//! pure evaluation strategies.
+
+pub mod sql_normalize;
+pub mod sql_outer_join;
+
+pub use sql_normalize::{sqlnorm_full_outer_join, sqlnorm_left_outer_join};
+pub use sql_outer_join::{
+    sql_full_outer_join, sql_left_outer_join, sql_left_outer_join_text,
+};

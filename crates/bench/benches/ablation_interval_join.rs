@@ -1,0 +1,47 @@
+//! Ablation for the future-work extension (paper Sec. 8): alignment with
+//! the group-construction join executed by the default nested loop (the
+//! paper's PostgreSQL behaviour) vs. the sweep-based interval overlap
+//! join, on the workloads where conventional join techniques degrade
+//! (θ without equality predicates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use temporal_bench::{run_o1, Approach};
+use temporal_datasets::{ddisj, drand};
+use temporal_engine::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let paper = Planner::default();
+    let extended = Planner::new(PlannerConfig {
+        enable_intervaljoin: true,
+        ..Default::default()
+    });
+
+    let mut group = c.benchmark_group("ablation_intervaljoin_o1_ddisj");
+    group.sample_size(10);
+    for &n in &[1_000usize, 2_000, 4_000] {
+        let (r, s) = ddisj(n);
+        group.bench_with_input(BenchmarkId::new("nestloop", n), &(&r, &s), |b, (r, s)| {
+            b.iter(|| run_o1(Approach::Align, r, s, &paper))
+        });
+        group.bench_with_input(BenchmarkId::new("sweep", n), &(&r, &s), |b, (r, s)| {
+            b.iter(|| run_o1(Approach::Align, r, s, &extended))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_intervaljoin_o1_drand");
+    group.sample_size(10);
+    for &n in &[500usize, 1_000, 2_000] {
+        let (r, s) = drand(n, 20120520);
+        group.bench_with_input(BenchmarkId::new("nestloop", n), &(&r, &s), |b, (r, s)| {
+            b.iter(|| run_o1(Approach::Align, r, s, &paper))
+        });
+        group.bench_with_input(BenchmarkId::new("sweep", n), &(&r, &s), |b, (r, s)| {
+            b.iter(|| run_o1(Approach::Align, r, s, &extended))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

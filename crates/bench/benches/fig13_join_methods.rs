@@ -1,0 +1,36 @@
+//! Fig. 13: the runtime of temporal normalization `N_{ssn}` is dominated
+//! by the group-construction join, for which the DBMS picks the best
+//! *enabled* join method — settings (a) all enabled, (b) merge join
+//! disabled, (c) merge and hash joins disabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use temporal_bench::run_normalization;
+use temporal_datasets::{incumben, prefix, IncumbenSpec};
+use temporal_engine::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let data = incumben(IncumbenSpec::default());
+    let mut group = c.benchmark_group("fig13_normalization_ssn");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for &n in &[500usize, 1_000, 2_000] {
+        let r = prefix(&data, n);
+        let settings: [(&str, PlannerConfig); 3] = [
+            ("all_enabled", PlannerConfig::all_enabled()),
+            ("no_merge", PlannerConfig::no_merge()),
+            ("nestloop_only", PlannerConfig::nestloop_only()),
+        ];
+        for (label, config) in settings {
+            let planner = Planner::new(config);
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &r,
+                |b, r| b.iter(|| run_normalization(r, &[0], &planner)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 14: normalization with different attribute sets — `N_{}` splits
+//! across all endpoints (most expensive), `N_{pcn}` and `N_{ssn}` only
+//! within matching groups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use temporal_bench::run_normalization;
+use temporal_datasets::{incumben, prefix, IncumbenSpec};
+use temporal_engine::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let data = incumben(IncumbenSpec::default());
+    let planner = Planner::default();
+    let mut group = c.benchmark_group("fig14_normalization_attrs");
+    group.sample_size(10);
+    for &n in &[500usize, 1_000, 2_000] {
+        let r = prefix(&data, n);
+        let variants: [(&str, &[usize]); 3] =
+            [("N_empty", &[]), ("N_pcn", &[1]), ("N_ssn", &[0])];
+        for (label, b_attrs) in variants {
+            group.bench_with_input(BenchmarkId::new(label, n), &r, |b, r| {
+                b.iter(|| run_normalization(r, b_attrs, &planner))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Fig. 15: temporal outer joins — `align` (reduction rules) vs `sql`
+//! (overlap predicates + NOT EXISTS) on the four workloads:
+//! (a) O1 on Ddisj, (b) O1 on Deq, (c) O2 on Drand, (d) O3 on Incumben.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use temporal_bench::{run_o1, run_o2, run_o3, Approach};
+use temporal_datasets::{ddisj, deq, drand, incumben, prefix, IncumbenSpec};
+use temporal_engine::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let planner = Planner::default();
+
+    // (a) O1 on Ddisj
+    let mut group = c.benchmark_group("fig15a_o1_ddisj");
+    group.sample_size(10);
+    for &n in &[500usize, 1_000, 2_000] {
+        let (r, s) = ddisj(n);
+        for a in [Approach::Align, Approach::Sql] {
+            group.bench_with_input(BenchmarkId::new(a.label(), n), &(&r, &s), |b, (r, s)| {
+                b.iter(|| run_o1(a, r, s, &planner))
+            });
+        }
+    }
+    group.finish();
+
+    // (b) O1 on Deq
+    let mut group = c.benchmark_group("fig15b_o1_deq");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1_000] {
+        let (r, s) = deq(n);
+        for a in [Approach::Align, Approach::Sql] {
+            group.bench_with_input(BenchmarkId::new(a.label(), n), &(&r, &s), |b, (r, s)| {
+                b.iter(|| run_o1(a, r, s, &planner))
+            });
+        }
+    }
+    group.finish();
+
+    // (c) O2 on Drand
+    let mut group = c.benchmark_group("fig15c_o2_drand");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1_000] {
+        let (r, s) = drand(n, 20120520);
+        for a in [Approach::Align, Approach::Sql] {
+            group.bench_with_input(BenchmarkId::new(a.label(), n), &(&r, &s), |b, (r, s)| {
+                b.iter(|| run_o2(a, r, s, &planner))
+            });
+        }
+    }
+    group.finish();
+
+    // (d) O3 on Incumben
+    let data = incumben(IncumbenSpec::default());
+    let mut group = c.benchmark_group("fig15d_o3_incumben");
+    group.sample_size(10);
+    for &n in &[1_000usize, 2_000, 4_000] {
+        let r = prefix(&data, n);
+        for a in [Approach::Align, Approach::Sql] {
+            group.bench_with_input(BenchmarkId::new(a.label(), n), &r, |b, r| {
+                b.iter(|| run_o3(a, r, r, &planner))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

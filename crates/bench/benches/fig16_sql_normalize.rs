@@ -1,0 +1,42 @@
+//! Fig. 16: `align` vs `sql+normalize` — the cost of normalizing against
+//! the intermediate join result, on (a) Incumben and (b) the random
+//! dataset with uniformly distributed start points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use temporal_bench::{run_o3, Approach};
+use temporal_datasets::{incumben, prefix, random_like_incumben, IncumbenSpec};
+use temporal_engine::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let planner = Planner::default();
+
+    // (a) O3 on Incumben
+    let data = incumben(IncumbenSpec::default());
+    let mut group = c.benchmark_group("fig16a_o3_incumben");
+    group.sample_size(10);
+    for &n in &[500usize, 1_000, 2_000] {
+        let r = prefix(&data, n);
+        for a in [Approach::Align, Approach::SqlNormalize] {
+            group.bench_with_input(BenchmarkId::new(a.label(), n), &r, |b, r| {
+                b.iter(|| run_o3(a, r, r, &planner))
+            });
+        }
+    }
+    group.finish();
+
+    // (b) O3 on the random dataset
+    let mut group = c.benchmark_group("fig16b_o3_random");
+    group.sample_size(10);
+    for &n in &[500usize, 1_000, 2_000] {
+        let r = random_like_incumben(n, (n / 12).max(4), 433);
+        for a in [Approach::Align, Approach::SqlNormalize] {
+            group.bench_with_input(BenchmarkId::new(a.label(), n), &r, |b, r| {
+                b.iter(|| run_o3(a, r, r, &planner))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

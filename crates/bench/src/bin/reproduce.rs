@@ -1,0 +1,410 @@
+//! Regenerate every table and figure of the paper's evaluation (Sec. 7).
+//!
+//! ```text
+//! cargo run --release -p temporal-bench --bin reproduce [-- <exp> [--full]]
+//! ```
+//!
+//! `<exp>` ∈ {table1, fig13, fig14, fig15a, fig15b, fig15c, fig15d,
+//! fig16a, fig16b, all} (default: all). Default sweeps are scaled to run
+//! in minutes on a laptop; `--full` uses the paper's input sizes (up to
+//! 80k–200k tuples — the quadratic `sql` baselines then take a long time,
+//! exactly as in the paper where they run for 1000+ seconds).
+//!
+//! Absolute times differ from the paper (different hardware and substrate);
+//! the *shapes* — who wins, by what factor, where curves cross — are the
+//! reproduction target. Results are written to `bench_results/*.csv`.
+
+use std::path::PathBuf;
+
+use temporal_bench::{
+    render_table, run_normalization, run_o1, run_o2, run_o3, time, write_csv, Approach, Point,
+};
+use temporal_core::semantics::properties::render_table1;
+use temporal_datasets::{ddisj, deq, drand, incumben, prefix, random_like_incumben, IncumbenSpec};
+use temporal_engine::prelude::*;
+
+fn out_dir() -> PathBuf {
+    PathBuf::from("bench_results")
+}
+
+fn print_points(title: &str, points: &[Point]) {
+    println!("\n=== {title}");
+    println!("runtime [s]:");
+    println!("{}", render_table(points, |p| format!("{:.3}", p.seconds)));
+    println!("output tuples:");
+    println!(
+        "{}",
+        render_table(points, |p| p.output_rows.to_string())
+    );
+}
+
+fn save(name: &str, points: &[Point]) {
+    let path = out_dir().join(format!("{name}.csv"));
+    write_csv(&path, points).expect("write csv");
+    println!("→ {}", path.display());
+}
+
+/// Fig. 13: normalization N_{ssn} under the three join-method settings.
+fn fig13(full: bool) {
+    let sizes: &[usize] = if full {
+        &[10_000, 20_000, 40_000, 80_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000]
+    };
+    let data = incumben(IncumbenSpec::default());
+    // The paper's settings walk the preference list of ITS optimizer:
+    // (a) all → merge, (b) merge off → hash, (c) merge+hash off → nestloop.
+    // Our cost model prefers hash, so the equivalent walk disables hash in
+    // (b) — every setting still runs the best *enabled* method, which is
+    // the experiment's claim.
+    let settings: [(&str, PlannerConfig); 3] = [
+        ("(a) all", PlannerConfig::all_enabled()),
+        (
+            "(b) -hash",
+            PlannerConfig {
+                enable_hashjoin: false,
+                ..Default::default()
+            },
+        ),
+        ("(c) nestloop", PlannerConfig::nestloop_only()),
+    ];
+    let mut points = Vec::new();
+    for &(label, config) in &settings {
+        let planner = Planner::new(config);
+        // Report the join algorithm the planner actually picks for the
+        // group-construction join under this setting.
+        let probe = prefix(&data, sizes[0]);
+        let plan = temporal_core::prelude::normalize_plan(
+            LogicalPlan::inline_scan(probe.rel().clone()),
+            LogicalPlan::inline_scan(probe.rel().clone()),
+            &[(0, 0)],
+        )
+        .expect("normalize plan");
+        let physical = planner
+            .plan(&plan, &temporal_engine::catalog::Catalog::new())
+            .expect("plan");
+        let algo = physical.first_join_algorithm().unwrap_or("?");
+        let series = format!("{label}={algo}");
+        for &n in sizes {
+            let r = prefix(&data, n);
+            let (dt, rows) = time(|| run_normalization(&r, &[0], &planner));
+            points.push(Point {
+                series: series.clone(),
+                n,
+                seconds: dt.as_secs_f64(),
+                output_rows: rows,
+            });
+        }
+    }
+    print_points(
+        "Fig. 13: N_{ssn}(Incumben) — join-method settings (a) all→best, (b) merge off, (c) merge+hash off",
+        &points,
+    );
+    save("fig13_join_methods", &points);
+}
+
+/// Fig. 14: normalization with different attribute sets.
+fn fig14(full: bool) {
+    let sizes: &[usize] = if full {
+        &[10_000, 20_000, 40_000, 80_000]
+    } else {
+        &[500, 1_000, 2_000, 4_000]
+    };
+    let data = incumben(IncumbenSpec::default());
+    let planner = Planner::default();
+    let variants: [(&str, &[usize]); 3] = [("N{}", &[]), ("N{pcn}", &[1]), ("N{ssn}", &[0])];
+    let mut points = Vec::new();
+    for &(label, b) in &variants {
+        for &n in sizes {
+            // N{} splits every tuple at every endpoint; cap its input so
+            // the quick mode finishes (the paper's Fig. 14 runs it to 80k
+            // in ~1000 s — same shape, larger constants).
+            if label == "N{}" && !full && n > 2_000 {
+                continue;
+            }
+            let r = prefix(&data, n);
+            let (dt, rows) = time(|| run_normalization(&r, b, &planner));
+            points.push(Point {
+                series: label.to_string(),
+                n,
+                seconds: dt.as_secs_f64(),
+                output_rows: rows,
+            });
+        }
+    }
+    print_points("Fig. 14: N_{}, N_{pcn}, N_{ssn} on Incumben", &points);
+    save("fig14_normalization", &points);
+}
+
+fn sweep_two(
+    title: &str,
+    csv: &str,
+    sizes: &[usize],
+    approaches: &[Approach],
+    mut run: impl FnMut(Approach, usize) -> (f64, usize),
+) {
+    let mut points = Vec::new();
+    for &a in approaches {
+        for &n in sizes {
+            let (secs, rows) = run(a, n);
+            points.push(Point {
+                series: a.label().to_string(),
+                n,
+                seconds: secs,
+                output_rows: rows,
+            });
+        }
+    }
+    print_points(title, &points);
+    save(csv, &points);
+}
+
+/// Fig. 15a: O1 on Ddisj (sql's NOT EXISTS degenerates: quadratic).
+fn fig15a(full: bool) {
+    let sizes: &[usize] = if full {
+        &[20_000, 40_000, 60_000, 80_000, 100_000]
+    } else {
+        &[2_000, 4_000, 8_000, 16_000]
+    };
+    sweep_two(
+        "Fig. 15a: O1 = r ⟕ᵀ_true s on Ddisj",
+        "fig15a_o1_ddisj",
+        sizes,
+        &[Approach::Sql, Approach::Align],
+        |a, n| {
+            let (r, s) = ddisj(n);
+            let planner = Planner::default();
+            let (dt, rows) = time(|| run_o1(a, &r, &s, &planner));
+            (dt.as_secs_f64(), rows)
+        },
+    );
+}
+
+/// Fig. 15b: O1 on Deq (sql's best case; align pays adjustment overhead).
+fn fig15b(full: bool) {
+    let sizes: &[usize] = if full {
+        &[2_000, 4_000, 6_000, 8_000, 10_000]
+    } else {
+        &[250, 500, 1_000, 2_000]
+    };
+    sweep_two(
+        "Fig. 15b: O1 = r ⟕ᵀ_true s on Deq",
+        "fig15b_o1_deq",
+        sizes,
+        &[Approach::Align, Approach::Sql],
+        |a, n| {
+            let (r, s) = deq(n);
+            let planner = Planner::default();
+            let (dt, rows) = time(|| run_o1(a, &r, &s, &planner));
+            (dt.as_secs_f64(), rows)
+        },
+    );
+}
+
+/// Fig. 15c: O2 on Drand (θ with DUR defeats efficient NOT EXISTS).
+fn fig15c(full: bool) {
+    let sizes: &[usize] = if full {
+        &[40_000, 80_000, 120_000, 160_000, 200_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000]
+    };
+    sweep_two(
+        "Fig. 15c: O2 = r ⟕ᵀ(Min ≤ DUR(r.T) ≤ Max) s on Drand",
+        "fig15c_o2_drand",
+        sizes,
+        &[Approach::Sql, Approach::Align],
+        |a, n| {
+            let (r, s) = drand(n, 20120520);
+            let planner = Planner::default();
+            let (dt, rows) = time(|| run_o2(a, &r, &s, &planner));
+            (dt.as_secs_f64(), rows)
+        },
+    );
+}
+
+/// Fig. 15d: O3 on Incumben (equality predicate → both fast; align wins).
+fn fig15d(full: bool) {
+    let sizes: &[usize] = if full {
+        &[10_000, 20_000, 40_000, 80_000]
+    } else {
+        &[2_000, 4_000, 8_000, 16_000]
+    };
+    let data = incumben(IncumbenSpec::default());
+    sweep_two(
+        "Fig. 15d: O3 = r ⟗ᵀ(r.pcn = s.pcn) s on Incumben",
+        "fig15d_o3_incumben",
+        sizes,
+        &[Approach::Sql, Approach::Align],
+        |a, n| {
+            let r = prefix(&data, n);
+            let planner = Planner::default();
+            let (dt, rows) = time(|| run_o3(a, &r, &r, &planner));
+            (dt.as_secs_f64(), rows)
+        },
+    );
+}
+
+/// Fig. 16a: O3 on Incumben — align vs sql+normalize.
+fn fig16a(full: bool) {
+    let sizes: &[usize] = if full {
+        &[10_000, 20_000, 40_000, 80_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000]
+    };
+    let data = incumben(IncumbenSpec::default());
+    sweep_two(
+        "Fig. 16a: O3 on Incumben — align vs sql+normalize",
+        "fig16a_o3_incumben",
+        sizes,
+        &[Approach::SqlNormalize, Approach::Align],
+        |a, n| {
+            let r = prefix(&data, n);
+            let planner = Planner::default();
+            let (dt, rows) = time(|| run_o3(a, &r, &r, &planner));
+            (dt.as_secs_f64(), rows)
+        },
+    );
+}
+
+/// Fig. 16b: O3 on the random dataset (more splitting points).
+fn fig16b(full: bool) {
+    let sizes: &[usize] = if full {
+        &[40_000, 80_000, 120_000, 160_000, 200_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000]
+    };
+    sweep_two(
+        "Fig. 16b: O3 on the random dataset — align vs sql+normalize",
+        "fig16b_o3_random",
+        sizes,
+        &[Approach::SqlNormalize, Approach::Align],
+        |a, n| {
+            let positions = (n / 12).max(4);
+            let r = random_like_incumben(n, positions, 433);
+            let planner = Planner::default();
+            let (dt, rows) = time(|| run_o3(a, &r, &r, &planner));
+            (dt.as_secs_f64(), rows)
+        },
+    );
+}
+
+/// Ablation (future work, Sec. 8): alignment with the sweep-based
+/// interval join vs. the paper-faithful nested loop on O1/Ddisj.
+fn ablation(full: bool) {
+    let sizes: &[usize] = if full {
+        &[10_000, 20_000, 40_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000]
+    };
+    let paper = Planner::default();
+    let extended = Planner::new(PlannerConfig {
+        enable_intervaljoin: true,
+        ..Default::default()
+    });
+    let mut points = Vec::new();
+    for &n in sizes {
+        let (r, s) = ddisj(n);
+        let (dt, rows) = time(|| run_o1(Approach::Align, &r, &s, &paper));
+        points.push(Point {
+            series: "align (nestloop)".into(),
+            n,
+            seconds: dt.as_secs_f64(),
+            output_rows: rows,
+        });
+        let (dt, rows) = time(|| run_o1(Approach::Align, &r, &s, &extended));
+        points.push(Point {
+            series: "align (sweep)".into(),
+            n,
+            seconds: dt.as_secs_f64(),
+            output_rows: rows,
+        });
+    }
+    print_points(
+        "Ablation (Sec. 8 future work): sweep interval join for group construction, O1 on Ddisj",
+        &points,
+    );
+    save("ablation_interval_join", &points);
+
+    // Second ablation: the customized anti-join primitive (gaps-only
+    // sweep) vs the generic Table 2 reduction, on Incumben.
+    let data = incumben(IncumbenSpec::default());
+    let alg = temporal_core::prelude::TemporalAlgebra::default();
+    // Sole incumbency: spans of an assignment with no overlapping
+    // assignment of the same position by a *different* employee (a self
+    // anti join with pcn = pcn would be vacuously empty).
+    let theta = || Some(col(1).eq(col(5)).and(col(0).ne(col(4))));
+    let mut points = Vec::new();
+    for &n in sizes {
+        let r = prefix(&data, n);
+        let (dt, out) = time(|| alg.anti_join(&r, &r, theta()).unwrap().len());
+        points.push(Point {
+            series: "antijoin (generic)".into(),
+            n,
+            seconds: dt.as_secs_f64(),
+            output_rows: out,
+        });
+        let (dt, out) = time(|| alg.anti_join_optimized(&r, &r, theta()).unwrap().len());
+        points.push(Point {
+            series: "antijoin (gaps-only)".into(),
+            n,
+            seconds: dt.as_secs_f64(),
+            output_rows: out,
+        });
+    }
+    print_points(
+        "Ablation (Sec. 8 future work): customized anti-join primitive, r ▷ᵀ(pcn=pcn ∧ ssn≠ssn) r on Incumben",
+        &points,
+    );
+    save("ablation_antijoin", &points);
+}
+
+fn table1() {
+    println!("\n=== Table 1 (verified executably in semantics::properties)");
+    println!("{}", render_table1());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let exp = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    println!(
+        "Temporal Alignment (SIGMOD 2012) — evaluation reproduction ({} mode)",
+        if full { "full" } else { "quick" }
+    );
+
+    match exp.as_str() {
+        "table1" => table1(),
+        "fig13" => fig13(full),
+        "fig14" => fig14(full),
+        "fig15a" => fig15a(full),
+        "fig15b" => fig15b(full),
+        "fig15c" => fig15c(full),
+        "fig15d" => fig15d(full),
+        "fig16a" => fig16a(full),
+        "fig16b" => fig16b(full),
+        "ablation" => ablation(full),
+        "all" => {
+            table1();
+            fig13(full);
+            fig14(full);
+            fig15a(full);
+            fig15b(full);
+            fig15c(full);
+            fig15d(full);
+            fig16a(full);
+            fig16b(full);
+            ablation(full);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

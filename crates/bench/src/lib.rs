@@ -1,0 +1,305 @@
+//! # temporal-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! paper's evaluation (Sec. 7). The queries:
+//!
+//! * **O1** = `r ⟕ᵀ_true s` (Figs. 15a/15b),
+//! * **O2** = `r ⟕ᵀ_{Min ≤ DUR(r.T) ≤ Max} s` (Fig. 15c),
+//! * **O3** = `r ⟗ᵀ_{r.pcn = s.pcn} s` (Figs. 15d/16),
+//! * the **normalizations** `N_{}`, `N_{pcn}`, `N_{ssn}` (Figs. 13/14);
+//!
+//! each runnable through three strategies: `align` (the paper's reduction
+//! rules), `sql` (overlap predicates + NOT EXISTS) and `sql+normalize`.
+//!
+//! Criterion benches (one per figure) live in `benches/`; the `reproduce`
+//! binary runs the full parameter sweeps and writes `bench_results/*.csv`.
+
+use std::time::{Duration, Instant};
+
+use temporal_baselines::{
+    sql_full_outer_join, sql_left_outer_join, sqlnorm_full_outer_join, sqlnorm_left_outer_join,
+};
+use temporal_core::prelude::*;
+use temporal_engine::prelude::*;
+
+/// Evaluation strategy (the series of Figs. 15/16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// The paper's solution: reduction rules with the alignment primitive.
+    Align,
+    /// Standard SQL: overlap join + NOT EXISTS negative part (Sec. 7.4).
+    Sql,
+    /// SQL join part + normalization-based temporal difference (Sec. 7.5).
+    SqlNormalize,
+}
+
+impl Approach {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Approach::Align => "align",
+            Approach::Sql => "sql",
+            Approach::SqlNormalize => "sql+normalize",
+        }
+    }
+}
+
+/// O1 = `r ⟕ᵀ_true s`. Returns the output cardinality.
+pub fn run_o1(
+    approach: Approach,
+    r: &TemporalRelation,
+    s: &TemporalRelation,
+    planner: &Planner,
+) -> usize {
+    match approach {
+        Approach::Align => TemporalAlgebra::new(planner.config)
+            .left_outer_join(r, s, None)
+            .expect("O1 align")
+            .len(),
+        Approach::Sql => sql_left_outer_join(r, s, None, planner)
+            .expect("O1 sql")
+            .len(),
+        Approach::SqlNormalize => sqlnorm_left_outer_join(r, s, None, planner)
+            .expect("O1 sqlnorm")
+            .len(),
+    }
+}
+
+/// O2 = `r ⟕ᵀ_{Min ≤ DUR(r.T) ≤ Max} s` on the `Drand` schema
+/// (`r = (id, ts, te)`, `s = (a, min, max, ts, te)`). The predicate
+/// references r's original timestamp, so r is extended first; θ over
+/// `U(r) ++ s` = `(id, us, ue, ts, te, a, min, max, ts, te)`.
+pub fn run_o2(
+    approach: Approach,
+    r: &TemporalRelation,
+    s: &TemporalRelation,
+    planner: &Planner,
+) -> usize {
+    let ur = extend(r).expect("extend r");
+    let theta = Expr::Func(Func::Dur, vec![col(1), col(2)]).between(col(6), col(7));
+    match approach {
+        Approach::Align => TemporalAlgebra::new(planner.config)
+            .left_outer_join(&ur, s, Some(theta))
+            .expect("O2 align")
+            .len(),
+        Approach::Sql => sql_left_outer_join(&ur, s, Some(theta), planner)
+            .expect("O2 sql")
+            .len(),
+        Approach::SqlNormalize => sqlnorm_left_outer_join(&ur, s, Some(theta), planner)
+            .expect("O2 sqlnorm")
+            .len(),
+    }
+}
+
+/// O3 = `r ⟗ᵀ_{r.pcn = s.pcn} s` on the Incumben schema
+/// (`(ssn, pcn, ts, te)`; pcn columns 1 and 5 in concat coordinates).
+pub fn run_o3(
+    approach: Approach,
+    r: &TemporalRelation,
+    s: &TemporalRelation,
+    planner: &Planner,
+) -> usize {
+    let theta = col(1).eq(col(5));
+    match approach {
+        Approach::Align => TemporalAlgebra::new(planner.config)
+            .full_outer_join(r, s, Some(theta))
+            .expect("O3 align")
+            .len(),
+        Approach::Sql => sql_full_outer_join(r, s, Some(theta), planner)
+            .expect("O3 sql")
+            .len(),
+        Approach::SqlNormalize => sqlnorm_full_outer_join(r, s, Some(theta), planner)
+            .expect("O3 sqlnorm")
+            .len(),
+    }
+}
+
+/// `N_B(r; r)` where `b` are data-column indices of `r` (Figs. 13/14:
+/// `N_{}` = `&[]`, `N_{ssn}` = `&[0]`, `N_{pcn}` = `&[1]` on Incumben).
+pub fn run_normalization(r: &TemporalRelation, b: &[usize], planner: &Planner) -> usize {
+    let pairs: Vec<(usize, usize)> = b.iter().map(|&i| (i, i)).collect();
+    normalize_eval(r, r, &pairs, planner)
+        .expect("normalization")
+        .len()
+}
+
+/// Wall-clock one invocation.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed(), out)
+}
+
+/// A measured sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub series: String,
+    pub n: usize,
+    pub seconds: f64,
+    pub output_rows: usize,
+}
+
+/// Write sweep points as CSV (`series,n,seconds,output_rows`).
+pub fn write_csv(path: &std::path::Path, points: &[Point]) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "series,n,seconds,output_rows")?;
+    for p in points {
+        writeln!(f, "{},{},{:.6},{}", p.series, p.n, p.seconds, p.output_rows)?;
+    }
+    f.flush()
+}
+
+/// Render sweep points as an aligned text table grouped by `n`
+/// (series as columns), the shape the paper's figures plot.
+pub fn render_table(points: &[Point], value: impl Fn(&Point) -> String) -> String {
+    use std::collections::BTreeMap;
+    let mut series: Vec<String> = Vec::new();
+    for p in points {
+        if !series.contains(&p.series) {
+            series.push(p.series.clone());
+        }
+    }
+    let mut by_n: BTreeMap<usize, BTreeMap<&str, String>> = BTreeMap::new();
+    for p in points {
+        by_n
+            .entry(p.n)
+            .or_default()
+            .insert(p.series.as_str(), value(p));
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:>10}", "n"));
+    for s in &series {
+        out.push_str(&format!("{s:>16}"));
+    }
+    out.push('\n');
+    for (n, vals) in by_n {
+        out.push_str(&format!("{n:>10}"));
+        for s in &series {
+            out.push_str(&format!(
+                "{:>16}",
+                vals.get(s.as_str()).cloned().unwrap_or_else(|| "-".into())
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_datasets::{ddisj, deq, drand, incumben, prefix, IncumbenSpec};
+
+    fn planner() -> Planner {
+        Planner::default()
+    }
+
+    #[test]
+    fn o1_approaches_agree_on_small_inputs() {
+        let (r, s) = ddisj(25);
+        let a = run_o1(Approach::Align, &r, &s, &planner());
+        let b = run_o1(Approach::Sql, &r, &s, &planner());
+        let c = run_o1(Approach::SqlNormalize, &r, &s, &planner());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // disjoint: every r tuple survives whole
+        assert_eq!(a, r.len());
+
+        let (r, s) = deq(6);
+        let a = run_o1(Approach::Align, &r, &s, &planner());
+        let b = run_o1(Approach::Sql, &r, &s, &planner());
+        assert_eq!(a, b);
+        assert_eq!(a, 36); // n·m all-equal intersections
+    }
+
+    #[test]
+    fn o2_approaches_agree() {
+        let (r, s) = drand(30, 5);
+        let a = run_o2(Approach::Align, &r, &s, &planner());
+        let b = run_o2(Approach::Sql, &r, &s, &planner());
+        let c = run_o2(Approach::SqlNormalize, &r, &s, &planner());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn o3_approaches_agree() {
+        let data = incumben(IncumbenSpec {
+            rows: 60,
+            employees: 40,
+            positions: 6,
+            days: 365,
+            ..Default::default()
+        });
+        let r = prefix(&data, 60);
+        let a = run_o3(Approach::Align, &r, &r, &planner());
+        let b = run_o3(Approach::Sql, &r, &r, &planner());
+        let c = run_o3(Approach::SqlNormalize, &r, &r, &planner());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn normalization_output_ordering_matches_fig14() {
+        // |N_{}| ≥ |N_{pcn}| ≥ |N_{ssn}| ≥ n — the premise of Fig. 14b.
+        let data = incumben(IncumbenSpec {
+            rows: 400,
+            employees: 230,
+            positions: 30,
+            days: 2000,
+            ..Default::default()
+        });
+        let n_all = run_normalization(&data, &[], &planner());
+        let n_pcn = run_normalization(&data, &[1], &planner());
+        let n_ssn = run_normalization(&data, &[0], &planner());
+        assert!(n_all >= n_pcn, "{n_all} vs {n_pcn}");
+        assert!(n_pcn >= n_ssn, "{n_pcn} vs {n_ssn}");
+        assert!(n_ssn >= data.len());
+    }
+
+    #[test]
+    fn join_method_settings_produce_same_normalization() {
+        let data = incumben(IncumbenSpec {
+            rows: 150,
+            employees: 90,
+            positions: 12,
+            days: 900,
+            ..Default::default()
+        });
+        let a = run_normalization(&data, &[0], &Planner::new(PlannerConfig::all_enabled()));
+        let b = run_normalization(&data, &[0], &Planner::new(PlannerConfig::no_merge()));
+        let c = run_normalization(&data, &[0], &Planner::new(PlannerConfig::nestloop_only()));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn csv_and_table_rendering() {
+        let pts = vec![
+            Point {
+                series: "align".into(),
+                n: 10,
+                seconds: 0.5,
+                output_rows: 100,
+            },
+            Point {
+                series: "sql".into(),
+                n: 10,
+                seconds: 1.5,
+                output_rows: 100,
+            },
+        ];
+        let table = render_table(&pts, |p| format!("{:.1}", p.seconds));
+        assert!(table.contains("align"));
+        assert!(table.contains("0.5"));
+        let dir = std::env::temp_dir().join("talign_bench_test");
+        let path = dir.join("out.csv");
+        write_csv(&path, &pts).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("align,10,0.5"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

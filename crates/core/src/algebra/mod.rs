@@ -1,0 +1,443 @@
+//! The sequenced temporal algebra, implemented exclusively through the
+//! reduction rules of Table 2 (Theorem 1).
+//!
+//! Query processing is the paper's two-step process: (1) propagate and
+//! adjust the interval timestamps of argument tuples (alignment /
+//! normalization), then (2) apply the corresponding **nontemporal**
+//! operator on the adjusted relations, comparing timestamps only by
+//! equality, with the absorb operator α as a final post-processing step
+//! for tuple-based operators.
+
+mod reduction;
+
+pub use reduction::{
+    reduce_aggregation, reduce_antijoin, reduce_join, reduce_projection, reduce_selection,
+    reduce_setop, self_pairs,
+};
+
+use temporal_engine::catalog::Catalog;
+use temporal_engine::prelude::*;
+
+use crate::error::TemporalResult;
+use crate::primitives::absorb;
+use crate::primitives::adjustment::{align_eval, normalize_eval};
+use crate::trel::TemporalRelation;
+
+/// The temporal algebra evaluator: holds the planner (and hence the
+/// join-method switches) used for all reduced queries.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TemporalAlgebra {
+    planner: Planner,
+}
+
+impl TemporalAlgebra {
+    pub fn new(config: PlannerConfig) -> Self {
+        TemporalAlgebra {
+            planner: Planner::new(config),
+        }
+    }
+
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    fn run(&self, plan: &LogicalPlan) -> TemporalResult<TemporalRelation> {
+        let out = self.planner.run(plan, &Catalog::new())?;
+        TemporalRelation::new(out)
+    }
+
+    fn scan(r: &TemporalRelation) -> LogicalPlan {
+        LogicalPlan::inline_scan(r.rel().clone())
+    }
+
+    // ---- tuple-based operators (aligner) --------------------------------
+
+    /// σᵀ_θ(r) = σ_θ(r): temporal selection needs no adjustment.
+    pub fn selection(&self, r: &TemporalRelation, predicate: Expr) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_selection(Self::scan(r), predicate))
+    }
+
+    /// ×ᵀ: temporal Cartesian product,
+    /// `α((rΦ_true s) ⋈_{r.T=s.T} (sΦ_true r))`.
+    pub fn cartesian_product(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+    ) -> TemporalResult<TemporalRelation> {
+        self.join(r, s, None)
+    }
+
+    /// ⋈ᵀ_θ: temporal inner join,
+    /// `α((rΦ_θ s) ⋈_{θ ∧ r.T=s.T} (sΦ_θ r))`. `theta` is expressed over
+    /// the concatenation of full `r` and `s` rows.
+    pub fn join(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+        theta: Option<Expr>,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_join(Self::scan(r), Self::scan(s), JoinType::Inner, theta)?)
+    }
+
+    /// ⟕ᵀ_θ: temporal left outer join (Table 2, Left O. Join).
+    pub fn left_outer_join(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+        theta: Option<Expr>,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_join(Self::scan(r), Self::scan(s), JoinType::Left, theta)?)
+    }
+
+    /// ⟖ᵀ_θ: temporal right outer join.
+    pub fn right_outer_join(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+        theta: Option<Expr>,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_join(Self::scan(r), Self::scan(s), JoinType::Right, theta)?)
+    }
+
+    /// ⟗ᵀ_θ: temporal full outer join.
+    pub fn full_outer_join(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+        theta: Option<Expr>,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_join(Self::scan(r), Self::scan(s), JoinType::Full, theta)?)
+    }
+
+    /// ▷ᵀ_θ: temporal anti join,
+    /// `(rΦ_θ s) ▷_{θ ∧ r.T=s.T} (sΦ_θ r)` — no absorb (Table 2).
+    pub fn anti_join(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+        theta: Option<Expr>,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_antijoin(Self::scan(r), Self::scan(s), theta)?)
+    }
+
+    /// ▷ᵀ_θ via the *customized* primitive (Sec. 8 future work): a single
+    /// gaps-only plane sweep produces the result directly — no second
+    /// alignment, no nontemporal anti join. Semantically identical to
+    /// [`TemporalAlgebra::anti_join`].
+    pub fn anti_join_optimized(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+        theta: Option<Expr>,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&crate::primitives::adjustment::antijoin_gaps_plan(
+            Self::scan(r),
+            Self::scan(s),
+            theta,
+        )?)
+    }
+
+    // ---- group-based operators (splitter) -------------------------------
+
+    /// πᵀ_B(r) = π_{B,T}(N_B(r; r)) with set semantics; `b` are data-column
+    /// indices.
+    pub fn projection(
+        &self,
+        r: &TemporalRelation,
+        b: &[usize],
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_projection(Self::scan(r), b)?)
+    }
+
+    /// ϑᵀ: temporal aggregation `_Bϑ_F(r) = _{B,T}ϑ_F(N_B(r; r))`.
+    /// Aggregate arguments may reference any input column (e.g. a
+    /// propagated timestamp: `AVG(DUR(us, ue))`). Output schema:
+    /// `B…, aggregates…, ts, te`.
+    pub fn aggregation(
+        &self,
+        r: &TemporalRelation,
+        b: &[usize],
+        aggs: Vec<(AggCall, String)>,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_aggregation(Self::scan(r), b, aggs)?)
+    }
+
+    /// ∪ᵀ: temporal union `N_A(r; s) ∪ N_A(s; r)`.
+    pub fn union(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_setop(SetOpKind::Union, Self::scan(r), Self::scan(s))?)
+    }
+
+    /// −ᵀ: temporal difference `N_A(r; s) − N_A(s; r)`.
+    pub fn difference(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_setop(SetOpKind::Except, Self::scan(r), Self::scan(s))?)
+    }
+
+    /// ∩ᵀ: temporal intersection `N_A(r; s) ∩ N_A(s; r)`.
+    pub fn intersection(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+    ) -> TemporalResult<TemporalRelation> {
+        self.run(&reduce_setop(SetOpKind::Intersect, Self::scan(r), Self::scan(s))?)
+    }
+
+    // ---- primitives, exposed for composition ----------------------------
+
+    /// The alignment primitive `r Φ_θ s` itself (plane-sweep execution).
+    pub fn align(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+        theta: Option<Expr>,
+    ) -> TemporalResult<TemporalRelation> {
+        align_eval(r, s, theta, &self.planner)
+    }
+
+    /// The normalization primitive `N_B(r; s)` itself.
+    pub fn normalize(
+        &self,
+        r: &TemporalRelation,
+        s: &TemporalRelation,
+        b: &[(usize, usize)],
+    ) -> TemporalResult<TemporalRelation> {
+        normalize_eval(r, s, b, &self.planner)
+    }
+
+    /// The absorb operator α.
+    pub fn absorb(&self, r: &TemporalRelation) -> TemporalResult<TemporalRelation> {
+        absorb::absorb(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    fn rel(rows: &[(&str, i64, i64)]) -> TemporalRelation {
+        TemporalRelation::from_rows(
+            Schema::new(vec![Column::new("v", DataType::Str)]),
+            rows.iter()
+                .map(|&(v, s, e)| (vec![Value::str(v)], Interval::of(s, e)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn pairs(out: &TemporalRelation) -> Vec<(String, i64, i64)> {
+        let mut v: Vec<(String, i64, i64)> = out
+            .iter()
+            .map(|(d, iv)| {
+                (
+                    d.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","),
+                    iv.start(),
+                    iv.end(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn selection_preserves_timestamps() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 5), ("b", 2, 9)]);
+        let out = alg
+            .selection(&r, col(0).eq(lit(Value::str("a"))))
+            .unwrap();
+        assert_eq!(pairs(&out), vec![("a".into(), 0, 5)]);
+    }
+
+    #[test]
+    fn inner_join_intersects_timestamps() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 5)]);
+        let s = rel(&[("x", 3, 9)]);
+        let out = alg.join(&r, &s, None).unwrap();
+        assert_eq!(pairs(&out), vec![("a,x".into(), 3, 5)]);
+    }
+
+    #[test]
+    fn left_outer_join_pads_uncovered_parts() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 8)]);
+        let s = rel(&[("x", 2, 4)]);
+        let out = alg.left_outer_join(&r, &s, None).unwrap();
+        assert_eq!(
+            pairs(&out),
+            vec![
+                ("a,x".into(), 2, 4),
+                ("a,ω".into(), 0, 2),
+                ("a,ω".into(), 4, 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_outer_join_pads_both_sides() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 4)]);
+        let s = rel(&[("x", 2, 6)]);
+        let out = alg.full_outer_join(&r, &s, None).unwrap();
+        assert_eq!(
+            pairs(&out),
+            vec![
+                ("a,x".into(), 2, 4),
+                ("a,ω".into(), 0, 2),
+                ("ω,x".into(), 4, 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn anti_join_keeps_uncovered_parts_only() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 8)]);
+        let s = rel(&[("x", 2, 4)]);
+        let out = alg.anti_join(&r, &s, None).unwrap();
+        assert_eq!(
+            pairs(&out),
+            vec![("a".into(), 0, 2), ("a".into(), 4, 8)]
+        );
+    }
+
+    #[test]
+    fn difference_removes_covered_spans() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 8), ("b", 0, 3)]);
+        let s = rel(&[("a", 2, 5)]);
+        let out = alg.difference(&r, &s).unwrap();
+        assert_eq!(
+            pairs(&out),
+            vec![
+                ("a".into(), 0, 2),
+                ("a".into(), 5, 8),
+                ("b".into(), 0, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn union_is_change_preserving_not_coalescing() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 10)]);
+        let s = rel(&[("a", 5, 20)]);
+        let out = alg.union(&r, &s).unwrap();
+        // fragments [0,5), [5,10), [10,20) — lineage changes at 5 and 10.
+        assert_eq!(
+            pairs(&out),
+            vec![
+                ("a".into(), 0, 5),
+                ("a".into(), 5, 10),
+                ("a".into(), 10, 20),
+            ]
+        );
+    }
+
+    #[test]
+    fn intersection_keeps_common_spans() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 10)]);
+        let s = rel(&[("a", 5, 20), ("b", 0, 10)]);
+        let out = alg.intersection(&r, &s).unwrap();
+        assert_eq!(pairs(&out), vec![("a".into(), 5, 10)]);
+    }
+
+    #[test]
+    fn projection_merges_only_at_change_points() {
+        let alg = TemporalAlgebra::default();
+        let r = TemporalRelation::from_rows(
+            Schema::new(vec![
+                Column::new("k", DataType::Str),
+                Column::new("w", DataType::Int),
+            ]),
+            vec![
+                (vec![Value::str("a"), Value::Int(1)], Interval::of(0, 5)),
+                (vec![Value::str("a"), Value::Int(2)], Interval::of(3, 9)),
+            ],
+        )
+        .unwrap();
+        let out = alg.projection(&r, &[0]).unwrap();
+        // fragments: [0,3), [3,5) (both tuples), [5,9) — π keeps each once.
+        assert_eq!(
+            pairs(&out),
+            vec![
+                ("a".into(), 0, 3),
+                ("a".into(), 3, 5),
+                ("a".into(), 5, 9),
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregation_counts_per_fragment() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 5), ("b", 3, 9)]);
+        let out = alg
+            .aggregation(&r, &[], vec![(AggCall::count_star(), "cnt".to_string())])
+            .unwrap();
+        assert_eq!(
+            pairs(&out),
+            vec![
+                ("1".into(), 0, 3),
+                ("1".into(), 5, 9),
+                ("2".into(), 3, 5),
+            ]
+        );
+        assert_eq!(out.schema().names(), vec!["cnt", "ts", "te"]);
+    }
+
+    #[test]
+    fn cartesian_product_equals_join_true() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 5), ("b", 1, 3)]);
+        let s = rel(&[("x", 2, 8)]);
+        let c = alg.cartesian_product(&r, &s).unwrap();
+        let j = alg.join(&r, &s, None).unwrap();
+        assert!(c.same_set(&j));
+    }
+
+    #[test]
+    fn example9_absorb_in_cartesian_product() {
+        // Paper Example 9: r = {(a,[1,9)), (b,[3,7))}, s = {(c,[1,9)),
+        // (d,[3,7))}; the equality join produces a temporal duplicate
+        // (a,c,[3,7)) ⊂ (a,c,[1,9)) which α removes.
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 1, 9), ("b", 3, 7)]);
+        let s = rel(&[("c", 1, 9), ("d", 3, 7)]);
+        let out = alg.cartesian_product(&r, &s).unwrap();
+        assert_eq!(
+            pairs(&out),
+            vec![
+                ("a,c".into(), 1, 9),
+                ("a,d".into(), 3, 7),
+                ("b,c".into(), 3, 7),
+                ("b,d".into(), 3, 7),
+            ]
+        );
+    }
+
+    #[test]
+    fn setops_require_union_compatibility() {
+        let alg = TemporalAlgebra::default();
+        let r = rel(&[("a", 0, 5)]);
+        let s = TemporalRelation::from_rows(
+            Schema::new(vec![
+                Column::new("x", DataType::Str),
+                Column::new("y", DataType::Int),
+            ]),
+            vec![(vec![Value::str("a"), Value::Int(1)], Interval::of(0, 5))],
+        )
+        .unwrap();
+        assert!(alg.union(&r, &s).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Allen's thirteen interval relations.
+//!
+//! The paper's related work (Sec. 2) notes that the earliest temporal SQL
+//! extensions added "new data types with associated predicates and
+//! functions that were strongly influenced by Allen's interval
+//! relationships". This module provides that classic vocabulary over
+//! [`Interval`] — useful for nonsequenced queries and for formulating θ
+//! conditions — while the sequenced machinery of the rest of the crate
+//! never needs them (that is the paper's point).
+
+use crate::interval::Interval;
+
+/// The thirteen mutually exclusive relations between two intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllenRelation {
+    /// `a` ends before `b` starts (a gap in between).
+    Before,
+    /// `a` ends exactly where `b` starts.
+    Meets,
+    /// proper overlap: `a` starts first, ends inside `b`.
+    Overlaps,
+    /// `a` starts with `b` and ends inside it.
+    Starts,
+    /// `a` is strictly inside `b` (different endpoints).
+    During,
+    /// `a` ends with `b` and starts inside it.
+    Finishes,
+    /// identical intervals.
+    Equal,
+    /// inverse of [`AllenRelation::Finishes`].
+    FinishedBy,
+    /// inverse of [`AllenRelation::During`].
+    Contains,
+    /// inverse of [`AllenRelation::Starts`].
+    StartedBy,
+    /// inverse of [`AllenRelation::Overlaps`].
+    OverlappedBy,
+    /// inverse of [`AllenRelation::Meets`].
+    MetBy,
+    /// inverse of [`AllenRelation::Before`].
+    After,
+}
+
+impl AllenRelation {
+    /// The inverse relation (`relate(a, b).inverse() == relate(b, a)`).
+    pub fn inverse(&self) -> AllenRelation {
+        use AllenRelation::*;
+        match self {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            Starts => StartedBy,
+            During => Contains,
+            Finishes => FinishedBy,
+            Equal => Equal,
+            FinishedBy => Finishes,
+            Contains => During,
+            StartedBy => Starts,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        }
+    }
+
+    /// Do intervals in this relation share at least one time point?
+    pub fn shares_points(&self) -> bool {
+        use AllenRelation::*;
+        !matches!(self, Before | Meets | MetBy | After)
+    }
+}
+
+/// Classify the relation between `a` and `b`.
+pub fn relate(a: &Interval, b: &Interval) -> AllenRelation {
+    use std::cmp::Ordering as O;
+    use AllenRelation::*;
+    match (
+        a.start().cmp(&b.start()),
+        a.end().cmp(&b.end()),
+        a.end().cmp(&b.start()),
+        b.end().cmp(&a.start()),
+    ) {
+        (O::Equal, O::Equal, _, _) => Equal,
+        (O::Equal, O::Less, _, _) => Starts,
+        (O::Equal, O::Greater, _, _) => StartedBy,
+        (O::Less, O::Equal, _, _) => FinishedBy,
+        (O::Greater, O::Equal, _, _) => Finishes,
+        (O::Less, O::Greater, _, _) => Contains,
+        (O::Greater, O::Less, _, _) => During,
+        (O::Less, O::Less, O::Less, _) => Before,
+        (O::Less, O::Less, O::Equal, _) => Meets,
+        (O::Less, O::Less, O::Greater, _) => Overlaps,
+        (O::Greater, O::Greater, _, O::Less) => After,
+        (O::Greater, O::Greater, _, O::Equal) => MetBy,
+        (O::Greater, O::Greater, _, O::Greater) => OverlappedBy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AllenRelation::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::of(s, e)
+    }
+
+    #[test]
+    fn all_thirteen_relations() {
+        let cases = [
+            (iv(0, 2), iv(5, 8), Before),
+            (iv(0, 5), iv(5, 8), Meets),
+            (iv(0, 6), iv(5, 8), Overlaps),
+            (iv(5, 6), iv(5, 8), Starts),
+            (iv(6, 7), iv(5, 8), During),
+            (iv(6, 8), iv(5, 8), Finishes),
+            (iv(5, 8), iv(5, 8), Equal),
+            (iv(4, 8), iv(5, 8), FinishedBy),
+            (iv(4, 9), iv(5, 8), Contains),
+            (iv(5, 9), iv(5, 8), StartedBy),
+            (iv(6, 9), iv(5, 8), OverlappedBy),
+            (iv(8, 9), iv(5, 8), MetBy),
+            (iv(9, 11), iv(5, 8), After),
+        ];
+        for (a, b, expected) in cases {
+            assert_eq!(relate(&a, &b), expected, "{a} vs {b}");
+            // inverse consistency
+            assert_eq!(relate(&b, &a), expected.inverse(), "inverse {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn relations_partition_all_pairs() {
+        // Exhaustively: every pair of small intervals maps to exactly one
+        // relation, consistent with overlap.
+        for a_s in 0..6 {
+            for a_e in a_s + 1..7 {
+                for b_s in 0..6 {
+                    for b_e in b_s + 1..7 {
+                        let a = iv(a_s, a_e);
+                        let b = iv(b_s, b_e);
+                        let rel = relate(&a, &b);
+                        assert_eq!(
+                            rel.shares_points(),
+                            a.overlaps(&b),
+                            "{a} {rel:?} {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_involution() {
+        for rel in [
+            Before, Meets, Overlaps, Starts, During, Finishes, Equal, FinishedBy, Contains,
+            StartedBy, OverlappedBy, MetBy, After,
+        ] {
+            assert_eq!(rel.inverse().inverse(), rel);
+        }
+    }
+}

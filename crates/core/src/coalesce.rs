@@ -1,0 +1,124 @@
+//! Coalescing: merge value-equivalent tuples over adjacent or overlapping
+//! intervals into maximal intervals.
+//!
+//! Coalescing is deliberately **not** part of the sequenced algebra — the
+//! whole point of change preservation (Def. 7) is that results like the
+//! paper's z3/z4 stay separate because their lineage differs. But a
+//! temporal library still needs coalescing as an explicit, user-invoked
+//! operation: it converts any snapshot-equivalent relation into the unique
+//! minimal representation of its snapshots (the classic `COALESCE` of
+//! TSQL2 / Snodgrass), e.g. for final presentation, or to compare results
+//! up to snapshot equivalence.
+
+use std::collections::HashMap;
+
+use temporal_engine::prelude::*;
+
+use crate::error::TemporalResult;
+use crate::interval::Interval;
+use crate::trel::TemporalRelation;
+
+/// Coalesce `r`: merge value-equivalent tuples whose intervals overlap or
+/// meet, yielding maximal intervals. The result is duplicate free and has
+/// the same snapshots as the input; all change information (Def. 7) is
+/// deliberately discarded.
+pub fn coalesce(r: &TemporalRelation) -> TemporalResult<TemporalRelation> {
+    let mut groups: HashMap<&[Value], Vec<Interval>> = HashMap::new();
+    let mut order: Vec<&[Value]> = Vec::new();
+    for row in r.rows() {
+        let data = r.data_of(row);
+        let slot = groups.entry(data).or_default();
+        if slot.is_empty() {
+            order.push(data);
+        }
+        slot.push(r.interval_of(row));
+    }
+    let mut out: Vec<(Vec<Value>, Interval)> = Vec::new();
+    for data in order {
+        let ivs = groups.get_mut(data).expect("inserted");
+        ivs.sort();
+        let mut current: Option<Interval> = None;
+        for iv in ivs.iter() {
+            current = Some(match current {
+                None => *iv,
+                Some(c) if c.merges_with(iv) => c.hull(iv),
+                Some(c) => {
+                    out.push((data.to_vec(), c));
+                    *iv
+                }
+            });
+        }
+        if let Some(c) = current {
+            out.push((data.to_vec(), c));
+        }
+    }
+    TemporalRelation::from_rows(r.data_schema(), out)
+}
+
+/// Are two temporal relations snapshot equivalent (equal at every time
+/// point)? Implemented by comparing coalesced canonical forms.
+pub fn snapshot_equivalent(
+    a: &TemporalRelation,
+    b: &TemporalRelation,
+) -> TemporalResult<bool> {
+    Ok(coalesce(a)?.same_set(&coalesce(b)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(rows: &[(&str, i64, i64)]) -> TemporalRelation {
+        TemporalRelation::from_rows(
+            Schema::new(vec![Column::new("v", DataType::Str)]),
+            rows.iter()
+                .map(|&(v, s, e)| (vec![Value::str(v)], Interval::of(s, e)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn merges_adjacent_and_overlapping() {
+        let r = rel(&[("a", 0, 5), ("a", 5, 9), ("a", 8, 12), ("b", 1, 3)]);
+        let out = coalesce(&r).unwrap();
+        assert!(out.same_set(&rel(&[("a", 0, 12), ("b", 1, 3)])));
+        assert!(out.is_duplicate_free());
+    }
+
+    #[test]
+    fn keeps_gaps_apart() {
+        let r = rel(&[("a", 0, 3), ("a", 5, 9)]);
+        let out = coalesce(&r).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn coalescing_discards_change_preservation() {
+        // The paper's z3/z4: sequenced results keep them apart; coalesce
+        // merges them — that is exactly why it is a separate, explicit op.
+        let z = rel(&[("ann", 5, 7), ("ann", 7, 11)]);
+        let out = coalesce(&z).unwrap();
+        assert!(out.same_set(&rel(&[("ann", 5, 11)])));
+    }
+
+    #[test]
+    fn snapshot_equivalence_ignores_fragmentation() {
+        let a = rel(&[("a", 0, 10)]);
+        let b = rel(&[("a", 0, 4), ("a", 4, 10)]);
+        let c = rel(&[("a", 0, 4), ("a", 5, 10)]);
+        assert!(snapshot_equivalent(&a, &b).unwrap());
+        assert!(!snapshot_equivalent(&a, &c).unwrap());
+    }
+
+    #[test]
+    fn coalesce_is_idempotent_and_snapshot_preserving() {
+        let r = rel(&[("a", 0, 5), ("a", 3, 9), ("b", 2, 4), ("a", 12, 14)]);
+        let once = coalesce(&r).unwrap();
+        let twice = coalesce(&once).unwrap();
+        assert!(once.same_set(&twice));
+        for t in r.endpoints() {
+            assert!(once.timeslice(t).same_set(&r.timeslice(t)));
+        }
+    }
+}

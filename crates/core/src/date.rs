@@ -1,0 +1,193 @@
+//! Civil-date helpers for day-granularity time points.
+//!
+//! The paper's `Incumben` dataset timestamps are "recorded at the
+//! granularity of days". This module maps proleptic-Gregorian civil dates
+//! to day numbers (days since 1970-01-01, negative before) so day-level
+//! temporal relations can be built from and rendered as dates, using
+//! Howard Hinnant's `days_from_civil` / `civil_from_days` algorithms.
+
+use crate::error::{TemporalError, TemporalResult};
+use crate::interval::{Interval, TimePoint};
+
+/// A proleptic Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    pub year: i64,
+    /// 1–12.
+    pub month: u8,
+    /// 1–31 (validated against the month).
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a validated date.
+    pub fn new(year: i64, month: u8, day: u8) -> TemporalResult<Date> {
+        if !(1..=12).contains(&month) {
+            return Err(TemporalError::InvalidInterval(format!(
+                "month {month} out of range"
+            )));
+        }
+        let dim = days_in_month(year, month);
+        if day == 0 || day > dim {
+            return Err(TemporalError::InvalidInterval(format!(
+                "day {day} out of range for {year}-{month:02}"
+            )));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Days since 1970-01-01 (Hinnant, `days_from_civil`).
+    pub fn to_day_number(&self) -> TimePoint {
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (i64::from(self.month) + 9) % 12; // Mar=0 … Feb=11
+        let doy = (153 * mp + 2) / 5 + i64::from(self.day) - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146097 + doe - 719468
+    }
+
+    /// Inverse of [`Date::to_day_number`] (Hinnant, `civil_from_days`).
+    pub fn from_day_number(z: TimePoint) -> Date {
+        let z = z + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        Date {
+            year: if m <= 2 { y + 1 } else { y },
+            month: m,
+            day: d,
+        }
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> TemporalResult<Date> {
+        let parts: Vec<&str> = s.split('-').collect();
+        let err = || TemporalError::InvalidInterval(format!("cannot parse date '{s}'"));
+        if parts.len() != 3 {
+            return Err(err());
+        }
+        let year: i64 = parts[0].parse().map_err(|_| err())?;
+        let month: u8 = parts[1].parse().map_err(|_| err())?;
+        let day: u8 = parts[2].parse().map_err(|_| err())?;
+        Date::new(year, month, day)
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap_year(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in a month.
+pub fn days_in_month(year: i64, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// `[from, to)` as a day-granularity interval.
+pub fn date_interval(from: Date, to: Date) -> TemporalResult<Interval> {
+    Interval::new(from.to_day_number(), to.to_day_number())
+}
+
+/// Render a day-number time point as `YYYY-MM-DD` (for
+/// [`crate::trel::TemporalRelation::to_table_with`]).
+pub fn fmt_day(t: TimePoint) -> String {
+    Date::from_day_number(t).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_and_known_days() {
+        assert_eq!(Date::new(1970, 1, 1).unwrap().to_day_number(), 0);
+        assert_eq!(Date::new(1970, 1, 2).unwrap().to_day_number(), 1);
+        assert_eq!(Date::new(1969, 12, 31).unwrap().to_day_number(), -1);
+        // The paper's conference dates: 2012-05-20 is day 15480.
+        assert_eq!(Date::new(2012, 5, 20).unwrap().to_day_number(), 15480);
+    }
+
+    #[test]
+    fn roundtrip_across_leap_boundaries() {
+        for z in (-1_000_000..1_000_000).step_by(9973) {
+            let d = Date::from_day_number(z);
+            assert_eq!(d.to_day_number(), z, "{d}");
+        }
+        // Feb 29 on a leap year
+        let d = Date::new(2012, 2, 29).unwrap();
+        assert_eq!(Date::from_day_number(d.to_day_number()), d);
+        assert!(Date::new(2013, 2, 29).is_err());
+        assert!(Date::new(2000, 2, 29).is_ok()); // 400-year rule
+        assert!(Date::new(1900, 2, 29).is_err()); // 100-year rule
+    }
+
+    #[test]
+    fn validation_and_parsing() {
+        assert!(Date::new(2020, 13, 1).is_err());
+        assert!(Date::new(2020, 0, 1).is_err());
+        assert!(Date::new(2020, 4, 31).is_err());
+        assert_eq!(
+            Date::parse("2012-05-20").unwrap(),
+            Date::new(2012, 5, 20).unwrap()
+        );
+        assert!(Date::parse("2012/05/20").is_err());
+        assert!(Date::parse("hello").is_err());
+    }
+
+    #[test]
+    fn display_and_fmt_day() {
+        let d = Date::new(2012, 5, 20).unwrap();
+        assert_eq!(d.to_string(), "2012-05-20");
+        assert_eq!(fmt_day(15480), "2012-05-20");
+    }
+
+    #[test]
+    fn date_intervals() {
+        let iv = date_interval(
+            Date::new(2012, 1, 1).unwrap(),
+            Date::new(2012, 6, 1).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(iv.duration(), 152); // Jan 31 + Feb 29 + Mar 31 + Apr 30 + May 31
+        assert!(date_interval(
+            Date::new(2012, 6, 1).unwrap(),
+            Date::new(2012, 1, 1).unwrap(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ordering_follows_chronology() {
+        let a = Date::new(2011, 12, 31).unwrap();
+        let b = Date::new(2012, 1, 1).unwrap();
+        assert!(a < b);
+        assert!(a.to_day_number() < b.to_day_number());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the temporal layer.
+
+use std::fmt;
+
+use temporal_engine::prelude::EngineError;
+
+/// Errors produced by the temporal algebra and primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// Propagated engine error (planning/execution).
+    Engine(EngineError),
+    /// An interval was empty or inverted (`te <= ts`) or had NULL endpoints.
+    InvalidInterval(String),
+    /// A relation did not satisfy temporal-relation invariants
+    /// (e.g. missing ts/te columns, duplicates over common time points).
+    InvalidRelation(String),
+    /// Arguments to an operator were incompatible.
+    Incompatible(String),
+    /// The requested feature is not supported.
+    Unsupported(String),
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalError::Engine(e) => write!(f, "{e}"),
+            TemporalError::InvalidInterval(m) => write!(f, "invalid interval: {m}"),
+            TemporalError::InvalidRelation(m) => write!(f, "invalid temporal relation: {m}"),
+            TemporalError::Incompatible(m) => write!(f, "incompatible arguments: {m}"),
+            TemporalError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TemporalError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for TemporalError {
+    fn from(e: EngineError) -> Self {
+        TemporalError::Engine(e)
+    }
+}
+
+/// Result alias for the temporal layer.
+pub type TemporalResult<T> = Result<T, TemporalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_errors_convert() {
+        fn fails() -> TemporalResult<()> {
+            Err(EngineError::UnknownColumn("x".into()))?;
+            Ok(())
+        }
+        let e = fails().unwrap_err();
+        assert!(matches!(e, TemporalError::Engine(_)));
+        assert!(e.to_string().contains("unknown column"));
+    }
+
+    #[test]
+    fn display_kinds() {
+        assert!(TemporalError::InvalidInterval("[5,5)".into())
+            .to_string()
+            .contains("invalid interval"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Half-open time intervals `[ts, te)` over a linearly ordered, discrete
+//! time domain Ω^T (paper Sec. 3.1).
+//!
+//! A time interval is a contiguous set of time points represented by its
+//! inclusive start and exclusive end. Intervals are never empty: `ts < te`
+//! is an invariant; operations that could produce empty intervals return
+//! `Option`.
+
+use std::fmt;
+
+use crate::error::{TemporalError, TemporalResult};
+
+/// A point of the discrete time domain Ω^T.
+pub type TimePoint = i64;
+
+/// A non-empty half-open interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    start: TimePoint,
+    end: TimePoint,
+}
+
+impl Interval {
+    /// Build an interval; errors unless `start < end`.
+    pub fn new(start: TimePoint, end: TimePoint) -> TemporalResult<Interval> {
+        if start < end {
+            Ok(Interval { start, end })
+        } else {
+            Err(TemporalError::InvalidInterval(format!(
+                "[{start}, {end}) is empty or inverted"
+            )))
+        }
+    }
+
+    /// Build an interval, panicking on empty input. For literals in tests
+    /// and examples.
+    pub fn of(start: TimePoint, end: TimePoint) -> Interval {
+        Interval::new(start, end).expect("non-empty interval literal")
+    }
+
+    /// `Some` iff `start < end`.
+    pub fn try_new(start: TimePoint, end: TimePoint) -> Option<Interval> {
+        (start < end).then_some(Interval { start, end })
+    }
+
+    /// Inclusive start point Ts.
+    #[inline]
+    pub fn start(&self) -> TimePoint {
+        self.start
+    }
+
+    /// Exclusive end point Te.
+    #[inline]
+    pub fn end(&self) -> TimePoint {
+        self.end
+    }
+
+    /// Number of time points in the interval (`DUR` in the paper's SQL).
+    #[inline]
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Is time point `t` inside?
+    #[inline]
+    pub fn contains_point(&self, t: TimePoint) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Do the two intervals share at least one time point?
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// `other ⊆ self`.
+    #[inline]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// `other ⊂ self` (proper subset) — the absorb condition of Def. 12.
+    #[inline]
+    pub fn properly_contains(&self, other: &Interval) -> bool {
+        self.contains(other) && self != other
+    }
+
+    /// The intersection, or `None` when disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        Interval::try_new(self.start.max(other.start), self.end.min(other.end))
+    }
+
+    /// The smallest interval covering both (not necessarily their union).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// `self` ends exactly where `other` begins (Allen's *meets*).
+    #[inline]
+    pub fn meets(&self, other: &Interval) -> bool {
+        self.end == other.start
+    }
+
+    /// Adjacent or overlapping (i.e. their union is one interval).
+    pub fn merges_with(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Iterate the time points of the interval.
+    pub fn points(&self) -> impl Iterator<Item = TimePoint> {
+        self.start..self.end
+    }
+
+    /// Subtract a set of intervals from `self`, returning the maximal
+    /// uncovered sub-intervals in ascending order. This is the "gap" part
+    /// of the temporal aligner (Def. 10, lines 3–4).
+    pub fn subtract_all(&self, covers: &[Interval]) -> Vec<Interval> {
+        let mut relevant: Vec<Interval> = covers
+            .iter()
+            .filter_map(|c| self.intersect(c))
+            .collect();
+        relevant.sort();
+        let mut gaps = Vec::new();
+        let mut cursor = self.start;
+        for c in relevant {
+            if c.start > cursor {
+                gaps.push(Interval {
+                    start: cursor,
+                    end: c.start,
+                });
+            }
+            cursor = cursor.max(c.end);
+        }
+        if cursor < self.end {
+            gaps.push(Interval {
+                start: cursor,
+                end: self.end,
+            });
+        }
+        gaps
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Month-granularity helpers for the paper's running example, where time
+/// points are months and `2012/1` is the first month of 2012.
+pub mod month {
+    use super::TimePoint;
+
+    /// Month `m` (1-based) of `year` as a time point; `ym(2012, 1) == 0`.
+    pub const fn ym(year: i64, m: i64) -> TimePoint {
+        (year - 2012) * 12 + (m - 1)
+    }
+
+    /// Render a time point as `year/month`, inverse of [`ym`].
+    pub fn fmt(t: TimePoint) -> String {
+        let year = 2012 + t.div_euclid(12);
+        let m = t.rem_euclid(12) + 1;
+        format!("{year}/{m}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::month::{fmt as mfmt, ym};
+    use super::*;
+
+    #[test]
+    fn construction_enforces_non_empty() {
+        assert!(Interval::new(1, 5).is_ok());
+        assert!(Interval::new(5, 5).is_err());
+        assert!(Interval::new(6, 5).is_err());
+        assert_eq!(Interval::try_new(3, 3), None);
+    }
+
+    #[test]
+    fn membership_half_open() {
+        let i = Interval::of(2, 5);
+        assert!(i.contains_point(2));
+        assert!(i.contains_point(4));
+        assert!(!i.contains_point(5));
+        assert_eq!(i.duration(), 3);
+        assert_eq!(i.points().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Interval::of(0, 5);
+        let b = Interval::of(3, 8);
+        let c = Interval::of(5, 8);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // half-open: touching ≠ overlapping
+        assert_eq!(a.intersect(&b), Some(Interval::of(3, 5)));
+        assert_eq!(a.intersect(&c), None);
+        assert!(a.meets(&c));
+    }
+
+    #[test]
+    fn containment_proper_and_not() {
+        let outer = Interval::of(0, 10);
+        let inner = Interval::of(2, 8);
+        assert!(outer.contains(&inner));
+        assert!(outer.properly_contains(&inner));
+        assert!(outer.contains(&outer));
+        assert!(!outer.properly_contains(&outer));
+        assert!(outer.properly_contains(&Interval::of(0, 9)));
+        assert!(outer.properly_contains(&Interval::of(1, 10)));
+    }
+
+    #[test]
+    fn subtraction_produces_maximal_gaps() {
+        let r = Interval::of(0, 10);
+        let covers = vec![Interval::of(2, 4), Interval::of(3, 5), Interval::of(8, 12)];
+        assert_eq!(
+            r.subtract_all(&covers),
+            vec![Interval::of(0, 2), Interval::of(5, 8)]
+        );
+        // nothing covered
+        assert_eq!(r.subtract_all(&[]), vec![r]);
+        // fully covered
+        assert_eq!(r.subtract_all(&[Interval::of(-5, 20)]), vec![]);
+        // cover touching the start only
+        assert_eq!(
+            r.subtract_all(&[Interval::of(0, 1)]),
+            vec![Interval::of(1, 10)]
+        );
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Interval::of(0, 3);
+        let b = Interval::of(7, 9);
+        assert_eq!(a.hull(&b), Interval::of(0, 9));
+    }
+
+    #[test]
+    fn month_helpers_roundtrip() {
+        assert_eq!(ym(2012, 1), 0);
+        assert_eq!(ym(2012, 12), 11);
+        assert_eq!(ym(2013, 1), 12);
+        assert_eq!(mfmt(ym(2012, 6)), "2012/6");
+        assert_eq!(mfmt(ym(2011, 12)), "2011/12");
+        // The running example: reservation r1 = [2012/1, 2012/8).
+        let r1 = Interval::of(ym(2012, 1), ym(2012, 8));
+        assert_eq!(r1.duration(), 7);
+    }
+
+    #[test]
+    fn intervals_order_by_start_then_end() {
+        let mut v = vec![Interval::of(3, 9), Interval::of(1, 4), Interval::of(1, 2)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Interval::of(1, 2), Interval::of(1, 4), Interval::of(3, 9)]
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! The temporal aligner (Def. 10) and alignment `r Φ_θ s` (Def. 11).
+//!
+//! For tuple-based operators {σ, ×, ⋈, ⟕, ⟖, ⟗, ▷}, each `r` tuple is
+//! adjusted *per matching `s` tuple*: one output interval for every
+//! non-empty intersection `r.T ∩ s.T`, plus the maximal sub-intervals of
+//! `r.T` not covered by any matching tuple. Proposition 3 then guarantees
+//! matching pairs end up with *identical* timestamps, so the reduced join
+//! only compares timestamps by equality; Lemma 1 bounds the output by
+//! `2·n·m + n`.
+//!
+//! This module is the specification-level implementation; the pipelined
+//! plane-sweep used by the algebra is in [`crate::primitives::adjustment`].
+
+use std::collections::BTreeSet;
+
+use temporal_engine::prelude::*;
+
+use crate::error::{TemporalError, TemporalResult};
+use crate::interval::Interval;
+use crate::trel::TemporalRelation;
+
+/// `align(r, g)` (Def. 10): all distinct non-empty intersections of `r`
+/// with group intervals, plus the maximal uncovered sub-intervals of `r`.
+pub fn align(r: Interval, group: &[Interval]) -> Vec<Interval> {
+    let mut out: BTreeSet<Interval> = BTreeSet::new();
+    for g in group {
+        if let Some(i) = r.intersect(g) {
+            out.insert(i);
+        }
+    }
+    for gap in r.subtract_all(group) {
+        out.insert(gap);
+    }
+    out.into_iter().collect()
+}
+
+/// Checker for Def. 10, used by property tests.
+pub fn is_valid_alignment(r: Interval, group: &[Interval], out: &[Interval]) -> bool {
+    let expected: BTreeSet<Interval> = align(r, group).into_iter().collect();
+    let actual: BTreeSet<Interval> = out.iter().copied().collect();
+    if actual.len() != out.len() {
+        return false; // duplicates: the result must be a set
+    }
+    // Verify the closed-form result satisfies Def. 10 directly:
+    // every produced interval is an intersection or a maximal gap …
+    for t in &actual {
+        let is_intersection = group.iter().any(|g| r.intersect(g) == Some(*t));
+        let is_gap = r.subtract_all(group).contains(t);
+        if !is_intersection && !is_gap {
+            return false;
+        }
+    }
+    // … and nothing required is missing.
+    expected == actual
+}
+
+/// A θ condition for the alignment operator: a predicate over the
+/// concatenation of a full `r` row and a full `s` row (data columns plus
+/// ts/te, in that order). Per Def. 11, θ must only reference nontemporal
+/// attributes — original timestamps are available through propagated
+/// columns (the extend operator), never through `ts`/`te` themselves.
+#[derive(Debug, Clone)]
+pub enum Theta {
+    /// Always true (Cartesian product and friends).
+    True,
+    /// An engine predicate over `r_row ++ s_row`.
+    Predicate(Expr),
+}
+
+impl Theta {
+    /// Evaluate against a pair of rows.
+    pub fn eval(&self, r_row: &Row, s_row: &Row) -> TemporalResult<bool> {
+        match self {
+            Theta::True => Ok(true),
+            Theta::Predicate(e) => {
+                let combined = r_row.concat(s_row);
+                Ok(e.eval_pred(combined.values())?)
+            }
+        }
+    }
+
+    /// The underlying expression, if any.
+    pub fn as_expr(&self) -> Option<&Expr> {
+        match self {
+            Theta::True => None,
+            Theta::Predicate(e) => Some(e),
+        }
+    }
+
+    /// Build from an optional expression.
+    pub fn from_option(e: Option<Expr>) -> Theta {
+        match e {
+            None => Theta::True,
+            Some(e) => Theta::Predicate(e),
+        }
+    }
+}
+
+/// `r Φ_θ s` (Def. 11): quadratic reference implementation. For each `r`
+/// tuple, its group is every `s` tuple satisfying θ; output tuples carry
+/// `r`'s data values over the adjusted intervals.
+pub fn align_ref(
+    r: &TemporalRelation,
+    s: &TemporalRelation,
+    theta: &Theta,
+) -> TemporalResult<TemporalRelation> {
+    if let Some(e) = theta.as_expr() {
+        if let Some(m) = e.max_col() {
+            let width = r.schema().len() + s.schema().len();
+            if m >= width {
+                return Err(TemporalError::Incompatible(format!(
+                    "θ references column {m}, combined width is {width}"
+                )));
+            }
+        }
+    }
+    let mut out: Vec<(Vec<Value>, Interval)> = Vec::new();
+    for r_row in r.rows() {
+        let mut group: Vec<Interval> = Vec::new();
+        for s_row in s.rows() {
+            if theta.eval(r_row, s_row)? {
+                group.push(s.interval_of(s_row));
+            }
+        }
+        for iv in align(r.interval_of(r_row), &group) {
+            out.push((r.data_of(r_row).to_vec(), iv));
+        }
+    }
+    TemporalRelation::from_rows(r.data_schema(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligner_matches_paper_fig2b() {
+        // Fig. 2(b): r = [1,8), g1 = [2,5), g2 = [4,7)
+        // → T1 = r∩g1 = [2,5), T2 = r∩g2 = [4,7), T3 = uncovered [1,2);
+        // the tail [7,8) is also uncovered in our integer rendering.
+        let r = Interval::of(1, 8);
+        let g = vec![Interval::of(2, 5), Interval::of(4, 7)];
+        let out = align(r, &g);
+        assert_eq!(
+            out,
+            vec![
+                Interval::of(1, 2),
+                Interval::of(2, 5),
+                Interval::of(4, 7),
+                Interval::of(7, 8),
+            ]
+        );
+        assert!(is_valid_alignment(r, &g, &out));
+    }
+
+    #[test]
+    fn aligner_base_case_fig5() {
+        // Fig. 5: n = 1, m = 2 → 2·m + 1 = 5 tuples.
+        let r = Interval::of(1, 12);
+        let g = vec![Interval::of(2, 4), Interval::of(6, 9)];
+        let out = align(r, &g);
+        assert_eq!(out.len(), 5);
+        assert!(is_valid_alignment(r, &g, &out));
+        // gaps: [1,2), [4,6), [9,12); intersections [2,4), [6,9)
+        assert!(out.contains(&Interval::of(1, 2)));
+        assert!(out.contains(&Interval::of(4, 6)));
+        assert!(out.contains(&Interval::of(9, 12)));
+    }
+
+    #[test]
+    fn empty_group_keeps_whole_interval() {
+        let r = Interval::of(3, 9);
+        assert_eq!(align(r, &[]), vec![r]);
+    }
+
+    #[test]
+    fn duplicate_intersections_are_deduplicated() {
+        let r = Interval::of(0, 10);
+        // two group tuples with identical intersection [2,5)
+        let g = vec![Interval::of(2, 5), Interval::of(2, 5)];
+        let out = align(r, &g);
+        assert_eq!(
+            out,
+            vec![Interval::of(0, 2), Interval::of(2, 5), Interval::of(5, 10)]
+        );
+    }
+
+    #[test]
+    fn nested_intersections_all_produced() {
+        let r = Interval::of(0, 10);
+        let g = vec![Interval::of(0, 8), Interval::of(2, 4)];
+        let out = align(r, &g);
+        assert!(out.contains(&Interval::of(0, 8)));
+        assert!(out.contains(&Interval::of(2, 4)));
+        assert!(out.contains(&Interval::of(8, 10)));
+        assert_eq!(out.len(), 3);
+    }
+
+    fn rel(name: &str, rows: &[(&str, i64, i64)]) -> TemporalRelation {
+        TemporalRelation::from_rows(
+            Schema::new(vec![Column::qualified(name, "v", DataType::Str)]),
+            rows.iter()
+                .map(|&(v, s, e)| (vec![Value::str(v)], Interval::of(s, e)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn align_ref_lemma1_bound() {
+        // |r̃| ≤ 2nm + n
+        let r = rel("r", &[("a", 0, 10), ("b", 2, 8)]);
+        let s = rel("s", &[("x", 1, 3), ("y", 4, 6), ("z", 5, 9)]);
+        let out = align_ref(&r, &s, &Theta::True).unwrap();
+        let (n, m) = (r.len() as i64, s.len() as i64);
+        assert!((out.len() as i64) <= 2 * n * m + n);
+    }
+
+    #[test]
+    fn align_ref_with_theta_filters_group() {
+        // θ: r.v = s.v — only same-letter tuples form the group.
+        let r = rel("r", &[("a", 0, 10)]);
+        let s = rel("s", &[("a", 2, 4), ("b", 5, 7)]);
+        // columns: r = (v, ts, te), s = (v, ts, te) → concat: r.v=0, s.v=3
+        let theta = Theta::Predicate(col(0).eq(col(3)));
+        let out = align_ref(&r, &s, &theta).unwrap();
+        let ivs: Vec<Interval> = out.iter().map(|(_, iv)| iv).collect();
+        assert_eq!(
+            ivs,
+            vec![Interval::of(0, 2), Interval::of(2, 4), Interval::of(4, 10)]
+        );
+    }
+
+    #[test]
+    fn align_ref_example8_shape() {
+        // Paper Example 8 essence: value-equivalent overlapping outputs are
+        // allowed in aligned relations (they stem from different s tuples).
+        let r = rel("r", &[("x", 1, 6)]);
+        let s = rel("s", &[("x", 1, 8), ("x", 2, 6)]);
+        let out = align_ref(&r, &s, &Theta::True).unwrap();
+        let ivs: Vec<Interval> = out.iter().map(|(_, iv)| iv).collect();
+        assert_eq!(ivs, vec![Interval::of(1, 6), Interval::of(2, 6)]);
+        // NOT duplicate free — by design (see paper Example 8).
+        assert!(!out.is_duplicate_free());
+    }
+
+    #[test]
+    fn align_ref_rejects_out_of_range_theta() {
+        let r = rel("r", &[("a", 0, 1)]);
+        let s = rel("s", &[("b", 0, 1)]);
+        let theta = Theta::Predicate(col(11).eq(col(0)));
+        assert!(align_ref(&r, &s, &theta).is_err());
+    }
+}

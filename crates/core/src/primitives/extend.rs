@@ -1,0 +1,128 @@
+//! Timestamp propagation: the extend operator `U(r)` (Def. 3).
+//!
+//! `U(r)` copies each tuple's interval into explicit nontemporal attributes
+//! so that predicates and functions may reference the *original* timestamps
+//! even after alignment has adjusted `T` — the mechanism behind extended
+//! snapshot reducibility (Def. 4). In the paper's SQL this is
+//! `WITH R AS (SELECT Ts Us, Te Ue, * FROM R)`.
+
+use temporal_engine::prelude::*;
+
+use crate::error::TemporalResult;
+use crate::trel::TemporalRelation;
+
+/// Default name for the propagated start point.
+pub const US: &str = "us";
+/// Default name for the propagated end point.
+pub const UE: &str = "ue";
+
+/// `U(r)`: returns a relation with schema `(A…, us, ue, ts, te)` where
+/// `us`/`ue` are copies of the interval endpoints.
+pub fn extend(r: &TemporalRelation) -> TemporalResult<TemporalRelation> {
+    extend_named(r, US, UE)
+}
+
+/// [`extend`] with explicit column names (needed when both arguments of a
+/// binary operator are extended).
+pub fn extend_named(
+    r: &TemporalRelation,
+    us_name: &str,
+    ue_name: &str,
+) -> TemporalResult<TemporalRelation> {
+    let dw = r.data_width();
+    let (ts, te) = (r.ts_idx(), r.te_idx());
+
+    let mut cols = r.data_schema().cols().to_vec();
+    cols.push(Column::new(us_name, DataType::Int));
+    cols.push(Column::new(ue_name, DataType::Int));
+    cols.push(r.schema().col(ts).clone());
+    cols.push(r.schema().col(te).clone());
+    let schema = Schema::new(cols);
+
+    let rows: Vec<Row> = r
+        .rows()
+        .iter()
+        .map(|row| {
+            let mut vals = Vec::with_capacity(dw + 4);
+            vals.extend_from_slice(&row.values()[..dw]);
+            vals.push(row[ts].clone());
+            vals.push(row[te].clone());
+            vals.push(row[ts].clone());
+            vals.push(row[te].clone());
+            Row::new(vals)
+        })
+        .collect();
+
+    let rel = Relation::new(schema, rows)?;
+    TemporalRelation::new(rel)
+}
+
+/// The logical-plan version of [`extend`]: wraps `input` (whose last two
+/// columns are ts/te) in a projection appending propagated copies before
+/// the interval.
+pub fn extend_plan(
+    input: LogicalPlan,
+    us_name: &str,
+    ue_name: &str,
+) -> TemporalResult<LogicalPlan> {
+    let schema = input.schema();
+    let n = schema.len();
+    let (ts, te) = (n - 2, n - 1);
+    let mut items: Vec<(Expr, String)> = Vec::with_capacity(n + 2);
+    for i in 0..ts {
+        items.push((col(i), schema.col(i).name.clone()));
+    }
+    items.push((col(ts), us_name.to_string()));
+    items.push((col(te), ue_name.to_string()));
+    items.push((col(ts), schema.col(ts).name.clone()));
+    items.push((col(te), schema.col(te).name.clone()));
+    Ok(input.project_named(items)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    fn r() -> TemporalRelation {
+        TemporalRelation::from_rows(
+            Schema::new(vec![Column::new("n", DataType::Str)]),
+            vec![
+                (vec![Value::str("ann")], Interval::of(0, 7)),
+                (vec![Value::str("joe")], Interval::of(1, 5)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extend_copies_interval_into_data_columns() {
+        let u = extend(&r()).unwrap();
+        assert_eq!(u.data_width(), 3); // n, us, ue
+        assert_eq!(u.schema().names(), vec!["n", "us", "ue", "ts", "te"]);
+        let (data, iv) = u.iter().next().unwrap();
+        assert_eq!(data, &[Value::str("ann"), Value::Int(0), Value::Int(7)]);
+        assert_eq!(iv, Interval::of(0, 7));
+    }
+
+    #[test]
+    fn extend_named_avoids_clashes() {
+        let u = extend_named(&r(), "rus", "rue").unwrap();
+        assert_eq!(u.schema().names(), vec!["n", "rus", "rue", "ts", "te"]);
+    }
+
+    #[test]
+    fn plan_version_matches_materialized() {
+        use temporal_engine::catalog::Catalog;
+        let rel = r();
+        let plan = extend_plan(
+            LogicalPlan::inline_scan(rel.rel().clone()),
+            US,
+            UE,
+        )
+        .unwrap();
+        let out = Planner::default().run(&plan, &Catalog::new()).unwrap();
+        let expected = extend(&rel).unwrap();
+        assert!(out.same_set(expected.rel()));
+    }
+}

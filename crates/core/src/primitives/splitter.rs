@@ -1,0 +1,271 @@
+//! The temporal splitter (Def. 8) and normalization `N_B(r; s)` (Def. 9).
+//!
+//! For group-based operators {π, ϑ, ∪, −, ∩}, each tuple's interval is
+//! split at every start and end point of the tuples in its group — the
+//! group being the tuples of `s` that agree with it on the `B` attributes.
+//! After normalization, tuples with equal `B` values have intervals that
+//! are either equal or disjoint (Propositions 1 and 2), so the downstream
+//! nontemporal operator only needs *equality* on timestamps.
+//!
+//! This module is the specification-level implementation (straight from the
+//! definitions; per-tuple scans of the group). The pipelined plane-sweep
+//! implementation used by the algebra lives in
+//! [`crate::primitives::adjustment`].
+
+use temporal_engine::prelude::*;
+
+use crate::error::{TemporalError, TemporalResult};
+use crate::interval::Interval;
+use crate::trel::TemporalRelation;
+
+/// `split(r, g)` (Def. 8): the maximal sub-intervals of `r` that are
+/// contained in or disjoint from every interval of `g`, in ascending order.
+///
+/// Equivalently: `r` cut at every group start/end point that falls strictly
+/// inside it (the construction used by the implementation, Sec. 6.3).
+pub fn split(r: Interval, group: &[Interval]) -> Vec<Interval> {
+    let mut points: Vec<i64> = vec![r.start()];
+    for g in group {
+        for p in [g.start(), g.end()] {
+            if p > r.start() && p < r.end() {
+                points.push(p);
+            }
+        }
+    }
+    points.push(r.end());
+    points.sort_unstable();
+    points.dedup();
+    points
+        .windows(2)
+        .map(|w| Interval::of(w[0], w[1]))
+        .collect()
+}
+
+/// Checker for Def. 8, used by property tests: is `out` exactly a valid
+/// split of `r` with respect to `group`?
+pub fn is_valid_split(r: Interval, group: &[Interval], out: &[Interval]) -> bool {
+    // (1) every piece is inside r and contained-in-or-disjoint-from each g;
+    for t in out {
+        if !r.contains(t) {
+            return false;
+        }
+        for g in group {
+            if t.overlaps(g) && !g.contains(t) {
+                return false;
+            }
+        }
+    }
+    // (2) pieces are maximal: enlarging by one point on either side breaks
+    //     condition (1);
+    for t in out {
+        for grown in [
+            Interval::try_new(t.start() - 1, t.end()),
+            Interval::try_new(t.start(), t.end() + 1),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let still_ok = r.contains(&grown)
+                && group
+                    .iter()
+                    .all(|g| !grown.overlaps(g) || g.contains(&grown));
+            if still_ok {
+                return false;
+            }
+        }
+    }
+    // (3) the pieces exactly cover r (follows from Def. 8: for any point of
+    //     r there is a maximal valid sub-interval containing it), without
+    //     overlaps and in order.
+    let mut cursor = r.start();
+    for t in out {
+        if t.start() != cursor {
+            return false;
+        }
+        cursor = t.end();
+    }
+    cursor == r.end()
+}
+
+/// `N_B(r; s)` (Def. 9): normalize `r` with respect to `s` on the grouping
+/// attribute pairs `b` (`(column of r, column of s)`, data-column indices).
+///
+/// Quadratic reference implementation: for each `r` tuple, collect its
+/// group by scanning `s`, then [`split`].
+pub fn normalize_ref(
+    r: &TemporalRelation,
+    s: &TemporalRelation,
+    b: &[(usize, usize)],
+) -> TemporalResult<TemporalRelation> {
+    for &(br, bs) in b {
+        if br >= r.data_width() || bs >= s.data_width() {
+            return Err(TemporalError::Incompatible(format!(
+                "grouping pair ({br}, {bs}) out of bounds"
+            )));
+        }
+    }
+    let mut out_rows: Vec<(Vec<Value>, Interval)> = Vec::new();
+    for (r_data, r_iv) in r.iter() {
+        let group: Vec<Interval> = s
+            .iter()
+            .filter(|(s_data, _)| b.iter().all(|&(br, bs)| r_data[br] == s_data[bs]))
+            .map(|(_, iv)| iv)
+            .collect();
+        for piece in split(r_iv, &group) {
+            out_rows.push((r_data.to_vec(), piece));
+        }
+    }
+    TemporalRelation::from_rows(r.data_schema(), out_rows)
+}
+
+/// Convenience: `N_B(r; r)` with `B` given as data-column indices of `r`
+/// (used by the reduction rules for π and ϑ).
+pub fn self_normalize_ref(
+    r: &TemporalRelation,
+    b: &[usize],
+) -> TemporalResult<TemporalRelation> {
+    let pairs: Vec<(usize, usize)> = b.iter().map(|&i| (i, i)).collect();
+    normalize_ref(r, r, &pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    #[test]
+    fn split_cuts_at_interior_boundaries() {
+        // Paper Fig. 2(a): r = [1,8); g1 = [2,5), g2 = [4,7)
+        // (one-month granularity, points relabelled to integers).
+        let r = Interval::of(1, 8);
+        let g = vec![Interval::of(2, 5), Interval::of(4, 7)];
+        let out = split(r, &g);
+        assert_eq!(
+            out,
+            vec![
+                Interval::of(1, 2),
+                Interval::of(2, 4),
+                Interval::of(4, 5),
+                Interval::of(5, 7),
+                Interval::of(7, 8),
+            ]
+        );
+        assert!(is_valid_split(r, &g, &out));
+    }
+
+    #[test]
+    fn split_with_empty_group_is_identity() {
+        let r = Interval::of(3, 9);
+        assert_eq!(split(r, &[]), vec![r]);
+        assert!(is_valid_split(r, &[], &[r]));
+    }
+
+    #[test]
+    fn split_ignores_boundaries_outside_r() {
+        let r = Interval::of(3, 9);
+        let g = vec![Interval::of(0, 3), Interval::of(9, 12), Interval::of(0, 20)];
+        assert_eq!(split(r, &g), vec![r]);
+    }
+
+    #[test]
+    fn checker_rejects_wrong_splits() {
+        let r = Interval::of(0, 10);
+        let g = vec![Interval::of(5, 7)];
+        // missing cut
+        assert!(!is_valid_split(r, &g, &[r]));
+        // over-fragmented (not maximal)
+        assert!(!is_valid_split(
+            r,
+            &g,
+            &[
+                Interval::of(0, 2),
+                Interval::of(2, 5),
+                Interval::of(5, 7),
+                Interval::of(7, 10)
+            ]
+        ));
+        // correct
+        assert!(is_valid_split(
+            r,
+            &g,
+            &[Interval::of(0, 5), Interval::of(5, 7), Interval::of(7, 10)]
+        ));
+    }
+
+    fn reservations() -> TemporalRelation {
+        // Paper Fig. 1/3: R = {ann [1,8), joe [2,6), ann [8,12)} with
+        // months mapped to integers (2012/1 ↦ 1 for readability).
+        TemporalRelation::from_rows(
+            Schema::new(vec![Column::new("n", DataType::Str)]),
+            vec![
+                (vec![Value::str("ann")], Interval::of(1, 8)),
+                (vec![Value::str("joe")], Interval::of(2, 6)),
+                (vec![Value::str("ann")], Interval::of(8, 12)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn normalization_matches_paper_fig3() {
+        // N_{}(R; R): group of every tuple is all of R.
+        let r = reservations();
+        let out = self_normalize_ref(&r, &[]).unwrap();
+        let expected = TemporalRelation::from_rows(
+            Schema::new(vec![Column::new("n", DataType::Str)]),
+            vec![
+                (vec![Value::str("ann")], Interval::of(1, 2)),
+                (vec![Value::str("ann")], Interval::of(2, 6)),
+                (vec![Value::str("ann")], Interval::of(6, 8)),
+                (vec![Value::str("joe")], Interval::of(2, 6)),
+                (vec![Value::str("ann")], Interval::of(8, 12)),
+            ],
+        )
+        .unwrap();
+        assert!(out.same_set(&expected), "{out} vs {expected}");
+    }
+
+    #[test]
+    fn normalization_on_name_only_splits_within_groups() {
+        // N_{n}(R; R): ann's tuples don't overlap joe's group.
+        let r = reservations();
+        let out = self_normalize_ref(&r, &[0]).unwrap();
+        // ann [1,8) and ann [8,12) meet but don't overlap → unsplit;
+        // joe [2,6) alone → unsplit.
+        assert!(out.same_set(&r), "{out}");
+    }
+
+    #[test]
+    fn proposition1_equal_or_disjoint() {
+        let r = reservations();
+        for b in [vec![], vec![0]] {
+            let out = self_normalize_ref(&r, &b).unwrap();
+            let rows: Vec<(Vec<Value>, Interval)> = out
+                .iter()
+                .map(|(d, iv)| {
+                    (
+                        b.iter().map(|&i| d[i].clone()).collect::<Vec<_>>(),
+                        iv,
+                    )
+                })
+                .collect();
+            for (i, (bi, ti)) in rows.iter().enumerate() {
+                for (bj, tj) in rows.iter().skip(i + 1) {
+                    if bi == bj {
+                        assert!(
+                            ti == tj || !ti.overlaps(tj),
+                            "B={bi:?}: {ti} vs {tj} neither equal nor disjoint"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_rejects_bad_grouping_indices() {
+        let r = reservations();
+        assert!(normalize_ref(&r, &r, &[(0, 9)]).is_err());
+        assert!(normalize_ref(&r, &r, &[(9, 0)]).is_err());
+    }
+}

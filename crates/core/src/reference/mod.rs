@@ -1,0 +1,14 @@
+//! Reference (oracle) evaluation of the temporal algebra.
+//!
+//! [`oracle::evaluate_oracle`] computes any [`crate::semantics::TemporalOp`]
+//! *literally* from the definitions: evaluate the nontemporal operator on
+//! every snapshot (Def. 1/4), attach lineage sets (Def. 6), and group
+//! maximal runs of time points with constant value and lineage into result
+//! tuples (Def. 7). The result is change-preserving **by construction**,
+//! which makes it the executable ground truth for Theorem 1: the
+//! reduction-rule implementation must produce exactly the same set of
+//! tuples.
+
+pub mod oracle;
+
+pub use oracle::{evaluate_oracle, snapshot_eval};

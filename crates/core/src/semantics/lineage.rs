@@ -1,0 +1,292 @@
+//! Lineage sets for interval-timestamped databases (Def. 6).
+//!
+//! `L[ψᵀ(r₁,…,rₙ)](z, t)` is the list of sets of argument tuples from which
+//! result tuple `z` is derived at time point `t`. Lineage depends only on
+//! the result tuple's *values* and `t` (value-equivalent result tuples have
+//! the same lineage at a common `t`), which is what allows Def. 7 to define
+//! change preservation via maximal constant-lineage intervals.
+
+use std::collections::BTreeSet;
+
+use temporal_engine::prelude::*;
+
+use crate::error::TemporalResult;
+use crate::interval::TimePoint;
+use crate::semantics::op::TemporalOp;
+use crate::trel::TemporalRelation;
+
+/// One set of argument-tuple indices per argument relation.
+pub type Lineage = Vec<BTreeSet<usize>>;
+
+/// Indices of rows of `r` that are live at `t` and whose data values match
+/// `wanted` (compared structurally, ω = ω).
+fn matching_live(r: &TemporalRelation, wanted: &[Value], t: TimePoint) -> BTreeSet<usize> {
+    r.rows()
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| {
+            r.interval_of(row).contains_point(t) && r.data_of(row) == wanted
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// All row indices of `r` (the time-independent second component of the
+/// difference/antijoin lineage, `⟨…, s⟩` in Def. 6).
+fn all_rows(r: &TemporalRelation) -> BTreeSet<usize> {
+    (0..r.len()).collect()
+}
+
+/// Compute `L[op(args)](z, t)` per Def. 6. `z_data` is the result tuple's
+/// data values (everything except ts/te).
+pub fn lineage(
+    op: &TemporalOp,
+    args: &[&TemporalRelation],
+    z_data: &[Value],
+    t: TimePoint,
+) -> TemporalResult<Lineage> {
+    Ok(match op {
+        // L[σθ(r)](z,t) = ⟨{r | z.A = r.A ∧ θ(r) ∧ t ∈ r.T}⟩
+        TemporalOp::Selection { predicate } => {
+            let r = args[0];
+            let mut set = BTreeSet::new();
+            for (i, row) in r.rows().iter().enumerate() {
+                if r.interval_of(row).contains_point(t)
+                    && r.data_of(row) == z_data
+                    && predicate.eval_pred(row.values())?
+                {
+                    set.insert(i);
+                }
+            }
+            vec![set]
+        }
+        // L[π_B(r)](z,t) = ⟨{r | z.B = r.B ∧ t ∈ r.T}⟩
+        TemporalOp::Projection { attrs } => {
+            let r = args[0];
+            let set = r
+                .rows()
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| {
+                    r.interval_of(row).contains_point(t)
+                        && attrs
+                            .iter()
+                            .zip(z_data.iter())
+                            .all(|(&a, zv)| &row[a] == zv)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            vec![set]
+        }
+        // Aggregation lineage is the projection lineage on the grouping
+        // attributes (the aggregate values are part of z's definition).
+        TemporalOp::Aggregation { group, .. } => {
+            let r = args[0];
+            let set = r
+                .rows()
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| {
+                    r.interval_of(row).contains_point(t)
+                        && group
+                            .iter()
+                            .zip(z_data.iter())
+                            .all(|(&a, zv)| &row[a] == zv)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            vec![set]
+        }
+        // L[r −ᵀ s](z,t) = ⟨{r | z.A = r.A ∧ t ∈ r.T}, s⟩
+        TemporalOp::Difference => {
+            vec![matching_live(args[0], z_data, t), all_rows(args[1])]
+        }
+        // L[r ∪ᵀ s](z,t) = ⟨{r matches live}, {s matches live}⟩;
+        // intersection is identical (paper, below Def. 6).
+        TemporalOp::Union | TemporalOp::Intersection => {
+            vec![
+                matching_live(args[0], z_data, t),
+                matching_live(args[1], z_data, t),
+            ]
+        }
+        // L[r ×ᵀ s](z,t) = ⟨{r | z.A = r.A ∧ t∈r.T}, {s | z.C = s.C ∧ t∈s.T}⟩;
+        // the inner join is identical.
+        TemporalOp::CartesianProduct | TemporalOp::Join { .. } => {
+            let dr = args[0].data_width();
+            vec![
+                matching_live(args[0], &z_data[..dr], t),
+                matching_live(args[1], &z_data[dr..], t),
+            ]
+        }
+        // Outer joins: the ω-padded cases take the antijoin (= difference)
+        // lineage of the surviving side; otherwise the join lineage.
+        TemporalOp::LeftOuterJoin { .. } => {
+            let dr = args[0].data_width();
+            if z_data[dr..].iter().all(Value::is_null) {
+                vec![matching_live(args[0], &z_data[..dr], t), all_rows(args[1])]
+            } else {
+                vec![
+                    matching_live(args[0], &z_data[..dr], t),
+                    matching_live(args[1], &z_data[dr..], t),
+                ]
+            }
+        }
+        TemporalOp::RightOuterJoin { .. } => {
+            let dr = args[0].data_width();
+            if z_data[..dr].iter().all(Value::is_null) {
+                vec![all_rows(args[0]), matching_live(args[1], &z_data[dr..], t)]
+            } else {
+                vec![
+                    matching_live(args[0], &z_data[..dr], t),
+                    matching_live(args[1], &z_data[dr..], t),
+                ]
+            }
+        }
+        TemporalOp::FullOuterJoin { .. } => {
+            let dr = args[0].data_width();
+            if z_data[..dr].iter().all(Value::is_null) {
+                vec![all_rows(args[0]), matching_live(args[1], &z_data[dr..], t)]
+            } else if z_data[dr..].iter().all(Value::is_null) {
+                vec![matching_live(args[0], &z_data[..dr], t), all_rows(args[1])]
+            } else {
+                vec![
+                    matching_live(args[0], &z_data[..dr], t),
+                    matching_live(args[1], &z_data[dr..], t),
+                ]
+            }
+        }
+        // Antijoin lineage equals the difference lineage.
+        TemporalOp::AntiJoin { .. } => {
+            vec![matching_live(args[0], z_data, t), all_rows(args[1])]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::month::ym;
+    use crate::interval::Interval;
+
+    /// The paper's running example (Fig. 1).
+    fn reservations() -> TemporalRelation {
+        TemporalRelation::from_rows(
+            Schema::new(vec![Column::new("n", DataType::Str)]),
+            vec![
+                (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
+                (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
+                (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn prices() -> TemporalRelation {
+        TemporalRelation::from_rows(
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("min", DataType::Int),
+                Column::new("max", DataType::Int),
+            ]),
+            vec![
+                (
+                    vec![Value::Int(50), Value::Int(1), Value::Int(2)],
+                    Interval::of(ym(2012, 1), ym(2012, 6)),
+                ),
+                (
+                    vec![Value::Int(40), Value::Int(3), Value::Int(7)],
+                    Interval::of(ym(2012, 1), ym(2012, 6)),
+                ),
+                (
+                    vec![Value::Int(30), Value::Int(8), Value::Int(12)],
+                    Interval::of(ym(2012, 1), ym(2013, 1)),
+                ),
+                (
+                    vec![Value::Int(50), Value::Int(1), Value::Int(2)],
+                    Interval::of(ym(2012, 10), ym(2013, 1)),
+                ),
+                (
+                    vec![Value::Int(40), Value::Int(3), Value::Int(7)],
+                    Interval::of(ym(2012, 10), ym(2013, 1)),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example3_join_case() {
+        // L[R ⟕θ P](z1, 2012/2) = ⟨{r1}, {s2}⟩ for z1 = (ann, 40, 3, 7).
+        let r = reservations();
+        let p = prices();
+        let op = TemporalOp::LeftOuterJoin { theta: None };
+        let z1 = vec![
+            Value::str("ann"),
+            Value::Int(40),
+            Value::Int(3),
+            Value::Int(7),
+        ];
+        let lin = lineage(&op, &[&r, &p], &z1, ym(2012, 2)).unwrap();
+        assert_eq!(lin[0], BTreeSet::from([0]));
+        assert_eq!(lin[1], BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn example3_omega_case() {
+        // L[R ⟕θ P](z3, 2012/6) = ⟨{r1}, P⟩ for z3 = (ann, ω, ω, ω).
+        let r = reservations();
+        let p = prices();
+        let op = TemporalOp::LeftOuterJoin { theta: None };
+        let z3 = vec![Value::str("ann"), Value::Null, Value::Null, Value::Null];
+        let lin = lineage(&op, &[&r, &p], &z3, ym(2012, 6)).unwrap();
+        assert_eq!(lin[0], BTreeSet::from([0]));
+        assert_eq!(lin[1], BTreeSet::from([0, 1, 2, 3, 4])); // all of P
+    }
+
+    #[test]
+    fn example4_change_at_august() {
+        // The lineage of (ann, ω, ω, ω) changes at 2012/8: {r1} → {r3}.
+        let r = reservations();
+        let p = prices();
+        let op = TemporalOp::LeftOuterJoin { theta: None };
+        let z = vec![Value::str("ann"), Value::Null, Value::Null, Value::Null];
+        let before = lineage(&op, &[&r, &p], &z, ym(2012, 7)).unwrap();
+        let after = lineage(&op, &[&r, &p], &z, ym(2012, 8)).unwrap();
+        assert_ne!(before, after);
+        assert_eq!(before[0], BTreeSet::from([0]));
+        assert_eq!(after[0], BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn selection_lineage_respects_theta() {
+        let r = reservations();
+        let pred = col(0).eq(lit(Value::str("ann")));
+        let op = TemporalOp::Selection { predicate: pred };
+        let z = vec![Value::str("ann")];
+        let lin = lineage(&op, &[&r], &z, ym(2012, 3)).unwrap();
+        assert_eq!(lin[0], BTreeSet::from([0]));
+        // joe fails θ even though value-matching is against z anyway
+        let zj = vec![Value::str("joe")];
+        let lin = lineage(&op, &[&r], &zj, ym(2012, 3)).unwrap();
+        assert!(lin[0].is_empty());
+    }
+
+    #[test]
+    fn union_lineage_has_both_components() {
+        let r = reservations();
+        let s = reservations();
+        let z = vec![Value::str("joe")];
+        let lin = lineage(&TemporalOp::Union, &[&r, &s], &z, ym(2012, 3)).unwrap();
+        assert_eq!(lin[0], BTreeSet::from([1]));
+        assert_eq!(lin[1], BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn difference_second_component_is_whole_relation() {
+        let r = reservations();
+        let s = reservations();
+        let z = vec![Value::str("ann")];
+        let lin = lineage(&TemporalOp::Difference, &[&r, &s], &z, ym(2012, 3)).unwrap();
+        assert_eq!(lin[1].len(), s.len());
+    }
+}

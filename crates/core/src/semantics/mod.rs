@@ -1,0 +1,27 @@
+//! The formal layer of the paper, made executable.
+//!
+//! * [`op`] — a uniform description of the operators of the temporal
+//!   algebra, evaluable through the reduction rules;
+//! * [`mod@timeslice`] — τ_t (Sec. 3.1);
+//! * [`mod@lineage`] — lineage sets (Def. 6);
+//! * [`snapshot`] — snapshot reducibility (Def. 1) and extended snapshot
+//!   reducibility (Def. 4) checkers;
+//! * [`change`] — change preservation (Def. 7) checker;
+//! * [`properties`] — Table 1: schema-robust and timestamp-propagating
+//!   operator classification, verified on counterexamples.
+//!
+//! Together these turn Theorem 1 into something tests can assert on
+//! arbitrary inputs.
+
+pub mod change;
+pub mod lineage;
+pub mod op;
+pub mod properties;
+pub mod snapshot;
+pub mod timeslice;
+
+pub use change::check_change_preservation;
+pub use lineage::{lineage, Lineage};
+pub use op::TemporalOp;
+pub use snapshot::{check_snapshot_reducibility, critical_points};
+pub use timeslice::timeslice;

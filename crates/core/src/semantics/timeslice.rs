@@ -1,0 +1,52 @@
+//! The timeslice operator τ_t (Sec. 3.1):
+//! `τ_t(r) = { r.A | r ∈ r ∧ t ∈ r.T }`.
+
+use temporal_engine::relation::Relation;
+
+use crate::interval::TimePoint;
+use crate::trel::TemporalRelation;
+
+/// The snapshot of `r` at time `t`: a nontemporal relation over the data
+/// columns (set semantics).
+pub fn timeslice(r: &TemporalRelation, t: TimePoint) -> Relation {
+    r.timeslice(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use temporal_engine::prelude::*;
+
+    #[test]
+    fn timeslice_matches_method() {
+        let r = TemporalRelation::from_rows(
+            Schema::new(vec![Column::new("n", DataType::Str)]),
+            vec![
+                (vec![Value::str("a")], Interval::of(0, 4)),
+                (vec![Value::str("b")], Interval::of(2, 6)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(timeslice(&r, 3).len(), 2);
+        assert_eq!(timeslice(&r, 5).len(), 1);
+        assert_eq!(timeslice(&r, 6).len(), 0);
+        assert!(timeslice(&r, 3).same_set(&r.timeslice(3)));
+    }
+
+    #[test]
+    fn timeslice_dedups_value_equivalent_rows() {
+        // Two tuples with the same data live at t ⇒ one snapshot row.
+        // (Such relations are not duplicate free, but τ must still be a set.)
+        let rel = Relation::from_values(
+            crate::trel::temporal_schema(vec![Column::new("n", DataType::Str)]),
+            vec![
+                vec![Value::str("a"), Value::Int(0), Value::Int(5)],
+                vec![Value::str("a"), Value::Int(3), Value::Int(8)],
+            ],
+        )
+        .unwrap();
+        let r = TemporalRelation::new(rel).unwrap();
+        assert_eq!(timeslice(&r, 4).len(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The `Incumben` substitute (see crate docs and DESIGN.md §2).
+//!
+//! Schema: `(ssn Int, pcn Int, ts, te)` — one row per job assignment
+//! (`pcn` = position control number) of an employee (`ssn`) over a time
+//! interval at day granularity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_core::prelude::*;
+use temporal_engine::prelude::*;
+
+/// Generation parameters, defaulting to the statistics the paper reports
+/// for the real dataset (Sec. 7.1).
+#[derive(Debug, Clone, Copy)]
+pub struct IncumbenSpec {
+    /// Number of job assignments (paper: 83,857).
+    pub rows: usize,
+    /// Number of distinct employees (paper: 49,195).
+    pub employees: usize,
+    /// Number of distinct positions. The paper does not report this;
+    /// N{pcn} sits between N{} and N{ssn} in Fig. 14, so pcn groups must
+    /// be markedly larger than ssn groups — 1500 positions gives ≈ 56
+    /// assignments per position at full size and keeps the ordering
+    /// visible on the 10k-prefix subsets the sweeps use.
+    pub positions: usize,
+    /// Time domain size in days (paper: 16 years).
+    pub days: i64,
+    /// Maximum duration in days (paper: 573).
+    pub max_duration: i64,
+    /// Target mean duration in days (paper: ≈ 180).
+    pub mean_duration: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IncumbenSpec {
+    fn default() -> Self {
+        IncumbenSpec {
+            rows: 83_857,
+            employees: 49_195,
+            positions: 1_500,
+            days: 16 * 365,
+            max_duration: 573,
+            mean_duration: 180.0,
+            seed: 42,
+        }
+    }
+}
+
+impl IncumbenSpec {
+    /// A spec scaled to `rows` assignments, keeping the employee/position
+    /// ratios of the full dataset (used for the 10k–80k sweeps).
+    pub fn scaled(rows: usize) -> IncumbenSpec {
+        let full = IncumbenSpec::default();
+        let f = rows as f64 / full.rows as f64;
+        IncumbenSpec {
+            rows,
+            employees: ((full.employees as f64 * f) as usize).max(1),
+            positions: ((full.positions as f64 * f) as usize).max(1),
+            ..full
+        }
+    }
+}
+
+/// Sample a duration in `[1, max]` days whose truncated-exponential shape
+/// lands near `mean` (most assignments short-to-medium, a tail of long
+/// ones — the qualitative shape of employment spells).
+fn sample_duration(rng: &mut StdRng, mean: f64, max: i64) -> i64 {
+    // Exponential with a raised rate so that truncation at `max` keeps the
+    // mean near the target (empirically calibrated factor 1.22).
+    let lambda = 1.0 / (mean * 1.22);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let d = (-u.ln() / lambda).round() as i64;
+    d.clamp(1, max)
+}
+
+/// Generate the dataset. Rows are in generation order; use [`prefix`] to
+/// take the `n`-tuple subsets of the paper's sweeps.
+///
+/// The result is **duplicate free** (Sec. 3.1): value-equivalent
+/// `(ssn, pcn)` rows never overlap in time — an employee holds a given
+/// position in non-overlapping spells, as in the real data. Conflicting
+/// candidates are re-drawn.
+pub fn incumben(spec: IncumbenSpec) -> TemporalRelation {
+    use std::collections::HashMap;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let schema = Schema::new(vec![
+        Column::new("ssn", DataType::Int),
+        Column::new("pcn", DataType::Int),
+    ]);
+    let mut taken: HashMap<(i64, i64), Vec<Interval>> = HashMap::new();
+    let mut rows: Vec<(Vec<Value>, Interval)> = Vec::with_capacity(spec.rows);
+    let mut i = 0usize;
+    while rows.len() < spec.rows {
+        // First `employees` rows introduce distinct employees; the rest
+        // are additional assignments of existing employees (≈ 1.7
+        // assignments per employee at default ratios, skewed like reuse).
+        let ssn = if i < spec.employees {
+            i as i64
+        } else {
+            rng.gen_range(0..spec.employees as i64)
+        };
+        i += 1;
+        let mut placed = false;
+        for _attempt in 0..32 {
+            let pcn = rng.gen_range(0..spec.positions as i64);
+            let dur = sample_duration(&mut rng, spec.mean_duration, spec.max_duration);
+            let start = rng.gen_range(0..(spec.days - dur).max(1));
+            let iv = Interval::of(start, start + dur);
+            let slot = taken.entry((ssn, pcn)).or_default();
+            if slot.iter().all(|other| !other.overlaps(&iv) && *other != iv) {
+                slot.push(iv);
+                rows.push((vec![Value::Int(ssn), Value::Int(pcn)], iv));
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // Pathological spec (tiny domain): fall back to a fresh ssn so
+            // generation always terminates.
+            let ssn = i as i64 + spec.employees as i64;
+            let dur = sample_duration(&mut rng, spec.mean_duration, spec.max_duration);
+            let start = rng.gen_range(0..(spec.days - dur).max(1));
+            rows.push((
+                vec![Value::Int(ssn), Value::Int(0)],
+                Interval::of(start, start + dur),
+            ));
+        }
+    }
+    let out =
+        TemporalRelation::from_rows(schema, rows).expect("generator produces valid intervals");
+    debug_assert!(out.is_duplicate_free());
+    out
+}
+
+/// The first `n` tuples of a generated relation (the paper's
+/// "# input tuples" axis).
+pub fn prefix(r: &TemporalRelation, n: usize) -> TemporalRelation {
+    let rel = Relation::new(
+        r.schema().clone(),
+        r.rows().iter().take(n).cloned().collect(),
+    )
+    .expect("same schema");
+    TemporalRelation::new(rel).expect("subset of a valid relation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small() -> TemporalRelation {
+        incumben(IncumbenSpec {
+            rows: 5_000,
+            employees: 2_950,
+            positions: 420,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn row_count_and_schema() {
+        let r = small();
+        assert_eq!(r.len(), 5_000);
+        assert_eq!(r.schema().names(), vec!["ssn", "pcn", "ts", "te"]);
+    }
+
+    #[test]
+    fn employee_and_position_cardinalities() {
+        let r = small();
+        let ssns: HashSet<i64> = r.iter().map(|(d, _)| d[0].as_int().unwrap()).collect();
+        let pcns: HashSet<i64> = r.iter().map(|(d, _)| d[1].as_int().unwrap()).collect();
+        assert_eq!(ssns.len(), 2_950); // every employee appears
+        assert!(pcns.len() <= 420);
+        assert!(pcns.len() > 350); // essentially all positions used
+    }
+
+    #[test]
+    fn durations_match_published_statistics() {
+        let r = incumben(IncumbenSpec {
+            rows: 20_000,
+            employees: 11_800,
+            positions: 1_700,
+            ..Default::default()
+        });
+        let durs: Vec<i64> = r.iter().map(|(_, iv)| iv.duration()).collect();
+        let min = *durs.iter().min().unwrap();
+        let max = *durs.iter().max().unwrap();
+        let mean = durs.iter().sum::<i64>() as f64 / durs.len() as f64;
+        assert!(min >= 1);
+        assert!(max <= 573);
+        assert!(
+            (150.0..=210.0).contains(&mean),
+            "mean duration {mean} out of band"
+        );
+        // the tail actually reaches the clamp region
+        assert!(max > 500, "max duration {max}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.rel(), b.rel());
+        let c = incumben(IncumbenSpec {
+            seed: 7,
+            rows: 5_000,
+            employees: 2_950,
+            positions: 420,
+            ..Default::default()
+        });
+        assert_ne!(a.rel(), c.rel());
+    }
+
+    #[test]
+    fn prefix_takes_first_rows() {
+        let r = small();
+        let p = prefix(&r, 100);
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.rows()[0], r.rows()[0]);
+    }
+
+    #[test]
+    fn scaled_spec_keeps_ratios() {
+        let s = IncumbenSpec::scaled(10_000);
+        assert_eq!(s.rows, 10_000);
+        let ratio = s.employees as f64 / s.rows as f64;
+        let full_ratio = 49_195.0 / 83_857.0;
+        assert!((ratio - full_ratio).abs() < 0.01);
+    }
+
+    #[test]
+    fn group_size_ordering_supports_fig14() {
+        // |groups(ssn)| > |groups(pcn)| ≫ 1 — the premise of Fig. 14.
+        let r = small();
+        let ssns: HashSet<i64> = r.iter().map(|(d, _)| d[0].as_int().unwrap()).collect();
+        let pcns: HashSet<i64> = r.iter().map(|(d, _)| d[1].as_int().unwrap()).collect();
+        assert!(ssns.len() > pcns.len());
+    }
+}

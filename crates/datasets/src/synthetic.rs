@@ -1,0 +1,172 @@
+//! The synthetic datasets of Sec. 7.4/7.5.
+//!
+//! * `Ddisj` — the intervals in both relations are pairwise disjoint: the
+//!   worst case for the `sql` baseline's NOT EXISTS (nothing ever matches,
+//!   every check scans the whole inner relation — Fig. 15a);
+//! * `Deq` — all intervals are equal: the best case for `sql` (the NOT
+//!   EXISTS finds a witness immediately — Fig. 15b);
+//! * `Drand` — random intervals and price categories with `min`/`max`
+//!   duration bounds, for the θ-join O2 (Fig. 15c);
+//! * `random_like_incumben` — Incumben-like durations with uniformly
+//!   random start points: more overlap and more distinct splitting points
+//!   than the real data (Fig. 16b).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_core::prelude::*;
+use temporal_engine::prelude::*;
+
+fn id_rel(rows: Vec<(i64, Interval)>, qualifier: &str) -> TemporalRelation {
+    let schema = Schema::new(vec![Column::qualified(qualifier, "id", DataType::Int)]);
+    TemporalRelation::from_rows(
+        schema,
+        rows.into_iter()
+            .map(|(id, iv)| (vec![Value::Int(id)], iv))
+            .collect(),
+    )
+    .expect("valid intervals")
+}
+
+/// `Ddisj`: two relations of `n` tuples each; all `2n` intervals are
+/// pairwise disjoint. Schema of both: `(id Int, ts, te)`.
+pub fn ddisj(n: usize) -> (TemporalRelation, TemporalRelation) {
+    // Tile the timeline: slot k = [10k, 10k + 5); r takes even slots,
+    // s takes odd slots.
+    let r = (0..n as i64)
+        .map(|i| (i, Interval::of(20 * i, 20 * i + 5)))
+        .collect();
+    let s = (0..n as i64)
+        .map(|i| (i, Interval::of(20 * i + 10, 20 * i + 15)))
+        .collect();
+    (id_rel(r, "r"), id_rel(s, "s"))
+}
+
+/// `Deq`: two relations of `n` tuples each; every interval is `[0, 100)`.
+pub fn deq(n: usize) -> (TemporalRelation, TemporalRelation) {
+    let iv = Interval::of(0, 100);
+    let r = (0..n as i64).map(|i| (i, iv)).collect();
+    let s = (0..n as i64).map(|i| (i, iv)).collect();
+    (id_rel(r, "r"), id_rel(s, "s"))
+}
+
+/// `Drand`: for query O2 = `r ⟕ᵀ_{Min ≤ DUR(r.T) ≤ Max} s`.
+/// `r` has schema `(id Int, ts, te)` with random intervals;
+/// `s` has schema `(a Int, min Int, max Int, ts, te)` with random intervals
+/// and duration categories like the running example's price table.
+pub fn drand(n: usize, seed: u64) -> (TemporalRelation, TemporalRelation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = 10_000i64;
+    let r_rows = (0..n as i64)
+        .map(|i| {
+            let dur = rng.gen_range(1..=400);
+            let start = rng.gen_range(0..domain - dur);
+            (i, Interval::of(start, start + dur))
+        })
+        .collect();
+    let r = id_rel(r_rows, "r");
+
+    let s_schema = Schema::new(vec![
+        Column::qualified("s", "a", DataType::Int),
+        Column::qualified("s", "min", DataType::Int),
+        Column::qualified("s", "max", DataType::Int),
+    ]);
+    // Duplicate-freeness (Sec. 3.1): re-draw candidates whose
+    // (a, min, max) values collide with an overlapping interval.
+    use std::collections::HashMap;
+    let mut taken: HashMap<(i64, i64, i64), Vec<Interval>> = HashMap::new();
+    let mut s_rows = Vec::with_capacity(n);
+    while s_rows.len() < n {
+        // Duration categories reminiscent of the hotel example:
+        // short/long/permanent bands over the duration domain.
+        let lo = rng.gen_range(1..=300);
+        let hi = lo + rng.gen_range(0..=100);
+        let price = rng.gen_range(10..=90);
+        let dur = rng.gen_range(1..=400);
+        let start = rng.gen_range(0..domain - dur);
+        let iv = Interval::of(start, start + dur);
+        let slot = taken.entry((price, lo, hi)).or_default();
+        if slot.iter().all(|other| !other.overlaps(&iv) && *other != iv) {
+            slot.push(iv);
+            s_rows.push((
+                vec![Value::Int(price), Value::Int(lo), Value::Int(hi)],
+                iv,
+            ));
+        }
+    }
+    let s = TemporalRelation::from_rows(s_schema, s_rows).expect("valid intervals");
+    debug_assert!(s.is_duplicate_free());
+    (r, s)
+}
+
+/// The random dataset of Fig. 16b: same average duration as Incumben but
+/// uniformly random start/end points, with a `pcn` column for query O3.
+/// Schema: `(ssn Int, pcn Int, ts, te)`.
+pub fn random_like_incumben(n: usize, positions: usize, seed: u64) -> TemporalRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let days = 16 * 365i64;
+    let schema = Schema::new(vec![
+        Column::new("ssn", DataType::Int),
+        Column::new("pcn", DataType::Int),
+    ]);
+    let rows = (0..n as i64)
+        .map(|i| {
+            let dur = rng.gen_range(1..=360); // uniform, mean ≈ 180
+            let start = rng.gen_range(0..days - dur);
+            (
+                vec![Value::Int(i), Value::Int(rng.gen_range(0..positions as i64))],
+                Interval::of(start, start + dur),
+            )
+        })
+        .collect();
+    TemporalRelation::from_rows(schema, rows).expect("valid intervals")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddisj_is_pairwise_disjoint() {
+        let (r, s) = ddisj(50);
+        let mut all: Vec<Interval> = r.iter().map(|(_, iv)| iv).collect();
+        all.extend(s.iter().map(|(_, iv)| iv));
+        for (i, a) in all.iter().enumerate() {
+            for b in all.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn deq_is_all_equal() {
+        let (r, s) = deq(10);
+        for (_, iv) in r.iter().chain(s.iter()) {
+            assert_eq!(iv, Interval::of(0, 100));
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn drand_shapes() {
+        let (r, s) = drand(200, 1);
+        assert_eq!(r.data_width(), 1);
+        assert_eq!(s.data_width(), 3);
+        assert_eq!(r.len(), 200);
+        // min ≤ max in all categories
+        for (d, _) in s.iter() {
+            assert!(d[1].as_int().unwrap() <= d[2].as_int().unwrap());
+        }
+        // deterministic
+        let (r2, _) = drand(200, 1);
+        assert_eq!(r.rel(), r2.rel());
+    }
+
+    #[test]
+    fn random_like_incumben_mean_duration() {
+        let r = random_like_incumben(5_000, 500, 3);
+        let mean = r.iter().map(|(_, iv)| iv.duration()).sum::<i64>() as f64 / 5_000.0;
+        assert!((150.0..=210.0).contains(&mean), "mean {mean}");
+        assert!(r.is_duplicate_free());
+    }
+}

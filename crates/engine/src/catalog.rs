@@ -1,0 +1,97 @@
+//! A named-table catalog, the engine's equivalent of a database schema.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::{EngineError, EngineResult};
+use crate::relation::Relation;
+
+/// Maps table names to materialized relations.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Relation>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table; errors if the name is taken.
+    pub fn register(&mut self, name: impl Into<String>, rel: Relation) -> EngineResult<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(EngineError::DuplicateTable(name));
+        }
+        self.tables.insert(name, Arc::new(rel));
+        Ok(())
+    }
+
+    /// Register or replace a table.
+    pub fn register_or_replace(&mut self, name: impl Into<String>, rel: Relation) {
+        self.tables.insert(name.into(), Arc::new(rel));
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> EngineResult<Arc<Relation>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn drop_table(&mut self, name: &str) -> Option<Arc<Relation>> {
+        self.tables.remove(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, Schema};
+
+    fn rel() -> Relation {
+        Relation::empty(Schema::new(vec![Column::new("a", DataType::Int)]))
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut c = Catalog::new();
+        c.register("t", rel()).unwrap();
+        assert!(c.get("t").is_ok());
+        assert!(c.get("u").is_err());
+        assert_eq!(c.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn duplicate_registration_errors() {
+        let mut c = Catalog::new();
+        c.register("t", rel()).unwrap();
+        assert!(c.register("t", rel()).is_err());
+        c.register_or_replace("t", rel());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn drop_removes() {
+        let mut c = Catalog::new();
+        c.register("t", rel()).unwrap();
+        assert!(c.drop_table("t").is_some());
+        assert!(c.get("t").is_err());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Engine error type shared across planning and execution.
+
+use std::fmt;
+
+/// Errors produced by the engine (planning, analysis or execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A schema did not match expectations (arity, union compatibility, …).
+    SchemaMismatch(String),
+    /// A column name could not be resolved or was ambiguous.
+    UnknownColumn(String),
+    /// A table name could not be resolved in the catalog.
+    UnknownTable(String),
+    /// A table with the same name is already registered.
+    DuplicateTable(String),
+    /// A value had the wrong type for an operation.
+    TypeError(String),
+    /// The requested feature is not supported by the engine.
+    Unsupported(String),
+    /// Arithmetic overflow or similar evaluation failure.
+    Evaluation(String),
+    /// An internal invariant was violated (a bug in the engine).
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            EngineError::UnknownColumn(m) => write!(f, "unknown column: {m}"),
+            EngineError::UnknownTable(m) => write!(f, "unknown table: {m}"),
+            EngineError::DuplicateTable(m) => write!(f, "duplicate table: {m}"),
+            EngineError::TypeError(m) => write!(f, "type error: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Evaluation(m) => write!(f, "evaluation error: {m}"),
+            EngineError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result alias used throughout the engine.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = EngineError::UnknownColumn("r.pcn".into());
+        assert_eq!(e.to_string(), "unknown column: r.pcn");
+        let e = EngineError::TypeError("Int + Str".into());
+        assert!(e.to_string().contains("type error"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&EngineError::Internal("x".into()));
+    }
+}

@@ -1,0 +1,71 @@
+//! Duplicate elimination (set semantics), streaming.
+
+use std::collections::HashSet;
+
+use crate::error::EngineResult;
+use crate::exec::{BoxedExec, ExecNode};
+use crate::schema::Schema;
+use crate::tuple::Row;
+
+/// Emits each distinct row once, in first-occurrence order. Structural row
+/// equality: NULL = NULL (SQL `DISTINCT` semantics).
+pub struct DistinctExec {
+    input: BoxedExec,
+    seen: HashSet<Row>,
+}
+
+impl DistinctExec {
+    pub fn new(input: BoxedExec) -> Self {
+        DistinctExec {
+            input,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl ExecNode for DistinctExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> EngineResult<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            if self.seen.insert(row.clone()) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_util::int2_rel;
+    use crate::exec::{collect, SeqScanExec};
+    use crate::relation::Relation;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+
+    #[test]
+    fn removes_duplicates_preserving_order() {
+        let rel = int2_rel(("a", "b"), &[(1, 1), (2, 2), (1, 1), (2, 2), (3, 3)]).into_shared();
+        let scan = Box::new(SeqScanExec::new(rel));
+        let out = collect(Box::new(DistinctExec::new(scan))).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.rows()[2][0], Value::Int(3));
+    }
+
+    #[test]
+    fn null_rows_are_duplicates_of_each_other() {
+        let rel = Relation::from_values(
+            Schema::new(vec![Column::new("a", DataType::Int)]),
+            vec![vec![Value::Null], vec![Value::Null]],
+        )
+        .unwrap()
+        .into_shared();
+        let scan = Box::new(SeqScanExec::new(rel));
+        let out = collect(Box::new(DistinctExec::new(scan))).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

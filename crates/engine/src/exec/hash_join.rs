@@ -1,0 +1,325 @@
+//! Hash join on equi-key pairs with an optional residual predicate.
+//!
+//! The reduction rules conjoin `r.T = s.T` to every θ, so reduced temporal
+//! joins always expose hashable keys — the mechanism behind the paper's
+//! fast Fig. 15d results.
+
+use std::collections::HashMap;
+
+use crate::error::EngineResult;
+use crate::exec::{BoxedExec, ExecNode};
+use crate::expr::Expr;
+use crate::plan::JoinType;
+use crate::schema::Schema;
+use crate::tuple::Row;
+use crate::value::Value;
+
+enum Phase {
+    Probe,
+    BuildUnmatched(usize),
+    Done,
+}
+
+/// Hash join. Builds on the right input, probes with the left.
+pub struct HashJoinExec {
+    left: BoxedExec,
+    right: Option<BoxedExec>,
+    /// `(left column, right column)` equality pairs; SQL semantics (NULL
+    /// keys never match).
+    keys: Vec<(usize, usize)>,
+    /// Extra predicate over the concatenated row.
+    residual: Option<Expr>,
+    join_type: JoinType,
+    schema: Schema,
+    left_width: usize,
+    right_width: usize,
+
+    table: HashMap<Vec<Value>, Vec<usize>>,
+    build_rows: Vec<Row>,
+    build_matched: Vec<bool>,
+    built: bool,
+
+    cur_left: Option<Row>,
+    cur_cands: Vec<usize>,
+    cand_pos: usize,
+    cur_left_matched: bool,
+    phase: Phase,
+}
+
+impl HashJoinExec {
+    pub fn new(
+        left: BoxedExec,
+        right: BoxedExec,
+        keys: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+        join_type: JoinType,
+    ) -> Self {
+        let left_width = left.schema().len();
+        let right_width = right.schema().len();
+        let schema = if join_type.emits_right() {
+            left.schema().concat(right.schema())
+        } else {
+            left.schema().clone()
+        };
+        HashJoinExec {
+            left,
+            right: Some(right),
+            keys,
+            residual,
+            join_type,
+            schema,
+            left_width,
+            right_width,
+            table: HashMap::new(),
+            build_rows: Vec::new(),
+            build_matched: Vec::new(),
+            built: false,
+            cur_left: None,
+            cur_cands: Vec::new(),
+            cand_pos: 0,
+            cur_left_matched: false,
+            phase: Phase::Probe,
+        }
+    }
+
+    fn build(&mut self) -> EngineResult<()> {
+        if self.built {
+            return Ok(());
+        }
+        let mut right = self.right.take().expect("build called once");
+        while let Some(row) = right.next()? {
+            let idx = self.build_rows.len();
+            let key: Vec<Value> = self
+                .keys
+                .iter()
+                .map(|&(_, r)| row[r].clone())
+                .collect();
+            // NULL keys never join, but the row may still surface as
+            // unmatched for Right/Full joins.
+            if !key.iter().any(Value::is_null) {
+                self.table.entry(key).or_default().push(idx);
+            }
+            self.build_rows.push(row);
+        }
+        self.build_matched = vec![false; self.build_rows.len()];
+        self.built = true;
+        Ok(())
+    }
+
+    fn residual_ok(&self, combined: &Row) -> EngineResult<bool> {
+        match &self.residual {
+            None => Ok(true),
+            Some(e) => e.eval_pred(combined.values()),
+        }
+    }
+}
+
+impl ExecNode for HashJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> EngineResult<Option<Row>> {
+        self.build()?;
+        loop {
+            match self.phase {
+                Phase::Done => return Ok(None),
+                Phase::BuildUnmatched(ref mut i) => {
+                    while *i < self.build_rows.len() {
+                        let idx = *i;
+                        *i += 1;
+                        if !self.build_matched[idx] {
+                            return Ok(Some(
+                                self.build_rows[idx].nulls_concat(self.left_width),
+                            ));
+                        }
+                    }
+                    self.phase = Phase::Done;
+                }
+                Phase::Probe => {
+                    if self.cur_left.is_none() {
+                        match self.left.next()? {
+                            Some(l) => {
+                                let key: Vec<Value> = self
+                                    .keys
+                                    .iter()
+                                    .map(|&(lk, _)| l[lk].clone())
+                                    .collect();
+                                self.cur_cands = if key.iter().any(Value::is_null) {
+                                    Vec::new()
+                                } else {
+                                    self.table.get(&key).cloned().unwrap_or_default()
+                                };
+                                self.cand_pos = 0;
+                                self.cur_left_matched = false;
+                                self.cur_left = Some(l);
+                            }
+                            None => {
+                                self.phase = if self.join_type.emits_right_unmatched() {
+                                    Phase::BuildUnmatched(0)
+                                } else {
+                                    Phase::Done
+                                };
+                                continue;
+                            }
+                        }
+                    }
+                    let left_row = self.cur_left.as_ref().expect("set above").clone();
+                    let mut anti_matched = false;
+                    while self.cand_pos < self.cur_cands.len() {
+                        let idx = self.cur_cands[self.cand_pos];
+                        self.cand_pos += 1;
+                        let combined = left_row.concat(&self.build_rows[idx]);
+                        if self.residual_ok(&combined)? {
+                            self.cur_left_matched = true;
+                            self.build_matched[idx] = true;
+                            match self.join_type {
+                                JoinType::Inner
+                                | JoinType::Left
+                                | JoinType::Right
+                                | JoinType::Full => return Ok(Some(combined)),
+                                JoinType::Semi => {
+                                    self.cur_left = None;
+                                    return Ok(Some(left_row));
+                                }
+                                JoinType::Anti => {
+                                    anti_matched = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    let matched = self.cur_left_matched || anti_matched;
+                    self.cur_left = None;
+                    if !matched {
+                        match self.join_type {
+                            JoinType::Left | JoinType::Full => {
+                                return Ok(Some(left_row.concat_nulls(self.right_width)))
+                            }
+                            JoinType::Anti => return Ok(Some(left_row)),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_util::int2_rel;
+    use crate::exec::{collect, NestedLoopJoinExec, SeqScanExec};
+    use crate::expr::col;
+    use crate::relation::Relation;
+    use crate::schema::{Column, DataType};
+
+    fn scan(vals: &[(i64, i64)]) -> BoxedExec {
+        Box::new(SeqScanExec::new(
+            int2_rel(("k", "v"), vals).into_shared(),
+        ))
+    }
+
+    fn run_hash(
+        l: &[(i64, i64)],
+        r: &[(i64, i64)],
+        jt: JoinType,
+        residual: Option<Expr>,
+    ) -> Relation {
+        let node = HashJoinExec::new(scan(l), scan(r), vec![(0, 0)], residual, jt);
+        collect(Box::new(node)).unwrap()
+    }
+
+    /// Same join via nested loop, as the semantics oracle.
+    fn run_nl(
+        l: &[(i64, i64)],
+        r: &[(i64, i64)],
+        jt: JoinType,
+        residual: Option<Expr>,
+    ) -> Relation {
+        let cond = match residual {
+            None => col(0).eq(col(2)),
+            Some(res) => col(0).eq(col(2)).and(res),
+        };
+        let node = NestedLoopJoinExec::new(scan(l), scan(r), jt, Some(cond));
+        collect(Box::new(node)).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_nested_loop_on_all_join_types() {
+        let l = [(1, 10), (2, 20), (2, 21), (4, 40)];
+        let r = [(2, 200), (2, 201), (3, 300)];
+        for jt in [
+            JoinType::Inner,
+            JoinType::Left,
+            JoinType::Right,
+            JoinType::Full,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            let h = run_hash(&l, &r, jt, None);
+            let n = run_nl(&l, &r, jt, None);
+            assert!(h.same_bag(&n), "join type {jt:?}: {h} vs {n}");
+        }
+    }
+
+    #[test]
+    fn residual_predicate_applies() {
+        let l = [(2, 20), (2, 25)];
+        let r = [(2, 22), (2, 24)];
+        // residual: l.v < r.v
+        let residual = Some(col(1).lt(col(3)));
+        for jt in [JoinType::Inner, JoinType::Left, JoinType::Full, JoinType::Anti] {
+            let h = run_hash(&l, &r, jt, residual.clone());
+            let n = run_nl(&l, &r, jt, residual.clone());
+            assert!(h.same_bag(&n), "join type {jt:?}");
+        }
+    }
+
+    #[test]
+    fn null_keys_never_match_but_surface_in_outer() {
+        let l_rel = Relation::from_values(
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Int),
+            ]),
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Int(2), Value::Int(2)],
+            ],
+        )
+        .unwrap()
+        .into_shared();
+        let r_rel = Relation::from_values(
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("w", DataType::Int),
+            ]),
+            vec![
+                vec![Value::Null, Value::Int(9)],
+                vec![Value::Int(2), Value::Int(8)],
+            ],
+        )
+        .unwrap()
+        .into_shared();
+        let node = HashJoinExec::new(
+            Box::new(SeqScanExec::new(l_rel)),
+            Box::new(SeqScanExec::new(r_rel)),
+            vec![(0, 0)],
+            None,
+            JoinType::Full,
+        );
+        let out = collect(Box::new(node)).unwrap();
+        // matched (2,2,2,8); unmatched left (ω,1,ω,ω); unmatched right (ω,ω,ω,9)
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert_eq!(run_hash(&[], &[(1, 1)], JoinType::Full, None).len(), 1);
+        assert_eq!(run_hash(&[(1, 1)], &[], JoinType::Full, None).len(), 1);
+        assert_eq!(run_hash(&[], &[], JoinType::Full, None).len(), 0);
+        assert_eq!(run_hash(&[(1, 1)], &[], JoinType::Anti, None).len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! LIMIT: stop after `n` rows.
+
+use crate::error::EngineResult;
+use crate::exec::{BoxedExec, ExecNode};
+use crate::schema::Schema;
+use crate::tuple::Row;
+
+/// Emits at most `n` input rows.
+pub struct LimitExec {
+    input: BoxedExec,
+    remaining: usize,
+}
+
+impl LimitExec {
+    pub fn new(input: BoxedExec, n: usize) -> Self {
+        LimitExec {
+            input,
+            remaining: n,
+        }
+    }
+}
+
+impl ExecNode for LimitExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> EngineResult<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(r) => {
+                self.remaining -= 1;
+                Ok(Some(r))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_util::int_rel;
+    use crate::exec::{collect, SeqScanExec};
+
+    #[test]
+    fn caps_output() {
+        let scan = Box::new(SeqScanExec::new(int_rel("a", &[1, 2, 3]).into_shared()));
+        let out = collect(Box::new(LimitExec::new(scan, 2))).unwrap();
+        assert_eq!(out.len(), 2);
+        let scan = Box::new(SeqScanExec::new(int_rel("a", &[1]).into_shared()));
+        let out = collect(Box::new(LimitExec::new(scan, 5))).unwrap();
+        assert_eq!(out.len(), 1);
+        let scan = Box::new(SeqScanExec::new(int_rel("a", &[1]).into_shared()));
+        let out = collect(Box::new(LimitExec::new(scan, 0))).unwrap();
+        assert_eq!(out.len(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Volcano-style pipelined executor.
+//!
+//! Every physical operator implements [`ExecNode`]: `next()` returns one row
+//! at a time until `None`. This mirrors the PostgreSQL executor the paper
+//! extends — their `ExecAdjustment` (Fig. 10) "is integrated into the
+//! pipelining architecture of PostgreSQL and on each invocation either a
+//! single result tuple is returned, or ω". The temporal crate's adjustment
+//! node implements this same trait.
+
+mod aggregate;
+mod distinct;
+mod filter;
+mod hash_join;
+mod interval_join;
+mod limit;
+mod merge_join;
+mod nl_join;
+mod project;
+mod scan;
+mod setops;
+mod sort;
+mod values;
+
+pub use aggregate::{aggregate_rows, HashAggregateExec};
+pub use distinct::DistinctExec;
+pub use filter::FilterExec;
+pub use hash_join::HashJoinExec;
+pub use interval_join::IntervalJoinExec;
+pub use limit::LimitExec;
+pub use merge_join::MergeJoinExec;
+pub use nl_join::NestedLoopJoinExec;
+pub use project::ProjectExec;
+pub use scan::SeqScanExec;
+pub use setops::HashSetOpExec;
+pub use sort::{sort_rows, SortExec};
+pub use values::ValuesExec;
+
+use crate::error::EngineResult;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Row;
+
+/// A pipelined executor node.
+pub trait ExecNode {
+    /// The output schema.
+    fn schema(&self) -> &Schema;
+
+    /// Produce the next output row, or `None` when exhausted.
+    fn next(&mut self) -> EngineResult<Option<Row>>;
+}
+
+/// Owned, type-erased executor node.
+pub type BoxedExec = Box<dyn ExecNode>;
+
+/// Drain a node into a materialized [`Relation`].
+pub fn collect(mut node: BoxedExec) -> EngineResult<Relation> {
+    let schema = node.schema().clone();
+    let mut rows = Vec::new();
+    while let Some(row) = node.next()? {
+        rows.push(row);
+    }
+    Relation::new(schema, rows)
+}
+
+/// Drain a node into a row vector (schema discarded).
+pub fn collect_rows(node: &mut dyn ExecNode) -> EngineResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    while let Some(row) = node.next()? {
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+
+    /// Build a one-column Int relation for executor tests.
+    pub fn int_rel(name: &str, vals: &[i64]) -> Relation {
+        Relation::from_values(
+            Schema::new(vec![Column::new(name, DataType::Int)]),
+            vals.iter().map(|&v| vec![Value::Int(v)]).collect(),
+        )
+        .unwrap()
+    }
+
+    /// Build a two-column (Int, Int) relation.
+    pub fn int2_rel(names: (&str, &str), vals: &[(i64, i64)]) -> Relation {
+        Relation::from_values(
+            Schema::new(vec![
+                Column::new(names.0, DataType::Int),
+                Column::new(names.1, DataType::Int),
+            ]),
+            vals.iter()
+                .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    pub fn rows_of(rel: &Relation) -> Vec<Vec<Value>> {
+        rel.rows().iter().map(|r| r.to_vec()).collect()
+    }
+}

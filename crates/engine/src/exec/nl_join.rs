@@ -1,0 +1,300 @@
+//! Nested-loop join: the fallback algorithm for arbitrary θ conditions.
+//!
+//! Supports all join types, including the semi/anti joins that SQL
+//! `EXISTS` / `NOT EXISTS` compile to. On non-equi conditions this is the
+//! only applicable algorithm — which is exactly why the paper's `sql`
+//! baseline degenerates on the `Ddisj`/`Drand` workloads (Sec. 7.4).
+
+use crate::error::EngineResult;
+use crate::exec::{BoxedExec, ExecNode};
+use crate::expr::Expr;
+use crate::plan::JoinType;
+use crate::schema::Schema;
+use crate::tuple::Row;
+
+enum Phase {
+    Probe,
+    RightUnmatched(usize),
+    Done,
+}
+
+/// Nested-loop join; materializes the right (inner) side.
+pub struct NestedLoopJoinExec {
+    left: BoxedExec,
+    right: Option<BoxedExec>,
+    right_rows: Vec<Row>,
+    right_matched: Vec<bool>,
+    right_width: usize,
+    join_type: JoinType,
+    condition: Option<Expr>,
+    schema: Schema,
+    cur_left: Option<Row>,
+    right_pos: usize,
+    cur_left_matched: bool,
+    phase: Phase,
+}
+
+impl NestedLoopJoinExec {
+    pub fn new(
+        left: BoxedExec,
+        right: BoxedExec,
+        join_type: JoinType,
+        condition: Option<Expr>,
+    ) -> Self {
+        let right_width = right.schema().len();
+        let schema = if join_type.emits_right() {
+            left.schema().concat(right.schema())
+        } else {
+            left.schema().clone()
+        };
+        NestedLoopJoinExec {
+            left,
+            right: Some(right),
+            right_rows: Vec::new(),
+            right_matched: Vec::new(),
+            right_width,
+            join_type,
+            condition,
+            schema,
+            cur_left: None,
+            right_pos: 0,
+            cur_left_matched: false,
+            phase: Phase::Probe,
+        }
+    }
+
+    fn materialize_right(&mut self) -> EngineResult<()> {
+        if let Some(mut right) = self.right.take() {
+            while let Some(r) = right.next()? {
+                self.right_rows.push(r);
+            }
+            self.right_matched = vec![false; self.right_rows.len()];
+        }
+        Ok(())
+    }
+
+    fn pred(&self, combined: &Row) -> EngineResult<bool> {
+        match &self.condition {
+            None => Ok(true),
+            Some(c) => c.eval_pred(combined.values()),
+        }
+    }
+}
+
+impl ExecNode for NestedLoopJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> EngineResult<Option<Row>> {
+        self.materialize_right()?;
+        loop {
+            match self.phase {
+                Phase::Done => return Ok(None),
+                Phase::RightUnmatched(ref mut i) => {
+                    while *i < self.right_rows.len() {
+                        let idx = *i;
+                        *i += 1;
+                        if !self.right_matched[idx] {
+                            let left_width = self.schema.len() - self.right_width;
+                            return Ok(Some(self.right_rows[idx].nulls_concat(left_width)));
+                        }
+                    }
+                    self.phase = Phase::Done;
+                }
+                Phase::Probe => {
+                    if self.cur_left.is_none() {
+                        match self.left.next()? {
+                            Some(l) => {
+                                self.cur_left = Some(l);
+                                self.right_pos = 0;
+                                self.cur_left_matched = false;
+                            }
+                            None => {
+                                self.phase = if self.join_type.emits_right_unmatched() {
+                                    Phase::RightUnmatched(0)
+                                } else {
+                                    Phase::Done
+                                };
+                                continue;
+                            }
+                        }
+                    }
+                    let left_row = self.cur_left.as_ref().expect("set above").clone();
+                    while self.right_pos < self.right_rows.len() {
+                        let i = self.right_pos;
+                        self.right_pos += 1;
+                        let combined = left_row.concat(&self.right_rows[i]);
+                        if self.pred(&combined)? {
+                            self.cur_left_matched = true;
+                            self.right_matched[i] = true;
+                            match self.join_type {
+                                JoinType::Inner
+                                | JoinType::Left
+                                | JoinType::Right
+                                | JoinType::Full => return Ok(Some(combined)),
+                                JoinType::Semi => {
+                                    self.cur_left = None;
+                                    return Ok(Some(left_row));
+                                }
+                                JoinType::Anti => break,
+                            }
+                        }
+                    }
+                    // Right side exhausted (or anti-match) for this left row.
+                    let matched = self.cur_left_matched;
+                    self.cur_left = None;
+                    if !matched {
+                        match self.join_type {
+                            JoinType::Left | JoinType::Full => {
+                                return Ok(Some(left_row.concat_nulls(self.right_width)))
+                            }
+                            JoinType::Anti => return Ok(Some(left_row)),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_util::int2_rel;
+    use crate::exec::{collect, SeqScanExec};
+    use crate::expr::col;
+    use crate::value::Value;
+
+    fn scan(vals: &[(i64, i64)]) -> BoxedExec {
+        Box::new(SeqScanExec::new(
+            int2_rel(("k", "v"), vals).into_shared(),
+        ))
+    }
+
+    fn join(
+        l: &[(i64, i64)],
+        r: &[(i64, i64)],
+        jt: JoinType,
+        cond: Option<Expr>,
+    ) -> Vec<Vec<Value>> {
+        let node = NestedLoopJoinExec::new(scan(l), scan(r), jt, cond);
+        collect(Box::new(node))
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| r.to_vec())
+            .collect()
+    }
+
+    // condition: l.k = r.k  (left width 2)
+    fn keq() -> Option<Expr> {
+        Some(col(0).eq(col(2)))
+    }
+
+    #[test]
+    fn inner_join() {
+        let out = join(&[(1, 10), (2, 20)], &[(2, 200), (3, 300)], JoinType::Inner, keq());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Value::Int(2));
+        assert_eq!(out[0][3], Value::Int(200));
+    }
+
+    #[test]
+    fn cross_product_with_none_condition() {
+        let out = join(&[(1, 1), (2, 2)], &[(3, 3), (4, 4), (5, 5)], JoinType::Inner, None);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn left_outer_pads_nulls() {
+        let out = join(&[(1, 10), (2, 20)], &[(2, 200)], JoinType::Left, keq());
+        assert_eq!(out.len(), 2);
+        let unmatched = out.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert!(unmatched[2].is_null() && unmatched[3].is_null());
+    }
+
+    #[test]
+    fn right_outer_pads_left() {
+        let out = join(&[(2, 20)], &[(2, 200), (3, 300)], JoinType::Right, keq());
+        assert_eq!(out.len(), 2);
+        let unmatched = out.iter().find(|r| r[3] == Value::Int(300)).unwrap();
+        assert!(unmatched[0].is_null() && unmatched[1].is_null());
+    }
+
+    #[test]
+    fn full_outer_pads_both() {
+        let out = join(&[(1, 10), (2, 20)], &[(2, 200), (3, 300)], JoinType::Full, keq());
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn semi_join_emits_left_once() {
+        let out = join(
+            &[(1, 10), (2, 20)],
+            &[(2, 200), (2, 201)],
+            JoinType::Semi,
+            keq(),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], vec![Value::Int(2), Value::Int(20)]);
+    }
+
+    #[test]
+    fn anti_join_emits_non_matching_left() {
+        let out = join(
+            &[(1, 10), (2, 20)],
+            &[(2, 200), (2, 201)],
+            JoinType::Anti,
+            keq(),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], vec![Value::Int(1), Value::Int(10)]);
+    }
+
+    #[test]
+    fn anti_join_with_empty_right_emits_all() {
+        let out = join(&[(1, 10), (2, 20)], &[], JoinType::Anti, keq());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn theta_join_non_equi() {
+        // l.v < r.v
+        let cond = Some(col(1).lt(col(3)));
+        let out = join(&[(0, 5), (0, 25)], &[(0, 10), (0, 20)], JoinType::Inner, cond);
+        assert_eq!(out.len(), 2); // 5<10, 5<20
+    }
+
+    #[test]
+    fn null_condition_never_matches() {
+        // l.k = r.k where right k is NULL
+        use crate::relation::Relation;
+        use crate::schema::{Column, DataType, Schema};
+        let left = scan(&[(1, 10)]);
+        let right_rel = Relation::from_values(
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Int),
+            ]),
+            vec![vec![Value::Null, Value::Int(9)]],
+        )
+        .unwrap()
+        .into_shared();
+        let right = Box::new(SeqScanExec::new(right_rel));
+        let node = NestedLoopJoinExec::new(left, right, JoinType::Left, keq());
+        let out = collect(Box::new(node)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.rows()[0][2].is_null());
+    }
+
+    #[test]
+    fn limit_interplay_streams() {
+        // Probe must be incremental: first row available without draining.
+        let mut node =
+            NestedLoopJoinExec::new(scan(&[(1, 1), (2, 2)]), scan(&[(1, 1)]), JoinType::Left, keq());
+        let first = node.next().unwrap().unwrap();
+        assert_eq!(first[0], Value::Int(1));
+    }
+}

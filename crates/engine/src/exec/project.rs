@@ -1,0 +1,75 @@
+//! Projection π: compute output expressions per row.
+//!
+//! Duplicate elimination (set semantics) is a separate node
+//! ([`crate::exec::DistinctExec`]), as in standard engines.
+
+use crate::error::EngineResult;
+use crate::exec::{BoxedExec, ExecNode};
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::tuple::Row;
+use crate::value::Value;
+
+/// Evaluates a list of expressions against each input row.
+pub struct ProjectExec {
+    input: BoxedExec,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl ProjectExec {
+    pub fn new(input: BoxedExec, exprs: Vec<Expr>, schema: Schema) -> Self {
+        debug_assert_eq!(exprs.len(), schema.len());
+        ProjectExec {
+            input,
+            exprs,
+            schema,
+        }
+    }
+}
+
+impl ExecNode for ProjectExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> EngineResult<Option<Row>> {
+        match self.input.next()? {
+            Some(row) => {
+                let mut out: Vec<Value> = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(e.eval(row.values())?);
+                }
+                Ok(Some(Row::new(out)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_util::int2_rel;
+    use crate::exec::{collect, SeqScanExec};
+    use crate::expr::col;
+    use crate::schema::{Column, DataType};
+
+    #[test]
+    fn projects_expressions() {
+        let rel = int2_rel(("a", "b"), &[(1, 10), (2, 20)]).into_shared();
+        let scan = Box::new(SeqScanExec::new(rel));
+        let schema = Schema::new(vec![
+            Column::new("b", DataType::Int),
+            Column::new("sum", DataType::Int),
+        ]);
+        let proj = Box::new(ProjectExec::new(
+            scan,
+            vec![col(1), col(0).add(col(1))],
+            schema,
+        ));
+        let out = collect(proj).unwrap();
+        assert_eq!(out.rows()[0].to_vec(), vec![Value::Int(10), Value::Int(11)]);
+        assert_eq!(out.rows()[1].to_vec(), vec![Value::Int(20), Value::Int(22)]);
+    }
+}

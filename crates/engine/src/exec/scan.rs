@@ -1,0 +1,60 @@
+//! Sequential scan over a materialized relation.
+
+use std::sync::Arc;
+
+use crate::error::EngineResult;
+use crate::exec::ExecNode;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Row;
+
+/// Scans an `Arc<Relation>`; row clones are `Arc` bumps, not deep copies.
+pub struct SeqScanExec {
+    rel: Arc<Relation>,
+    pos: usize,
+}
+
+impl SeqScanExec {
+    pub fn new(rel: Arc<Relation>) -> Self {
+        SeqScanExec { rel, pos: 0 }
+    }
+}
+
+impl ExecNode for SeqScanExec {
+    fn schema(&self) -> &Schema {
+        self.rel.schema()
+    }
+
+    fn next(&mut self) -> EngineResult<Option<Row>> {
+        match self.rel.rows().get(self.pos) {
+            Some(row) => {
+                self.pos += 1;
+                Ok(Some(row.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_util::int_rel;
+    use crate::exec::{collect, BoxedExec};
+
+    #[test]
+    fn scans_all_rows_in_order() {
+        let rel = int_rel("a", &[3, 1, 2]).into_shared();
+        let scan: BoxedExec = Box::new(SeqScanExec::new(rel.clone()));
+        let out = collect(scan).unwrap();
+        assert_eq!(out.rows(), rel.rows());
+    }
+
+    #[test]
+    fn empty_scan() {
+        let rel = int_rel("a", &[]).into_shared();
+        let mut scan = SeqScanExec::new(rel);
+        assert!(scan.next().unwrap().is_none());
+        assert!(scan.next().unwrap().is_none());
+    }
+}

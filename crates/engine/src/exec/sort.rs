@@ -1,0 +1,158 @@
+//! Sort: materialize the input and emit in key order.
+//!
+//! The temporal adjustment pipeline (paper Figs. 8/9) sorts the
+//! group-construction join output by (group identity, intersection
+//! timestamps); this node provides that ordering.
+
+use std::cmp::Ordering;
+
+use crate::error::EngineResult;
+use crate::exec::{BoxedExec, ExecNode};
+use crate::expr::SortKey;
+use crate::schema::Schema;
+use crate::tuple::Row;
+use crate::value::Value;
+
+/// Compare two evaluated key vectors under the given sort keys.
+fn cmp_keys(keys: &[SortKey], a: &[Value], b: &[Value]) -> Ordering {
+    for (i, k) in keys.iter().enumerate() {
+        let (va, vb) = (&a[i], &b[i]);
+        let ord = match (va.is_null(), vb.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => {
+                if k.nulls_first {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, true) => {
+                if k.nulls_first {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, false) => {
+                let o = va.cmp(vb);
+                if k.desc {
+                    o.reverse()
+                } else {
+                    o
+                }
+            }
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sort a row vector in place by `keys` (decorate–sort–undecorate).
+pub fn sort_rows(rows: &mut Vec<Row>, keys: &[SortKey]) -> EngineResult<()> {
+    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows.drain(..) {
+        let mut kv = Vec::with_capacity(keys.len());
+        for k in keys {
+            kv.push(k.expr.eval(row.values())?);
+        }
+        decorated.push((kv, row));
+    }
+    decorated.sort_by(|(ka, ra), (kb, rb)| cmp_keys(keys, ka, kb).then_with(|| ra.cmp(rb)));
+    rows.extend(decorated.into_iter().map(|(_, r)| r));
+    Ok(())
+}
+
+/// Materializing sort node.
+pub struct SortExec {
+    input: BoxedExec,
+    keys: Vec<SortKey>,
+    sorted: Option<std::vec::IntoIter<Row>>,
+}
+
+impl SortExec {
+    pub fn new(input: BoxedExec, keys: Vec<SortKey>) -> Self {
+        SortExec {
+            input,
+            keys,
+            sorted: None,
+        }
+    }
+}
+
+impl ExecNode for SortExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> EngineResult<Option<Row>> {
+        if self.sorted.is_none() {
+            let mut rows = Vec::new();
+            while let Some(r) = self.input.next()? {
+                rows.push(r);
+            }
+            sort_rows(&mut rows, &self.keys)?;
+            self.sorted = Some(rows.into_iter());
+        }
+        Ok(self.sorted.as_mut().expect("initialized").next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_util::int2_rel;
+    use crate::exec::{collect, SeqScanExec};
+    use crate::expr::col;
+    use crate::relation::Relation;
+    use crate::schema::{Column, DataType};
+
+    #[test]
+    fn multi_key_sort_asc_desc() {
+        let rel = int2_rel(("a", "b"), &[(2, 1), (1, 2), (1, 9), (2, 5)]).into_shared();
+        let scan = Box::new(SeqScanExec::new(rel));
+        let sort = Box::new(SortExec::new(
+            scan,
+            vec![SortKey::asc(col(0)), SortKey::desc(col(1))],
+        ));
+        let out = collect(sort).unwrap();
+        let vals: Vec<(i64, i64)> = out
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![(1, 9), (1, 2), (2, 5), (2, 1)]);
+    }
+
+    #[test]
+    fn nulls_ordering() {
+        let rel = Relation::from_values(
+            Schema::new(vec![Column::new("a", DataType::Int)]),
+            vec![vec![Value::Int(2)], vec![Value::Null], vec![Value::Int(1)]],
+        )
+        .unwrap()
+        .into_shared();
+        let scan = Box::new(SeqScanExec::new(rel.clone()));
+        let sort = Box::new(SortExec::new(scan, vec![SortKey::asc(col(0))]));
+        let out = collect(sort).unwrap();
+        assert!(out.rows()[0][0].is_null());
+        // NULLS LAST on desc by default:
+        let scan = Box::new(SeqScanExec::new(rel));
+        let sort = Box::new(SortExec::new(scan, vec![SortKey::desc(col(0))]));
+        let out = collect(sort).unwrap();
+        assert!(out.rows()[2][0].is_null());
+        assert_eq!(out.rows()[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn sort_is_deterministic_via_row_tiebreak() {
+        let rel = int2_rel(("a", "b"), &[(1, 5), (1, 3), (1, 4)]).into_shared();
+        let scan = Box::new(SeqScanExec::new(rel));
+        // Sorting only by column a — ties broken by full row order.
+        let sort = Box::new(SortExec::new(scan, vec![SortKey::asc(col(0))]));
+        let out = collect(sort).unwrap();
+        let b: Vec<i64> = out.rows().iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(b, vec![3, 4, 5]);
+    }
+}

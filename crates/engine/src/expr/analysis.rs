@@ -1,0 +1,207 @@
+//! Join-condition analysis: split a θ condition into hashable/mergeable
+//! equi-key pairs and a residual predicate.
+//!
+//! This is what lets the planner choose hash or merge joins for reduced
+//! temporal queries: the reduction rules of the paper conjoin
+//! `r.T = s.T` (i.e. `ts = ts AND te = te`) to θ, so *every* reduced join
+//! has at least two equi-key pairs (paper Sec. 7.4: "the equality condition
+//! … allows the database system to choose a fast nontemporal hash or merge
+//! join").
+
+use crate::expr::{CmpOp, Expr};
+
+/// The decomposition of a join condition over `left ++ right` rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinConditionParts {
+    /// Pairs `(l, r)` of column indices with `left[l] = right[r]`
+    /// (`r` is relative to the right row, i.e. already shifted back).
+    pub equi_keys: Vec<(usize, usize)>,
+    /// Conjuncts that are not simple column equalities, still expressed in
+    /// concatenated coordinates.
+    pub residual: Option<Expr>,
+}
+
+/// Split `condition` (over the concatenation of a `left_width`-wide left row
+/// and a right row) into equi-key pairs and a residual predicate.
+///
+/// Only top-level conjuncts of the shape `Col(i) = Col(j)` with `i`, `j` on
+/// opposite sides become keys; everything else stays in the residual.
+pub fn split_join_condition(
+    condition: Option<&Expr>,
+    left_width: usize,
+) -> JoinConditionParts {
+    let mut equi_keys = Vec::new();
+    let mut residual = Vec::new();
+    if let Some(cond) = condition {
+        for c in cond.conjuncts() {
+            match c {
+                Expr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(i), Expr::Col(j)) if *i < left_width && *j >= left_width => {
+                        equi_keys.push((*i, *j - left_width));
+                    }
+                    (Expr::Col(i), Expr::Col(j)) if *j < left_width && *i >= left_width => {
+                        equi_keys.push((*j, *i - left_width));
+                    }
+                    _ => residual.push(c.clone()),
+                },
+                other => residual.push(other.clone()),
+            }
+        }
+    }
+    JoinConditionParts {
+        equi_keys,
+        residual: Expr::and_all(residual),
+    }
+}
+
+/// An interval-overlap pattern extracted from a join condition:
+/// `left[l_ts] < right[r_te] ∧ right[r_ts] < left[l_te]` (column indices
+/// relative to each side's own row), plus the remaining conjuncts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapPattern {
+    pub l_ts: usize,
+    pub l_te: usize,
+    pub r_ts: usize,
+    pub r_te: usize,
+    /// All other conjuncts, in concatenated coordinates.
+    pub residual: Option<Expr>,
+}
+
+/// Detect the overlap pattern in a condition over `left ++ right` rows —
+/// the shape produced by the temporal primitives' group-construction join
+/// and by the `sql` baseline. Returns `None` unless exactly one
+/// `l.? < r.?` and one `r.? < l.?` strict comparison exist among the
+/// top-level conjuncts.
+pub fn detect_overlap_pattern(
+    condition: Option<&Expr>,
+    left_width: usize,
+) -> Option<OverlapPattern> {
+    let cond = condition?;
+    let mut l_starts: Vec<(usize, usize)> = Vec::new(); // (l_col, r_col): l < r
+    let mut r_starts: Vec<(usize, usize)> = Vec::new(); // (r_col, l_col): r < l
+    let mut residual: Vec<Expr> = Vec::new();
+    for c in cond.conjuncts() {
+        match c {
+            Expr::Cmp(CmpOp::Lt, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), Expr::Col(j)) if *i < left_width && *j >= left_width => {
+                    l_starts.push((*i, *j - left_width));
+                }
+                (Expr::Col(i), Expr::Col(j)) if *i >= left_width && *j < left_width => {
+                    r_starts.push((*i - left_width, *j));
+                }
+                _ => residual.push(c.clone()),
+            },
+            Expr::Cmp(CmpOp::Gt, a, b) => match (a.as_ref(), b.as_ref()) {
+                // x > y ≡ y < x
+                (Expr::Col(i), Expr::Col(j)) if *j < left_width && *i >= left_width => {
+                    l_starts.push((*j, *i - left_width));
+                }
+                (Expr::Col(i), Expr::Col(j)) if *j >= left_width && *i < left_width => {
+                    r_starts.push((*j - left_width, *i));
+                }
+                _ => residual.push(c.clone()),
+            },
+            other => residual.push(other.clone()),
+        }
+    }
+    if l_starts.len() != 1 || r_starts.len() != 1 {
+        return None;
+    }
+    let (l_ts, r_te) = l_starts[0];
+    let (r_ts, l_te) = r_starts[0];
+    Some(OverlapPattern {
+        l_ts,
+        l_te,
+        r_ts,
+        r_te,
+        residual: Expr::and_all(residual),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    #[test]
+    fn detects_overlap_pattern() {
+        // left = (k, ts, te) width 3; right = (k, ts, te):
+        // l.ts < r.te ∧ r.ts < l.te ∧ l.k = r.k
+        let cond = col(1)
+            .lt(col(5))
+            .and(col(4).lt(col(2)))
+            .and(col(0).eq(col(3)));
+        let p = detect_overlap_pattern(Some(&cond), 3).unwrap();
+        assert_eq!((p.l_ts, p.l_te, p.r_ts, p.r_te), (1, 2, 1, 2));
+        assert_eq!(p.residual.unwrap(), col(0).eq(col(3)));
+    }
+
+    #[test]
+    fn detects_overlap_written_with_gt() {
+        // r.te > l.ts ∧ l.te > r.ts
+        let cond = col(5).gt(col(1)).and(col(2).gt(col(4)));
+        let p = detect_overlap_pattern(Some(&cond), 3).unwrap();
+        assert_eq!((p.l_ts, p.l_te, p.r_ts, p.r_te), (1, 2, 1, 2));
+        assert!(p.residual.is_none());
+    }
+
+    #[test]
+    fn rejects_ambiguous_or_missing_patterns() {
+        // two l<r comparisons
+        let cond = col(1).lt(col(5)).and(col(0).lt(col(4)));
+        assert!(detect_overlap_pattern(Some(&cond), 3).is_none());
+        // only one side
+        let cond = col(1).lt(col(5));
+        assert!(detect_overlap_pattern(Some(&cond), 3).is_none());
+        assert!(detect_overlap_pattern(None, 3).is_none());
+    }
+
+    #[test]
+    fn extracts_equi_pairs_both_directions() {
+        // left width 3: cols 0..3 left, 3.. right
+        let cond = col(0)
+            .eq(col(4))
+            .and(col(5).eq(col(2)))
+            .and(col(1).lt(col(3)));
+        let parts = split_join_condition(Some(&cond), 3);
+        assert_eq!(parts.equi_keys, vec![(0, 1), (2, 2)]);
+        let residual = parts.residual.unwrap();
+        assert_eq!(residual, col(1).lt(col(3)));
+    }
+
+    #[test]
+    fn same_side_equality_is_residual() {
+        let cond = col(0).eq(col(1)); // both on the left
+        let parts = split_join_condition(Some(&cond), 3);
+        assert!(parts.equi_keys.is_empty());
+        assert!(parts.residual.is_some());
+    }
+
+    #[test]
+    fn literal_equality_is_residual() {
+        let cond = col(0).eq(lit(5i64)).and(col(0).eq(col(3)));
+        let parts = split_join_condition(Some(&cond), 2);
+        assert_eq!(parts.equi_keys, vec![(0, 1)]);
+        assert_eq!(parts.residual.unwrap(), col(0).eq(lit(5i64)));
+    }
+
+    #[test]
+    fn none_condition_yields_empty_parts() {
+        let parts = split_join_condition(None, 2);
+        assert!(parts.equi_keys.is_empty());
+        assert!(parts.residual.is_none());
+    }
+
+    #[test]
+    fn temporal_reduction_shape_has_two_keys() {
+        // A reduced join condition: pcn = pcn AND ts = ts AND te = te,
+        // where left row is (pcn, ts, te) and right row is (pcn, ts, te).
+        let cond = col(0)
+            .eq(col(3))
+            .and(col(1).eq(col(4)))
+            .and(col(2).eq(col(5)));
+        let parts = split_join_condition(Some(&cond), 3);
+        assert_eq!(parts.equi_keys.len(), 3);
+        assert!(parts.residual.is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Constant folding for expressions.
+//!
+//! The planner folds literal-only subexpressions before costing plans, so
+//! conditions like `1 = 1` (the SQL way of writing θ = true, as in the
+//! paper's O1 query) or `DUR(0, 5) BETWEEN 1 AND 7` don't survive into
+//! per-tuple evaluation. Folding is conservative: anything that errors at
+//! fold time (overflow, type errors) is left untouched so the error
+//! surfaces — or doesn't — at execution time exactly as unfolded.
+
+use crate::expr::Expr;
+use crate::value::Value;
+
+/// Is this expression a literal?
+fn as_lit(e: &Expr) -> Option<&Value> {
+    match e {
+        Expr::Lit(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// Fold constant subexpressions bottom-up. Idempotent.
+pub fn fold(e: &Expr) -> Expr {
+    let folded = match e {
+        Expr::Col(_) | Expr::Lit(_) => e.clone(),
+        Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(fold(a)), Box::new(fold(b))),
+        Expr::And(a, b) => {
+            let (fa, fb) = (fold(a), fold(b));
+            // Short-circuit simplifications (sound in three-valued logic:
+            // TRUE AND x = x, FALSE AND x = FALSE).
+            match (as_lit(&fa), as_lit(&fb)) {
+                (Some(Value::Bool(true)), _) => return fb,
+                (_, Some(Value::Bool(true))) => return fa,
+                (Some(Value::Bool(false)), _) | (_, Some(Value::Bool(false))) => {
+                    return Expr::Lit(Value::Bool(false))
+                }
+                _ => Expr::And(Box::new(fa), Box::new(fb)),
+            }
+        }
+        Expr::Or(a, b) => {
+            let (fa, fb) = (fold(a), fold(b));
+            match (as_lit(&fa), as_lit(&fb)) {
+                (Some(Value::Bool(false)), _) => return fb,
+                (_, Some(Value::Bool(false))) => return fa,
+                (Some(Value::Bool(true)), _) | (_, Some(Value::Bool(true))) => {
+                    return Expr::Lit(Value::Bool(true))
+                }
+                _ => Expr::Or(Box::new(fa), Box::new(fb)),
+            }
+        }
+        Expr::Not(a) => Expr::Not(Box::new(fold(a))),
+        Expr::Neg(a) => Expr::Neg(Box::new(fold(a))),
+        Expr::Arith(op, a, b) => Expr::Arith(*op, Box::new(fold(a)), Box::new(fold(b))),
+        Expr::Func(f, args) => Expr::Func(*f, args.iter().map(fold).collect()),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(fold(expr)),
+            low: Box::new(fold(low)),
+            high: Box::new(fold(high)),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(fold(expr)),
+            negated: *negated,
+        },
+    };
+    // If the whole (sub)tree is column-free, try evaluating it against an
+    // empty row; on success replace by the literal.
+    if folded.max_col().is_none() && !matches!(folded, Expr::Lit(_)) {
+        if let Ok(v) = folded.eval(&[]) {
+            return Expr::Lit(v);
+        }
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit, Func};
+
+    #[test]
+    fn folds_tautologies() {
+        // `1 = 1` — the paper's θ = true in SQL.
+        assert_eq!(fold(&lit(1i64).eq(lit(1i64))), lit(true));
+        assert_eq!(fold(&lit(1i64).eq(lit(2i64))), lit(false));
+    }
+
+    #[test]
+    fn and_or_short_circuit_with_columns() {
+        let e = lit(true).and(col(0).gt(lit(3i64)));
+        assert_eq!(fold(&e), col(0).gt(lit(3i64)));
+        let e = col(0).gt(lit(3i64)).and(lit(false));
+        assert_eq!(fold(&e), lit(false));
+        let e = lit(true).or(col(0).gt(lit(3i64)));
+        assert_eq!(fold(&e), lit(true));
+        let e = lit(false).or(col(0).gt(lit(3i64)));
+        assert_eq!(fold(&e), col(0).gt(lit(3i64)));
+    }
+
+    #[test]
+    fn folds_arithmetic_and_functions() {
+        let e = lit(2i64).add(lit(3i64)).mul(lit(4i64));
+        assert_eq!(fold(&e), lit(20i64));
+        let e = Expr::Func(Func::Dur, vec![lit(3i64), lit(10i64)]);
+        assert_eq!(fold(&e), lit(7i64));
+        let e = Expr::Func(Func::Dur, vec![lit(0i64), lit(5i64)])
+            .between(lit(1i64), lit(7i64));
+        assert_eq!(fold(&e), lit(true));
+    }
+
+    #[test]
+    fn leaves_column_expressions_alone() {
+        let e = col(0).add(lit(1i64)).eq(col(1));
+        assert_eq!(fold(&e), e);
+    }
+
+    #[test]
+    fn folds_inside_column_expressions() {
+        let e = col(0).eq(lit(1i64).add(lit(2i64)));
+        assert_eq!(fold(&e), col(0).eq(lit(3i64)));
+    }
+
+    #[test]
+    fn erroring_constants_are_left_for_execution() {
+        // integer overflow: must NOT be folded away or panic.
+        let e = lit(i64::MAX).add(lit(1i64));
+        assert_eq!(fold(&e), e);
+        // division by zero likewise
+        let e = lit(1i64).div(lit(0i64));
+        assert_eq!(fold(&e), e);
+    }
+
+    #[test]
+    fn folding_is_idempotent() {
+        let e = lit(true)
+            .and(col(0).lt(lit(5i64)))
+            .or(lit(2i64).eq(lit(3i64)));
+        let once = fold(&e);
+        assert_eq!(fold(&once), once);
+    }
+
+    #[test]
+    fn null_literals_fold_three_valued() {
+        let e = Expr::Lit(Value::Null).is_null();
+        assert_eq!(fold(&e), lit(true));
+        // NULL = NULL folds to the NULL literal (unknown), not true.
+        let e = Expr::Lit(Value::Null).eq(Expr::Lit(Value::Null));
+        assert_eq!(fold(&e), Expr::Lit(Value::Null));
+    }
+}

@@ -1,0 +1,403 @@
+//! The planner/optimizer: logical plan → physical plan.
+//!
+//! The centrepiece is join-method selection. As in PostgreSQL, every
+//! applicable algorithm is costed and the cheapest wins; disabled methods
+//! (`enable_nestloop` / `enable_hashjoin` / `enable_mergejoin`) receive the
+//! `DISABLE_COST` penalty instead of being removed, so a plan always
+//! exists. The paper's Fig. 13 experiment is a direct sweep over these
+//! switches.
+
+use crate::catalog::Catalog;
+use crate::error::{EngineError, EngineResult};
+use crate::expr::{col, detect_overlap_pattern, fold, split_join_condition, Expr, SortKey};
+use crate::plan::cost::{CostModel, DISABLE_COST};
+use crate::plan::{JoinType, LogicalPlan, PhysicalPlan};
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// Planner switches and cost constants (PostgreSQL GUC equivalents).
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    pub enable_nestloop: bool,
+    pub enable_hashjoin: bool,
+    pub enable_mergejoin: bool,
+    /// The sweep-based interval overlap join — the paper's future-work
+    /// extension (Sec. 8). Off by default so benchmarks reproduce the
+    /// paper's PostgreSQL behaviour; the ablation bench switches it on.
+    pub enable_intervaljoin: bool,
+    pub cost_model: CostModel,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            enable_nestloop: true,
+            enable_hashjoin: true,
+            enable_mergejoin: true,
+            enable_intervaljoin: false,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// The paper's setting (a): all join methods enabled.
+    pub fn all_enabled() -> Self {
+        PlannerConfig::default()
+    }
+
+    /// The paper's setting (b): `SET enable_mergejoin = false`.
+    pub fn no_merge() -> Self {
+        PlannerConfig {
+            enable_mergejoin: false,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's setting (c): merge and hash joins disabled.
+    pub fn nestloop_only() -> Self {
+        PlannerConfig {
+            enable_mergejoin: false,
+            enable_hashjoin: false,
+            ..Default::default()
+        }
+    }
+
+    /// Set a switch by its PostgreSQL GUC name.
+    pub fn set(&mut self, name: &str, value: bool) -> EngineResult<()> {
+        match name {
+            "enable_nestloop" => self.enable_nestloop = value,
+            "enable_hashjoin" => self.enable_hashjoin = value,
+            "enable_mergejoin" => self.enable_mergejoin = value,
+            "enable_intervaljoin" => self.enable_intervaljoin = value,
+            other => {
+                return Err(EngineError::Unsupported(format!(
+                    "unknown planner setting '{other}'"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Plans logical trees into executable physical trees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner {
+    pub config: PlannerConfig,
+}
+
+impl Planner {
+    pub fn new(config: PlannerConfig) -> Self {
+        Planner { config }
+    }
+
+    /// Plan a logical tree, resolving table scans against `catalog`.
+    pub fn plan(&self, lp: &LogicalPlan, catalog: &Catalog) -> EngineResult<PhysicalPlan> {
+        Ok(match lp {
+            LogicalPlan::TableScan { name, schema } => {
+                let rel = catalog.get(name)?;
+                if rel.schema().len() != schema.len() {
+                    return Err(EngineError::SchemaMismatch(format!(
+                        "table '{name}' has {} columns, plan expected {}",
+                        rel.schema().len(),
+                        schema.len()
+                    )));
+                }
+                PhysicalPlan::SeqScan {
+                    rel,
+                    label: name.clone(),
+                }
+            }
+            LogicalPlan::InlineScan { rel } => PhysicalPlan::SeqScan {
+                rel: rel.clone(),
+                label: "inline".to_string(),
+            },
+            LogicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+                input: Box::new(self.plan(input, catalog)?),
+                predicate: fold(predicate),
+            },
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => PhysicalPlan::Project {
+                input: Box::new(self.plan(input, catalog)?),
+                exprs: exprs.clone(),
+                schema: schema.clone(),
+            },
+            LogicalPlan::Aggregate {
+                input,
+                group,
+                aggs,
+                schema,
+            } => PhysicalPlan::HashAggregate {
+                input: Box::new(self.plan(input, catalog)?),
+                group: group.clone(),
+                aggs: aggs.clone(),
+                schema: schema.clone(),
+            },
+            LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+                input: Box::new(self.plan(input, catalog)?),
+                keys: keys.clone(),
+            },
+            LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+                input: Box::new(self.plan(input, catalog)?),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                condition,
+            } => {
+                let l = self.plan(left, catalog)?;
+                let r = self.plan(right, catalog)?;
+                // Fold constants; a condition folded to TRUE disappears
+                // (cross/overlap joins written as `… AND 1 = 1` in SQL).
+                let condition = match condition.as_ref().map(fold) {
+                    Some(Expr::Lit(Value::Bool(true))) => None,
+                    other => other,
+                };
+                self.plan_join(l, r, *join_type, condition)?
+            }
+            LogicalPlan::SetOp { kind, left, right } => PhysicalPlan::HashSetOp {
+                kind: *kind,
+                left: Box::new(self.plan(left, catalog)?),
+                right: Box::new(self.plan(right, catalog)?),
+            },
+            LogicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+                input: Box::new(self.plan(input, catalog)?),
+                n: *n,
+            },
+            LogicalPlan::Extension { node } => {
+                let mut children = Vec::new();
+                for i in node.inputs() {
+                    children.push(self.plan(i, catalog)?);
+                }
+                PhysicalPlan::Extension {
+                    node: node.clone(),
+                    children,
+                }
+            }
+        })
+    }
+
+    /// Plan and execute in one step.
+    pub fn run(&self, lp: &LogicalPlan, catalog: &Catalog) -> EngineResult<Relation> {
+        self.plan(lp, catalog)?.collect()
+    }
+
+    /// Cost-based join algorithm selection.
+    fn plan_join(
+        &self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        join_type: JoinType,
+        condition: Option<Expr>,
+    ) -> EngineResult<PhysicalPlan> {
+        let model = &self.config.cost_model;
+        let left_width = left.schema().len();
+        let parts = split_join_condition(condition.as_ref(), left_width);
+
+        let mut candidates: Vec<(f64, PhysicalPlan)> = Vec::new();
+
+        // Nested loop: always applicable.
+        {
+            let plan = PhysicalPlan::NestedLoopJoin {
+                left: Box::new(left.clone()),
+                right: Box::new(right.clone()),
+                join_type,
+                condition: condition.clone(),
+            };
+            let mut cost = plan.stats(model).cost;
+            if !self.config.enable_nestloop {
+                cost += DISABLE_COST;
+            }
+            candidates.push((cost, plan));
+        }
+
+        if !parts.equi_keys.is_empty() {
+            // Hash join: equi keys, any join type.
+            let plan = PhysicalPlan::HashJoin {
+                left: Box::new(left.clone()),
+                right: Box::new(right.clone()),
+                join_type,
+                keys: parts.equi_keys.clone(),
+                residual: parts.residual.clone(),
+            };
+            let mut cost = plan.stats(model).cost;
+            if !self.config.enable_hashjoin {
+                cost += DISABLE_COST;
+            }
+            candidates.push((cost, plan));
+
+            // Merge join: equi keys; Inner/Left/Full only (Right would need
+            // an output-reordering projection; hash/NL cover it).
+            if matches!(join_type, JoinType::Inner | JoinType::Left | JoinType::Full) {
+                let lkeys: Vec<SortKey> = parts
+                    .equi_keys
+                    .iter()
+                    .map(|&(l, _)| SortKey::asc(col(l)))
+                    .collect();
+                let rkeys: Vec<SortKey> = parts
+                    .equi_keys
+                    .iter()
+                    .map(|&(_, r)| SortKey::asc(col(r)))
+                    .collect();
+                let plan = PhysicalPlan::MergeJoin {
+                    left: Box::new(PhysicalPlan::Sort {
+                        input: Box::new(left.clone()),
+                        keys: lkeys,
+                    }),
+                    right: Box::new(PhysicalPlan::Sort {
+                        input: Box::new(right.clone()),
+                        keys: rkeys,
+                    }),
+                    join_type,
+                    keys: parts.equi_keys.clone(),
+                    residual: parts.residual.clone(),
+                };
+                let mut cost = plan.stats(model).cost;
+                if !self.config.enable_mergejoin {
+                    cost += DISABLE_COST;
+                }
+                candidates.push((cost, plan));
+            }
+        }
+
+        // Interval sweep join (opt-in): applies when the condition is an
+        // overlap pattern without hashable keys and the join is Inner/Left.
+        if self.config.enable_intervaljoin
+            && parts.equi_keys.is_empty()
+            && matches!(join_type, JoinType::Inner | JoinType::Left)
+        {
+            if let Some(p) = detect_overlap_pattern(condition.as_ref(), left_width) {
+                let plan = PhysicalPlan::IntervalJoin {
+                    left: Box::new(left.clone()),
+                    right: Box::new(right.clone()),
+                    join_type,
+                    endpoints: (p.l_ts, p.l_te, p.r_ts, p.r_te),
+                    residual: p.residual,
+                };
+                let cost = plan.stats(model).cost;
+                candidates.push((cost, plan));
+            }
+        }
+
+        let best = candidates
+            .into_iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("at least the nested-loop candidate exists");
+        Ok(best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit;
+    use crate::relation::Relation;
+    use crate::schema::{Column, DataType, Schema};
+    use crate::value::Value;
+
+    fn rel(n: i64) -> Relation {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ]);
+        Relation::from_values(
+            schema,
+            (0..n).map(|i| vec![Value::Int(i % 10), Value::Int(i)]).collect(),
+        )
+        .unwrap()
+    }
+
+    fn join_plan(config: PlannerConfig, cond: Expr, join_type: JoinType) -> PhysicalPlan {
+        let l = LogicalPlan::inline_scan(rel(1000));
+        let r = LogicalPlan::inline_scan(rel(1000));
+        let lp = l.join(r, join_type, Some(cond));
+        Planner::new(config).plan(&lp, &Catalog::new()).unwrap()
+    }
+
+    #[test]
+    fn equi_join_avoids_nested_loop_when_enabled() {
+        let p = join_plan(
+            PlannerConfig::all_enabled(),
+            col(0).eq(col(2)),
+            JoinType::Inner,
+        );
+        let alg = p.root_join_algorithm().unwrap();
+        assert_ne!(alg, "nestloop", "plan was: {}", p.explain());
+    }
+
+    #[test]
+    fn disabling_methods_walks_down_the_preference_list() {
+        // (b) merge disabled → hash; (c) merge+hash disabled → nestloop.
+        let p = join_plan(PlannerConfig::no_merge(), col(0).eq(col(2)), JoinType::Inner);
+        assert_ne!(p.root_join_algorithm().unwrap(), "merge");
+        let p = join_plan(
+            PlannerConfig::nestloop_only(),
+            col(0).eq(col(2)),
+            JoinType::Inner,
+        );
+        assert_eq!(p.root_join_algorithm().unwrap(), "nestloop");
+    }
+
+    #[test]
+    fn non_equi_condition_forces_nested_loop() {
+        let p = join_plan(
+            PlannerConfig::all_enabled(),
+            col(1).lt(col(3)),
+            JoinType::Inner,
+        );
+        assert_eq!(p.root_join_algorithm().unwrap(), "nestloop");
+    }
+
+    #[test]
+    fn merge_not_considered_for_right_joins() {
+        let mut config = PlannerConfig::all_enabled();
+        config.enable_hashjoin = false;
+        config.enable_nestloop = false;
+        // Even with everything else "disabled", Right join can't use merge,
+        // so one of the penalized methods is chosen (plan still exists).
+        let p = join_plan(config, col(0).eq(col(2)), JoinType::Right);
+        assert_ne!(p.root_join_algorithm().unwrap(), "merge");
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_results() {
+        let cond = col(0).eq(col(2)).and(col(1).lt(col(3)));
+        for jt in [JoinType::Inner, JoinType::Left, JoinType::Full] {
+            let reference = join_plan(PlannerConfig::nestloop_only(), cond.clone(), jt)
+                .collect()
+                .unwrap();
+            for config in [PlannerConfig::all_enabled(), PlannerConfig::no_merge()] {
+                let out = join_plan(config, cond.clone(), jt).collect().unwrap();
+                assert!(out.same_bag(&reference), "join type {jt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_scan_resolves_catalog() {
+        let mut catalog = Catalog::new();
+        catalog.register("t", rel(5)).unwrap();
+        let lp = LogicalPlan::table_scan("t", rel(0).schema().clone())
+            .filter(col(1).ge(lit(3i64)));
+        let out = Planner::default().run(&lp, &catalog).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let lp = LogicalPlan::table_scan("nope", rel(0).schema().clone());
+        assert!(Planner::default().run(&lp, &Catalog::new()).is_err());
+    }
+
+    #[test]
+    fn set_gucs_by_name() {
+        let mut c = PlannerConfig::default();
+        c.set("enable_mergejoin", false).unwrap();
+        assert!(!c.enable_mergejoin);
+        assert!(c.set("enable_warp_drive", true).is_err());
+    }
+}

@@ -1,0 +1,480 @@
+//! Physical plans: the engine's "plan tree" with concrete algorithm
+//! choices, executable into a Volcano iterator tree.
+
+use std::sync::Arc;
+
+use crate::error::EngineResult;
+use crate::exec::{
+    collect, BoxedExec, DistinctExec, FilterExec, HashAggregateExec, HashJoinExec, HashSetOpExec,
+    IntervalJoinExec, LimitExec, MergeJoinExec, NestedLoopJoinExec, ProjectExec, SeqScanExec,
+    SortExec,
+};
+use crate::expr::{AggCall, Expr, SortKey};
+use crate::plan::cost::{CostModel, PlanStats};
+use crate::plan::logical::ExtensionNode;
+use crate::plan::{JoinType, SetOpKind};
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// A physical (executable) plan.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    SeqScan {
+        rel: Arc<Relation>,
+        label: String,
+    },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<Expr>,
+        schema: Schema,
+    },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    HashAggregate {
+        input: Box<PhysicalPlan>,
+        group: Vec<Expr>,
+        aggs: Vec<AggCall>,
+        schema: Schema,
+    },
+    Distinct {
+        input: Box<PhysicalPlan>,
+    },
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        join_type: JoinType,
+        condition: Option<Expr>,
+    },
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        join_type: JoinType,
+        keys: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+    },
+    /// Children are already wrapped in the required sorts by the planner.
+    MergeJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        join_type: JoinType,
+        keys: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+    },
+    /// Sweep-based interval overlap join (opt-in; the paper's future-work
+    /// extension). Sorts internally.
+    IntervalJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        join_type: JoinType,
+        endpoints: (usize, usize, usize, usize), // (l_ts, l_te, r_ts, r_te)
+        residual: Option<Expr>,
+    },
+    HashSetOp {
+        kind: SetOpKind,
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        n: usize,
+    },
+    Extension {
+        node: Arc<dyn ExtensionNode>,
+        children: Vec<PhysicalPlan>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output schema.
+    pub fn schema(&self) -> Schema {
+        match self {
+            PhysicalPlan::SeqScan { rel, .. } => rel.schema().clone(),
+            PhysicalPlan::Filter { input, .. } => input.schema(),
+            PhysicalPlan::Project { schema, .. } => schema.clone(),
+            PhysicalPlan::Sort { input, .. } => input.schema(),
+            PhysicalPlan::HashAggregate { schema, .. } => schema.clone(),
+            PhysicalPlan::Distinct { input } => input.schema(),
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                if join_type.emits_right() {
+                    left.schema().concat(&right.schema())
+                } else {
+                    left.schema()
+                }
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                if join_type.emits_right() {
+                    left.schema().concat(&right.schema())
+                } else {
+                    left.schema()
+                }
+            }
+            PhysicalPlan::MergeJoin { left, right, .. } => left.schema().concat(&right.schema()),
+            PhysicalPlan::IntervalJoin { left, right, .. } => {
+                left.schema().concat(&right.schema())
+            }
+            PhysicalPlan::HashSetOp { left, .. } => left.schema(),
+            PhysicalPlan::Limit { input, .. } => input.schema(),
+            PhysicalPlan::Extension { node, .. } => node.schema(),
+        }
+    }
+
+    /// Build the executor tree.
+    pub fn execute(&self) -> EngineResult<BoxedExec> {
+        Ok(match self {
+            PhysicalPlan::SeqScan { rel, .. } => Box::new(SeqScanExec::new(rel.clone())),
+            PhysicalPlan::Filter { input, predicate } => {
+                Box::new(FilterExec::new(input.execute()?, predicate.clone()))
+            }
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => Box::new(ProjectExec::new(
+                input.execute()?,
+                exprs.clone(),
+                schema.clone(),
+            )),
+            PhysicalPlan::Sort { input, keys } => {
+                Box::new(SortExec::new(input.execute()?, keys.clone()))
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group,
+                aggs,
+                schema,
+            } => Box::new(HashAggregateExec::new(
+                input.execute()?,
+                group.clone(),
+                aggs.clone(),
+                schema.clone(),
+            )),
+            PhysicalPlan::Distinct { input } => Box::new(DistinctExec::new(input.execute()?)),
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                join_type,
+                condition,
+            } => Box::new(NestedLoopJoinExec::new(
+                left.execute()?,
+                right.execute()?,
+                *join_type,
+                condition.clone(),
+            )),
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                join_type,
+                keys,
+                residual,
+            } => Box::new(HashJoinExec::new(
+                left.execute()?,
+                right.execute()?,
+                keys.clone(),
+                residual.clone(),
+                *join_type,
+            )),
+            PhysicalPlan::MergeJoin {
+                left,
+                right,
+                join_type,
+                keys,
+                residual,
+            } => Box::new(MergeJoinExec::new(
+                left.execute()?,
+                right.execute()?,
+                keys.clone(),
+                residual.clone(),
+                *join_type,
+            )),
+            PhysicalPlan::IntervalJoin {
+                left,
+                right,
+                join_type,
+                endpoints,
+                residual,
+            } => Box::new(IntervalJoinExec::new(
+                left.execute()?,
+                right.execute()?,
+                endpoints.0,
+                endpoints.1,
+                endpoints.2,
+                endpoints.3,
+                residual.clone(),
+                *join_type,
+            )),
+            PhysicalPlan::HashSetOp { kind, left, right } => Box::new(HashSetOpExec::new(
+                *kind,
+                left.execute()?,
+                right.execute()?,
+            )?),
+            PhysicalPlan::Limit { input, n } => Box::new(LimitExec::new(input.execute()?, *n)),
+            PhysicalPlan::Extension { node, children } => {
+                let mut built = Vec::with_capacity(children.len());
+                for c in children {
+                    built.push(c.execute()?);
+                }
+                node.build_exec(built)?
+            }
+        })
+    }
+
+    /// Execute and materialize the result.
+    pub fn collect(&self) -> EngineResult<Relation> {
+        collect(self.execute()?)
+    }
+
+    /// Estimated rows/cost for this subtree.
+    pub fn stats(&self, model: &CostModel) -> PlanStats {
+        match self {
+            PhysicalPlan::SeqScan { rel, .. } => model.scan(rel.len() as f64),
+            PhysicalPlan::Filter { input, predicate } => {
+                model.filter(input.stats(model), predicate)
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                model.project(input.stats(model), exprs.len())
+            }
+            PhysicalPlan::Sort { input, .. } => model.sort(input.stats(model)),
+            PhysicalPlan::HashAggregate {
+                input, group, aggs, ..
+            } => model.aggregate(input.stats(model), group.len(), aggs.len()),
+            PhysicalPlan::Distinct { input } => model.distinct(input.stats(model)),
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                join_type,
+                condition,
+            } => {
+                let (l, r) = (left.stats(model), right.stats(model));
+                let rows = model.join_rows(
+                    l,
+                    r,
+                    0,
+                    join_type.emits_left_unmatched(),
+                    join_type.emits_right_unmatched(),
+                );
+                let n_conj = condition.as_ref().map_or(0, |c| c.conjuncts().len());
+                model.nested_loop_join(l, r, rows, n_conj)
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                join_type,
+                keys,
+                ..
+            } => {
+                let (l, r) = (left.stats(model), right.stats(model));
+                let rows = model.join_rows(
+                    l,
+                    r,
+                    keys.len(),
+                    join_type.emits_left_unmatched(),
+                    join_type.emits_right_unmatched(),
+                );
+                model.hash_join(l, r, rows)
+            }
+            PhysicalPlan::MergeJoin {
+                left,
+                right,
+                join_type,
+                keys,
+                ..
+            } => {
+                let (l, r) = (left.stats(model), right.stats(model));
+                let rows = model.join_rows(
+                    l,
+                    r,
+                    keys.len(),
+                    join_type.emits_left_unmatched(),
+                    join_type.emits_right_unmatched(),
+                );
+                model.merge_join(l, r, rows)
+            }
+            PhysicalPlan::IntervalJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                let (l, r) = (left.stats(model), right.stats(model));
+                let rows = model.join_rows(
+                    l,
+                    r,
+                    0,
+                    join_type.emits_left_unmatched(),
+                    join_type.emits_right_unmatched(),
+                );
+                // sort both sides + sweep
+                model.merge_join(model.sort(l), model.sort(r), rows)
+            }
+            PhysicalPlan::HashSetOp { left, right, .. } => {
+                model.set_op(left.stats(model), right.stats(model))
+            }
+            PhysicalPlan::Limit { input, n } => model.limit(input.stats(model), *n),
+            PhysicalPlan::Extension { node, children } => {
+                let stats: Vec<PlanStats> = children.iter().map(|c| c.stats(model)).collect();
+                node.estimate(&stats)
+            }
+        }
+    }
+
+    /// Pretty-printed physical plan with row estimates (EXPLAIN).
+    pub fn explain(&self) -> String {
+        let model = CostModel::default();
+        let mut out = String::new();
+        self.explain_into(&mut out, 0, &model);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize, model: &CostModel) {
+        let pad = "  ".repeat(indent);
+        let st = self.stats(model);
+        let head = |name: String| format!("{pad}{name}  (rows≈{:.0})\n", st.rows);
+        match self {
+            PhysicalPlan::SeqScan { rel, label } => {
+                out.push_str(&head(format!("SeqScan on {label} [{} rows]", rel.len())));
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                out.push_str(&head(format!(
+                    "Filter: {}",
+                    predicate.display(Some(&input.schema()))
+                )));
+                input.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::Project { input, .. } => {
+                out.push_str(&head("Project".to_string()));
+                input.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                out.push_str(&head(format!("Sort ({} keys)", keys.len())));
+                input.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::HashAggregate { input, group, .. } => {
+                out.push_str(&head(format!("HashAggregate ({} group cols)", group.len())));
+                input.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::Distinct { input } => {
+                out.push_str(&head("Distinct".to_string()));
+                input.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                out.push_str(&head(format!("NestedLoopJoin[{}]", join_type.name())));
+                left.explain_into(out, indent + 1, model);
+                right.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                join_type,
+                keys,
+                ..
+            } => {
+                out.push_str(&head(format!(
+                    "HashJoin[{}] on {} key(s)",
+                    join_type.name(),
+                    keys.len()
+                )));
+                left.explain_into(out, indent + 1, model);
+                right.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::MergeJoin {
+                left,
+                right,
+                join_type,
+                keys,
+                ..
+            } => {
+                out.push_str(&head(format!(
+                    "MergeJoin[{}] on {} key(s)",
+                    join_type.name(),
+                    keys.len()
+                )));
+                left.explain_into(out, indent + 1, model);
+                right.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::IntervalJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                out.push_str(&head(format!("IntervalJoin[{}] (sweep)", join_type.name())));
+                left.explain_into(out, indent + 1, model);
+                right.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::HashSetOp { kind, left, right } => {
+                out.push_str(&head(format!("HashSetOp[{}]", kind.name())));
+                left.explain_into(out, indent + 1, model);
+                right.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::Limit { input, n } => {
+                out.push_str(&head(format!("Limit {n}")));
+                input.explain_into(out, indent + 1, model);
+            }
+            PhysicalPlan::Extension { node, children } => {
+                out.push_str(&head(node.explain()));
+                for c in children {
+                    c.explain_into(out, indent + 1, model);
+                }
+            }
+        }
+    }
+
+    /// The name of the join algorithm at the root, if the root is a join —
+    /// convenient for tests asserting planner choices (Fig. 13).
+    pub fn root_join_algorithm(&self) -> Option<&'static str> {
+        match self {
+            PhysicalPlan::NestedLoopJoin { .. } => Some("nestloop"),
+            PhysicalPlan::HashJoin { .. } => Some("hash"),
+            PhysicalPlan::MergeJoin { .. } => Some("merge"),
+            PhysicalPlan::IntervalJoin { .. } => Some("interval"),
+            _ => None,
+        }
+    }
+
+    /// Find the first join algorithm in a pre-order walk of the plan.
+    pub fn first_join_algorithm(&self) -> Option<&'static str> {
+        if let Some(a) = self.root_join_algorithm() {
+            return Some(a);
+        }
+        match self {
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Limit { input, .. } => input.first_join_algorithm(),
+            PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. }
+            | PhysicalPlan::IntervalJoin { left, right, .. }
+            | PhysicalPlan::HashSetOp { left, right, .. } => left
+                .first_join_algorithm()
+                .or_else(|| right.first_join_algorithm()),
+            PhysicalPlan::Extension { children, .. } => {
+                children.iter().find_map(|c| c.first_join_algorithm())
+            }
+            PhysicalPlan::SeqScan { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! In-memory relations: a schema plus a vector of rows.
+//!
+//! The paper assumes *set-based semantics with duplicate-free temporal
+//! relations* (Sec. 3.1); [`Relation::dedup`] and [`Relation::same_set`]
+//! support that discipline, while row storage itself is a plain vector so
+//! executor nodes control when deduplication happens.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{EngineError, EngineResult};
+use crate::schema::Schema;
+use crate::tuple::Row;
+use crate::value::Value;
+
+/// A materialized relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Build a relation, validating row arity against the schema.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> EngineResult<Self> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != schema.len() {
+                return Err(EngineError::SchemaMismatch(format!(
+                    "row {i} has {} values, schema has {} columns",
+                    r.len(),
+                    schema.len()
+                )));
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    /// Build from plain value vectors.
+    pub fn from_values(schema: Schema, rows: Vec<Vec<Value>>) -> EngineResult<Self> {
+        Relation::new(schema, rows.into_iter().map(Row::new).collect())
+    }
+
+    /// The empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    #[inline]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Append a row (arity-checked).
+    pub fn push(&mut self, row: Row) -> EngineResult<()> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::SchemaMismatch(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Consume and return the rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Replace the schema (e.g. to attach qualifiers). Arity must match.
+    pub fn with_schema(&self, schema: Schema) -> EngineResult<Relation> {
+        if schema.len() != self.schema.len() {
+            return Err(EngineError::SchemaMismatch(format!(
+                "cannot re-schema {} columns as {}",
+                self.schema.len(),
+                schema.len()
+            )));
+        }
+        Ok(Relation {
+            schema,
+            rows: self.rows.clone(),
+        })
+    }
+
+    /// Remove duplicate rows (set semantics), preserving first occurrence.
+    pub fn dedup(&mut self) {
+        let mut seen: HashSet<Row> = HashSet::with_capacity(self.rows.len());
+        self.rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    /// True iff the relation contains no duplicate rows.
+    pub fn is_set(&self) -> bool {
+        let mut seen: HashSet<&Row> = HashSet::with_capacity(self.rows.len());
+        self.rows.iter().all(|r| seen.insert(r))
+    }
+
+    /// A copy with rows in canonical (sorted) order — for comparisons and
+    /// deterministic display.
+    pub fn sorted(&self) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Set equality: same rows regardless of order or multiplicity.
+    pub fn same_set(&self, other: &Relation) -> bool {
+        let a: HashSet<&Row> = self.rows.iter().collect();
+        let b: HashSet<&Row> = other.rows.iter().collect();
+        a == b
+    }
+
+    /// Bag equality: same rows with the same multiplicities.
+    pub fn same_bag(&self, other: &Relation) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a = self.rows.clone();
+        let mut b = other.rows.clone();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// Share the relation (scans clone the `Arc`, not the rows).
+    pub fn into_shared(self) -> Arc<Relation> {
+        Arc::new(self)
+    }
+
+    /// Render as an aligned text table (for examples and docs).
+    pub fn to_table(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .cols()
+            .iter()
+            .map(|c| c.qualified_name())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        widths[i] = widths[i].max(s.chars().count());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let sep = |out: &mut String, widths: &[usize]| {
+            out.push('+');
+            for w in widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out, &widths);
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out, &widths);
+        for row in &rendered {
+            out.push('|');
+            for (v, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {v:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out, &widths);
+        out.push_str(&format!("({} rows)\n", self.rows.len()));
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+
+    fn sample() -> Relation {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Str),
+        ]);
+        Relation::from_values(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(2), Value::str("y")],
+                vec![Value::Int(1), Value::str("x")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_checked() {
+        let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+        assert!(Relation::from_values(schema, vec![vec![Value::Int(1), Value::Int(2)]]).is_err());
+    }
+
+    #[test]
+    fn dedup_and_set_check() {
+        let mut r = sample();
+        assert!(!r.is_set());
+        r.dedup();
+        assert!(r.is_set());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn set_and_bag_equality() {
+        let r = sample();
+        let mut d = sample();
+        d.dedup();
+        assert!(r.same_set(&d));
+        assert!(!r.same_bag(&d));
+        assert!(r.same_bag(&r.sorted()));
+    }
+
+    #[test]
+    fn table_rendering_contains_headers_and_counts() {
+        let t = sample().to_table();
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("(3 rows)"));
+    }
+
+    #[test]
+    fn push_checks_arity() {
+        let mut r = sample();
+        assert!(r.push(Row::new(vec![Value::Int(1)])).is_err());
+        assert!(r
+            .push(Row::new(vec![Value::Int(3), Value::str("z")]))
+            .is_ok());
+        assert_eq!(r.len(), 4);
+    }
+}

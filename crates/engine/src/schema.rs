@@ -1,0 +1,294 @@
+//! Relation schemas: column names, optional qualifiers and data types.
+
+use std::fmt;
+
+use crate::error::{EngineError, EngineResult};
+
+/// The engine's data types. NULL is typeless and allowed in any column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Double,
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "bool"),
+            DataType::Int => write!(f, "int"),
+            DataType::Double => write!(f, "double"),
+            DataType::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// A named, typed column, optionally qualified by a relation alias
+/// (e.g. `r.pcn`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub dtype: DataType,
+    pub qualifier: Option<String>,
+}
+
+impl Column {
+    /// Unqualified column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            qualifier: None,
+        }
+    }
+
+    /// Qualified column (`qualifier.name`).
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        dtype: DataType,
+    ) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            qualifier: Some(qualifier.into()),
+        }
+    }
+
+    /// `qualifier.name` if qualified, else `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    cols: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(cols: Vec<Column>) -> Self {
+        Schema { cols }
+    }
+
+    pub fn empty() -> Self {
+        Schema { cols: Vec::new() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    #[inline]
+    pub fn col(&self, i: usize) -> &Column {
+        &self.cols[i]
+    }
+
+    pub fn cols(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// All column names (unqualified).
+    pub fn names(&self) -> Vec<&str> {
+        self.cols.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Resolve `name`, which may be `"col"` or `"alias.col"`. Errors if the
+    /// name is unknown or ambiguous.
+    pub fn index_of(&self, name: &str) -> EngineResult<usize> {
+        match name.split_once('.') {
+            Some((q, n)) => self.resolve(Some(q), n),
+            None => self.resolve(None, name),
+        }
+    }
+
+    /// `index_of` without the error.
+    pub fn try_index_of(&self, name: &str) -> Option<usize> {
+        self.index_of(name).ok()
+    }
+
+    /// Resolve a possibly-qualified column reference.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> EngineResult<usize> {
+        let mut found: Option<usize> = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            let name_ok = c.name == name;
+            let qual_ok = match qualifier {
+                None => true,
+                Some(q) => c.qualifier.as_deref() == Some(q),
+            };
+            if name_ok && qual_ok {
+                if found.is_some() {
+                    return Err(EngineError::UnknownColumn(format!(
+                        "ambiguous column reference '{}'",
+                        match qualifier {
+                            Some(q) => format!("{q}.{name}"),
+                            None => name.to_string(),
+                        }
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            EngineError::UnknownColumn(match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            })
+        })
+    }
+
+    /// Concatenate two schemas (as a join output does).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        Schema { cols }
+    }
+
+    /// Keep the columns at `idxs`, in that order.
+    pub fn project(&self, idxs: &[usize]) -> Schema {
+        Schema {
+            cols: idxs.iter().map(|&i| self.cols[i].clone()).collect(),
+        }
+    }
+
+    /// Return a copy where every column carries `qualifier`.
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            cols: self
+                .cols
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    dtype: c.dtype,
+                    qualifier: Some(qualifier.to_string()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Return a copy with all qualifiers removed.
+    pub fn without_qualifiers(&self) -> Schema {
+        Schema {
+            cols: self
+                .cols
+                .iter()
+                .map(|c| Column::new(c.name.clone(), c.dtype))
+                .collect(),
+        }
+    }
+
+    /// Two schemas are union compatible when their arities and column types
+    /// match positionally (names may differ), per Sec. 3.1 of the paper.
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.len() == other.len()
+            && self
+                .cols
+                .iter()
+                .zip(other.cols.iter())
+                .all(|(a, b)| a.dtype == b.dtype)
+    }
+
+    /// Rename column `i`.
+    pub fn renamed(&self, i: usize, name: impl Into<String>) -> Schema {
+        let mut s = self.clone();
+        s.cols[i].name = name.into();
+        s
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", c.qualified_name(), c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::qualified("r", "a", DataType::Int),
+            Column::qualified("r", "ts", DataType::Int),
+            Column::qualified("s", "a", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn resolve_unqualified_unique() {
+        let s = sample();
+        assert_eq!(s.index_of("ts").unwrap(), 1);
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        let s = sample();
+        assert_eq!(s.index_of("r.a").unwrap(), 0);
+        assert_eq!(s.index_of("s.a").unwrap(), 2);
+    }
+
+    #[test]
+    fn ambiguous_unqualified_errors() {
+        let s = sample();
+        let err = s.index_of("a").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = sample();
+        assert!(s.index_of("zzz").is_err());
+        assert!(s.index_of("q.a").is_err());
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let b = Schema::new(vec![Column::new("y", DataType::Str)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 2);
+        let p = c.project(&[1]);
+        assert_eq!(p.col(0).name, "y");
+    }
+
+    #[test]
+    fn union_compatibility_positional() {
+        let a = Schema::new(vec![
+            Column::new("x", DataType::Int),
+            Column::new("y", DataType::Str),
+        ]);
+        let b = Schema::new(vec![
+            Column::new("u", DataType::Int),
+            Column::new("v", DataType::Str),
+        ]);
+        let c = Schema::new(vec![Column::new("u", DataType::Int)]);
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn qualifier_rewrites() {
+        let s = sample().without_qualifiers();
+        assert!(s.index_of("a").is_err()); // now ambiguous without qualifiers
+        let s2 = Schema::new(vec![Column::new("a", DataType::Int)]).with_qualifier("t");
+        assert_eq!(s2.index_of("t.a").unwrap(), 0);
+    }
+}

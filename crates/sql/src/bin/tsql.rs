@@ -1,0 +1,117 @@
+//! `tsql` — an interactive shell for the temporal SQL dialect.
+//!
+//! ```text
+//! cargo run -p temporal-sql --bin tsql [--demo]
+//! ```
+//!
+//! With `--demo`, the paper's running example (relations `r` and `p`,
+//! Fig. 1a, months numbered from 2012/1 = 0) and a small `incumben`-style
+//! table are preloaded. Statements end with `;`. Meta commands:
+//!
+//! * `\d` — list tables,
+//! * `\q` — quit.
+//!
+//! Example session:
+//!
+//! ```text
+//! tsql> SET enable_mergejoin = off;
+//! tsql> SELECT * FROM (r r1 NORMALIZE r r2 USING()) x;
+//! tsql> EXPLAIN SELECT * FROM (r ALIGN p ON DUR(Us,Ue) BETWEEN Min AND Max) a;
+//! ```
+
+use std::io::{BufRead, Write};
+
+use temporal_core::prelude::*;
+use temporal_engine::prelude::*;
+use temporal_sql::{Session, SqlOutput};
+
+fn demo_session() -> Session {
+    use temporal_core::interval::month::ym;
+    let mut session = Session::new();
+    let r = TemporalRelation::from_rows(
+        Schema::new(vec![Column::new("n", DataType::Str)]),
+        vec![
+            (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
+            (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
+            (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+        ],
+    )
+    .expect("demo fixture");
+    let p = TemporalRelation::from_rows(
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("min", DataType::Int),
+            Column::new("max", DataType::Int),
+        ]),
+        vec![
+            (vec![Value::Int(50), Value::Int(1), Value::Int(2)], Interval::of(ym(2012, 1), ym(2012, 6))),
+            (vec![Value::Int(40), Value::Int(3), Value::Int(7)], Interval::of(ym(2012, 1), ym(2012, 6))),
+            (vec![Value::Int(30), Value::Int(8), Value::Int(12)], Interval::of(ym(2012, 1), ym(2013, 1))),
+            (vec![Value::Int(50), Value::Int(1), Value::Int(2)], Interval::of(ym(2012, 10), ym(2013, 1))),
+            (vec![Value::Int(40), Value::Int(3), Value::Int(7)], Interval::of(ym(2012, 10), ym(2013, 1))),
+        ],
+    )
+    .expect("demo fixture");
+    session.register_temporal("r", &r).expect("register r");
+    session.register_temporal("p", &p).expect("register p");
+    session
+}
+
+fn main() {
+    let demo = std::env::args().any(|a| a == "--demo");
+    let mut session = if demo {
+        eprintln!("loaded demo tables: r (reservations), p (prices) — paper Fig. 1a");
+        demo_session()
+    } else {
+        Session::new()
+    };
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let interactive = true;
+    if interactive {
+        eprint!("tsql> ");
+    }
+    std::io::stderr().flush().ok();
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "\\q" => break,
+                "\\d" => {
+                    println!("(register tables programmatically or start with --demo)");
+                    eprint!("tsql> ");
+                    std::io::stderr().flush().ok();
+                    continue;
+                }
+                "" => {
+                    eprint!("tsql> ");
+                    std::io::stderr().flush().ok();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !trimmed.ends_with(';') {
+            eprint!("  ... ");
+            std::io::stderr().flush().ok();
+            continue;
+        }
+        let stmt = std::mem::take(&mut buffer);
+        match session.execute(stmt.trim().trim_end_matches(';')) {
+            Ok(SqlOutput::Rows(rel)) => println!("{}", rel.to_table()),
+            Ok(SqlOutput::Explain(plan)) => println!("{plan}"),
+            Ok(SqlOutput::Ok) => println!("OK"),
+            Err(e) => println!("error: {e}"),
+        }
+        eprint!("tsql> ");
+        std::io::stderr().flush().ok();
+    }
+}

@@ -1,0 +1,65 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+use temporal_core::error::TemporalError;
+use temporal_engine::prelude::EngineError;
+
+/// Errors from lexing, parsing, analysis or execution of SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer failure (bad character, unterminated string, …).
+    Lex { pos: usize, message: String },
+    /// Grammar failure.
+    Parse(String),
+    /// Name resolution / semantic failure.
+    Analyze(String),
+    /// Planning or execution failure.
+    Engine(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Analyze(m) => write!(f, "analyze error: {m}"),
+            SqlError::Engine(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<EngineError> for SqlError {
+    fn from(e: EngineError) -> Self {
+        SqlError::Engine(e.to_string())
+    }
+}
+
+impl From<TemporalError> for SqlError {
+    fn from(e: TemporalError) -> Self {
+        SqlError::Engine(e.to_string())
+    }
+}
+
+/// Result alias for the SQL layer.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SqlError = EngineError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        let e: SqlError = TemporalError::Unsupported("x".into()).into();
+        assert!(e.to_string().contains("unsupported"));
+        let e = SqlError::Lex {
+            pos: 3,
+            message: "bad char".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Hand-written SQL tokenizer. Identifiers and keywords are
+//! case-insensitive and folded to lowercase, as in PostgreSQL.
+
+use crate::error::{SqlError, SqlResult};
+use crate::token::{Kw, Token};
+
+/// Tokenize `input` into a vector ending with [`Token::Eof`].
+pub fn lex(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        pos: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            pos: i,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[j] == b'\'' {
+                        // '' escapes a quote
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(bytes[j] as char);
+                    j += 1;
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes[i + 1].is_ascii_digit();
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    let v: f64 = text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        message: format!("bad float literal '{text}'"),
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let text = &input[start..i];
+                    let v: i64 = text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        message: format!("bad integer literal '{text}'"),
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = input[start..i].to_ascii_lowercase();
+                match Kw::from_str(&word) {
+                    Some(k) => out.push(Token::Keyword(k)),
+                    None => out.push(Token::Ident(word)),
+                }
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    pos: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = lex("SeLeCt r.Ts FROM R").unwrap();
+        assert_eq!(toks[0], Token::Keyword(Kw::Select));
+        assert_eq!(toks[1], Token::Ident("r".into()));
+        assert_eq!(toks[2], Token::Dot);
+        assert_eq!(toks[3], Token::Ident("ts".into()));
+        assert_eq!(toks[4], Token::Keyword(Kw::From));
+        assert_eq!(toks[5], Token::Ident("r".into()));
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let toks = lex("a <= 10 AND b <> 3.5 != 2").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Float(3.5)));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Ne).count(), 2);
+        assert!(toks.contains(&Token::Int(10)));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_comments() {
+        let toks = lex("select 'an''n' -- trailing comment\nfrom t").unwrap();
+        assert!(toks.contains(&Token::Str("an'n".into())));
+        assert!(toks.contains(&Token::Keyword(Kw::From)));
+    }
+
+    #[test]
+    fn temporal_keywords() {
+        let toks = lex("(r ALIGN p ON x) NORMALIZE USING ABSORB").unwrap();
+        assert!(toks.contains(&Token::Keyword(Kw::Align)));
+        assert!(toks.contains(&Token::Keyword(Kw::Normalize)));
+        assert!(toks.contains(&Token::Keyword(Kw::Using)));
+        assert!(toks.contains(&Token::Keyword(Kw::Absorb)));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = lex("select ?").unwrap_err();
+        match err {
+            SqlError::Lex { pos, .. } => assert_eq!(pos, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(lex("select 'oops").is_err());
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        let toks = lex("1 - 2").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Minus, Token::Int(2), Token::Eof]);
+    }
+}

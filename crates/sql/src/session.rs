@@ -1,0 +1,123 @@
+//! A SQL session: catalog + planner configuration + statement execution.
+
+use temporal_core::trel::TemporalRelation;
+use temporal_engine::catalog::Catalog;
+use temporal_engine::prelude::*;
+
+use crate::analyzer::Analyzer;
+use crate::ast::Statement;
+use crate::error::{SqlError, SqlResult};
+use crate::parser::parse_statement;
+
+/// Result of executing a statement.
+#[derive(Debug, Clone)]
+pub enum SqlOutput {
+    /// A query result.
+    Rows(Relation),
+    /// An EXPLAIN plan rendering.
+    Explain(String),
+    /// A statement with no result (e.g. SET).
+    Ok,
+}
+
+impl SqlOutput {
+    /// Unwrap a row result.
+    pub fn rows(self) -> SqlResult<Relation> {
+        match self {
+            SqlOutput::Rows(r) => Ok(r),
+            other => Err(SqlError::Engine(format!(
+                "statement did not produce rows: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// An interactive session (the paper's psql-with-extensions equivalent).
+#[derive(Debug, Default)]
+pub struct Session {
+    catalog: Catalog,
+    config: PlannerConfig,
+}
+
+impl Session {
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Register a plain relation as a table.
+    pub fn register_table(&mut self, name: impl Into<String>, rel: Relation) -> SqlResult<()> {
+        self.catalog.register(name, rel).map_err(SqlError::from)
+    }
+
+    /// Register a temporal relation (its ts/te columns become ordinary
+    /// Int columns, as in the paper's PostgreSQL implementation).
+    pub fn register_temporal(
+        &mut self,
+        name: impl Into<String>,
+        rel: &TemporalRelation,
+    ) -> SqlResult<()> {
+        self.catalog
+            .register(name, rel.rel().clone())
+            .map_err(SqlError::from)
+    }
+
+    /// The current planner configuration (join-method switches).
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, sql: &str) -> SqlResult<SqlOutput> {
+        let stmt = parse_statement(sql)?;
+        self.run_statement(stmt)
+    }
+
+    fn run_statement(&mut self, stmt: Statement) -> SqlResult<SqlOutput> {
+        match stmt {
+            Statement::Set { name, value } => {
+                self.config
+                    .set(&name, value)
+                    .map_err(|e| SqlError::Analyze(e.to_string()))?;
+                Ok(SqlOutput::Ok)
+            }
+            Statement::Explain(inner) => match *inner {
+                Statement::Select(sel) => {
+                    let plan = Analyzer::new(&self.catalog).analyze(&sel)?;
+                    let physical = Planner::new(self.config)
+                        .plan(&plan, &self.catalog)
+                        .map_err(SqlError::from)?;
+                    Ok(SqlOutput::Explain(physical.explain()))
+                }
+                other => Err(SqlError::Analyze(format!(
+                    "EXPLAIN supports SELECT statements, got {other:?}"
+                ))),
+            },
+            Statement::Select(sel) => {
+                let plan = Analyzer::new(&self.catalog).analyze(&sel)?;
+                let rel = Planner::new(self.config)
+                    .run(&plan, &self.catalog)
+                    .map_err(SqlError::from)?;
+                Ok(SqlOutput::Rows(rel))
+            }
+        }
+    }
+
+    /// Execute a query and return its rows.
+    pub fn query(&mut self, sql: &str) -> SqlResult<Relation> {
+        self.execute(sql)?.rows()
+    }
+
+    /// Execute a query whose result is a temporal relation (last two
+    /// columns ts/te).
+    pub fn query_temporal(&mut self, sql: &str) -> SqlResult<TemporalRelation> {
+        Ok(TemporalRelation::new(self.query(sql)?)?)
+    }
+
+    /// EXPLAIN a query.
+    pub fn explain(&mut self, sql: &str) -> SqlResult<String> {
+        match self.execute(&format!("EXPLAIN {sql}"))? {
+            SqlOutput::Explain(s) => Ok(s),
+            _ => unreachable!("EXPLAIN produces Explain output"),
+        }
+    }
+}

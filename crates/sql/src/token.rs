@@ -1,0 +1,174 @@
+//! Token model for the SQL dialect of Sec. 6.2/6.3.
+
+use std::fmt;
+
+/// Keywords. The temporal extensions are `ALIGN`, `NORMALIZE`, `USING`
+/// (the grammar of Sec. 6.2) and `ABSORB` (in place of `DISTINCT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Select,
+    From,
+    Where,
+    Group,
+    Order,
+    By,
+    As,
+    On,
+    Join,
+    Left,
+    Right,
+    Full,
+    Inner,
+    Outer,
+    Cross,
+    With,
+    Union,
+    Except,
+    Intersect,
+    All,
+    Distinct,
+    Absorb,
+    Align,
+    Normalize,
+    Using,
+    And,
+    Or,
+    Not,
+    Exists,
+    Between,
+    Null,
+    True,
+    False,
+    Is,
+    Asc,
+    Desc,
+    Limit,
+    Set,
+    Explain,
+    Having,
+}
+
+impl Kw {
+    /// Keyword lookup on a lowercased identifier.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Kw> {
+        Some(match s {
+            "select" => Kw::Select,
+            "from" => Kw::From,
+            "where" => Kw::Where,
+            "group" => Kw::Group,
+            "order" => Kw::Order,
+            "by" => Kw::By,
+            "as" => Kw::As,
+            "on" => Kw::On,
+            "join" => Kw::Join,
+            "left" => Kw::Left,
+            "right" => Kw::Right,
+            "full" => Kw::Full,
+            "inner" => Kw::Inner,
+            "outer" => Kw::Outer,
+            "cross" => Kw::Cross,
+            "with" => Kw::With,
+            "union" => Kw::Union,
+            "except" => Kw::Except,
+            "intersect" => Kw::Intersect,
+            "all" => Kw::All,
+            "distinct" => Kw::Distinct,
+            "absorb" => Kw::Absorb,
+            "align" => Kw::Align,
+            "normalize" => Kw::Normalize,
+            "using" => Kw::Using,
+            "and" => Kw::And,
+            "or" => Kw::Or,
+            "not" => Kw::Not,
+            "exists" => Kw::Exists,
+            "between" => Kw::Between,
+            "null" => Kw::Null,
+            "true" => Kw::True,
+            "false" => Kw::False,
+            "is" => Kw::Is,
+            "asc" => Kw::Asc,
+            "desc" => Kw::Desc,
+            "limit" => Kw::Limit,
+            "set" => Kw::Set,
+            "explain" => Kw::Explain,
+            "having" => Kw::Having,
+            _ => return None,
+        })
+    }
+}
+
+/// Lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(Kw),
+    /// Lowercased identifier.
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    /// Single-quoted string literal (unescaped content).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "identifier '{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semicolon => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(Kw::from_str("align"), Some(Kw::Align));
+        assert_eq!(Kw::from_str("normalize"), Some(Kw::Normalize));
+        assert_eq!(Kw::from_str("absorb"), Some(Kw::Absorb));
+        assert_eq!(Kw::from_str("pcn"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Token::Ne.to_string(), "<>");
+        assert_eq!(Token::Ident("r".into()).to_string(), "identifier 'r'");
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's running example (Example 1, Figs. 1–7): a hotel with
+//! seasonal price categories and reservations.
+//!
+//! Reproduces:
+//! * query Q1 = R ⟕ᵀ_{Min ≤ DUR(R.T) ≤ Max} P (Fig. 1b) — a temporal left
+//!   outer join whose θ references the *original* timestamp of R, i.e.
+//!   extended snapshot reducibility via timestamp propagation;
+//! * the normalization N_{}(R; R) (Fig. 3);
+//! * the alignment of P with respect to U(R) (Fig. 4);
+//! * query Q2 = ϑᵀ_{AVG(DUR(R.T))}(R) (Fig. 7) — temporal aggregation.
+//!
+//! Run with: `cargo run --example hotel_reservations`
+
+use temporal_alignment::core::prelude::*;
+use temporal_alignment::engine::prelude::*;
+use temporal_core::interval::month::{fmt as mfmt, ym};
+
+fn reservations() -> TemporalRelation {
+    // R: guest name N, valid-time T.
+    TemporalRelation::from_rows(
+        Schema::new(vec![Column::new("n", DataType::Str)]),
+        vec![
+            (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
+            (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
+            (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+        ],
+    )
+    .expect("valid fixture")
+}
+
+fn prices() -> TemporalRelation {
+    // P: daily price A, Min/Max stay duration for the category, valid T.
+    let row = |a: i64, min: i64, max: i64, from: (i64, i64), to: (i64, i64)| {
+        (
+            vec![Value::Int(a), Value::Int(min), Value::Int(max)],
+            Interval::of(ym(from.0, from.1), ym(to.0, to.1)),
+        )
+    };
+    TemporalRelation::from_rows(
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("min", DataType::Int),
+            Column::new("max", DataType::Int),
+        ]),
+        vec![
+            row(50, 1, 2, (2012, 1), (2012, 6)),   // s1: short term, winter
+            row(40, 3, 7, (2012, 1), (2012, 6)),   // s2: long term, winter
+            row(30, 8, 12, (2012, 1), (2013, 1)),  // s3: permanent
+            row(50, 1, 2, (2012, 10), (2013, 1)),  // s4
+            row(40, 3, 7, (2012, 10), (2013, 1)),  // s5
+        ],
+    )
+    .expect("valid fixture")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let r = reservations();
+    let p = prices();
+    println!("R (reservations):\n{}", r.to_table_with(mfmt));
+    println!("P (prices):\n{}", p.to_table_with(mfmt));
+
+    let alg = TemporalAlgebra::default();
+
+    // ---- Q1 (Fig. 1b) ----------------------------------------------------
+    // The join predicate references R.T, so we propagate R's timestamp
+    // first (extended snapshot reducibility): U(R) has data columns
+    // (n, us, ue).
+    let ur = extend(&r)?;
+    println!("U(R) (timestamps propagated):\n{}", ur.to_table_with(mfmt));
+
+    // θ: Min ≤ DUR(us, ue) ≤ Max over U(R) ++ P rows:
+    // U(R) = (n, us, ue, ts, te), P = (a, min, max, ts, te).
+    let dur = Expr::Func(Func::Dur, vec![col(1), col(2)]);
+    let theta = dur.between(col(6), col(7));
+
+    let q1_with_u = alg.left_outer_join(&ur, &p, Some(theta))?;
+    // Drop the propagated timestamps (Def. 4's final projection):
+    // data columns of the join result are (n, us, ue, a, min, max).
+    let q1 = q1_with_u.project_data(&[0, 3, 4, 5])?;
+    println!("Q1 = R ⟕ᵀ(Min ≤ DUR(R.T) ≤ Max) P   (Fig. 1b):\n{}", q1.sorted().to_table_with(mfmt));
+
+    // The two ω tuples z3/z4 stay separate (change preservation): the
+    // change at 2012/8, where one reservation of Ann ends and another
+    // starts, is preserved.
+    let omega_rows = q1.iter().filter(|(d, _)| d[1].is_null()).count();
+    assert_eq!(omega_rows, 2);
+
+    // ---- Fig. 3: normalization N_{}(R; R) ---------------------------------
+    let n = alg.normalize(&r, &r, &[])?;
+    println!("N_{{}}(R; R)   (Fig. 3):\n{}", n.sorted().to_table_with(mfmt));
+
+    // ---- Fig. 4: alignment of P with respect to U(R) ----------------------
+    // θ ≡ Min ≤ DUR(U) ≤ Max over P ++ U(R) rows:
+    // P = (a, min, max, ts, te), U(R) = (n, us, ue, ts, te).
+    let dur_u = Expr::Func(Func::Dur, vec![col(6), col(7)]);
+    let theta_pu = dur_u.between(col(1), col(2));
+    let aligned_p = alg.align(&p, &ur, Some(theta_pu))?;
+    println!("P Φ_θ U(R)   (Fig. 4):\n{}", aligned_p.sorted().to_table_with(mfmt));
+
+    // ---- Q2 (Fig. 7): temporal aggregation --------------------------------
+    // AVG over the duration of the *original* reservation intervals, so it
+    // operates on U(R); grouping attributes B = {} (a single group per
+    // normalized fragment).
+    let avg_dur = AggCall::new(
+        AggFunc::Avg,
+        Expr::Func(Func::Dur, vec![col(1), col(2)]),
+    );
+    let q2 = alg.aggregation(&ur, &[], vec![(avg_dur, "avg_dur".to_string())])?;
+    println!(
+        "Q2 = ϑᵀ AVG(DUR(R.T)) (R)   (Fig. 7):\n{}",
+        q2.sorted().to_table_with(mfmt)
+    );
+
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build two interval-timestamped relations and run sequenced
+//! temporal operators through the reduction rules.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use temporal_alignment::core::prelude::*;
+use temporal_alignment::engine::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny project-staffing database: who works on what, and when.
+    let staff = TemporalRelation::from_rows(
+        Schema::new(vec![
+            Column::new("person", DataType::Str),
+            Column::new("team", DataType::Str),
+        ]),
+        vec![
+            (vec![Value::str("ann"), Value::str("db")], Interval::of(0, 8)),
+            (vec![Value::str("joe"), Value::str("db")], Interval::of(2, 6)),
+            (vec![Value::str("sam"), Value::str("ui")], Interval::of(4, 10)),
+        ],
+    )?;
+    let oncall = TemporalRelation::from_rows(
+        Schema::new(vec![Column::new("team", DataType::Str)]),
+        vec![
+            (vec![Value::str("db")], Interval::of(3, 5)),
+            (vec![Value::str("ui")], Interval::of(5, 7)),
+        ],
+    )?;
+
+    println!("staff:\n{staff}");
+    println!("oncall windows:\n{oncall}");
+
+    let alg = TemporalAlgebra::default();
+
+    // Temporal inner join: who was staffed while their team was on call?
+    // θ: staff.team = oncall.team, expressed over the concatenation of the
+    // two full rows (staff = person, team, ts, te → team is column 1;
+    // oncall.team is column 4).
+    let theta = col(1).eq(col(4));
+    let on_duty = alg.join(&staff, &oncall, Some(theta.clone()))?;
+    println!("on duty (⋈ᵀ):\n{on_duty}");
+
+    // Temporal left outer join: everyone, with ω where no on-call window.
+    let coverage = alg.left_outer_join(&staff, &oncall, Some(theta.clone()))?;
+    println!("coverage (⟕ᵀ):\n{coverage}");
+
+    // Temporal anti join: staffed periods with no on-call window at all.
+    let idle = alg.anti_join(&staff, &oncall, Some(theta))?;
+    println!("not on call (▷ᵀ):\n{idle}");
+
+    // Temporal aggregation: headcount over time.
+    let headcount = alg.aggregation(
+        &staff,
+        &[],
+        vec![(AggCall::count_star(), "headcount".to_string())],
+    )?;
+    println!("headcount over time (ϑᵀ):\n{headcount}");
+
+    // Every result is snapshot reducible: check one snapshot by hand.
+    let t = 4;
+    println!("snapshot of staff at t={t}:\n{}", staff.timeslice(t));
+    println!("snapshot of headcount at t={t}:\n{}", headcount.timeslice(t));
+
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! The SQL surface of Sec. 6.2/6.3: `ALIGN`, `NORMALIZE … USING()`,
+//! `ABSORB`, the `DUR` UDF, planner switches (`SET enable_mergejoin = off`)
+//! and `EXPLAIN` — the workflow of the paper's Fig. 13 experiment.
+//!
+//! Run with: `cargo run --example sql_interface`
+
+use temporal_alignment::core::prelude::*;
+use temporal_alignment::engine::prelude::*;
+use temporal_alignment::sql::Session;
+use temporal_core::interval::month::ym;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new();
+
+    // The running example's relations.
+    let r = TemporalRelation::from_rows(
+        Schema::new(vec![Column::new("n", DataType::Str)]),
+        vec![
+            (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
+            (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
+            (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+        ],
+    )?;
+    let p = TemporalRelation::from_rows(
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("min", DataType::Int),
+            Column::new("max", DataType::Int),
+        ]),
+        vec![
+            (vec![Value::Int(50), Value::Int(1), Value::Int(2)], Interval::of(ym(2012, 1), ym(2012, 6))),
+            (vec![Value::Int(40), Value::Int(3), Value::Int(7)], Interval::of(ym(2012, 1), ym(2012, 6))),
+            (vec![Value::Int(30), Value::Int(8), Value::Int(12)], Interval::of(ym(2012, 1), ym(2013, 1))),
+            (vec![Value::Int(50), Value::Int(1), Value::Int(2)], Interval::of(ym(2012, 10), ym(2013, 1))),
+            (vec![Value::Int(40), Value::Int(3), Value::Int(7)], Interval::of(ym(2012, 10), ym(2013, 1))),
+        ],
+    )?;
+    session.register_temporal("r", &r)?;
+    session.register_temporal("p", &p)?;
+
+    // ---- Q1 via the paper's SQL (Sec. 6.2) --------------------------------
+    let q1 = "WITH r AS (SELECT Ts Us, Te Ue, * FROM r) \
+              SELECT ABSORB n, a, min, max, x.Ts, x.Te \
+              FROM (r ALIGN p ON DUR(Us,Ue) BETWEEN Min AND Max) x \
+              LEFT OUTER JOIN \
+              (p ALIGN r ON DUR(Us,Ue) BETWEEN Min AND Max) y \
+              ON DUR(Us,Ue) BETWEEN Min AND Max AND x.Ts = y.Ts AND x.Te = y.Te";
+    println!("-- Q1 (temporal left outer join with DUR predicate):");
+    println!("{}", session.query(q1)?.sorted().to_table());
+
+    // ---- Q2 via the paper's SQL (Sec. 6.3) --------------------------------
+    let q2 = "WITH r AS (SELECT Ts Us, Te Ue, * FROM r) \
+              SELECT AVG(DUR(Us,Ue)) avg_dur, Ts, Te \
+              FROM (r r1 NORMALIZE r r2 USING()) x \
+              GROUP BY Ts, Te";
+    println!("-- Q2 (temporal aggregation):");
+    println!("{}", session.query(q2)?.sorted().to_table());
+
+    // ---- EXPLAIN and the join-method switches -----------------------------
+    let probe = "SELECT * FROM (r r1 NORMALIZE r r2 USING(n)) x";
+    println!("-- EXPLAIN with all join methods enabled:");
+    println!("{}", session.explain(probe)?);
+
+    session.execute("SET enable_mergejoin = off")?;
+    session.execute("SET enable_hashjoin = off")?;
+    println!("-- EXPLAIN with merge and hash joins disabled (nested loop only):");
+    println!("{}", session.explain(probe)?);
+    session.execute("SET enable_mergejoin = on")?;
+    session.execute("SET enable_hashjoin = on")?;
+
+    // ---- NOT EXISTS (the sql baseline's building block) -------------------
+    let gaps = "SELECT n, ts, te FROM r \
+                WHERE NOT EXISTS (SELECT * FROM p WHERE p.a = 30 AND p.ts < r.te AND r.ts < p.te)";
+    println!("-- reservations with no overlapping permanent-price period:");
+    println!("{}", session.query(gaps)?.to_table());
+
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # temporal-alignment
+//!
+//! A full reproduction of **“Temporal Alignment”** (Anton Dignös, Michael
+//! H. Böhlen, Johann Gamper — SIGMOD 2012, DOI 10.1145/2213836.2213886) as
+//! a Rust workspace:
+//!
+//! * [`engine`] — a from-scratch relational query engine standing in for
+//!   the PostgreSQL kernel (Volcano executor, nested-loop/hash/merge joins,
+//!   cost-based planner with `enable_*` switches, extension plan nodes);
+//! * [`core`] — the paper's contribution: interval-timestamped relations,
+//!   the **temporal splitter** (normalization `N_B(r; s)`) and **temporal
+//!   aligner** (`r Φ_θ s`) primitives, the **absorb** operator α,
+//!   timestamp propagation (extend `U`), the Table 2 **reduction rules**
+//!   for the whole sequenced temporal algebra, plus the formal layer
+//!   (timeslice, snapshot reducibility, lineage, change preservation) used
+//!   to verify Theorem 1 executable-y;
+//! * [`datasets`] — seeded generators for the evaluation workloads
+//!   (an `Incumben` substitute and the `Ddisj`/`Deq`/`Drand`/random
+//!   synthetic datasets of Sec. 7);
+//! * [`baselines`] — the `sql` and `sql+normalize` comparison approaches
+//!   from Sec. 7.4/7.5;
+//! * [`sql`] — the SQL front end with the paper's `ALIGN` / `NORMALIZE` /
+//!   `ABSORB` surface syntax (Sec. 6.2/6.3).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use temporal_baselines as baselines;
+pub use temporal_core as core;
+pub use temporal_datasets as datasets;
+pub use temporal_engine as engine;
+pub use temporal_sql as sql;

@@ -1,0 +1,143 @@
+//! Shared helpers for the integration test suites: deterministic random
+//! generation of *valid* (duplicate-free) temporal relations, and fixture
+//! builders for the paper's running example.
+
+#![allow(dead_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_alignment::core::prelude::*;
+use temporal_alignment::engine::prelude::*;
+
+/// Build a one-data-column relation from `(value, ts, te)` triples.
+pub fn rel1(name: &str, rows: &[(i64, i64, i64)]) -> TemporalRelation {
+    TemporalRelation::from_rows(
+        Schema::new(vec![Column::qualified(name, "k", DataType::Int)]),
+        rows.iter()
+            .map(|&(k, s, e)| (vec![Value::Int(k)], Interval::of(s, e)))
+            .collect(),
+    )
+    .expect("valid fixture")
+}
+
+/// Build a two-data-column relation from `(k, w, ts, te)` tuples.
+pub fn rel2(name: &str, rows: &[(i64, i64, i64, i64)]) -> TemporalRelation {
+    TemporalRelation::from_rows(
+        Schema::new(vec![
+            Column::qualified(name, "k", DataType::Int),
+            Column::qualified(name, "w", DataType::Int),
+        ]),
+        rows.iter()
+            .map(|&(k, w, s, e)| (vec![Value::Int(k), Value::Int(w)], Interval::of(s, e)))
+            .collect(),
+    )
+    .expect("valid fixture")
+}
+
+/// Generate a random duplicate-free temporal relation with one Int data
+/// column drawn from `0..val_dom` and intervals inside `[0, time_dom)`.
+/// Candidate rows violating duplicate-freeness are dropped greedily, so
+/// the result is always a valid temporal relation (Sec. 3.1).
+pub fn random_trel(
+    seed: u64,
+    max_rows: usize,
+    val_dom: i64,
+    time_dom: i64,
+) -> TemporalRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kept: Vec<(i64, Interval)> = Vec::new();
+    for _ in 0..max_rows {
+        let v = rng.gen_range(0..val_dom);
+        let ts = rng.gen_range(0..time_dom - 1);
+        let te = rng.gen_range(ts + 1..=time_dom);
+        let iv = Interval::of(ts, te);
+        let ok = kept
+            .iter()
+            .all(|(v2, iv2)| *v2 != v || (!iv2.overlaps(&iv) && *iv2 != iv));
+        if ok {
+            kept.push((v, iv));
+        }
+    }
+    TemporalRelation::from_rows(
+        Schema::new(vec![Column::new("k", DataType::Int)]),
+        kept.into_iter()
+            .map(|(v, iv)| (vec![Value::Int(v)], iv))
+            .collect(),
+    )
+    .expect("constructed duplicate free")
+}
+
+/// Random duplicate-free relation with two Int data columns.
+pub fn random_trel2(
+    seed: u64,
+    max_rows: usize,
+    val_dom: i64,
+    time_dom: i64,
+) -> TemporalRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kept: Vec<(i64, i64, Interval)> = Vec::new();
+    for _ in 0..max_rows {
+        let k = rng.gen_range(0..val_dom);
+        let w = rng.gen_range(0..val_dom);
+        let ts = rng.gen_range(0..time_dom - 1);
+        let te = rng.gen_range(ts + 1..=time_dom);
+        let iv = Interval::of(ts, te);
+        let ok = kept
+            .iter()
+            .all(|(k2, w2, iv2)| *k2 != k || *w2 != w || (!iv2.overlaps(&iv) && *iv2 != iv));
+        if ok {
+            kept.push((k, w, iv));
+        }
+    }
+    TemporalRelation::from_rows(
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("w", DataType::Int),
+        ]),
+        kept.into_iter()
+            .map(|(k, w, iv)| (vec![Value::Int(k), Value::Int(w)], iv))
+            .collect(),
+    )
+    .expect("constructed duplicate free")
+}
+
+/// The paper's reservations relation R (Fig. 1a), months as integers via
+/// `month::ym`.
+pub fn paper_r() -> TemporalRelation {
+    use temporal_core::interval::month::ym;
+    TemporalRelation::from_rows(
+        Schema::new(vec![Column::new("n", DataType::Str)]),
+        vec![
+            (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
+            (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
+            (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+        ],
+    )
+    .expect("valid fixture")
+}
+
+/// The paper's price relation P (Fig. 1a).
+pub fn paper_p() -> TemporalRelation {
+    use temporal_core::interval::month::ym;
+    let row = |a: i64, min: i64, max: i64, from: (i64, i64), to: (i64, i64)| {
+        (
+            vec![Value::Int(a), Value::Int(min), Value::Int(max)],
+            Interval::of(ym(from.0, from.1), ym(to.0, to.1)),
+        )
+    };
+    TemporalRelation::from_rows(
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("min", DataType::Int),
+            Column::new("max", DataType::Int),
+        ]),
+        vec![
+            row(50, 1, 2, (2012, 1), (2012, 6)),
+            row(40, 3, 7, (2012, 1), (2012, 6)),
+            row(30, 8, 12, (2012, 1), (2013, 1)),
+            row(50, 1, 2, (2012, 10), (2013, 1)),
+            row(40, 3, 7, (2012, 10), (2013, 1)),
+        ],
+    )
+    .expect("valid fixture")
+}

@@ -1,0 +1,141 @@
+//! The future-work extension (paper Sec. 8): a sweep-based interval
+//! overlap join for the group-construction step of the temporal
+//! primitives, when "conventional join techniques cannot be evaluated
+//! efficiently" (θ without equality predicates). Opt-in via
+//! `enable_intervaljoin`; results must be identical either way.
+
+mod common;
+
+use common::random_trel;
+use temporal_alignment::core::prelude::*;
+use temporal_alignment::engine::prelude::*;
+
+fn sweep_config() -> PlannerConfig {
+    PlannerConfig {
+        enable_intervaljoin: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn planner_uses_interval_join_only_when_enabled() {
+    let r = random_trel(21, 30, 5, 40);
+    let s = random_trel(22, 30, 5, 40);
+    // The alignment group-construction join with θ = true is a pure
+    // overlap join — no equi keys.
+    let plan = align_plan(
+        LogicalPlan::inline_scan(r.rel().clone()),
+        LogicalPlan::inline_scan(s.rel().clone()),
+        None,
+    )
+    .unwrap();
+    let catalog = temporal_engine::catalog::Catalog::new();
+
+    let default_physical = Planner::default().plan(&plan, &catalog).unwrap();
+    assert!(
+        default_physical.explain().contains("NestedLoopJoin[Left]"),
+        "paper-faithful default must nested-loop:\n{}",
+        default_physical.explain()
+    );
+
+    let sweep_physical = Planner::new(sweep_config()).plan(&plan, &catalog).unwrap();
+    assert!(
+        sweep_physical.explain().contains("IntervalJoin[Left] (sweep)"),
+        "extension must pick the sweep join:\n{}",
+        sweep_physical.explain()
+    );
+}
+
+#[test]
+fn alignment_results_identical_with_and_without_sweep_join() {
+    for seed in 0..8u64 {
+        let r = random_trel(seed + 400, 12, 3, 24);
+        let s = random_trel(seed + 500, 12, 3, 24);
+        let base = TemporalAlgebra::default();
+        let ext = TemporalAlgebra::new(sweep_config());
+
+        let a = base.align(&r, &s, None).unwrap();
+        let b = ext.align(&r, &s, None).unwrap();
+        assert!(a.same_set(&b), "align mismatch at seed {seed}");
+
+        let a = base.left_outer_join(&r, &s, None).unwrap();
+        let b = ext.left_outer_join(&r, &s, None).unwrap();
+        assert!(a.same_set(&b), "LOJ mismatch at seed {seed}");
+
+        let a = base.anti_join(&r, &s, None).unwrap();
+        let b = ext.anti_join(&r, &s, None).unwrap();
+        assert!(a.same_set(&b), "antijoin mismatch at seed {seed}");
+    }
+}
+
+#[test]
+fn equality_theta_still_uses_hash_join_when_sweep_enabled() {
+    // With hashable keys the keyed join should win on cost, sweep or not.
+    let r = random_trel(31, 200, 10, 300);
+    let plan = align_plan(
+        LogicalPlan::inline_scan(r.rel().clone()),
+        LogicalPlan::inline_scan(r.rel().clone()),
+        Some(col(0).eq(col(3))),
+    )
+    .unwrap();
+    let physical = Planner::new(sweep_config())
+        .plan(&plan, &temporal_engine::catalog::Catalog::new())
+        .unwrap();
+    let text = physical.explain();
+    assert!(
+        text.contains("HashJoin[Left]") || text.contains("MergeJoin[Left]"),
+        "{text}"
+    );
+}
+
+#[test]
+fn sql_set_switch_controls_the_extension() {
+    use temporal_alignment::sql::Session;
+    let r = random_trel(41, 20, 4, 30);
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+    let q = "SELECT * FROM (r r1 ALIGN r r2 ON 1 = 1) x";
+    let before = session.explain(q).unwrap();
+    assert!(!before.contains("IntervalJoin"), "{before}");
+    session.execute("SET enable_intervaljoin = on").unwrap();
+    let after = session.explain(q).unwrap();
+    assert!(after.contains("IntervalJoin"), "{after}");
+}
+
+#[test]
+fn optimized_antijoin_equals_generic_reduction() {
+    // Sec. 8 future work: the gaps-only sweep must produce exactly the
+    // Table 2 anti join, on fixtures and random inputs.
+    let base = TemporalAlgebra::default();
+    for seed in 0..10u64 {
+        let r = random_trel(seed + 600, 12, 3, 24);
+        let s = random_trel(seed + 700, 12, 3, 24);
+        for theta in [None, Some(col(0).eq(col(3))), Some(col(0).lt(col(3)))] {
+            let generic = base.anti_join(&r, &s, theta.clone()).unwrap();
+            let fast = base.anti_join_optimized(&r, &s, theta).unwrap();
+            assert!(
+                fast.same_set(&generic),
+                "seed {seed}: generic:\n{generic}\nfast:\n{fast}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_antijoin_plan_has_no_second_alignment() {
+    let r = random_trel(801, 10, 3, 20);
+    let plan = temporal_core::primitives::adjustment::antijoin_gaps_plan(
+        LogicalPlan::inline_scan(r.rel().clone()),
+        LogicalPlan::inline_scan(r.rel().clone()),
+        Some(col(0).eq(col(3))),
+    )
+    .unwrap();
+    let physical = Planner::default()
+        .plan(&plan, &temporal_engine::catalog::Catalog::new())
+        .unwrap();
+    let text = physical.explain();
+    assert!(text.contains("TemporalAntiAligner"), "{text}");
+    // exactly one adjustment node, no nontemporal anti join
+    assert_eq!(text.matches("Temporal").count(), 1, "{text}");
+    assert!(!text.contains("[Anti]"), "{text}");
+}

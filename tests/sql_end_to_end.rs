@@ -1,0 +1,287 @@
+//! End-to-end SQL tests: the SQL pipeline (lex → parse → analyze → plan →
+//! execute) must agree with the direct algebra API, and the planner
+//! switches must steer the group-construction join (Fig. 13's mechanism).
+
+mod common;
+
+use common::{paper_p, paper_r, random_trel};
+use temporal_alignment::core::prelude::*;
+use temporal_alignment::engine::prelude::*;
+use temporal_alignment::sql::Session;
+
+#[test]
+fn sql_align_agrees_with_algebra_align() {
+    let r = random_trel(5, 10, 3, 20);
+    let s = random_trel(6, 10, 3, 20);
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+    session.register_temporal("s", &s).unwrap();
+
+    let sql_out = session
+        .query_temporal("SELECT * FROM (r ALIGN s ON r.k = s.k) x")
+        .unwrap();
+    let alg = TemporalAlgebra::default();
+    let api_out = alg.align(&r, &s, Some(col(0).eq(col(3)))).unwrap();
+    assert!(
+        sql_out.same_set(&api_out),
+        "sql:\n{sql_out}\napi:\n{api_out}"
+    );
+}
+
+#[test]
+fn sql_normalize_agrees_with_algebra_normalize() {
+    let r = random_trel(7, 10, 3, 20);
+    let s = random_trel(8, 10, 3, 20);
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+    session.register_temporal("s", &s).unwrap();
+
+    let sql_out = session
+        .query_temporal("SELECT * FROM (r NORMALIZE s USING(k)) x")
+        .unwrap();
+    let alg = TemporalAlgebra::default();
+    let api_out = alg.normalize(&r, &s, &[(0, 0)]).unwrap();
+    assert!(sql_out.same_set(&api_out));
+}
+
+#[test]
+fn full_reduction_rule_via_sql_matches_algebra_join() {
+    // Hand-write the inner-join reduction rule in SQL (Table 2) and
+    // compare with the algebra's temporal join.
+    let r = random_trel(9, 8, 2, 16);
+    let s = random_trel(10, 8, 2, 16);
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+    session.register_temporal("s", &s).unwrap();
+
+    let sql_out = session
+        .query_temporal(
+            "SELECT ABSORB x.k, y.k, x.ts, x.te \
+             FROM (r ALIGN s ON r.k = s.k) x \
+             JOIN (s ALIGN r ON s.k = r.k) y \
+             ON x.k = y.k AND x.ts = y.ts AND x.te = y.te",
+        )
+        .unwrap();
+    let alg = TemporalAlgebra::default();
+    let api_out = alg.join(&r, &s, Some(col(0).eq(col(3)))).unwrap();
+    assert!(
+        sql_out.same_set(&api_out),
+        "sql:\n{sql_out}\napi:\n{api_out}"
+    );
+}
+
+#[test]
+fn planner_switches_steer_the_group_construction_join() {
+    // The paper's Fig. 13 workflow through SQL: normalization's internal
+    // left outer join follows the enabled join methods.
+    let r = random_trel(11, 40, 6, 60);
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+
+    let q = "SELECT * FROM (r r1 NORMALIZE r r2 USING(k)) x";
+
+    let all = session.explain(q).unwrap();
+    assert!(
+        all.contains("HashJoin[Left]") || all.contains("MergeJoin[Left]"),
+        "all-enabled plan should use a keyed join:\n{all}"
+    );
+
+    session.execute("SET enable_hashjoin = off").unwrap();
+    session.execute("SET enable_mergejoin = off").unwrap();
+    let nl = session.explain(q).unwrap();
+    assert!(
+        nl.contains("NestedLoopJoin[Left]"),
+        "nestloop-only plan:\n{nl}"
+    );
+
+    // Results identical either way.
+    session.execute("SET enable_hashjoin = on").unwrap();
+    session.execute("SET enable_mergejoin = on").unwrap();
+    let fast = session.query(q).unwrap();
+    session.execute("SET enable_hashjoin = off").unwrap();
+    session.execute("SET enable_mergejoin = off").unwrap();
+    let slow = session.query(q).unwrap();
+    assert!(fast.same_set(&slow));
+}
+
+#[test]
+fn snodgrass_not_exists_formulation_runs_via_sql() {
+    // The core of the `sql` baseline expressed in actual SQL: maximal
+    // uncovered candidate gaps validated with NOT EXISTS.
+    let r = paper_r();
+    let p = paper_p();
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+    session.register_temporal("p", &p).unwrap();
+
+    // For each reservation: does any price period cover its whole span?
+    let out = session
+        .query(
+            "SELECT n FROM r WHERE NOT EXISTS \
+             (SELECT * FROM p WHERE p.ts <= r.ts AND r.te <= p.te)",
+        )
+        .unwrap();
+    // Only s3 spans the whole year, and it covers every reservation.
+    assert_eq!(out.len(), 0, "{out}");
+
+    let out = session
+        .query(
+            "SELECT n FROM r WHERE NOT EXISTS \
+             (SELECT * FROM p WHERE p.a = 40 AND p.ts <= r.ts AND r.te <= p.te)",
+        )
+        .unwrap();
+    // The 40-price periods cover [1,6) and [10,13): r1 [1,8), r3 [8,12)
+    // are not fully covered; r2 [2,6) is.
+    assert_eq!(out.len(), 2, "{out}");
+}
+
+#[test]
+fn group_by_aggregates_with_arithmetic() {
+    let r = random_trel(13, 12, 3, 20);
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+    let out = session
+        .query(
+            "SELECT k, count(*) c, max(te) - min(ts) span \
+             FROM r GROUP BY k ORDER BY k",
+        )
+        .unwrap();
+    assert_eq!(out.schema().names(), vec!["k", "c", "span"]);
+    // Cross-check one group against the algebra.
+    for row in out.rows() {
+        let k = row[0].as_int().unwrap();
+        let expected = r
+            .iter()
+            .filter(|(d, _)| d[0] == Value::Int(k))
+            .count() as i64;
+        assert_eq!(row[1], Value::Int(expected));
+    }
+}
+
+#[test]
+fn explain_renders_temporal_nodes() {
+    let r = paper_r();
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+    let plan = session
+        .explain("SELECT * FROM (r r1 ALIGN r r2 ON r1.n = r2.n) x")
+        .unwrap();
+    assert!(plan.contains("TemporalAligner"), "{plan}");
+    let plan = session
+        .explain("SELECT * FROM (r r1 NORMALIZE r r2 USING()) x")
+        .unwrap();
+    assert!(plan.contains("TemporalNormalizer"), "{plan}");
+}
+
+#[test]
+fn right_and_full_outer_joins_via_sql() {
+    let r = random_trel(51, 8, 3, 16);
+    let s = random_trel(52, 8, 3, 16);
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+    session.register_temporal("s", &s).unwrap();
+
+    // Right outer join of aligned relations per Table 2.
+    let sql_out = session
+        .query_temporal(
+            "SELECT ABSORB x.k, y.k, coalesce(x.ts, y.ts) ts, coalesce(x.te, y.te) te \
+             FROM (r ALIGN s ON r.k = s.k) x \
+             RIGHT OUTER JOIN (s ALIGN r ON s.k = r.k) y \
+             ON x.k = y.k AND x.ts = y.ts AND x.te = y.te",
+        )
+        .unwrap();
+    let alg = TemporalAlgebra::default();
+    let api_out = alg.right_outer_join(&r, &s, Some(col(0).eq(col(3)))).unwrap();
+    assert!(
+        sql_out.same_set(&api_out),
+        "sql:\n{sql_out}\napi:\n{api_out}"
+    );
+
+    let sql_out = session
+        .query_temporal(
+            "SELECT ABSORB x.k, y.k, coalesce(x.ts, y.ts) ts, coalesce(x.te, y.te) te \
+             FROM (r ALIGN s ON r.k = s.k) x \
+             FULL OUTER JOIN (s ALIGN r ON s.k = r.k) y \
+             ON x.k = y.k AND x.ts = y.ts AND x.te = y.te",
+        )
+        .unwrap();
+    let api_out = alg.full_outer_join(&r, &s, Some(col(0).eq(col(3)))).unwrap();
+    assert!(
+        sql_out.same_set(&api_out),
+        "sql:\n{sql_out}\napi:\n{api_out}"
+    );
+}
+
+#[test]
+fn from_subqueries_and_nested_ctes() {
+    let r = random_trel(53, 10, 3, 18);
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+
+    // Subquery in FROM with aggregation on top.
+    let out = session
+        .query(
+            "SELECT q.k, count(*) c FROM \
+             (SELECT k, ts, te FROM r WHERE te - ts >= 2) q \
+             GROUP BY q.k ORDER BY q.k",
+        )
+        .unwrap();
+    for row in out.rows() {
+        let k = row[0].as_int().unwrap();
+        let expected = r
+            .iter()
+            .filter(|(d, iv)| d[0] == Value::Int(k) && iv.duration() >= 2)
+            .count() as i64;
+        assert_eq!(row[1], Value::Int(expected));
+    }
+
+    // A CTE referencing an earlier CTE.
+    let out = session
+        .query(
+            "WITH a AS (SELECT k, ts, te FROM r WHERE k > 0), \
+                  b AS (SELECT k, ts, te FROM a WHERE te - ts >= 2) \
+             SELECT count(*) c FROM b",
+        )
+        .unwrap();
+    let expected = r
+        .iter()
+        .filter(|(d, iv)| d[0].as_int().unwrap() > 0 && iv.duration() >= 2)
+        .count() as i64;
+    assert_eq!(out.rows()[0][0], Value::Int(expected));
+}
+
+#[test]
+fn sql_normalize_empty_using_matches_fig3_semantics() {
+    // N_{}(R; R) through SQL on the paper's reservations.
+    let r = paper_r();
+    let mut session = Session::new();
+    session.register_temporal("r", &r).unwrap();
+    let out = session
+        .query_temporal("SELECT * FROM (r r1 NORMALIZE r r2 USING()) x")
+        .unwrap();
+    let alg = TemporalAlgebra::default();
+    let api = alg.normalize(&r, &r, &[]).unwrap();
+    assert!(out.same_set(&api));
+    assert_eq!(out.len(), 5); // Fig. 3
+}
+
+#[test]
+fn distinct_and_absorb_quantifiers_differ() {
+    // DISTINCT removes exact duplicates only; ABSORB also removes covered
+    // value-equivalent tuples.
+    let rel = Relation::from_values(
+        temporal_core::trel::temporal_schema(vec![Column::new("k", DataType::Int)]),
+        vec![
+            vec![Value::Int(1), Value::Int(0), Value::Int(9)],
+            vec![Value::Int(1), Value::Int(2), Value::Int(5)], // covered
+            vec![Value::Int(2), Value::Int(2), Value::Int(5)],
+        ],
+    )
+    .unwrap();
+    let mut session = Session::new();
+    session.register_table("t", rel).unwrap();
+    let distinct = session.query("SELECT DISTINCT k, ts, te FROM t").unwrap();
+    assert_eq!(distinct.len(), 3);
+    let absorbed = session.query("SELECT ABSORB k, ts, te FROM t").unwrap();
+    assert_eq!(absorbed.len(), 2);
+}
