@@ -24,6 +24,4 @@ pub mod sql_normalize;
 pub mod sql_outer_join;
 
 pub use sql_normalize::{sqlnorm_full_outer_join, sqlnorm_left_outer_join};
-pub use sql_outer_join::{
-    sql_full_outer_join, sql_left_outer_join, sql_left_outer_join_text,
-};
+pub use sql_outer_join::{sql_full_outer_join, sql_left_outer_join, sql_left_outer_join_text};

@@ -181,9 +181,11 @@ mod tests {
         let s = rel("s", &[(1, 2, 4), (2, 6, 15), (1, 5, 11)]);
         let theta = col(0).eq(col(3));
         let fast = alg.left_outer_join(&r, &s, Some(theta.clone())).unwrap();
-        let sqlnorm =
-            sqlnorm_left_outer_join(&r, &s, Some(theta), alg.planner()).unwrap();
-        assert!(fast.same_set(&sqlnorm), "align:\n{fast}\nsqlnorm:\n{sqlnorm}");
+        let sqlnorm = sqlnorm_left_outer_join(&r, &s, Some(theta), alg.planner()).unwrap();
+        assert!(
+            fast.same_set(&sqlnorm),
+            "align:\n{fast}\nsqlnorm:\n{sqlnorm}"
+        );
     }
 
     #[test]
@@ -193,9 +195,11 @@ mod tests {
         let s = rel("s", &[(1, 2, 10), (3, 20, 30)]);
         let theta = col(0).eq(col(3));
         let fast = alg.full_outer_join(&r, &s, Some(theta.clone())).unwrap();
-        let sqlnorm =
-            sqlnorm_full_outer_join(&r, &s, Some(theta), alg.planner()).unwrap();
-        assert!(fast.same_set(&sqlnorm), "align:\n{fast}\nsqlnorm:\n{sqlnorm}");
+        let sqlnorm = sqlnorm_full_outer_join(&r, &s, Some(theta), alg.planner()).unwrap();
+        assert!(
+            fast.same_set(&sqlnorm),
+            "align:\n{fast}\nsqlnorm:\n{sqlnorm}"
+        );
     }
 
     #[test]
@@ -207,9 +211,11 @@ mod tests {
         let s = rel("s", &[(1, 2, 4), (1, 4, 6)]);
         let theta = col(0).eq(col(3));
         let fast = alg.left_outer_join(&r, &s, Some(theta.clone())).unwrap();
-        let sqlnorm =
-            sqlnorm_left_outer_join(&r, &s, Some(theta), alg.planner()).unwrap();
-        assert!(fast.same_set(&sqlnorm), "align:\n{fast}\nsqlnorm:\n{sqlnorm}");
+        let sqlnorm = sqlnorm_left_outer_join(&r, &s, Some(theta), alg.planner()).unwrap();
+        assert!(
+            fast.same_set(&sqlnorm),
+            "align:\n{fast}\nsqlnorm:\n{sqlnorm}"
+        );
     }
 
     #[test]

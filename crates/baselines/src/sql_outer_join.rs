@@ -80,9 +80,8 @@ fn negative_part(
     };
 
     let r_items = |extra: (Expr, String)| -> Vec<(Expr, String)> {
-        let mut items: Vec<(Expr, String)> = (0..wr)
-            .map(|i| (col(i), rs.col(i).name.clone()))
-            .collect();
+        let mut items: Vec<(Expr, String)> =
+            (0..wr).map(|i| (col(i), rs.col(i).name.clone())).collect();
         items.push(extra);
         items
     };
@@ -93,7 +92,11 @@ fn negative_part(
         .project_named(r_items((col(r_ts), P1.to_string())))?;
     let join_starts = r
         .clone()
-        .join(s.clone(), JoinType::Inner, Some(match_cond(col(s_te).lt(col(r_te)))))
+        .join(
+            s.clone(),
+            JoinType::Inner,
+            Some(match_cond(col(s_te).lt(col(r_te)))),
+        )
         .project_named(r_items((col(s_te), P1.to_string())))?;
     let starts = self_starts.set_op(SetOpKind::Union, join_starts);
 
@@ -103,7 +106,11 @@ fn negative_part(
         .project_named(r_items((col(r_te), P2.to_string())))?;
     let join_ends = r
         .clone()
-        .join(s.clone(), JoinType::Inner, Some(match_cond(col(s_ts).gt(col(r_ts)))))
+        .join(
+            s.clone(),
+            JoinType::Inner,
+            Some(match_cond(col(s_ts).gt(col(r_ts)))),
+        )
         .project_named(r_items((col(s_ts), P2.to_string())))?;
     let ends = self_ends.set_op(SetOpKind::Union, join_ends);
 
@@ -115,9 +122,8 @@ fn negative_part(
     let pairs = starts
         .join(ends, JoinType::Inner, Expr::and_all(pair_conj))
         .project_named({
-            let mut items: Vec<(Expr, String)> = (0..wr)
-                .map(|i| (col(i), rs.col(i).name.clone()))
-                .collect();
+            let mut items: Vec<(Expr, String)> =
+                (0..wr).map(|i| (col(i), rs.col(i).name.clone())).collect();
             items.push((col(wr), P1.to_string()));
             items.push((col(wc + wr), P2.to_string()));
             items
@@ -295,10 +301,7 @@ mod tests {
         let s = rel("s", &[(7, 2, 4), (8, 6, 15)]);
         let fast = alg.left_outer_join(&r, &s, None).unwrap();
         let sql = sql_left_outer_join(&r, &s, None, alg.planner()).unwrap();
-        assert!(
-            fast.same_set(&sql),
-            "align:\n{fast}\nsql:\n{sql}"
-        );
+        assert!(fast.same_set(&sql), "align:\n{fast}\nsql:\n{sql}");
     }
 
     #[test]

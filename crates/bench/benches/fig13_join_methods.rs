@@ -22,11 +22,9 @@ fn bench(c: &mut Criterion) {
         ];
         for (label, config) in settings {
             let planner = Planner::new(config);
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &r,
-                |b, r| b.iter(|| run_normalization(r, &[0], &planner)),
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &r, |b, r| {
+                b.iter(|| run_normalization(r, &[0], &planner))
+            });
         }
     }
     group.finish();

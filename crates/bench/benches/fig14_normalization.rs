@@ -14,8 +14,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[500usize, 1_000, 2_000] {
         let r = prefix(&data, n);
-        let variants: [(&str, &[usize]); 3] =
-            [("N_empty", &[]), ("N_pcn", &[1]), ("N_ssn", &[0])];
+        let variants: [(&str, &[usize]); 3] = [("N_empty", &[]), ("N_pcn", &[1]), ("N_ssn", &[0])];
         for (label, b_attrs) in variants {
             group.bench_with_input(BenchmarkId::new(label, n), &r, |b, r| {
                 b.iter(|| run_normalization(r, b_attrs, &planner))

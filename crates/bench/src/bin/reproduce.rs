@@ -32,10 +32,7 @@ fn print_points(title: &str, points: &[Point]) {
     println!("runtime [s]:");
     println!("{}", render_table(points, |p| format!("{:.3}", p.seconds)));
     println!("output tuples:");
-    println!(
-        "{}",
-        render_table(points, |p| p.output_rows.to_string())
-    );
+    println!("{}", render_table(points, |p| p.output_rows.to_string()));
 }
 
 fn save(name: &str, points: &[Point]) {

@@ -164,8 +164,7 @@ pub fn render_table(points: &[Point], value: impl Fn(&Point) -> String) -> Strin
     }
     let mut by_n: BTreeMap<usize, BTreeMap<&str, String>> = BTreeMap::new();
     for p in points {
-        by_n
-            .entry(p.n)
+        by_n.entry(p.n)
             .or_default()
             .insert(p.series.as_str(), value(p));
     }

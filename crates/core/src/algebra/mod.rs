@@ -53,7 +53,11 @@ impl TemporalAlgebra {
     // ---- tuple-based operators (aligner) --------------------------------
 
     /// σᵀ_θ(r) = σ_θ(r): temporal selection needs no adjustment.
-    pub fn selection(&self, r: &TemporalRelation, predicate: Expr) -> TemporalResult<TemporalRelation> {
+    pub fn selection(
+        &self,
+        r: &TemporalRelation,
+        predicate: Expr,
+    ) -> TemporalResult<TemporalRelation> {
         self.run(&reduce_selection(Self::scan(r), predicate))
     }
 
@@ -76,7 +80,12 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_join(Self::scan(r), Self::scan(s), JoinType::Inner, theta)?)
+        self.run(&reduce_join(
+            Self::scan(r),
+            Self::scan(s),
+            JoinType::Inner,
+            theta,
+        )?)
     }
 
     /// ⟕ᵀ_θ: temporal left outer join (Table 2, Left O. Join).
@@ -86,7 +95,12 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_join(Self::scan(r), Self::scan(s), JoinType::Left, theta)?)
+        self.run(&reduce_join(
+            Self::scan(r),
+            Self::scan(s),
+            JoinType::Left,
+            theta,
+        )?)
     }
 
     /// ⟖ᵀ_θ: temporal right outer join.
@@ -96,7 +110,12 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_join(Self::scan(r), Self::scan(s), JoinType::Right, theta)?)
+        self.run(&reduce_join(
+            Self::scan(r),
+            Self::scan(s),
+            JoinType::Right,
+            theta,
+        )?)
     }
 
     /// ⟗ᵀ_θ: temporal full outer join.
@@ -106,7 +125,12 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_join(Self::scan(r), Self::scan(s), JoinType::Full, theta)?)
+        self.run(&reduce_join(
+            Self::scan(r),
+            Self::scan(s),
+            JoinType::Full,
+            theta,
+        )?)
     }
 
     /// ▷ᵀ_θ: temporal anti join,
@@ -168,7 +192,11 @@ impl TemporalAlgebra {
         r: &TemporalRelation,
         s: &TemporalRelation,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_setop(SetOpKind::Union, Self::scan(r), Self::scan(s))?)
+        self.run(&reduce_setop(
+            SetOpKind::Union,
+            Self::scan(r),
+            Self::scan(s),
+        )?)
     }
 
     /// −ᵀ: temporal difference `N_A(r; s) − N_A(s; r)`.
@@ -177,7 +205,11 @@ impl TemporalAlgebra {
         r: &TemporalRelation,
         s: &TemporalRelation,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_setop(SetOpKind::Except, Self::scan(r), Self::scan(s))?)
+        self.run(&reduce_setop(
+            SetOpKind::Except,
+            Self::scan(r),
+            Self::scan(s),
+        )?)
     }
 
     /// ∩ᵀ: temporal intersection `N_A(r; s) ∩ N_A(s; r)`.
@@ -186,7 +218,11 @@ impl TemporalAlgebra {
         r: &TemporalRelation,
         s: &TemporalRelation,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_setop(SetOpKind::Intersect, Self::scan(r), Self::scan(s))?)
+        self.run(&reduce_setop(
+            SetOpKind::Intersect,
+            Self::scan(r),
+            Self::scan(s),
+        )?)
     }
 
     // ---- primitives, exposed for composition ----------------------------
@@ -237,7 +273,10 @@ mod tests {
             .iter()
             .map(|(d, iv)| {
                 (
-                    d.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","),
+                    d.iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
                     iv.start(),
                     iv.end(),
                 )
@@ -251,9 +290,7 @@ mod tests {
     fn selection_preserves_timestamps() {
         let alg = TemporalAlgebra::default();
         let r = rel(&[("a", 0, 5), ("b", 2, 9)]);
-        let out = alg
-            .selection(&r, col(0).eq(lit(Value::str("a"))))
-            .unwrap();
+        let out = alg.selection(&r, col(0).eq(lit(Value::str("a")))).unwrap();
         assert_eq!(pairs(&out), vec![("a".into(), 0, 5)]);
     }
 
@@ -304,10 +341,7 @@ mod tests {
         let r = rel(&[("a", 0, 8)]);
         let s = rel(&[("x", 2, 4)]);
         let out = alg.anti_join(&r, &s, None).unwrap();
-        assert_eq!(
-            pairs(&out),
-            vec![("a".into(), 0, 2), ("a".into(), 4, 8)]
-        );
+        assert_eq!(pairs(&out), vec![("a".into(), 0, 2), ("a".into(), 4, 8)]);
     }
 
     #[test]
@@ -318,11 +352,7 @@ mod tests {
         let out = alg.difference(&r, &s).unwrap();
         assert_eq!(
             pairs(&out),
-            vec![
-                ("a".into(), 0, 2),
-                ("a".into(), 5, 8),
-                ("b".into(), 0, 3),
-            ]
+            vec![("a".into(), 0, 2), ("a".into(), 5, 8), ("b".into(), 0, 3),]
         );
     }
 
@@ -370,11 +400,7 @@ mod tests {
         // fragments: [0,3), [3,5) (both tuples), [5,9) — π keeps each once.
         assert_eq!(
             pairs(&out),
-            vec![
-                ("a".into(), 0, 3),
-                ("a".into(), 3, 5),
-                ("a".into(), 5, 9),
-            ]
+            vec![("a".into(), 0, 3), ("a".into(), 3, 5), ("a".into(), 5, 9),]
         );
     }
 
@@ -387,11 +413,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             pairs(&out),
-            vec![
-                ("1".into(), 0, 3),
-                ("1".into(), 5, 9),
-                ("2".into(), 3, 5),
-            ]
+            vec![("1".into(), 0, 3), ("1".into(), 5, 9), ("2".into(), 3, 5),]
         );
         assert_eq!(out.schema().names(), vec!["cnt", "ts", "te"]);
     }

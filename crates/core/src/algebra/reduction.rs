@@ -260,12 +260,9 @@ mod tests {
     fn aggregation_validates_groups() {
         let r = rel(&[(1, 0, 5)]);
         let plan = LogicalPlan::inline_scan(r.rel().clone());
-        assert!(reduce_aggregation(
-            plan,
-            &[2],
-            vec![(AggCall::count_star(), "c".to_string())]
-        )
-        .is_err());
+        assert!(
+            reduce_aggregation(plan, &[2], vec![(AggCall::count_star(), "c".to_string())]).is_err()
+        );
     }
 
     #[test]

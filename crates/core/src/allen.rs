@@ -139,11 +139,7 @@ mod tests {
                         let a = iv(a_s, a_e);
                         let b = iv(b_s, b_e);
                         let rel = relate(&a, &b);
-                        assert_eq!(
-                            rel.shares_points(),
-                            a.overlaps(&b),
-                            "{a} {rel:?} {b}"
-                        );
+                        assert_eq!(rel.shares_points(), a.overlaps(&b), "{a} {rel:?} {b}");
                     }
                 }
             }
@@ -153,8 +149,19 @@ mod tests {
     #[test]
     fn inverse_is_involution() {
         for rel in [
-            Before, Meets, Overlaps, Starts, During, Finishes, Equal, FinishedBy, Contains,
-            StartedBy, OverlappedBy, MetBy, After,
+            Before,
+            Meets,
+            Overlaps,
+            Starts,
+            During,
+            Finishes,
+            Equal,
+            FinishedBy,
+            Contains,
+            StartedBy,
+            OverlappedBy,
+            MetBy,
+            After,
         ] {
             assert_eq!(rel.inverse().inverse(), rel);
         }

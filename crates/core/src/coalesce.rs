@@ -57,10 +57,7 @@ pub fn coalesce(r: &TemporalRelation) -> TemporalResult<TemporalRelation> {
 
 /// Are two temporal relations snapshot equivalent (equal at every time
 /// point)? Implemented by comparing coalesced canonical forms.
-pub fn snapshot_equivalent(
-    a: &TemporalRelation,
-    b: &TemporalRelation,
-) -> TemporalResult<bool> {
+pub fn snapshot_equivalent(a: &TemporalRelation, b: &TemporalRelation) -> TemporalResult<bool> {
     Ok(coalesce(a)?.same_set(&coalesce(b)?))
 }
 

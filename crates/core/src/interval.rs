@@ -118,10 +118,7 @@ impl Interval {
     /// uncovered sub-intervals in ascending order. This is the "gap" part
     /// of the temporal aligner (Def. 10, lines 3–4).
     pub fn subtract_all(&self, covers: &[Interval]) -> Vec<Interval> {
-        let mut relevant: Vec<Interval> = covers
-            .iter()
-            .filter_map(|c| self.intersect(c))
-            .collect();
+        let mut relevant: Vec<Interval> = covers.iter().filter_map(|c| self.intersect(c)).collect();
         relevant.sort();
         let mut gaps = Vec::new();
         let mut cursor = self.start;

@@ -23,8 +23,12 @@ use crate::trel::TemporalRelation;
 pub fn absorb_ref(r: &TemporalRelation) -> TemporalResult<TemporalRelation> {
     let mut out: Vec<(Vec<Value>, Interval)> = Vec::new();
     for (data, iv) in r.iter() {
-        let absorbed = r.iter().any(|(d2, iv2)| d2 == data && iv2.properly_contains(&iv));
-        let duplicate = out.iter().any(|(d2, iv2)| d2.as_slice() == data && *iv2 == iv);
+        let absorbed = r
+            .iter()
+            .any(|(d2, iv2)| d2 == data && iv2.properly_contains(&iv));
+        let duplicate = out
+            .iter()
+            .any(|(d2, iv2)| d2.as_slice() == data && *iv2 == iv);
         if !absorbed && !duplicate {
             out.push((data.to_vec(), iv));
         }

@@ -479,9 +479,7 @@ impl ExecNode for AdjustmentExec {
                 }
                 let next = self.input.next()?;
                 self.sameleft = match &next {
-                    Some(n) => {
-                        n.values()[..self.r_width] == curr_row.values()[..self.r_width]
-                    }
+                    Some(n) => n.values()[..self.r_width] == curr_row.values()[..self.r_width],
                     None => false,
                 };
                 self.prev = Some(curr_row);
@@ -563,9 +561,18 @@ mod tests {
                 Column::new("b", DataType::Str),
             ]),
             vec![
-                (vec![Value::str("a"), Value::str("beta")], Interval::of(1, 7)),
-                (vec![Value::str("b"), Value::str("beta")], Interval::of(3, 9)),
-                (vec![Value::str("c"), Value::str("gamma")], Interval::of(8, 10)),
+                (
+                    vec![Value::str("a"), Value::str("beta")],
+                    Interval::of(1, 7),
+                ),
+                (
+                    vec![Value::str("b"), Value::str("beta")],
+                    Interval::of(3, 9),
+                ),
+                (
+                    vec![Value::str("c"), Value::str("gamma")],
+                    Interval::of(8, 10),
+                ),
             ],
         )
         .unwrap();
@@ -591,15 +598,42 @@ mod tests {
         let expected = TemporalRelation::from_rows(
             r.data_schema(),
             vec![
-                (vec![Value::str("a"), Value::str("beta")], Interval::of(1, 2)),
-                (vec![Value::str("a"), Value::str("beta")], Interval::of(2, 5)),
-                (vec![Value::str("a"), Value::str("beta")], Interval::of(3, 4)),
-                (vec![Value::str("a"), Value::str("beta")], Interval::of(5, 7)),
-                (vec![Value::str("b"), Value::str("beta")], Interval::of(3, 4)),
-                (vec![Value::str("b"), Value::str("beta")], Interval::of(3, 5)),
-                (vec![Value::str("b"), Value::str("beta")], Interval::of(5, 7)),
-                (vec![Value::str("b"), Value::str("beta")], Interval::of(7, 9)),
-                (vec![Value::str("c"), Value::str("gamma")], Interval::of(8, 10)),
+                (
+                    vec![Value::str("a"), Value::str("beta")],
+                    Interval::of(1, 2),
+                ),
+                (
+                    vec![Value::str("a"), Value::str("beta")],
+                    Interval::of(2, 5),
+                ),
+                (
+                    vec![Value::str("a"), Value::str("beta")],
+                    Interval::of(3, 4),
+                ),
+                (
+                    vec![Value::str("a"), Value::str("beta")],
+                    Interval::of(5, 7),
+                ),
+                (
+                    vec![Value::str("b"), Value::str("beta")],
+                    Interval::of(3, 4),
+                ),
+                (
+                    vec![Value::str("b"), Value::str("beta")],
+                    Interval::of(3, 5),
+                ),
+                (
+                    vec![Value::str("b"), Value::str("beta")],
+                    Interval::of(5, 7),
+                ),
+                (
+                    vec![Value::str("b"), Value::str("beta")],
+                    Interval::of(7, 9),
+                ),
+                (
+                    vec![Value::str("c"), Value::str("gamma")],
+                    Interval::of(8, 10),
+                ),
             ],
         )
         .unwrap();
@@ -646,7 +680,13 @@ mod tests {
         let r = rel("r", &[("a", 0, 30), ("b", 5, 25), ("c", 10, 20)]);
         let s = rel(
             "s",
-            &[("x", 2, 4), ("y", 6, 9), ("z", 11, 14), ("w", 16, 23), ("v", 26, 28)],
+            &[
+                ("x", 2, 4),
+                ("y", 6, 9),
+                ("z", 11, 14),
+                ("w", 16, 23),
+                ("v", 26, 28),
+            ],
         );
         let out = align_eval(&r, &s, None, &planner()).unwrap();
         let (n, m) = (r.len() as i64, s.len() as i64);
@@ -658,9 +698,13 @@ mod tests {
         let r = rel("r", &[("a", 0, 10), ("b", 3, 12), ("a", 15, 20)]);
         let s = rel("s", &[("a", 2, 6), ("b", 4, 8), ("a", 9, 18)]);
         let theta = col(0).eq(col(3));
-        let reference =
-            align_eval(&r, &s, Some(theta.clone()), &Planner::new(PlannerConfig::nestloop_only()))
-                .unwrap();
+        let reference = align_eval(
+            &r,
+            &s,
+            Some(theta.clone()),
+            &Planner::new(PlannerConfig::nestloop_only()),
+        )
+        .unwrap();
         for config in [PlannerConfig::all_enabled(), PlannerConfig::no_merge()] {
             let out = align_eval(&r, &s, Some(theta.clone()), &Planner::new(config)).unwrap();
             assert!(out.same_set(&reference));

@@ -115,12 +115,7 @@ mod tests {
     fn plan_version_matches_materialized() {
         use temporal_engine::catalog::Catalog;
         let rel = r();
-        let plan = extend_plan(
-            LogicalPlan::inline_scan(rel.rel().clone()),
-            US,
-            UE,
-        )
-        .unwrap();
+        let plan = extend_plan(LogicalPlan::inline_scan(rel.rel().clone()), US, UE).unwrap();
         let out = Planner::default().run(&plan, &Catalog::new()).unwrap();
         let expected = extend(&rel).unwrap();
         assert!(out.same_set(expected.rel()));

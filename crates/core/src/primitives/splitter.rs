@@ -120,10 +120,7 @@ pub fn normalize_ref(
 
 /// Convenience: `N_B(r; r)` with `B` given as data-column indices of `r`
 /// (used by the reduction rules for π and ϑ).
-pub fn self_normalize_ref(
-    r: &TemporalRelation,
-    b: &[usize],
-) -> TemporalResult<TemporalRelation> {
+pub fn self_normalize_ref(r: &TemporalRelation, b: &[usize]) -> TemporalResult<TemporalRelation> {
     let pairs: Vec<(usize, usize)> = b.iter().map(|&i| (i, i)).collect();
     normalize_ref(r, r, &pairs)
 }
@@ -242,12 +239,7 @@ mod tests {
             let out = self_normalize_ref(&r, &b).unwrap();
             let rows: Vec<(Vec<Value>, Interval)> = out
                 .iter()
-                .map(|(d, iv)| {
-                    (
-                        b.iter().map(|&i| d[i].clone()).collect::<Vec<_>>(),
-                        iv,
-                    )
-                })
+                .map(|(d, iv)| (b.iter().map(|&i| d[i].clone()).collect::<Vec<_>>(), iv))
                 .collect();
             for (i, (bi, ti)) in rows.iter().enumerate() {
                 for (bj, tj) in rows.iter().skip(i + 1) {

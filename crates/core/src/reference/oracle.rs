@@ -37,7 +37,9 @@ pub fn snapshot_eval(
     };
     let dedup = |rows: Vec<Row>| -> Vec<Row> {
         let mut seen = HashSet::new();
-        rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+        rows.into_iter()
+            .filter(|r| seen.insert(r.clone()))
+            .collect()
     };
 
     let out: Vec<Row> = match op {

@@ -101,8 +101,7 @@ mod tests {
         let r = rel(&[("a", 0, 5), ("a", 5, 9)]);
         let s = rel(&[]);
         let coalesced = rel(&[("a", 0, 9)]);
-        let v =
-            check_change_preservation(&TemporalOp::Union, &[&r, &s], &coalesced).unwrap();
+        let v = check_change_preservation(&TemporalOp::Union, &[&r, &s], &coalesced).unwrap();
         assert!(!v.is_empty());
         assert!(v[0].contains("lineage changes inside"));
     }
@@ -112,8 +111,7 @@ mod tests {
         let r = rel(&[("a", 0, 9)]);
         let s = rel(&[]);
         let fragmented = rel(&[("a", 0, 4), ("a", 4, 9)]);
-        let v =
-            check_change_preservation(&TemporalOp::Union, &[&r, &s], &fragmented).unwrap();
+        let v = check_change_preservation(&TemporalOp::Union, &[&r, &s], &fragmented).unwrap();
         assert!(!v.is_empty());
         assert!(v.iter().any(|m| m.contains("not maximal")));
     }
@@ -126,8 +124,14 @@ mod tests {
         let r = TemporalRelation::from_rows(
             Schema::new(vec![Column::new("n", DataType::Str)]),
             vec![
-                (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
-                (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+                (
+                    vec![Value::str("ann")],
+                    Interval::of(ym(2012, 1), ym(2012, 8)),
+                ),
+                (
+                    vec![Value::str("ann")],
+                    Interval::of(ym(2012, 8), ym(2012, 12)),
+                ),
             ],
         )
         .unwrap();

@@ -24,9 +24,7 @@ fn matching_live(r: &TemporalRelation, wanted: &[Value], t: TimePoint) -> BTreeS
     r.rows()
         .iter()
         .enumerate()
-        .filter(|(_, row)| {
-            r.interval_of(row).contains_point(t) && r.data_of(row) == wanted
-        })
+        .filter(|(_, row)| r.interval_of(row).contains_point(t) && r.data_of(row) == wanted)
         .map(|(i, _)| i)
         .collect()
 }
@@ -173,9 +171,18 @@ mod tests {
         TemporalRelation::from_rows(
             Schema::new(vec![Column::new("n", DataType::Str)]),
             vec![
-                (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
-                (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
-                (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+                (
+                    vec![Value::str("ann")],
+                    Interval::of(ym(2012, 1), ym(2012, 8)),
+                ),
+                (
+                    vec![Value::str("joe")],
+                    Interval::of(ym(2012, 2), ym(2012, 6)),
+                ),
+                (
+                    vec![Value::str("ann")],
+                    Interval::of(ym(2012, 8), ym(2012, 12)),
+                ),
             ],
         )
         .unwrap()

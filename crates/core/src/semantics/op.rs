@@ -145,8 +145,7 @@ impl TemporalOp {
             TemporalOp::Aggregation { group, aggs } => {
                 let data = args[0].data_schema();
                 let full = args[0].schema();
-                let mut cols: Vec<Column> =
-                    group.iter().map(|&i| data.col(i).clone()).collect();
+                let mut cols: Vec<Column> = group.iter().map(|&i| data.col(i).clone()).collect();
                 for (call, name) in aggs {
                     let arg_t = match &call.arg {
                         Some(e) => Some(e.infer_type(full)?),

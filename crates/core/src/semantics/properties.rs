@@ -133,13 +133,21 @@ fn remap_op(op: &TemporalOp, dr: usize, ds: usize) -> TemporalOp {
         TemporalOp::Difference => TemporalOp::Difference,
         TemporalOp::Intersection => TemporalOp::Intersection,
         TemporalOp::CartesianProduct => TemporalOp::CartesianProduct,
-        TemporalOp::Join { theta } => TemporalOp::Join { theta: remap(theta) },
-        TemporalOp::LeftOuterJoin { theta } => TemporalOp::LeftOuterJoin { theta: remap(theta) },
-        TemporalOp::RightOuterJoin { theta } => {
-            TemporalOp::RightOuterJoin { theta: remap(theta) }
-        }
-        TemporalOp::FullOuterJoin { theta } => TemporalOp::FullOuterJoin { theta: remap(theta) },
-        TemporalOp::AntiJoin { theta } => TemporalOp::AntiJoin { theta: remap(theta) },
+        TemporalOp::Join { theta } => TemporalOp::Join {
+            theta: remap(theta),
+        },
+        TemporalOp::LeftOuterJoin { theta } => TemporalOp::LeftOuterJoin {
+            theta: remap(theta),
+        },
+        TemporalOp::RightOuterJoin { theta } => TemporalOp::RightOuterJoin {
+            theta: remap(theta),
+        },
+        TemporalOp::FullOuterJoin { theta } => TemporalOp::FullOuterJoin {
+            theta: remap(theta),
+        },
+        TemporalOp::AntiJoin { theta } => TemporalOp::AntiJoin {
+            theta: remap(theta),
+        },
     }
 }
 
@@ -251,10 +259,34 @@ mod tests {
                 true,
             ),
             (TemporalOp::CartesianProduct, true, true),
-            (TemporalOp::Join { theta: theta.clone() }, true, true),
-            (TemporalOp::LeftOuterJoin { theta: theta.clone() }, true, true),
-            (TemporalOp::RightOuterJoin { theta: theta.clone() }, true, true),
-            (TemporalOp::FullOuterJoin { theta: theta.clone() }, true, true),
+            (
+                TemporalOp::Join {
+                    theta: theta.clone(),
+                },
+                true,
+                true,
+            ),
+            (
+                TemporalOp::LeftOuterJoin {
+                    theta: theta.clone(),
+                },
+                true,
+                true,
+            ),
+            (
+                TemporalOp::RightOuterJoin {
+                    theta: theta.clone(),
+                },
+                true,
+                true,
+            ),
+            (
+                TemporalOp::FullOuterJoin {
+                    theta: theta.clone(),
+                },
+                true,
+                true,
+            ),
             (TemporalOp::AntiJoin { theta }, true, true),
             (TemporalOp::Projection { attrs: vec![0] }, true, false),
             (
@@ -307,7 +339,9 @@ mod tests {
         assert_eq!(t.iter().filter(|p| p.schema_robust).count(), 9);
         assert_eq!(t.iter().filter(|p| p.timestamp_propagating).count(), 7);
         // No operator propagates without being robust.
-        assert!(t.iter().all(|p| p.schema_robust || !p.timestamp_propagating));
+        assert!(t
+            .iter()
+            .all(|p| p.schema_robust || !p.timestamp_propagating));
         let rendered = render_table1();
         assert!(rendered.contains("σ"));
         assert!(rendered.contains("yes"));

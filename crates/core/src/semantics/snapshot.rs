@@ -43,8 +43,8 @@ pub fn check_snapshot_reducibility(
     let mut violations = Vec::new();
     for t in critical_points(&rels) {
         let expected_rows = snapshot_eval(op, args, t)?;
-        let expected =
-            Relation::new(result.data_schema(), expected_rows).map_err(crate::error::TemporalError::from)?;
+        let expected = Relation::new(result.data_schema(), expected_rows)
+            .map_err(crate::error::TemporalError::from)?;
         let actual = result.timeslice(t);
         if !actual.same_set(&expected) {
             violations.push(t);
@@ -96,10 +96,7 @@ mod tests {
         // Deliberately wrong "result": the un-intersected interval.
         let wrong = TemporalRelation::from_rows(
             op.result_data_schema(&[&r, &s]).unwrap(),
-            vec![(
-                vec![Value::str("a"), Value::str("x")],
-                Interval::of(0, 8),
-            )],
+            vec![(vec![Value::str("a"), Value::str("x")], Interval::of(0, 8))],
         )
         .unwrap();
         let violations = check_snapshot_reducibility(&op, &[&r, &s], &wrong).unwrap();

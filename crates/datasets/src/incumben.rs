@@ -108,7 +108,10 @@ pub fn incumben(spec: IncumbenSpec) -> TemporalRelation {
             let start = rng.gen_range(0..(spec.days - dur).max(1));
             let iv = Interval::of(start, start + dur);
             let slot = taken.entry((ssn, pcn)).or_default();
-            if slot.iter().all(|other| !other.overlaps(&iv) && *other != iv) {
+            if slot
+                .iter()
+                .all(|other| !other.overlaps(&iv) && *other != iv)
+            {
                 slot.push(iv);
                 rows.push((vec![Value::Int(ssn), Value::Int(pcn)], iv));
                 placed = true;

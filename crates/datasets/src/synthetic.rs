@@ -85,12 +85,12 @@ pub fn drand(n: usize, seed: u64) -> (TemporalRelation, TemporalRelation) {
         let start = rng.gen_range(0..domain - dur);
         let iv = Interval::of(start, start + dur);
         let slot = taken.entry((price, lo, hi)).or_default();
-        if slot.iter().all(|other| !other.overlaps(&iv) && *other != iv) {
+        if slot
+            .iter()
+            .all(|other| !other.overlaps(&iv) && *other != iv)
+        {
             slot.push(iv);
-            s_rows.push((
-                vec![Value::Int(price), Value::Int(lo), Value::Int(hi)],
-                iv,
-            ));
+            s_rows.push((vec![Value::Int(price), Value::Int(lo), Value::Int(hi)], iv));
         }
     }
     let s = TemporalRelation::from_rows(s_schema, s_rows).expect("valid intervals");
@@ -113,7 +113,10 @@ pub fn random_like_incumben(n: usize, positions: usize, seed: u64) -> TemporalRe
             let dur = rng.gen_range(1..=360); // uniform, mean ≈ 180
             let start = rng.gen_range(0..days - dur);
             (
-                vec![Value::Int(i), Value::Int(rng.gen_range(0..positions as i64))],
+                vec![
+                    Value::Int(i),
+                    Value::Int(rng.gen_range(0..positions as i64)),
+                ],
                 Interval::of(start, start + dur),
             )
         })

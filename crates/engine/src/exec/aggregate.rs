@@ -73,10 +73,7 @@ impl Acc {
                     if !val.is_null() {
                         let replace = match acc {
                             None => true,
-                            Some(cur) => matches!(
-                                val.sql_cmp(cur),
-                                Some(std::cmp::Ordering::Less)
-                            ),
+                            Some(cur) => matches!(val.sql_cmp(cur), Some(std::cmp::Ordering::Less)),
                         };
                         if replace {
                             *acc = Some(val.clone());
@@ -89,10 +86,9 @@ impl Acc {
                     if !val.is_null() {
                         let replace = match acc {
                             None => true,
-                            Some(cur) => matches!(
-                                val.sql_cmp(cur),
-                                Some(std::cmp::Ordering::Greater)
-                            ),
+                            Some(cur) => {
+                                matches!(val.sql_cmp(cur), Some(std::cmp::Ordering::Greater))
+                            }
                         };
                         if replace {
                             *acc = Some(val.clone());
@@ -124,11 +120,7 @@ impl Acc {
 /// semantics). Output rows are `group values ++ aggregate values`, in
 /// first-seen group order. A global aggregate (`group` empty) over zero
 /// rows yields one row of identity values.
-pub fn aggregate_rows(
-    rows: &[Row],
-    group: &[Expr],
-    aggs: &[AggCall],
-) -> EngineResult<Vec<Row>> {
+pub fn aggregate_rows(rows: &[Row], group: &[Expr], aggs: &[AggCall]) -> EngineResult<Vec<Row>> {
     let mut index: HashMap<Row, usize> = HashMap::new();
     let mut groups: Vec<(Row, Vec<Acc>)> = Vec::new();
 
@@ -231,12 +223,7 @@ mod tests {
     use crate::schema::{Column, DataType};
 
     fn agg_schema(names: &[(&str, DataType)]) -> Schema {
-        Schema::new(
-            names
-                .iter()
-                .map(|(n, t)| Column::new(*n, *t))
-                .collect(),
-        )
+        Schema::new(names.iter().map(|(n, t)| Column::new(*n, *t)).collect())
     }
 
     #[test]

@@ -89,11 +89,7 @@ impl HashJoinExec {
         let mut right = self.right.take().expect("build called once");
         while let Some(row) = right.next()? {
             let idx = self.build_rows.len();
-            let key: Vec<Value> = self
-                .keys
-                .iter()
-                .map(|&(_, r)| row[r].clone())
-                .collect();
+            let key: Vec<Value> = self.keys.iter().map(|&(_, r)| row[r].clone()).collect();
             // NULL keys never join, but the row may still surface as
             // unmatched for Right/Full joins.
             if !key.iter().any(Value::is_null) {
@@ -129,9 +125,7 @@ impl ExecNode for HashJoinExec {
                         let idx = *i;
                         *i += 1;
                         if !self.build_matched[idx] {
-                            return Ok(Some(
-                                self.build_rows[idx].nulls_concat(self.left_width),
-                            ));
+                            return Ok(Some(self.build_rows[idx].nulls_concat(self.left_width)));
                         }
                     }
                     self.phase = Phase::Done;
@@ -140,11 +134,8 @@ impl ExecNode for HashJoinExec {
                     if self.cur_left.is_none() {
                         match self.left.next()? {
                             Some(l) => {
-                                let key: Vec<Value> = self
-                                    .keys
-                                    .iter()
-                                    .map(|&(lk, _)| l[lk].clone())
-                                    .collect();
+                                let key: Vec<Value> =
+                                    self.keys.iter().map(|&(lk, _)| l[lk].clone()).collect();
                                 self.cur_cands = if key.iter().any(Value::is_null) {
                                     Vec::new()
                                 } else {
@@ -216,9 +207,7 @@ mod tests {
     use crate::schema::{Column, DataType};
 
     fn scan(vals: &[(i64, i64)]) -> BoxedExec {
-        Box::new(SeqScanExec::new(
-            int2_rel(("k", "v"), vals).into_shared(),
-        ))
+        Box::new(SeqScanExec::new(int2_rel(("k", "v"), vals).into_shared()))
     }
 
     fn run_hash(
@@ -270,7 +259,12 @@ mod tests {
         let r = [(2, 22), (2, 24)];
         // residual: l.v < r.v
         let residual = Some(col(1).lt(col(3)));
-        for jt in [JoinType::Inner, JoinType::Left, JoinType::Full, JoinType::Anti] {
+        for jt in [
+            JoinType::Inner,
+            JoinType::Left,
+            JoinType::Full,
+            JoinType::Anti,
+        ] {
             let h = run_hash(&l, &r, jt, residual.clone());
             let n = run_nl(&l, &r, jt, residual.clone());
             assert!(h.same_bag(&n), "join type {jt:?}");

@@ -72,12 +72,10 @@ impl MergeJoinExec {
             r_rows.push(r);
         }
 
-        let lkey = |row: &Row| -> Vec<Value> {
-            self.keys.iter().map(|&(l, _)| row[l].clone()).collect()
-        };
-        let rkey = |row: &Row| -> Vec<Value> {
-            self.keys.iter().map(|&(_, r)| row[r].clone()).collect()
-        };
+        let lkey =
+            |row: &Row| -> Vec<Value> { self.keys.iter().map(|&(l, _)| row[l].clone()).collect() };
+        let rkey =
+            |row: &Row| -> Vec<Value> { self.keys.iter().map(|&(_, r)| row[r].clone()).collect() };
         let has_null = |k: &[Value]| k.iter().any(Value::is_null);
 
         let mut out = Vec::new();
@@ -138,9 +136,7 @@ impl MergeJoinExec {
                                 out.push(combined);
                             }
                         }
-                        if !matched
-                            && matches!(self.join_type, JoinType::Left | JoinType::Full)
-                        {
+                        if !matched && matches!(self.join_type, JoinType::Left | JoinType::Full) {
                             out.push(lrow.concat_nulls(self.right_width));
                         }
                     }
@@ -193,9 +189,7 @@ mod tests {
     use crate::relation::Relation;
 
     fn sorted_scan(vals: &[(i64, i64)]) -> BoxedExec {
-        let scan = Box::new(SeqScanExec::new(
-            int2_rel(("k", "v"), vals).into_shared(),
-        ));
+        let scan = Box::new(SeqScanExec::new(int2_rel(("k", "v"), vals).into_shared()));
         Box::new(SortExec::new(scan, vec![SortKey::asc(col(0))]))
     }
 

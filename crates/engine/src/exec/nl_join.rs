@@ -168,9 +168,7 @@ mod tests {
     use crate::value::Value;
 
     fn scan(vals: &[(i64, i64)]) -> BoxedExec {
-        Box::new(SeqScanExec::new(
-            int2_rel(("k", "v"), vals).into_shared(),
-        ))
+        Box::new(SeqScanExec::new(int2_rel(("k", "v"), vals).into_shared()))
     }
 
     fn join(
@@ -195,7 +193,12 @@ mod tests {
 
     #[test]
     fn inner_join() {
-        let out = join(&[(1, 10), (2, 20)], &[(2, 200), (3, 300)], JoinType::Inner, keq());
+        let out = join(
+            &[(1, 10), (2, 20)],
+            &[(2, 200), (3, 300)],
+            JoinType::Inner,
+            keq(),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0][0], Value::Int(2));
         assert_eq!(out[0][3], Value::Int(200));
@@ -203,7 +206,12 @@ mod tests {
 
     #[test]
     fn cross_product_with_none_condition() {
-        let out = join(&[(1, 1), (2, 2)], &[(3, 3), (4, 4), (5, 5)], JoinType::Inner, None);
+        let out = join(
+            &[(1, 1), (2, 2)],
+            &[(3, 3), (4, 4), (5, 5)],
+            JoinType::Inner,
+            None,
+        );
         assert_eq!(out.len(), 6);
     }
 
@@ -225,7 +233,12 @@ mod tests {
 
     #[test]
     fn full_outer_pads_both() {
-        let out = join(&[(1, 10), (2, 20)], &[(2, 200), (3, 300)], JoinType::Full, keq());
+        let out = join(
+            &[(1, 10), (2, 20)],
+            &[(2, 200), (3, 300)],
+            JoinType::Full,
+            keq(),
+        );
         assert_eq!(out.len(), 3);
     }
 
@@ -263,7 +276,12 @@ mod tests {
     fn theta_join_non_equi() {
         // l.v < r.v
         let cond = Some(col(1).lt(col(3)));
-        let out = join(&[(0, 5), (0, 25)], &[(0, 10), (0, 20)], JoinType::Inner, cond);
+        let out = join(
+            &[(0, 5), (0, 25)],
+            &[(0, 10), (0, 20)],
+            JoinType::Inner,
+            cond,
+        );
         assert_eq!(out.len(), 2); // 5<10, 5<20
     }
 
@@ -292,8 +310,12 @@ mod tests {
     #[test]
     fn limit_interplay_streams() {
         // Probe must be incremental: first row available without draining.
-        let mut node =
-            NestedLoopJoinExec::new(scan(&[(1, 1), (2, 2)]), scan(&[(1, 1)]), JoinType::Left, keq());
+        let mut node = NestedLoopJoinExec::new(
+            scan(&[(1, 1), (2, 2)]),
+            scan(&[(1, 1)]),
+            JoinType::Left,
+            keq(),
+        );
         let first = node.next().unwrap().unwrap();
         assert_eq!(first[0], Value::Int(1));
     }

@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn intersect() {
-        assert_eq!(run(SetOpKind::Intersect, &[1, 2, 2, 3], &[2, 3, 4]), vec![2, 3]);
+        assert_eq!(
+            run(SetOpKind::Intersect, &[1, 2, 2, 3], &[2, 3, 4]),
+            vec![2, 3]
+        );
         assert_eq!(run(SetOpKind::Intersect, &[1], &[2]), Vec::<i64>::new());
     }
 

@@ -26,10 +26,7 @@ pub struct JoinConditionParts {
 ///
 /// Only top-level conjuncts of the shape `Col(i) = Col(j)` with `i`, `j` on
 /// opposite sides become keys; everything else stays in the residual.
-pub fn split_join_condition(
-    condition: Option<&Expr>,
-    left_width: usize,
-) -> JoinConditionParts {
+pub fn split_join_condition(condition: Option<&Expr>, left_width: usize) -> JoinConditionParts {
     let mut equi_keys = Vec::new();
     let mut residual = Vec::new();
     if let Some(cond) = condition {

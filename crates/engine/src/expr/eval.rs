@@ -236,9 +236,10 @@ fn eval_func(f: Func, args: &[Expr], row: &[Value]) -> EngineResult<Value> {
             arity(1)?;
             match args[0].eval(row)? {
                 Value::Null => Ok(Value::Null),
-                Value::Int(i) => i.checked_abs().map(Value::Int).ok_or_else(|| {
-                    EngineError::Evaluation("integer overflow in abs".into())
-                }),
+                Value::Int(i) => i
+                    .checked_abs()
+                    .map(Value::Int)
+                    .ok_or_else(|| EngineError::Evaluation("integer overflow in abs".into())),
                 Value::Double(d) => Ok(Value::Double(d.abs())),
                 other => Err(EngineError::TypeError(format!(
                     "abs applied to {}",
@@ -262,10 +263,7 @@ mod tests {
     fn three_valued_and_or() {
         let r = row(vec![Value::Null, Value::Bool(true), Value::Bool(false)]);
         // NULL AND false = false
-        assert_eq!(
-            col(0).and(col(2)).eval(&r).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(col(0).and(col(2)).eval(&r).unwrap(), Value::Bool(false));
         // NULL AND true = NULL
         assert_eq!(col(0).and(col(1)).eval(&r).unwrap(), Value::Null);
         // NULL OR true = true
@@ -287,18 +285,9 @@ mod tests {
     #[test]
     fn between_inclusive() {
         let r = row(vec![Value::Int(5)]);
-        assert!(col(0)
-            .between(lit(5i64), lit(7i64))
-            .eval_pred(&r)
-            .unwrap());
-        assert!(col(0)
-            .between(lit(1i64), lit(5i64))
-            .eval_pred(&r)
-            .unwrap());
-        assert!(!col(0)
-            .between(lit(6i64), lit(7i64))
-            .eval_pred(&r)
-            .unwrap());
+        assert!(col(0).between(lit(5i64), lit(7i64)).eval_pred(&r).unwrap());
+        assert!(col(0).between(lit(1i64), lit(5i64)).eval_pred(&r).unwrap());
+        assert!(!col(0).between(lit(6i64), lit(7i64)).eval_pred(&r).unwrap());
     }
 
     #[test]

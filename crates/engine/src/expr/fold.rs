@@ -107,8 +107,7 @@ mod tests {
         assert_eq!(fold(&e), lit(20i64));
         let e = Expr::Func(Func::Dur, vec![lit(3i64), lit(10i64)]);
         assert_eq!(fold(&e), lit(7i64));
-        let e = Expr::Func(Func::Dur, vec![lit(0i64), lit(5i64)])
-            .between(lit(1i64), lit(7i64));
+        let e = Expr::Func(Func::Dur, vec![lit(0i64), lit(5i64)]).between(lit(1i64), lit(7i64));
         assert_eq!(fold(&e), lit(true));
     }
 

@@ -282,14 +282,8 @@ impl Expr {
                 Box::new(a.remap_cols(map)),
                 Box::new(b.remap_cols(map)),
             ),
-            Expr::And(a, b) => Expr::And(
-                Box::new(a.remap_cols(map)),
-                Box::new(b.remap_cols(map)),
-            ),
-            Expr::Or(a, b) => Expr::Or(
-                Box::new(a.remap_cols(map)),
-                Box::new(b.remap_cols(map)),
-            ),
+            Expr::And(a, b) => Expr::And(Box::new(a.remap_cols(map)), Box::new(b.remap_cols(map))),
+            Expr::Or(a, b) => Expr::Or(Box::new(a.remap_cols(map)), Box::new(b.remap_cols(map))),
             Expr::Not(a) => Expr::Not(Box::new(a.remap_cols(map))),
             Expr::Neg(a) => Expr::Neg(Box::new(a.remap_cols(map))),
             Expr::Arith(op, a, b) => Expr::Arith(
@@ -528,7 +522,9 @@ mod tests {
 
     #[test]
     fn conjunct_flattening() {
-        let e = col(0).eq(lit(1i64)).and(col(1).lt(lit(2i64)).and(col(2).gt(lit(3i64))));
+        let e = col(0)
+            .eq(lit(1i64))
+            .and(col(1).lt(lit(2i64)).and(col(2).gt(lit(3i64))));
         let cs = e.conjuncts();
         assert_eq!(cs.len(), 3);
     }

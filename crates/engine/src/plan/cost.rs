@@ -162,9 +162,7 @@ impl CostModel {
     pub fn set_op(&self, left: PlanStats, right: PlanStats) -> PlanStats {
         PlanStats::new(
             (left.rows + right.rows).max(1.0),
-            left.cost
-                + right.cost
-                + (left.rows + right.rows) * self.cpu_operator_cost * 2.0,
+            left.cost + right.cost + (left.rows + right.rows) * self.cpu_operator_cost * 2.0,
         )
     }
 

@@ -47,9 +47,14 @@ pub trait ExtensionNode: fmt::Debug + Send + Sync {
 #[derive(Debug, Clone)]
 pub enum LogicalPlan {
     /// Scan a named catalog table (schema captured at analysis time).
-    TableScan { name: String, schema: Schema },
+    TableScan {
+        name: String,
+        schema: Schema,
+    },
     /// Scan an inline (already materialized) relation.
-    InlineScan { rel: Arc<Relation> },
+    InlineScan {
+        rel: Arc<Relation>,
+    },
     Filter {
         input: Box<LogicalPlan>,
         predicate: Expr,
@@ -69,7 +74,9 @@ pub enum LogicalPlan {
         input: Box<LogicalPlan>,
         keys: Vec<SortKey>,
     },
-    Distinct { input: Box<LogicalPlan> },
+    Distinct {
+        input: Box<LogicalPlan>,
+    },
     Join {
         left: Box<LogicalPlan>,
         right: Box<LogicalPlan>,
@@ -85,7 +92,9 @@ pub enum LogicalPlan {
         input: Box<LogicalPlan>,
         n: usize,
     },
-    Extension { node: Arc<dyn ExtensionNode> },
+    Extension {
+        node: Arc<dyn ExtensionNode>,
+    },
 }
 
 impl LogicalPlan {
@@ -93,9 +102,7 @@ impl LogicalPlan {
 
     /// Scan an inline relation.
     pub fn inline_scan(rel: Relation) -> LogicalPlan {
-        LogicalPlan::InlineScan {
-            rel: Arc::new(rel),
-        }
+        LogicalPlan::InlineScan { rel: Arc::new(rel) }
     }
 
     /// Scan a shared relation without copying.
@@ -120,10 +127,7 @@ impl LogicalPlan {
     }
 
     /// π: project expressions with explicit output names (types inferred).
-    pub fn project_named(
-        self,
-        items: Vec<(Expr, impl Into<String>)>,
-    ) -> EngineResult<LogicalPlan> {
+    pub fn project_named(self, items: Vec<(Expr, impl Into<String>)>) -> EngineResult<LogicalPlan> {
         let input_schema = self.schema();
         let mut exprs = Vec::with_capacity(items.len());
         let mut cols = Vec::with_capacity(items.len());
@@ -307,9 +311,7 @@ impl LogicalPlan {
                 let s = input.schema();
                 keys.iter().try_for_each(|k| check_expr(&k.expr, &s))
             }
-            LogicalPlan::Distinct { input } | LogicalPlan::Limit { input, .. } => {
-                input.validate()
-            }
+            LogicalPlan::Distinct { input } | LogicalPlan::Limit { input, .. } => input.validate(),
             LogicalPlan::Join {
                 left,
                 right,
@@ -364,7 +366,11 @@ impl LogicalPlan {
                 ));
                 input.explain_into(out, indent + 1);
             }
-            LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
                 let items: Vec<String> = exprs
                     .iter()
                     .zip(schema.cols())
@@ -421,11 +427,7 @@ impl LogicalPlan {
                     Some(c) => c.display(Some(&left.schema().concat(&right.schema()))),
                     None => "true".to_string(),
                 };
-                out.push_str(&format!(
-                    "{pad}Join[{}]: {}\n",
-                    join_type.name(),
-                    cond
-                ));
+                out.push_str(&format!("{pad}Join[{}]: {}\n", join_type.name(), cond));
                 left.explain_into(out, indent + 1);
                 right.explain_into(out, indent + 1);
             }

@@ -306,7 +306,9 @@ mod tests {
         ]);
         Relation::from_values(
             schema,
-            (0..n).map(|i| vec![Value::Int(i % 10), Value::Int(i)]).collect(),
+            (0..n)
+                .map(|i| vec![Value::Int(i % 10), Value::Int(i)])
+                .collect(),
         )
         .unwrap()
     }
@@ -332,7 +334,11 @@ mod tests {
     #[test]
     fn disabling_methods_walks_down_the_preference_list() {
         // (b) merge disabled → hash; (c) merge+hash disabled → nestloop.
-        let p = join_plan(PlannerConfig::no_merge(), col(0).eq(col(2)), JoinType::Inner);
+        let p = join_plan(
+            PlannerConfig::no_merge(),
+            col(0).eq(col(2)),
+            JoinType::Inner,
+        );
         assert_ne!(p.root_join_algorithm().unwrap(), "merge");
         let p = join_plan(
             PlannerConfig::nestloop_only(),
@@ -381,8 +387,7 @@ mod tests {
     fn table_scan_resolves_catalog() {
         let mut catalog = Catalog::new();
         catalog.register("t", rel(5)).unwrap();
-        let lp = LogicalPlan::table_scan("t", rel(0).schema().clone())
-            .filter(col(1).ge(lit(3i64)));
+        let lp = LogicalPlan::table_scan("t", rel(0).schema().clone()).filter(col(1).ge(lit(3i64)));
         let out = Planner::default().run(&lp, &catalog).unwrap();
         assert_eq!(out.len(), 2);
     }

@@ -125,9 +125,7 @@ impl PhysicalPlan {
                 }
             }
             PhysicalPlan::MergeJoin { left, right, .. } => left.schema().concat(&right.schema()),
-            PhysicalPlan::IntervalJoin { left, right, .. } => {
-                left.schema().concat(&right.schema())
-            }
+            PhysicalPlan::IntervalJoin { left, right, .. } => left.schema().concat(&right.schema()),
             PhysicalPlan::HashSetOp { left, .. } => left.schema(),
             PhysicalPlan::Limit { input, .. } => input.schema(),
             PhysicalPlan::Extension { node, .. } => node.schema(),

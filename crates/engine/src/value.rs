@@ -274,9 +274,7 @@ pub fn num_div(a: &Value, b: &Value) -> EngineResult<Value> {
         return Ok(Value::Null);
     }
     match (a, b) {
-        (Value::Int(_), Value::Int(0)) => {
-            Err(EngineError::Evaluation("division by zero".into()))
-        }
+        (Value::Int(_), Value::Int(0)) => Err(EngineError::Evaluation("division by zero".into())),
         (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x / y)),
         _ => {
             let (x, y) = coerce_doubles(a, b, "/")?;
@@ -296,9 +294,9 @@ fn num_binop(
         return Ok(Value::Null);
     }
     match (a, b) {
-        (Value::Int(x), Value::Int(y)) => int_op(*x, *y).map(Value::Int).ok_or_else(|| {
-            EngineError::Evaluation(format!("integer overflow in {x} {op} {y}"))
-        }),
+        (Value::Int(x), Value::Int(y)) => int_op(*x, *y)
+            .map(Value::Int)
+            .ok_or_else(|| EngineError::Evaluation(format!("integer overflow in {x} {op} {y}"))),
         _ => {
             let (x, y) = coerce_doubles(a, b, op)?;
             Ok(Value::Double(dbl_op(x, y)))

@@ -1,0 +1,276 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a source-compatible shim covering the API subset its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::finish`], [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it takes `sample_size`
+//! wall-clock samples of one iteration each (after one warm-up) and prints
+//! `group/id: median … (min … max …)` per benchmark — enough to eyeball the
+//! figure-level trends the paper reproduction cares about. Honors the
+//! standard harness's `--bench` / `--test` CLI flags so `cargo bench` and
+//! `cargo test --benches` both work; any other positional argument is
+//! treated as a substring filter on `group/id` names.
+//!
+//! To use the real crate instead, point the `criterion` entry in the root
+//! `[workspace.dependencies]` at a registry version.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each registered bench function.
+pub struct Criterion {
+    filter: Option<String>,
+    /// When true (under `cargo test --benches`) run one iteration per
+    /// benchmark and skip timing entirely.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {
+                    // Ignore unknown criterion flags; consume a value only
+                    // for flags known to take one, so a boolean flag never
+                    // swallows the benchmark name filter after it.
+                    const VALUE_FLAGS: &[&str] = &[
+                        "--sample-size",
+                        "--warm-up-time",
+                        "--measurement-time",
+                        "--save-baseline",
+                        "--baseline",
+                        "--load-baseline",
+                        "--color",
+                        "--output-format",
+                    ];
+                    if !a.contains('=') && VALUE_FLAGS.contains(&a) {
+                        let _ = args.next();
+                    }
+                }
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for source compatibility; the shim's sampling is bounded by
+    /// [`Self::sample_size`] alone, not wall-clock time.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for source compatibility; the shim takes one warm-up sample
+    /// regardless.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.0);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                samples: Vec::new(),
+                iters: 1,
+            };
+            f(&mut b);
+            println!("test {full} ... ok");
+            return;
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size + 1),
+            iters: self.sample_size + 1,
+        };
+        f(&mut b);
+        // Drop the warm-up sample.
+        let mut samples = b.samples;
+        if samples.len() > 1 {
+            samples.remove(0);
+        }
+        samples.sort();
+        if samples.is_empty() {
+            println!("{full}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        let (min, max) = (samples[0], samples[samples.len() - 1]);
+        println!(
+            "{full}: median {} (min {}, max {}, {} samples)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            samples.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Run `routine` once per configured sample, timing each run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId(s.into())
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0usize;
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("count", 1), &2u64, |b, &two| {
+            b.iter(|| {
+                calls += 1;
+                two * 2
+            })
+        });
+        group.finish();
+        // 3 samples + 1 warm-up.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("other", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(!ran);
+    }
+}

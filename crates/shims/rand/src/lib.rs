@@ -1,0 +1,227 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a source-compatible shim covering exactly the API subset the other crates
+//! use: `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over integer and float ranges. The generator is
+//! xoshiro256** seeded through SplitMix64 — deterministic for a given seed,
+//! which is all the datasets and tests require. The stream differs from the
+//! real `StdRng` (ChaCha12), so seeds produce different (but still fixed)
+//! data than upstream `rand` would.
+//!
+//! To use the real crate instead, point the `rand` entry in the root
+//! `[workspace.dependencies]` at a registry version.
+
+/// A random number generator core: the single method every distribution
+/// in this shim is derived from.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling interface, mirroring `rand::Rng` — blanket-implemented for
+/// every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// Panics if the range is empty, like the real crate.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample a `bool` with probability `p` of being `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        sample_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding interface, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+///
+/// Like the real crate, the only impls are `Range<T>` / `RangeInclusive<T>`
+/// for `T: SampleUniform` — a single generic impl per range shape, so that
+/// integer-literal ranges unify with the type demanded by the call site.
+pub trait SampleRange<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: PartialOrd + Sized {
+    fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+#[inline]
+fn sample_unit_f64(bits: u64) -> f64 {
+    // 53 high bits → uniform in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Lemire-style unbiased bounded sampling over `[0, span)`.
+#[inline]
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let wide = (rng.next_u64() as u128).wrapping_mul(span as u128);
+        let lo = wide as u64;
+        if lo >= span || lo >= (span.wrapping_neg() % span) {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + sample_below(rng, span) as i128) as $ty
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                (lo as i128 + sample_below(rng, span + 1) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let u = sample_unit_f64(rng.next_u64()) as $ty;
+                lo + u * (hi - lo)
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                // Close enough for a shim: the hi endpoint has measure zero.
+                Self::sample_half_open(lo, hi, rng)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator, standing in for the real
+    /// crate's ChaCha12-based `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = Self::splitmix(&mut state);
+            }
+            // xoshiro256** must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000i64), b.gen_range(0..1000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(5..17i64);
+            assert!((5..17).contains(&x));
+            let y = rng.gen_range(3..=3i64);
+            assert_eq!(y, 3);
+            let u = rng.gen_range(0..7usize);
+            assert!(u < 7);
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn covers_full_span() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -49,11 +49,7 @@ impl<'a> Analyzer<'a> {
         Ok(plan)
     }
 
-    fn select(
-        &self,
-        stmt: &SelectStmt,
-        outer_ctes: &CteScope,
-    ) -> SqlResult<(LogicalPlan, Schema)> {
+    fn select(&self, stmt: &SelectStmt, outer_ctes: &CteScope) -> SqlResult<(LogicalPlan, Schema)> {
         let mut ctes = outer_ctes.clone();
         for (name, sub) in &stmt.with {
             let (plan, schema) = self.select(sub, &ctes)?;
@@ -62,18 +58,14 @@ impl<'a> Analyzer<'a> {
         self.select_body(stmt, &ctes)
     }
 
-    fn select_body(
-        &self,
-        stmt: &SelectStmt,
-        ctes: &CteScope,
-    ) -> SqlResult<(LogicalPlan, Schema)> {
+    fn select_body(&self, stmt: &SelectStmt, ctes: &CteScope) -> SqlResult<(LogicalPlan, Schema)> {
         // FROM
         let (mut plan, mut schema) = match &stmt.from {
             Some(tr) => self.table_ref(tr, ctes)?,
             None => {
                 // SELECT without FROM: a single empty row.
-                let rel = Relation::new(Schema::empty(), vec![Row::new(vec![])])
-                    .expect("empty schema");
+                let rel =
+                    Relation::new(Schema::empty(), vec![Row::new(vec![])]).expect("empty schema");
                 (LogicalPlan::inline_scan(rel), Schema::empty())
             }
         };
@@ -89,8 +81,7 @@ impl<'a> Analyzer<'a> {
                         if let Some(f) = Expr::and_all(plain.drain(..)) {
                             plan = plan.filter(f);
                         }
-                        let (p, s) =
-                            self.exists_join(plan, &schema, &query, negated, ctes)?;
+                        let (p, s) = self.exists_join(plan, &schema, &query, negated, ctes)?;
                         plan = p;
                         schema = s;
                     }
@@ -175,11 +166,7 @@ impl<'a> Analyzer<'a> {
 
     // ---- FROM items ------------------------------------------------------
 
-    fn table_ref(
-        &self,
-        tr: &TableRef,
-        ctes: &CteScope,
-    ) -> SqlResult<(LogicalPlan, Schema)> {
+    fn table_ref(&self, tr: &TableRef, ctes: &CteScope) -> SqlResult<(LogicalPlan, Schema)> {
         match tr {
             TableRef::Named { name, alias } => {
                 let qualifier = alias.clone().unwrap_or_else(|| name.clone());
@@ -299,9 +286,10 @@ impl<'a> Analyzer<'a> {
                 "EXISTS subqueries support only SELECT … FROM … WHERE …".into(),
             ));
         }
-        let from = sub.from.as_ref().ok_or_else(|| {
-            SqlError::Analyze("EXISTS subquery needs a FROM clause".into())
-        })?;
+        let from = sub
+            .from
+            .as_ref()
+            .ok_or_else(|| SqlError::Analyze("EXISTS subquery needs a FROM clause".into()))?;
         let (sub_plan, sub_schema) = self.table_ref(from, ctes)?;
         let combined = outer_schema.concat(&sub_schema);
         let cond = match &sub.where_clause {
@@ -311,15 +299,17 @@ impl<'a> Analyzer<'a> {
                     .iter()
                     .any(|c| matches!(c, AstExpr::Exists { .. }))
                 {
-                    return Err(SqlError::Analyze(
-                        "nested EXISTS is not supported".into(),
-                    ));
+                    return Err(SqlError::Analyze("nested EXISTS is not supported".into()));
                 }
                 Some(self.scalar(w, &combined)?)
             }
             None => None,
         };
-        let jt = if negated { JoinType::Anti } else { JoinType::Semi };
+        let jt = if negated {
+            JoinType::Anti
+        } else {
+            JoinType::Semi
+        };
         Ok((outer.join(sub_plan, jt, cond), outer_schema.clone()))
     }
 
@@ -627,9 +617,7 @@ fn scalar_func(name: &str) -> SqlResult<Func> {
         "least" => Func::Least,
         "coalesce" => Func::Coalesce,
         "abs" => Func::Abs,
-        other => {
-            return Err(SqlError::Analyze(format!("unknown function '{other}'")))
-        }
+        other => return Err(SqlError::Analyze(format!("unknown function '{other}'"))),
     })
 }
 

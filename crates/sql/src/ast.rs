@@ -7,7 +7,10 @@
 pub enum Statement {
     Select(SelectStmt),
     /// `SET <guc> = on|off|true|false` — planner switches (Sec. 7.2).
-    Set { name: String, value: bool },
+    Set {
+        name: String,
+        value: bool,
+    },
     /// `EXPLAIN <select>` — print the physical plan.
     Explain(Box<Statement>),
 }

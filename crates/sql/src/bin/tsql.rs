@@ -31,9 +31,18 @@ fn demo_session() -> Session {
     let r = TemporalRelation::from_rows(
         Schema::new(vec![Column::new("n", DataType::Str)]),
         vec![
-            (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
-            (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
-            (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+            (
+                vec![Value::str("ann")],
+                Interval::of(ym(2012, 1), ym(2012, 8)),
+            ),
+            (
+                vec![Value::str("joe")],
+                Interval::of(ym(2012, 2), ym(2012, 6)),
+            ),
+            (
+                vec![Value::str("ann")],
+                Interval::of(ym(2012, 8), ym(2012, 12)),
+            ),
         ],
     )
     .expect("demo fixture");
@@ -44,11 +53,26 @@ fn demo_session() -> Session {
             Column::new("max", DataType::Int),
         ]),
         vec![
-            (vec![Value::Int(50), Value::Int(1), Value::Int(2)], Interval::of(ym(2012, 1), ym(2012, 6))),
-            (vec![Value::Int(40), Value::Int(3), Value::Int(7)], Interval::of(ym(2012, 1), ym(2012, 6))),
-            (vec![Value::Int(30), Value::Int(8), Value::Int(12)], Interval::of(ym(2012, 1), ym(2013, 1))),
-            (vec![Value::Int(50), Value::Int(1), Value::Int(2)], Interval::of(ym(2012, 10), ym(2013, 1))),
-            (vec![Value::Int(40), Value::Int(3), Value::Int(7)], Interval::of(ym(2012, 10), ym(2013, 1))),
+            (
+                vec![Value::Int(50), Value::Int(1), Value::Int(2)],
+                Interval::of(ym(2012, 1), ym(2012, 6)),
+            ),
+            (
+                vec![Value::Int(40), Value::Int(3), Value::Int(7)],
+                Interval::of(ym(2012, 1), ym(2012, 6)),
+            ),
+            (
+                vec![Value::Int(30), Value::Int(8), Value::Int(12)],
+                Interval::of(ym(2012, 1), ym(2013, 1)),
+            ),
+            (
+                vec![Value::Int(50), Value::Int(1), Value::Int(2)],
+                Interval::of(ym(2012, 10), ym(2013, 1)),
+            ),
+            (
+                vec![Value::Int(40), Value::Int(3), Value::Int(7)],
+                Interval::of(ym(2012, 10), ym(2013, 1)),
+            ),
         ],
     )
     .expect("demo fixture");

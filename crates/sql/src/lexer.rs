@@ -122,9 +122,8 @@ pub fn lex(input: &str) -> SqlResult<Vec<Token>> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let is_float = i + 1 < bytes.len()
-                    && bytes[i] == b'.'
-                    && bytes[i + 1].is_ascii_digit();
+                let is_float =
+                    i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit();
                 if is_float {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -223,6 +222,9 @@ mod tests {
     #[test]
     fn minus_vs_comment() {
         let toks = lex("1 - 2").unwrap();
-        assert_eq!(toks, vec![Token::Int(1), Token::Minus, Token::Int(2), Token::Eof]);
+        assert_eq!(
+            toks,
+            vec![Token::Int(1), Token::Minus, Token::Int(2), Token::Eof]
+        );
     }
 }

@@ -66,9 +66,18 @@ mod tests {
         let r = TemporalRelation::from_rows(
             Schema::new(vec![Column::new("n", DataType::Str)]),
             vec![
-                (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
-                (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
-                (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+                (
+                    vec![Value::str("ann")],
+                    Interval::of(ym(2012, 1), ym(2012, 8)),
+                ),
+                (
+                    vec![Value::str("joe")],
+                    Interval::of(ym(2012, 2), ym(2012, 6)),
+                ),
+                (
+                    vec![Value::str("ann")],
+                    Interval::of(ym(2012, 8), ym(2012, 12)),
+                ),
             ],
         )
         .unwrap();
@@ -133,11 +142,21 @@ mod tests {
         // Fig. 1(b): z1..z5.
         let expected = vec![
             (
-                vec![Value::str("ann"), Value::Int(40), Value::Int(3), Value::Int(7)],
+                vec![
+                    Value::str("ann"),
+                    Value::Int(40),
+                    Value::Int(3),
+                    Value::Int(7),
+                ],
                 (ym(2012, 1), ym(2012, 6)),
             ),
             (
-                vec![Value::str("joe"), Value::Int(40), Value::Int(3), Value::Int(7)],
+                vec![
+                    Value::str("joe"),
+                    Value::Int(40),
+                    Value::Int(3),
+                    Value::Int(7),
+                ],
                 (ym(2012, 2), ym(2012, 6)),
             ),
             (
@@ -149,7 +168,12 @@ mod tests {
                 (ym(2012, 8), ym(2012, 10)),
             ),
             (
-                vec![Value::str("ann"), Value::Int(40), Value::Int(3), Value::Int(7)],
+                vec![
+                    Value::str("ann"),
+                    Value::Int(40),
+                    Value::Int(3),
+                    Value::Int(7),
+                ],
                 (ym(2012, 10), ym(2012, 12)),
             ),
         ];
@@ -234,7 +258,9 @@ mod tests {
     fn exists_compiles_to_semi_join() {
         let mut s = session_with_rp();
         let out = s
-            .query("SELECT n FROM r WHERE EXISTS (SELECT * FROM p WHERE p.ts < r.te AND r.ts < p.te)")
+            .query(
+                "SELECT n FROM r WHERE EXISTS (SELECT * FROM p WHERE p.ts < r.te AND r.ts < p.te)",
+            )
             .unwrap();
         assert_eq!(out.len(), 3);
     }
@@ -242,9 +268,7 @@ mod tests {
     #[test]
     fn setop_queries() {
         let mut s = session_with_rp();
-        let out = s
-            .query("SELECT n FROM r UNION SELECT n FROM r")
-            .unwrap();
+        let out = s.query("SELECT n FROM r UNION SELECT n FROM r").unwrap();
         assert_eq!(out.len(), 2); // ann, joe
         let out = s
             .query("SELECT n FROM r EXCEPT SELECT n FROM r WHERE n = 'joe'")

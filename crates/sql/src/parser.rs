@@ -627,15 +627,13 @@ mod tests {
     #[test]
     fn paper_q1_align_query_parses() {
         // Sec. 6.2, the SQL formulation of Q1 (identifiers lowercased).
-        let s = sel(
-            "WITH R AS (SELECT Ts Us, Te Ue, * FROM R) \
+        let s = sel("WITH R AS (SELECT Ts Us, Te Ue, * FROM R) \
              SELECT ABSORB n, a, min, max, r.Ts, r.Te \
              FROM (R ALIGN P ON DUR(Us,Ue) BETWEEN Min AND Max) r \
              LEFT OUTER JOIN \
              (P ALIGN R ON DUR(Us,Ue) BETWEEN Min AND Max) p \
              ON DUR(Us,Ue) BETWEEN Min AND Max AND \
-             r.Ts=p.Ts AND r.Te=p.Te",
-        );
+             r.Ts=p.Ts AND r.Te=p.Te");
         assert_eq!(s.quantifier, Quantifier::Absorb);
         assert_eq!(s.with.len(), 1);
         let from = s.from.unwrap();
@@ -654,12 +652,10 @@ mod tests {
     #[test]
     fn paper_normalize_aggregation_parses() {
         // Sec. 6.3, the temporal aggregation formulation.
-        let s = sel(
-            "WITH R AS (SELECT Ts Us, Te Ue, * FROM R) \
+        let s = sel("WITH R AS (SELECT Ts Us, Te Ue, * FROM R) \
              SELECT AVG(DUR(Us,Ue)), Ts, Te \
              FROM (R R1 NORMALIZE R R2 USING()) r \
-             GROUP BY Ts, Te",
-        );
+             GROUP BY Ts, Te");
         assert_eq!(s.group_by.len(), 2);
         match s.from.unwrap() {
             TableRef::Normalize {
@@ -738,7 +734,11 @@ mod tests {
         let s = sel("SELECT * FROM r WHERE a BETWEEN 1 AND 3 AND b IS NOT NULL OR c = 2");
         // ((a BETWEEN …) AND (b IS NOT NULL)) OR (c = 2)
         match s.where_clause.unwrap() {
-            AstExpr::Binary { op: BinOp::Or, left, .. } => match *left {
+            AstExpr::Binary {
+                op: BinOp::Or,
+                left,
+                ..
+            } => match *left {
                 AstExpr::Binary { op: BinOp::And, .. } => {}
                 other => panic!("{other:?}"),
             },
@@ -751,7 +751,12 @@ mod tests {
         let s = sel("SELECT 1 + 2 * 3 FROM r");
         match &s.items[0] {
             SelectItem::Expr {
-                expr: AstExpr::Binary { op: BinOp::Add, right, .. },
+                expr:
+                    AstExpr::Binary {
+                        op: BinOp::Add,
+                        right,
+                        ..
+                    },
                 ..
             } => assert!(matches!(**right, AstExpr::Binary { op: BinOp::Mul, .. })),
             other => panic!("{other:?}"),

@@ -36,11 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let iv: Vec<Interval> = bookings.iter().map(|(_, iv)| iv).collect();
     println!(
         "ann's first stay {} ann's extension  → {:?}",
-        iv[0], relate(&iv[0], &iv[1])
+        iv[0],
+        relate(&iv[0], &iv[1])
     );
     println!(
         "ann's first stay {} joe's stay       → {:?}",
-        iv[0], relate(&iv[0], &iv[2])
+        iv[0],
+        relate(&iv[0], &iv[2])
     );
 
     // Occupied-rooms count over time (sequenced aggregation)…
@@ -50,14 +52,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[],
         vec![(AggCall::count_star(), "occupied".to_string())],
     )?;
-    println!("occupancy (change preserving):\n{}", occupancy.sorted().to_table_with(fmt_day));
+    println!(
+        "occupancy (change preserving):\n{}",
+        occupancy.sorted().to_table_with(fmt_day)
+    );
 
     // … and ann's presence: change-preserved fragments vs the coalesced view.
     let ann = alg.selection(&bookings, col(0).eq(lit(Value::str("ann"))))?;
     let ann_rooms = alg.projection(&ann, &[0])?;
-    println!("ann (change preserving):\n{}", ann_rooms.sorted().to_table_with(fmt_day));
+    println!(
+        "ann (change preserving):\n{}",
+        ann_rooms.sorted().to_table_with(fmt_day)
+    );
     let merged = coalesce(&ann_rooms)?;
-    println!("ann (coalesced for display):\n{}", merged.to_table_with(fmt_day));
+    println!(
+        "ann (coalesced for display):\n{}",
+        merged.to_table_with(fmt_day)
+    );
     assert!(snapshot_equivalent(&ann_rooms, &merged)?);
 
     Ok(())

@@ -60,10 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    by employee 0.
     let pos0 = alg.projection(&alg.selection(&data, col(1).eq(lit(0i64)))?, &[1])?;
     let pos0_by_emp0 = alg.projection(
-        &alg.selection(
-            &data,
-            col(1).eq(lit(0i64)).and(col(0).eq(lit(0i64))),
-        )?,
+        &alg.selection(&data, col(1).eq(lit(0i64)).and(col(0).eq(lit(0i64))))?,
         &[1],
     )?;
     let pos0_by_others = alg.difference(&pos0, &pos0_by_emp0)?;

@@ -20,9 +20,18 @@ fn reservations() -> TemporalRelation {
     TemporalRelation::from_rows(
         Schema::new(vec![Column::new("n", DataType::Str)]),
         vec![
-            (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
-            (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
-            (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+            (
+                vec![Value::str("ann")],
+                Interval::of(ym(2012, 1), ym(2012, 8)),
+            ),
+            (
+                vec![Value::str("joe")],
+                Interval::of(ym(2012, 2), ym(2012, 6)),
+            ),
+            (
+                vec![Value::str("ann")],
+                Interval::of(ym(2012, 8), ym(2012, 12)),
+            ),
         ],
     )
     .expect("valid fixture")
@@ -43,11 +52,11 @@ fn prices() -> TemporalRelation {
             Column::new("max", DataType::Int),
         ]),
         vec![
-            row(50, 1, 2, (2012, 1), (2012, 6)),   // s1: short term, winter
-            row(40, 3, 7, (2012, 1), (2012, 6)),   // s2: long term, winter
-            row(30, 8, 12, (2012, 1), (2013, 1)),  // s3: permanent
-            row(50, 1, 2, (2012, 10), (2013, 1)),  // s4
-            row(40, 3, 7, (2012, 10), (2013, 1)),  // s5
+            row(50, 1, 2, (2012, 1), (2012, 6)),  // s1: short term, winter
+            row(40, 3, 7, (2012, 1), (2012, 6)),  // s2: long term, winter
+            row(30, 8, 12, (2012, 1), (2013, 1)), // s3: permanent
+            row(50, 1, 2, (2012, 10), (2013, 1)), // s4
+            row(40, 3, 7, (2012, 10), (2013, 1)), // s5
         ],
     )
     .expect("valid fixture")
@@ -77,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Drop the propagated timestamps (Def. 4's final projection):
     // data columns of the join result are (n, us, ue, a, min, max).
     let q1 = q1_with_u.project_data(&[0, 3, 4, 5])?;
-    println!("Q1 = R ⟕ᵀ(Min ≤ DUR(R.T) ≤ Max) P   (Fig. 1b):\n{}", q1.sorted().to_table_with(mfmt));
+    println!(
+        "Q1 = R ⟕ᵀ(Min ≤ DUR(R.T) ≤ Max) P   (Fig. 1b):\n{}",
+        q1.sorted().to_table_with(mfmt)
+    );
 
     // The two ω tuples z3/z4 stay separate (change preservation): the
     // change at 2012/8, where one reservation of Ann ends and another
@@ -87,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Fig. 3: normalization N_{}(R; R) ---------------------------------
     let n = alg.normalize(&r, &r, &[])?;
-    println!("N_{{}}(R; R)   (Fig. 3):\n{}", n.sorted().to_table_with(mfmt));
+    println!(
+        "N_{{}}(R; R)   (Fig. 3):\n{}",
+        n.sorted().to_table_with(mfmt)
+    );
 
     // ---- Fig. 4: alignment of P with respect to U(R) ----------------------
     // θ ≡ Min ≤ DUR(U) ≤ Max over P ++ U(R) rows:
@@ -95,16 +110,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dur_u = Expr::Func(Func::Dur, vec![col(6), col(7)]);
     let theta_pu = dur_u.between(col(1), col(2));
     let aligned_p = alg.align(&p, &ur, Some(theta_pu))?;
-    println!("P Φ_θ U(R)   (Fig. 4):\n{}", aligned_p.sorted().to_table_with(mfmt));
+    println!(
+        "P Φ_θ U(R)   (Fig. 4):\n{}",
+        aligned_p.sorted().to_table_with(mfmt)
+    );
 
     // ---- Q2 (Fig. 7): temporal aggregation --------------------------------
     // AVG over the duration of the *original* reservation intervals, so it
     // operates on U(R); grouping attributes B = {} (a single group per
     // normalized fragment).
-    let avg_dur = AggCall::new(
-        AggFunc::Avg,
-        Expr::Func(Func::Dur, vec![col(1), col(2)]),
-    );
+    let avg_dur = AggCall::new(AggFunc::Avg, Expr::Func(Func::Dur, vec![col(1), col(2)]));
     let q2 = alg.aggregation(&ur, &[], vec![(avg_dur, "avg_dur".to_string())])?;
     println!(
         "Q2 = ϑᵀ AVG(DUR(R.T)) (R)   (Fig. 7):\n{}",

@@ -19,9 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = TemporalRelation::from_rows(
         Schema::new(vec![Column::new("n", DataType::Str)]),
         vec![
-            (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
-            (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
-            (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+            (
+                vec![Value::str("ann")],
+                Interval::of(ym(2012, 1), ym(2012, 8)),
+            ),
+            (
+                vec![Value::str("joe")],
+                Interval::of(ym(2012, 2), ym(2012, 6)),
+            ),
+            (
+                vec![Value::str("ann")],
+                Interval::of(ym(2012, 8), ym(2012, 12)),
+            ),
         ],
     )?;
     let p = TemporalRelation::from_rows(

@@ -14,9 +14,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Column::new("team", DataType::Str),
         ]),
         vec![
-            (vec![Value::str("ann"), Value::str("db")], Interval::of(0, 8)),
-            (vec![Value::str("joe"), Value::str("db")], Interval::of(2, 6)),
-            (vec![Value::str("sam"), Value::str("ui")], Interval::of(4, 10)),
+            (
+                vec![Value::str("ann"), Value::str("db")],
+                Interval::of(0, 8),
+            ),
+            (
+                vec![Value::str("joe"), Value::str("db")],
+                Interval::of(2, 6),
+            ),
+            (
+                vec![Value::str("sam"), Value::str("ui")],
+                Interval::of(4, 10),
+            ),
         ],
     )?;
     let oncall = TemporalRelation::from_rows(
@@ -59,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Every result is snapshot reducible: check one snapshot by hand.
     let t = 4;
     println!("snapshot of staff at t={t}:\n{}", staff.timeslice(t));
-    println!("snapshot of headcount at t={t}:\n{}", headcount.timeslice(t));
+    println!(
+        "snapshot of headcount at t={t}:\n{}",
+        headcount.timeslice(t)
+    );
 
     Ok(())
 }

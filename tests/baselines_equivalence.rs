@@ -108,10 +108,7 @@ fn equivalence_on_o3_workload() {
     let s = {
         // second half as a distinct relation
         let rows: Vec<_> = data.rows()[45..].to_vec();
-        TemporalRelation::new(
-            Relation::new(data.schema().clone(), rows).unwrap(),
-        )
-        .unwrap()
+        TemporalRelation::new(Relation::new(data.schema().clone(), rows).unwrap()).unwrap()
     };
     // (ssn, pcn, ts, te) ++ (ssn, pcn, ts, te): pcn = cols 1 and 5.
     let theta = Some(col(1).eq(col(5)));

@@ -38,12 +38,7 @@ pub fn rel2(name: &str, rows: &[(i64, i64, i64, i64)]) -> TemporalRelation {
 /// column drawn from `0..val_dom` and intervals inside `[0, time_dom)`.
 /// Candidate rows violating duplicate-freeness are dropped greedily, so
 /// the result is always a valid temporal relation (Sec. 3.1).
-pub fn random_trel(
-    seed: u64,
-    max_rows: usize,
-    val_dom: i64,
-    time_dom: i64,
-) -> TemporalRelation {
+pub fn random_trel(seed: u64, max_rows: usize, val_dom: i64, time_dom: i64) -> TemporalRelation {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut kept: Vec<(i64, Interval)> = Vec::new();
     for _ in 0..max_rows {
@@ -68,12 +63,7 @@ pub fn random_trel(
 }
 
 /// Random duplicate-free relation with two Int data columns.
-pub fn random_trel2(
-    seed: u64,
-    max_rows: usize,
-    val_dom: i64,
-    time_dom: i64,
-) -> TemporalRelation {
+pub fn random_trel2(seed: u64, max_rows: usize, val_dom: i64, time_dom: i64) -> TemporalRelation {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut kept: Vec<(i64, i64, Interval)> = Vec::new();
     for _ in 0..max_rows {
@@ -108,9 +98,18 @@ pub fn paper_r() -> TemporalRelation {
     TemporalRelation::from_rows(
         Schema::new(vec![Column::new("n", DataType::Str)]),
         vec![
-            (vec![Value::str("ann")], Interval::of(ym(2012, 1), ym(2012, 8))),
-            (vec![Value::str("joe")], Interval::of(ym(2012, 2), ym(2012, 6))),
-            (vec![Value::str("ann")], Interval::of(ym(2012, 8), ym(2012, 12))),
+            (
+                vec![Value::str("ann")],
+                Interval::of(ym(2012, 1), ym(2012, 8)),
+            ),
+            (
+                vec![Value::str("joe")],
+                Interval::of(ym(2012, 2), ym(2012, 6)),
+            ),
+            (
+                vec![Value::str("ann")],
+                Interval::of(ym(2012, 8), ym(2012, 12)),
+            ),
         ],
     )
     .expect("valid fixture")

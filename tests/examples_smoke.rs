@@ -1,0 +1,51 @@
+//! Smoke test keeping every file in `examples/` executable: each one is run
+//! through `cargo run --example` and must exit 0. `cargo test` has already
+//! type-checked the examples by the time this runs, so the subprocess cost
+//! is one incremental link per example.
+
+use std::path::Path;
+use std::process::Command;
+
+/// The checked-in examples. Listing them explicitly (rather than globbing
+/// `examples/`) makes a missing or renamed example fail loudly here.
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "employee_history",
+    "hotel_reservations",
+    "lineage_audit",
+    "calendar_dates",
+    "sql_interface",
+];
+
+#[test]
+fn all_examples_run_cleanly() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+
+    let listed: std::collections::BTreeSet<_> = EXAMPLES.iter().map(|e| e.to_string()).collect();
+    let on_disk: std::collections::BTreeSet<_> = std::fs::read_dir(manifest_dir.join("examples"))
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            (path.extension()? == "rs").then(|| path.file_stem()?.to_str().map(str::to_string))?
+        })
+        .collect();
+    assert_eq!(
+        listed, on_disk,
+        "EXAMPLES list out of sync with the examples/ directory"
+    );
+
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .current_dir(manifest_dir)
+            .args(["run", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} exited with {}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

@@ -40,7 +40,9 @@ fn planner_uses_interval_join_only_when_enabled() {
 
     let sweep_physical = Planner::new(sweep_config()).plan(&plan, &catalog).unwrap();
     assert!(
-        sweep_physical.explain().contains("IntervalJoin[Left] (sweep)"),
+        sweep_physical
+            .explain()
+            .contains("IntervalJoin[Left] (sweep)"),
         "extension must pick the sweep join:\n{}",
         sweep_physical.explain()
     );

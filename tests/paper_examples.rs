@@ -8,10 +8,7 @@ use temporal_alignment::core::prelude::*;
 use temporal_alignment::engine::prelude::*;
 use temporal_core::interval::month::ym;
 
-fn assert_rows(
-    out: &TemporalRelation,
-    expected: &[(Vec<Value>, (i64, i64))],
-) {
+fn assert_rows(out: &TemporalRelation, expected: &[(Vec<Value>, (i64, i64))]) {
     assert_eq!(out.len(), expected.len(), "cardinality mismatch:\n{out}");
     for (vals, (ts, te)) in expected {
         let iv = Interval::of(*ts, *te);
@@ -50,15 +47,24 @@ fn fig1b_query_q1() {
         &q1,
         &[
             // z1: Ann at long-term price for the first 5 months
-            (z("ann", Some(40), Some(3), Some(7)), (ym(2012, 1), ym(2012, 6))),
+            (
+                z("ann", Some(40), Some(3), Some(7)),
+                (ym(2012, 1), ym(2012, 6)),
+            ),
             // z2: Joe likewise
-            (z("joe", Some(40), Some(3), Some(7)), (ym(2012, 2), ym(2012, 6))),
+            (
+                z("joe", Some(40), Some(3), Some(7)),
+                (ym(2012, 2), ym(2012, 6)),
+            ),
             // z3: Ann, negotiated (ω) — from r1
             (z("ann", None, None, None), (ym(2012, 6), ym(2012, 8))),
             // z4: Ann, negotiated (ω) — from r3; NOT coalesced with z3
             (z("ann", None, None, None), (ym(2012, 8), ym(2012, 10))),
             // z5: Ann at long-term price again
-            (z("ann", Some(40), Some(3), Some(7)), (ym(2012, 10), ym(2012, 12))),
+            (
+                z("ann", Some(40), Some(3), Some(7)),
+                (ym(2012, 10), ym(2012, 12)),
+            ),
         ],
     );
 }
@@ -196,7 +202,7 @@ fn example9_absorb() {
     let out = alg.cartesian_product(&r, &s).unwrap();
     // z1, z3, z4, z5 of Example 9 — z2 = (a, c, [3,7)) absorbed.
     assert_eq!(out.len(), 4);
-    assert!(!out.iter().any(|(d, iv)| {
-        d == [Value::str("a"), Value::str("c")] && iv == Interval::of(3, 7)
-    }));
+    assert!(!out
+        .iter()
+        .any(|(d, iv)| { d == [Value::str("a"), Value::str("c")] && iv == Interval::of(3, 7) }));
 }

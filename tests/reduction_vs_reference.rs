@@ -93,10 +93,7 @@ fn binary_ops_match_oracle_on_fixtures() {
             rel1("s", &[(1, 2, 4), (2, 6, 15), (3, 1, 3)]),
         ),
         // touching intervals, same values
-        (
-            rel1("r", &[(1, 0, 5), (1, 5, 9)]),
-            rel1("s", &[(1, 3, 7)]),
-        ),
+        (rel1("r", &[(1, 0, 5), (1, 5, 9)]), rel1("s", &[(1, 3, 7)])),
         // identical relations
         (
             rel1("r", &[(1, 0, 5), (2, 2, 8)]),

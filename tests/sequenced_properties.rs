@@ -14,7 +14,8 @@ use temporal_core::primitives::splitter::is_valid_split;
 
 /// Strategy: a non-empty interval within `[0, dom)`.
 fn arb_interval(dom: i64) -> impl Strategy<Value = Interval> {
-    (0..dom - 1).prop_flat_map(move |s| (Just(s), s + 1..=dom).prop_map(|(s, e)| Interval::of(s, e)))
+    (0..dom - 1)
+        .prop_flat_map(move |s| (Just(s), s + 1..=dom).prop_map(|(s, e)| Interval::of(s, e)))
 }
 
 /// Strategy: a duplicate-free temporal relation with one Int data column.

@@ -43,10 +43,18 @@ fn soak_all_operators_against_oracle() {
                     (AggCall::new(AggFunc::Max, col(2)), "mx".to_string()),
                 ],
             },
-            TemporalOp::Join { theta: theta.clone() },
-            TemporalOp::LeftOuterJoin { theta: theta.clone() },
-            TemporalOp::RightOuterJoin { theta: theta.clone() },
-            TemporalOp::FullOuterJoin { theta: theta.clone() },
+            TemporalOp::Join {
+                theta: theta.clone(),
+            },
+            TemporalOp::LeftOuterJoin {
+                theta: theta.clone(),
+            },
+            TemporalOp::RightOuterJoin {
+                theta: theta.clone(),
+            },
+            TemporalOp::FullOuterJoin {
+                theta: theta.clone(),
+            },
             TemporalOp::AntiJoin { theta },
         ];
         for op in ops {

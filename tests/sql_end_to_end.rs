@@ -150,10 +150,7 @@ fn group_by_aggregates_with_arithmetic() {
     // Cross-check one group against the algebra.
     for row in out.rows() {
         let k = row[0].as_int().unwrap();
-        let expected = r
-            .iter()
-            .filter(|(d, _)| d[0] == Value::Int(k))
-            .count() as i64;
+        let expected = r.iter().filter(|(d, _)| d[0] == Value::Int(k)).count() as i64;
         assert_eq!(row[1], Value::Int(expected));
     }
 }
@@ -191,7 +188,9 @@ fn right_and_full_outer_joins_via_sql() {
         )
         .unwrap();
     let alg = TemporalAlgebra::default();
-    let api_out = alg.right_outer_join(&r, &s, Some(col(0).eq(col(3)))).unwrap();
+    let api_out = alg
+        .right_outer_join(&r, &s, Some(col(0).eq(col(3))))
+        .unwrap();
     assert!(
         sql_out.same_set(&api_out),
         "sql:\n{sql_out}\napi:\n{api_out}"
@@ -205,7 +204,9 @@ fn right_and_full_outer_joins_via_sql() {
              ON x.k = y.k AND x.ts = y.ts AND x.te = y.te",
         )
         .unwrap();
-    let api_out = alg.full_outer_join(&r, &s, Some(col(0).eq(col(3)))).unwrap();
+    let api_out = alg
+        .full_outer_join(&r, &s, Some(col(0).eq(col(3))))
+        .unwrap();
     assert!(
         sql_out.same_set(&api_out),
         "sql:\n{sql_out}\napi:\n{api_out}"
