@@ -17,7 +17,8 @@
 use std::path::PathBuf;
 
 use temporal_bench::{
-    render_table, run_normalization, run_o1, run_o2, run_o3, time, write_csv, Approach, Point,
+    render_table, run_chain, run_normalization, run_o1, run_o2, run_o3, time, write_csv, Approach,
+    ChainMode, Point,
 };
 use temporal_core::semantics::properties::render_table1;
 use temporal_datasets::{ddisj, deq, drand, incumben, prefix, random_like_incumben, IncumbenSpec};
@@ -355,6 +356,42 @@ fn ablation(full: bool) {
     save("ablation_antijoin", &points);
 }
 
+/// The plan-first chain benchmark (not a paper figure): the 3-operator
+/// query ϑᵀ ∘ σᵀ ∘ ⋈ᵀ evaluated eagerly (one `Planner::run` per operator,
+/// materializing between) vs compiled into one `TemporalPlan`.
+fn chain(full: bool) {
+    let sizes: &[usize] = if full {
+        &[2_000, 4_000, 8_000]
+    } else {
+        &[250, 500, 1_000]
+    };
+    let data = incumben(IncumbenSpec::default());
+    let planner = Planner::default();
+    let mut points = Vec::new();
+    for &n in sizes {
+        let r = prefix(&data, n);
+        let cap = (n / 10) as i64;
+        for mode in [
+            ChainMode::Eager,
+            ChainMode::PlanFirst,
+            ChainMode::PlanFirstNoRewrites,
+        ] {
+            let (dt, rows) = time(|| run_chain(mode, &r, &r, cap, &planner));
+            points.push(Point {
+                series: mode.label().into(),
+                n,
+                seconds: dt.as_secs_f64(),
+                output_rows: rows,
+            });
+        }
+    }
+    print_points(
+        "Chain (plan-first): ϑᵀ_{pcn} ∘ σᵀ_{ssn<n/10} ∘ ⋈ᵀ_{pcn} on Incumben",
+        &points,
+    );
+    save("chain_pipeline", &points);
+}
+
 fn table1() {
     println!("\n=== Table 1 (verified executably in semantics::properties)");
     println!("{}", render_table1());
@@ -385,6 +422,7 @@ fn main() {
         "fig16a" => fig16a(full),
         "fig16b" => fig16b(full),
         "ablation" => ablation(full),
+        "chain" => chain(full),
         "all" => {
             table1();
             fig13(full);
@@ -396,10 +434,11 @@ fn main() {
             fig16a(full);
             fig16b(full);
             ablation(full);
+            chain(full);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|all"
+                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|ablation|chain|all"
             );
             std::process::exit(2);
         }

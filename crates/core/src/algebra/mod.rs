@@ -8,23 +8,29 @@
 //! equality, with the absorb operator α as a final post-processing step
 //! for tuple-based operators.
 
+mod plan;
 mod reduction;
 
+pub use plan::TemporalPlan;
 pub use reduction::{
     reduce_aggregation, reduce_antijoin, reduce_join, reduce_projection, reduce_selection,
     reduce_setop, self_pairs,
 };
 
-use temporal_engine::catalog::Catalog;
 use temporal_engine::prelude::*;
 
 use crate::error::TemporalResult;
 use crate::primitives::absorb;
-use crate::primitives::adjustment::{align_eval, normalize_eval};
 use crate::trel::TemporalRelation;
 
 /// The temporal algebra evaluator: holds the planner (and hence the
 /// join-method switches) used for all reduced queries.
+///
+/// Every method is a thin wrapper that compiles a one-operator
+/// [`TemporalPlan`] and executes it; multi-operator queries should be
+/// composed on [`TemporalPlan`] directly, which runs the *whole* pipeline
+/// with a single `Planner::run` instead of materializing a relation
+/// between operators.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct TemporalAlgebra {
     planner: Planner,
@@ -41,13 +47,15 @@ impl TemporalAlgebra {
         &self.planner
     }
 
-    fn run(&self, plan: &LogicalPlan) -> TemporalResult<TemporalRelation> {
-        let out = self.planner.run(plan, &Catalog::new())?;
-        TemporalRelation::new(out)
+    /// Start a composed plan over a materialized relation — the entry
+    /// point for plan-first, multi-operator queries.
+    pub fn plan(&self, r: &TemporalRelation) -> TemporalPlan {
+        TemporalPlan::scan(r)
     }
 
-    fn scan(r: &TemporalRelation) -> LogicalPlan {
-        LogicalPlan::inline_scan(r.rel().clone())
+    /// Execute a composed plan with this algebra's planner.
+    pub fn run(&self, plan: &TemporalPlan) -> TemporalResult<TemporalRelation> {
+        plan.execute(&self.planner)
     }
 
     // ---- tuple-based operators (aligner) --------------------------------
@@ -58,7 +66,7 @@ impl TemporalAlgebra {
         r: &TemporalRelation,
         predicate: Expr,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_selection(Self::scan(r), predicate))
+        self.run(&TemporalPlan::scan(r).selection(predicate)?)
     }
 
     /// ×ᵀ: temporal Cartesian product,
@@ -80,12 +88,7 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_join(
-            Self::scan(r),
-            Self::scan(s),
-            JoinType::Inner,
-            theta,
-        )?)
+        self.run(&TemporalPlan::scan(r).join(TemporalPlan::scan(s), theta)?)
     }
 
     /// ⟕ᵀ_θ: temporal left outer join (Table 2, Left O. Join).
@@ -95,12 +98,7 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_join(
-            Self::scan(r),
-            Self::scan(s),
-            JoinType::Left,
-            theta,
-        )?)
+        self.run(&TemporalPlan::scan(r).left_outer_join(TemporalPlan::scan(s), theta)?)
     }
 
     /// ⟖ᵀ_θ: temporal right outer join.
@@ -110,12 +108,7 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_join(
-            Self::scan(r),
-            Self::scan(s),
-            JoinType::Right,
-            theta,
-        )?)
+        self.run(&TemporalPlan::scan(r).right_outer_join(TemporalPlan::scan(s), theta)?)
     }
 
     /// ⟗ᵀ_θ: temporal full outer join.
@@ -125,12 +118,7 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_join(
-            Self::scan(r),
-            Self::scan(s),
-            JoinType::Full,
-            theta,
-        )?)
+        self.run(&TemporalPlan::scan(r).full_outer_join(TemporalPlan::scan(s), theta)?)
     }
 
     /// ▷ᵀ_θ: temporal anti join,
@@ -141,7 +129,7 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_antijoin(Self::scan(r), Self::scan(s), theta)?)
+        self.run(&TemporalPlan::scan(r).anti_join(TemporalPlan::scan(s), theta)?)
     }
 
     /// ▷ᵀ_θ via the *customized* primitive (Sec. 8 future work): a single
@@ -154,11 +142,7 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&crate::primitives::adjustment::antijoin_gaps_plan(
-            Self::scan(r),
-            Self::scan(s),
-            theta,
-        )?)
+        self.run(&TemporalPlan::scan(r).anti_join_optimized(TemporalPlan::scan(s), theta)?)
     }
 
     // ---- group-based operators (splitter) -------------------------------
@@ -170,7 +154,7 @@ impl TemporalAlgebra {
         r: &TemporalRelation,
         b: &[usize],
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_projection(Self::scan(r), b)?)
+        self.run(&TemporalPlan::scan(r).projection(b)?)
     }
 
     /// ϑᵀ: temporal aggregation `_Bϑ_F(r) = _{B,T}ϑ_F(N_B(r; r))`.
@@ -183,7 +167,7 @@ impl TemporalAlgebra {
         b: &[usize],
         aggs: Vec<(AggCall, String)>,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_aggregation(Self::scan(r), b, aggs)?)
+        self.run(&TemporalPlan::scan(r).aggregation(b, aggs)?)
     }
 
     /// ∪ᵀ: temporal union `N_A(r; s) ∪ N_A(s; r)`.
@@ -192,11 +176,7 @@ impl TemporalAlgebra {
         r: &TemporalRelation,
         s: &TemporalRelation,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_setop(
-            SetOpKind::Union,
-            Self::scan(r),
-            Self::scan(s),
-        )?)
+        self.run(&TemporalPlan::scan(r).union(TemporalPlan::scan(s))?)
     }
 
     /// −ᵀ: temporal difference `N_A(r; s) − N_A(s; r)`.
@@ -205,11 +185,7 @@ impl TemporalAlgebra {
         r: &TemporalRelation,
         s: &TemporalRelation,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_setop(
-            SetOpKind::Except,
-            Self::scan(r),
-            Self::scan(s),
-        )?)
+        self.run(&TemporalPlan::scan(r).difference(TemporalPlan::scan(s))?)
     }
 
     /// ∩ᵀ: temporal intersection `N_A(r; s) ∩ N_A(s; r)`.
@@ -218,11 +194,7 @@ impl TemporalAlgebra {
         r: &TemporalRelation,
         s: &TemporalRelation,
     ) -> TemporalResult<TemporalRelation> {
-        self.run(&reduce_setop(
-            SetOpKind::Intersect,
-            Self::scan(r),
-            Self::scan(s),
-        )?)
+        self.run(&TemporalPlan::scan(r).intersection(TemporalPlan::scan(s))?)
     }
 
     // ---- primitives, exposed for composition ----------------------------
@@ -234,7 +206,7 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalRelation> {
-        align_eval(r, s, theta, &self.planner)
+        self.run(&TemporalPlan::scan(r).align(TemporalPlan::scan(s), theta)?)
     }
 
     /// The normalization primitive `N_B(r; s)` itself.
@@ -244,7 +216,7 @@ impl TemporalAlgebra {
         s: &TemporalRelation,
         b: &[(usize, usize)],
     ) -> TemporalResult<TemporalRelation> {
-        normalize_eval(r, s, b, &self.planner)
+        self.run(&TemporalPlan::scan(r).normalize(TemporalPlan::scan(s), b)?)
     }
 
     /// The absorb operator α.

@@ -79,7 +79,7 @@ pub mod trel;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::algebra::TemporalAlgebra;
+    pub use crate::algebra::{TemporalAlgebra, TemporalPlan};
     pub use crate::allen::{relate, AllenRelation};
     pub use crate::coalesce::{coalesce, snapshot_equivalent};
     pub use crate::date::{date_interval, fmt_day, Date};

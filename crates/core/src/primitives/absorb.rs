@@ -86,14 +86,18 @@ impl ExtensionNode for AbsorbNode {
     fn estimate(
         &self,
         input_stats: &[temporal_engine::plan::PlanStats],
+        model: &temporal_engine::plan::CostModel,
     ) -> temporal_engine::plan::PlanStats {
-        let inp = input_stats[0];
         // Sorting dominates; absorb itself is one comparison per tuple.
-        let n = inp.rows.max(2.0);
-        temporal_engine::plan::PlanStats::new(
-            inp.rows * 0.9,
-            inp.cost + 2.0 * 0.0025 * n * n.log2() + n * 0.0025,
-        )
+        let sorted = model.sort(input_stats[0]);
+        model.sweep(sorted, input_stats[0].rows * 0.9, 1.0)
+    }
+
+    /// Absorption groups are keyed by *all* data columns, so a selection on
+    /// any of them drops whole groups and commutes with α; the interval
+    /// columns decide absorption and must stay above.
+    fn passthrough_column(&self, out_col: usize) -> Option<(usize, usize)> {
+        (out_col + 2 < self.schema.len()).then_some((0, out_col))
     }
 
     fn build_exec(&self, mut children: Vec<BoxedExec>) -> EngineResult<BoxedExec> {

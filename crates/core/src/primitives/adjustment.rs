@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use temporal_engine::exec::ExecNode;
-use temporal_engine::plan::{ExtensionNode, PlanStats};
+use temporal_engine::plan::{CostModel, ExtensionNode, PlanStats};
 use temporal_engine::prelude::*;
 
 use crate::error::{TemporalError, TemporalResult};
@@ -316,23 +316,26 @@ impl ExtensionNode for AdjustmentNode {
 
     /// The cost estimates of Sec. 6.2/6.3: every input tuple yields at most
     /// three (alignment) or two (normalization) output tuples, at a cost of
-    /// two (resp. one) tuple comparisons each.
-    fn estimate(&self, input_stats: &[PlanStats]) -> PlanStats {
+    /// two (resp. one) tuple comparisons each — expressed through the
+    /// planner's [`CostModel`] so composed temporal plans cost as one tree.
+    fn estimate(&self, input_stats: &[PlanStats], model: &CostModel) -> PlanStats {
         let x = input_stats[0];
         let num_cols = self.out_schema.len() as f64;
-        let cpu_op_cost = 0.0025;
         match self.mode {
-            AdjustMode::Align => {
-                PlanStats::new(3.0 * x.rows, x.cost + 2.0 * cpu_op_cost * x.rows * num_cols)
-            }
-            AdjustMode::Normalize => {
-                PlanStats::new(2.0 * x.rows, x.cost + cpu_op_cost * x.rows * num_cols)
-            }
+            AdjustMode::Align => model.sweep(x, 3.0 * x.rows, 2.0 * num_cols),
+            AdjustMode::Normalize => model.sweep(x, 2.0 * x.rows, num_cols),
             // Gaps only: at most one gap per input tuple plus the tails.
-            AdjustMode::GapsOnly => {
-                PlanStats::new(x.rows, x.cost + cpu_op_cost * x.rows * num_cols)
-            }
+            AdjustMode::GapsOnly => model.sweep(x, x.rows, num_cols),
         }
+    }
+
+    /// The data columns of the sweep input pass through verbatim and key
+    /// the partition into independent groups, so a selection on them
+    /// commutes with the adjustment (a dropped group produces exactly the
+    /// output tuples the selection would drop). The adjusted `ts`/`te`
+    /// columns do **not** pass through.
+    fn passthrough_column(&self, out_col: usize) -> Option<(usize, usize)> {
+        (out_col + 2 < self.out_schema.len()).then_some((0, out_col))
     }
 
     fn build_exec(&self, mut children: Vec<BoxedExec>) -> EngineResult<BoxedExec> {

@@ -169,6 +169,25 @@ impl CostModel {
     pub fn limit(&self, input: PlanStats, n: usize) -> PlanStats {
         PlanStats::new(input.rows.min(n as f64), input.cost)
     }
+
+    /// A streaming pass over already-ordered input that emits `out_rows`
+    /// tuples at `ops_per_tuple` operator evaluations each — the shape of
+    /// the paper's plane-sweep adjustment executors (Sec. 6.2/6.3), used by
+    /// extension nodes so composed temporal plans cost as one tree.
+    pub fn sweep(&self, input: PlanStats, out_rows: f64, ops_per_tuple: f64) -> PlanStats {
+        PlanStats::new(
+            out_rows.max(0.0),
+            input.cost
+                + input.rows * self.cpu_operator_cost * ops_per_tuple.max(1.0)
+                + out_rows.max(0.0) * self.cpu_tuple_cost,
+        )
+    }
+
+    /// Shared materialization (spool): the input is computed once and the
+    /// buffered rows are re-read by each consumer.
+    pub fn spool(&self, input: PlanStats) -> PlanStats {
+        PlanStats::new(input.rows, input.cost + input.rows * self.cpu_tuple_cost)
+    }
 }
 
 /// Crude predicate selectivity: equality 0.1 per conjunct, range 0.33,

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use crate::error::{EngineError, EngineResult};
 use crate::exec::BoxedExec;
 use crate::expr::{AggCall, Expr, SortKey};
-use crate::plan::cost::PlanStats;
+use crate::plan::cost::{CostModel, PlanStats};
 use crate::plan::{JoinType, SetOpKind};
 use crate::relation::Relation;
 use crate::schema::{Column, Schema};
@@ -29,13 +29,35 @@ pub trait ExtensionNode: fmt::Debug + Send + Sync {
     /// Output schema.
     fn schema(&self) -> Schema;
 
-    /// Cardinality/cost estimate given child statistics — the hook the
-    /// paper describes in Sec. 6.2/6.3 ("the optimizer needs cost
-    /// estimations for the new operator").
-    fn estimate(&self, input_stats: &[PlanStats]) -> PlanStats;
+    /// Cardinality/cost estimate given child statistics and the planner's
+    /// cost model — the hook the paper describes in Sec. 6.2/6.3 ("the
+    /// optimizer needs cost estimations for the new operator").
+    fn estimate(&self, input_stats: &[PlanStats], model: &CostModel) -> PlanStats;
 
     /// Build the executor, given already-built children.
     fn build_exec(&self, children: Vec<BoxedExec>) -> EngineResult<BoxedExec>;
+
+    /// Reset any per-execution state (e.g. a shared result cache) before a
+    /// new execution of the plan begins. Called once per node (deduplicated
+    /// by identity) from [`PhysicalPlan::execute`], so re-executing a plan
+    /// observes current table contents. Default: no state, no-op.
+    ///
+    /// [`PhysicalPlan::execute`]: crate::plan::PhysicalPlan::execute
+    fn reset_exec_state(&self) {}
+
+    /// Declare that output column `out_col` is a verbatim copy of column
+    /// `in_col` of input `input_idx` **and** that a selection on it
+    /// commutes with this node: filtering the input rows on that column
+    /// before the node must produce exactly the rows that filtering the
+    /// output would keep. The optimizer uses this to push non-timestamp
+    /// filters *across* extension boundaries (e.g. below a temporal
+    /// alignment, whose data columns partition the plane sweep into
+    /// independent groups). Returning `None` (the default) keeps filters
+    /// above the node.
+    fn passthrough_column(&self, out_col: usize) -> Option<(usize, usize)> {
+        let _ = out_col;
+        None
+    }
 
     /// One-line description for EXPLAIN.
     fn explain(&self) -> String {

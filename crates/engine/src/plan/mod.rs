@@ -5,11 +5,14 @@ mod cost;
 mod logical;
 mod optimizer;
 mod physical;
+pub mod rewrite;
+mod spool;
 
 pub use cost::{CostModel, PlanStats, DISABLE_COST};
 pub use logical::{ExtensionNode, LogicalPlan};
 pub use optimizer::{Planner, PlannerConfig};
 pub use physical::PhysicalPlan;
+pub use spool::{SpoolExec, SpoolNode};
 
 /// Join types. The temporal algebra reduces to all six (Table 2 of the
 /// paper covers ×, ⋈, ⟕, ⟖, ⟗ and ▷; Semi backs `EXISTS`).

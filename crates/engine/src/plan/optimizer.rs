@@ -7,6 +7,9 @@
 //! exists. The paper's Fig. 13 experiment is a direct sweep over these
 //! switches.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use crate::catalog::Catalog;
 use crate::error::{EngineError, EngineResult};
 use crate::expr::{col, detect_overlap_pattern, fold, split_join_condition, Expr, SortKey};
@@ -25,6 +28,11 @@ pub struct PlannerConfig {
     /// extension (Sec. 8). Off by default so benchmarks reproduce the
     /// paper's PostgreSQL behaviour; the ablation bench switches it on.
     pub enable_intervaljoin: bool,
+    /// Logical rewrites (constant folding, filter pushdown across
+    /// extension boundaries, projection pruning — [`crate::plan::rewrite`])
+    /// applied before costing. On by default; switchable so benchmarks can
+    /// isolate the effect of cross-operator optimization.
+    pub enable_rewrites: bool,
     pub cost_model: CostModel,
 }
 
@@ -35,6 +43,7 @@ impl Default for PlannerConfig {
             enable_hashjoin: true,
             enable_mergejoin: true,
             enable_intervaljoin: false,
+            enable_rewrites: true,
             cost_model: CostModel::default(),
         }
     }
@@ -70,6 +79,7 @@ impl PlannerConfig {
             "enable_hashjoin" => self.enable_hashjoin = value,
             "enable_mergejoin" => self.enable_mergejoin = value,
             "enable_intervaljoin" => self.enable_intervaljoin = value,
+            "enable_rewrites" => self.enable_rewrites = value,
             other => {
                 return Err(EngineError::Unsupported(format!(
                     "unknown planner setting '{other}'"
@@ -91,8 +101,26 @@ impl Planner {
         Planner { config }
     }
 
-    /// Plan a logical tree, resolving table scans against `catalog`.
+    /// Plan a logical tree, resolving table scans against `catalog`. The
+    /// logical rewrites (constant folding, filter pushdown, projection
+    /// pruning) run first unless `enable_rewrites` is off.
     pub fn plan(&self, lp: &LogicalPlan, catalog: &Catalog) -> EngineResult<PhysicalPlan> {
+        // Shared extension nodes (a spool referenced from several plan
+        // occurrences) are planned once and the physical subtree reused.
+        let mut memo = HashMap::new();
+        if self.config.enable_rewrites {
+            self.plan_inner(&crate::plan::rewrite::optimize(lp), catalog, &mut memo)
+        } else {
+            self.plan_inner(lp, catalog, &mut memo)
+        }
+    }
+
+    fn plan_inner(
+        &self,
+        lp: &LogicalPlan,
+        catalog: &Catalog,
+        memo: &mut HashMap<usize, PhysicalPlan>,
+    ) -> EngineResult<PhysicalPlan> {
         Ok(match lp {
             LogicalPlan::TableScan { name, schema } => {
                 let rel = catalog.get(name)?;
@@ -113,7 +141,7 @@ impl Planner {
                 label: "inline".to_string(),
             },
             LogicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
-                input: Box::new(self.plan(input, catalog)?),
+                input: Box::new(self.plan_inner(input, catalog, memo)?),
                 predicate: fold(predicate),
             },
             LogicalPlan::Project {
@@ -121,7 +149,7 @@ impl Planner {
                 exprs,
                 schema,
             } => PhysicalPlan::Project {
-                input: Box::new(self.plan(input, catalog)?),
+                input: Box::new(self.plan_inner(input, catalog, memo)?),
                 exprs: exprs.clone(),
                 schema: schema.clone(),
             },
@@ -131,17 +159,17 @@ impl Planner {
                 aggs,
                 schema,
             } => PhysicalPlan::HashAggregate {
-                input: Box::new(self.plan(input, catalog)?),
+                input: Box::new(self.plan_inner(input, catalog, memo)?),
                 group: group.clone(),
                 aggs: aggs.clone(),
                 schema: schema.clone(),
             },
             LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
-                input: Box::new(self.plan(input, catalog)?),
+                input: Box::new(self.plan_inner(input, catalog, memo)?),
                 keys: keys.clone(),
             },
             LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
-                input: Box::new(self.plan(input, catalog)?),
+                input: Box::new(self.plan_inner(input, catalog, memo)?),
             },
             LogicalPlan::Join {
                 left,
@@ -149,8 +177,8 @@ impl Planner {
                 join_type,
                 condition,
             } => {
-                let l = self.plan(left, catalog)?;
-                let r = self.plan(right, catalog)?;
+                let l = self.plan_inner(left, catalog, memo)?;
+                let r = self.plan_inner(right, catalog, memo)?;
                 // Fold constants; a condition folded to TRUE disappears
                 // (cross/overlap joins written as `… AND 1 = 1` in SQL).
                 let condition = match condition.as_ref().map(fold) {
@@ -161,22 +189,28 @@ impl Planner {
             }
             LogicalPlan::SetOp { kind, left, right } => PhysicalPlan::HashSetOp {
                 kind: *kind,
-                left: Box::new(self.plan(left, catalog)?),
-                right: Box::new(self.plan(right, catalog)?),
+                left: Box::new(self.plan_inner(left, catalog, memo)?),
+                right: Box::new(self.plan_inner(right, catalog, memo)?),
             },
             LogicalPlan::Limit { input, n } => PhysicalPlan::Limit {
-                input: Box::new(self.plan(input, catalog)?),
+                input: Box::new(self.plan_inner(input, catalog, memo)?),
                 n: *n,
             },
             LogicalPlan::Extension { node } => {
+                let key = Arc::as_ptr(node) as *const u8 as usize;
+                if let Some(planned) = memo.get(&key) {
+                    return Ok(planned.clone());
+                }
                 let mut children = Vec::new();
                 for i in node.inputs() {
-                    children.push(self.plan(i, catalog)?);
+                    children.push(self.plan_inner(i, catalog, memo)?);
                 }
-                PhysicalPlan::Extension {
+                let planned = PhysicalPlan::Extension {
                     node: node.clone(),
                     children,
-                }
+                };
+                memo.insert(key, planned.clone());
+                planned
             }
         })
     }

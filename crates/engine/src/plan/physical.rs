@@ -132,24 +132,65 @@ impl PhysicalPlan {
         }
     }
 
-    /// Build the executor tree.
+    /// Direct children in left-to-right order (empty for leaves) — the one
+    /// place that knows each variant's child layout; every generic
+    /// traversal below goes through it.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Limit { input, .. } => vec![input],
+            PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. }
+            | PhysicalPlan::IntervalJoin { left, right, .. }
+            | PhysicalPlan::HashSetOp { left, right, .. } => vec![left, right],
+            PhysicalPlan::Extension { children, .. } => children.iter().collect(),
+        }
+    }
+
+    /// Build the executor tree. Resets per-execution extension state
+    /// first (once per distinct node), so a plan can be executed again and
+    /// observe current table contents — a spool's shared cache lives for
+    /// exactly one execution.
     pub fn execute(&self) -> EngineResult<BoxedExec> {
+        let mut seen = std::collections::HashSet::new();
+        self.reset_extension_state(&mut seen);
+        self.build_exec_tree()
+    }
+
+    fn reset_extension_state(&self, seen: &mut std::collections::HashSet<usize>) {
+        if let PhysicalPlan::Extension { node, .. } = self {
+            if seen.insert(Arc::as_ptr(node) as *const u8 as usize) {
+                node.reset_exec_state();
+            }
+        }
+        for c in self.children() {
+            c.reset_extension_state(seen);
+        }
+    }
+
+    fn build_exec_tree(&self) -> EngineResult<BoxedExec> {
         Ok(match self {
             PhysicalPlan::SeqScan { rel, .. } => Box::new(SeqScanExec::new(rel.clone())),
             PhysicalPlan::Filter { input, predicate } => {
-                Box::new(FilterExec::new(input.execute()?, predicate.clone()))
+                Box::new(FilterExec::new(input.build_exec_tree()?, predicate.clone()))
             }
             PhysicalPlan::Project {
                 input,
                 exprs,
                 schema,
             } => Box::new(ProjectExec::new(
-                input.execute()?,
+                input.build_exec_tree()?,
                 exprs.clone(),
                 schema.clone(),
             )),
             PhysicalPlan::Sort { input, keys } => {
-                Box::new(SortExec::new(input.execute()?, keys.clone()))
+                Box::new(SortExec::new(input.build_exec_tree()?, keys.clone()))
             }
             PhysicalPlan::HashAggregate {
                 input,
@@ -157,20 +198,22 @@ impl PhysicalPlan {
                 aggs,
                 schema,
             } => Box::new(HashAggregateExec::new(
-                input.execute()?,
+                input.build_exec_tree()?,
                 group.clone(),
                 aggs.clone(),
                 schema.clone(),
             )),
-            PhysicalPlan::Distinct { input } => Box::new(DistinctExec::new(input.execute()?)),
+            PhysicalPlan::Distinct { input } => {
+                Box::new(DistinctExec::new(input.build_exec_tree()?))
+            }
             PhysicalPlan::NestedLoopJoin {
                 left,
                 right,
                 join_type,
                 condition,
             } => Box::new(NestedLoopJoinExec::new(
-                left.execute()?,
-                right.execute()?,
+                left.build_exec_tree()?,
+                right.build_exec_tree()?,
                 *join_type,
                 condition.clone(),
             )),
@@ -181,8 +224,8 @@ impl PhysicalPlan {
                 keys,
                 residual,
             } => Box::new(HashJoinExec::new(
-                left.execute()?,
-                right.execute()?,
+                left.build_exec_tree()?,
+                right.build_exec_tree()?,
                 keys.clone(),
                 residual.clone(),
                 *join_type,
@@ -194,8 +237,8 @@ impl PhysicalPlan {
                 keys,
                 residual,
             } => Box::new(MergeJoinExec::new(
-                left.execute()?,
-                right.execute()?,
+                left.build_exec_tree()?,
+                right.build_exec_tree()?,
                 keys.clone(),
                 residual.clone(),
                 *join_type,
@@ -207,8 +250,8 @@ impl PhysicalPlan {
                 endpoints,
                 residual,
             } => Box::new(IntervalJoinExec::new(
-                left.execute()?,
-                right.execute()?,
+                left.build_exec_tree()?,
+                right.build_exec_tree()?,
                 endpoints.0,
                 endpoints.1,
                 endpoints.2,
@@ -218,14 +261,16 @@ impl PhysicalPlan {
             )),
             PhysicalPlan::HashSetOp { kind, left, right } => Box::new(HashSetOpExec::new(
                 *kind,
-                left.execute()?,
-                right.execute()?,
+                left.build_exec_tree()?,
+                right.build_exec_tree()?,
             )?),
-            PhysicalPlan::Limit { input, n } => Box::new(LimitExec::new(input.execute()?, *n)),
+            PhysicalPlan::Limit { input, n } => {
+                Box::new(LimitExec::new(input.build_exec_tree()?, *n))
+            }
             PhysicalPlan::Extension { node, children } => {
                 let mut built = Vec::with_capacity(children.len());
                 for c in children {
-                    built.push(c.execute()?);
+                    built.push(c.build_exec_tree()?);
                 }
                 node.build_exec(built)?
             }
@@ -326,7 +371,7 @@ impl PhysicalPlan {
             PhysicalPlan::Limit { input, n } => model.limit(input.stats(model), *n),
             PhysicalPlan::Extension { node, children } => {
                 let stats: Vec<PlanStats> = children.iter().map(|c| c.stats(model)).collect();
-                node.estimate(&stats)
+                node.estimate(&stats, model)
             }
         }
     }
@@ -342,7 +387,8 @@ impl PhysicalPlan {
     fn explain_into(&self, out: &mut String, indent: usize, model: &CostModel) {
         let pad = "  ".repeat(indent);
         let st = self.stats(model);
-        let head = |name: String| format!("{pad}{name}  (rows≈{:.0})\n", st.rows);
+        let head =
+            |name: String| format!("{pad}{name}  (rows≈{:.0} cost≈{:.2})\n", st.rows, st.cost);
         match self {
             PhysicalPlan::SeqScan { rel, label } => {
                 out.push_str(&head(format!("SeqScan on {label} [{} rows]", rel.len())));
@@ -438,6 +484,18 @@ impl PhysicalPlan {
         }
     }
 
+    /// Count the nodes of this (single) physical tree satisfying `pred` —
+    /// used by tests asserting that composed temporal queries plan without
+    /// intermediate materialization barriers.
+    pub fn count_nodes(&self, pred: &dyn Fn(&PhysicalPlan) -> bool) -> usize {
+        usize::from(pred(self))
+            + self
+                .children()
+                .into_iter()
+                .map(|c| c.count_nodes(pred))
+                .sum::<usize>()
+    }
+
     /// The name of the join algorithm at the root, if the root is a join —
     /// convenient for tests asserting planner choices (Fig. 13).
     pub fn root_join_algorithm(&self) -> Option<&'static str> {
@@ -455,24 +513,8 @@ impl PhysicalPlan {
         if let Some(a) = self.root_join_algorithm() {
             return Some(a);
         }
-        match self {
-            PhysicalPlan::Filter { input, .. }
-            | PhysicalPlan::Project { input, .. }
-            | PhysicalPlan::Sort { input, .. }
-            | PhysicalPlan::HashAggregate { input, .. }
-            | PhysicalPlan::Distinct { input }
-            | PhysicalPlan::Limit { input, .. } => input.first_join_algorithm(),
-            PhysicalPlan::NestedLoopJoin { left, right, .. }
-            | PhysicalPlan::HashJoin { left, right, .. }
-            | PhysicalPlan::MergeJoin { left, right, .. }
-            | PhysicalPlan::IntervalJoin { left, right, .. }
-            | PhysicalPlan::HashSetOp { left, right, .. } => left
-                .first_join_algorithm()
-                .or_else(|| right.first_join_algorithm()),
-            PhysicalPlan::Extension { children, .. } => {
-                children.iter().find_map(|c| c.first_join_algorithm())
-            }
-            PhysicalPlan::SeqScan { .. } => None,
-        }
+        self.children()
+            .into_iter()
+            .find_map(|c| c.first_join_algorithm())
     }
 }

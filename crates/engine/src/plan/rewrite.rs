@@ -1,0 +1,777 @@
+//! Logical plan rewrites, applied by the planner before costing.
+//!
+//! Three passes, each of which descends into [`ExtensionNode`] inputs so
+//! that composed temporal plans — whose alignment / normalization /
+//! absorb stages are extension nodes — optimize as **one** tree instead
+//! of stopping at every extension boundary (the integration argument of
+//! the paper's Sec. 6):
+//!
+//! 1. **constant folding** of every embedded expression;
+//! 2. **filter pushdown**: predicate conjuncts move below projections,
+//!    sorts, distincts, group-preserving aggregates, into join sides and
+//!    set-operation branches, and — via
+//!    [`ExtensionNode::passthrough_column`] — *through* extension nodes
+//!    whose declared columns commute with selection (e.g. the
+//!    non-timestamp data columns of a temporal alignment);
+//! 3. **projection pruning**: adjacent projections collapse and identity
+//!    projections disappear.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::expr::{fold, Expr};
+use crate::plan::logical::{ExtensionNode, LogicalPlan};
+use crate::plan::{JoinType, SetOpKind};
+use crate::value::Value;
+
+/// Per-pass memo of rebuilt extension nodes, keyed by the identity of the
+/// original `Arc`. Plans produced by the temporal reduction rules reference
+/// one operand subtree from several places (a reduced θ-join aligns r with
+/// s *and* s with r); reusing the rebuilt node keeps those occurrences
+/// pointing at a single node — in particular it preserves the shared
+/// result cache of a `SpoolNode`, which a per-occurrence rebuild would
+/// silently split.
+type NodeMemo = HashMap<usize, Arc<dyn ExtensionNode>>;
+
+fn node_key(node: &Arc<dyn ExtensionNode>) -> usize {
+    Arc::as_ptr(node) as *const u8 as usize
+}
+
+/// Run all rewrite passes.
+pub fn optimize(plan: &LogicalPlan) -> LogicalPlan {
+    let folded = fold_exprs(plan.clone(), &mut NodeMemo::new());
+    let pushed = push_filters(folded, Vec::new(), &mut NodeMemo::new());
+    prune_projects(pushed, &mut NodeMemo::new())
+}
+
+// ---- pass 1: constant folding ------------------------------------------
+
+/// Fold constants in every expression of the tree, descending into
+/// extension inputs.
+fn fold_exprs(plan: LogicalPlan, memo: &mut NodeMemo) -> LogicalPlan {
+    match plan {
+        LogicalPlan::TableScan { .. } | LogicalPlan::InlineScan { .. } => plan,
+        LogicalPlan::Filter { input, predicate } => {
+            let input = fold_exprs(*input, memo);
+            match fold(&predicate) {
+                // σ_true is a no-op; keep folded FALSE/NULL filters (they
+                // still have to produce an empty result at runtime).
+                Expr::Lit(Value::Bool(true)) => input,
+                predicate => input.filter(predicate),
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(fold_exprs(*input, memo)),
+            exprs: exprs.iter().map(fold).collect(),
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(fold_exprs(*input, memo)),
+            group: group.iter().map(fold).collect(),
+            aggs: aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = a.arg.as_ref().map(fold);
+                    a
+                })
+                .collect(),
+            schema,
+        },
+        LogicalPlan::Sort { input, mut keys } => {
+            for k in &mut keys {
+                k.expr = fold(&k.expr);
+            }
+            fold_exprs(*input, memo).sort(keys)
+        }
+        LogicalPlan::Distinct { input } => fold_exprs(*input, memo).distinct(),
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            condition,
+        } => {
+            let condition = match condition.as_ref().map(fold) {
+                Some(Expr::Lit(Value::Bool(true))) => None,
+                other => other,
+            };
+            fold_exprs(*left, memo).join(fold_exprs(*right, memo), join_type, condition)
+        }
+        LogicalPlan::SetOp { kind, left, right } => {
+            fold_exprs(*left, memo).set_op(kind, fold_exprs(*right, memo))
+        }
+        LogicalPlan::Limit { input, n } => fold_exprs(*input, memo).limit(n),
+        LogicalPlan::Extension { node } => {
+            let key = node_key(&node);
+            if let Some(rebuilt) = memo.get(&key) {
+                return LogicalPlan::extension(Arc::clone(rebuilt));
+            }
+            let inputs = node
+                .inputs()
+                .into_iter()
+                .map(|i| fold_exprs(i.clone(), memo))
+                .collect();
+            let rebuilt = node.with_new_inputs(inputs);
+            memo.insert(key, Arc::clone(&rebuilt));
+            LogicalPlan::extension(rebuilt)
+        }
+    }
+}
+
+// ---- pass 2: filter pushdown -------------------------------------------
+
+/// All column indices referenced by `e`, deduplicated.
+fn referenced_cols(e: &Expr) -> Vec<usize> {
+    let mut cols = Vec::new();
+    e.visit_cols(&mut |i| {
+        if !cols.contains(&i) {
+            cols.push(i);
+        }
+    });
+    cols
+}
+
+/// Wrap leftover predicates around `plan`.
+fn wrap(plan: LogicalPlan, preds: Vec<Expr>) -> LogicalPlan {
+    match Expr::and_all(preds) {
+        Some(p) => plan.filter(p),
+        None => plan,
+    }
+}
+
+/// Push each predicate in `preds` (conjuncts over `plan`'s output) as far
+/// down the tree as semantics allow; whatever cannot descend wraps the
+/// rewritten node as a Filter.
+fn push_filters(plan: LogicalPlan, mut preds: Vec<Expr>, memo: &mut NodeMemo) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            preds.extend(predicate.conjuncts().into_iter().cloned());
+            push_filters(*input, preds, memo)
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            // A conjunct crosses the projection iff every column it reads
+            // maps to a plain input column (no expression duplication).
+            let mapping: Vec<Option<usize>> = exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::Col(i) => Some(*i),
+                    _ => None,
+                })
+                .collect();
+            let (down, kept): (Vec<Expr>, Vec<Expr>) = preds.into_iter().partition(|p| {
+                referenced_cols(p)
+                    .iter()
+                    .all(|&c| mapping.get(c).is_some_and(|m| m.is_some()))
+            });
+            let down = down
+                .into_iter()
+                .map(|p| p.remap_cols(&|c| mapping[c].expect("partitioned as mappable")))
+                .collect();
+            let projected = LogicalPlan::Project {
+                input: Box::new(push_filters(*input, down, memo)),
+                exprs,
+                schema,
+            };
+            wrap(projected, kept)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
+            // Output columns 0..group.len() are the group exprs; a filter
+            // on plain-column group keys drops whole groups, so it commutes
+            // with the aggregation. Column-free predicates must NOT cross:
+            // a global (empty-group) aggregate emits one row from zero
+            // input rows, so σ_false above it is not σ_false below it.
+            let mapping: Vec<Option<usize>> = group
+                .iter()
+                .map(|e| match e {
+                    Expr::Col(i) => Some(*i),
+                    _ => None,
+                })
+                .collect();
+            let (down, kept): (Vec<Expr>, Vec<Expr>) = preds.into_iter().partition(|p| {
+                let cols = referenced_cols(p);
+                !cols.is_empty()
+                    && cols
+                        .iter()
+                        .all(|&c| mapping.get(c).is_some_and(|m| m.is_some()))
+            });
+            let down = down
+                .into_iter()
+                .map(|p| p.remap_cols(&|c| mapping[c].expect("partitioned as mappable")))
+                .collect();
+            let aggregated = LogicalPlan::Aggregate {
+                input: Box::new(push_filters(*input, down, memo)),
+                group,
+                aggs,
+                schema,
+            };
+            wrap(aggregated, kept)
+        }
+        LogicalPlan::Sort { input, keys } => push_filters(*input, preds, memo).sort(keys),
+        LogicalPlan::Distinct { input } => push_filters(*input, preds, memo).distinct(),
+        LogicalPlan::Limit { input, n } => {
+            // LIMIT does not commute with selection.
+            wrap(push_filters(*input, Vec::new(), memo).limit(n), preds)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            condition,
+        } => {
+            let wl = left.schema().len();
+            let push_left_ok = matches!(
+                join_type,
+                JoinType::Inner | JoinType::Left | JoinType::Semi | JoinType::Anti
+            );
+            let push_right_ok = matches!(join_type, JoinType::Inner | JoinType::Right);
+            let mut left_preds = Vec::new();
+            let mut right_preds = Vec::new();
+            let mut cond_extra = Vec::new();
+            let mut kept = Vec::new();
+            for p in preds {
+                let cols = referenced_cols(&p);
+                let left_only = cols.iter().all(|&c| c < wl);
+                let right_only = !cols.is_empty() && cols.iter().all(|&c| c >= wl);
+                if left_only && push_left_ok {
+                    left_preds.push(p);
+                } else if right_only && push_right_ok {
+                    right_preds.push(p.remap_cols(&|c| c - wl));
+                } else if join_type == JoinType::Inner {
+                    // Straddling conjunct over an inner join: merge it into
+                    // the condition, where equalities become join keys.
+                    cond_extra.push(p);
+                } else {
+                    kept.push(p);
+                }
+            }
+            // For inner joins, single-side conjuncts of the condition
+            // itself may also descend (an outer join's condition has
+            // different semantics than a filter and must stay put).
+            let mut cond_parts = Vec::new();
+            if join_type == JoinType::Inner {
+                for c in condition.iter().flat_map(|c| c.conjuncts()).cloned() {
+                    let cols = referenced_cols(&c);
+                    if cols.iter().all(|&x| x < wl) {
+                        left_preds.push(c);
+                    } else if !cols.is_empty() && cols.iter().all(|&x| x >= wl) {
+                        right_preds.push(c.remap_cols(&|x| x - wl));
+                    } else {
+                        cond_parts.push(c);
+                    }
+                }
+            } else if let Some(c) = condition {
+                cond_parts.push(c);
+            }
+            cond_parts.extend(cond_extra);
+            let joined = push_filters(*left, left_preds, memo).join(
+                push_filters(*right, right_preds, memo),
+                join_type,
+                Expr::and_all(cond_parts),
+            );
+            wrap(joined, kept)
+        }
+        LogicalPlan::SetOp { kind, left, right } => {
+            // Both branches share the output schema; σ distributes over
+            // ∪, ∩ and − alike.
+            let _: SetOpKind = kind;
+            let right_preds = preds.clone();
+            push_filters(*left, preds, memo).set_op(kind, push_filters(*right, right_preds, memo))
+        }
+        LogicalPlan::Extension { node } => {
+            // A conjunct crosses the extension iff every column it reads is
+            // a declared passthrough into one single input.
+            let inputs: Vec<LogicalPlan> = node.inputs().into_iter().cloned().collect();
+            let mut per_input: Vec<Vec<Expr>> = vec![Vec::new(); inputs.len()];
+            let mut kept = Vec::new();
+            for p in preds {
+                let cols = referenced_cols(&p);
+                let mut target: Option<usize> = None;
+                let mut remap: Vec<(usize, usize)> = Vec::new();
+                let mut crossable = !cols.is_empty();
+                for &c in &cols {
+                    match node.passthrough_column(c) {
+                        Some((input_idx, in_col))
+                            if target.is_none() || target == Some(input_idx) =>
+                        {
+                            target = Some(input_idx);
+                            remap.push((c, in_col));
+                        }
+                        _ => {
+                            crossable = false;
+                            break;
+                        }
+                    }
+                }
+                match target {
+                    Some(idx) if crossable => per_input[idx].push(p.remap_cols(&|c| {
+                        remap
+                            .iter()
+                            .find(|&&(out, _)| out == c)
+                            .expect("collected above")
+                            .1
+                    })),
+                    // Opaque or column-free predicate: stay above the node.
+                    _ => kept.push(p),
+                }
+            }
+            let no_descent = per_input.iter().all(|p| p.is_empty());
+            let key = node_key(&node);
+            if no_descent {
+                if let Some(rebuilt) = memo.get(&key) {
+                    return wrap(LogicalPlan::extension(Arc::clone(rebuilt)), kept);
+                }
+            }
+            let new_inputs = inputs
+                .into_iter()
+                .zip(per_input)
+                .map(|(i, p)| push_filters(i, p, memo))
+                .collect();
+            let rebuilt = node.with_new_inputs(new_inputs);
+            if no_descent {
+                memo.insert(key, Arc::clone(&rebuilt));
+            }
+            wrap(LogicalPlan::extension(rebuilt), kept)
+        }
+        LogicalPlan::TableScan { .. } | LogicalPlan::InlineScan { .. } => wrap(plan, preds),
+    }
+}
+
+// ---- pass 3: projection pruning ----------------------------------------
+
+/// Collapse adjacent projections and drop identity projections, descending
+/// into extension inputs.
+fn prune_projects(plan: LogicalPlan, memo: &mut NodeMemo) -> LogicalPlan {
+    match plan {
+        LogicalPlan::TableScan { .. } | LogicalPlan::InlineScan { .. } => plan,
+        LogicalPlan::Filter { input, predicate } => prune_projects(*input, memo).filter(predicate),
+        LogicalPlan::Project {
+            input,
+            mut exprs,
+            schema,
+        } => {
+            let mut input = prune_projects(*input, memo);
+            // Project(Project): when the outer reads plain columns, inline
+            // the inner expressions it selects and skip the inner node.
+            loop {
+                let all_cols = exprs.iter().all(|e| matches!(e, Expr::Col(_)));
+                match input {
+                    LogicalPlan::Project {
+                        input: inner_input,
+                        exprs: inner_exprs,
+                        ..
+                    } if all_cols => {
+                        exprs = exprs
+                            .iter()
+                            .map(|e| match e {
+                                Expr::Col(i) => inner_exprs[*i].clone(),
+                                _ => unreachable!("all_cols checked"),
+                            })
+                            .collect();
+                        input = *inner_input;
+                    }
+                    other => {
+                        input = other;
+                        break;
+                    }
+                }
+            }
+            // Identity projection (same columns, names and types): drop it.
+            let identity = exprs.len() == input.schema().len()
+                && exprs
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| matches!(e, Expr::Col(c) if *c == i))
+                && schema == input.schema();
+            if identity {
+                input
+            } else {
+                LogicalPlan::Project {
+                    input: Box::new(input),
+                    exprs,
+                    schema,
+                }
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(prune_projects(*input, memo)),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => prune_projects(*input, memo).sort(keys),
+        LogicalPlan::Distinct { input } => prune_projects(*input, memo).distinct(),
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            condition,
+        } => prune_projects(*left, memo).join(prune_projects(*right, memo), join_type, condition),
+        LogicalPlan::SetOp { kind, left, right } => {
+            prune_projects(*left, memo).set_op(kind, prune_projects(*right, memo))
+        }
+        LogicalPlan::Limit { input, n } => prune_projects(*input, memo).limit(n),
+        LogicalPlan::Extension { node } => {
+            let key = node_key(&node);
+            if let Some(rebuilt) = memo.get(&key) {
+                return LogicalPlan::extension(Arc::clone(rebuilt));
+            }
+            let inputs = node
+                .inputs()
+                .into_iter()
+                .map(|i| prune_projects(i.clone(), memo))
+                .collect();
+            let rebuilt = node.with_new_inputs(inputs);
+            memo.insert(key, Arc::clone(&rebuilt));
+            LogicalPlan::extension(rebuilt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::error::EngineResult;
+    use crate::exec::BoxedExec;
+    use crate::expr::{col, lit};
+    use crate::plan::cost::{CostModel, PlanStats};
+    use crate::plan::logical::ExtensionNode;
+    use crate::plan::Planner;
+    use crate::relation::Relation;
+    use crate::schema::{Column, DataType, Schema};
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn rel() -> Relation {
+        Relation::from_values(
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+            ]),
+            (0..10)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::inline_scan(rel())
+    }
+
+    /// A toy extension passing through column 0 (and hiding column 1).
+    #[derive(Debug)]
+    struct PassThrough {
+        input: LogicalPlan,
+    }
+
+    impl ExtensionNode for PassThrough {
+        fn name(&self) -> &str {
+            "PassThrough"
+        }
+        fn inputs(&self) -> Vec<&LogicalPlan> {
+            vec![&self.input]
+        }
+        fn with_new_inputs(&self, mut inputs: Vec<LogicalPlan>) -> Arc<dyn ExtensionNode> {
+            Arc::new(PassThrough {
+                input: inputs.remove(0),
+            })
+        }
+        fn schema(&self) -> Schema {
+            self.input.schema()
+        }
+        fn estimate(&self, input_stats: &[PlanStats], _model: &CostModel) -> PlanStats {
+            input_stats[0]
+        }
+        fn build_exec(&self, mut children: Vec<BoxedExec>) -> EngineResult<BoxedExec> {
+            Ok(children.remove(0))
+        }
+        fn passthrough_column(&self, out_col: usize) -> Option<(usize, usize)> {
+            (out_col == 0).then_some((0, 0))
+        }
+    }
+
+    fn first_filter_depth(plan: &LogicalPlan, depth: usize) -> Option<usize> {
+        match plan {
+            LogicalPlan::Filter { .. } => Some(depth),
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => first_filter_depth(input, depth + 1),
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+                first_filter_depth(left, depth + 1).or_else(|| first_filter_depth(right, depth + 1))
+            }
+            LogicalPlan::Extension { node } => node
+                .inputs()
+                .into_iter()
+                .find_map(|i| first_filter_depth(i, depth + 1)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn filter_crosses_projection_and_sort() {
+        let plan = scan()
+            .project_named(vec![(col(1), "b"), (col(0), "a")])
+            .unwrap()
+            .sort(vec![crate::expr::SortKey::asc(col(0))])
+            .filter(col(1).gt(lit(3i64)));
+        let optimized = optimize(&plan);
+        // The filter lands directly above the scan (depth: sort, project,
+        // filter → scan).
+        assert_eq!(first_filter_depth(&optimized, 0), Some(2), "{optimized:?}");
+        let a = Planner::default().run(&plan, &Catalog::new()).unwrap();
+        let b = Planner::default().run(&optimized, &Catalog::new()).unwrap();
+        assert!(a.same_bag(&b));
+    }
+
+    #[test]
+    fn filter_splits_across_inner_join_sides() {
+        let plan = scan()
+            .join(
+                scan(),
+                crate::plan::JoinType::Inner,
+                Some(col(0).eq(col(2))),
+            )
+            .filter(col(1).gt(lit(2i64)).and(col(3).lt(lit(10i64))));
+        let optimized = optimize(&plan);
+        // Both conjuncts descend into the join inputs.
+        let LogicalPlan::Join { left, right, .. } = &optimized else {
+            panic!("expected join at root, got {optimized:?}");
+        };
+        assert!(matches!(**left, LogicalPlan::Filter { .. }));
+        assert!(matches!(**right, LogicalPlan::Filter { .. }));
+        let a = Planner::default().run(&plan, &Catalog::new()).unwrap();
+        let b = Planner::default().run(&optimized, &Catalog::new()).unwrap();
+        assert!(a.same_bag(&b));
+    }
+
+    #[test]
+    fn right_side_filter_stays_above_left_join() {
+        let plan = scan()
+            .join(scan(), crate::plan::JoinType::Left, Some(col(0).eq(col(2))))
+            .filter(col(2).gt(lit(2i64)));
+        let optimized = optimize(&plan);
+        assert!(
+            matches!(optimized, LogicalPlan::Filter { .. }),
+            "ω-padding filter must not descend: {optimized:?}"
+        );
+    }
+
+    #[test]
+    fn filter_distributes_over_set_ops() {
+        for kind in [SetOpKind::Union, SetOpKind::Intersect, SetOpKind::Except] {
+            let plan = scan().set_op(kind, scan()).filter(col(0).lt(lit(5i64)));
+            let optimized = optimize(&plan);
+            assert!(
+                matches!(optimized, LogicalPlan::SetOp { .. }),
+                "{kind:?}: {optimized:?}"
+            );
+            let a = Planner::default().run(&plan, &Catalog::new()).unwrap();
+            let b = Planner::default().run(&optimized, &Catalog::new()).unwrap();
+            assert!(a.same_bag(&b), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn filter_crosses_extension_via_passthrough() {
+        let ext = LogicalPlan::extension(Arc::new(PassThrough { input: scan() }));
+        let passthrough_pred = col(0).gt(lit(3i64));
+        let opaque_pred = col(1).gt(lit(4i64));
+        let plan = ext.filter(passthrough_pred.and(opaque_pred.clone()));
+        let optimized = optimize(&plan);
+        // The col-0 conjunct descends into the extension input; the col-1
+        // conjunct stays above.
+        let LogicalPlan::Filter { input, predicate } = &optimized else {
+            panic!("expected residual filter, got {optimized:?}");
+        };
+        assert_eq!(*predicate, opaque_pred);
+        let LogicalPlan::Extension { node } = &**input else {
+            panic!("expected extension below, got {input:?}");
+        };
+        assert!(matches!(node.inputs()[0], LogicalPlan::Filter { .. }));
+        let a = Planner::default().run(&plan, &Catalog::new()).unwrap();
+        let b = Planner::default().run(&optimized, &Catalog::new()).unwrap();
+        assert!(a.same_bag(&b));
+    }
+
+    #[test]
+    fn filter_pushes_through_aggregate_group_keys() {
+        let plan = scan()
+            .aggregate_named(
+                vec![(col(0), "a")],
+                vec![(crate::expr::AggCall::count_star(), "cnt")],
+            )
+            .unwrap()
+            .filter(col(0).lt(lit(4i64)));
+        let optimized = optimize(&plan);
+        assert!(
+            matches!(optimized, LogicalPlan::Aggregate { .. }),
+            "{optimized:?}"
+        );
+        let a = Planner::default().run(&plan, &Catalog::new()).unwrap();
+        let b = Planner::default().run(&optimized, &Catalog::new()).unwrap();
+        assert!(a.same_set(&b));
+    }
+
+    #[test]
+    fn constant_filter_stays_above_global_aggregate() {
+        // σ_false(ϑ_{∅; COUNT}(r)) is empty, but the global aggregate below
+        // emits one row from zero inputs — the constant predicate must not
+        // descend. (Folding keeps non-true constants as a Filter node.)
+        let plan = scan()
+            .aggregate_named(
+                Vec::<(crate::expr::Expr, &str)>::new(),
+                vec![(crate::expr::AggCall::count_star(), "cnt")],
+            )
+            .unwrap()
+            .filter(lit(false));
+        let optimized = optimize(&plan);
+        let a = Planner::default().run(&plan, &Catalog::new()).unwrap();
+        let b = Planner::default().run(&optimized, &Catalog::new()).unwrap();
+        assert!(a.is_empty());
+        assert!(b.is_empty(), "rewrite fabricated rows: {b}");
+    }
+
+    #[test]
+    fn filter_on_aggregate_output_stays() {
+        let plan = scan()
+            .aggregate_named(
+                vec![(col(0), "a")],
+                vec![(crate::expr::AggCall::count_star(), "cnt")],
+            )
+            .unwrap()
+            .filter(col(1).gt(lit(0i64)));
+        let optimized = optimize(&plan);
+        assert!(matches!(optimized, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn limit_blocks_pushdown() {
+        let plan = scan().limit(3).filter(col(0).gt(lit(1i64)));
+        let optimized = optimize(&plan);
+        assert!(matches!(optimized, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn constant_folding_descends_into_extensions() {
+        let inner = scan().filter(
+            lit(1i64)
+                .eq(lit(1i64))
+                .and(col(0).gt(lit(2i64).add(lit(1i64)))),
+        );
+        let ext = LogicalPlan::extension(Arc::new(PassThrough { input: inner }));
+        let optimized = optimize(&ext);
+        let LogicalPlan::Extension { node } = &optimized else {
+            panic!("expected extension, got {optimized:?}");
+        };
+        let LogicalPlan::Filter { predicate, .. } = node.inputs()[0] else {
+            panic!("expected folded filter inside extension");
+        };
+        assert_eq!(*predicate, col(0).gt(lit(3i64)));
+    }
+
+    #[test]
+    fn adjacent_projections_collapse_and_identity_drops() {
+        let plan = scan()
+            .project_named(vec![(col(1), "b"), (col(0), "a")])
+            .unwrap()
+            .project_cols(&[1, 0]);
+        let optimized = optimize(&plan);
+        // (b,a) then swapped back to (a,b) with original names = identity.
+        assert!(
+            matches!(optimized, LogicalPlan::InlineScan { .. }),
+            "{optimized:?}"
+        );
+        let plan = scan()
+            .project_named(vec![(col(0).add(lit(1i64)), "a1"), (col(1), "b")])
+            .unwrap()
+            .project_cols(&[0]);
+        let optimized = optimize(&plan);
+        let LogicalPlan::Project { input, exprs, .. } = &optimized else {
+            panic!("expected single project, got {optimized:?}");
+        };
+        assert!(matches!(**input, LogicalPlan::InlineScan { .. }));
+        assert_eq!(exprs.len(), 1);
+        let out = Planner::default().run(&optimized, &Catalog::new()).unwrap();
+        assert_eq!(out.schema().names(), vec!["a1"]);
+    }
+
+    #[test]
+    fn renaming_projection_is_preserved() {
+        // Same columns but new names: must NOT be dropped (requalify).
+        let plan = scan()
+            .project_named(vec![(col(0), "x"), (col(1), "y")])
+            .unwrap();
+        let optimized = optimize(&plan);
+        assert!(matches!(optimized, LogicalPlan::Project { .. }));
+        let out = Planner::default().run(&optimized, &Catalog::new()).unwrap();
+        assert_eq!(out.schema().names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn optimize_preserves_spool_sharing() {
+        use crate::plan::SpoolNode;
+        let shared = SpoolNode::shared(scan().filter(col(0).lt(lit(7i64))));
+        let plan = shared.clone().join(
+            shared,
+            crate::plan::JoinType::Inner,
+            Some(col(0).eq(col(2))),
+        );
+        let optimized = optimize(&plan);
+        let LogicalPlan::Join { left, right, .. } = &optimized else {
+            panic!("expected join, got {optimized:?}");
+        };
+        let (LogicalPlan::Extension { node: l }, LogicalPlan::Extension { node: r }) =
+            (&**left, &**right)
+        else {
+            panic!("expected spools on both sides: {optimized:?}");
+        };
+        assert!(
+            Arc::ptr_eq(l, r),
+            "rewrites must not split a shared spool into per-occurrence copies"
+        );
+    }
+
+    #[test]
+    fn optimized_plans_stay_valid() {
+        let plan = scan()
+            .join(
+                scan(),
+                crate::plan::JoinType::Inner,
+                Some(col(0).eq(col(2))),
+            )
+            .filter(col(1).gt(lit(2i64)))
+            .project_cols(&[0, 3])
+            .distinct()
+            .filter(col(0).lt(lit(9i64)));
+        let optimized = optimize(&plan);
+        assert!(optimized.clone().validated().is_ok());
+        let a = Planner::default().run(&plan, &Catalog::new()).unwrap();
+        let b = Planner::default().run(&optimized, &Catalog::new()).unwrap();
+        assert!(a.same_set(&b));
+    }
+}

@@ -1,0 +1,286 @@
+//! Shared materialization (spool) for plans that reference one subtree
+//! from several places.
+//!
+//! The reduction rules of the paper are *self-referencing*: a reduced
+//! θ-join aligns `r` against `s` **and** `s` against `r`, and a reduced
+//! group-based operator normalizes its input against itself, so composing
+//! whole temporal queries into a single plan duplicates the operand
+//! subtree. Duplicated *base* scans are free (they share the relation),
+//! but a duplicated composed subtree would re-execute. [`SpoolNode`] is
+//! the engine's equivalent of PostgreSQL's shared CTE scan: every clone of
+//! the wrapped plan shares one result cache, so the subtree runs exactly
+//! once per query execution no matter how many times the reduction rules
+//! mention it. The cache lives for exactly one execution:
+//! `PhysicalPlan::execute` calls [`ExtensionNode::reset_exec_state`] before
+//! building, so re-running a plan observes current table contents.
+
+use std::sync::{Arc, Mutex};
+
+use crate::error::EngineResult;
+use crate::exec::{collect, BoxedExec, ExecNode};
+use crate::plan::cost::{CostModel, PlanStats};
+use crate::plan::logical::{ExtensionNode, LogicalPlan};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Row;
+
+/// A logical node that materializes its input once and serves the buffered
+/// rows to every plan occurrence sharing this node.
+#[derive(Debug)]
+pub struct SpoolNode {
+    input: LogicalPlan,
+    schema: Schema,
+    /// Filled by the first executor to pull from the spool within one
+    /// execution; the other occurrences read it. Cleared by
+    /// [`ExtensionNode::reset_exec_state`] when a new execution begins.
+    cache: Arc<Mutex<Option<Arc<Relation>>>>,
+}
+
+impl SpoolNode {
+    /// Wrap `input` so that every *clone* of the returned plan shares one
+    /// materialization of it.
+    pub fn shared(input: LogicalPlan) -> LogicalPlan {
+        let schema = input.schema();
+        LogicalPlan::extension(Arc::new(SpoolNode {
+            input,
+            schema,
+            cache: Arc::new(Mutex::new(None)),
+        }))
+    }
+}
+
+impl ExtensionNode for SpoolNode {
+    fn name(&self) -> &str {
+        "Spool"
+    }
+
+    fn inputs(&self) -> Vec<&LogicalPlan> {
+        vec![&self.input]
+    }
+
+    fn with_new_inputs(&self, mut inputs: Vec<LogicalPlan>) -> Arc<dyn ExtensionNode> {
+        assert_eq!(inputs.len(), 1);
+        // New input ⇒ new cache: the rewritten occurrence must not serve
+        // results computed for the old subtree (or vice versa).
+        let input = inputs.remove(0);
+        let schema = input.schema();
+        Arc::new(SpoolNode {
+            input,
+            schema,
+            cache: Arc::new(Mutex::new(None)),
+        })
+    }
+
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn estimate(&self, input_stats: &[PlanStats], model: &CostModel) -> PlanStats {
+        model.spool(input_stats[0])
+    }
+
+    fn build_exec(&self, mut children: Vec<BoxedExec>) -> EngineResult<BoxedExec> {
+        Ok(Box::new(SpoolExec {
+            child: Some(children.remove(0)),
+            schema: self.schema.clone(),
+            cache: Arc::clone(&self.cache),
+            local: None,
+            pos: 0,
+        }))
+    }
+
+    // No passthrough: pushing a filter below a *shared* node would detach
+    // this occurrence from the cache (with_new_inputs makes a fresh one)
+    // and silently drop the sharing the spool exists for.
+
+    fn reset_exec_state(&self) {
+        *self.cache.lock().expect("spool cache poisoned") = None;
+    }
+
+    fn explain(&self) -> String {
+        "Spool (shared materialization)".to_string()
+    }
+}
+
+/// Executor for [`SpoolNode`]: the first stream to pull drains the child
+/// into the shared cache; every stream then serves rows from the cache
+/// (resolved once per stream, then read lock-free).
+pub struct SpoolExec {
+    child: Option<BoxedExec>,
+    schema: Schema,
+    cache: Arc<Mutex<Option<Arc<Relation>>>>,
+    /// Local handle to the materialized relation, filled on first `next()`
+    /// so the shared mutex is taken once per stream, not once per row.
+    local: Option<Arc<Relation>>,
+    pos: usize,
+}
+
+impl SpoolExec {
+    fn materialized(&mut self) -> EngineResult<&Relation> {
+        if self.local.is_none() {
+            let mut guard = self.cache.lock().expect("spool cache poisoned");
+            let rel = match guard.as_ref() {
+                Some(rel) => Arc::clone(rel),
+                None => {
+                    let child = self.child.take().expect("spool child built exactly once");
+                    let rel = Arc::new(collect(child)?);
+                    *guard = Some(Arc::clone(&rel));
+                    rel
+                }
+            };
+            self.local = Some(rel);
+        }
+        Ok(self.local.as_ref().expect("filled above"))
+    }
+}
+
+impl ExecNode for SpoolExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> EngineResult<Option<Row>> {
+        let pos = self.pos;
+        let rel = self.materialized()?;
+        let row = rel.rows().get(pos).cloned();
+        self.pos += 1;
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::expr::{col, lit};
+    use crate::plan::{JoinType, Planner};
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+
+    /// An exec that counts how many times its source is drained, via a
+    /// shared counter.
+    struct CountingScan {
+        rel: Relation,
+        pos: usize,
+        drains: Arc<Mutex<usize>>,
+    }
+
+    impl ExecNode for CountingScan {
+        fn schema(&self) -> &Schema {
+            self.rel.schema()
+        }
+        fn next(&mut self) -> EngineResult<Option<Row>> {
+            if self.pos == 0 {
+                *self.drains.lock().unwrap() += 1;
+            }
+            let row = self.rel.rows().get(self.pos).cloned();
+            self.pos += 1;
+            Ok(row)
+        }
+    }
+
+    fn rel() -> Relation {
+        Relation::from_values(
+            Schema::new(vec![Column::new("a", DataType::Int)]),
+            (0..5).map(|i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clones_share_one_materialization() {
+        let drains = Arc::new(Mutex::new(0usize));
+        // Build a spool by hand around a counting child executor.
+        let node = SpoolNode {
+            input: LogicalPlan::inline_scan(rel()),
+            schema: rel().schema().clone(),
+            cache: Arc::new(Mutex::new(None)),
+        };
+        let mk_child = || -> BoxedExec {
+            Box::new(CountingScan {
+                rel: rel(),
+                pos: 0,
+                drains: Arc::clone(&drains),
+            })
+        };
+        let mut a = node.build_exec(vec![mk_child()]).unwrap();
+        let mut b = node.build_exec(vec![mk_child()]).unwrap();
+        let mut n = 0;
+        while a.next().unwrap().is_some() {
+            n += 1;
+        }
+        while b.next().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert_eq!(*drains.lock().unwrap(), 1, "child must be drained once");
+    }
+
+    #[test]
+    fn spooled_self_join_matches_plain_self_join() {
+        let base = LogicalPlan::inline_scan(rel()).filter(col(0).lt(lit(3i64)));
+        let shared = SpoolNode::shared(base.clone());
+        let cond = Some(col(0).eq(col(1)));
+        let spooled = shared.clone().join(shared, JoinType::Inner, cond.clone());
+        let plain = base.clone().join(base, JoinType::Inner, cond);
+        let planner = Planner::default();
+        let a = planner.run(&spooled, &Catalog::new()).unwrap();
+        let b = planner.run(&plain, &Catalog::new()).unwrap();
+        assert!(a.same_bag(&b), "{a} vs {b}");
+    }
+
+    #[test]
+    fn reexecution_observes_current_table_contents() {
+        use crate::plan::PlannerConfig;
+        use crate::schema::{Column, DataType};
+        // With rewrites off, plan_inner keeps the ORIGINAL spool node, so
+        // the same physical node is executed twice — the per-execution
+        // reset must re-materialize against the current catalog.
+        let planner = Planner::new(PlannerConfig {
+            enable_rewrites: false,
+            ..Default::default()
+        });
+        let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+        let shared = SpoolNode::shared(LogicalPlan::table_scan("t", schema.clone()));
+        let plan = shared.clone().join(
+            shared,
+            crate::plan::JoinType::Inner,
+            Some(col(0).eq(col(1))),
+        );
+        let mut catalog = Catalog::new();
+        catalog.register("t", rel()).unwrap();
+        assert_eq!(planner.run(&plan, &catalog).unwrap().len(), 5);
+        let bigger =
+            Relation::from_values(schema, (0..7).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+        catalog.register_or_replace("t", bigger);
+        assert_eq!(
+            planner.run(&plan, &catalog).unwrap().len(),
+            7,
+            "second execution must not serve the first execution's cache"
+        );
+    }
+
+    #[test]
+    fn with_new_inputs_gets_a_fresh_cache() {
+        // Plan with rewrites off so the warm-up run fills the cache of THIS
+        // node (the default rewrite pass would rebuild it and warm a clone).
+        let planner = Planner::new(crate::plan::PlannerConfig {
+            enable_rewrites: false,
+            ..Default::default()
+        });
+        let shared = SpoolNode::shared(LogicalPlan::inline_scan(rel()));
+        // Warm the original node's cache: build an executor and pull a row
+        // (execute() resets the cache first, next() materializes into it).
+        let physical = planner.plan(&shared, &Catalog::new()).unwrap();
+        let mut exec = physical.execute().unwrap();
+        assert!(exec.next().unwrap().is_some());
+        // Rebuild with a different input: must not serve the warm cache.
+        let LogicalPlan::Extension { node } = &shared else {
+            panic!("spool is an extension")
+        };
+        let filtered = LogicalPlan::inline_scan(rel()).filter(col(0).lt(lit(2i64)));
+        let rebuilt = LogicalPlan::extension(node.with_new_inputs(vec![filtered]));
+        let out = planner.run(&rebuilt, &Catalog::new()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -5,7 +5,7 @@
 //! support that discipline, while row storage itself is a plain vector so
 //! executor nodes control when deduplication happens.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -15,10 +15,14 @@ use crate::tuple::Row;
 use crate::value::Value;
 
 /// A materialized relation.
+///
+/// The row vector is behind an `Arc`, so cloning a relation — and schema
+/// re-attachment via [`Relation::with_schema`] — shares storage instead of
+/// copying it; mutation goes through copy-on-write.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     schema: Schema,
-    rows: Vec<Row>,
+    rows: Arc<Vec<Row>>,
 }
 
 impl Relation {
@@ -33,7 +37,10 @@ impl Relation {
                 )));
             }
         }
-        Ok(Relation { schema, rows })
+        Ok(Relation {
+            schema,
+            rows: Arc::new(rows),
+        })
     }
 
     /// Build from plain value vectors.
@@ -45,7 +52,7 @@ impl Relation {
     pub fn empty(schema: Schema) -> Self {
         Relation {
             schema,
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
         }
     }
 
@@ -73,7 +80,7 @@ impl Relation {
         self.rows.iter()
     }
 
-    /// Append a row (arity-checked).
+    /// Append a row (arity-checked). Copy-on-write when the rows are shared.
     pub fn push(&mut self, row: Row) -> EngineResult<()> {
         if row.len() != self.schema.len() {
             return Err(EngineError::SchemaMismatch(format!(
@@ -82,16 +89,17 @@ impl Relation {
                 self.schema.len()
             )));
         }
-        self.rows.push(row);
+        Arc::make_mut(&mut self.rows).push(row);
         Ok(())
     }
 
-    /// Consume and return the rows.
+    /// Consume and return the rows (copies only if still shared).
     pub fn into_rows(self) -> Vec<Row> {
-        self.rows
+        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Replace the schema (e.g. to attach qualifiers). Arity must match.
+    /// The rows are shared with `self`, not copied.
     pub fn with_schema(&self, schema: Schema) -> EngineResult<Relation> {
         if schema.len() != self.schema.len() {
             return Err(EngineError::SchemaMismatch(format!(
@@ -102,14 +110,14 @@ impl Relation {
         }
         Ok(Relation {
             schema,
-            rows: self.rows.clone(),
+            rows: Arc::clone(&self.rows),
         })
     }
 
     /// Remove duplicate rows (set semantics), preserving first occurrence.
     pub fn dedup(&mut self) {
         let mut seen: HashSet<Row> = HashSet::with_capacity(self.rows.len());
-        self.rows.retain(|r| seen.insert(r.clone()));
+        Arc::make_mut(&mut self.rows).retain(|r| seen.insert(r.clone()));
     }
 
     /// True iff the relation contains no duplicate rows.
@@ -119,14 +127,17 @@ impl Relation {
     }
 
     /// A copy with rows in canonical (sorted) order — for comparisons and
-    /// deterministic display.
+    /// deterministic display. Prefer [`Relation::into_sorted`] on an owned
+    /// relation, which sorts in place when the rows are not shared.
     pub fn sorted(&self) -> Relation {
-        let mut rows = self.rows.clone();
-        rows.sort();
-        Relation {
-            schema: self.schema.clone(),
-            rows,
-        }
+        self.clone().into_sorted()
+    }
+
+    /// Sort the rows in canonical order, consuming the relation. Only
+    /// copies the row vector if it is still shared with another relation.
+    pub fn into_sorted(mut self) -> Relation {
+        Arc::make_mut(&mut self.rows).sort();
+        self
     }
 
     /// Set equality: same rows regardless of order or multiplicity.
@@ -136,16 +147,23 @@ impl Relation {
         a == b
     }
 
-    /// Bag equality: same rows with the same multiplicities.
+    /// Bag equality: same rows with the same multiplicities. Counts row
+    /// occurrences instead of cloning and sorting both row vectors.
     pub fn same_bag(&self, other: &Relation) -> bool {
         if self.rows.len() != other.rows.len() {
             return false;
         }
-        let mut a = self.rows.clone();
-        let mut b = other.rows.clone();
-        a.sort();
-        b.sort();
-        a == b
+        let mut counts: HashMap<&Row, i64> = HashMap::with_capacity(self.rows.len());
+        for r in self.rows.iter() {
+            *counts.entry(r).or_insert(0) += 1;
+        }
+        for r in other.rows.iter() {
+            match counts.get_mut(r) {
+                Some(c) => *c -= 1,
+                None => return false,
+            }
+        }
+        counts.values().all(|&c| c == 0)
     }
 
     /// Share the relation (scans clone the `Arc`, not the rows).
@@ -263,6 +281,30 @@ mod tests {
         let t = sample().to_table();
         assert!(t.contains("| a | b |"));
         assert!(t.contains("(3 rows)"));
+    }
+
+    #[test]
+    fn with_schema_shares_rows_copy_on_write() {
+        let r = sample();
+        let schema = Schema::new(vec![
+            Column::new("x", DataType::Int),
+            Column::new("y", DataType::Str),
+        ]);
+        let mut renamed = r.with_schema(schema).unwrap();
+        // Shared storage: both relations point at the same row vector.
+        assert!(std::ptr::eq(r.rows().as_ptr(), renamed.rows().as_ptr()));
+        // Copy-on-write: mutating the copy leaves the original untouched.
+        renamed
+            .push(Row::new(vec![Value::Int(9), Value::str("z")]))
+            .unwrap();
+        assert_eq!(renamed.len(), 4);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn into_sorted_matches_sorted() {
+        let r = sample();
+        assert_eq!(r.sorted(), r.clone().into_sorted());
     }
 
     #[test]

@@ -230,7 +230,8 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Size bounds for [`vec`], mirroring `proptest::collection::SizeRange`.
+    /// Size bounds for [`vec()`](fn@vec), mirroring
+    /// `proptest::collection::SizeRange`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

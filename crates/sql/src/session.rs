@@ -33,10 +33,17 @@ impl SqlOutput {
 }
 
 /// An interactive session (the paper's psql-with-extensions equivalent).
+///
+/// The session owns one [`Planner`], reused across statements; a `SET`
+/// statement mutates its configuration in place, so there is no separate
+/// config copy to keep in sync. (The [`Analyzer`] is a zero-allocation
+/// view over the catalog and is constructed per statement — it borrows
+/// `self.catalog`, so caching it would freeze the catalog against
+/// `register_table`.)
 #[derive(Debug, Default)]
 pub struct Session {
     catalog: Catalog,
-    config: PlannerConfig,
+    planner: Planner,
 }
 
 impl Session {
@@ -63,7 +70,7 @@ impl Session {
 
     /// The current planner configuration (join-method switches).
     pub fn config(&self) -> &PlannerConfig {
-        &self.config
+        &self.planner.config
     }
 
     /// Execute one statement.
@@ -75,7 +82,8 @@ impl Session {
     fn run_statement(&mut self, stmt: Statement) -> SqlResult<SqlOutput> {
         match stmt {
             Statement::Set { name, value } => {
-                self.config
+                self.planner
+                    .config
                     .set(&name, value)
                     .map_err(|e| SqlError::Analyze(e.to_string()))?;
                 Ok(SqlOutput::Ok)
@@ -83,7 +91,8 @@ impl Session {
             Statement::Explain(inner) => match *inner {
                 Statement::Select(sel) => {
                     let plan = Analyzer::new(&self.catalog).analyze(&sel)?;
-                    let physical = Planner::new(self.config)
+                    let physical = self
+                        .planner
                         .plan(&plan, &self.catalog)
                         .map_err(SqlError::from)?;
                     Ok(SqlOutput::Explain(physical.explain()))
@@ -94,7 +103,8 @@ impl Session {
             },
             Statement::Select(sel) => {
                 let plan = Analyzer::new(&self.catalog).analyze(&sel)?;
-                let rel = Planner::new(self.config)
+                let rel = self
+                    .planner
                     .run(&plan, &self.catalog)
                     .map_err(SqlError::from)?;
                 Ok(SqlOutput::Rows(rel))
