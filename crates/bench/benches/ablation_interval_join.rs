@@ -10,10 +10,12 @@ use temporal_datasets::{ddisj, drand};
 use temporal_engine::prelude::*;
 
 fn bench(c: &mut Criterion) {
-    let paper = Planner::default();
+    // `PlannerConfig::paper()` keeps the nested loop: the engine's default
+    // config would auto-select the sweep join and erase the ablation.
+    let paper = Planner::new(PlannerConfig::paper());
     let extended = Planner::new(PlannerConfig {
         enable_intervaljoin: true,
-        ..Default::default()
+        ..PlannerConfig::paper()
     });
 
     let mut group = c.benchmark_group("ablation_intervaljoin_o1_ddisj");

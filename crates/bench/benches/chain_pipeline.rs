@@ -4,11 +4,13 @@
 //! `eager` evaluates the chain one operator at a time, materializing a
 //! temporal relation between stages (N× `Planner::run`). `plan-first`
 //! compiles the whole chain into one `TemporalPlan` and executes it with a
-//! single `Planner::run`; the planner's rewrite pass pushes the selection
-//! across the alignment extension nodes into the base scans, so the join
-//! aligns only the surviving tuples. `plan-first-norw` disables the
-//! rewrites to separate the two effects (barrier removal vs cross-operator
-//! optimization).
+//! single `Planner::run` draining the executor batch-wise; the planner's
+//! rewrite pass pushes the selection across the alignment extension nodes
+//! into the base scans, so the join aligns only the surviving tuples.
+//! `plan-first-rows` drains the same compiled plan row-at-a-time (the
+//! pre-batch executor path), isolating the vectorization win, and
+//! `plan-first-norw` disables the rewrites to separate barrier removal
+//! from cross-operator optimization.
 //!
 //! Plans are rebuilt inside the timed closure: a composed plan carries
 //! spool caches for its shared subtrees, and reusing one plan across
@@ -21,7 +23,10 @@ use temporal_engine::prelude::*;
 
 fn bench(c: &mut Criterion) {
     let data = incumben(IncumbenSpec::default());
-    let planner = Planner::default();
+    // Pinned to the paper-faithful planner for comparability with the
+    // reproduce binary's chain sweep (the chain's joins carry equi keys,
+    // so the interval-join heuristic is a no-op here either way).
+    let planner = Planner::new(PlannerConfig::paper());
     let mut group = c.benchmark_group("chain_pipeline");
     group.sample_size(10);
     for &n in &[250usize, 500, 1_000] {
@@ -31,6 +36,7 @@ fn bench(c: &mut Criterion) {
         let cap = (n / 10) as i64;
         for mode in [
             ChainMode::Eager,
+            ChainMode::PlanFirstRows,
             ChainMode::PlanFirst,
             ChainMode::PlanFirstNoRewrites,
         ] {

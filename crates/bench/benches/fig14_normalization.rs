@@ -9,7 +9,9 @@ use temporal_engine::prelude::*;
 
 fn bench(c: &mut Criterion) {
     let data = incumben(IncumbenSpec::default());
-    let planner = Planner::default();
+    // Paper-faithful planner: the default config would auto-select the
+    // sweep interval join on overlap patterns and change the figure.
+    let planner = Planner::new(PlannerConfig::paper());
     let mut group = c.benchmark_group("fig14_normalization_attrs");
     group.sample_size(10);
     for &n in &[500usize, 1_000, 2_000] {

@@ -8,7 +8,9 @@ use temporal_datasets::{ddisj, deq, drand, incumben, prefix, IncumbenSpec};
 use temporal_engine::prelude::*;
 
 fn bench(c: &mut Criterion) {
-    let planner = Planner::default();
+    // Paper-faithful planner: the default config would auto-select the
+    // sweep interval join on overlap patterns and change the figure.
+    let planner = Planner::new(PlannerConfig::paper());
 
     // (a) O1 on Ddisj
     let mut group = c.benchmark_group("fig15a_o1_ddisj");

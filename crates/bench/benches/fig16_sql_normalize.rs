@@ -8,7 +8,9 @@ use temporal_datasets::{incumben, prefix, random_like_incumben, IncumbenSpec};
 use temporal_engine::prelude::*;
 
 fn bench(c: &mut Criterion) {
-    let planner = Planner::default();
+    // Paper-faithful planner: the default config would auto-select the
+    // sweep interval join on overlap patterns and change the figure.
+    let planner = Planner::new(PlannerConfig::paper());
 
     // (a) O3 on Incumben
     let data = incumben(IncumbenSpec::default());

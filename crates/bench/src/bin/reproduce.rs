@@ -12,7 +12,14 @@
 //!
 //! Absolute times differ from the paper (different hardware and substrate);
 //! the *shapes* — who wins, by what factor, where curves cross — are the
-//! reproduction target. Results are written to `bench_results/*.csv`.
+//! reproduction target. Results are written to `bench_results/*.csv` and,
+//! machine-readably, `bench_results/*.json` (series, n, seconds,
+//! output_rows) so the perf trajectory is trackable PR-over-PR.
+//!
+//! Every figure runs with the paper-faithful [`PlannerConfig::paper`]
+//! (the engine's default config auto-enables the sweep interval join,
+//! which would change the shapes; the `ablation` experiment measures that
+//! extension explicitly).
 
 use std::path::PathBuf;
 
@@ -28,6 +35,14 @@ fn out_dir() -> PathBuf {
     PathBuf::from("bench_results")
 }
 
+/// The paper-faithful planner: PostgreSQL 9.0's join methods only — the
+/// sweep interval join extension is neither forced nor auto-selected (the
+/// engine's *default* config auto-enables it on overlap patterns, which
+/// would change the shape of Figs. 15a–c).
+fn paper_planner() -> Planner {
+    Planner::new(PlannerConfig::paper())
+}
+
 fn print_points(title: &str, points: &[Point]) {
     println!("\n=== {title}");
     println!("runtime [s]:");
@@ -39,6 +54,9 @@ fn print_points(title: &str, points: &[Point]) {
 fn save(name: &str, points: &[Point]) {
     let path = out_dir().join(format!("{name}.csv"));
     write_csv(&path, points).expect("write csv");
+    println!("→ {}", path.display());
+    let path = out_dir().join(format!("{name}.json"));
+    temporal_bench::write_json(&path, points).expect("write json");
     println!("→ {}", path.display());
 }
 
@@ -61,7 +79,7 @@ fn fig13(full: bool) {
             "(b) -hash",
             PlannerConfig {
                 enable_hashjoin: false,
-                ..Default::default()
+                ..PlannerConfig::paper()
             },
         ),
         ("(c) nestloop", PlannerConfig::nestloop_only()),
@@ -109,7 +127,7 @@ fn fig14(full: bool) {
         &[500, 1_000, 2_000, 4_000]
     };
     let data = incumben(IncumbenSpec::default());
-    let planner = Planner::default();
+    let planner = paper_planner();
     let variants: [(&str, &[usize]); 3] = [("N{}", &[]), ("N{pcn}", &[1]), ("N{ssn}", &[0])];
     let mut points = Vec::new();
     for &(label, b) in &variants {
@@ -171,7 +189,7 @@ fn fig15a(full: bool) {
         &[Approach::Sql, Approach::Align],
         |a, n| {
             let (r, s) = ddisj(n);
-            let planner = Planner::default();
+            let planner = paper_planner();
             let (dt, rows) = time(|| run_o1(a, &r, &s, &planner));
             (dt.as_secs_f64(), rows)
         },
@@ -192,7 +210,7 @@ fn fig15b(full: bool) {
         &[Approach::Align, Approach::Sql],
         |a, n| {
             let (r, s) = deq(n);
-            let planner = Planner::default();
+            let planner = paper_planner();
             let (dt, rows) = time(|| run_o1(a, &r, &s, &planner));
             (dt.as_secs_f64(), rows)
         },
@@ -213,7 +231,7 @@ fn fig15c(full: bool) {
         &[Approach::Sql, Approach::Align],
         |a, n| {
             let (r, s) = drand(n, 20120520);
-            let planner = Planner::default();
+            let planner = paper_planner();
             let (dt, rows) = time(|| run_o2(a, &r, &s, &planner));
             (dt.as_secs_f64(), rows)
         },
@@ -235,7 +253,7 @@ fn fig15d(full: bool) {
         &[Approach::Sql, Approach::Align],
         |a, n| {
             let r = prefix(&data, n);
-            let planner = Planner::default();
+            let planner = paper_planner();
             let (dt, rows) = time(|| run_o3(a, &r, &r, &planner));
             (dt.as_secs_f64(), rows)
         },
@@ -257,7 +275,7 @@ fn fig16a(full: bool) {
         &[Approach::SqlNormalize, Approach::Align],
         |a, n| {
             let r = prefix(&data, n);
-            let planner = Planner::default();
+            let planner = paper_planner();
             let (dt, rows) = time(|| run_o3(a, &r, &r, &planner));
             (dt.as_secs_f64(), rows)
         },
@@ -279,7 +297,7 @@ fn fig16b(full: bool) {
         |a, n| {
             let positions = (n / 12).max(4);
             let r = random_like_incumben(n, positions, 433);
-            let planner = Planner::default();
+            let planner = paper_planner();
             let (dt, rows) = time(|| run_o3(a, &r, &r, &planner));
             (dt.as_secs_f64(), rows)
         },
@@ -294,10 +312,10 @@ fn ablation(full: bool) {
     } else {
         &[1_000, 2_000, 4_000, 8_000]
     };
-    let paper = Planner::default();
+    let paper = paper_planner();
     let extended = Planner::new(PlannerConfig {
         enable_intervaljoin: true,
-        ..Default::default()
+        ..PlannerConfig::paper()
     });
     let mut points = Vec::new();
     for &n in sizes {
@@ -326,7 +344,7 @@ fn ablation(full: bool) {
     // Second ablation: the customized anti-join primitive (gaps-only
     // sweep) vs the generic Table 2 reduction, on Incumben.
     let data = incumben(IncumbenSpec::default());
-    let alg = temporal_core::prelude::TemporalAlgebra::default();
+    let alg = temporal_core::prelude::TemporalAlgebra::new(PlannerConfig::paper());
     // Sole incumbency: spans of an assignment with no overlapping
     // assignment of the same position by a *different* employee (a self
     // anti join with pcn = pcn would be vacuously empty).
@@ -358,25 +376,33 @@ fn ablation(full: bool) {
 
 /// The plan-first chain benchmark (not a paper figure): the 3-operator
 /// query ϑᵀ ∘ σᵀ ∘ ⋈ᵀ evaluated eagerly (one `Planner::run` per operator,
-/// materializing between) vs compiled into one `TemporalPlan`.
+/// materializing between) vs compiled into one `TemporalPlan` — the
+/// compiled plan drained row-at-a-time (`plan-first-rows`, the PR 2 path)
+/// vs batch-wise (`plan-first`, the vectorized executor). Each point is
+/// the best of three runs, so one-off allocator/scheduler noise does not
+/// distort the row-vs-batch ratio the CI smoke step records.
 fn chain(full: bool) {
     let sizes: &[usize] = if full {
-        &[2_000, 4_000, 8_000]
+        &[2_000, 4_000, 8_000, 16_000]
     } else {
-        &[250, 500, 1_000]
+        &[500, 1_000, 2_000, 4_000, 8_000]
     };
     let data = incumben(IncumbenSpec::default());
-    let planner = Planner::default();
+    let planner = paper_planner();
     let mut points = Vec::new();
     for &n in sizes {
         let r = prefix(&data, n);
         let cap = (n / 10) as i64;
         for mode in [
             ChainMode::Eager,
+            ChainMode::PlanFirstRows,
             ChainMode::PlanFirst,
             ChainMode::PlanFirstNoRewrites,
         ] {
-            let (dt, rows) = time(|| run_chain(mode, &r, &r, cap, &planner));
+            let (dt, rows) = (0..3)
+                .map(|_| time(|| run_chain(mode, &r, &r, cap, &planner)))
+                .min_by(|a, b| a.0.cmp(&b.0))
+                .expect("three runs");
             points.push(Point {
                 series: mode.label().into(),
                 n,
@@ -386,7 +412,7 @@ fn chain(full: bool) {
         }
     }
     print_points(
-        "Chain (plan-first): ϑᵀ_{pcn} ∘ σᵀ_{ssn<n/10} ∘ ⋈ᵀ_{pcn} on Incumben",
+        "Chain (plan-first): ϑᵀ_{pcn} ∘ σᵀ_{ssn<n/10} ∘ ⋈ᵀ_{pcn} on Incumben — rows vs batches",
         &points,
     );
     save("chain_pipeline", &points);

@@ -130,9 +130,14 @@ pub enum ChainMode {
     /// evaluation style, kept as the baseline.
     Eager,
     /// The whole chain compiled into one `TemporalPlan` and executed with a
-    /// single `Planner::run`; the rewrite pass pushes the selection across
-    /// the alignment boundaries into the base scans.
+    /// single `Planner::run` draining the executor tree **batch-wise**
+    /// (`next_batch()`, the engine's default); the rewrite pass pushes the
+    /// selection across the alignment boundaries into the base scans.
     PlanFirst,
+    /// The same single compiled plan drained **row-at-a-time** (`next()`,
+    /// `PhysicalPlan::collect_rowwise`) — the PR 2 plan-first path, kept as
+    /// the baseline the vectorized batch path is measured against.
+    PlanFirstRows,
     /// Plan-first compilation with `enable_rewrites = false`: isolates the
     /// benefit of cross-operator optimization from the benefit of removing
     /// materialization barriers.
@@ -144,6 +149,7 @@ impl ChainMode {
         match self {
             ChainMode::Eager => "eager",
             ChainMode::PlanFirst => "plan-first",
+            ChainMode::PlanFirstRows => "plan-first-rows",
             ChainMode::PlanFirstNoRewrites => "plan-first-norw",
         }
     }
@@ -173,9 +179,9 @@ pub fn run_chain(
                 .expect("chain aggregation")
                 .len()
         }
-        ChainMode::PlanFirst | ChainMode::PlanFirstNoRewrites => {
+        ChainMode::PlanFirst | ChainMode::PlanFirstRows | ChainMode::PlanFirstNoRewrites => {
             let mut config = planner.config;
-            config.enable_rewrites = mode == ChainMode::PlanFirst;
+            config.enable_rewrites = mode != ChainMode::PlanFirstNoRewrites;
             let plan = TemporalPlan::scan(r)
                 .join(TemporalPlan::scan(s), Some(theta))
                 .expect("chain join")
@@ -183,9 +189,16 @@ pub fn run_chain(
                 .expect("chain selection")
                 .aggregation(&[1], aggs)
                 .expect("chain aggregation");
-            plan.execute(&Planner::new(config))
-                .expect("chain run")
-                .len()
+            let planner = Planner::new(config);
+            if mode == ChainMode::PlanFirstRows {
+                // Same plan, drained through the row-at-a-time protocol.
+                let physical = plan
+                    .physical(&planner, &temporal_engine::catalog::Catalog::new())
+                    .expect("chain plan");
+                physical.collect_rowwise().expect("chain run").len()
+            } else {
+                plan.execute(&planner).expect("chain run").len()
+            }
         }
     }
 }
@@ -217,6 +230,45 @@ pub fn write_csv(path: &std::path::Path, points: &[Point]) -> std::io::Result<()
     for p in points {
         writeln!(f, "{},{},{:.6},{}", p.series, p.n, p.seconds, p.output_rows)?;
     }
+    f.flush()
+}
+
+/// Write sweep points as machine-readable JSON — an array of
+/// `{"series", "n", "seconds", "output_rows"}` objects — so the perf
+/// trajectory can be tracked PR-over-PR by tooling without parsing CSVs.
+/// Hand-rolled (the workspace is offline, no serde); series strings are
+/// escaped per RFC 8259.
+pub fn write_json(path: &std::path::Path, points: &[Point]) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let escape = |s: &str| -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    };
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "[")?;
+    for (i, p) in points.iter().enumerate() {
+        writeln!(
+            f,
+            "  {{\"series\": \"{}\", \"n\": {}, \"seconds\": {:.6}, \"output_rows\": {}}}{}",
+            escape(&p.series),
+            p.n,
+            p.seconds,
+            p.output_rows,
+            if i + 1 < points.len() { "," } else { "" }
+        )?;
+    }
+    writeln!(f, "]")?;
     f.flush()
 }
 
@@ -322,8 +374,10 @@ mod tests {
         let a = run_chain(ChainMode::Eager, &r, &r, 25, &planner());
         let b = run_chain(ChainMode::PlanFirst, &r, &r, 25, &planner());
         let c = run_chain(ChainMode::PlanFirstNoRewrites, &r, &r, 25, &planner());
+        let d = run_chain(ChainMode::PlanFirstRows, &r, &r, 25, &planner());
         assert_eq!(a, b);
         assert_eq!(a, c);
+        assert_eq!(a, d);
         assert!(a > 0);
     }
 
@@ -385,6 +439,27 @@ mod tests {
         write_csv(&path, &pts).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("align,10,0.5"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn json_rendering() {
+        let pts = vec![Point {
+            series: "with \"quotes\" and \\slashes\\".into(),
+            n: 8000,
+            seconds: 0.125,
+            output_rows: 42,
+        }];
+        let dir = std::env::temp_dir().join("talign_bench_json_test");
+        let path = dir.join("out.json");
+        write_json(&path, &pts).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("[\n"));
+        assert!(content.trim_end().ends_with(']'));
+        assert!(content.contains("\"n\": 8000"));
+        assert!(content.contains("\"seconds\": 0.125"));
+        assert!(content.contains("\"output_rows\": 42"));
+        assert!(content.contains("with \\\"quotes\\\" and \\\\slashes\\\\"));
         std::fs::remove_dir_all(dir).ok();
     }
 }

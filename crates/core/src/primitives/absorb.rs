@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use temporal_engine::batch::RowBatch;
 use temporal_engine::exec::{ExecNode, SortExec};
 use temporal_engine::plan::ExtensionNode;
 use temporal_engine::prelude::*;
@@ -117,7 +118,10 @@ impl ExtensionNode for AbsorbNode {
     }
 }
 
-/// Streaming absorb over sorted input.
+/// Streaming absorb over sorted input. Supports both executor protocols:
+/// row-at-a-time, and batch-at-a-time (one `next_batch()` call filters a
+/// whole input batch through the same group state, so groups may span
+/// batch boundaries freely).
 pub struct AbsorbExec {
     input: BoxedExec,
     /// Data values of the current value-equivalence group.
@@ -144,6 +148,32 @@ impl AbsorbExec {
             last: None,
         }
     }
+
+    /// Feed one sorted input row through the absorb state; returns the row
+    /// if it survives. Input is sorted by (data…, ts ASC, te DESC): a row
+    /// is absorbed iff some earlier tuple of its group covers it, i.e.
+    /// `max_te ≥ te`; exact duplicates are dropped too.
+    fn admit(&mut self, row: Row) -> EngineResult<Option<Row>> {
+        let te = row[self.te_idx].expect_int("absorb te")?;
+        row[self.ts_idx].expect_int("absorb ts")?;
+        let same_group = match &self.group {
+            Some(g) => g.values()[..self.data_width] == row.values()[..self.data_width],
+            None => false,
+        };
+        if !same_group {
+            self.group = Some(row.clone());
+            self.max_te = te;
+            self.last = Some(row.clone());
+            return Ok(Some(row));
+        }
+        if te > self.max_te && self.last.as_ref() != Some(&row) {
+            self.max_te = te;
+            self.last = Some(row.clone());
+            return Ok(Some(row));
+        }
+        self.max_te = self.max_te.max(te);
+        Ok(None)
+    }
 }
 
 impl ExecNode for AbsorbExec {
@@ -153,27 +183,28 @@ impl ExecNode for AbsorbExec {
 
     fn next(&mut self) -> EngineResult<Option<Row>> {
         while let Some(row) = self.input.next()? {
-            let te = row[self.te_idx].expect_int("absorb te")?;
-            row[self.ts_idx].expect_int("absorb ts")?;
-            let same_group = match &self.group {
-                Some(g) => g.values()[..self.data_width] == row.values()[..self.data_width],
-                None => false,
-            };
-            if !same_group {
-                self.group = Some(row.clone());
-                self.max_te = te;
-                self.last = Some(row.clone());
-                return Ok(Some(row));
+            if let Some(out) = self.admit(row)? {
+                return Ok(Some(out));
             }
-            // Same group: sorted by (ts ASC, te DESC). The row is absorbed
-            // iff some earlier tuple covers it, i.e. max_te ≥ te; exact
-            // duplicates are dropped too.
-            if te > self.max_te && self.last.as_ref() != Some(&row) {
-                self.max_te = te;
-                self.last = Some(row.clone());
-                return Ok(Some(row));
+        }
+        Ok(None)
+    }
+
+    /// Batch path: filter a whole sorted input batch through the absorb
+    /// state per call. Loops past fully absorbed batches — `Some` batches
+    /// are never empty.
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        while let Some(batch) = self.input.next_batch()? {
+            let (schema, rows) = batch.into_parts();
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if let Some(kept) = self.admit(row)? {
+                    out.push(kept);
+                }
             }
-            self.max_te = self.max_te.max(te);
+            if !out.is_empty() {
+                return Ok(Some(RowBatch::new(schema, out)));
+            }
         }
         Ok(None)
     }

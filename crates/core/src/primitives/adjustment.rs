@@ -19,6 +19,7 @@
 
 use std::sync::Arc;
 
+use temporal_engine::batch::{RowBatch, BATCH_SIZE};
 use temporal_engine::exec::ExecNode;
 use temporal_engine::plan::{CostModel, ExtensionNode, PlanStats};
 use temporal_engine::prelude::*;
@@ -363,7 +364,9 @@ impl ExtensionNode for AdjustmentNode {
 /// The paper's `ExecAdjustment` (Fig. 10): a pipelined plane sweep over
 /// groups of join tuples. Each invocation returns a single result tuple or
 /// `None` at the end — integrated into the Volcano pipeline exactly like
-/// the PostgreSQL original.
+/// the PostgreSQL original. The batch protocol is also supported: one
+/// `next_batch()` call sweeps whole sorted groups, pulling the input a
+/// batch at a time and emitting a batch of adjusted tuples.
 pub struct AdjustmentExec {
     input: BoxedExec,
     schema: Schema,
@@ -384,6 +387,11 @@ pub struct AdjustmentExec {
     /// Last produced tuple — consecutive duplicate suppression (the
     /// `out ≠ (curr.A, curr.P1, curr.P2)` test of Fig. 10).
     last_out: Option<Row>,
+    /// Batch-mode input buffer: set once the node is driven through
+    /// `next_batch()`, refilled a batch at a time.
+    batched: bool,
+    inbuf: std::collections::VecDeque<Row>,
+    input_done: bool,
 }
 
 impl AdjustmentExec {
@@ -408,6 +416,9 @@ impl AdjustmentExec {
             sameleft: true,
             sweepline: 0,
             last_out: None,
+            batched: false,
+            inbuf: std::collections::VecDeque::new(),
+            input_done: false,
         }
     }
 
@@ -419,17 +430,41 @@ impl AdjustmentExec {
         vals.push(Value::Int(e));
         Row::new(vals)
     }
-}
 
-impl ExecNode for AdjustmentExec {
-    fn schema(&self) -> &Schema {
-        &self.schema
+    /// Pull the next input tuple through whichever protocol this node is
+    /// being driven with: direct `next()` in row mode, the refilled batch
+    /// buffer in batch mode.
+    fn fetch_input(&mut self) -> EngineResult<Option<Row>> {
+        if !self.batched {
+            return self.input.next();
+        }
+        loop {
+            if let Some(row) = self.inbuf.pop_front() {
+                return Ok(Some(row));
+            }
+            if self.input_done {
+                return Ok(None);
+            }
+            match self.input.next_batch()? {
+                Some(batch) => self.inbuf.extend(batch.into_rows()),
+                None => self.input_done = true,
+            }
+        }
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
+    /// One step of the plane sweep of Fig. 10: produce the next adjusted
+    /// tuple, or `None` when the input is exhausted.
+    ///
+    /// NOTE: [`ExecNode::next_batch`] below carries an unrolled copy of
+    /// this state machine (same branches, clones turned into moves) — it
+    /// is deliberately *not* shared, so the row path stays the unmodified
+    /// baseline the batch speedups are measured against. Any change to the
+    /// sweep rules must be mirrored there; `tests/batch_differential.rs`
+    /// pins the two row-for-row.
+    fn step(&mut self) -> EngineResult<Option<Row>> {
         if !self.started {
             self.started = true;
-            self.curr = self.input.next()?;
+            self.curr = self.fetch_input()?;
             self.prev = self.curr.clone();
             self.sameleft = true;
             if let Some(c) = &self.curr {
@@ -480,7 +515,7 @@ impl ExecNode for AdjustmentExec {
                     }
                     AdjustMode::Normalize => {}
                 }
-                let next = self.input.next()?;
+                let next = self.fetch_input()?;
                 self.sameleft = match &next {
                     Some(n) => n.values()[..self.r_width] == curr_row.values()[..self.r_width],
                     None => false,
@@ -509,6 +544,119 @@ impl ExecNode for AdjustmentExec {
                 }
             }
         }
+    }
+}
+
+impl ExecNode for AdjustmentExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> EngineResult<Option<Row>> {
+        self.step()
+    }
+
+    /// Batch path: sweep whole sorted groups per call — the input is
+    /// pulled batch-wise and up to a batch of adjusted tuples is produced
+    /// without returning through the parent pipeline. This is the re-entrant
+    /// sweep step unrolled into a tight loop that emits into a buffer: the
+    /// sweep advances identically (same branches, same emissions — the
+    /// differential tests drive both), but the per-tuple `Option<Row>`
+    /// clones of the re-entrant formulation are replaced by moves.
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        self.batched = true;
+        if !self.started {
+            self.started = true;
+            self.curr = self.fetch_input()?;
+            self.prev = self.curr.clone();
+            self.sameleft = true;
+            if let Some(c) = &self.curr {
+                self.sweepline = c[self.ts_idx].expect_int("adjustment ts")?;
+            }
+        }
+        let mut out: Vec<Row> = Vec::with_capacity(BATCH_SIZE);
+        while out.len() < BATCH_SIZE {
+            if self.prev.is_none() {
+                break; // prev = ω: input exhausted
+            }
+            if self.sameleft {
+                let curr_row = self
+                    .curr
+                    .take()
+                    .expect("sameleft group has a current tuple");
+                let p1 = curr_row[self.p1_idx].as_int();
+                if let Some(p1v) = p1 {
+                    if self.sweepline < p1v {
+                        // Emit the uncovered piece [sweepline, P1) and
+                        // revisit the same tuple.
+                        let o = self.make_out(&curr_row, self.sweepline, p1v);
+                        self.sweepline = p1v;
+                        self.last_out = Some(o.clone());
+                        out.push(o);
+                        self.curr = Some(curr_row);
+                        continue;
+                    }
+                }
+                let mut produced: Option<Row> = None;
+                match self.mode {
+                    AdjustMode::Align => {
+                        if let (Some(p1v), Some(p2v)) = (p1, curr_row[self.p2_idx].as_int()) {
+                            let candidate = self.make_out(&curr_row, p1v, p2v);
+                            if self.last_out.as_ref() != Some(&candidate) {
+                                self.sweepline = self.sweepline.max(p2v);
+                                produced = Some(candidate);
+                            }
+                        }
+                    }
+                    AdjustMode::GapsOnly => {
+                        if let Some(p2v) = curr_row[self.p2_idx].as_int() {
+                            self.sweepline = self.sweepline.max(p2v);
+                        }
+                    }
+                    AdjustMode::Normalize => {}
+                }
+                // On an input error, put the taken tuple back so the node
+                // stays re-entrant (the row path clones instead of taking
+                // and re-errors cleanly on the next poll).
+                let next = match self.fetch_input() {
+                    Ok(n) => n,
+                    Err(e) => {
+                        self.curr = Some(curr_row);
+                        return Err(e);
+                    }
+                };
+                self.sameleft = match &next {
+                    Some(n) => n.values()[..self.r_width] == curr_row.values()[..self.r_width],
+                    None => false,
+                };
+                self.prev = Some(curr_row);
+                self.curr = next;
+                if let Some(o) = produced {
+                    self.last_out = Some(o.clone());
+                    out.push(o);
+                }
+            } else {
+                // Group ended: emit the tail of the r tuple's timestamp if
+                // uncovered, then reset for the next group.
+                let prev_row = self.prev.as_ref().expect("checked above");
+                let prev_te = prev_row[self.te_idx].expect_int("adjustment te")?;
+                let produced = (self.sweepline < prev_te)
+                    .then(|| self.make_out(prev_row, self.sweepline, prev_te));
+                self.prev = self.curr.clone();
+                if let Some(c) = &self.curr {
+                    self.sweepline = c[self.ts_idx].expect_int("adjustment ts")?;
+                }
+                self.sameleft = true;
+                if let Some(o) = produced {
+                    self.last_out = Some(o.clone());
+                    out.push(o);
+                }
+            }
+        }
+        if out.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(RowBatch::new(self.schema.clone(), out)))
     }
 }
 
@@ -666,6 +814,83 @@ mod tests {
         let slow = self_normalize_ref(&r, &[]).unwrap();
         assert!(fast.same_set(&slow), "fast:\n{fast}\nslow:\n{slow}");
         assert_eq!(fast.len(), 5); // Fig. 3 has five result tuples
+    }
+
+    #[test]
+    fn batch_path_reerrors_cleanly_after_input_error() {
+        // An input that yields one tuple, then fails: both protocols must
+        // surface the error on every poll (no panic on re-poll — the batch
+        // path puts the taken tuple back before propagating).
+        struct FailingInput {
+            schema: Schema,
+            emitted: bool,
+        }
+        impl FailingInput {
+            fn row() -> Row {
+                Row::new(vec![
+                    Value::Int(1),
+                    Value::Int(0),
+                    Value::Int(10),
+                    Value::Null,
+                    Value::Null,
+                ])
+            }
+        }
+        impl ExecNode for FailingInput {
+            fn schema(&self) -> &Schema {
+                &self.schema
+            }
+            fn next(&mut self) -> EngineResult<Option<Row>> {
+                if !self.emitted {
+                    self.emitted = true;
+                    Ok(Some(Self::row()))
+                } else {
+                    Err(EngineError::Internal("input failed".into()))
+                }
+            }
+            // Deliver the tuple as a whole batch so the failure arrives on
+            // the *second* pull — mid-group, after the sweep has taken its
+            // current tuple.
+            fn next_batch(&mut self) -> EngineResult<Option<temporal_engine::batch::RowBatch>> {
+                if !self.emitted {
+                    self.emitted = true;
+                    Ok(Some(temporal_engine::batch::RowBatch::new(
+                        self.schema.clone(),
+                        vec![Self::row()],
+                    )))
+                } else {
+                    Err(EngineError::Internal("input failed".into()))
+                }
+            }
+        }
+        let out_schema = Schema::new(vec![
+            Column::new("v", DataType::Int),
+            Column::new("ts", DataType::Int),
+            Column::new("te", DataType::Int),
+        ]);
+        let mk = |out_schema: &Schema| {
+            let in_schema = Schema::new(vec![
+                Column::new("v", DataType::Int),
+                Column::new("ts", DataType::Int),
+                Column::new("te", DataType::Int),
+                Column::new("__p1", DataType::Int),
+                Column::new("__p2", DataType::Int),
+            ]);
+            AdjustmentExec::new(
+                Box::new(FailingInput {
+                    schema: in_schema,
+                    emitted: false,
+                }),
+                out_schema.clone(),
+                AdjustMode::Align,
+            )
+        };
+        let mut exec = mk(&out_schema);
+        assert!(exec.next_batch().is_err());
+        assert!(exec.next_batch().is_err(), "re-poll must re-error");
+        let mut exec = mk(&out_schema);
+        assert!(exec.next().is_err());
+        assert!(exec.next().is_err(), "row path re-poll must re-error");
     }
 
     #[test]

@@ -4,11 +4,11 @@
 //! Grouping equality is structural (NULL groups with NULL), matching the
 //! paper's set semantics where ω values group together.
 
-use std::collections::HashMap;
-
+use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::{EngineError, EngineResult};
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::{collect_rows, collect_rows_batched, BoxedExec, ExecNode};
 use crate::expr::{AggCall, AggFunc, Expr};
+use crate::hashing::FxHashMap;
 use crate::schema::Schema;
 use crate::tuple::Row;
 use crate::value::{num_add, Value};
@@ -121,7 +121,7 @@ impl Acc {
 /// first-seen group order. A global aggregate (`group` empty) over zero
 /// rows yields one row of identity values.
 pub fn aggregate_rows(rows: &[Row], group: &[Expr], aggs: &[AggCall]) -> EngineResult<Vec<Row>> {
-    let mut index: HashMap<Row, usize> = HashMap::new();
+    let mut index: FxHashMap<Row, usize> = FxHashMap::default();
     let mut groups: Vec<(Row, Vec<Acc>)> = Vec::new();
 
     for row in rows {
@@ -190,11 +190,12 @@ impl HashAggregateExec {
         }
     }
 
-    fn compute(&mut self) -> EngineResult<Vec<Row>> {
-        let mut rows = Vec::new();
-        while let Some(row) = self.input.next()? {
-            rows.push(row);
-        }
+    fn compute(&mut self, batched: bool) -> EngineResult<Vec<Row>> {
+        let rows = if batched {
+            collect_rows_batched(self.input.as_mut())?
+        } else {
+            collect_rows(self.input.as_mut())?
+        };
         aggregate_rows(&rows, &self.group, &self.aggs)
     }
 }
@@ -206,10 +207,25 @@ impl ExecNode for HashAggregateExec {
 
     fn next(&mut self) -> EngineResult<Option<Row>> {
         if self.out.is_none() {
-            let rows = self.compute()?;
+            let rows = self.compute(false)?;
             self.out = Some(rows.into_iter());
         }
         Ok(self.out.as_mut().expect("initialized").next())
+    }
+
+    /// Batch path: drain the input batch-wise, then emit the groups a
+    /// chunk at a time (group order is first-seen input order either way).
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        if self.out.is_none() {
+            let rows = self.compute(true)?;
+            self.out = Some(rows.into_iter());
+        }
+        let it = self.out.as_mut().expect("initialized");
+        let chunk: Vec<Row> = it.by_ref().take(BATCH_SIZE).collect();
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(RowBatch::new(self.schema.clone(), chunk)))
     }
 }
 

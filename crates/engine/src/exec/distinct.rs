@@ -1,9 +1,8 @@
 //! Duplicate elimination (set semantics), streaming.
 
-use std::collections::HashSet;
-
 use crate::error::EngineResult;
 use crate::exec::{BoxedExec, ExecNode};
+use crate::hashing::FxHashSet;
 use crate::schema::Schema;
 use crate::tuple::Row;
 
@@ -11,14 +10,14 @@ use crate::tuple::Row;
 /// equality: NULL = NULL (SQL `DISTINCT` semantics).
 pub struct DistinctExec {
     input: BoxedExec,
-    seen: HashSet<Row>,
+    seen: FxHashSet<Row>,
 }
 
 impl DistinctExec {
     pub fn new(input: BoxedExec) -> Self {
         DistinctExec {
             input,
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
         }
     }
 }

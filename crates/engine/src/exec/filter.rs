@@ -1,5 +1,6 @@
 //! Selection σ: stream rows satisfying a predicate.
 
+use crate::batch::RowBatch;
 use crate::error::EngineResult;
 use crate::exec::{BoxedExec, ExecNode};
 use crate::expr::Expr;
@@ -27,6 +28,22 @@ impl ExecNode for FilterExec {
         while let Some(row) = self.input.next()? {
             if self.predicate.eval_pred(row.values())? {
                 return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Batch path: one vectorized predicate evaluation per input batch.
+    /// Loops past batches the predicate empties — `Some` batches are never
+    /// empty.
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        while let Some(batch) = self.input.next_batch()? {
+            let keep = self.predicate.eval_pred_batch(batch.rows())?;
+            let (schema, mut rows) = batch.into_parts();
+            let mut it = keep.into_iter();
+            rows.retain(|_| it.next().expect("mask covers the batch"));
+            if !rows.is_empty() {
+                return Ok(Some(RowBatch::new(schema, rows)));
             }
         }
         Ok(None)

@@ -4,11 +4,11 @@
 //! joins always expose hashable keys — the mechanism behind the paper's
 //! fast Fig. 15d results.
 
-use std::collections::HashMap;
-
+use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
 use crate::exec::{BoxedExec, ExecNode};
-use crate::expr::Expr;
+use crate::expr::{CompiledPred, Expr};
+use crate::hashing::FxHashMap;
 use crate::plan::JoinType;
 use crate::schema::Schema;
 use crate::tuple::Row;
@@ -34,7 +34,7 @@ pub struct HashJoinExec {
     left_width: usize,
     right_width: usize,
 
-    table: HashMap<Vec<Value>, Vec<usize>>,
+    table: FxHashMap<Vec<Value>, Vec<usize>>,
     build_rows: Vec<Row>,
     build_matched: Vec<bool>,
     built: bool,
@@ -70,7 +70,7 @@ impl HashJoinExec {
             schema,
             left_width,
             right_width,
-            table: HashMap::new(),
+            table: FxHashMap::default(),
             build_rows: Vec::new(),
             build_matched: Vec::new(),
             built: false,
@@ -82,12 +82,17 @@ impl HashJoinExec {
         }
     }
 
-    fn build(&mut self) -> EngineResult<()> {
+    fn build(&mut self, batched: bool) -> EngineResult<()> {
         if self.built {
             return Ok(());
         }
         let mut right = self.right.take().expect("build called once");
-        while let Some(row) = right.next()? {
+        let rows = if batched {
+            crate::exec::collect_rows_batched(right.as_mut())?
+        } else {
+            crate::exec::collect_rows(right.as_mut())?
+        };
+        for row in rows {
             let idx = self.build_rows.len();
             let key: Vec<Value> = self.keys.iter().map(|&(_, r)| row[r].clone()).collect();
             // NULL keys never join, but the row may still surface as
@@ -108,6 +113,125 @@ impl HashJoinExec {
             Some(e) => e.eval_pred(combined.values()),
         }
     }
+
+    /// Probe a whole left batch. Candidate lists are read in place (no
+    /// per-row clone). Simple residuals (every reduced temporal condition:
+    /// equality leftovers, interval overlaps) are compiled once and
+    /// evaluated over the *pair* of rows, so the combined row is only
+    /// materialized for candidates that actually join — late
+    /// materialization, the batch path's main win on high-fanout probes.
+    fn probe_batch(&mut self, lrows: &[Row]) -> EngineResult<Vec<Row>> {
+        let compiled = self
+            .residual
+            .as_ref()
+            .map(|e| (CompiledPred::compile(e), e));
+        let mut out: Vec<Row> = Vec::new();
+        let mut key: Vec<Value> = Vec::with_capacity(self.keys.len());
+        // Scratch for the general (non-compilable) residual: candidate
+        // build indices and their materialized combined rows.
+        let mut cand_idx: Vec<usize> = Vec::new();
+        let mut combined: Vec<Row> = Vec::new();
+        for l in lrows {
+            key.clear();
+            key.extend(self.keys.iter().map(|&(lk, _)| l[lk].clone()));
+            let cands: &[usize] = if key.iter().any(Value::is_null) {
+                &[]
+            } else {
+                self.table.get(&key).map(Vec::as_slice).unwrap_or(&[])
+            };
+            let mut matched = false;
+            match &compiled {
+                Some((Some(pred), _)) => {
+                    // Compiled fast path: evaluate over references, concat
+                    // only on a pass.
+                    for &bi in cands {
+                        let build = &self.build_rows[bi];
+                        if !pred.matches_pair(l.values(), build.values(), self.left_width)? {
+                            continue;
+                        }
+                        matched = true;
+                        self.build_matched[bi] = true;
+                        match self.join_type {
+                            JoinType::Inner | JoinType::Left | JoinType::Right | JoinType::Full => {
+                                out.push(l.concat(build));
+                            }
+                            JoinType::Semi => {
+                                out.push(l.clone());
+                                break;
+                            }
+                            JoinType::Anti => break,
+                        }
+                    }
+                }
+                Some((None, e)) if matches!(self.join_type, JoinType::Semi | JoinType::Anti) => {
+                    // Semi/Anti stop at the first passing candidate; the
+                    // row path therefore never evaluates the residual past
+                    // it (nor its errors). Evaluate candidate-by-candidate
+                    // to match — batching buys nothing here anyway (at
+                    // most one output row per probe row).
+                    for &bi in cands {
+                        let c = l.concat(&self.build_rows[bi]);
+                        if !e.eval_pred(c.values())? {
+                            continue;
+                        }
+                        matched = true;
+                        self.build_matched[bi] = true;
+                        if self.join_type == JoinType::Semi {
+                            out.push(l.clone());
+                        }
+                        break;
+                    }
+                }
+                Some((None, e)) => {
+                    // General residual: materialize this row's candidates
+                    // and evaluate the predicate vectorized over them (the
+                    // row path also evaluates every candidate here).
+                    cand_idx.clear();
+                    cand_idx.extend_from_slice(cands);
+                    combined.clear();
+                    combined.extend(cand_idx.iter().map(|&bi| l.concat(&self.build_rows[bi])));
+                    let pass = e.eval_pred_batch(&combined)?;
+                    for ((&bi, c), ok) in cand_idx.iter().zip(combined.drain(..)).zip(pass) {
+                        if !ok {
+                            continue;
+                        }
+                        matched = true;
+                        self.build_matched[bi] = true;
+                        match self.join_type {
+                            JoinType::Inner | JoinType::Left | JoinType::Right | JoinType::Full => {
+                                out.push(c);
+                            }
+                            JoinType::Semi | JoinType::Anti => unreachable!("handled above"),
+                        }
+                    }
+                }
+                None => {
+                    for &bi in cands {
+                        matched = true;
+                        self.build_matched[bi] = true;
+                        match self.join_type {
+                            JoinType::Inner | JoinType::Left | JoinType::Right | JoinType::Full => {
+                                out.push(l.concat(&self.build_rows[bi]));
+                            }
+                            JoinType::Semi => {
+                                out.push(l.clone());
+                                break;
+                            }
+                            JoinType::Anti => break,
+                        }
+                    }
+                }
+            }
+            if !matched {
+                match self.join_type {
+                    JoinType::Left | JoinType::Full => out.push(l.concat_nulls(self.right_width)),
+                    JoinType::Anti => out.push(l.clone()),
+                    _ => {}
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl ExecNode for HashJoinExec {
@@ -116,7 +240,7 @@ impl ExecNode for HashJoinExec {
     }
 
     fn next(&mut self) -> EngineResult<Option<Row>> {
-        self.build()?;
+        self.build(false)?;
         loop {
             match self.phase {
                 Phase::Done => return Ok(None),
@@ -190,6 +314,49 @@ impl ExecNode for HashJoinExec {
                             JoinType::Anti => return Ok(Some(left_row)),
                             _ => {}
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batch path: probe a whole left batch per call. Candidate lists are
+    /// read in place (no per-row clone), and the residual predicate is
+    /// evaluated once, vectorized, over every candidate of the batch.
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        self.build(true)?;
+        loop {
+            match self.phase {
+                Phase::Done => return Ok(None),
+                Phase::BuildUnmatched(ref mut i) => {
+                    let mut out = Vec::new();
+                    while *i < self.build_rows.len() && out.len() < BATCH_SIZE {
+                        let idx = *i;
+                        *i += 1;
+                        if !self.build_matched[idx] {
+                            out.push(self.build_rows[idx].nulls_concat(self.left_width));
+                        }
+                    }
+                    if matches!(self.phase, Phase::BuildUnmatched(i) if i >= self.build_rows.len())
+                    {
+                        self.phase = Phase::Done;
+                    }
+                    if !out.is_empty() {
+                        return Ok(Some(RowBatch::new(self.schema.clone(), out)));
+                    }
+                }
+                Phase::Probe => {
+                    let Some(batch) = self.left.next_batch()? else {
+                        self.phase = if self.join_type.emits_right_unmatched() {
+                            Phase::BuildUnmatched(0)
+                        } else {
+                            Phase::Done
+                        };
+                        continue;
+                    };
+                    let out = self.probe_batch(batch.rows())?;
+                    if !out.is_empty() {
+                        return Ok(Some(RowBatch::new(self.schema.clone(), out)));
                     }
                 }
             }
@@ -315,5 +482,37 @@ mod tests {
         assert_eq!(run_hash(&[(1, 1)], &[], JoinType::Full, None).len(), 1);
         assert_eq!(run_hash(&[], &[], JoinType::Full, None).len(), 0);
         assert_eq!(run_hash(&[(1, 1)], &[], JoinType::Anti, None).len(), 1);
+    }
+
+    #[test]
+    fn batch_path_is_row_for_row_identical_on_all_join_types() {
+        use crate::exec::collect_rowwise;
+        let l = [(1, 10), (2, 20), (2, 21), (4, 40), (5, 50)];
+        let r = [(2, 200), (2, 201), (3, 300), (5, 55)];
+        let residuals = [None, Some(col(1).lt(col(3)))];
+        for jt in [
+            JoinType::Inner,
+            JoinType::Left,
+            JoinType::Right,
+            JoinType::Full,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            for residual in &residuals {
+                let residual = residual.clone();
+                let mk = |residual: Option<Expr>| {
+                    Box::new(HashJoinExec::new(
+                        scan(&l),
+                        scan(&r),
+                        vec![(0, 0)],
+                        residual,
+                        jt,
+                    ))
+                };
+                let rows = collect_rowwise(mk(residual.clone())).unwrap();
+                let batches = collect(mk(residual)).unwrap();
+                assert_eq!(rows.rows(), batches.rows(), "join type {jt:?}");
+            }
+        }
     }
 }

@@ -10,16 +10,62 @@
 //! overlapping pairs plus bookkeeping — `O(n log n + m log m + matches)`
 //! for well-behaved inputs.
 //!
-//! Disabled by default (`PlannerConfig::enable_intervaljoin = false`) so
-//! the benchmarks reproduce the paper's PostgreSQL behaviour; the
-//! ablation bench measures the improvement.
+//! Disabled for the paper-faithful configuration
+//! (`PlannerConfig::paper()`); the default planner auto-considers it when
+//! it detects the overlap pattern, and the ablation bench measures the
+//! improvement.
+//!
+//! The sweep is **incremental**: both inputs are materialized and sorted
+//! (inherent to a sort-based sweep), but output is produced one left row
+//! at a time, so working memory beyond the inputs stays proportional to
+//! the active window — never to the (potentially quadratic) output.
 
+use std::collections::VecDeque;
+
+use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
-use crate::exec::{BoxedExec, ExecNode};
-use crate::expr::Expr;
+use crate::exec::{collect_rows, collect_rows_batched, BoxedExec, ExecNode};
+use crate::expr::{CompiledPred, Expr};
 use crate::plan::JoinType;
 use crate::schema::Schema;
 use crate::tuple::Row;
+
+/// One side of the sweep: materialized rows, their endpoints, and the
+/// start-order permutation.
+struct SweepSide {
+    rows: Vec<Row>,
+    /// `None` for rows with NULL (or non-int) endpoints — they never match.
+    pts: Vec<Option<(i64, i64)>>,
+    order: Vec<usize>,
+}
+
+impl SweepSide {
+    fn new(rows: Vec<Row>, ts: usize, te: usize) -> SweepSide {
+        let pts: Vec<Option<(i64, i64)>> = rows
+            .iter()
+            .map(|r| Some((r[ts].as_int()?, r[te].as_int()?)))
+            .collect();
+        // Sort indices by interval start (NULL-endpoint rows sort first
+        // and are handled as never-matching).
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by_key(|&i| pts[i].map(|(s, _)| s));
+        SweepSide { rows, pts, order }
+    }
+}
+
+/// The sweep's mutable cursor state, built on first pull.
+struct SweepState {
+    l: SweepSide,
+    r: SweepSide,
+    /// Position in `l.order` of the next left row to process.
+    next_l: usize,
+    /// Position in `r.order` of the next right row to admit.
+    next_r: usize,
+    /// Active right candidates (their start precedes the current left
+    /// end); pruned of intervals that ended before the current left
+    /// start — valid because left starts are non-decreasing.
+    active: Vec<usize>,
+}
 
 /// Interval overlap join (Inner or Left). Column indices address each
 /// side's own row; the overlap condition is
@@ -36,7 +82,10 @@ pub struct IntervalJoinExec {
     join_type: JoinType,
     schema: Schema,
     right_width: usize,
-    out: Option<std::vec::IntoIter<Row>>,
+    state: Option<SweepState>,
+    /// Matches of the left row currently being emitted (row path only);
+    /// bounded by one left row's match count, not by the whole output.
+    pending: VecDeque<Row>,
 }
 
 impl IntervalJoinExec {
@@ -68,91 +117,145 @@ impl IntervalJoinExec {
             join_type,
             schema,
             right_width,
-            out: None,
+            state: None,
+            pending: VecDeque::new(),
         }
     }
 
-    fn compute(&mut self) -> EngineResult<Vec<Row>> {
-        let mut l_rows = Vec::new();
-        while let Some(r) = self.left.next()? {
-            l_rows.push(r);
+    /// Materialize and sort both sides (once), via the protocol the caller
+    /// is driving.
+    fn ensure_state(&mut self, batched: bool) -> EngineResult<()> {
+        if self.state.is_some() {
+            return Ok(());
         }
-        let mut r_rows = Vec::new();
-        while let Some(r) = self.right.next()? {
-            r_rows.push(r);
+        let (l_rows, r_rows) = if batched {
+            (
+                collect_rows_batched(self.left.as_mut())?,
+                collect_rows_batched(self.right.as_mut())?,
+            )
+        } else {
+            (
+                collect_rows(self.left.as_mut())?,
+                collect_rows(self.right.as_mut())?,
+            )
+        };
+        self.state = Some(SweepState {
+            l: SweepSide::new(l_rows, self.l_ts, self.l_te),
+            r: SweepSide::new(r_rows, self.r_ts, self.r_te),
+            next_l: 0,
+            next_r: 0,
+            active: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Advance the sweep over **one** left row, appending its join output
+    /// to `out`. Returns `false` when the left side is exhausted.
+    /// `batch_pred` selects the protocol: `None` is the row path
+    /// (per-candidate `eval_pred` over the combined row); `Some(pred)` is
+    /// the batch path, where `pred` is the residual pre-compiled by the
+    /// caller (once per batch) and evaluated over the row *pair*, with the
+    /// combined row materialized only for passing candidates, or `None`
+    /// inside for non-compilable residuals (vectorized fallback).
+    fn sweep_one_left(
+        &mut self,
+        out: &mut Vec<Row>,
+        batch_pred: Option<Option<&CompiledPred>>,
+    ) -> EngineResult<bool> {
+        let st = self.state.as_mut().expect("state built");
+        if st.next_l >= st.l.order.len() {
+            return Ok(false);
         }
-
-        // Extract endpoints once; rows with NULL endpoints never match.
-        let l_pts: Vec<Option<(i64, i64)>> = l_rows
-            .iter()
-            .map(|r| Some((r[self.l_ts].as_int()?, r[self.l_te].as_int()?)))
-            .collect();
-        let r_pts: Vec<Option<(i64, i64)>> = r_rows
-            .iter()
-            .map(|r| Some((r[self.r_ts].as_int()?, r[self.r_te].as_int()?)))
-            .collect();
-
-        // Sort indices by interval start (NULL-endpoint rows sort first and
-        // are handled as never-matching).
-        let mut l_order: Vec<usize> = (0..l_rows.len()).collect();
-        l_order.sort_by_key(|&i| l_pts[i].map(|(s, _)| s));
-        let mut r_order: Vec<usize> = (0..r_rows.len()).collect();
-        r_order.sort_by_key(|&j| r_pts[j].map(|(s, _)| s));
-
-        let mut out = Vec::new();
-        // Active right candidates (their start precedes the current left
-        // end); pruned of intervals that ended before the current left
-        // start — valid because left starts are non-decreasing.
-        let mut active: Vec<usize> = Vec::new();
-        let mut next_r = 0usize;
-
-        for &li in &l_order {
-            let Some((lts, lte)) = l_pts[li] else {
-                if self.join_type == JoinType::Left {
-                    out.push(l_rows[li].concat_nulls(self.right_width));
+        let li = st.l.order[st.next_l];
+        st.next_l += 1;
+        let Some((lts, lte)) = st.l.pts[li] else {
+            if self.join_type == JoinType::Left {
+                out.push(st.l.rows[li].concat_nulls(self.right_width));
+            }
+            return Ok(true);
+        };
+        // Admit right rows starting before this left interval ends.
+        while st.next_r < st.r.order.len() {
+            let j = st.r.order[st.next_r];
+            match st.r.pts[j] {
+                Some((rts, _)) if rts < lte => {
+                    st.active.push(j);
+                    st.next_r += 1;
                 }
-                continue;
-            };
-            // Admit right rows starting before this left interval ends.
-            while next_r < r_order.len() {
-                let j = r_order[next_r];
-                match r_pts[j] {
-                    Some((rts, _)) if rts < lte => {
-                        active.push(j);
-                        next_r += 1;
-                    }
-                    Some(_) => break,
-                    None => {
-                        next_r += 1; // NULL endpoints never match
-                    }
+                Some(_) => break,
+                None => {
+                    st.next_r += 1; // NULL endpoints never match
                 }
             }
-            // Drop candidates that ended at or before this left start —
-            // they can never match later lefts either (starts ascend).
-            active.retain(|&j| r_pts[j].expect("admitted").1 > lts);
+        }
+        // Drop candidates that ended at or before this left start —
+        // they can never match later lefts either (starts ascend).
+        let r_pts = &st.r.pts;
+        st.active.retain(|&j| r_pts[j].expect("admitted").1 > lts);
 
-            let mut matched = false;
-            for &j in &active {
-                let (rts, rte) = r_pts[j].expect("admitted");
-                // `rte > lts` holds by the retain; re-check the start side
-                // because left ends are not monotonic.
-                if rts < lte && rte > lts {
-                    let combined = l_rows[li].concat(&r_rows[j]);
-                    let ok = match &self.residual {
-                        None => true,
-                        Some(e) => e.eval_pred(combined.values())?,
-                    };
-                    if ok {
+        let left_width = self.schema.len() - self.right_width;
+        let mut matched = false;
+        match (&self.residual, batch_pred) {
+            (None, _) => {
+                for &j in &st.active {
+                    let (rts, rte) = st.r.pts[j].expect("admitted");
+                    // `rte > lts` holds by the retain; re-check the start
+                    // side because left ends are not monotonic.
+                    if rts < lte && rte > lts {
                         matched = true;
-                        out.push(combined);
+                        out.push(st.l.rows[li].concat(&st.r.rows[j]));
                     }
                 }
             }
-            if !matched && self.join_type == JoinType::Left {
-                out.push(l_rows[li].concat_nulls(self.right_width));
+            (Some(_), Some(Some(pred))) => {
+                for &j in &st.active {
+                    let (rts, rte) = st.r.pts[j].expect("admitted");
+                    if rts < lte
+                        && rte > lts
+                        && pred.matches_pair(
+                            st.l.rows[li].values(),
+                            st.r.rows[j].values(),
+                            left_width,
+                        )?
+                    {
+                        matched = true;
+                        out.push(st.l.rows[li].concat(&st.r.rows[j]));
+                    }
+                }
+            }
+            (Some(e), Some(None)) => {
+                let mut cands: Vec<Row> = Vec::new();
+                for &j in &st.active {
+                    let (rts, rte) = st.r.pts[j].expect("admitted");
+                    if rts < lte && rte > lts {
+                        cands.push(st.l.rows[li].concat(&st.r.rows[j]));
+                    }
+                }
+                let pass = e.eval_pred_batch(&cands)?;
+                for (c, p) in cands.into_iter().zip(pass) {
+                    if p {
+                        matched = true;
+                        out.push(c);
+                    }
+                }
+            }
+            (Some(e), None) => {
+                for &j in &st.active {
+                    let (rts, rte) = st.r.pts[j].expect("admitted");
+                    if rts < lte && rte > lts {
+                        let combined = st.l.rows[li].concat(&st.r.rows[j]);
+                        if e.eval_pred(combined.values())? {
+                            matched = true;
+                            out.push(combined);
+                        }
+                    }
+                }
             }
         }
-        Ok(out)
+        if !matched && self.join_type == JoinType::Left {
+            out.push(st.l.rows[li].concat_nulls(self.right_width));
+        }
+        Ok(true)
     }
 }
 
@@ -162,11 +265,37 @@ impl ExecNode for IntervalJoinExec {
     }
 
     fn next(&mut self) -> EngineResult<Option<Row>> {
-        if self.out.is_none() {
-            let rows = self.compute()?;
-            self.out = Some(rows.into_iter());
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Ok(Some(row));
+            }
+            self.ensure_state(false)?;
+            let mut buf = Vec::new();
+            if !self.sweep_one_left(&mut buf, None)? {
+                return Ok(None);
+            }
+            self.pending.extend(buf);
         }
-        Ok(self.out.as_mut().expect("initialized").next())
+    }
+
+    /// Batch path: streaming batched sweep — advance over left rows until a
+    /// batch worth of output has accumulated. The residual is compiled once
+    /// per call (from a clone of the expression, so the borrow doesn't pin
+    /// `self`), not once per left row.
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        self.ensure_state(true)?;
+        let residual = self.residual.clone();
+        let compiled = residual.as_ref().and_then(CompiledPred::compile);
+        let mut out: Vec<Row> = self.pending.drain(..).collect();
+        while out.len() < BATCH_SIZE {
+            if !self.sweep_one_left(&mut out, Some(compiled.as_ref()))? {
+                break;
+            }
+        }
+        if out.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(RowBatch::new(self.schema.clone(), out)))
     }
 }
 
@@ -267,6 +396,65 @@ mod tests {
         assert_eq!(run_sweep(&l, &e, JoinType::Left, None).len(), 1);
         assert_eq!(run_sweep(&e, &l, JoinType::Left, None).len(), 0);
         assert_eq!(run_sweep(&l, &e, JoinType::Inner, None).len(), 0);
+    }
+
+    #[test]
+    fn batch_path_is_row_for_row_identical() {
+        use crate::exec::collect_rowwise;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let mk = |rng: &mut StdRng| {
+                let rows: Vec<(i64, i64, i64)> = (0..rng.gen_range(0..25))
+                    .map(|i| {
+                        let s = rng.gen_range(0..40);
+                        (i % 4, s, s + rng.gen_range(1..12))
+                    })
+                    .collect();
+                rel(&rows)
+            };
+            let l = mk(&mut rng);
+            let r = mk(&mut rng);
+            for jt in [JoinType::Inner, JoinType::Left] {
+                for residual in [None, Some(col(0).eq(col(3)))] {
+                    let mk_node = |res: Option<Expr>| {
+                        Box::new(IntervalJoinExec::new(
+                            scan(&l),
+                            scan(&r),
+                            1,
+                            2,
+                            1,
+                            2,
+                            res,
+                            jt,
+                        ))
+                    };
+                    let rows = collect_rowwise(mk_node(residual.clone())).unwrap();
+                    let batches = collect(mk_node(residual)).unwrap();
+                    assert_eq!(rows.rows(), batches.rows(), "{jt:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_path_is_incremental() {
+        // The first next() call must not materialize the whole output:
+        // emitting a row leaves later matches unproduced in `pending` —
+        // bounded by one left row's matches, not the full cross product.
+        let l = rel(&[(1, 0, 10), (2, 0, 10), (3, 0, 10)]);
+        let r = rel(&[(7, 0, 10), (8, 0, 10), (9, 0, 10)]);
+        let mut node = IntervalJoinExec::new(scan(&l), scan(&r), 1, 2, 1, 2, None, JoinType::Inner);
+        assert!(node.next().unwrap().is_some());
+        // 9 matches total; after one next() only the current left row's
+        // remaining matches (2 of its 3) are buffered.
+        assert_eq!(node.pending.len(), 2);
+        let mut remaining = 0;
+        while node.next().unwrap().is_some() {
+            remaining += 1;
+        }
+        assert_eq!(remaining, 8);
     }
 
     #[test]

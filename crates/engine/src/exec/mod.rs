@@ -6,6 +6,18 @@
 //! pipelining architecture of PostgreSQL and on each invocation either a
 //! single result tuple is returned, or ω". The temporal crate's adjustment
 //! node implements this same trait.
+//!
+//! On top of the row protocol sits a **batch protocol**:
+//! [`ExecNode::next_batch`] moves a [`RowBatch`] of ~[`BATCH_SIZE`] rows
+//! per virtual call. Every node supports it — the default implementation
+//! falls back to pulling rows one at a time — and the hot operators
+//! (scan, filter, project, sort, hash join, interval join, the temporal
+//! sweeps) override it to do their work over a whole chunk, with
+//! expression evaluation vectorized via [`crate::expr::Expr::eval_batch`].
+//! The two protocols are row-for-row identical (differentially tested);
+//! a node instance must be *driven* through exactly one of them, because
+//! operators with native batch implementations keep separate pull state
+//! for each protocol.
 
 mod aggregate;
 mod distinct;
@@ -32,9 +44,10 @@ pub use nl_join::NestedLoopJoinExec;
 pub use project::ProjectExec;
 pub use scan::SeqScanExec;
 pub use setops::HashSetOpExec;
-pub use sort::{sort_rows, SortExec};
+pub use sort::{sort_rows, sort_rows_batched, SortExec};
 pub use values::ValuesExec;
 
+use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
 use crate::relation::Relation;
 use crate::schema::Schema;
@@ -47,13 +60,47 @@ pub trait ExecNode {
 
     /// Produce the next output row, or `None` when exhausted.
     fn next(&mut self) -> EngineResult<Option<Row>>;
+
+    /// Produce the next batch of output rows, or `None` when exhausted.
+    /// Batches are never empty; their size is *about* [`BATCH_SIZE`]
+    /// (operators may emit fewer or more rows per call).
+    ///
+    /// The default implementation pulls rows one at a time via
+    /// [`ExecNode::next`], so every node supports both protocols; hot
+    /// operators override it to work chunk-at-a-time. Callers must drive a
+    /// node instance through exactly one of the two protocols — operators
+    /// with native batch implementations keep separate pull state per
+    /// protocol, and mixing them on one instance may skip or repeat rows.
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        let mut batch = RowBatch::with_capacity(self.schema().clone(), BATCH_SIZE);
+        while batch.len() < BATCH_SIZE {
+            match self.next()? {
+                Some(row) => batch.push(row),
+                None => break,
+            }
+        }
+        Ok((!batch.is_empty()).then_some(batch))
+    }
 }
 
 /// Owned, type-erased executor node.
 pub type BoxedExec = Box<dyn ExecNode>;
 
-/// Drain a node into a materialized [`Relation`].
+/// Drain a node into a materialized [`Relation`], batch-wise. This is the
+/// engine's default result collection (used by `PhysicalPlan::collect` and
+/// therefore `Planner::run`).
 pub fn collect(mut node: BoxedExec) -> EngineResult<Relation> {
+    let mut rel = Relation::empty(node.schema().clone());
+    while let Some(batch) = node.next_batch()? {
+        rel.push_batch(batch)?;
+    }
+    Ok(rel)
+}
+
+/// Drain a node into a materialized [`Relation`] one row at a time — the
+/// pre-batch Volcano path, kept working so the two protocols can be
+/// differentially tested and benchmarked against each other.
+pub fn collect_rowwise(mut node: BoxedExec) -> EngineResult<Relation> {
     let schema = node.schema().clone();
     let mut rows = Vec::new();
     while let Some(row) = node.next()? {
@@ -62,11 +109,21 @@ pub fn collect(mut node: BoxedExec) -> EngineResult<Relation> {
     Relation::new(schema, rows)
 }
 
-/// Drain a node into a row vector (schema discarded).
+/// Drain a node into a row vector via the row protocol (schema discarded).
 pub fn collect_rows(node: &mut dyn ExecNode) -> EngineResult<Vec<Row>> {
     let mut rows = Vec::new();
     while let Some(row) = node.next()? {
         rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Drain a node into a row vector via the batch protocol — the
+/// materialization step of blocking operators on the batch path.
+pub fn collect_rows_batched(node: &mut dyn ExecNode) -> EngineResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    while let Some(batch) = node.next_batch()? {
+        rows.extend(batch.into_rows());
     }
     Ok(rows)
 }

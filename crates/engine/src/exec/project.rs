@@ -3,6 +3,7 @@
 //! Duplicate elimination (set semantics) is a separate node
 //! ([`crate::exec::DistinctExec`]), as in standard engines.
 
+use crate::batch::RowBatch;
 use crate::error::EngineResult;
 use crate::exec::{BoxedExec, ExecNode};
 use crate::expr::Expr;
@@ -43,6 +44,28 @@ impl ExecNode for ProjectExec {
                 Ok(Some(Row::new(out)))
             }
             None => Ok(None),
+        }
+    }
+
+    /// Batch path: one vectorized evaluation per output expression, then
+    /// one pass re-assembling the value columns into rows.
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        match self.input.next_batch()? {
+            None => Ok(None),
+            Some(batch) => {
+                let n = batch.len();
+                let mut cols = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    cols.push(e.eval_batch(batch.rows())?.into_iter());
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(Row::from_iter(
+                        cols.iter_mut().map(|c| c.next().expect("column length")),
+                    ));
+                }
+                Ok(Some(RowBatch::new(self.schema.clone(), rows)))
+            }
         }
     }
 }

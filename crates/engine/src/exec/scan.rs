@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
 use crate::exec::ExecNode;
 use crate::relation::Relation;
@@ -33,6 +34,19 @@ impl ExecNode for SeqScanExec {
             }
             None => Ok(None),
         }
+    }
+
+    /// Batch path: clone a contiguous chunk of the backing relation (each
+    /// clone is an `Arc` bump).
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        let rows = self.rel.rows();
+        if self.pos >= rows.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + BATCH_SIZE).min(rows.len());
+        let chunk = rows[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(RowBatch::new(self.rel.schema().clone(), chunk)))
     }
 }
 

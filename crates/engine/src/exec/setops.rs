@@ -1,10 +1,10 @@
 //! Set operations ∪, ∩, − with set semantics (duplicates eliminated), the
 //! semantics the paper assumes for temporal relations (Sec. 3.1).
 
-use std::collections::HashSet;
-
+use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::{EngineError, EngineResult};
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::{collect_rows, collect_rows_batched, BoxedExec, ExecNode};
+use crate::hashing::FxHashSet;
 use crate::plan::SetOpKind;
 use crate::schema::Schema;
 use crate::tuple::Row;
@@ -34,19 +34,22 @@ impl HashSetOpExec {
         })
     }
 
-    fn compute(&mut self) -> EngineResult<Vec<Row>> {
-        let mut left_rows = Vec::new();
-        while let Some(r) = self.left.next()? {
-            left_rows.push(r);
-        }
-        let mut right_rows = Vec::new();
-        while let Some(r) = self.right.next()? {
-            right_rows.push(r);
-        }
+    fn compute(&mut self, batched: bool) -> EngineResult<Vec<Row>> {
+        let (left_rows, right_rows) = if batched {
+            (
+                collect_rows_batched(self.left.as_mut())?,
+                collect_rows_batched(self.right.as_mut())?,
+            )
+        } else {
+            (
+                collect_rows(self.left.as_mut())?,
+                collect_rows(self.right.as_mut())?,
+            )
+        };
         let mut out = Vec::new();
         match self.kind {
             SetOpKind::Union => {
-                let mut seen: HashSet<Row> = HashSet::new();
+                let mut seen: FxHashSet<Row> = FxHashSet::default();
                 for r in left_rows.into_iter().chain(right_rows) {
                     if seen.insert(r.clone()) {
                         out.push(r);
@@ -54,8 +57,8 @@ impl HashSetOpExec {
                 }
             }
             SetOpKind::Intersect => {
-                let right_set: HashSet<Row> = right_rows.into_iter().collect();
-                let mut seen: HashSet<Row> = HashSet::new();
+                let right_set: FxHashSet<Row> = right_rows.into_iter().collect();
+                let mut seen: FxHashSet<Row> = FxHashSet::default();
                 for r in left_rows {
                     if right_set.contains(&r) && seen.insert(r.clone()) {
                         out.push(r);
@@ -63,8 +66,8 @@ impl HashSetOpExec {
                 }
             }
             SetOpKind::Except => {
-                let right_set: HashSet<Row> = right_rows.into_iter().collect();
-                let mut seen: HashSet<Row> = HashSet::new();
+                let right_set: FxHashSet<Row> = right_rows.into_iter().collect();
+                let mut seen: FxHashSet<Row> = FxHashSet::default();
                 for r in left_rows {
                     if !right_set.contains(&r) && seen.insert(r.clone()) {
                         out.push(r);
@@ -83,10 +86,25 @@ impl ExecNode for HashSetOpExec {
 
     fn next(&mut self) -> EngineResult<Option<Row>> {
         if self.out.is_none() {
-            let rows = self.compute()?;
+            let rows = self.compute(false)?;
             self.out = Some(rows.into_iter());
         }
         Ok(self.out.as_mut().expect("initialized").next())
+    }
+
+    /// Batch path: drain both inputs batch-wise, then emit the
+    /// (materialized) result a chunk at a time.
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        if self.out.is_none() {
+            let rows = self.compute(true)?;
+            self.out = Some(rows.into_iter());
+        }
+        let it = self.out.as_mut().expect("initialized");
+        let chunk: Vec<Row> = it.by_ref().take(BATCH_SIZE).collect();
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(RowBatch::new(self.left.schema().clone(), chunk)))
     }
 }
 

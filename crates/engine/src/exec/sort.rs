@@ -6,8 +6,9 @@
 
 use std::cmp::Ordering;
 
+use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::{collect_rows_batched, BoxedExec, ExecNode};
 use crate::expr::SortKey;
 use crate::schema::Schema;
 use crate::tuple::Row;
@@ -64,6 +65,82 @@ pub fn sort_rows(rows: &mut Vec<Row>, keys: &[SortKey]) -> EngineResult<()> {
     Ok(())
 }
 
+/// [`sort_rows`] with vectorized key decoration: each key expression is
+/// evaluated once over the whole row vector instead of once per row, and
+/// all-integer key sets (every temporal sort: data ids, timestamps, split
+/// points) are order-encoded into flat `i64` vectors so the comparator is
+/// a machine-word slice compare instead of a `Value` tree walk. Same order
+/// as `sort_rows` in every case: the encoding is an order-isomorphism on
+/// the admitted values, with equal encodings ⇔ equal keys, so ties fall to
+/// the identical full-row comparator.
+pub fn sort_rows_batched(rows: &mut Vec<Row>, keys: &[SortKey]) -> EngineResult<()> {
+    let mut key_cols = Vec::with_capacity(keys.len());
+    for k in keys {
+        key_cols.push(k.expr.eval_batch(rows)?);
+    }
+    if let Some(enc) = encode_int_keys(&key_cols, keys) {
+        let k = keys.len();
+        let mut decorated: Vec<(usize, Row)> = rows.drain(..).enumerate().collect();
+        decorated.sort_by(|(ia, ra), (ib, rb)| {
+            enc[ia * k..ia * k + k]
+                .cmp(&enc[ib * k..ib * k + k])
+                .then_with(|| ra.cmp(rb))
+        });
+        rows.extend(decorated.into_iter().map(|(_, r)| r));
+        return Ok(());
+    }
+    let mut key_cols: Vec<_> = key_cols.into_iter().map(Vec::into_iter).collect();
+    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows.drain(..) {
+        let kv: Vec<Value> = key_cols
+            .iter_mut()
+            .map(|c| c.next().expect("key column length"))
+            .collect();
+        decorated.push((kv, row));
+    }
+    decorated.sort_by(|(ka, ra), (kb, rb)| cmp_keys(keys, ka, kb).then_with(|| ra.cmp(rb)));
+    rows.extend(decorated.into_iter().map(|(_, r)| r));
+    Ok(())
+}
+
+/// Encode evaluated key columns as flat `i64`s (row-major, stride =
+/// `keys.len()`) such that ascending lexicographic order of the encodings
+/// equals [`cmp_keys`] order, and equal encodings imply equal key values.
+/// NULLs map to the `i64::MIN`/`i64::MAX` sentinels per their position
+/// (nulls-first/last) and descending keys negate. Returns `None` — falling
+/// back to the general comparator — when any value is not Int/NULL or lies
+/// at the extremes, where sentinel/negation collisions would break the
+/// isomorphism.
+fn encode_int_keys(key_cols: &[Vec<Value>], keys: &[SortKey]) -> Option<Vec<i64>> {
+    let n = key_cols.first().map_or(0, Vec::len);
+    let mut enc = vec![0i64; n * keys.len()];
+    for (ki, (col, key)) in key_cols.iter().zip(keys).enumerate() {
+        for (ri, v) in col.iter().enumerate() {
+            enc[ri * keys.len() + ki] = match v {
+                Value::Null => {
+                    // NULLS FIRST sorts below everything, NULLS LAST above
+                    // — in encoding space, regardless of `desc` (cmp_keys
+                    // places NULLs before applying the direction).
+                    if key.nulls_first {
+                        i64::MIN
+                    } else {
+                        i64::MAX
+                    }
+                }
+                Value::Int(x) if *x > i64::MIN + 1 && *x < i64::MAX - 1 => {
+                    if key.desc {
+                        -x
+                    } else {
+                        *x
+                    }
+                }
+                _ => return None,
+            };
+        }
+    }
+    Some(enc)
+}
+
 /// Materializing sort node.
 pub struct SortExec {
     input: BoxedExec,
@@ -96,6 +173,22 @@ impl ExecNode for SortExec {
             self.sorted = Some(rows.into_iter());
         }
         Ok(self.sorted.as_mut().expect("initialized").next())
+    }
+
+    /// Batch path: materialize through the input's batch protocol, sort
+    /// with vectorized key decoration, then drain a chunk per call.
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        if self.sorted.is_none() {
+            let mut rows = collect_rows_batched(self.input.as_mut())?;
+            sort_rows_batched(&mut rows, &self.keys)?;
+            self.sorted = Some(rows.into_iter());
+        }
+        let it = self.sorted.as_mut().expect("initialized");
+        let chunk: Vec<Row> = it.by_ref().take(BATCH_SIZE).collect();
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(RowBatch::new(self.input.schema().clone(), chunk)))
     }
 }
 

@@ -1,0 +1,688 @@
+//! Vectorized expression evaluation: one expression-tree walk per batch.
+//!
+//! [`Expr::eval`] re-walks the expression tree for every row; in the hot
+//! loops of a pipelined plan that interpretation overhead dominates.
+//! [`Expr::eval_batch`] walks the tree **once** and evaluates each node
+//! over a whole batch in a tight loop, producing one value column per node.
+//!
+//! The batch path is row-for-row identical to the row path, including the
+//! short-circuit rules: the row evaluator never evaluates the right side
+//! of an `AND` whose left side is `false` (so an error lurking there never
+//! surfaces), never evaluates `COALESCE` arguments past the first non-NULL,
+//! and stops `GREATEST`/`LEAST` at the first NULL argument. The batch
+//! evaluator reproduces this with *selection masks*: each sub-expression is
+//! evaluated only for the rows where the row evaluator would evaluate it;
+//! unselected slots carry a NULL placeholder that no combiner reads. The
+//! one permitted divergence is *which* error surfaces when several rows of
+//! a batch would fail: the row path reports the first failing row, the
+//! batch path the first failing expression node.
+
+use crate::error::{EngineError, EngineResult};
+use crate::expr::eval::{bool_pair, eval_cmp, kleene_and, kleene_not};
+use crate::expr::{ArithOp, CmpOp, Expr, Func};
+use crate::tuple::Row;
+use crate::value::{num_add, num_div, num_mul, num_sub, Value};
+
+#[inline]
+fn live(mask: Option<&[bool]>, i: usize) -> bool {
+    mask.is_none_or(|m| m[i])
+}
+
+/// One operand of a compiled simple comparison.
+#[derive(Clone, Copy)]
+pub(crate) enum PredOperand<'a> {
+    Col(usize),
+    Lit(&'a Value),
+}
+
+impl<'a> PredOperand<'a> {
+    fn of(e: &Expr) -> Option<PredOperand<'_>> {
+        match e {
+            Expr::Col(i) => Some(PredOperand::Col(*i)),
+            Expr::Lit(v) => Some(PredOperand::Lit(v)),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn resolve<'r>(&'r self, row: &'r [Value]) -> EngineResult<&'r Value> {
+        match self {
+            PredOperand::Col(i) => row.get(*i).ok_or_else(|| {
+                EngineError::Internal(format!(
+                    "column index {i} out of bounds for row of width {}",
+                    row.len()
+                ))
+            }),
+            PredOperand::Lit(v) => Ok(v),
+        }
+    }
+
+    /// Resolve against a *logical* concatenation `left ++ right` without
+    /// materializing it — late materialization for join candidates.
+    #[inline]
+    fn resolve_pair<'r>(
+        &'r self,
+        left: &'r [Value],
+        right: &'r [Value],
+        left_width: usize,
+    ) -> EngineResult<&'r Value> {
+        match self {
+            PredOperand::Col(i) if *i < left_width => left.get(*i).ok_or_else(|| {
+                EngineError::Internal(format!("column index {i} out of bounds for join pair"))
+            }),
+            PredOperand::Col(i) => right.get(*i - left_width).ok_or_else(|| {
+                EngineError::Internal(format!("column index {i} out of bounds for join pair"))
+            }),
+            PredOperand::Lit(v) => Ok(v),
+        }
+    }
+}
+
+/// A predicate compiled for batch evaluation: a conjunction of simple
+/// comparisons (`Col/Lit op Col/Lit`), evaluated left to right over value
+/// references with the row path's short-circuit order. Comparisons only
+/// yield `Bool`/`NULL`, so the Kleene conjunction reduces to "every
+/// conjunct is exactly TRUE" — bit-for-bit the row evaluator's
+/// `eval_pred`, with no tree walk, no `Box` chasing and no value clones.
+pub(crate) struct CompiledPred<'a> {
+    conjuncts: Vec<(CmpOp, PredOperand<'a>, PredOperand<'a>)>,
+}
+
+impl<'a> CompiledPred<'a> {
+    /// `None` when the predicate has a shape the fast path cannot prove
+    /// equivalent (function calls, arithmetic, OR, …) — callers fall back
+    /// to the general evaluator.
+    pub(crate) fn compile(expr: &'a Expr) -> Option<CompiledPred<'a>> {
+        let mut conjuncts = Vec::new();
+        for c in expr.conjuncts() {
+            match c {
+                Expr::Cmp(op, a, b) => {
+                    conjuncts.push((*op, PredOperand::of(a)?, PredOperand::of(b)?));
+                }
+                _ => return None,
+            }
+        }
+        Some(CompiledPred { conjuncts })
+    }
+
+    /// One conjunct over resolved values. Integer pairs — every temporal
+    /// overlap/split-point/equality test — compare inline; everything else
+    /// goes through the general [`eval_cmp`] (identical results: the inline
+    /// arm mirrors `sql_cmp`'s `(Int, Int)` case, and NULL compares to
+    /// nothing either way).
+    #[inline]
+    fn cmp_true(op: CmpOp, va: &Value, vb: &Value) -> bool {
+        match (va, vb) {
+            (Value::Int(x), Value::Int(y)) => match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            },
+            _ => eval_cmp(op, va, vb) == Value::Bool(true),
+        }
+    }
+
+    /// The predicate over one row (`eval_pred`-identical).
+    #[inline]
+    pub(crate) fn matches(&self, row: &[Value]) -> EngineResult<bool> {
+        for (op, a, b) in &self.conjuncts {
+            if !Self::cmp_true(*op, a.resolve(row)?, b.resolve(row)?) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The predicate over the logical concatenation of a join pair,
+    /// without building the combined row.
+    #[inline]
+    pub(crate) fn matches_pair(
+        &self,
+        left: &[Value],
+        right: &[Value],
+        left_width: usize,
+    ) -> EngineResult<bool> {
+        for (op, a, b) in &self.conjuncts {
+            let va = a.resolve_pair(left, right, left_width)?;
+            let vb = b.resolve_pair(left, right, left_width)?;
+            if !Self::cmp_true(*op, va, vb) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn any_live(mask: Option<&[bool]>, n: usize) -> bool {
+    match mask {
+        None => n > 0,
+        Some(m) => m.iter().any(|&x| x),
+    }
+}
+
+impl Expr {
+    /// Evaluate against every row of a batch at once. Returns one value per
+    /// row, in row order — exactly what per-row [`Expr::eval`] calls would
+    /// produce.
+    pub fn eval_batch(&self, rows: &[Row]) -> EngineResult<Vec<Value>> {
+        self.eval_batch_masked(rows, None)
+    }
+
+    /// Evaluate as a predicate over a batch: NULL ⇒ `false`, as in SQL
+    /// `WHERE`/`ON` clauses (the batch counterpart of [`Expr::eval_pred`]).
+    ///
+    /// Predicates that are conjunctions of simple comparisons (the shape of
+    /// every reduced temporal condition: equi residuals, interval overlaps,
+    /// split-point bounds) take a compiled fast path that evaluates over
+    /// value *references* in one pass — no per-node value columns at all.
+    pub fn eval_pred_batch(&self, rows: &[Row]) -> EngineResult<Vec<bool>> {
+        if let Some(conjuncts) = CompiledPred::compile(self) {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                out.push(conjuncts.matches(row.values())?);
+            }
+            return Ok(out);
+        }
+        let vals = self.eval_batch(rows)?;
+        let mut out = Vec::with_capacity(vals.len());
+        for v in vals {
+            match v {
+                Value::Bool(b) => out.push(b),
+                Value::Null => out.push(false),
+                other => {
+                    return Err(EngineError::TypeError(format!(
+                        "predicate evaluated to {}, expected bool",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Masked batch evaluation: compute this expression for the rows where
+    /// `mask` is true (`None` = all rows). Slots with a false mask hold
+    /// `Value::Null` placeholders and are never inspected by callers.
+    fn eval_batch_masked(&self, rows: &[Row], mask: Option<&[bool]>) -> EngineResult<Vec<Value>> {
+        let n = rows.len();
+        // Unmasked fast paths for the projection shapes the temporal
+        // reductions produce (comparisons and GREATEST/LEAST over columns
+        // and literals): evaluate over value references in one pass, with
+        // no per-operand column materialization. Column and literal
+        // operands cannot fail, so the row path's argument short-circuits
+        // are unobservable here and the results are identical.
+        if mask.is_none() {
+            match self {
+                Expr::Cmp(op, a, b) => {
+                    if let (Some(a), Some(b)) = (PredOperand::of(a), PredOperand::of(b)) {
+                        let mut out = Vec::with_capacity(n);
+                        for row in rows {
+                            let vals = row.values();
+                            out.push(eval_cmp(*op, a.resolve(vals)?, b.resolve(vals)?));
+                        }
+                        return Ok(out);
+                    }
+                }
+                Expr::Func(f @ (Func::Greatest | Func::Least), args) if !args.is_empty() => {
+                    let operands: Option<Vec<PredOperand<'_>>> =
+                        args.iter().map(PredOperand::of).collect();
+                    if let Some(operands) = operands {
+                        let mut out = Vec::with_capacity(n);
+                        'rows: for row in rows {
+                            let vals = row.values();
+                            let mut best = operands[0].resolve(vals)?;
+                            if best.is_null() {
+                                out.push(Value::Null);
+                                continue;
+                            }
+                            for o in &operands[1..] {
+                                let v = o.resolve(vals)?;
+                                if v.is_null() {
+                                    out.push(Value::Null);
+                                    continue 'rows;
+                                }
+                                let keep_new = match v.sql_cmp(best) {
+                                    Some(ord) => {
+                                        if *f == Func::Greatest {
+                                            ord.is_gt()
+                                        } else {
+                                            ord.is_lt()
+                                        }
+                                    }
+                                    None => {
+                                        return Err(EngineError::TypeError(format!(
+                                            "{} arguments are not comparable",
+                                            f.name()
+                                        )))
+                                    }
+                                };
+                                if keep_new {
+                                    best = v;
+                                }
+                            }
+                            out.push(best.clone());
+                        }
+                        return Ok(out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        match self {
+            Expr::Col(i) => {
+                let mut out = Vec::with_capacity(n);
+                for (r, row) in rows.iter().enumerate() {
+                    if live(mask, r) {
+                        out.push(row.values().get(*i).cloned().ok_or_else(|| {
+                            EngineError::Internal(format!(
+                                "column index {i} out of bounds for row of width {}",
+                                row.len()
+                            ))
+                        })?);
+                    } else {
+                        out.push(Value::Null);
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Lit(v) => Ok(vec![v.clone(); n]),
+            Expr::Cmp(op, a, b) => {
+                let va = a.eval_batch_masked(rows, mask)?;
+                let vb = b.eval_batch_masked(rows, mask)?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(if live(mask, i) {
+                        eval_cmp(*op, &va[i], &vb[i])
+                    } else {
+                        Value::Null
+                    });
+                }
+                Ok(out)
+            }
+            Expr::And(a, b) => {
+                // Kleene AND: false dominates NULL; the right side is only
+                // evaluated where the left side is not false.
+                let va = a.eval_batch_masked(rows, mask)?;
+                let bmask: Vec<bool> = (0..n)
+                    .map(|i| live(mask, i) && va[i] != Value::Bool(false))
+                    .collect();
+                let vb = b.eval_batch_masked(rows, Some(&bmask))?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    if !live(mask, i) {
+                        out.push(Value::Null);
+                    } else if va[i] == Value::Bool(false) || vb[i] == Value::Bool(false) {
+                        out.push(Value::Bool(false));
+                    } else if va[i].is_null() || vb[i].is_null() {
+                        out.push(Value::Null);
+                    } else {
+                        out.push(bool_pair(&va[i], &vb[i], "AND", |x, y| x && y)?);
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Or(a, b) => {
+                // Kleene OR: true dominates NULL; the right side is only
+                // evaluated where the left side is not true.
+                let va = a.eval_batch_masked(rows, mask)?;
+                let bmask: Vec<bool> = (0..n)
+                    .map(|i| live(mask, i) && va[i] != Value::Bool(true))
+                    .collect();
+                let vb = b.eval_batch_masked(rows, Some(&bmask))?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    if !live(mask, i) {
+                        out.push(Value::Null);
+                    } else if va[i] == Value::Bool(true) || vb[i] == Value::Bool(true) {
+                        out.push(Value::Bool(true));
+                    } else if va[i].is_null() || vb[i].is_null() {
+                        out.push(Value::Null);
+                    } else {
+                        out.push(bool_pair(&va[i], &vb[i], "OR", |x, y| x || y)?);
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Not(a) => {
+                let va = a.eval_batch_masked(rows, mask)?;
+                let mut out = Vec::with_capacity(n);
+                for (i, v) in va.into_iter().enumerate() {
+                    out.push(if !live(mask, i) {
+                        Value::Null
+                    } else {
+                        match v {
+                            Value::Null => Value::Null,
+                            Value::Bool(b) => Value::Bool(!b),
+                            other => {
+                                return Err(EngineError::TypeError(format!(
+                                    "NOT applied to {}",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    });
+                }
+                Ok(out)
+            }
+            Expr::Neg(a) => {
+                let va = a.eval_batch_masked(rows, mask)?;
+                let mut out = Vec::with_capacity(n);
+                for (i, v) in va.into_iter().enumerate() {
+                    out.push(if !live(mask, i) {
+                        Value::Null
+                    } else {
+                        match v {
+                            Value::Null => Value::Null,
+                            Value::Int(x) => Value::Int(x.checked_neg().ok_or_else(|| {
+                                EngineError::Evaluation("integer overflow in negation".into())
+                            })?),
+                            Value::Double(d) => Value::Double(-d),
+                            other => {
+                                return Err(EngineError::TypeError(format!(
+                                    "unary minus applied to {}",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    });
+                }
+                Ok(out)
+            }
+            Expr::Arith(op, a, b) => {
+                let va = a.eval_batch_masked(rows, mask)?;
+                let vb = b.eval_batch_masked(rows, mask)?;
+                let f = match op {
+                    ArithOp::Add => num_add,
+                    ArithOp::Sub => num_sub,
+                    ArithOp::Mul => num_mul,
+                    ArithOp::Div => num_div,
+                };
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(if live(mask, i) {
+                        f(&va[i], &vb[i])?
+                    } else {
+                        Value::Null
+                    });
+                }
+                Ok(out)
+            }
+            Expr::Func(f, args) => eval_func_batch(*f, args, rows, mask),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval_batch_masked(rows, mask)?;
+                let lo = low.eval_batch_masked(rows, mask)?;
+                let hi = high.eval_batch_masked(rows, mask)?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(if live(mask, i) {
+                        let ge_lo = eval_cmp(CmpOp::Ge, &v[i], &lo[i]);
+                        let le_hi = eval_cmp(CmpOp::Le, &v[i], &hi[i]);
+                        let both = kleene_and(&ge_lo, &le_hi);
+                        if *negated {
+                            kleene_not(&both)
+                        } else {
+                            both
+                        }
+                    } else {
+                        Value::Null
+                    });
+                }
+                Ok(out)
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval_batch_masked(rows, mask)?;
+                let mut out = Vec::with_capacity(n);
+                for (i, vi) in v.iter().enumerate() {
+                    out.push(if live(mask, i) {
+                        Value::Bool(vi.is_null() != *negated)
+                    } else {
+                        Value::Null
+                    });
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+fn eval_func_batch(
+    f: Func,
+    args: &[Expr],
+    rows: &[Row],
+    mask: Option<&[bool]>,
+) -> EngineResult<Vec<Value>> {
+    let n = rows.len();
+    // Arity errors surface only when the row path would actually evaluate
+    // the call, i.e. when at least one row is selected.
+    if !any_live(mask, n) {
+        return Ok(vec![Value::Null; n]);
+    }
+    let arity = |want: usize| -> EngineResult<()> {
+        if args.len() == want {
+            Ok(())
+        } else {
+            Err(EngineError::TypeError(format!(
+                "{} expects {want} argument(s), got {}",
+                f.name(),
+                args.len()
+            )))
+        }
+    };
+    match f {
+        Func::Dur => {
+            arity(2)?;
+            let ts = args[0].eval_batch_masked(rows, mask)?;
+            let te = args[1].eval_batch_masked(rows, mask)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(if live(mask, i) {
+                    num_sub(&te[i], &ts[i])?
+                } else {
+                    Value::Null
+                });
+            }
+            Ok(out)
+        }
+        Func::Greatest | Func::Least => {
+            if args.is_empty() {
+                return Err(EngineError::TypeError(format!(
+                    "{} expects at least one argument",
+                    f.name()
+                )));
+            }
+            // A row "dies" at its first NULL argument (result NULL, later
+            // arguments not evaluated for it), matching the row path.
+            let mut alive: Vec<bool> = (0..n).map(|i| live(mask, i)).collect();
+            let mut best: Vec<Value> = vec![Value::Null; n];
+            for (k, a) in args.iter().enumerate() {
+                if !alive.iter().any(|&x| x) {
+                    break;
+                }
+                let vs = a.eval_batch_masked(rows, Some(&alive))?;
+                for (i, v) in vs.into_iter().enumerate() {
+                    if !alive[i] {
+                        continue;
+                    }
+                    if v.is_null() {
+                        best[i] = Value::Null;
+                        alive[i] = false;
+                    } else if k == 0 {
+                        best[i] = v;
+                    } else {
+                        let keep_new = match v.sql_cmp(&best[i]) {
+                            Some(o) => {
+                                if f == Func::Greatest {
+                                    o.is_gt()
+                                } else {
+                                    o.is_lt()
+                                }
+                            }
+                            None => {
+                                return Err(EngineError::TypeError(format!(
+                                    "{} arguments are not comparable",
+                                    f.name()
+                                )))
+                            }
+                        };
+                        if keep_new {
+                            best[i] = v;
+                        }
+                    }
+                }
+            }
+            Ok(best)
+        }
+        Func::Coalesce => {
+            // A row "dies" at its first non-NULL argument; later arguments
+            // are not evaluated for it, matching the row path.
+            let mut alive: Vec<bool> = (0..n).map(|i| live(mask, i)).collect();
+            let mut out: Vec<Value> = vec![Value::Null; n];
+            for a in args {
+                if !alive.iter().any(|&x| x) {
+                    break;
+                }
+                let vs = a.eval_batch_masked(rows, Some(&alive))?;
+                for (i, v) in vs.into_iter().enumerate() {
+                    if alive[i] && !v.is_null() {
+                        out[i] = v;
+                        alive[i] = false;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Func::Abs => {
+            arity(1)?;
+            let vs = args[0].eval_batch_masked(rows, mask)?;
+            let mut out = Vec::with_capacity(n);
+            for (i, v) in vs.into_iter().enumerate() {
+                out.push(if !live(mask, i) {
+                    Value::Null
+                } else {
+                    match v {
+                        Value::Null => Value::Null,
+                        Value::Int(x) => Value::Int(x.checked_abs().ok_or_else(|| {
+                            EngineError::Evaluation("integer overflow in abs".into())
+                        })?),
+                        Value::Double(d) => Value::Double(d.abs()),
+                        other => {
+                            return Err(EngineError::TypeError(format!(
+                                "abs applied to {}",
+                                other.type_name()
+                            )))
+                        }
+                    }
+                });
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    fn rows(vals: Vec<Vec<Value>>) -> Vec<Row> {
+        vals.into_iter().map(Row::new).collect()
+    }
+
+    /// Batch evaluation must agree value-for-value with per-row evaluation.
+    fn assert_matches_rowwise(e: &Expr, rs: &[Row]) {
+        let batch = e.eval_batch(rs).unwrap();
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(batch[i], e.eval(r.values()).unwrap(), "row {i} of {e}");
+        }
+    }
+
+    #[test]
+    fn scalar_ops_match_rowwise() {
+        let rs = rows(vec![
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Null, Value::Int(2)],
+            vec![Value::Int(-3), Value::Null],
+            vec![Value::Int(7), Value::Int(7)],
+        ]);
+        for e in [
+            col(0).add(col(1)),
+            col(0).sub(col(1)).mul(lit(2i64)),
+            col(0).lt(col(1)),
+            col(0).eq(col(1)),
+            col(0).is_null(),
+            col(1).is_not_null(),
+            col(0).between(lit(0i64), col(1)),
+            col(0).lt(col(1)).and(col(1).gt(lit(0i64))),
+            col(0).lt(col(1)).or(col(1).is_null()),
+            col(0).lt(col(1)).not(),
+            Expr::Neg(Box::new(col(0))),
+            Expr::Func(Func::Dur, vec![col(0), col(1)]),
+            Expr::Func(Func::Greatest, vec![col(0), col(1)]),
+            Expr::Func(Func::Least, vec![col(0), col(1)]),
+            Expr::Func(Func::Coalesce, vec![col(0), col(1), lit(9i64)]),
+            Expr::Func(Func::Abs, vec![col(0)]),
+        ] {
+            assert_matches_rowwise(&e, &rs);
+        }
+    }
+
+    #[test]
+    fn pred_batch_matches_rowwise() {
+        let rs = rows(vec![
+            vec![Value::Int(1)],
+            vec![Value::Null],
+            vec![Value::Int(5)],
+        ]);
+        let e = col(0).gt(lit(2i64));
+        let batch = e.eval_pred_batch(&rs).unwrap();
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(batch[i], e.eval_pred(r.values()).unwrap());
+        }
+    }
+
+    #[test]
+    fn and_short_circuit_skips_errors_like_the_row_path() {
+        // Row 0: left is false, so the erroring right side (`1 + 'x'`) is
+        // never evaluated — in either path. Row 1 would error in both.
+        let rs = rows(vec![vec![Value::Int(1), Value::str("x")]]);
+        let e = col(0).gt(lit(5i64)).and(col(0).add(col(1)).gt(lit(0i64)));
+        assert!(e.eval(rs[0].values()).is_ok());
+        assert_eq!(e.eval_batch(&rs).unwrap(), vec![Value::Bool(false)]);
+        let e = col(0).gt(lit(0i64)).and(col(0).add(col(1)).gt(lit(0i64)));
+        assert!(e.eval(rs[0].values()).is_err());
+        assert!(e.eval_batch(&rs).is_err());
+    }
+
+    #[test]
+    fn or_short_circuit_skips_errors_like_the_row_path() {
+        let rs = rows(vec![vec![Value::Int(1), Value::str("x")]]);
+        let e = col(0).gt(lit(0i64)).or(col(0).add(col(1)).gt(lit(0i64)));
+        assert!(e.eval(rs[0].values()).is_ok());
+        assert_eq!(e.eval_batch(&rs).unwrap(), vec![Value::Bool(true)]);
+    }
+
+    #[test]
+    fn coalesce_stops_at_first_non_null_like_the_row_path() {
+        // The second argument would error (Int + Str), but the first is
+        // non-NULL, so neither path evaluates it.
+        let rs = rows(vec![vec![Value::Int(1), Value::str("x")]]);
+        let e = Expr::Func(Func::Coalesce, vec![col(0), col(0).add(col(1))]);
+        assert_eq!(e.eval(rs[0].values()).unwrap(), Value::Int(1));
+        assert_eq!(e.eval_batch(&rs).unwrap(), vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn empty_batch_evaluates_to_empty() {
+        let e = col(0).add(lit(1i64));
+        assert!(e.eval_batch(&[]).unwrap().is_empty());
+        assert!(e.eval_pred_batch(&[]).unwrap().is_empty());
+    }
+}

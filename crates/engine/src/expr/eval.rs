@@ -117,7 +117,12 @@ impl Expr {
     }
 }
 
-fn bool_pair(a: &Value, b: &Value, op: &str, f: fn(bool, bool) -> bool) -> EngineResult<Value> {
+pub(crate) fn bool_pair(
+    a: &Value,
+    b: &Value,
+    op: &str,
+    f: fn(bool, bool) -> bool,
+) -> EngineResult<Value> {
     match (a.as_bool(), b.as_bool()) {
         (Some(x), Some(y)) => Ok(Value::Bool(f(x, y))),
         _ => Err(EngineError::TypeError(format!(
@@ -128,7 +133,7 @@ fn bool_pair(a: &Value, b: &Value, op: &str, f: fn(bool, bool) -> bool) -> Engin
     }
 }
 
-fn kleene_and(a: &Value, b: &Value) -> Value {
+pub(crate) fn kleene_and(a: &Value, b: &Value) -> Value {
     match (a, b) {
         (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
         (Value::Null, _) | (_, Value::Null) => Value::Null,
@@ -137,14 +142,14 @@ fn kleene_and(a: &Value, b: &Value) -> Value {
     }
 }
 
-fn kleene_not(a: &Value) -> Value {
+pub(crate) fn kleene_not(a: &Value) -> Value {
     match a {
         Value::Bool(b) => Value::Bool(!b),
         _ => Value::Null,
     }
 }
 
-fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> Value {
+pub(crate) fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> Value {
     if a.is_null() || b.is_null() {
         return Value::Null;
     }

@@ -6,12 +6,14 @@
 //! two input rows, as in the paper's θ conditions.
 
 mod analysis;
+mod batch;
 mod eval;
 mod fold;
 
 pub use analysis::{
     detect_overlap_pattern, split_join_condition, JoinConditionParts, OverlapPattern,
 };
+pub(crate) use batch::CompiledPred;
 pub use fold::fold;
 
 use std::fmt;

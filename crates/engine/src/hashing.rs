@@ -1,0 +1,108 @@
+//! Fast non-cryptographic hashing for the executor's internal tables.
+//!
+//! Join builds, set operations, duplicate elimination and aggregation all
+//! key hash containers by `Value` tuples; the standard library's default
+//! SipHash is DoS-resistant but costs a large constant per small key. The
+//! executor's tables are process-internal and never keyed by untrusted
+//! input schemas, so an FxHash-style multiply-rotate hasher (the rustc
+//! approach) is the right trade-off. Unlike `RandomState`, it is also
+//! deterministic per process, which keeps repeated executions of one plan
+//! byte-for-byte reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher (the `rustc-hash` construction).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_and_spreading() {
+        let bh = FxBuildHasher::default();
+        let h = |v: &Vec<crate::value::Value>| -> u64 { bh.hash_one(v) };
+        let a = vec![crate::value::Value::Int(1), crate::value::Value::Int(2)];
+        let b = vec![crate::value::Value::Int(2), crate::value::Value::Int(1)];
+        assert_eq!(h(&a), h(&a), "deterministic");
+        assert_ne!(h(&a), h(&b), "order-sensitive");
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
+        m.insert(vec![1, 2], 7);
+        assert_eq!(m.get(&vec![1, 2]), Some(&7));
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        assert!(s.insert("x") && !s.insert("x"));
+    }
+}

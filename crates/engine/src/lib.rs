@@ -9,7 +9,10 @@
 //! on:
 //!
 //! * a **Volcano-style pipelined executor** ([`exec::ExecNode`]) — the
-//!   paper's `ExecAdjustment` (Fig. 10) plugs in as one more node;
+//!   paper's `ExecAdjustment` (Fig. 10) plugs in as one more node. A
+//!   vectorized batch protocol ([`exec::ExecNode::next_batch`]) pushes
+//!   [`batch::RowBatch`]es through the same pipelines, amortizing per-tuple
+//!   dispatch in the hot operators;
 //! * **three join algorithms** — nested-loop, hash and sort-merge — selected
 //!   by a **cost-based planner** ([`plan::Planner`]) honouring the
 //!   PostgreSQL-style switches `enable_nestloop`, `enable_hashjoin` and
@@ -52,10 +55,12 @@
 //! assert_eq!(out.len(), 1);
 //! ```
 
+pub mod batch;
 pub mod catalog;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod hashing;
 pub mod plan;
 pub mod relation;
 pub mod schema;
@@ -64,6 +69,7 @@ pub mod value;
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
+    pub use crate::batch::{RowBatch, BATCH_SIZE};
     pub use crate::catalog::Catalog;
     pub use crate::error::{EngineError, EngineResult};
     pub use crate::exec::{BoxedExec, ExecNode};

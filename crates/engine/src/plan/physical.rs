@@ -277,9 +277,18 @@ impl PhysicalPlan {
         })
     }
 
-    /// Execute and materialize the result.
+    /// Execute and materialize the result. Drains the executor tree
+    /// batch-wise ([`crate::exec::ExecNode::next_batch`]) — the engine's
+    /// default execution path.
     pub fn collect(&self) -> EngineResult<Relation> {
         collect(self.execute()?)
+    }
+
+    /// Execute and materialize via the row-at-a-time Volcano protocol —
+    /// the pre-batch path, kept working so the two protocols can be
+    /// differentially tested and benchmarked against each other.
+    pub fn collect_rowwise(&self) -> EngineResult<Relation> {
+        crate::exec::collect_rowwise(self.execute()?)
     }
 
     /// Estimated rows/cost for this subtree.

@@ -16,8 +16,9 @@
 
 use std::sync::{Arc, Mutex};
 
+use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
-use crate::exec::{collect, BoxedExec, ExecNode};
+use crate::exec::{collect, collect_rowwise, BoxedExec, ExecNode};
 use crate::plan::cost::{CostModel, PlanStats};
 use crate::plan::logical::{ExtensionNode, LogicalPlan};
 use crate::relation::Relation;
@@ -116,14 +117,23 @@ pub struct SpoolExec {
 }
 
 impl SpoolExec {
-    fn materialized(&mut self) -> EngineResult<&Relation> {
+    /// Materialize (or attach to) the shared cache. The first stream to
+    /// pull drains the child through the protocol that stream is being
+    /// driven with — batch-wise under `next_batch()`, row-wise under
+    /// `next()` — so the spool subtree belongs to the same execution path
+    /// as the rest of the plan.
+    fn materialized(&mut self, batched: bool) -> EngineResult<&Relation> {
         if self.local.is_none() {
             let mut guard = self.cache.lock().expect("spool cache poisoned");
             let rel = match guard.as_ref() {
                 Some(rel) => Arc::clone(rel),
                 None => {
                     let child = self.child.take().expect("spool child built exactly once");
-                    let rel = Arc::new(collect(child)?);
+                    let rel = if batched {
+                        Arc::new(collect(child)?)
+                    } else {
+                        Arc::new(collect_rowwise(child)?)
+                    };
                     *guard = Some(Arc::clone(&rel));
                     rel
                 }
@@ -141,10 +151,25 @@ impl ExecNode for SpoolExec {
 
     fn next(&mut self) -> EngineResult<Option<Row>> {
         let pos = self.pos;
-        let rel = self.materialized()?;
+        let rel = self.materialized(false)?;
         let row = rel.rows().get(pos).cloned();
         self.pos += 1;
         Ok(row)
+    }
+
+    /// Batch path: serve a contiguous chunk of the shared materialization
+    /// (row clones are `Arc` bumps).
+    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+        let pos = self.pos;
+        let rel = self.materialized(true)?;
+        let rows = rel.rows();
+        if pos >= rows.len() {
+            return Ok(None);
+        }
+        let end = (pos + BATCH_SIZE).min(rows.len());
+        let chunk = rows[pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(RowBatch::new(self.schema.clone(), chunk)))
     }
 }
 

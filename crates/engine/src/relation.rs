@@ -93,6 +93,24 @@ impl Relation {
         Ok(())
     }
 
+    /// Append all rows of a batch (arity-checked). Copy-on-write when the
+    /// rows are shared. This is how batch-wise result collection
+    /// ([`crate::exec::collect`]) materializes executor output.
+    pub fn push_batch(&mut self, batch: crate::batch::RowBatch) -> EngineResult<()> {
+        let rows = batch.into_rows();
+        for r in &rows {
+            if r.len() != self.schema.len() {
+                return Err(EngineError::SchemaMismatch(format!(
+                    "batch row has {} values, schema has {} columns",
+                    r.len(),
+                    self.schema.len()
+                )));
+            }
+        }
+        Arc::make_mut(&mut self.rows).extend(rows);
+        Ok(())
+    }
+
     /// Consume and return the rows (copies only if still shared).
     pub fn into_rows(self) -> Vec<Row> {
         Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())

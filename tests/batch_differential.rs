@@ -1,0 +1,326 @@
+//! Batch/row differential tests (ISSUE 3): the vectorized batch protocol
+//! (`ExecNode::next_batch` / `PhysicalPlan::collect`) must be **row-for-row
+//! identical** — same rows, same order — to the row-at-a-time Volcano
+//! protocol (`ExecNode::next` / `PhysicalPlan::collect_rowwise`) on every
+//! operator: filter, project, the join algorithms (hash, nested-loop,
+//! interval sweep), set operations, and both temporal adjustment modes
+//! (alignment and normalization) plus the gaps-only anti-join sweep and
+//! absorb. Plus batch-boundary edge cases: empty inputs, batches emptied
+//! by a filter, inputs of exactly `BATCH_SIZE` rows, and sweep groups
+//! spanning batch boundaries.
+
+mod common;
+
+use proptest::prelude::*;
+use temporal_alignment::core::prelude::*;
+use temporal_alignment::core::semantics::TemporalOp;
+use temporal_alignment::engine::catalog::Catalog;
+use temporal_alignment::engine::prelude::*;
+use temporal_datasets::{ddisj, deq, drand};
+
+/// Plan once, execute through both protocols, compare row-for-row.
+fn assert_paths_identical_logical(lp: &LogicalPlan, planner: &Planner, label: &str) {
+    let physical = planner
+        .plan(lp, &Catalog::new())
+        .unwrap_or_else(|e| panic!("{label}: plan: {e}"));
+    let row_path = physical
+        .collect_rowwise()
+        .unwrap_or_else(|e| panic!("{label}: row path: {e}"));
+    let batch_path = physical
+        .collect()
+        .unwrap_or_else(|e| panic!("{label}: batch path: {e}"));
+    assert_eq!(
+        row_path.rows(),
+        batch_path.rows(),
+        "{label}: batch path diverges from row path"
+    );
+}
+
+fn assert_paths_identical(plan: &TemporalPlan, planner: &Planner, label: &str) {
+    assert_paths_identical_logical(plan.logical(), planner, label);
+}
+
+/// Apply one operator to a composed plan (as in `tests/plan_first.rs`).
+fn apply_plan(
+    op: &TemporalOp,
+    plan: TemporalPlan,
+    rhs: Option<TemporalPlan>,
+) -> TemporalResult<TemporalPlan> {
+    match op {
+        TemporalOp::Selection { predicate } => plan.selection(predicate.clone()),
+        TemporalOp::Projection { attrs } => plan.projection(attrs),
+        TemporalOp::Aggregation { group, aggs } => plan.aggregation(group, aggs.clone()),
+        TemporalOp::Union => plan.union(rhs.expect("binary")),
+        TemporalOp::Difference => plan.difference(rhs.expect("binary")),
+        TemporalOp::Intersection => plan.intersection(rhs.expect("binary")),
+        TemporalOp::CartesianProduct => plan.cartesian_product(rhs.expect("binary")),
+        TemporalOp::Join { theta } => plan.join(rhs.expect("binary"), theta.clone()),
+        TemporalOp::LeftOuterJoin { theta } => {
+            plan.left_outer_join(rhs.expect("binary"), theta.clone())
+        }
+        TemporalOp::RightOuterJoin { theta } => {
+            plan.right_outer_join(rhs.expect("binary"), theta.clone())
+        }
+        TemporalOp::FullOuterJoin { theta } => {
+            plan.full_outer_join(rhs.expect("binary"), theta.clone())
+        }
+        TemporalOp::AntiJoin { theta } => plan.anti_join(rhs.expect("binary"), theta.clone()),
+    }
+}
+
+/// Chains over two one-data-column relations covering filter, project,
+/// aggregation, every join family and every set operation — and, through
+/// the reductions, both adjustment modes (joins align, group-based
+/// operators and set ops normalize) plus absorb.
+fn chains_1col() -> Vec<Vec<TemporalOp>> {
+    let count = vec![(AggCall::count_star(), "cnt".to_string())];
+    vec![
+        vec![
+            TemporalOp::Join {
+                theta: Some(col(0).eq(col(3))),
+            },
+            TemporalOp::Selection {
+                predicate: col(0).ge(lit(1i64)),
+            },
+            TemporalOp::Projection { attrs: vec![0] },
+        ],
+        // θ = None: the group-construction join is a pure overlap join, so
+        // the default planner's heuristic picks the interval sweep join —
+        // this chain differentially tests IntervalJoinExec's batch path.
+        vec![
+            TemporalOp::LeftOuterJoin { theta: None },
+            TemporalOp::Aggregation {
+                group: vec![0],
+                aggs: count.clone(),
+            },
+        ],
+        vec![
+            TemporalOp::FullOuterJoin {
+                theta: Some(col(0).eq(col(3))),
+            },
+            TemporalOp::Projection { attrs: vec![0, 1] },
+        ],
+        vec![
+            TemporalOp::AntiJoin {
+                theta: Some(col(0).eq(col(3))),
+            },
+            TemporalOp::Selection {
+                predicate: col(0).ge(lit(0i64)),
+            },
+        ],
+        vec![
+            TemporalOp::Union,
+            TemporalOp::Selection {
+                predicate: col(0).lt(lit(4i64)),
+            },
+        ],
+        vec![
+            TemporalOp::Difference,
+            TemporalOp::Projection { attrs: vec![0] },
+        ],
+        vec![
+            TemporalOp::Intersection,
+            TemporalOp::Aggregation {
+                group: vec![],
+                aggs: count,
+            },
+        ],
+    ]
+}
+
+fn check_chains(r: &TemporalRelation, s: &TemporalRelation, label: &str) {
+    let planner = Planner::default();
+    for (i, chain) in chains_1col().iter().enumerate() {
+        let mut plan = apply_plan(
+            &chain[0],
+            TemporalPlan::scan(r),
+            Some(TemporalPlan::scan(s)),
+        )
+        .unwrap_or_else(|e| panic!("{label} chain {i}: compose: {e}"));
+        for op in &chain[1..] {
+            plan = apply_plan(op, plan, None)
+                .unwrap_or_else(|e| panic!("{label} chain {i}: compose: {e}"));
+        }
+        assert_paths_identical(&plan, &planner, &format!("{label} chain {i}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Pipelines over the paper's synthetic datasets: batch ≡ row on Ddisj
+    /// and Deq of random sizes.
+    #[test]
+    fn batch_equals_row_on_ddisj_and_deq(n in 2usize..7) {
+        let (r, s) = ddisj(n);
+        check_chains(&r, &s, &format!("ddisj({n})"));
+        let (r, s) = deq(n);
+        check_chains(&r, &s, &format!("deq({n})"));
+    }
+
+    /// Pipelines on Drand (random intervals, asymmetric schemas).
+    #[test]
+    fn batch_equals_row_on_drand(n in 2usize..7, seed in 0u64..1000) {
+        let (r, s) = drand(n, seed);
+        let planner = Planner::default();
+        // concat row = (id, ts, te, a, min, max, ts, te)
+        let chains: Vec<Vec<TemporalOp>> = vec![
+            vec![
+                TemporalOp::Join { theta: Some(col(0).lt(col(3))) },
+                TemporalOp::Projection { attrs: vec![0] },
+            ],
+            vec![
+                TemporalOp::LeftOuterJoin { theta: Some(col(0).lt(col(3))) },
+                TemporalOp::Selection { predicate: col(1).ge(lit(0i64)) },
+                TemporalOp::Projection { attrs: vec![0, 1] },
+            ],
+            vec![
+                TemporalOp::AntiJoin { theta: Some(col(0).eq(col(3))) },
+                TemporalOp::Aggregation {
+                    group: vec![0],
+                    aggs: vec![(AggCall::count_star(), "cnt".to_string())],
+                },
+            ],
+        ];
+        for (i, chain) in chains.iter().enumerate() {
+            let mut plan = apply_plan(
+                &chain[0],
+                TemporalPlan::scan(&r),
+                Some(TemporalPlan::scan(&s)),
+            ).unwrap_or_else(|e| panic!("drand chain {i}: compose: {e}"));
+            for op in &chain[1..] {
+                plan = apply_plan(op, plan, None)
+                    .unwrap_or_else(|e| panic!("drand chain {i}: compose: {e}"));
+            }
+            assert_paths_identical(&plan, &planner, &format!("drand({n},{seed}) chain {i}"));
+        }
+    }
+
+    /// The raw primitives: alignment, normalization and the gaps-only
+    /// anti-join sweep — both adjustment modes, batch ≡ row.
+    #[test]
+    fn batch_equals_row_on_raw_primitives(seed in 0u64..500) {
+        let r = common::random_trel(seed, 14, 4, 30);
+        let s = common::random_trel(seed + 10_000, 14, 4, 30);
+        let planner = Planner::default();
+        let theta = col(0).eq(col(3));
+
+        let align = TemporalPlan::scan(&r)
+            .align(TemporalPlan::scan(&s), Some(theta.clone()))
+            .unwrap();
+        assert_paths_identical(&align, &planner, &format!("align seed {seed}"));
+
+        let normalize = TemporalPlan::scan(&r)
+            .normalize(TemporalPlan::scan(&s), &[(0, 0)])
+            .unwrap();
+        assert_paths_identical(&normalize, &planner, &format!("normalize seed {seed}"));
+
+        let gaps = TemporalPlan::scan(&r)
+            .anti_join_optimized(TemporalPlan::scan(&s), Some(theta))
+            .unwrap();
+        assert_paths_identical(&gaps, &planner, &format!("gaps-only seed {seed}"));
+
+        let absorb = TemporalPlan::scan(&r).absorb();
+        assert_paths_identical(&absorb, &planner, &format!("absorb seed {seed}"));
+    }
+}
+
+// ---- batch-boundary edge cases ---------------------------------------
+
+/// A sweep group larger than `BATCH_SIZE`: one r tuple split at ~1.5·1024
+/// interior points, so the adjustment's sorted group spans several input
+/// batches — and the output spans several output batches.
+#[test]
+fn sweep_group_spanning_batches() {
+    let k = BATCH_SIZE as i64 + 512;
+    let r = TemporalRelation::from_rows(
+        Schema::new(vec![Column::new("k", DataType::Int)]),
+        vec![(vec![Value::Int(0)], Interval::of(0, 2 * k + 2))],
+    )
+    .unwrap();
+    // Disjoint unit intervals strictly inside r's interval: every endpoint
+    // is a split point.
+    let s = TemporalRelation::from_rows(
+        Schema::new(vec![Column::new("k", DataType::Int)]),
+        (0..k)
+            .map(|i| (vec![Value::Int(i)], Interval::of(2 * i + 1, 2 * i + 2)))
+            .collect(),
+    )
+    .unwrap();
+    let planner = Planner::default();
+    let normalize = TemporalPlan::scan(&r)
+        .normalize(TemporalPlan::scan(&s), &[])
+        .unwrap();
+    assert_paths_identical(&normalize, &planner, "giant normalize group");
+    let align = TemporalPlan::scan(&r)
+        .align(TemporalPlan::scan(&s), None)
+        .unwrap();
+    assert_paths_identical(&align, &planner, "giant align group");
+}
+
+/// An absorb group larger than `BATCH_SIZE` (nested same-value intervals):
+/// group state must carry across input batches.
+#[test]
+fn absorb_group_spanning_batches() {
+    let k = BATCH_SIZE as i64 + 300;
+    let schema = Schema::new(vec![
+        Column::new("v", DataType::Int),
+        Column::new("ts", DataType::Int),
+        Column::new("te", DataType::Int),
+    ]);
+    // (0, [i, 2k - i)) for i in 0..k — all absorbed into (0, [0, 2k)).
+    let rel = Relation::from_values(
+        schema,
+        (0..k)
+            .map(|i| vec![Value::Int(0), Value::Int(i), Value::Int(2 * k - i)])
+            .collect(),
+    )
+    .unwrap();
+    let lp = temporal_alignment::core::primitives::absorb::AbsorbNode::plan(
+        LogicalPlan::inline_scan(rel),
+    );
+    assert_paths_identical_logical(&lp, &Planner::default(), "giant absorb group");
+}
+
+/// Inputs of exactly `BATCH_SIZE` rows: one full batch, then `None` — and
+/// empty inputs: `None` immediately, never an empty batch.
+#[test]
+fn exact_batch_size_and_empty_inputs() {
+    let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+    let exact = Relation::from_values(
+        schema.clone(),
+        (0..BATCH_SIZE as i64)
+            .map(|i| vec![Value::Int(i)])
+            .collect(),
+    )
+    .unwrap();
+    let mut scan = temporal_alignment::engine::exec::SeqScanExec::new(exact.into_shared());
+    let first = scan.next_batch().unwrap().expect("one full batch");
+    assert_eq!(first.len(), BATCH_SIZE);
+    assert!(scan.next_batch().unwrap().is_none());
+
+    let empty = Relation::empty(schema.clone());
+    let mut scan = temporal_alignment::engine::exec::SeqScanExec::new(empty.into_shared());
+    assert!(scan.next_batch().unwrap().is_none());
+    assert!(scan.next_batch().unwrap().is_none());
+}
+
+/// A filter that empties whole input batches must skip them (batches are
+/// never empty) and still terminate.
+#[test]
+fn filter_skips_emptied_batches() {
+    let n = 3 * BATCH_SIZE as i64;
+    let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+    let rel = Relation::from_values(schema, (0..n).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+    // Keep only a sliver from the middle batch.
+    let lo = BATCH_SIZE as i64 + 10;
+    let hi = lo + 5;
+    let lp =
+        LogicalPlan::inline_scan(rel.clone()).filter(col(0).ge(lit(lo)).and(col(0).lt(lit(hi))));
+    assert_paths_identical_logical(&lp, &Planner::default(), "middle sliver filter");
+    // Keep nothing at all.
+    let lp = LogicalPlan::inline_scan(rel).filter(col(0).lt(lit(0i64)));
+    let physical = Planner::default().plan(&lp, &Catalog::new()).unwrap();
+    let mut exec = physical.execute().unwrap();
+    assert!(exec.next_batch().unwrap().is_none());
+}

@@ -1,8 +1,11 @@
 //! The future-work extension (paper Sec. 8): a sweep-based interval
 //! overlap join for the group-construction step of the temporal
 //! primitives, when "conventional join techniques cannot be evaluated
-//! efficiently" (θ without equality predicates). Opt-in via
-//! `enable_intervaljoin`; results must be identical either way.
+//! efficiently" (θ without equality predicates). The default planner
+//! auto-detects the overlap pattern (`enable_intervaljoin_auto`) and costs
+//! the sweep against the nested loop; `PlannerConfig::paper()` keeps the
+//! paper-faithful behaviour, and `enable_intervaljoin` force-allows the
+//! candidate. Results must be identical either way.
 
 mod common;
 
@@ -13,12 +16,12 @@ use temporal_alignment::engine::prelude::*;
 fn sweep_config() -> PlannerConfig {
     PlannerConfig {
         enable_intervaljoin: true,
-        ..Default::default()
+        ..PlannerConfig::paper()
     }
 }
 
 #[test]
-fn planner_uses_interval_join_only_when_enabled() {
+fn heuristic_picks_interval_join_paper_config_does_not() {
     let r = random_trel(21, 30, 5, 40);
     let s = random_trel(22, 30, 5, 40);
     // The alignment group-construction join with θ = true is a pure
@@ -31,11 +34,24 @@ fn planner_uses_interval_join_only_when_enabled() {
     .unwrap();
     let catalog = temporal_engine::catalog::Catalog::new();
 
-    let default_physical = Planner::default().plan(&plan, &catalog).unwrap();
+    let paper_physical = Planner::new(PlannerConfig::paper())
+        .plan(&plan, &catalog)
+        .unwrap();
     assert!(
-        default_physical.explain().contains("NestedLoopJoin[Left]"),
-        "paper-faithful default must nested-loop:\n{}",
-        default_physical.explain()
+        paper_physical.explain().contains("NestedLoopJoin[Left]"),
+        "paper-faithful config must nested-loop:\n{}",
+        paper_physical.explain()
+    );
+
+    // The default planner auto-detects the overlap pattern and the sweep
+    // wins on cost — no manual switch needed.
+    let auto_physical = Planner::default().plan(&plan, &catalog).unwrap();
+    assert!(
+        auto_physical
+            .explain()
+            .contains("IntervalJoin[Left] (sweep)"),
+        "heuristic must pick the sweep join:\n{}",
+        auto_physical.explain()
     );
 
     let sweep_physical = Planner::new(sweep_config()).plan(&plan, &catalog).unwrap();
@@ -43,7 +59,7 @@ fn planner_uses_interval_join_only_when_enabled() {
         sweep_physical
             .explain()
             .contains("IntervalJoin[Left] (sweep)"),
-        "extension must pick the sweep join:\n{}",
+        "forced extension must pick the sweep join:\n{}",
         sweep_physical.explain()
     );
 }
@@ -97,11 +113,19 @@ fn sql_set_switch_controls_the_extension() {
     let mut session = Session::new();
     session.register_temporal("r", &r).unwrap();
     let q = "SELECT * FROM (r r1 ALIGN r r2 ON 1 = 1) x";
-    let before = session.explain(q).unwrap();
-    assert!(!before.contains("IntervalJoin"), "{before}");
+    // The heuristic is on by default, so a fresh session sweeps.
+    let auto = session.explain(q).unwrap();
+    assert!(auto.contains("IntervalJoin"), "{auto}");
+    // Switching the heuristic off restores the paper's nested loop …
+    session
+        .execute("SET enable_intervaljoin_auto = off")
+        .unwrap();
+    let off = session.explain(q).unwrap();
+    assert!(!off.contains("IntervalJoin"), "{off}");
+    // … and the manual force-switch still works on top of that.
     session.execute("SET enable_intervaljoin = on").unwrap();
-    let after = session.explain(q).unwrap();
-    assert!(after.contains("IntervalJoin"), "{after}");
+    let forced = session.explain(q).unwrap();
+    assert!(forced.contains("IntervalJoin"), "{forced}");
 }
 
 #[test]
