@@ -1,0 +1,745 @@
+//! The name-based, lazy front door: [`Database`] and [`TemporalFrame`].
+//!
+//! [`Database`] owns the single [`Catalog`] + [`Planner`] (and hence the
+//! GUC switches) behind *both* query surfaces: Rust frames built here and
+//! the SQL session (`temporal_sql::Session`) wrap the same shared state,
+//! so a table registered through one surface is queryable through the
+//! other and a `SET enable_*` applies to both.
+//!
+//! [`TemporalFrame`] is a lazy builder over [`TemporalPlan`], in the
+//! spirit of a Polars `LazyFrame`: every operator of the sequenced
+//! temporal algebra composes into one logical plan, expressions reference
+//! columns *by name* (`col("team")`, qualified `col("staff.team")`), and
+//! nothing executes until [`TemporalFrame::collect`]. Builder errors
+//! (unknown columns, incompatible schemas) are carried inside the frame
+//! and surface at collect/explain time, which keeps chains fluent.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use temporal_engine::catalog::Catalog;
+use temporal_engine::prelude::*;
+
+use crate::algebra::TemporalPlan;
+use crate::error::{TemporalError, TemporalResult};
+use crate::trel::TemporalRelation;
+
+/// Shared database state: one catalog, one planner.
+#[derive(Debug, Default)]
+struct DbState {
+    catalog: Catalog,
+    planner: Planner,
+}
+
+/// The unified front door: a shared [`Catalog`] + [`Planner`] behind the
+/// Rust frame API and the SQL session.
+///
+/// `Database` is a cheap handle (`Clone` shares the underlying state), so
+/// frames, sessions and threads can all point at the same tables and
+/// planner configuration.
+///
+/// ```
+/// use temporal_core::prelude::*;
+/// use temporal_engine::prelude::*;
+///
+/// let db = Database::new();
+/// let staff = TemporalRelation::from_rows(
+///     Schema::new(vec![
+///         Column::new("person", DataType::Str),
+///         Column::new("team", DataType::Str),
+///     ]),
+///     vec![
+///         (vec![Value::str("ann"), Value::str("db")], Interval::of(0, 8)),
+///         (vec![Value::str("sam"), Value::str("ui")], Interval::of(4, 10)),
+///     ],
+/// )
+/// .unwrap();
+/// db.register("staff", &staff).unwrap();
+///
+/// // Lazy, name-based query: nothing runs until collect().
+/// let out = db
+///     .table("staff")
+///     .unwrap()
+///     .filter(col("team").eq(lit("db")))
+///     .collect()
+///     .unwrap();
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(db.list_tables(), vec!["staff".to_string()]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    inner: Arc<RwLock<DbState>>,
+}
+
+impl Database {
+    /// A fresh database with the default planner configuration.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// A fresh database with an explicit planner configuration.
+    pub fn with_config(config: PlannerConfig) -> Database {
+        Database {
+            inner: Arc::new(RwLock::new(DbState {
+                catalog: Catalog::new(),
+                planner: Planner::new(config),
+            })),
+        }
+    }
+
+    fn state(&self) -> RwLockReadGuard<'_, DbState> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn state_mut(&self) -> RwLockWriteGuard<'_, DbState> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Do two handles share the same underlying database?
+    pub fn same_as(&self, other: &Database) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    // ---- catalog ---------------------------------------------------------
+
+    /// Register a temporal relation as a table; errors if the name is
+    /// taken. Rows are shared, not copied.
+    pub fn register(&self, name: impl Into<String>, rel: &TemporalRelation) -> TemporalResult<()> {
+        self.state_mut()
+            .catalog
+            .register_shared(name, Arc::new(rel.rel().clone()))
+            .map_err(TemporalError::from)
+    }
+
+    /// Register or replace a temporal relation as a table.
+    pub fn register_or_replace(&self, name: impl Into<String>, rel: &TemporalRelation) {
+        self.state_mut()
+            .catalog
+            .register_or_replace_shared(name, Arc::new(rel.rel().clone()));
+    }
+
+    /// Register a plain (not necessarily temporal) relation — such tables
+    /// are reachable from SQL and from [`Database::relation`], but not
+    /// from [`Database::table`], which requires the temporal shape.
+    pub fn register_relation(&self, name: impl Into<String>, rel: Relation) -> TemporalResult<()> {
+        self.state_mut()
+            .catalog
+            .register(name, rel)
+            .map_err(TemporalError::from)
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.state_mut().catalog.drop_table(name).is_some()
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn list_tables(&self) -> Vec<String> {
+        self.state().catalog.list_tables()
+    }
+
+    /// Fetch a registered relation (shared, no copy).
+    pub fn relation(&self, name: &str) -> TemporalResult<Arc<Relation>> {
+        self.state().catalog.get(name).map_err(TemporalError::from)
+    }
+
+    // ---- configuration ---------------------------------------------------
+
+    /// Set a planner switch by its GUC name (e.g. `enable_mergejoin`) —
+    /// applies to every frame and SQL session sharing this database.
+    pub fn set(&self, guc: &str, value: bool) -> TemporalResult<()> {
+        self.state_mut()
+            .planner
+            .config
+            .set(guc, value)
+            .map_err(TemporalError::from)
+    }
+
+    /// A copy of the current planner configuration.
+    pub fn config(&self) -> PlannerConfig {
+        self.state().planner.config
+    }
+
+    /// Run `f` with shared access to the catalog and planner (the hook the
+    /// SQL session executes through).
+    pub fn read<R>(&self, f: impl FnOnce(&Catalog, &Planner) -> R) -> R {
+        let state = self.state();
+        f(&state.catalog, &state.planner)
+    }
+
+    /// Run `f` with exclusive access to the catalog and planner.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Catalog, &mut Planner) -> R) -> R {
+        let mut state = self.state_mut();
+        let DbState { catalog, planner } = &mut *state;
+        f(catalog, planner)
+    }
+
+    // ---- frames ----------------------------------------------------------
+
+    /// Start a lazy frame over a registered temporal table. Columns are
+    /// qualified with the table name, so `col("staff.team")` resolves.
+    pub fn table(&self, name: &str) -> TemporalResult<TemporalFrame> {
+        let rel = self.relation(name)?;
+        let schema = rel.schema().with_qualifier(name);
+        Ok(TemporalFrame {
+            db: self.clone(),
+            state: TemporalPlan::table(name, schema),
+        })
+    }
+
+    /// Start a lazy frame over an unregistered temporal relation (rows
+    /// shared, not copied).
+    pub fn frame(&self, rel: &TemporalRelation) -> TemporalFrame {
+        TemporalFrame {
+            db: self.clone(),
+            state: Ok(TemporalPlan::scan(rel)),
+        }
+    }
+
+    /// Execute a composed [`TemporalPlan`] against this database. The
+    /// lock is held only while *planning* — the physical plan captures
+    /// its `Arc<Relation>` scans, so execution runs without blocking
+    /// concurrent registration or `SET` on the shared database.
+    pub fn run(&self, plan: &TemporalPlan) -> TemporalResult<TemporalRelation> {
+        let physical = self.physical(plan)?;
+        let out = physical.collect()?;
+        TemporalRelation::new(out)
+    }
+
+    /// Plan (and optimize) a composed [`TemporalPlan`] under the shared
+    /// lock, returning the self-contained physical plan.
+    fn physical(&self, plan: &TemporalPlan) -> TemporalResult<PhysicalPlan> {
+        self.read(|catalog, planner| plan.physical(planner, catalog))
+    }
+}
+
+/// A lazy, name-based temporal query: operators of the sequenced temporal
+/// algebra compose into one [`TemporalPlan`]; [`TemporalFrame::collect`]
+/// plans, optimizes and executes the whole pipeline in a single
+/// `Planner::run` over the batch executor.
+///
+/// ```
+/// use temporal_core::prelude::*;
+/// use temporal_engine::prelude::*;
+///
+/// let db = Database::new();
+/// let staff = TemporalRelation::from_rows(
+///     Schema::new(vec![
+///         Column::new("person", DataType::Str),
+///         Column::new("team", DataType::Str),
+///     ]),
+///     vec![
+///         (vec![Value::str("ann"), Value::str("db")], Interval::of(0, 8)),
+///         (vec![Value::str("joe"), Value::str("db")], Interval::of(2, 6)),
+///     ],
+/// )
+/// .unwrap();
+/// let oncall = TemporalRelation::from_rows(
+///     Schema::new(vec![Column::new("team", DataType::Str)]),
+///     vec![(vec![Value::str("db")], Interval::of(3, 5))],
+/// )
+/// .unwrap();
+/// db.register("staff", &staff).unwrap();
+/// db.register("oncall", &oncall).unwrap();
+///
+/// // Who was staffed while their team was on call? (⋈ᵀ then ϑᵀ)
+/// let headcount = db
+///     .table("staff")
+///     .unwrap()
+///     .temporal_join(db.table("oncall").unwrap(), col("staff.team").eq(col("oncall.team")))
+///     .aggregate(&[], vec![(AggCall::count_star(), "cnt")])
+///     .collect()
+///     .unwrap();
+/// assert!(headcount.iter().all(|(d, _)| d[0] == Value::Int(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemporalFrame {
+    db: Database,
+    state: TemporalResult<TemporalPlan>,
+}
+
+impl TemporalFrame {
+    // ---- plumbing --------------------------------------------------------
+
+    /// Apply `f` to the carried plan, deferring any error to collect time.
+    fn lift(self, f: impl FnOnce(TemporalPlan) -> TemporalResult<TemporalPlan>) -> TemporalFrame {
+        TemporalFrame {
+            db: self.db,
+            state: self.state.and_then(f),
+        }
+    }
+
+    /// Apply a binary operator; both frames must share one [`Database`].
+    fn lift2(
+        self,
+        other: TemporalFrame,
+        f: impl FnOnce(TemporalPlan, TemporalPlan) -> TemporalResult<TemporalPlan>,
+    ) -> TemporalFrame {
+        let state = (|| {
+            if !self.db.same_as(&other.db) {
+                return Err(TemporalError::Incompatible(
+                    "frames belong to different Database instances; combine frames \
+                     created from the same Database"
+                        .into(),
+                ));
+            }
+            f(self.state?, other.state?)
+        })();
+        TemporalFrame { db: self.db, state }
+    }
+
+    /// The frame's output schema (`data…, ts, te`).
+    pub fn schema(&self) -> TemporalResult<Schema> {
+        Ok(self.state.as_ref().map_err(Clone::clone)?.schema())
+    }
+
+    /// The composed logical plan (errors if the chain already failed).
+    pub fn plan(&self) -> TemporalResult<&TemporalPlan> {
+        self.state.as_ref().map_err(Clone::clone)
+    }
+
+    /// Consume into the composed [`TemporalPlan`].
+    pub fn into_plan(self) -> TemporalResult<TemporalPlan> {
+        self.state
+    }
+
+    /// The database this frame queries.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Resolve a column name to its position in the frame's schema.
+    fn resolve_index(schema: &Schema, name: &str) -> TemporalResult<usize> {
+        Ok(temporal_engine::expr::resolve_name(name, schema)?)
+    }
+
+    fn resolve_indices(plan: &TemporalPlan, names: &[&str]) -> TemporalResult<Vec<usize>> {
+        let schema = plan.schema();
+        names
+            .iter()
+            .map(|n| Self::resolve_index(&schema, n))
+            .collect()
+    }
+
+    // ---- tuple-based operators (aligner) ---------------------------------
+
+    /// σᵀ_θ: keep rows satisfying `predicate` (named references resolve
+    /// against this frame's schema).
+    pub fn filter(self, predicate: Expr) -> TemporalFrame {
+        self.lift(|p| p.selection(predicate))
+    }
+
+    /// ×ᵀ: temporal Cartesian product.
+    pub fn cartesian_product(self, other: TemporalFrame) -> TemporalFrame {
+        self.lift2(other, |l, r| l.cartesian_product(r))
+    }
+
+    /// ⋈ᵀ_θ: temporal inner join; `theta` is expressed over the
+    /// concatenation of both frames' rows (use qualified names such as
+    /// `col("staff.team")` when both sides share column names).
+    pub fn temporal_join(
+        self,
+        other: TemporalFrame,
+        theta: impl Into<Option<Expr>>,
+    ) -> TemporalFrame {
+        let theta = theta.into();
+        self.lift2(other, |l, r| l.join(r, theta))
+    }
+
+    /// ⟕ᵀ_θ: temporal left outer join.
+    pub fn left_outer_join(
+        self,
+        other: TemporalFrame,
+        theta: impl Into<Option<Expr>>,
+    ) -> TemporalFrame {
+        let theta = theta.into();
+        self.lift2(other, |l, r| l.left_outer_join(r, theta))
+    }
+
+    /// ⟖ᵀ_θ: temporal right outer join.
+    pub fn right_outer_join(
+        self,
+        other: TemporalFrame,
+        theta: impl Into<Option<Expr>>,
+    ) -> TemporalFrame {
+        let theta = theta.into();
+        self.lift2(other, |l, r| l.right_outer_join(r, theta))
+    }
+
+    /// ⟗ᵀ_θ: temporal full outer join.
+    pub fn full_outer_join(
+        self,
+        other: TemporalFrame,
+        theta: impl Into<Option<Expr>>,
+    ) -> TemporalFrame {
+        let theta = theta.into();
+        self.lift2(other, |l, r| l.full_outer_join(r, theta))
+    }
+
+    /// ▷ᵀ_θ: temporal anti join.
+    pub fn anti_join(self, other: TemporalFrame, theta: impl Into<Option<Expr>>) -> TemporalFrame {
+        let theta = theta.into();
+        self.lift2(other, |l, r| l.anti_join(r, theta))
+    }
+
+    /// ▷ᵀ_θ via the customized gaps-only primitive (Sec. 8 future work).
+    pub fn anti_join_optimized(
+        self,
+        other: TemporalFrame,
+        theta: impl Into<Option<Expr>>,
+    ) -> TemporalFrame {
+        let theta = theta.into();
+        self.lift2(other, |l, r| l.anti_join_optimized(r, theta))
+    }
+
+    // ---- group-based operators (splitter) --------------------------------
+
+    /// πᵀ_B: temporal projection onto the named data columns.
+    pub fn select(self, columns: &[&str]) -> TemporalFrame {
+        self.lift(|p| {
+            let idxs = Self::resolve_indices(&p, columns)?;
+            p.projection(&idxs)
+        })
+    }
+
+    /// πᵀ_B by position (the resolved form of [`TemporalFrame::select`]).
+    pub fn project(self, b: &[usize]) -> TemporalFrame {
+        self.lift(|p| p.projection(b))
+    }
+
+    /// ϑᵀ: temporal aggregation grouped by the named data columns.
+    /// Output schema: `group…, aggregates…, ts, te`.
+    pub fn aggregate(
+        self,
+        group_by: &[&str],
+        aggs: Vec<(AggCall, impl Into<String>)>,
+    ) -> TemporalFrame {
+        self.lift(|p| {
+            let idxs = Self::resolve_indices(&p, group_by)?;
+            p.aggregation(
+                &idxs,
+                aggs.into_iter().map(|(a, n)| (a, n.into())).collect(),
+            )
+        })
+    }
+
+    /// ϑᵀ grouped by position (the resolved form of
+    /// [`TemporalFrame::aggregate`]).
+    pub fn aggregate_at(
+        self,
+        group_by: &[usize],
+        aggs: Vec<(AggCall, impl Into<String>)>,
+    ) -> TemporalFrame {
+        let group_by = group_by.to_vec();
+        self.lift(move |p| {
+            p.aggregation(
+                &group_by,
+                aggs.into_iter().map(|(a, n)| (a, n.into())).collect(),
+            )
+        })
+    }
+
+    /// ∪ᵀ: temporal union.
+    pub fn union(self, other: TemporalFrame) -> TemporalFrame {
+        self.lift2(other, |l, r| l.union(r))
+    }
+
+    /// −ᵀ: temporal difference.
+    pub fn difference(self, other: TemporalFrame) -> TemporalFrame {
+        self.lift2(other, |l, r| l.difference(r))
+    }
+
+    /// ∩ᵀ: temporal intersection.
+    pub fn intersection(self, other: TemporalFrame) -> TemporalFrame {
+        self.lift2(other, |l, r| l.intersection(r))
+    }
+
+    // ---- primitives ------------------------------------------------------
+
+    /// The alignment primitive `r Φ_θ s` itself.
+    pub fn align(self, other: TemporalFrame, theta: impl Into<Option<Expr>>) -> TemporalFrame {
+        let theta = theta.into();
+        self.lift2(other, |l, r| l.align(r, theta))
+    }
+
+    /// The normalization primitive `N_B(r; s)`, grouping on the named
+    /// columns (resolved in each frame's own schema).
+    pub fn normalize_using(self, other: TemporalFrame, columns: &[&str]) -> TemporalFrame {
+        let columns: Vec<String> = columns.iter().map(|s| s.to_string()).collect();
+        self.lift2(other, move |l, r| {
+            let (ls, rs) = (l.schema(), r.schema());
+            let pairs = columns
+                .iter()
+                .map(|n| Ok((Self::resolve_index(&ls, n)?, Self::resolve_index(&rs, n)?)))
+                .collect::<TemporalResult<Vec<_>>>()?;
+            l.normalize(r, &pairs)
+        })
+    }
+
+    /// The absorb operator α.
+    pub fn absorb(self) -> TemporalFrame {
+        self.lift(|p| Ok(p.absorb()))
+    }
+
+    /// `U(r)`: timestamp propagation — appends `us`/`ue` copies of the
+    /// interval so θ conditions can reference the original timestamps.
+    pub fn extend(self) -> TemporalFrame {
+        self.lift(|p| p.extend())
+    }
+
+    /// Re-qualify every column with `alias`, so self-joins can tell their
+    /// sides apart: `db.table("r")?.alias("r2")` makes `col("r2.k")`
+    /// resolvable.
+    pub fn alias(self, alias: &str) -> TemporalFrame {
+        let alias = alias.to_string();
+        self.lift(move |p| Ok(p.aliased(&alias)))
+    }
+
+    // ---- execution -------------------------------------------------------
+
+    /// Plan, optimize and execute the whole pipeline with a single
+    /// `Planner::run` (batch execution), materializing the result.
+    pub fn collect(&self) -> TemporalResult<TemporalRelation> {
+        let plan = self.plan()?;
+        self.db.run(plan)
+    }
+
+    /// Execute and stream the result as [`RowBatch`]es instead of one
+    /// materialized relation. As with [`TemporalFrame::collect`], the
+    /// shared lock is dropped before execution starts.
+    pub fn collect_batches(&self) -> TemporalResult<Vec<RowBatch>> {
+        let physical = self.db.physical(self.plan()?)?;
+        let mut exec = physical.execute().map_err(TemporalError::from)?;
+        let mut out = Vec::new();
+        while let Some(batch) = exec.next_batch().map_err(TemporalError::from)? {
+            out.push(batch);
+        }
+        Ok(out)
+    }
+
+    /// EXPLAIN: the optimized physical plan for the whole pipeline, as one
+    /// costed tree — the same rendering SQL `EXPLAIN` produces.
+    pub fn explain(&self) -> TemporalResult<String> {
+        let plan = self.plan()?;
+        self.db
+            .read(|catalog, planner| plan.explain(planner, catalog))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::TemporalAlgebra;
+    use crate::interval::Interval;
+
+    fn staff() -> TemporalRelation {
+        TemporalRelation::from_rows(
+            Schema::new(vec![
+                Column::new("person", DataType::Str),
+                Column::new("team", DataType::Str),
+            ]),
+            vec![
+                (
+                    vec![Value::str("ann"), Value::str("db")],
+                    Interval::of(0, 8),
+                ),
+                (
+                    vec![Value::str("joe"), Value::str("db")],
+                    Interval::of(2, 6),
+                ),
+                (
+                    vec![Value::str("sam"), Value::str("ui")],
+                    Interval::of(4, 10),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn oncall() -> TemporalRelation {
+        TemporalRelation::from_rows(
+            Schema::new(vec![Column::new("team", DataType::Str)]),
+            vec![
+                (vec![Value::str("db")], Interval::of(3, 5)),
+                (vec![Value::str("ui")], Interval::of(5, 7)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.register("staff", &staff()).unwrap();
+        db.register("oncall", &oncall()).unwrap();
+        db
+    }
+
+    #[test]
+    fn lazy_filter_collects() {
+        let db = db();
+        let out = db
+            .table("staff")
+            .unwrap()
+            .filter(col("team").eq(lit("db")))
+            .collect()
+            .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn qualified_join_matches_algebra() {
+        let db = db();
+        let frame = db
+            .table("staff")
+            .unwrap()
+            .temporal_join(
+                db.table("oncall").unwrap(),
+                col("staff.team").eq(col("oncall.team")),
+            )
+            .collect()
+            .unwrap();
+        let alg = TemporalAlgebra::default();
+        let eager = alg
+            .join(&staff(), &oncall(), Some(col(1usize).eq(col(2usize + 2))))
+            .unwrap();
+        assert!(frame.same_set(&eager), "frame:\n{frame}\neager:\n{eager}");
+    }
+
+    #[test]
+    fn builder_errors_surface_at_collect() {
+        let db = db();
+        let frame = db.table("staff").unwrap().filter(col("tem").eq(lit("db")));
+        let err = frame.collect().unwrap_err().to_string();
+        assert!(err.contains("did you mean"), "{err}");
+        // explain carries the same deferred error
+        assert!(frame.explain().is_err());
+    }
+
+    #[test]
+    fn ambiguous_after_join_requires_qualifier() {
+        let db = db();
+        let frame = db
+            .table("staff")
+            .unwrap()
+            .temporal_join(db.table("oncall").unwrap(), None)
+            .filter(col("team").eq(lit("db")));
+        let err = frame.collect().unwrap_err().to_string();
+        assert!(err.contains("ambiguous"), "{err}");
+        // Qualified, it resolves: the join output keeps qualifiers.
+        let ok = db
+            .table("staff")
+            .unwrap()
+            .temporal_join(db.table("oncall").unwrap(), None)
+            .filter(col("oncall.team").eq(lit("db")));
+        assert!(ok.collect().is_ok());
+    }
+
+    #[test]
+    fn select_and_aggregate_by_name() {
+        let db = db();
+        let proj = db
+            .table("staff")
+            .unwrap()
+            .select(&["team"])
+            .collect()
+            .unwrap();
+        assert!(proj.iter().all(|(d, _)| d.len() == 1));
+        let agg = db
+            .table("staff")
+            .unwrap()
+            .aggregate(&["team"], vec![(AggCall::count_star(), "cnt")])
+            .collect()
+            .unwrap();
+        assert_eq!(agg.schema().names(), vec!["team", "cnt", "ts", "te"]);
+    }
+
+    #[test]
+    fn alias_enables_self_join() {
+        let db = db();
+        let left = db.table("staff").unwrap().alias("a");
+        let right = db.table("staff").unwrap().alias("b");
+        let theta = col("a.team")
+            .eq(col("b.team"))
+            .and(col("a.person").ne(col("b.person")));
+        let out = left.anti_join(right, theta).collect().unwrap();
+        // sam never overlaps a teammate; ann/joe do over [2,6).
+        assert!(out.iter().any(|(d, _)| d[0] == Value::str("sam")));
+    }
+
+    #[test]
+    fn frames_from_different_databases_refuse_to_join() {
+        let db1 = db();
+        let db2 = db();
+        let err = db1
+            .table("staff")
+            .unwrap()
+            .temporal_join(db2.table("oncall").unwrap(), None)
+            .collect()
+            .unwrap_err();
+        assert!(err.to_string().contains("different Database"), "{err}");
+    }
+
+    #[test]
+    fn collect_batches_matches_collect() {
+        let db = db();
+        let frame = db
+            .table("staff")
+            .unwrap()
+            .temporal_join(db.table("oncall").unwrap(), None);
+        let collected = frame.collect().unwrap();
+        let batched: usize = frame
+            .collect_batches()
+            .unwrap()
+            .iter()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(collected.len(), batched);
+    }
+
+    #[test]
+    fn drop_and_list_tables() {
+        let db = db();
+        assert_eq!(
+            db.list_tables(),
+            vec!["oncall".to_string(), "staff".to_string()]
+        );
+        assert!(db.drop_table("oncall"));
+        assert!(!db.drop_table("oncall"));
+        assert!(db.table("oncall").is_err());
+    }
+
+    #[test]
+    fn guc_changes_apply_to_frames() {
+        let db = db();
+        db.set("enable_hashjoin", false).unwrap();
+        db.set("enable_mergejoin", false).unwrap();
+        let plan = db
+            .table("staff")
+            .unwrap()
+            .temporal_join(
+                db.table("oncall").unwrap(),
+                col("staff.team").eq(col("oncall.team")),
+            )
+            .explain()
+            .unwrap();
+        assert!(plan.contains("NestedLoopJoin"), "{plan}");
+        assert!(db.set("enable_time_travel", true).is_err());
+    }
+
+    #[test]
+    fn set_operations_and_extend() {
+        let db = db();
+        let teams = db.table("staff").unwrap().select(&["team"]);
+        let out = teams
+            .clone()
+            .difference(db.table("oncall").unwrap())
+            .collect()
+            .unwrap();
+        // every staffed team span minus the on-call windows is non-empty
+        assert!(!out.is_empty());
+        let extended = db.table("oncall").unwrap().extend().collect().unwrap();
+        assert_eq!(
+            extended.schema().names(),
+            vec!["team", "us", "ue", "ts", "te"]
+        );
+    }
+}

@@ -8,9 +8,11 @@
 //! equality, with the absorb operator α as a final post-processing step
 //! for tuple-based operators.
 
+mod frame;
 mod plan;
 mod reduction;
 
+pub use frame::{Database, TemporalFrame};
 pub use plan::TemporalPlan;
 pub use reduction::{
     reduce_aggregation, reduce_antijoin, reduce_join, reduce_projection, reduce_selection,
@@ -23,14 +25,17 @@ use crate::error::TemporalResult;
 use crate::primitives::absorb;
 use crate::trel::TemporalRelation;
 
-/// The temporal algebra evaluator: holds the planner (and hence the
-/// join-method switches) used for all reduced queries.
+/// The eager, positional compatibility surface of the temporal algebra:
+/// holds the planner (and hence the join-method switches) used for all
+/// reduced queries.
 ///
 /// Every method is a thin wrapper that compiles a one-operator
-/// [`TemporalPlan`] and executes it; multi-operator queries should be
-/// composed on [`TemporalPlan`] directly, which runs the *whole* pipeline
-/// with a single `Planner::run` instead of materializing a relation
-/// between operators.
+/// [`TemporalPlan`] — the same plans [`TemporalFrame`] builds — and
+/// executes it immediately. New code should prefer the name-based, lazy
+/// [`Database`] / [`TemporalFrame`] front door, which composes whole
+/// multi-operator queries into one pipeline and shares a catalog with the
+/// SQL surface; `TemporalAlgebra` remains for positional, one-shot calls
+/// over materialized relations.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct TemporalAlgebra {
     planner: Planner,

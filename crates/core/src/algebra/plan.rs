@@ -107,9 +107,16 @@ impl TemporalPlan {
 
     // ---- tuple-based operators (aligner) --------------------------------
 
-    /// σᵀ_θ(r) = σ_θ(r) — needs no adjustment (Table 2).
+    /// σᵀ_θ(r) = σ_θ(r) — needs no adjustment (Table 2). Named column
+    /// references in `predicate` are resolved against the input schema.
     pub fn selection(self, predicate: Expr) -> TemporalResult<TemporalPlan> {
-        let width = self.plan.schema().len();
+        let schema = self.plan.schema();
+        let predicate = if predicate.has_names() {
+            predicate.resolve(&schema)?
+        } else {
+            predicate
+        };
+        let width = schema.len();
         if let Some(m) = predicate.max_col() {
             if m >= width {
                 return Err(TemporalError::Incompatible(format!(
@@ -166,6 +173,7 @@ impl TemporalPlan {
         join_type: JoinType,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalPlan> {
+        let theta = self.resolve_theta(&other, theta)?;
         Ok(TemporalPlan {
             plan: reduce_join(
                 shared_operand(self.plan),
@@ -182,6 +190,7 @@ impl TemporalPlan {
         other: TemporalPlan,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalPlan> {
+        let theta = self.resolve_theta(&other, theta)?;
         Ok(TemporalPlan {
             plan: reduce_antijoin(shared_operand(self.plan), shared_operand(other.plan), theta)?,
         })
@@ -193,10 +202,27 @@ impl TemporalPlan {
         other: TemporalPlan,
         theta: Option<Expr>,
     ) -> TemporalResult<TemporalPlan> {
+        let theta = self.resolve_theta(&other, theta)?;
         // The gaps-only plan references each operand once.
         Ok(TemporalPlan {
             plan: antijoin_gaps_plan(self.plan, other.plan, theta)?,
         })
+    }
+
+    /// Resolve a θ condition (expressed over the concatenation of full
+    /// `self` and `other` rows) from named to positional references.
+    fn resolve_theta(
+        &self,
+        other: &TemporalPlan,
+        theta: Option<Expr>,
+    ) -> TemporalResult<Option<Expr>> {
+        match theta {
+            Some(t) if t.has_names() => {
+                let combined = self.plan.schema().concat(&other.plan.schema());
+                Ok(Some(t.resolve(&combined)?))
+            }
+            other => Ok(other),
+        }
     }
 
     // ---- group-based operators (splitter) -------------------------------
@@ -209,12 +235,24 @@ impl TemporalPlan {
     }
 
     /// ϑᵀ: temporal aggregation `_Bϑ_F(r) = _{B,T}ϑ_F(N_B(r; r))`.
-    /// Output schema: `B…, aggregates…, ts, te`.
+    /// Output schema: `B…, aggregates…, ts, te`. Named column references
+    /// in aggregate arguments are resolved against the input schema.
     pub fn aggregation(
         self,
         b: &[usize],
         aggs: Vec<(AggCall, String)>,
     ) -> TemporalResult<TemporalPlan> {
+        let schema = self.plan.schema();
+        let aggs = aggs
+            .into_iter()
+            .map(|(AggCall { func, arg }, alias)| {
+                let arg = match arg {
+                    Some(e) if e.has_names() => Some(e.resolve(&schema)?),
+                    other => other,
+                };
+                Ok((AggCall { func, arg }, alias))
+            })
+            .collect::<TemporalResult<Vec<_>>>()?;
         Ok(TemporalPlan {
             plan: reduce_aggregation(shared_operand(self.plan), b, aggs)?,
         })
@@ -245,6 +283,7 @@ impl TemporalPlan {
 
     /// The alignment primitive `r Φ_θ s` itself.
     pub fn align(self, other: TemporalPlan, theta: Option<Expr>) -> TemporalResult<TemporalPlan> {
+        let theta = self.resolve_theta(&other, theta)?;
         Ok(TemporalPlan {
             plan: align_plan(self.plan, other.plan, theta)?,
         })
@@ -266,6 +305,34 @@ impl TemporalPlan {
     pub fn absorb(self) -> TemporalPlan {
         TemporalPlan {
             plan: AbsorbNode::plan(self.plan),
+        }
+    }
+
+    /// `U(r)`: timestamp propagation (Def. 4) — appends copies of the
+    /// interval endpoints as data columns `us`/`ue` before the interval,
+    /// enabling θ conditions over the *original* timestamps.
+    pub fn extend(self) -> TemporalResult<TemporalPlan> {
+        Ok(TemporalPlan {
+            plan: crate::primitives::extend::extend_plan(
+                self.plan,
+                crate::primitives::extend::US,
+                crate::primitives::extend::UE,
+            )?,
+        })
+    }
+
+    /// Re-qualify every output column with `alias` (an identity
+    /// projection), so self-joins can tell their two sides apart:
+    /// `plan.aliased("a")` makes `col("a.k")` resolvable.
+    pub fn aliased(self, alias: &str) -> TemporalPlan {
+        let schema = self.plan.schema().with_qualifier(alias);
+        let exprs: Vec<Expr> = (0..schema.len()).map(Expr::Col).collect();
+        TemporalPlan {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                exprs,
+                schema,
+            },
         }
     }
 

@@ -134,23 +134,24 @@ pub fn reduce_join(
 
     let joined = r_aligned.join(s_aligned, join_type, cond);
 
-    // Project to (r data, s data, ts, te).
-    let mut items: Vec<(Expr, String)> = Vec::with_capacity(wr + ws - 2);
+    // Project to (r data, s data, ts, te); data columns keep their
+    // qualifiers so name-based expressions still resolve downstream.
+    let mut items: Vec<(Expr, Column)> = Vec::with_capacity(wr + ws - 2);
     for i in 0..wr - 2 {
-        items.push((col(i), rs.col(i).name.clone()));
+        items.push((col(i), rs.col(i).clone()));
     }
     for i in 0..ws - 2 {
-        items.push((col(wr + i), ss.col(i).name.clone()));
+        items.push((col(wr + i), ss.col(i).clone()));
     }
     items.push((
         Expr::Func(Func::Coalesce, vec![col(wr - 2), col(wr + ws - 2)]),
-        "ts".to_string(),
+        Column::new("ts", DataType::Int),
     ));
     items.push((
         Expr::Func(Func::Coalesce, vec![col(wr - 1), col(wr + ws - 1)]),
-        "te".to_string(),
+        Column::new("te", DataType::Int),
     ));
-    let projected = joined.project_named(items)?;
+    let projected = joined.project_columns(items);
 
     Ok(AbsorbNode::plan(projected))
 }

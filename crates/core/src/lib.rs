@@ -35,6 +35,14 @@
 //! nontemporal operators plus adjustment, timestamp-equality and the
 //! absorb operator α ([`primitives::absorb`]).
 //!
+//! ## The front door (frames)
+//!
+//! [`algebra::Database`] owns the shared catalog + planner, and
+//! [`algebra::TemporalFrame`] is the lazy, name-based builder over the
+//! plan-first pipeline: `db.table("r")?.filter(col("team").eq(lit("db")))
+//! .collect()?`. The SQL surface (`temporal-sql`) wraps the same
+//! `Database`, so both surfaces see one catalog and one planner.
+//!
 //! ## Verification layer
 //!
 //! [`semantics`] makes the paper's formal machinery executable (timeslice,
@@ -79,7 +87,7 @@ pub mod trel;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::algebra::{TemporalAlgebra, TemporalPlan};
+    pub use crate::algebra::{Database, TemporalAlgebra, TemporalFrame, TemporalPlan};
     pub use crate::allen::{relate, AllenRelation};
     pub use crate::coalesce::{coalesce, snapshot_equivalent};
     pub use crate::date::{date_interval, fmt_day, Date};

@@ -19,17 +19,32 @@ impl Catalog {
 
     /// Register a table; errors if the name is taken.
     pub fn register(&mut self, name: impl Into<String>, rel: Relation) -> EngineResult<()> {
+        self.register_shared(name, Arc::new(rel))
+    }
+
+    /// Register an already-shared relation (no copy); errors if the name
+    /// is taken.
+    pub fn register_shared(
+        &mut self,
+        name: impl Into<String>,
+        rel: Arc<Relation>,
+    ) -> EngineResult<()> {
         let name = name.into();
         if self.tables.contains_key(&name) {
             return Err(EngineError::DuplicateTable(name));
         }
-        self.tables.insert(name, Arc::new(rel));
+        self.tables.insert(name, rel);
         Ok(())
     }
 
     /// Register or replace a table.
     pub fn register_or_replace(&mut self, name: impl Into<String>, rel: Relation) {
-        self.tables.insert(name.into(), Arc::new(rel));
+        self.register_or_replace_shared(name, Arc::new(rel));
+    }
+
+    /// Register or replace a table with an already-shared relation.
+    pub fn register_or_replace_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
+        self.tables.insert(name.into(), rel);
     }
 
     /// Look up a table.
@@ -48,6 +63,16 @@ impl Catalog {
     /// Names of all registered tables, sorted.
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Owned list of all registered table names, sorted.
+    pub fn list_tables(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Is a table with this name registered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
     }
 
     pub fn len(&self) -> usize {

@@ -288,6 +288,10 @@ impl Expr {
                 }
                 Ok(out)
             }
+            Expr::Name(nm) => Err(EngineError::Internal(format!(
+                "unresolved column name '{nm}' reached the executor — \
+                 resolve the expression against the input schema first"
+            ))),
             Expr::Lit(v) => Ok(vec![v.clone(); n]),
             Expr::Cmp(op, a, b) => {
                 let va = a.eval_batch_masked(rows, mask)?;

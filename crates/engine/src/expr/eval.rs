@@ -14,6 +14,10 @@ impl Expr {
                     row.len()
                 ))
             }),
+            Expr::Name(n) => Err(EngineError::Internal(format!(
+                "unresolved column name '{n}' reached the executor — \
+                 resolve the expression against the input schema first"
+            ))),
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Cmp(op, a, b) => {
                 let va = a.eval(row)?;

@@ -21,7 +21,7 @@ fn as_lit(e: &Expr) -> Option<&Value> {
 /// Fold constant subexpressions bottom-up. Idempotent.
 pub fn fold(e: &Expr) -> Expr {
     let folded = match e {
-        Expr::Col(_) | Expr::Lit(_) => e.clone(),
+        Expr::Col(_) | Expr::Name(_) | Expr::Lit(_) => e.clone(),
         Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(fold(a)), Box::new(fold(b))),
         Expr::And(a, b) => {
             let (fa, fb) = (fold(a), fold(b));

@@ -1,20 +1,26 @@
 //! Scalar expressions, aggregate calls and sort keys.
 //!
-//! Expressions reference input columns *by index* (resolution from names
-//! happens in the SQL analyzer or via [`Schema::index_of`]). Join
-//! predicates are evaluated over the concatenation `left ++ right` of the
-//! two input rows, as in the paper's θ conditions.
+//! Expressions reference input columns either *by index* ([`Expr::Col`],
+//! the resolved form every executor works on) or *by name*
+//! ([`Expr::Name`], e.g. `col("team")` or the qualified `name("r.team")`).
+//! Named references are placeholders: an analyzer pass
+//! ([`Expr::resolve`]) binds them to positions against a concrete
+//! [`Schema`] — with did-you-mean suggestions for unknown columns — before
+//! planning. Join predicates are evaluated over the concatenation
+//! `left ++ right` of the two input rows, as in the paper's θ conditions.
 
 mod analysis;
 mod batch;
 mod eval;
 mod fold;
+mod resolve;
 
 pub use analysis::{
     detect_overlap_pattern, split_join_condition, JoinConditionParts, OverlapPattern,
 };
 pub(crate) use batch::CompiledPred;
 pub use fold::fold;
+pub use resolve::resolve_name;
 
 use std::fmt;
 
@@ -112,6 +118,9 @@ impl Func {
 pub enum Expr {
     /// Input column by index.
     Col(usize),
+    /// Input column by (possibly `alias.`-qualified) name — unresolved
+    /// until [`Expr::resolve`] binds it to a position.
+    Name(String),
     /// A literal value.
     Lit(Value),
     /// Comparison with three-valued logic.
@@ -139,9 +148,45 @@ pub enum Expr {
     IsNull { expr: Box<Expr>, negated: bool },
 }
 
-/// Column reference builder.
-pub fn col(i: usize) -> Expr {
-    Expr::Col(i)
+/// A column reference accepted by [`col`]: a position (`col(1)`, the
+/// resolved form) or a name (`col("team")`, `col("r.team")`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnRef {
+    Index(usize),
+    Named(String),
+}
+
+impl From<usize> for ColumnRef {
+    fn from(i: usize) -> Self {
+        ColumnRef::Index(i)
+    }
+}
+
+impl From<&str> for ColumnRef {
+    fn from(n: &str) -> Self {
+        ColumnRef::Named(n.to_string())
+    }
+}
+
+impl From<String> for ColumnRef {
+    fn from(n: String) -> Self {
+        ColumnRef::Named(n)
+    }
+}
+
+/// Column reference builder: `col(1)` (positional, resolved) or
+/// `col("team")` / `col("r.team")` (named, bound by [`Expr::resolve`]).
+pub fn col(c: impl Into<ColumnRef>) -> Expr {
+    match c.into() {
+        ColumnRef::Index(i) => Expr::Col(i),
+        ColumnRef::Named(n) => Expr::Name(n),
+    }
+}
+
+/// Named column reference builder; `name("r1.team")` is the explicit form
+/// of `col("r1.team")` for qualified references.
+pub fn name(n: impl Into<String>) -> Expr {
+    Expr::Name(n.into())
 }
 
 /// Literal builder.
@@ -256,7 +301,7 @@ impl Expr {
     pub fn visit_cols(&self, f: &mut dyn FnMut(usize)) {
         match self {
             Expr::Col(i) => f(*i),
-            Expr::Lit(_) => {}
+            Expr::Name(_) | Expr::Lit(_) => {}
             Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Arith(_, a, b) => {
                 a.visit_cols(f);
                 b.visit_cols(f);
@@ -278,6 +323,7 @@ impl Expr {
     pub fn remap_cols(&self, map: &dyn Fn(usize) -> usize) -> Expr {
         match self {
             Expr::Col(i) => Expr::Col(map(*i)),
+            Expr::Name(n) => Expr::Name(n.clone()),
             Expr::Lit(v) => Expr::Lit(v.clone()),
             Expr::Cmp(op, a, b) => Expr::Cmp(
                 *op,
@@ -331,6 +377,10 @@ impl Expr {
                 }
                 Ok(input.col(*i).dtype)
             }
+            Expr::Name(n) => {
+                let i = input.index_of(n)?;
+                Ok(input.col(i).dtype)
+            }
             Expr::Lit(v) => Ok(v.dtype().unwrap_or(DataType::Int)),
             Expr::Cmp(..)
             | Expr::And(..)
@@ -376,6 +426,7 @@ impl Expr {
     fn render(&self, col_name: &dyn Fn(usize) -> String) -> String {
         match self {
             Expr::Col(i) => col_name(*i),
+            Expr::Name(n) => n.clone(),
             Expr::Lit(v) => match v {
                 Value::Str(s) => format!("'{s}'"),
                 Value::Null => "NULL".to_string(),

@@ -73,7 +73,9 @@ pub mod prelude {
     pub use crate::catalog::Catalog;
     pub use crate::error::{EngineError, EngineResult};
     pub use crate::exec::{BoxedExec, ExecNode};
-    pub use crate::expr::{col, lit, AggCall, AggFunc, ArithOp, CmpOp, Expr, Func, SortKey};
+    pub use crate::expr::{
+        col, lit, name, AggCall, AggFunc, ArithOp, CmpOp, ColumnRef, Expr, Func, SortKey,
+    };
     pub use crate::plan::{
         ExtensionNode, JoinType, LogicalPlan, PhysicalPlan, Planner, PlannerConfig, SetOpKind,
     };

@@ -165,6 +165,18 @@ impl LogicalPlan {
         })
     }
 
+    /// π with fully explicit output columns (names, qualifiers and types
+    /// given by the caller) — used where inferred unqualified names would
+    /// lose resolution information, e.g. the temporal join reduction.
+    pub fn project_columns(self, items: Vec<(Expr, Column)>) -> LogicalPlan {
+        let (exprs, cols): (Vec<Expr>, Vec<Column>) = items.into_iter().unzip();
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+            schema: Schema::new(cols),
+        }
+    }
+
     /// π onto a set of existing columns (names preserved).
     pub fn project_cols(self, idxs: &[usize]) -> LogicalPlan {
         let schema = self.schema().project(idxs);

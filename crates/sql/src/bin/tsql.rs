@@ -108,7 +108,14 @@ fn main() {
             match trimmed {
                 "\\q" => break,
                 "\\d" => {
-                    println!("(register tables programmatically or start with --demo)");
+                    let tables = session.database().list_tables();
+                    if tables.is_empty() {
+                        println!("(no tables — register programmatically or start with --demo)");
+                    } else {
+                        for t in tables {
+                            println!("{t}");
+                        }
+                    }
                     eprint!("tsql> ");
                     std::io::stderr().flush().ok();
                     continue;

@@ -50,7 +50,7 @@ pub mod token;
 pub use analyzer::Analyzer;
 pub use error::{SqlError, SqlResult};
 pub use parser::parse_statement;
-pub use session::{Session, SqlOutput};
+pub use session::{DatabaseSqlExt, Session, SqlOutput};
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,14 @@
-//! A SQL session: catalog + planner configuration + statement execution.
+//! A SQL session over the shared [`Database`] front door.
+//!
+//! The session no longer owns a private catalog/planner pair: it wraps a
+//! [`Database`] handle — the same object behind the Rust
+//! `TemporalFrame` API — so tables registered through either surface are
+//! visible to both, and a `SET` statement reconfigures the one shared
+//! planner. [`DatabaseSqlExt`] adds `db.sql("…")` directly on
+//! [`Database`], making SQL a method call away from any frame code.
 
+use temporal_core::prelude::Database;
 use temporal_core::trel::TemporalRelation;
-use temporal_engine::catalog::Catalog;
 use temporal_engine::prelude::*;
 
 use crate::analyzer::Analyzer;
@@ -34,43 +41,58 @@ impl SqlOutput {
 
 /// An interactive session (the paper's psql-with-extensions equivalent).
 ///
-/// The session owns one [`Planner`], reused across statements; a `SET`
-/// statement mutates its configuration in place, so there is no separate
-/// config copy to keep in sync. (The [`Analyzer`] is a zero-allocation
-/// view over the catalog and is constructed per statement — it borrows
-/// `self.catalog`, so caching it would freeze the catalog against
-/// `register_table`.)
-#[derive(Debug, Default)]
+/// The session is a view over one shared [`Database`]: statements are
+/// analyzed against its catalog and executed with its planner, and `SET`
+/// mutates the shared planner configuration — so frames and other
+/// sessions on the same database observe the change. (The [`Analyzer`] is
+/// a zero-allocation view over the catalog and is constructed per
+/// statement.)
+#[derive(Debug, Default, Clone)]
 pub struct Session {
-    catalog: Catalog,
-    planner: Planner,
+    db: Database,
 }
 
 impl Session {
+    /// A session over a fresh, private [`Database`].
     pub fn new() -> Session {
         Session::default()
     }
 
+    /// A session over an existing [`Database`] — the unified front door:
+    /// tables registered on `db` (or via frames) are queryable here, and
+    /// vice versa.
+    pub fn with_database(db: Database) -> Session {
+        Session { db }
+    }
+
+    /// The shared database handle behind this session.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
     /// Register a plain relation as a table.
     pub fn register_table(&mut self, name: impl Into<String>, rel: Relation) -> SqlResult<()> {
-        self.catalog.register(name, rel).map_err(SqlError::from)
+        self.db
+            .register_relation(name, rel)
+            .map_err(|e| SqlError::Engine(e.to_string()))
     }
 
     /// Register a temporal relation (its ts/te columns become ordinary
-    /// Int columns, as in the paper's PostgreSQL implementation).
+    /// Int columns, as in the paper's PostgreSQL implementation). Routed
+    /// through the shared catalog; rows are shared, not copied.
     pub fn register_temporal(
         &mut self,
         name: impl Into<String>,
         rel: &TemporalRelation,
     ) -> SqlResult<()> {
-        self.catalog
-            .register(name, rel.rel().clone())
-            .map_err(SqlError::from)
+        self.db
+            .register(name, rel)
+            .map_err(|e| SqlError::Engine(e.to_string()))
     }
 
     /// The current planner configuration (join-method switches).
-    pub fn config(&self) -> &PlannerConfig {
-        &self.planner.config
+    pub fn config(&self) -> PlannerConfig {
+        self.db.config()
     }
 
     /// Execute one statement.
@@ -82,31 +104,30 @@ impl Session {
     fn run_statement(&mut self, stmt: Statement) -> SqlResult<SqlOutput> {
         match stmt {
             Statement::Set { name, value } => {
-                self.planner
-                    .config
+                self.db
                     .set(&name, value)
                     .map_err(|e| SqlError::Analyze(e.to_string()))?;
                 Ok(SqlOutput::Ok)
             }
             Statement::Explain(inner) => match *inner {
-                Statement::Select(sel) => {
-                    let plan = Analyzer::new(&self.catalog).analyze(&sel)?;
-                    let physical = self
-                        .planner
-                        .plan(&plan, &self.catalog)
-                        .map_err(SqlError::from)?;
+                Statement::Select(sel) => self.db.read(|catalog, planner| {
+                    let plan = Analyzer::new(catalog).analyze(&sel)?;
+                    let physical = planner.plan(&plan, catalog).map_err(SqlError::from)?;
                     Ok(SqlOutput::Explain(physical.explain()))
-                }
+                }),
                 other => Err(SqlError::Analyze(format!(
                     "EXPLAIN supports SELECT statements, got {other:?}"
                 ))),
             },
             Statement::Select(sel) => {
-                let plan = Analyzer::new(&self.catalog).analyze(&sel)?;
-                let rel = self
-                    .planner
-                    .run(&plan, &self.catalog)
-                    .map_err(SqlError::from)?;
+                // Analyze and plan under the shared lock; execute after
+                // dropping it (the physical plan captures its scans), so a
+                // long query never blocks concurrent registration or SET.
+                let physical = self.db.read(|catalog, planner| {
+                    let plan = Analyzer::new(catalog).analyze(&sel)?;
+                    planner.plan(&plan, catalog).map_err(SqlError::from)
+                })?;
+                let rel = physical.collect().map_err(SqlError::from)?;
                 Ok(SqlOutput::Rows(rel))
             }
         }
@@ -129,5 +150,112 @@ impl Session {
             SqlOutput::Explain(s) => Ok(s),
             _ => unreachable!("EXPLAIN produces Explain output"),
         }
+    }
+}
+
+/// SQL as a method on [`Database`]: the Rust frame API and `db.sql("…")`
+/// execute against the same catalog and planner.
+///
+/// ```
+/// use temporal_core::prelude::*;
+/// use temporal_engine::prelude::*;
+/// use temporal_sql::DatabaseSqlExt;
+///
+/// let db = Database::new();
+/// let r = TemporalRelation::from_rows(
+///     Schema::new(vec![Column::new("n", DataType::Str)]),
+///     vec![(vec![Value::str("ann")], Interval::of(0, 7))],
+/// )
+/// .unwrap();
+/// db.register("r", &r).unwrap();
+/// // Registered via the Rust surface, queried via SQL:
+/// let out = db.sql_rows("SELECT n FROM r WHERE n = 'ann'").unwrap();
+/// assert_eq!(out.len(), 1);
+/// ```
+pub trait DatabaseSqlExt {
+    /// Execute one SQL statement against this database.
+    fn sql(&self, sql: &str) -> SqlResult<SqlOutput>;
+
+    /// Execute a SQL query and return its rows.
+    fn sql_rows(&self, sql: &str) -> SqlResult<Relation> {
+        self.sql(sql)?.rows()
+    }
+
+    /// Execute a SQL query whose result is a temporal relation.
+    fn sql_temporal(&self, sql: &str) -> SqlResult<TemporalRelation> {
+        Ok(TemporalRelation::new(self.sql_rows(sql)?)?)
+    }
+
+    /// EXPLAIN a SQL query.
+    fn sql_explain(&self, sql: &str) -> SqlResult<String> {
+        match self.sql(&format!("EXPLAIN {sql}"))? {
+            SqlOutput::Explain(s) => Ok(s),
+            _ => unreachable!("EXPLAIN produces Explain output"),
+        }
+    }
+}
+
+impl DatabaseSqlExt for Database {
+    fn sql(&self, sql: &str) -> SqlResult<SqlOutput> {
+        Session::with_database(self.clone()).execute(sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_core::interval::Interval;
+
+    fn rel() -> TemporalRelation {
+        TemporalRelation::from_rows(
+            Schema::new(vec![Column::new("n", DataType::Str)]),
+            vec![
+                (vec![Value::str("ann")], Interval::of(0, 7)),
+                (vec![Value::str("joe")], Interval::of(2, 5)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sessions_share_one_database() {
+        let db = Database::new();
+        db.register("r", &rel()).unwrap();
+        let mut a = Session::with_database(db.clone());
+        let b = Session::with_database(db.clone());
+        assert_eq!(a.query("SELECT n FROM r").unwrap().len(), 2);
+        // SET through one session is visible through the other (one
+        // shared planner).
+        a.execute("SET enable_mergejoin = off").unwrap();
+        assert!(!b.config().enable_mergejoin);
+        db.set("enable_mergejoin", true).unwrap();
+        assert!(a.config().enable_mergejoin);
+    }
+
+    #[test]
+    fn db_sql_round_trip() {
+        let db = Database::new();
+        db.register("r", &rel()).unwrap();
+        let out = db
+            .sql_temporal("SELECT n, ts, te FROM r WHERE n = 'joe'")
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(db.sql("SET enable_hashjoin = off").is_ok());
+        assert!(!db.config().enable_hashjoin);
+        db.set("enable_hashjoin", true).unwrap();
+    }
+
+    #[test]
+    fn register_via_session_query_via_frames() {
+        let db = Database::new();
+        let mut s = Session::with_database(db.clone());
+        s.register_temporal("r", &rel()).unwrap();
+        let frame = db
+            .table("r")
+            .unwrap()
+            .filter(col("n").eq(lit("ann")))
+            .collect()
+            .unwrap();
+        assert_eq!(frame.len(), 1);
     }
 }

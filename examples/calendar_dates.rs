@@ -1,10 +1,10 @@
 //! Day-granularity temporal data with civil dates, plus the side-car
-//! utilities: Allen's interval relations and explicit coalescing.
+//! utilities: Allen's interval relations and explicit coalescing — with
+//! the sequenced queries going through the name-based frame API.
 //!
 //! Run with: `cargo run --example calendar_dates`
 
-use temporal_alignment::core::prelude::*;
-use temporal_alignment::engine::prelude::*;
+use temporal_alignment::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Hotel bookings at day granularity, built from civil dates
@@ -45,21 +45,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         relate(&iv[0], &iv[2])
     );
 
+    let db = Database::new();
+    db.register("bookings", &bookings)?;
+
     // Occupied-rooms count over time (sequenced aggregation)…
-    let alg = TemporalAlgebra::default();
-    let occupancy = alg.aggregation(
-        &bookings,
-        &[],
-        vec![(AggCall::count_star(), "occupied".to_string())],
-    )?;
+    let occupancy = db
+        .table("bookings")?
+        .aggregate(&[], vec![(AggCall::count_star(), "occupied")])
+        .collect()?;
     println!(
         "occupancy (change preserving):\n{}",
         occupancy.sorted().to_table_with(fmt_day)
     );
 
-    // … and ann's presence: change-preserved fragments vs the coalesced view.
-    let ann = alg.selection(&bookings, col(0).eq(lit(Value::str("ann"))))?;
-    let ann_rooms = alg.projection(&ann, &[0])?;
+    // … and ann's presence: change-preserved fragments vs the coalesced
+    // view. A lazy frame chains the filter and projection into one plan.
+    let ann_rooms = db
+        .table("bookings")?
+        .filter(col("guest").eq(lit("ann")))
+        .select(&["guest"])
+        .collect()?;
     println!(
         "ann (change preserving):\n{}",
         ann_rooms.sorted().to_table_with(fmt_day)

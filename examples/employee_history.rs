@@ -1,16 +1,16 @@
 //! An Incumben-style workload: job assignments of employees over time
 //! (the kind of data the paper's evaluation uses).
 //!
-//! Demonstrates the group-based operators on a generated dataset:
-//! temporal aggregation (staffing level over time), temporal difference
-//! (periods where a position was held by someone else), temporal
-//! projection, and the anti join (employment gaps).
+//! Demonstrates the group-based operators on a generated dataset through
+//! the name-based frame API: temporal aggregation (staffing level over
+//! time), temporal difference (periods where a position was held by
+//! someone else), temporal projection, and the anti join (employment
+//! gaps) as an aliased self-join.
 //!
 //! Run with: `cargo run --example employee_history`
 
-use temporal_alignment::core::prelude::*;
 use temporal_alignment::datasets::{incumben, prefix, IncumbenSpec};
-use temporal_alignment::engine::prelude::*;
+use temporal_alignment::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small deterministic slice of the Incumben substitute.
@@ -24,14 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sample = prefix(&data, 8);
     println!("incumben sample (ssn, pcn, [ts, te) in days):\n{sample}");
 
-    let alg = TemporalAlgebra::default();
+    let db = Database::new();
+    db.register("assignments", &data)?;
 
     // 1. Staffing level over time: how many assignments are active?
-    let staffing = alg.aggregation(
-        &data,
-        &[],
-        vec![(AggCall::count_star(), "active".to_string())],
-    )?;
+    let staffing = db
+        .table("assignments")?
+        .aggregate(&[], vec![(AggCall::count_star(), "active")])
+        .collect()?;
     let peak = staffing
         .iter()
         .map(|(d, _)| d[0].as_int().unwrap())
@@ -44,37 +44,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Per-position occupancy: distinct (pcn, T) spans where the
     //    position is staffed — a temporal projection onto pcn.
-    let occupancy = alg.projection(&data, &[1])?;
+    let occupancy = db.table("assignments")?.select(&["pcn"]).collect()?;
     println!(
         "per-position occupancy fragments: {} (from {} assignments)",
         occupancy.len(),
         data.len()
     );
 
-    // 3. Employee 0's history vs. position 0's history: when did employee
-    //    0 hold a position that someone else also held (at any time)?
-    let emp0 = alg.selection(&data, col(0).eq(lit(0i64)))?;
+    // 3. Employee 0's assignment history.
+    let emp0 = db
+        .table("assignments")?
+        .filter(col("ssn").eq(lit(0i64)))
+        .collect()?;
     println!("employee 0 history:\n{emp0}");
 
     // 4. Temporal difference: spans where position 0 was staffed but NOT
     //    by employee 0.
-    let pos0 = alg.projection(&alg.selection(&data, col(1).eq(lit(0i64)))?, &[1])?;
-    let pos0_by_emp0 = alg.projection(
-        &alg.selection(&data, col(1).eq(lit(0i64)).and(col(0).eq(lit(0i64))))?,
-        &[1],
-    )?;
-    let pos0_by_others = alg.difference(&pos0, &pos0_by_emp0)?;
+    let pos0 = db
+        .table("assignments")?
+        .filter(col("pcn").eq(lit(0i64)))
+        .select(&["pcn"]);
+    let pos0_by_emp0 = db
+        .table("assignments")?
+        .filter(col("pcn").eq(lit(0i64)).and(col("ssn").eq(lit(0i64))))
+        .select(&["pcn"]);
+    let pos0_by_others = pos0.difference(pos0_by_emp0).collect()?;
     println!(
         "position 0 staffed-by-others fragments: {}",
         pos0_by_others.len()
     );
 
     // 5. Anti join: assignments during which the employee's position had
-    //    no *other* overlapping assignment (sole incumbency) — fragments
-    //    of assignments not matched by a different ssn on the same pcn.
-    // θ over (data ++ data): left = (ssn, pcn, ts, te), right likewise.
-    let theta = col(1).eq(col(5)).and(col(0).ne(col(4)));
-    let sole = alg.anti_join(&data, &data, Some(theta))?;
+    //    no *other* overlapping assignment (sole incumbency) — an aliased
+    //    self-join: same position, different employee.
+    let mine = db.table("assignments")?.alias("mine");
+    let theirs = db.table("assignments")?.alias("theirs");
+    let sole = mine
+        .anti_join(
+            theirs,
+            col("mine.pcn")
+                .eq(col("theirs.pcn"))
+                .and(col("mine.ssn").ne(col("theirs.ssn"))),
+        )
+        .collect()?;
     println!(
         "sole-incumbency fragments: {} (from {} assignments)",
         sole.len(),

@@ -1,5 +1,6 @@
 //! The paper's running example (Example 1, Figs. 1–7): a hotel with
-//! seasonal price categories and reservations.
+//! seasonal price categories and reservations, on the name-based frame
+//! API.
 //!
 //! Reproduces:
 //! * query Q1 = R ⟕ᵀ_{Min ≤ DUR(R.T) ≤ Max} P (Fig. 1b) — a temporal left
@@ -11,9 +12,8 @@
 //!
 //! Run with: `cargo run --example hotel_reservations`
 
-use temporal_alignment::core::prelude::*;
-use temporal_alignment::engine::prelude::*;
-use temporal_core::interval::month::{fmt as mfmt, ym};
+use temporal_alignment::core::interval::month::{fmt as mfmt, ym};
+use temporal_alignment::prelude::*;
 
 fn reservations() -> TemporalRelation {
     // R: guest name N, valid-time T.
@@ -62,29 +62,43 @@ fn prices() -> TemporalRelation {
     .expect("valid fixture")
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let r = reservations();
-    let p = prices();
-    println!("R (reservations):\n{}", r.to_table_with(mfmt));
-    println!("P (prices):\n{}", p.to_table_with(mfmt));
+/// `DUR` over the propagated timestamps, by name.
+fn dur_u() -> Expr {
+    Expr::Func(Func::Dur, vec![col("us"), col("ue")])
+}
 
-    let alg = TemporalAlgebra::default();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new();
+    db.register("r", &reservations())?;
+    db.register("p", &prices())?;
+    println!(
+        "R (reservations):\n{}",
+        db.table("r")?.collect()?.to_table_with(mfmt)
+    );
+    println!(
+        "P (prices):\n{}",
+        db.table("p")?.collect()?.to_table_with(mfmt)
+    );
 
     // ---- Q1 (Fig. 1b) ----------------------------------------------------
     // The join predicate references R.T, so we propagate R's timestamp
-    // first (extended snapshot reducibility): U(R) has data columns
-    // (n, us, ue).
-    let ur = extend(&r)?;
-    println!("U(R) (timestamps propagated):\n{}", ur.to_table_with(mfmt));
+    // first (extended snapshot reducibility): U(R) gains data columns
+    // us/ue that θ can reference by name.
+    let ur = db.table("r")?.extend();
+    println!(
+        "U(R) (timestamps propagated):\n{}",
+        ur.collect()?.to_table_with(mfmt)
+    );
 
-    // θ: Min ≤ DUR(us, ue) ≤ Max over U(R) ++ P rows:
-    // U(R) = (n, us, ue, ts, te), P = (a, min, max, ts, te).
-    let dur = Expr::Func(Func::Dur, vec![col(1), col(2)]);
-    let theta = dur.between(col(6), col(7));
+    // θ: Min ≤ DUR(us, ue) ≤ Max — every operand by name.
+    let theta = dur_u().between(col("min"), col("max"));
 
-    let q1_with_u = alg.left_outer_join(&ur, &p, Some(theta))?;
-    // Drop the propagated timestamps (Def. 4's final projection):
-    // data columns of the join result are (n, us, ue, a, min, max).
+    let q1_with_u = ur
+        .clone()
+        .left_outer_join(db.table("p")?, theta)
+        .collect()?;
+    // Drop the propagated timestamps (Def. 4's final projection): keep
+    // (n, a, min, max, T).
     let q1 = q1_with_u.project_data(&[0, 3, 4, 5])?;
     println!(
         "Q1 = R ⟕ᵀ(Min ≤ DUR(R.T) ≤ Max) P   (Fig. 1b):\n{}",
@@ -98,18 +112,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(omega_rows, 2);
 
     // ---- Fig. 3: normalization N_{}(R; R) ---------------------------------
-    let n = alg.normalize(&r, &r, &[])?;
+    let n = db
+        .table("r")?
+        .normalize_using(db.table("r")?, &[])
+        .collect()?;
     println!(
         "N_{{}}(R; R)   (Fig. 3):\n{}",
         n.sorted().to_table_with(mfmt)
     );
 
     // ---- Fig. 4: alignment of P with respect to U(R) ----------------------
-    // θ ≡ Min ≤ DUR(U) ≤ Max over P ++ U(R) rows:
-    // P = (a, min, max, ts, te), U(R) = (n, us, ue, ts, te).
-    let dur_u = Expr::Func(Func::Dur, vec![col(6), col(7)]);
-    let theta_pu = dur_u.between(col(1), col(2));
-    let aligned_p = alg.align(&p, &ur, Some(theta_pu))?;
+    // θ ≡ Min ≤ DUR(U) ≤ Max over P ++ U(R) rows — the same names
+    // resolve regardless of which side of the alignment carries them.
+    let aligned_p = db
+        .table("p")?
+        .align(ur.clone(), dur_u().between(col("min"), col("max")))
+        .collect()?;
     println!(
         "P Φ_θ U(R)   (Fig. 4):\n{}",
         aligned_p.sorted().to_table_with(mfmt)
@@ -119,8 +137,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // AVG over the duration of the *original* reservation intervals, so it
     // operates on U(R); grouping attributes B = {} (a single group per
     // normalized fragment).
-    let avg_dur = AggCall::new(AggFunc::Avg, Expr::Func(Func::Dur, vec![col(1), col(2)]));
-    let q2 = alg.aggregation(&ur, &[], vec![(avg_dur, "avg_dur".to_string())])?;
+    let q2 = ur
+        .aggregate(&[], vec![(AggCall::new(AggFunc::Avg, dur_u()), "avg_dur")])
+        .collect()?;
     println!(
         "Q2 = ϑᵀ AVG(DUR(R.T)) (R)   (Fig. 7):\n{}",
         q2.sorted().to_table_with(mfmt)

@@ -3,16 +3,17 @@
 //!
 //! Shows *why* the two ω-tuples z3/z4 of Fig. 1(b) must not be coalesced —
 //! their lineage differs (z3 derives from reservation r1, z4 from r3) —
-//! and demonstrates the checker rejecting a coalesced result.
+//! and demonstrates the checker rejecting a coalesced result. The audited
+//! query itself is built with the lazy frame API; the semantic checkers
+//! take the operator description ([`TemporalOp`]) they verify against.
 //!
 //! Run with: `cargo run --example lineage_audit`
 
-use temporal_alignment::core::prelude::*;
+use temporal_alignment::core::interval::month::{fmt as mfmt, ym};
 use temporal_alignment::core::semantics::{
     check_change_preservation, check_snapshot_reducibility, lineage, TemporalOp,
 };
-use temporal_alignment::engine::prelude::*;
-use temporal_core::interval::month::{fmt as mfmt, ym};
+use temporal_alignment::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The running example's R and P.
@@ -42,10 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     )?;
 
-    let alg = TemporalAlgebra::default();
-    let op = TemporalOp::LeftOuterJoin { theta: None };
-    let result = op.evaluate(&alg, &[&r, &p])?;
+    // The audited query, as a lazy frame: R ⟕ᵀ P.
+    let db = Database::new();
+    db.register("r", &r)?;
+    db.register("p", &p)?;
+    let result = db
+        .table("r")?
+        .left_outer_join(db.table("p")?, None)
+        .collect()?;
     println!("R ⟕ᵀ P:\n{}", result.sorted().to_table_with(mfmt));
+
+    // The checkers verify a result against the operator it claims to
+    // compute, so they take the operator description.
+    let op = TemporalOp::LeftOuterJoin { theta: None };
 
     // Lineage of the joined tuple (ann, 40) at 2012/2 — Example 3.
     let z1 = vec![Value::str("ann"), Value::Int(40)];

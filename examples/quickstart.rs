@@ -1,10 +1,10 @@
-//! Quickstart: build two interval-timestamped relations and run sequenced
-//! temporal operators through the reduction rules.
+//! Quickstart: register two interval-timestamped relations in a
+//! [`Database`] and compose lazy, name-based temporal queries over them —
+//! every pipeline compiles to one plan and runs on `collect()`.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use temporal_alignment::core::prelude::*;
-use temporal_alignment::engine::prelude::*;
+use temporal_alignment::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A tiny project-staffing database: who works on what, and when.
@@ -39,31 +39,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("staff:\n{staff}");
     println!("oncall windows:\n{oncall}");
 
-    let alg = TemporalAlgebra::default();
+    // One Database owns the catalog and planner behind both the Rust
+    // frames below and `db.sql(...)`.
+    let db = Database::new();
+    db.register("staff", &staff)?;
+    db.register("oncall", &oncall)?;
 
     // Temporal inner join: who was staffed while their team was on call?
-    // θ: staff.team = oncall.team, expressed over the concatenation of the
-    // two full rows (staff = person, team, ts, te → team is column 1;
-    // oncall.team is column 4).
-    let theta = col(1).eq(col(4));
-    let on_duty = alg.join(&staff, &oncall, Some(theta.clone()))?;
+    // θ references columns by (qualified) name.
+    let theta = col("staff.team").eq(col("oncall.team"));
+    let on_duty = db
+        .table("staff")?
+        .temporal_join(db.table("oncall")?, theta.clone())
+        .collect()?;
     println!("on duty (⋈ᵀ):\n{on_duty}");
 
     // Temporal left outer join: everyone, with ω where no on-call window.
-    let coverage = alg.left_outer_join(&staff, &oncall, Some(theta.clone()))?;
+    let coverage = db
+        .table("staff")?
+        .left_outer_join(db.table("oncall")?, theta.clone())
+        .collect()?;
     println!("coverage (⟕ᵀ):\n{coverage}");
 
     // Temporal anti join: staffed periods with no on-call window at all.
-    let idle = alg.anti_join(&staff, &oncall, Some(theta))?;
+    let idle = db
+        .table("staff")?
+        .anti_join(db.table("oncall")?, theta.clone())
+        .collect()?;
     println!("not on call (▷ᵀ):\n{idle}");
 
     // Temporal aggregation: headcount over time.
-    let headcount = alg.aggregation(
-        &staff,
-        &[],
-        vec![(AggCall::count_star(), "headcount".to_string())],
-    )?;
+    let headcount = db
+        .table("staff")?
+        .aggregate(&[], vec![(AggCall::count_star(), "headcount")])
+        .collect()?;
     println!("headcount over time (ϑᵀ):\n{headcount}");
+
+    // Frames are lazy: a whole pipeline — filter, join, aggregate — is
+    // one physical plan, inspectable before anything runs.
+    let pipeline = db
+        .table("staff")?
+        .filter(col("team").eq(lit("db")))
+        .temporal_join(db.table("oncall")?, theta)
+        .aggregate(&[], vec![(AggCall::count_star(), "cnt")]);
+    println!("EXPLAIN of the composed pipeline:\n{}", pipeline.explain()?);
+    println!("…and its result:\n{}", pipeline.collect()?);
 
     // Every result is snapshot reducible: check one snapshot by hand.
     let t = 4;

@@ -1,16 +1,18 @@
-//! The SQL surface of Sec. 6.2/6.3: `ALIGN`, `NORMALIZE … USING()`,
-//! `ABSORB`, the `DUR` UDF, planner switches (`SET enable_mergejoin = off`)
-//! and `EXPLAIN` — the workflow of the paper's Fig. 13 experiment.
+//! The SQL surface of Sec. 6.2/6.3 behind the shared [`Database`] front
+//! door: `ALIGN`, `NORMALIZE … USING()`, `ABSORB`, the `DUR` UDF, planner
+//! switches (`SET enable_mergejoin = off`) and `EXPLAIN` — the workflow
+//! of the paper's Fig. 13 experiment — plus the Rust frame API running
+//! against the *same* catalog via `db.sql(...)`.
 //!
 //! Run with: `cargo run --example sql_interface`
 
-use temporal_alignment::core::prelude::*;
-use temporal_alignment::engine::prelude::*;
-use temporal_alignment::sql::Session;
-use temporal_core::interval::month::ym;
+use temporal_alignment::core::interval::month::ym;
+use temporal_alignment::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut session = Session::new();
+    // One Database is the front door for both surfaces: tables registered
+    // here are visible to SQL statements and Rust frames alike.
+    let db = Database::new();
 
     // The running example's relations.
     let r = TemporalRelation::from_rows(
@@ -59,8 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
         ],
     )?;
-    session.register_temporal("r", &r)?;
-    session.register_temporal("p", &p)?;
+    db.register("r", &r)?;
+    db.register("p", &p)?;
 
     // ---- Q1 via the paper's SQL (Sec. 6.2) --------------------------------
     let q1 = "WITH r AS (SELECT Ts Us, Te Ue, * FROM r) \
@@ -70,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
               (p ALIGN r ON DUR(Us,Ue) BETWEEN Min AND Max) y \
               ON DUR(Us,Ue) BETWEEN Min AND Max AND x.Ts = y.Ts AND x.Te = y.Te";
     println!("-- Q1 (temporal left outer join with DUR predicate):");
-    println!("{}", session.query(q1)?.sorted().to_table());
+    println!("{}", db.sql_rows(q1)?.sorted().to_table());
 
     // ---- Q2 via the paper's SQL (Sec. 6.3) --------------------------------
     let q2 = "WITH r AS (SELECT Ts Us, Te Ue, * FROM r) \
@@ -78,25 +80,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
               FROM (r r1 NORMALIZE r r2 USING()) x \
               GROUP BY Ts, Te";
     println!("-- Q2 (temporal aggregation):");
-    println!("{}", session.query(q2)?.sorted().to_table());
+    println!("{}", db.sql_rows(q2)?.sorted().to_table());
+
+    // ---- The same catalog, from the Rust frame API ------------------------
+    // A σᵀ written as a frame and as SQL: one catalog, one planner, and
+    // EXPLAIN renders the identical physical plan for both.
+    let frame = db.table("r")?.filter(col("n").eq(lit("ann")));
+    let frame_plan = frame.explain()?;
+    let sql_plan = db.sql_explain("SELECT * FROM r WHERE n = 'ann'")?;
+    println!("-- frame EXPLAIN == SQL EXPLAIN:");
+    println!("{frame_plan}");
+    assert_eq!(frame_plan, sql_plan);
 
     // ---- EXPLAIN and the join-method switches -----------------------------
     let probe = "SELECT * FROM (r r1 NORMALIZE r r2 USING(n)) x";
     println!("-- EXPLAIN with all join methods enabled:");
-    println!("{}", session.explain(probe)?);
+    println!("{}", db.sql_explain(probe)?);
 
-    session.execute("SET enable_mergejoin = off")?;
-    session.execute("SET enable_hashjoin = off")?;
+    // SET goes through the same shared planner the frames use.
+    db.sql("SET enable_mergejoin = off")?;
+    db.sql("SET enable_hashjoin = off")?;
     println!("-- EXPLAIN with merge and hash joins disabled (nested loop only):");
-    println!("{}", session.explain(probe)?);
-    session.execute("SET enable_mergejoin = on")?;
-    session.execute("SET enable_hashjoin = on")?;
+    println!("{}", db.sql_explain(probe)?);
+    db.sql("SET enable_mergejoin = on")?;
+    db.sql("SET enable_hashjoin = on")?;
 
     // ---- NOT EXISTS (the sql baseline's building block) -------------------
     let gaps = "SELECT n, ts, te FROM r \
                 WHERE NOT EXISTS (SELECT * FROM p WHERE p.a = 30 AND p.ts < r.te AND r.ts < p.te)";
     println!("-- reservations with no overlapping permanent-price period:");
-    println!("{}", session.query(gaps)?.to_table());
+    println!("{}", db.sql_rows(gaps)?.to_table());
 
     Ok(())
 }

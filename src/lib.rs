@@ -30,3 +30,14 @@ pub use temporal_core as core;
 pub use temporal_datasets as datasets;
 pub use temporal_engine as engine;
 pub use temporal_sql as sql;
+
+/// One-stop imports for applications: the [`core`] and [`engine`]
+/// preludes (types, `col`/`lit`/`name` builders, [`core::prelude::Database`],
+/// [`core::prelude::TemporalFrame`]) plus the SQL session and the
+/// [`sql::DatabaseSqlExt`] trait that puts `db.sql("…")` on the shared
+/// [`core::prelude::Database`] front door.
+pub mod prelude {
+    pub use temporal_core::prelude::*;
+    pub use temporal_engine::prelude::*;
+    pub use temporal_sql::{DatabaseSqlExt, Session, SqlOutput};
+}

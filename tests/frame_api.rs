@@ -1,0 +1,479 @@
+//! The name-based, lazy frame front door (ISSUE 4): `TemporalFrame`
+//! pipelines must agree row-for-row with the eager `TemporalAlgebra` and
+//! the point-wise `reference::oracle`; name resolution must fail helpfully
+//! (unknown / ambiguous / qualified); and the Rust and SQL surfaces must
+//! share one `Database` — same catalog, same planner, same physical plan
+//! for equivalent queries.
+
+mod common;
+
+use common::{rel1, rel2};
+use proptest::prelude::*;
+use temporal_alignment::core::prelude::*;
+use temporal_alignment::core::reference::evaluate_oracle;
+use temporal_alignment::core::semantics::TemporalOp;
+use temporal_alignment::engine::prelude::*;
+use temporal_alignment::sql::{DatabaseSqlExt, Session};
+use temporal_datasets::{ddisj, deq, drand};
+
+/// Apply one operator to a lazy frame (the name-based front door, using
+/// its positional compatibility methods for arbitrary generated ops).
+fn apply_frame(op: &TemporalOp, frame: TemporalFrame, rhs: Option<TemporalFrame>) -> TemporalFrame {
+    match op {
+        TemporalOp::Selection { predicate } => frame.filter(predicate.clone()),
+        TemporalOp::Projection { attrs } => frame.project(attrs),
+        TemporalOp::Aggregation { group, aggs } => frame.aggregate_at(group, aggs.clone()),
+        TemporalOp::Union => frame.union(rhs.expect("binary")),
+        TemporalOp::Difference => frame.difference(rhs.expect("binary")),
+        TemporalOp::Intersection => frame.intersection(rhs.expect("binary")),
+        TemporalOp::CartesianProduct => frame.cartesian_product(rhs.expect("binary")),
+        TemporalOp::Join { theta } => frame.temporal_join(rhs.expect("binary"), theta.clone()),
+        TemporalOp::LeftOuterJoin { theta } => {
+            frame.left_outer_join(rhs.expect("binary"), theta.clone())
+        }
+        TemporalOp::RightOuterJoin { theta } => {
+            frame.right_outer_join(rhs.expect("binary"), theta.clone())
+        }
+        TemporalOp::FullOuterJoin { theta } => {
+            frame.full_outer_join(rhs.expect("binary"), theta.clone())
+        }
+        TemporalOp::AntiJoin { theta } => frame.anti_join(rhs.expect("binary"), theta.clone()),
+    }
+}
+
+/// Chains whose first operator is binary over `(r, s)` and whose remaining
+/// operators are unary — valid for two one-data-column relations.
+fn chains_1col() -> Vec<Vec<TemporalOp>> {
+    let count = vec![(AggCall::count_star(), "cnt".to_string())];
+    vec![
+        vec![
+            TemporalOp::Join {
+                theta: Some(col(0usize).eq(col(3usize))),
+            },
+            TemporalOp::Selection {
+                predicate: col(0usize).ge(lit(1i64)),
+            },
+            TemporalOp::Projection { attrs: vec![0] },
+        ],
+        vec![
+            TemporalOp::LeftOuterJoin { theta: None },
+            TemporalOp::Aggregation {
+                group: vec![0],
+                aggs: count.clone(),
+            },
+        ],
+        vec![
+            TemporalOp::Union,
+            TemporalOp::Selection {
+                predicate: col(0usize).lt(lit(4i64)),
+            },
+            TemporalOp::Projection { attrs: vec![0] },
+        ],
+        vec![
+            TemporalOp::Difference,
+            TemporalOp::Aggregation {
+                group: vec![],
+                aggs: count,
+            },
+        ],
+        vec![
+            TemporalOp::AntiJoin {
+                theta: Some(col(0usize).eq(col(3usize))),
+            },
+            TemporalOp::Projection { attrs: vec![0] },
+        ],
+    ]
+}
+
+/// Evaluate a chain three ways — lazy frame, eager algebra, oracle — and
+/// assert all agree.
+fn check_chain(chain: &[TemporalOp], r: &TemporalRelation, s: &TemporalRelation, label: &str) {
+    let db = Database::new();
+    let mut frame = apply_frame(&chain[0], db.frame(r), Some(db.frame(s)));
+    for op in &chain[1..] {
+        frame = apply_frame(op, frame, None);
+    }
+    let collected = frame
+        .collect()
+        .unwrap_or_else(|e| panic!("{label}: frame collect: {e}"));
+
+    let alg = TemporalAlgebra::default();
+    let mut eager = chain[0]
+        .evaluate(&alg, &[r, s])
+        .unwrap_or_else(|e| panic!("{label}: eager {}: {e}", chain[0].name()));
+    for op in &chain[1..] {
+        eager = op
+            .evaluate(&alg, &[&eager])
+            .unwrap_or_else(|e| panic!("{label}: eager {}: {e}", op.name()));
+    }
+
+    let mut oracle = evaluate_oracle(&chain[0], &[r, s])
+        .unwrap_or_else(|e| panic!("{label}: oracle {}: {e}", chain[0].name()));
+    for op in &chain[1..] {
+        oracle = evaluate_oracle(op, &[&oracle])
+            .unwrap_or_else(|e| panic!("{label}: oracle {}: {e}", op.name()));
+    }
+
+    assert!(
+        collected.same_set(&eager),
+        "{label}: frame vs eager mismatch.\nframe:\n{collected}\neager:\n{eager}"
+    );
+    assert!(
+        collected.same_set(&oracle),
+        "{label}: frame vs oracle mismatch.\nframe:\n{collected}\noracle:\n{oracle}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Frame pipelines over the paper's synthetic datasets: frame ≡ eager
+    /// ≡ oracle on Ddisj and Deq of random sizes.
+    #[test]
+    fn frame_pipelines_agree_on_ddisj_and_deq(n in 2usize..6) {
+        let (r, s) = ddisj(n);
+        for (i, chain) in chains_1col().iter().enumerate() {
+            check_chain(chain, &r, &s, &format!("ddisj({n}) chain {i}"));
+        }
+        let (r, s) = deq(n);
+        for (i, chain) in chains_1col().iter().enumerate() {
+            check_chain(chain, &r, &s, &format!("deq({n}) chain {i}"));
+        }
+    }
+
+    /// Frame pipelines on Drand (random intervals, asymmetric schemas).
+    #[test]
+    fn frame_pipelines_agree_on_drand(n in 2usize..6, seed in 0u64..1000) {
+        let (r, s) = drand(n, seed);
+        // concat row = (id, ts, te, a, min, max, ts, te)
+        let chains: Vec<Vec<TemporalOp>> = vec![
+            vec![
+                TemporalOp::Join { theta: Some(col(0usize).lt(col(3usize))) },
+                TemporalOp::Projection { attrs: vec![0] },
+                TemporalOp::Aggregation {
+                    group: vec![],
+                    aggs: vec![(AggCall::count_star(), "cnt".to_string())],
+                },
+            ],
+            vec![
+                TemporalOp::AntiJoin { theta: Some(col(0usize).eq(col(3usize))) },
+                TemporalOp::Selection { predicate: col(0usize).ge(lit(0i64)) },
+                TemporalOp::Projection { attrs: vec![0] },
+            ],
+            vec![
+                TemporalOp::FullOuterJoin { theta: Some(col(0usize).lt(col(3usize))) },
+                TemporalOp::Projection { attrs: vec![0, 1] },
+            ],
+        ];
+        for (i, chain) in chains.iter().enumerate() {
+            check_chain(chain, &r, &s, &format!("drand({n}, {seed}) chain {i}"));
+        }
+    }
+}
+
+// ---- acceptance: every TemporalAlgebra operator via frames -------------
+
+/// Every operator reachable from `TemporalAlgebra` is expressible through
+/// `TemporalFrame` with *name-based* expressions, and agrees with the
+/// eager evaluation.
+#[test]
+fn every_algebra_operator_is_expressible_via_frames() {
+    let r = rel1("r", &[(1, 0, 8), (2, 5, 12), (3, 1, 3)]);
+    let s = rel1("s", &[(1, 2, 4), (2, 6, 15), (2, 1, 5)]);
+    let db = Database::new();
+    db.register("r", &r).unwrap();
+    db.register("s", &s).unwrap();
+    let alg = TemporalAlgebra::default();
+
+    let rf = || db.table("r").unwrap();
+    let sf = || db.table("s").unwrap();
+    let theta_named = || col("r.k").eq(col("s.k"));
+    let theta_pos = || col(0usize).eq(col(3usize));
+    let count = || vec![(AggCall::count_star(), "cnt".to_string())];
+
+    let cases: Vec<(&str, TemporalFrame, TemporalRelation)> = vec![
+        (
+            "selection",
+            rf().filter(col("k").ge(lit(2i64))),
+            alg.selection(&r, col(0usize).ge(lit(2i64))).unwrap(),
+        ),
+        (
+            "cartesian_product",
+            rf().cartesian_product(sf()),
+            alg.cartesian_product(&r, &s).unwrap(),
+        ),
+        (
+            "join",
+            rf().temporal_join(sf(), theta_named()),
+            alg.join(&r, &s, Some(theta_pos())).unwrap(),
+        ),
+        (
+            "left_outer_join",
+            rf().left_outer_join(sf(), theta_named()),
+            alg.left_outer_join(&r, &s, Some(theta_pos())).unwrap(),
+        ),
+        (
+            "right_outer_join",
+            rf().right_outer_join(sf(), theta_named()),
+            alg.right_outer_join(&r, &s, Some(theta_pos())).unwrap(),
+        ),
+        (
+            "full_outer_join",
+            rf().full_outer_join(sf(), theta_named()),
+            alg.full_outer_join(&r, &s, Some(theta_pos())).unwrap(),
+        ),
+        (
+            "anti_join",
+            rf().anti_join(sf(), theta_named()),
+            alg.anti_join(&r, &s, Some(theta_pos())).unwrap(),
+        ),
+        (
+            "anti_join_optimized",
+            rf().anti_join_optimized(sf(), theta_named()),
+            alg.anti_join_optimized(&r, &s, Some(theta_pos())).unwrap(),
+        ),
+        (
+            "projection",
+            rf().select(&["k"]),
+            alg.projection(&r, &[0]).unwrap(),
+        ),
+        (
+            "aggregation",
+            rf().aggregate(&["k"], count()),
+            alg.aggregation(&r, &[0], count()).unwrap(),
+        ),
+        ("union", rf().union(sf()), alg.union(&r, &s).unwrap()),
+        (
+            "difference",
+            rf().difference(sf()),
+            alg.difference(&r, &s).unwrap(),
+        ),
+        (
+            "intersection",
+            rf().intersection(sf()),
+            alg.intersection(&r, &s).unwrap(),
+        ),
+        (
+            "align",
+            rf().align(sf(), theta_named()),
+            alg.align(&r, &s, Some(theta_pos())).unwrap(),
+        ),
+        (
+            "normalize",
+            rf().normalize_using(sf(), &["k"]),
+            alg.normalize(&r, &s, &[(0, 0)]).unwrap(),
+        ),
+        ("absorb", rf().absorb(), alg.absorb(&r).unwrap()),
+    ];
+
+    for (op, frame, eager) in cases {
+        let collected = frame
+            .collect()
+            .unwrap_or_else(|e| panic!("{op}: frame collect: {e}"));
+        assert!(
+            collected.same_set(&eager),
+            "{op}: frame vs algebra mismatch.\nframe:\n{collected}\nalgebra:\n{eager}"
+        );
+    }
+}
+
+// ---- name resolution errors --------------------------------------------
+
+#[test]
+fn unknown_column_gets_did_you_mean() {
+    let db = Database::new();
+    db.register("r", &rel2("r", &[(1, 10, 0, 5)])).unwrap();
+    let err = db
+        .table("r")
+        .unwrap()
+        .filter(col("v").eq(lit(1i64)))
+        .collect()
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("unknown column 'v'"), "{err}");
+    assert!(err.contains("did you mean"), "{err}");
+}
+
+#[test]
+fn ambiguous_column_lists_qualified_candidates() {
+    let db = Database::new();
+    db.register("r", &rel1("r", &[(1, 0, 5)])).unwrap();
+    db.register("s", &rel1("s", &[(1, 2, 4)])).unwrap();
+    // The registered tables are re-qualified by table name, so the join
+    // concat has r.k and s.k: bare `k` in θ is ambiguous…
+    let err = db
+        .table("r")
+        .unwrap()
+        .temporal_join(db.table("s").unwrap(), col("k").eq(lit(1i64)))
+        .collect()
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("ambiguous"), "{err}");
+    assert!(err.contains("r.k") && err.contains("s.k"), "{err}");
+    // …and the qualified forms resolve.
+    let out = db
+        .table("r")
+        .unwrap()
+        .temporal_join(db.table("s").unwrap(), col("r.k").eq(col("s.k")))
+        .collect()
+        .unwrap();
+    assert!(!out.is_empty());
+}
+
+#[test]
+fn qualified_names_resolve_through_joins_and_aliases() {
+    let db = Database::new();
+    db.register("r", &rel2("r", &[(1, 7, 0, 5), (2, 9, 3, 9)]))
+        .unwrap();
+    // Qualifiers survive the temporal join reduction: a later filter can
+    // still name the side it means.
+    let a = db.table("r").unwrap().alias("a");
+    let b = db.table("r").unwrap().alias("b");
+    let out = a
+        .temporal_join(b, col("a.k").eq(col("b.k")))
+        .filter(col("a.w").ge(lit(7i64)).and(col("b.w").le(lit(9i64))))
+        .collect()
+        .unwrap();
+    assert!(!out.is_empty());
+    // name("…") is the explicit qualified builder.
+    let out2 = db
+        .table("r")
+        .unwrap()
+        .filter(name("r.w").gt(lit(8i64)))
+        .collect()
+        .unwrap();
+    assert_eq!(out2.len(), 1);
+}
+
+// ---- one Database behind both surfaces ---------------------------------
+
+/// Acceptance: register via one surface, query via the other — Rust
+/// frames and `db.sql()` see the same catalog instance.
+#[test]
+fn rust_and_sql_share_one_catalog() {
+    let db = Database::new();
+
+    // Registered via the Rust surface → queried via SQL.
+    db.register("r", &rel1("r", &[(1, 0, 5), (2, 3, 9)]))
+        .unwrap();
+    let via_sql = db.sql_rows("SELECT k FROM r WHERE k = 2").unwrap();
+    assert_eq!(via_sql.len(), 1);
+
+    // Registered via the SQL session → queried via frames.
+    let mut session = Session::with_database(db.clone());
+    session
+        .register_temporal("s", &rel1("s", &[(5, 1, 4)]))
+        .unwrap();
+    let via_frame = db
+        .table("s")
+        .unwrap()
+        .filter(col("k").eq(lit(5i64)))
+        .collect()
+        .unwrap();
+    assert_eq!(via_frame.len(), 1);
+
+    // Dropping through the Database is visible to SQL too.
+    assert!(db.drop_table("s"));
+    assert!(db.sql_rows("SELECT * FROM s").is_err());
+    assert_eq!(db.list_tables(), vec!["r".to_string()]);
+}
+
+/// Acceptance: a frame's EXPLAIN is the *same physical plan* the SQL
+/// surface produces for the equivalent query — not merely equivalent
+/// output, the identical rendered tree.
+#[test]
+fn frame_explain_matches_sql_explain() {
+    let db = Database::new();
+    db.register("t", &rel2("t", &[(1, 7, 0, 5), (2, 9, 3, 9), (1, 4, 6, 8)]))
+        .unwrap();
+
+    let frame_plan = db
+        .table("t")
+        .unwrap()
+        .filter(col("k").eq(lit(1i64)))
+        .explain()
+        .unwrap();
+    let sql_plan = db.sql_explain("SELECT * FROM t WHERE k = 1").unwrap();
+    assert_eq!(
+        frame_plan, sql_plan,
+        "frame:\n{frame_plan}\nsql:\n{sql_plan}"
+    );
+
+    // The shared planner's GUCs steer both surfaces identically.
+    db.set("enable_hashjoin", false).unwrap();
+    db.set("enable_mergejoin", false).unwrap();
+    let frame_join = db
+        .table("t")
+        .unwrap()
+        .alias("a")
+        .temporal_join(db.table("t").unwrap().alias("b"), col("a.k").eq(col("b.k")))
+        .explain()
+        .unwrap();
+    assert!(frame_join.contains("NestedLoopJoin"), "{frame_join}");
+    let sql_probe = db
+        .sql_explain("SELECT * FROM t a JOIN t b ON a.k = b.k AND a.ts = b.ts")
+        .unwrap();
+    assert!(sql_probe.contains("NestedLoopJoin"), "{sql_probe}");
+}
+
+/// `SET` through SQL reconfigures the planner frames use (and vice
+/// versa): one planner, not two copies to keep in sync.
+#[test]
+fn set_through_sql_affects_frames() {
+    let db = Database::new();
+    db.register("t", &rel1("t", &[(1, 0, 5), (2, 3, 9)]))
+        .unwrap();
+    db.sql("SET enable_hashjoin = off").unwrap();
+    db.sql("SET enable_mergejoin = off").unwrap();
+    let plan = db
+        .table("t")
+        .unwrap()
+        .alias("a")
+        .temporal_join(db.table("t").unwrap().alias("b"), col("a.k").eq(col("b.k")))
+        .explain()
+        .unwrap();
+    assert!(plan.contains("NestedLoopJoin"), "{plan}");
+    assert!(!plan.contains("HashJoin"), "{plan}");
+    db.sql("SET enable_hashjoin = on").unwrap();
+    let plan = db
+        .table("t")
+        .unwrap()
+        .alias("a")
+        .temporal_join(db.table("t").unwrap().alias("b"), col("a.k").eq(col("b.k")))
+        .explain()
+        .unwrap();
+    assert!(plan.contains("HashJoin"), "{plan}");
+}
+
+/// Lazy means lazy: building a frame over a table, then replacing the
+/// table before collect, executes against the *current* catalog state.
+#[test]
+fn frames_are_lazy_until_collect() {
+    let db = Database::new();
+    db.register("t", &rel1("t", &[(1, 0, 5)])).unwrap();
+    let frame = db.table("t").unwrap().filter(col("k").ge(lit(0i64)));
+    db.register_or_replace("t", &rel1("t", &[(1, 0, 5), (2, 1, 3), (3, 4, 6)]));
+    assert_eq!(frame.collect().unwrap().len(), 3);
+}
+
+/// collect_batches streams the same rows collect materializes.
+#[test]
+fn collect_batches_agrees_with_collect() {
+    let (r, s) = drand(64, 42);
+    let db = Database::new();
+    db.register("r", &r).unwrap();
+    db.register("s", &s).unwrap();
+    let frame = db
+        .table("r")
+        .unwrap()
+        .temporal_join(db.table("s").unwrap(), col("id").lt(col("a")))
+        .project(&[0]);
+    let collected = frame.collect().unwrap();
+    let batched: usize = frame
+        .collect_batches()
+        .unwrap()
+        .iter()
+        .map(|b| b.len())
+        .sum();
+    assert_eq!(collected.len(), batched);
+}
