@@ -14,20 +14,35 @@
 //! (unknown columns, incompatible schemas) are carried inside the frame
 //! and surface at collect/explain time, which keeps chains fluent.
 
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use temporal_engine::catalog::Catalog;
 use temporal_engine::prelude::*;
+use temporal_engine::storage::{
+    self, heap_path, Manifest, StoredTable, TableMeta, DEFAULT_BUFFER_POOL_PAGES,
+};
 
 use crate::algebra::TemporalPlan;
 use crate::error::{TemporalError, TemporalResult};
 use crate::trel::TemporalRelation;
 
-/// Shared database state: one catalog, one planner.
+/// The on-disk side of an opened database: the directory, its manifest,
+/// and the per-table buffer pool size used when (re)opening heap files.
+#[derive(Debug)]
+struct StorageRoot {
+    dir: PathBuf,
+    manifest: Manifest,
+    pool_pages: usize,
+}
+
+/// Shared database state: one catalog, one planner, optionally one
+/// storage directory (when opened via [`Database::open`]).
 #[derive(Debug, Default)]
 struct DbState {
     catalog: Catalog,
     planner: Planner,
+    storage: Option<StorageRoot>,
 }
 
 /// The unified front door: a shared [`Catalog`] + [`Planner`] behind the
@@ -82,8 +97,79 @@ impl Database {
             inner: Arc::new(RwLock::new(DbState {
                 catalog: Catalog::new(),
                 planner: Planner::new(config),
+                storage: None,
             })),
         }
+    }
+
+    /// Open (or create) a **persisted** database rooted at directory
+    /// `dir`: tables in the directory's manifest are attached as
+    /// heap-file-backed catalog entries (scans stream their pages through
+    /// a buffer pool), and every subsequent [`Database::register`] /
+    /// [`Database::register_or_replace`] writes through to disk — so a
+    /// later `open` of the same directory sees the same tables and rows.
+    ///
+    /// ```
+    /// use temporal_core::prelude::*;
+    /// use temporal_engine::prelude::*;
+    ///
+    /// let dir = std::env::temp_dir().join("talign_db_open_doc");
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// let rel = TemporalRelation::from_rows(
+    ///     Schema::new(vec![Column::new("n", DataType::Str)]),
+    ///     vec![(vec![Value::str("ann")], Interval::of(0, 7))],
+    /// )
+    /// .unwrap();
+    ///
+    /// let db = Database::open(&dir).unwrap();
+    /// db.register("r", &rel).unwrap();
+    /// drop(db);
+    ///
+    /// // A fresh process sees the same table.
+    /// let db = Database::open(&dir).unwrap();
+    /// assert_eq!(db.list_tables(), vec!["r".to_string()]);
+    /// assert_eq!(db.table("r").unwrap().collect().unwrap().len(), 1);
+    /// std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn open(dir: impl AsRef<Path>) -> TemporalResult<Database> {
+        Database::open_with_pool(dir, DEFAULT_BUFFER_POOL_PAGES)
+    }
+
+    /// [`Database::open`] with an explicit per-table buffer pool size (in
+    /// pages). A pool smaller than a table's page count still scans the
+    /// whole table — pages stream through the pool instead of residing in
+    /// memory.
+    pub fn open_with_pool(dir: impl AsRef<Path>, pool_pages: usize) -> TemporalResult<Database> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| engine_storage_err(format!("create {}: {e}", dir.display())))?;
+        let manifest = Manifest::load(&dir).map_err(EngineError::from)?;
+        let db = Database::new();
+        {
+            let mut state = db.state_mut();
+            for (name, meta) in manifest.iter() {
+                let schema = storage::schema_from_string(&meta.schema)?;
+                // Trust the manifest's cached row count: pages validate
+                // lazily on every pinned access, so open stays
+                // O(manifest), not O(data).
+                let table = StoredTable::open_with_count(
+                    dir.join(&meta.file),
+                    name.clone(),
+                    schema,
+                    pool_pages,
+                    meta.rows,
+                )?;
+                state
+                    .catalog
+                    .register_stored(name.clone(), Arc::new(table))?;
+            }
+            state.storage = Some(StorageRoot {
+                dir,
+                manifest,
+                pool_pages,
+            });
+        }
+        Ok(db)
     }
 
     fn state(&self) -> RwLockReadGuard<'_, DbState> {
@@ -102,34 +188,182 @@ impl Database {
     // ---- catalog ---------------------------------------------------------
 
     /// Register a temporal relation as a table; errors if the name is
-    /// taken. Rows are shared, not copied.
+    /// taken. Rows are shared, not copied — except on a database opened
+    /// via [`Database::open`], where registration is **durable**: the
+    /// rows are written to a heap file and the table is backed by it.
     pub fn register(&self, name: impl Into<String>, rel: &TemporalRelation) -> TemporalResult<()> {
-        self.state_mut()
-            .catalog
-            .register_shared(name, Arc::new(rel.rel().clone()))
-            .map_err(TemporalError::from)
+        self.register_relation(name, rel.rel().clone())
     }
 
-    /// Register or replace a temporal relation as a table.
-    pub fn register_or_replace(&self, name: impl Into<String>, rel: &TemporalRelation) {
-        self.state_mut()
-            .catalog
-            .register_or_replace_shared(name, Arc::new(rel.rel().clone()));
+    /// Register or replace a temporal relation as a table. On a durable
+    /// database the replacement is atomic per table: the new rows are
+    /// written to a temp file renamed over `<name>.heap` and the manifest
+    /// entry is replaced in place — the old durable copy stays intact if
+    /// persisting fails, and no dangling heap files are left behind.
+    pub fn register_or_replace(
+        &self,
+        name: impl Into<String>,
+        rel: &TemporalRelation,
+    ) -> TemporalResult<()> {
+        let name = name.into();
+        let mut state = self.state_mut();
+        if state.storage.is_some() {
+            // persist_into swaps the heap file atomically and replaces
+            // both the manifest entry and the catalog entry.
+            Self::persist_into(&mut state, &name, rel.rel())
+        } else {
+            state
+                .catalog
+                .register_or_replace_shared(name, Arc::new(rel.rel().clone()));
+            Ok(())
+        }
     }
 
     /// Register a plain (not necessarily temporal) relation — such tables
     /// are reachable from SQL and from [`Database::relation`], but not
     /// from [`Database::table`], which requires the temporal shape.
+    /// Durable on an opened database, like [`Database::register`].
     pub fn register_relation(&self, name: impl Into<String>, rel: Relation) -> TemporalResult<()> {
-        self.state_mut()
-            .catalog
-            .register(name, rel)
-            .map_err(TemporalError::from)
+        let name = name.into();
+        let mut state = self.state_mut();
+        if state.catalog.contains(&name) {
+            return Err(TemporalError::from(EngineError::DuplicateTable(name)));
+        }
+        if state.storage.is_some() {
+            Self::persist_into(&mut state, &name, &rel)
+        } else {
+            state
+                .catalog
+                .register(name, rel)
+                .map_err(TemporalError::from)
+        }
     }
 
-    /// Drop a table; returns whether it existed.
-    pub fn drop_table(&self, name: &str) -> bool {
-        self.state_mut().catalog.drop_table(name).is_some()
+    /// Drop a table; returns whether it existed. On a persisted database
+    /// this also deletes the table's heap file and manifest entry —
+    /// errors if that cleanup fails (the table would otherwise resurrect
+    /// on reopen).
+    pub fn drop_table(&self, name: &str) -> TemporalResult<bool> {
+        let mut state = self.state_mut();
+        let existed = state.catalog.drop_table(name).is_some();
+        Self::remove_persisted(&mut state, name)?;
+        Ok(existed)
+    }
+
+    // ---- persistence -----------------------------------------------------
+
+    /// The storage directory, when this database was opened on one.
+    pub fn storage_dir(&self) -> Option<PathBuf> {
+        self.state().storage.as_ref().map(|r| r.dir.clone())
+    }
+
+    /// Does this database write registrations through to disk?
+    pub fn is_durable(&self) -> bool {
+        self.state().storage.is_some()
+    }
+
+    /// Persist table `name` into the database's storage directory: its
+    /// current rows are written to `<dir>/<name>.heap`, the manifest is
+    /// updated, and the catalog entry switches to the heap-file backing
+    /// (scans now stream pages through the buffer pool). Errors if the
+    /// database was not opened on a directory ([`Database::open`]).
+    pub fn persist(&self, name: &str) -> TemporalResult<()> {
+        let mut state = self.state_mut();
+        if state.storage.is_none() {
+            return Err(TemporalError::Unsupported(
+                "database has no storage directory; open one with Database::open(dir)".into(),
+            ));
+        }
+        let rel = state.catalog.get(name).map_err(TemporalError::from)?;
+        Self::persist_into(&mut state, name, &rel)
+    }
+
+    /// Append rows to table `name` (arity-checked). In-memory tables get
+    /// copy-on-write appends; persisted tables append through the buffer
+    /// pool and the manifest row count is refreshed. Returns the number
+    /// of appended rows.
+    pub fn insert_rows(&self, name: &str, rows: Vec<Row>) -> TemporalResult<usize> {
+        let mut state = self.state_mut();
+        let n = rows.len();
+        match state.catalog.source(name).map_err(TemporalError::from)? {
+            TableSource::Stored(table) => {
+                // Validate the whole batch up front so a bad row cannot
+                // leave a prefix durably appended (the in-memory branch is
+                // naturally all-or-nothing; match its semantics for the
+                // foreseeable error class).
+                let arity = table.schema().len();
+                for (i, r) in rows.iter().enumerate() {
+                    if r.len() != arity {
+                        return Err(TemporalError::from(EngineError::SchemaMismatch(format!(
+                            "row {i} has {} values, table '{name}' has {arity} columns",
+                            r.len()
+                        ))));
+                    }
+                }
+                table.append_rows(rows.iter())?;
+                table.flush()?;
+                if let Some(root) = &mut state.storage {
+                    if let Some(meta) = root.manifest.get(name) {
+                        let mut meta = meta.clone();
+                        meta.rows = table.row_count();
+                        root.manifest.insert(name, meta);
+                        root.manifest.save(&root.dir).map_err(EngineError::from)?;
+                    }
+                }
+            }
+            TableSource::Mem(rel) => {
+                let mut new_rel = (*rel).clone();
+                for r in rows {
+                    new_rel.push(r).map_err(TemporalError::from)?;
+                }
+                state
+                    .catalog
+                    .register_or_replace_shared(name, Arc::new(new_rel));
+            }
+        }
+        Ok(n)
+    }
+
+    /// Write `rel` as the heap file of `name`, update the manifest and
+    /// switch the catalog entry to the stored backing. Caller must have
+    /// verified `state.storage` is present.
+    fn persist_into(state: &mut DbState, name: &str, rel: &Relation) -> TemporalResult<()> {
+        let root = state
+            .storage
+            .as_mut()
+            .expect("persist_into requires a storage root");
+        let table = StoredTable::persist_relation(&root.dir, name, rel, root.pool_pages)?;
+        root.manifest.insert(
+            name,
+            TableMeta {
+                file: format!("{name}.{}", storage::HEAP_EXT),
+                fingerprint: storage::schema_fingerprint(table.schema()),
+                rows: table.row_count(),
+                schema: storage::schema_to_string(table.schema()),
+            },
+        );
+        root.manifest.save(&root.dir).map_err(EngineError::from)?;
+        state.catalog.register_or_replace_stored(name, table);
+        Ok(())
+    }
+
+    /// Remove `name`'s manifest entry and heap file, if any.
+    fn remove_persisted(state: &mut DbState, name: &str) -> TemporalResult<()> {
+        let Some(root) = &mut state.storage else {
+            return Ok(());
+        };
+        if root.manifest.remove(name).is_some() {
+            root.manifest.save(&root.dir).map_err(EngineError::from)?;
+        }
+        let path = heap_path(&root.dir, name);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(engine_storage_err(format!(
+                "remove {}: {e}",
+                path.display()
+            ))),
+        }
     }
 
     /// Names of all registered tables, sorted.
@@ -169,7 +403,9 @@ impl Database {
     /// Run `f` with exclusive access to the catalog and planner.
     pub fn write<R>(&self, f: impl FnOnce(&mut Catalog, &mut Planner) -> R) -> R {
         let mut state = self.state_mut();
-        let DbState { catalog, planner } = &mut *state;
+        let DbState {
+            catalog, planner, ..
+        } = &mut *state;
         f(catalog, planner)
     }
 
@@ -177,9 +413,13 @@ impl Database {
 
     /// Start a lazy frame over a registered temporal table. Columns are
     /// qualified with the table name, so `col("staff.team")` resolves.
+    /// Only the schema is touched here — a persisted table is not read
+    /// until the frame executes (and then its pages stream).
     pub fn table(&self, name: &str) -> TemporalResult<TemporalFrame> {
-        let rel = self.relation(name)?;
-        let schema = rel.schema().with_qualifier(name);
+        let schema = self
+            .read(|catalog, _| catalog.schema_of(name))
+            .map_err(TemporalError::from)?;
+        let schema = schema.with_qualifier(name);
         Ok(TemporalFrame {
             db: self.clone(),
             state: TemporalPlan::table(name, schema),
@@ -210,6 +450,11 @@ impl Database {
     fn physical(&self, plan: &TemporalPlan) -> TemporalResult<PhysicalPlan> {
         self.read(|catalog, planner| plan.physical(planner, catalog))
     }
+}
+
+/// Build the engine-storage error used for filesystem-level failures.
+fn engine_storage_err(msg: String) -> TemporalError {
+    TemporalError::from(EngineError::Storage(msg))
 }
 
 /// A lazy, name-based temporal query: operators of the sequenced temporal
@@ -702,8 +947,8 @@ mod tests {
             db.list_tables(),
             vec!["oncall".to_string(), "staff".to_string()]
         );
-        assert!(db.drop_table("oncall"));
-        assert!(!db.drop_table("oncall"));
+        assert!(db.drop_table("oncall").unwrap());
+        assert!(!db.drop_table("oncall").unwrap());
         assert!(db.table("oncall").is_err());
     }
 
@@ -723,6 +968,97 @@ mod tests {
             .unwrap();
         assert!(plan.contains("NestedLoopJoin"), "{plan}");
         assert!(db.set("enable_time_travel", true).is_err());
+    }
+
+    fn storage_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("talign_frame_storage_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_register_reopen_round_trip() {
+        let dir = storage_dir("roundtrip");
+        {
+            let db = Database::open(&dir).unwrap();
+            assert!(db.is_durable());
+            assert_eq!(db.storage_dir().unwrap(), dir);
+            db.register("staff", &staff()).unwrap();
+            // Durable registration backs the table with a heap file.
+            assert!(db.read(|c, _| c.source("staff").unwrap().is_stored()));
+        }
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.list_tables(), vec!["staff".to_string()]);
+        let out = db.table("staff").unwrap().collect().unwrap();
+        assert!(out.same_set(&staff()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_switches_backing_and_survives() {
+        let dir = storage_dir("persist");
+        let db = Database::open(&dir).unwrap();
+        // An in-memory database has no storage root:
+        assert!(Database::new().persist("staff").is_err());
+        db.register("staff", &staff()).unwrap();
+        // Re-persisting an already-stored table is fine (idempotent).
+        db.persist("staff").unwrap();
+        let heap = dir.join("staff.heap");
+        assert!(heap.exists());
+        assert!(db.persist("nope").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replace_and_drop_clean_up_heap_files() {
+        let dir = storage_dir("replace");
+        let db = Database::open(&dir).unwrap();
+        db.register("staff", &staff()).unwrap();
+        let heap = dir.join("staff.heap");
+        assert!(heap.exists());
+
+        // Replacing rewrites the file (no dangling bytes from the old
+        // heap) and keeps the table queryable.
+        db.register_or_replace("staff", &oncall()).unwrap();
+        assert!(heap.exists());
+        let out = db.table("staff").unwrap().collect().unwrap();
+        assert!(out.same_set(&oncall()));
+
+        // Dropping removes file + manifest entry.
+        assert!(db.drop_table("staff").unwrap());
+        assert!(!heap.exists());
+        drop(db);
+        let db = Database::open(&dir).unwrap();
+        assert!(db.list_tables().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn insert_rows_appends_to_both_backings() {
+        let dir = storage_dir("insert");
+        let db = Database::open(&dir).unwrap();
+        db.register("staff", &staff()).unwrap();
+        let extra = Row::new(vec![
+            Value::str("zoe"),
+            Value::str("ml"),
+            Value::Int(1),
+            Value::Int(4),
+        ]);
+        assert_eq!(db.insert_rows("staff", vec![extra.clone()]).unwrap(), 1);
+        drop(db);
+        // The append is durable.
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.table("staff").unwrap().collect().unwrap().len(), 4);
+
+        // And the in-memory path works the same (minus durability).
+        let mem = Database::new();
+        mem.register("staff", &staff()).unwrap();
+        mem.insert_rows("staff", vec![extra]).unwrap();
+        assert_eq!(mem.table("staff").unwrap().collect().unwrap().len(), 4);
+        assert!(mem.insert_rows("nope", vec![]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,15 +1,56 @@
 //! A named-table catalog, the engine's equivalent of a database schema.
+//!
+//! Since the storage layer landed, a table is backed by one of two
+//! [`TableSource`]s: an in-memory [`Relation`] (the original behavior) or
+//! an on-disk [`StoredTable`] heap file scanned through a buffer pool.
+//! The planner resolves `TableScan` nodes via [`Catalog::source`] so
+//! stored tables execute as streaming page scans; [`Catalog::get`]
+//! remains as the materializing compatibility accessor.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::error::{EngineError, EngineResult};
 use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::storage::StoredTable;
 
-/// Maps table names to materialized relations.
+/// The physical backing of a catalog table.
+#[derive(Debug, Clone)]
+pub enum TableSource {
+    /// Materialized in memory; scans are `Arc` bumps.
+    Mem(Arc<Relation>),
+    /// Heap file behind a buffer pool; scans stream pages.
+    Stored(Arc<StoredTable>),
+}
+
+impl TableSource {
+    /// The table schema (unqualified).
+    pub fn schema(&self) -> &Schema {
+        match self {
+            TableSource::Mem(rel) => rel.schema(),
+            TableSource::Stored(t) => t.schema(),
+        }
+    }
+
+    /// Current row count.
+    pub fn row_count(&self) -> usize {
+        match self {
+            TableSource::Mem(rel) => rel.len(),
+            TableSource::Stored(t) => t.row_count() as usize,
+        }
+    }
+
+    /// Is this table backed by a heap file?
+    pub fn is_stored(&self) -> bool {
+        matches!(self, TableSource::Stored(_))
+    }
+}
+
+/// Maps table names to their sources.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, Arc<Relation>>,
+    tables: BTreeMap<String, TableSource>,
 }
 
 impl Catalog {
@@ -17,7 +58,7 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register a table; errors if the name is taken.
+    /// Register an in-memory table; errors if the name is taken.
     pub fn register(&mut self, name: impl Into<String>, rel: Relation) -> EngineResult<()> {
         self.register_shared(name, Arc::new(rel))
     }
@@ -29,34 +70,72 @@ impl Catalog {
         name: impl Into<String>,
         rel: Arc<Relation>,
     ) -> EngineResult<()> {
+        self.register_source(name, TableSource::Mem(rel))
+    }
+
+    /// Register a heap-file-backed table; errors if the name is taken.
+    pub fn register_stored(
+        &mut self,
+        name: impl Into<String>,
+        table: Arc<StoredTable>,
+    ) -> EngineResult<()> {
+        self.register_source(name, TableSource::Stored(table))
+    }
+
+    /// Register any source; errors if the name is taken.
+    pub fn register_source(
+        &mut self,
+        name: impl Into<String>,
+        source: TableSource,
+    ) -> EngineResult<()> {
         let name = name.into();
         if self.tables.contains_key(&name) {
             return Err(EngineError::DuplicateTable(name));
         }
-        self.tables.insert(name, rel);
+        self.tables.insert(name, source);
         Ok(())
     }
 
-    /// Register or replace a table.
+    /// Register or replace an in-memory table.
     pub fn register_or_replace(&mut self, name: impl Into<String>, rel: Relation) {
         self.register_or_replace_shared(name, Arc::new(rel));
     }
 
     /// Register or replace a table with an already-shared relation.
     pub fn register_or_replace_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
-        self.tables.insert(name.into(), rel);
+        self.tables.insert(name.into(), TableSource::Mem(rel));
     }
 
-    /// Look up a table.
+    /// Register or replace a heap-file-backed table.
+    pub fn register_or_replace_stored(&mut self, name: impl Into<String>, table: Arc<StoredTable>) {
+        self.tables.insert(name.into(), TableSource::Stored(table));
+    }
+
+    /// Look up a table as a materialized relation. In-memory tables are
+    /// shared (`Arc` bump); stored tables are **read off disk in full** —
+    /// execution paths should use [`Catalog::source`] and stream instead.
     pub fn get(&self, name: &str) -> EngineResult<Arc<Relation>> {
+        match self.source(name)? {
+            TableSource::Mem(rel) => Ok(rel),
+            TableSource::Stored(t) => Ok(Arc::new(t.read_all()?)),
+        }
+    }
+
+    /// Look up a table's backing source (cheap: `Arc` clone).
+    pub fn source(&self, name: &str) -> EngineResult<TableSource> {
         self.tables
             .get(name)
             .cloned()
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
     }
 
-    /// Remove a table, returning it if present.
-    pub fn drop_table(&mut self, name: &str) -> Option<Arc<Relation>> {
+    /// A table's schema without materializing anything.
+    pub fn schema_of(&self, name: &str) -> EngineResult<Schema> {
+        Ok(self.source(name)?.schema().clone())
+    }
+
+    /// Remove a table, returning its source if present.
+    pub fn drop_table(&mut self, name: &str) -> Option<TableSource> {
         self.tables.remove(name)
     }
 
@@ -87,7 +166,9 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{Column, DataType, Schema};
+    use crate::schema::{Column, DataType};
+    use crate::tuple::Row;
+    use crate::value::Value;
 
     fn rel() -> Relation {
         Relation::empty(Schema::new(vec![Column::new("a", DataType::Int)]))
@@ -100,6 +181,7 @@ mod tests {
         assert!(c.get("t").is_ok());
         assert!(c.get("u").is_err());
         assert_eq!(c.table_names(), vec!["t"]);
+        assert_eq!(c.schema_of("t").unwrap().names(), vec!["a"]);
     }
 
     #[test]
@@ -118,5 +200,36 @@ mod tests {
         assert!(c.drop_table("t").is_some());
         assert!(c.get("t").is_err());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stored_tables_register_and_materialize() {
+        let dir = std::env::temp_dir().join("talign_engine_catalog_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cat.heap");
+        let _ = std::fs::remove_file(&path);
+        let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+        let t = StoredTable::create(&path, "t", schema, 2).unwrap();
+        t.append_row(&Row::new(vec![Value::Int(41)])).unwrap();
+        t.flush().unwrap();
+
+        let mut c = Catalog::new();
+        c.register_stored("t", Arc::new(t)).unwrap();
+        assert!(c.source("t").unwrap().is_stored());
+        assert_eq!(c.source("t").unwrap().row_count(), 1);
+        assert_eq!(c.schema_of("t").unwrap().names(), vec!["a"]);
+        // Compatibility accessor materializes.
+        let rel = c.get("t").unwrap();
+        assert_eq!(rel.rows()[0][0], Value::Int(41));
+        assert!(c
+            .register_stored(
+                "t",
+                match c.source("t").unwrap() {
+                    TableSource::Stored(t) => t,
+                    _ => unreachable!(),
+                }
+            )
+            .is_err());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -19,6 +19,8 @@ pub enum EngineError {
     Unsupported(String),
     /// Arithmetic overflow or similar evaluation failure.
     Evaluation(String),
+    /// A storage-layer failure (paging, buffering, manifest or codec).
+    Storage(String),
     /// An internal invariant was violated (a bug in the engine).
     Internal(String),
 }
@@ -33,12 +35,19 @@ impl fmt::Display for EngineError {
             EngineError::TypeError(m) => write!(f, "type error: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::Evaluation(m) => write!(f, "evaluation error: {m}"),
+            EngineError::Storage(m) => write!(f, "storage error: {m}"),
             EngineError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<temporal_store::StoreError> for EngineError {
+    fn from(e: temporal_store::StoreError) -> Self {
+        EngineError::Storage(e.to_string())
+    }
+}
 
 /// Result alias used throughout the engine.
 pub type EngineResult<T> = Result<T, EngineError>;

@@ -31,6 +31,7 @@ mod project;
 mod scan;
 mod setops;
 mod sort;
+mod storage_scan;
 mod values;
 
 pub use aggregate::{aggregate_rows, HashAggregateExec};
@@ -45,6 +46,7 @@ pub use project::ProjectExec;
 pub use scan::SeqScanExec;
 pub use setops::HashSetOpExec;
 pub use sort::{sort_rows, sort_rows_batched, SortExec};
+pub use storage_scan::StorageScanExec;
 pub use values::ValuesExec;
 
 use crate::batch::{RowBatch, BATCH_SIZE};

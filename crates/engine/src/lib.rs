@@ -64,13 +64,14 @@ pub mod hashing;
 pub mod plan;
 pub mod relation;
 pub mod schema;
+pub mod storage;
 pub mod tuple;
 pub mod value;
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::batch::{RowBatch, BATCH_SIZE};
-    pub use crate::catalog::Catalog;
+    pub use crate::catalog::{Catalog, TableSource};
     pub use crate::error::{EngineError, EngineResult};
     pub use crate::exec::{BoxedExec, ExecNode};
     pub use crate::expr::{
@@ -81,6 +82,7 @@ pub mod prelude {
     };
     pub use crate::relation::Relation;
     pub use crate::schema::{Column, DataType, Schema};
+    pub use crate::storage::StoredTable;
     pub use crate::tuple::Row;
     pub use crate::value::Value;
 }

@@ -148,17 +148,23 @@ impl Planner {
     ) -> EngineResult<PhysicalPlan> {
         Ok(match lp {
             LogicalPlan::TableScan { name, schema } => {
-                let rel = catalog.get(name)?;
-                if rel.schema().len() != schema.len() {
+                let source = catalog.source(name)?;
+                if source.schema().len() != schema.len() {
                     return Err(EngineError::SchemaMismatch(format!(
                         "table '{name}' has {} columns, plan expected {}",
-                        rel.schema().len(),
+                        source.schema().len(),
                         schema.len()
                     )));
                 }
-                PhysicalPlan::SeqScan {
-                    rel,
-                    label: name.clone(),
+                match source {
+                    crate::catalog::TableSource::Mem(rel) => PhysicalPlan::SeqScan {
+                        rel,
+                        label: name.clone(),
+                    },
+                    crate::catalog::TableSource::Stored(table) => PhysicalPlan::StorageScan {
+                        table,
+                        label: name.clone(),
+                    },
                 }
             }
             LogicalPlan::InlineScan { rel } => PhysicalPlan::SeqScan {

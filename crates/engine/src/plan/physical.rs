@@ -7,7 +7,7 @@ use crate::error::EngineResult;
 use crate::exec::{
     collect, BoxedExec, DistinctExec, FilterExec, HashAggregateExec, HashJoinExec, HashSetOpExec,
     IntervalJoinExec, LimitExec, MergeJoinExec, NestedLoopJoinExec, ProjectExec, SeqScanExec,
-    SortExec,
+    SortExec, StorageScanExec,
 };
 use crate::expr::{AggCall, Expr, SortKey};
 use crate::plan::cost::{CostModel, PlanStats};
@@ -15,12 +15,19 @@ use crate::plan::logical::ExtensionNode;
 use crate::plan::{JoinType, SetOpKind};
 use crate::relation::Relation;
 use crate::schema::Schema;
+use crate::storage::StoredTable;
 
 /// A physical (executable) plan.
 #[derive(Debug, Clone)]
 pub enum PhysicalPlan {
     SeqScan {
         rel: Arc<Relation>,
+        label: String,
+    },
+    /// Streaming scan over a heap-file table: pages decode into batches
+    /// through the table's buffer pool, never materializing the heap.
+    StorageScan {
+        table: Arc<StoredTable>,
         label: String,
     },
     Filter {
@@ -95,6 +102,7 @@ impl PhysicalPlan {
     pub fn schema(&self) -> Schema {
         match self {
             PhysicalPlan::SeqScan { rel, .. } => rel.schema().clone(),
+            PhysicalPlan::StorageScan { table, .. } => table.schema().clone(),
             PhysicalPlan::Filter { input, .. } => input.schema(),
             PhysicalPlan::Project { schema, .. } => schema.clone(),
             PhysicalPlan::Sort { input, .. } => input.schema(),
@@ -137,7 +145,7 @@ impl PhysicalPlan {
     /// traversal below goes through it.
     pub fn children(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::SeqScan { .. } => vec![],
+            PhysicalPlan::SeqScan { .. } | PhysicalPlan::StorageScan { .. } => vec![],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Sort { input, .. }
@@ -177,6 +185,9 @@ impl PhysicalPlan {
     fn build_exec_tree(&self) -> EngineResult<BoxedExec> {
         Ok(match self {
             PhysicalPlan::SeqScan { rel, .. } => Box::new(SeqScanExec::new(rel.clone())),
+            PhysicalPlan::StorageScan { table, .. } => {
+                Box::new(StorageScanExec::new(table.clone()))
+            }
             PhysicalPlan::Filter { input, predicate } => {
                 Box::new(FilterExec::new(input.build_exec_tree()?, predicate.clone()))
             }
@@ -295,6 +306,7 @@ impl PhysicalPlan {
     pub fn stats(&self, model: &CostModel) -> PlanStats {
         match self {
             PhysicalPlan::SeqScan { rel, .. } => model.scan(rel.len() as f64),
+            PhysicalPlan::StorageScan { table, .. } => model.scan(table.row_count() as f64),
             PhysicalPlan::Filter { input, predicate } => {
                 model.filter(input.stats(model), predicate)
             }
@@ -401,6 +413,13 @@ impl PhysicalPlan {
         match self {
             PhysicalPlan::SeqScan { rel, label } => {
                 out.push_str(&head(format!("SeqScan on {label} [{} rows]", rel.len())));
+            }
+            PhysicalPlan::StorageScan { table, label } => {
+                out.push_str(&head(format!(
+                    "StorageScan on {label} [{} pages, {} rows]",
+                    table.page_count(),
+                    table.row_count()
+                )));
             }
             PhysicalPlan::Filter { input, predicate } => {
                 out.push_str(&head(format!(

@@ -1,0 +1,543 @@
+//! Tuple-level glue over the byte-oriented `temporal-store` pager: the
+//! row/schema codec and [`StoredTable`], the heap-file backing of a
+//! catalog table.
+//!
+//! Layering: `temporal-store` moves opaque records between slotted pages,
+//! a buffer pool and disk; this module defines what those records *are*
+//! (an encoded [`Row`]) and what the page-header fingerprint protects (the
+//! serialized [`Schema`]). The executor side lives in
+//! [`crate::exec::StorageScanExec`], which decodes pages straight into
+//! [`crate::batch::RowBatch`]es without ever materializing the table.
+
+use std::hash::Hasher;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use temporal_store::{Page, TableHeap};
+
+use crate::error::{EngineError, EngineResult};
+use crate::hashing::FxHasher;
+use crate::relation::Relation;
+use crate::schema::{Column, DataType, Schema};
+use crate::tuple::Row;
+use crate::value::Value;
+
+/// File extension of heap files inside a database directory.
+pub const HEAP_EXT: &str = "heap";
+
+pub use temporal_store::{Manifest, TableMeta, DEFAULT_POOL_PAGES as DEFAULT_BUFFER_POOL_PAGES};
+
+// ---- schema codec --------------------------------------------------------
+
+/// Serialize a schema as the manifest's `name:type,…` string (qualifiers
+/// are dropped: persisted base tables are unqualified).
+pub fn schema_to_string(schema: &Schema) -> String {
+    schema
+        .cols()
+        .iter()
+        .map(|c| format!("{}:{}", c.name, c.dtype))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parse a manifest schema string back into a [`Schema`].
+pub fn schema_from_string(s: &str) -> EngineResult<Schema> {
+    if s.is_empty() {
+        return Ok(Schema::empty());
+    }
+    let mut cols = Vec::new();
+    for item in s.split(',') {
+        let (name, dtype) = item.split_once(':').ok_or_else(|| {
+            EngineError::Storage(format!("bad schema entry {item:?} (expected name:type)"))
+        })?;
+        let dtype = match dtype {
+            "bool" => DataType::Bool,
+            "int" => DataType::Int,
+            "double" => DataType::Double,
+            "str" => DataType::Str,
+            other => {
+                return Err(EngineError::Storage(format!(
+                    "unknown data type {other:?} in schema string"
+                )))
+            }
+        };
+        cols.push(Column::new(name, dtype));
+    }
+    Ok(Schema::new(cols))
+}
+
+/// The schema fingerprint stamped into every page header of a table's
+/// heap file: an FxHash of the serialized (unqualified) schema, so a heap
+/// can never be decoded under the wrong column layout.
+pub fn schema_fingerprint(schema: &Schema) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(schema_to_string(schema).as_bytes());
+    h.finish()
+}
+
+// ---- row codec -----------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_DOUBLE: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Append the encoding of `row` to `buf` (tag byte per value, fixed-width
+/// numerics, length-prefixed strings).
+pub fn encode_row(row: &Row, buf: &mut Vec<u8>) {
+    for v in row.values() {
+        match v {
+            Value::Null => buf.push(TAG_NULL),
+            Value::Bool(b) => {
+                buf.push(TAG_BOOL);
+                buf.push(u8::from(*b));
+            }
+            Value::Int(i) => {
+                buf.push(TAG_INT);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Double(d) => {
+                buf.push(TAG_DOUBLE);
+                buf.extend_from_slice(&d.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                buf.push(TAG_STR);
+                let bytes = s.as_bytes();
+                buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                buf.extend_from_slice(bytes);
+            }
+        }
+    }
+}
+
+/// Decode a record produced by [`encode_row`] back into a row of `arity`
+/// values.
+pub fn decode_row(mut rec: &[u8], arity: usize) -> EngineResult<Row> {
+    fn take<'a>(rec: &mut &'a [u8], n: usize) -> EngineResult<&'a [u8]> {
+        if rec.len() < n {
+            return Err(EngineError::Storage(
+                "record truncated while decoding".into(),
+            ));
+        }
+        let (head, tail) = rec.split_at(n);
+        *rec = tail;
+        Ok(head)
+    }
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let tag = take(&mut rec, 1)?[0];
+        values.push(match tag {
+            TAG_NULL => Value::Null,
+            TAG_BOOL => Value::Bool(take(&mut rec, 1)?[0] != 0),
+            TAG_INT => Value::Int(i64::from_le_bytes(
+                take(&mut rec, 8)?.try_into().expect("8 bytes"),
+            )),
+            TAG_DOUBLE => Value::Double(f64::from_bits(u64::from_le_bytes(
+                take(&mut rec, 8)?.try_into().expect("8 bytes"),
+            ))),
+            TAG_STR => {
+                let len =
+                    u32::from_le_bytes(take(&mut rec, 4)?.try_into().expect("4 bytes")) as usize;
+                let bytes = take(&mut rec, len)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| EngineError::Storage("non-UTF8 string in record".into()))?;
+                Value::str(s)
+            }
+            other => {
+                return Err(EngineError::Storage(format!(
+                    "unknown value tag {other} in record"
+                )))
+            }
+        });
+    }
+    if !rec.is_empty() {
+        return Err(EngineError::Storage(format!(
+            "{} trailing bytes after decoding {arity} values",
+            rec.len()
+        )));
+    }
+    Ok(Row::new(values))
+}
+
+// ---- stored tables -------------------------------------------------------
+
+/// A catalog table backed by a heap file: schema + [`TableHeap`]. Appends
+/// go through the buffer pool; scans decode one pinned page at a time.
+#[derive(Debug)]
+pub struct StoredTable {
+    name: String,
+    schema: Schema,
+    path: PathBuf,
+    heap: TableHeap,
+}
+
+impl StoredTable {
+    /// Create a fresh heap file for `name` at `path` (truncating any
+    /// previous file). Column names must round-trip through the manifest
+    /// schema string, so names containing `,`, `:`, tabs or newlines are
+    /// rejected here — before anything is written.
+    pub fn create(
+        path: impl AsRef<Path>,
+        name: impl Into<String>,
+        schema: Schema,
+        pool_pages: usize,
+    ) -> EngineResult<StoredTable> {
+        let schema = schema.without_qualifiers();
+        for c in schema.cols() {
+            if c.name.contains([',', ':', '\t', '\n']) {
+                return Err(EngineError::Storage(format!(
+                    "column name {:?} cannot be persisted (',', ':', tabs and newlines \
+                     do not round-trip through the manifest schema string)",
+                    c.name
+                )));
+            }
+        }
+        let path = path.as_ref().to_path_buf();
+        let heap = TableHeap::create(&path, schema_fingerprint(&schema), pool_pages)?;
+        Ok(StoredTable {
+            name: name.into(),
+            schema,
+            path,
+            heap,
+        })
+    }
+
+    /// Open an existing heap file, validating every page against the
+    /// schema fingerprint.
+    pub fn open(
+        path: impl AsRef<Path>,
+        name: impl Into<String>,
+        schema: Schema,
+        pool_pages: usize,
+    ) -> EngineResult<StoredTable> {
+        let schema = schema.without_qualifiers();
+        let path = path.as_ref().to_path_buf();
+        let heap = TableHeap::open(&path, schema_fingerprint(&schema), pool_pages)?;
+        Ok(StoredTable {
+            name: name.into(),
+            schema,
+            path,
+            heap,
+        })
+    }
+
+    /// Open an existing heap file without the eager whole-file validation
+    /// pass, trusting `rows` (from the manifest). The first page and —
+    /// lazily — every pinned page are still fingerprint-checked, so the
+    /// wrong schema cannot decode the heap; this keeps `Database::open`
+    /// proportional to the manifest, not the data.
+    pub fn open_with_count(
+        path: impl AsRef<Path>,
+        name: impl Into<String>,
+        schema: Schema,
+        pool_pages: usize,
+        rows: u64,
+    ) -> EngineResult<StoredTable> {
+        let schema = schema.without_qualifiers();
+        let path = path.as_ref().to_path_buf();
+        let heap =
+            TableHeap::open_with_count(&path, schema_fingerprint(&schema), pool_pages, rows)?;
+        Ok(StoredTable {
+            name: name.into(),
+            schema,
+            path,
+            heap,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema (unqualified).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Heap file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rows across all pages.
+    pub fn row_count(&self) -> u64 {
+        self.heap.row_count()
+    }
+
+    /// Pages in the heap file.
+    pub fn page_count(&self) -> u32 {
+        self.heap.page_count()
+    }
+
+    /// Disk reads performed so far (buffer pool misses).
+    pub fn io_reads(&self) -> u64 {
+        self.heap.pool().io_reads()
+    }
+
+    /// Buffer pool frame count.
+    pub fn pool_pages(&self) -> usize {
+        self.heap.pool().capacity()
+    }
+
+    /// Append one row (arity-checked against the table schema).
+    pub fn append_row(&self, row: &Row) -> EngineResult<()> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::SchemaMismatch(format!(
+                "row has {} values, stored table '{}' has {} columns",
+                row.len(),
+                self.name,
+                self.schema.len()
+            )));
+        }
+        let mut buf = Vec::with_capacity(64);
+        encode_row(row, &mut buf);
+        self.heap.append(&buf)?;
+        Ok(())
+    }
+
+    /// Append many rows.
+    pub fn append_rows<'r>(&self, rows: impl IntoIterator<Item = &'r Row>) -> EngineResult<()> {
+        for r in rows {
+            self.append_row(r)?;
+        }
+        Ok(())
+    }
+
+    /// Decode all rows of page `page_no` (one pinned page; the pin is
+    /// released before returning).
+    pub fn decode_page(&self, page_no: u32) -> EngineResult<Vec<Row>> {
+        let arity = self.schema.len();
+        self.heap
+            .with_page(page_no, |page: &Page| {
+                let mut rows = Vec::with_capacity(page.tuple_count() as usize);
+                for rec in page.records() {
+                    let rec = rec?;
+                    match decode_row(rec, arity) {
+                        Ok(r) => rows.push(r),
+                        Err(e) => {
+                            return Err(temporal_store::StoreError::Corrupt(format!(
+                                "page {page_no}: {e}"
+                            )))
+                        }
+                    }
+                }
+                Ok(rows)
+            })
+            .map_err(EngineError::from)
+    }
+
+    /// Materialize the whole table (streamed page by page) — the
+    /// compatibility path behind [`crate::catalog::Catalog::get`]; query
+    /// execution should scan via [`crate::exec::StorageScanExec`] instead.
+    pub fn read_all(&self) -> EngineResult<Relation> {
+        let mut rel = Relation::empty(self.schema.clone());
+        for page_no in 0..self.page_count() {
+            for row in self.decode_page(page_no)? {
+                rel.push(row)?;
+            }
+        }
+        Ok(rel)
+    }
+
+    /// Write back dirty pages and sync the heap file.
+    pub fn flush(&self) -> EngineResult<()> {
+        self.heap.flush().map_err(EngineError::from)
+    }
+
+    /// Create a stored table at `dir/<name>.heap` and fill it with the
+    /// rows of `rel`, flushed and synced — the "persist a relation" entry
+    /// point used by the `Database` front door. **Atomic**: the rows are
+    /// written to a temporary file which is renamed over the final path
+    /// only once complete, so a failure (or crash) mid-persist leaves any
+    /// previous heap file for `name` untouched.
+    pub fn persist_relation(
+        dir: &Path,
+        name: &str,
+        rel: &Relation,
+        pool_pages: usize,
+    ) -> EngineResult<Arc<StoredTable>> {
+        validate_table_name(name)?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| EngineError::Storage(format!("create {}: {e}", dir.display())))?;
+        let path = heap_path(dir, name);
+        let tmp = dir.join(format!(".{name}.{HEAP_EXT}.tmp"));
+        {
+            let table = StoredTable::create(&tmp, name, rel.schema().clone(), pool_pages)?;
+            table.append_rows(rel.rows())?;
+            table.flush()?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            EngineError::Storage(format!(
+                "rename {} → {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })?;
+        Ok(Arc::new(StoredTable::open_with_count(
+            &path,
+            name,
+            rel.schema().clone(),
+            pool_pages,
+            rel.len() as u64,
+        )?))
+    }
+}
+
+/// The heap file path of table `name` inside database directory `dir`.
+pub fn heap_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.{HEAP_EXT}"))
+}
+
+/// A table name becomes both a file name (`<name>.heap`) and a manifest
+/// field, so it must stay inside the database directory and round-trip
+/// the manifest format. Checked **before** anything touches the disk.
+pub fn validate_table_name(name: &str) -> EngineResult<()> {
+    let ok = !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        Err(EngineError::Storage(format!(
+            "table name {name:?} cannot be persisted: use alphanumerics, '_' or '-' \
+             (the name becomes a file name and a manifest field)"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("n", DataType::Str),
+            Column::new("x", DataType::Double),
+            Column::new("ok", DataType::Bool),
+            Column::new("ts", DataType::Int),
+            Column::new("te", DataType::Int),
+        ])
+    }
+
+    fn row(n: &str, x: f64, ok: bool, ts: i64, te: i64) -> Row {
+        Row::new(vec![
+            Value::str(n),
+            Value::Double(x),
+            Value::Bool(ok),
+            Value::Int(ts),
+            Value::Int(te),
+        ])
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("talign_engine_storage_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn row_codec_roundtrip_all_types() {
+        let rows = vec![
+            row("ann", 1.5, true, 0, 8),
+            row("", f64::NAN, false, -3, i64::MAX),
+            Row::new(vec![
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ]),
+            row("ünïcode-ω", -0.0, true, 1, 2),
+        ];
+        for r in &rows {
+            let mut buf = Vec::new();
+            encode_row(r, &mut buf);
+            let back = decode_row(&buf, r.len()).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut buf = Vec::new();
+        encode_row(&row("x", 1.0, true, 1, 2), &mut buf);
+        assert!(decode_row(&buf[..buf.len() - 1], 5).is_err()); // truncated
+        assert!(decode_row(&buf, 4).is_err()); // trailing bytes
+        let mut bad = buf.clone();
+        bad[0] = 99; // unknown tag
+        assert!(decode_row(&bad, 5).is_err());
+    }
+
+    #[test]
+    fn schema_string_roundtrip_and_fingerprint() {
+        let s = schema();
+        let text = schema_to_string(&s);
+        assert_eq!(text, "n:str,x:double,ok:bool,ts:int,te:int");
+        let back = schema_from_string(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(schema_fingerprint(&back), schema_fingerprint(&s));
+        // Qualifiers do not change the fingerprint…
+        assert_eq!(
+            schema_fingerprint(&s.with_qualifier("t")),
+            schema_fingerprint(&s)
+        );
+        // …but column renames and type changes do.
+        assert_ne!(
+            schema_fingerprint(&s.renamed(0, "m")),
+            schema_fingerprint(&s)
+        );
+        assert!(schema_from_string("a:int,b").is_err());
+        assert!(schema_from_string("a:timestamp").is_err());
+        assert_eq!(schema_from_string("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn stored_table_roundtrip_and_reopen() {
+        let path = tmp("roundtrip.heap");
+        let rows: Vec<Row> = (0..500)
+            .map(|i| row(&format!("name-{i}"), i as f64 / 2.0, i % 2 == 0, i, i + 5))
+            .collect();
+        {
+            let t = StoredTable::create(&path, "t", schema(), 4).unwrap();
+            t.append_rows(&rows).unwrap();
+            t.flush().unwrap();
+            assert_eq!(t.row_count(), 500);
+            assert!(t.page_count() > 4, "table must exceed its pool");
+        }
+        let t = StoredTable::open(&path, "t", schema(), 4).unwrap();
+        let all = t.read_all().unwrap();
+        assert_eq!(all.rows(), &rows[..]);
+        // The wrong schema cannot open the heap.
+        let wrong = Schema::new(vec![Column::new("z", DataType::Int)]);
+        assert!(StoredTable::open(&path, "t", wrong, 4).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn table_and_column_names_validated_before_disk_io() {
+        assert!(validate_table_name("ok_table-1").is_ok());
+        for bad in ["", "a/b", "a\tb", "../evil", ".hidden", "a b"] {
+            assert!(validate_table_name(bad).is_err(), "{bad:?}");
+        }
+        // Unpersistable column names are rejected before the heap exists.
+        let path = tmp("badcol.heap");
+        let bad_schema = Schema::new(vec![Column::new("a,b", DataType::Int)]);
+        assert!(StoredTable::create(&path, "t", bad_schema, 2).is_err());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn append_row_checks_arity() {
+        let path = tmp("arity.heap");
+        let t = StoredTable::create(&path, "t", schema(), 2).unwrap();
+        assert!(t.append_row(&Row::new(vec![Value::Int(1)])).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -174,11 +174,11 @@ impl<'a> Analyzer<'a> {
                     let q = schema.with_qualifier(&qualifier);
                     return Ok((requalify(plan.clone(), &q), q));
                 }
-                let rel = self
+                let schema = self
                     .catalog
-                    .get(name)
-                    .map_err(|e| SqlError::Analyze(e.to_string()))?;
-                let schema = rel.schema().with_qualifier(&qualifier);
+                    .schema_of(name)
+                    .map_err(|e| SqlError::Analyze(e.to_string()))?
+                    .with_qualifier(&qualifier);
                 Ok((
                     LogicalPlan::table_scan(name.clone(), schema.clone()),
                     schema,

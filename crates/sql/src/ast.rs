@@ -1,6 +1,8 @@
 //! Abstract syntax tree for the SQL dialect (the "parse tree" of the
 //! paper's Fig. 12a).
 
+use temporal_engine::schema::DataType;
+
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(clippy::large_enum_variant)]
@@ -13,6 +15,37 @@ pub enum Statement {
     },
     /// `EXPLAIN <select>` — print the physical plan.
     Explain(Box<Statement>),
+    /// `CREATE TABLE t (col type, …) [PERSISTED]` — DDL. On a database
+    /// opened on a storage directory every table is durably backed by a
+    /// heap file; `PERSISTED` *asserts* that durability is available and
+    /// errors on an in-memory database instead of silently creating a
+    /// volatile table.
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType)>,
+        persisted: bool,
+    },
+    /// `DROP TABLE t` — removes the table (and its heap file, if
+    /// persisted).
+    DropTable {
+        name: String,
+    },
+    /// `COPY t FROM 'file.csv'` / `COPY t TO 'file.csv'` — bulk CSV
+    /// import/export.
+    Copy {
+        table: String,
+        path: String,
+        direction: CopyDirection,
+    },
+}
+
+/// Direction of a `COPY` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyDirection {
+    /// `COPY t FROM 'path'`: append the file's rows to the table.
+    From,
+    /// `COPY t TO 'path'`: write the table's rows to the file.
+    To,
 }
 
 /// Projection quantifier: `ALL` (default), `DISTINCT`, or the paper's

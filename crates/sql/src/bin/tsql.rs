@@ -1,22 +1,28 @@
 //! `tsql` — an interactive shell for the temporal SQL dialect.
 //!
 //! ```text
-//! cargo run -p temporal-sql --bin tsql [--demo]
+//! cargo run -p temporal-sql --bin tsql [--demo] [DIR]
 //! ```
 //!
 //! With `--demo`, the paper's running example (relations `r` and `p`,
 //! Fig. 1a, months numbered from 2012/1 = 0) and a small `incumben`-style
-//! table are preloaded. Statements end with `;`. Meta commands:
+//! table are preloaded. With a `DIR` argument the shell opens (or
+//! creates) the **persisted database** rooted at that directory: its
+//! manifest's tables attach as heap-file-backed catalog entries and DDL
+//! writes through to disk. Statements end with `;`. Meta commands:
 //!
-//! * `\d` — list tables,
+//! * `.tables` (or `\d`) — list tables,
+//! * `.schema <t>` — show a table's columns,
+//! * `.open <dir>` — attach the persisted database in `<dir>`,
 //! * `\q` — quit.
 //!
 //! Example session:
 //!
 //! ```text
-//! tsql> SET enable_mergejoin = off;
-//! tsql> SELECT * FROM (r r1 NORMALIZE r r2 USING()) x;
-//! tsql> EXPLAIN SELECT * FROM (r ALIGN p ON DUR(Us,Ue) BETWEEN Min AND Max) a;
+//! tsql> .open /tmp/mydb
+//! tsql> CREATE TABLE m (name str, ts int, te int) PERSISTED;
+//! tsql> COPY m FROM 'rows.csv';
+//! tsql> SELECT * FROM (m r1 NORMALIZE m r2 USING()) x;
 //! ```
 
 use std::io::{BufRead, Write};
@@ -81,9 +87,78 @@ fn demo_session() -> Session {
     session
 }
 
+/// Handle a `.`/`\` meta command; returns `false` for `\q`.
+fn meta_command(session: &mut Session, line: &str) -> bool {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().unwrap_or("");
+    match cmd {
+        "\\q" | ".quit" | ".exit" => return false,
+        ".tables" | "\\d" => {
+            let tables = session.database().list_tables();
+            if tables.is_empty() {
+                println!("(no tables — CREATE TABLE, .open <dir>, or start with --demo)");
+            } else {
+                for t in tables {
+                    println!("{t}");
+                }
+            }
+        }
+        ".schema" => match parts.next() {
+            None => println!("usage: .schema <table>"),
+            Some(name) => {
+                match session
+                    .database()
+                    .read(|catalog, _| catalog.schema_of(name))
+                {
+                    Ok(schema) => println!("{name} {schema}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        },
+        ".open" => match parts.next() {
+            None => println!("usage: .open <dir>"),
+            Some(dir) => match Database::open(dir) {
+                Ok(db) => {
+                    let n = db.list_tables().len();
+                    *session = Session::with_database(db);
+                    println!("opened {dir} ({n} tables)");
+                }
+                Err(e) => println!("error: {e}"),
+            },
+        },
+        other => println!("unknown meta command: {other}"),
+    }
+    true
+}
+
 fn main() {
-    let demo = std::env::args().any(|a| a == "--demo");
-    let mut session = if demo {
+    let mut demo = false;
+    let mut dir: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--demo" => demo = true,
+            other if !other.starts_with('-') => dir = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag: {other} (usage: tsql [--demo] [DIR])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut session = if let Some(dir) = dir {
+        match Database::open(&dir) {
+            Ok(db) => {
+                eprintln!(
+                    "opened persisted database {dir} ({} tables)",
+                    db.list_tables().len()
+                );
+                Session::with_database(db)
+            }
+            Err(e) => {
+                eprintln!("error opening {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if demo {
         eprintln!("loaded demo tables: r (reservations), p (prices) — paper Fig. 1a");
         demo_session()
     } else {
@@ -105,27 +180,18 @@ fn main() {
         };
         let trimmed = line.trim();
         if buffer.is_empty() {
-            match trimmed {
-                "\\q" => break,
-                "\\d" => {
-                    let tables = session.database().list_tables();
-                    if tables.is_empty() {
-                        println!("(no tables — register programmatically or start with --demo)");
-                    } else {
-                        for t in tables {
-                            println!("{t}");
-                        }
-                    }
-                    eprint!("tsql> ");
-                    std::io::stderr().flush().ok();
-                    continue;
+            if trimmed.is_empty() {
+                eprint!("tsql> ");
+                std::io::stderr().flush().ok();
+                continue;
+            }
+            if trimmed.starts_with('.') || trimmed.starts_with('\\') {
+                if !meta_command(&mut session, trimmed) {
+                    break;
                 }
-                "" => {
-                    eprint!("tsql> ");
-                    std::io::stderr().flush().ok();
-                    continue;
-                }
-                _ => {}
+                eprint!("tsql> ");
+                std::io::stderr().flush().ok();
+                continue;
             }
         }
         buffer.push_str(&line);
@@ -140,6 +206,7 @@ fn main() {
             Ok(SqlOutput::Rows(rel)) => println!("{}", rel.to_table()),
             Ok(SqlOutput::Explain(plan)) => println!("{plan}"),
             Ok(SqlOutput::Ok) => println!("OK"),
+            Ok(SqlOutput::Affected(n)) => println!("COPY {n}"),
             Err(e) => println!("error: {e}"),
         }
         eprint!("tsql> ");

@@ -1,0 +1,244 @@
+//! A small, dependency-free CSV codec for `COPY <table> FROM/TO`.
+//!
+//! Format: RFC-4180-style quoting (`"` wraps fields containing commas,
+//! quotes or newlines; embedded quotes double). `COPY TO` writes a header
+//! line with the column names; `COPY FROM` skips the first line iff it
+//! matches the target schema's column names, so both exported files and
+//! hand-written headerless files load. NULL is an empty **unquoted**
+//! field; the empty string is the quoted `""`.
+
+use temporal_engine::prelude::*;
+
+use crate::error::{SqlError, SqlResult};
+
+/// One parsed field: its text and whether it was quoted (distinguishes
+/// NULL from the empty string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
+/// Split one CSV document into records of fields (handles quoted fields
+/// spanning newlines).
+fn parse_records(text: &str) -> SqlResult<Vec<Vec<Field>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<Field> = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() && !quoted => {
+                in_quotes = true;
+                quoted = true;
+            }
+            ',' => {
+                record.push(Field {
+                    text: std::mem::take(&mut field),
+                    quoted: std::mem::take(&mut quoted),
+                });
+            }
+            '\r' => {}
+            '\n' => {
+                record.push(Field {
+                    text: std::mem::take(&mut field),
+                    quoted: std::mem::take(&mut quoted),
+                });
+                records.push(std::mem::take(&mut record));
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(SqlError::Parse("unterminated quote in CSV input".into()));
+    }
+    if !field.is_empty() || quoted || !record.is_empty() {
+        record.push(Field {
+            text: field,
+            quoted,
+        });
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn parse_value(f: &Field, dtype: DataType, line: usize, col: &str) -> SqlResult<Value> {
+    if !f.quoted && f.text.is_empty() {
+        return Ok(Value::Null);
+    }
+    let bad = |what: &str| {
+        SqlError::Parse(format!(
+            "CSV line {line}, column {col}: cannot parse {:?} as {what}",
+            f.text
+        ))
+    };
+    Ok(match dtype {
+        DataType::Int => Value::Int(f.text.trim().parse::<i64>().map_err(|_| bad("int"))?),
+        DataType::Double => Value::Double(f.text.trim().parse::<f64>().map_err(|_| bad("double"))?),
+        DataType::Bool => match f.text.trim().to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" => Value::Bool(true),
+            "false" | "f" | "0" => Value::Bool(false),
+            _ => return Err(bad("bool")),
+        },
+        DataType::Str => Value::str(&f.text),
+    })
+}
+
+/// Parse CSV text into rows typed by `schema`. A leading header line
+/// matching the schema's column names (case-insensitive) is skipped.
+pub fn rows_from_csv(text: &str, schema: &Schema) -> SqlResult<Vec<Row>> {
+    let mut records = parse_records(text)?;
+    let names: Vec<String> = schema
+        .cols()
+        .iter()
+        .map(|c| c.name.to_ascii_lowercase())
+        .collect();
+    let mut start = 0usize;
+    if let Some(first) = records.first() {
+        let header: Vec<String> = first
+            .iter()
+            .map(|f| f.text.trim().to_ascii_lowercase())
+            .collect();
+        if header == names {
+            start = 1;
+        }
+    }
+    let mut rows = Vec::with_capacity(records.len().saturating_sub(start));
+    for (i, record) in records.drain(..).enumerate().skip(start) {
+        if record.len() != schema.len() {
+            return Err(SqlError::Parse(format!(
+                "CSV line {}: expected {} fields, got {}",
+                i + 1,
+                schema.len(),
+                record.len()
+            )));
+        }
+        let values = record
+            .iter()
+            .zip(schema.cols())
+            .map(|(f, c)| parse_value(f, c.dtype, i + 1, &c.name))
+            .collect::<SqlResult<Vec<Value>>>()?;
+        rows.push(Row::new(values));
+    }
+    Ok(rows)
+}
+
+fn format_field(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Str(s) => {
+            if s.is_empty()
+                || s.contains(',')
+                || s.contains('"')
+                || s.contains('\n')
+                || s.contains('\r')
+            {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Double(d) => {
+            // `{}` prints the shortest string that round-trips in Rust.
+            format!("{d}")
+        }
+    }
+}
+
+/// Render a relation as CSV text with a header line.
+pub fn relation_to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = rel.schema().cols().iter().map(|c| c.name.clone()).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rel.rows() {
+        let fields: Vec<String> = row.values().iter().map(format_field).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("n", DataType::Str),
+            Column::new("x", DataType::Double),
+            Column::new("ok", DataType::Bool),
+            Column::new("ts", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn round_trip_with_quoting_and_nulls() {
+        let rel = Relation::from_values(
+            schema(),
+            vec![
+                vec![
+                    Value::str("plain"),
+                    Value::Double(1.5),
+                    Value::Bool(true),
+                    Value::Int(3),
+                ],
+                vec![
+                    Value::str("a,b \"quoted\"\nline"),
+                    Value::Null,
+                    Value::Bool(false),
+                    Value::Int(-1),
+                ],
+                vec![Value::str(""), Value::Double(0.1), Value::Null, Value::Null],
+            ],
+        )
+        .unwrap();
+        let text = relation_to_csv(&rel);
+        let rows = rows_from_csv(&text, &schema()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows, rel.rows().to_vec());
+    }
+
+    #[test]
+    fn headerless_input_loads() {
+        let rows = rows_from_csv("joe,2.5,t,7\n", &schema()).unwrap();
+        assert_eq!(rows[0][0], Value::str("joe"));
+        assert_eq!(rows[0][1], Value::Double(2.5));
+        assert_eq!(rows[0][2], Value::Bool(true));
+        assert_eq!(rows[0][3], Value::Int(7));
+    }
+
+    #[test]
+    fn arity_and_type_errors_are_reported_with_position() {
+        let err = rows_from_csv("a,b\n", &schema()).unwrap_err().to_string();
+        assert!(err.contains("expected 4 fields"), "{err}");
+        let err = rows_from_csv("x,notanumber,t,1\n", &schema())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("column x") && err.contains("double"), "{err}");
+        assert!(rows_from_csv("\"unterminated", &schema()).is_err());
+    }
+
+    #[test]
+    fn empty_text_is_no_rows() {
+        assert!(rows_from_csv("", &schema()).unwrap().is_empty());
+    }
+}

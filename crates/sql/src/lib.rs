@@ -41,6 +41,7 @@
 
 pub mod analyzer;
 pub mod ast;
+pub mod csv;
 pub mod error;
 pub mod lexer;
 pub mod parser;

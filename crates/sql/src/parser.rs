@@ -102,7 +102,81 @@ impl Parser {
             };
             return Ok(Statement::Set { name, value });
         }
+        if self.eat_kw(Kw::Create) {
+            return self.create_table();
+        }
+        if self.eat_kw(Kw::Drop) {
+            self.expect_kw(Kw::Table)?;
+            let name = self.expect_ident()?;
+            return Ok(Statement::DropTable { name });
+        }
+        if self.eat_kw(Kw::Copy) {
+            return self.copy();
+        }
         Ok(Statement::Select(self.select_stmt()?))
+    }
+
+    /// `CREATE TABLE t (col type, …) [PERSISTED]` (CREATE already eaten).
+    fn create_table(&mut self) -> SqlResult<Statement> {
+        use temporal_engine::schema::DataType;
+        self.expect_kw(Kw::Table)?;
+        let name = self.expect_ident()?;
+        self.expect(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            let ty = self.expect_ident()?;
+            let dtype = match ty.as_str() {
+                "int" | "integer" | "bigint" => DataType::Int,
+                "double" | "float" | "real" => DataType::Double,
+                "bool" | "boolean" => DataType::Bool,
+                "str" | "text" | "varchar" => DataType::Str,
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "unknown column type '{other}' (use int, double, bool or str)"
+                    )))
+                }
+            };
+            columns.push((col, dtype));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(Token::RParen)?;
+        let persisted = self.eat_kw(Kw::Persisted);
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            persisted,
+        })
+    }
+
+    /// `COPY t FROM 'path'` / `COPY t TO 'path'` (COPY already eaten).
+    fn copy(&mut self) -> SqlResult<Statement> {
+        let table = self.expect_ident()?;
+        let direction = if self.eat_kw(Kw::From) {
+            CopyDirection::From
+        } else if self.eat_kw(Kw::To) {
+            CopyDirection::To
+        } else {
+            return Err(SqlError::Parse(format!(
+                "expected FROM or TO after COPY {table}, found {}",
+                self.peek()
+            )));
+        };
+        let path = match self.advance() {
+            Token::Str(s) => s,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected a quoted file path, found {other}"
+                )))
+            }
+        };
+        Ok(Statement::Copy {
+            table,
+            path,
+            direction,
+        })
     }
 
     fn select_stmt(&mut self) -> SqlResult<SelectStmt> {

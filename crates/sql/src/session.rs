@@ -12,7 +12,8 @@ use temporal_core::trel::TemporalRelation;
 use temporal_engine::prelude::*;
 
 use crate::analyzer::Analyzer;
-use crate::ast::Statement;
+use crate::ast::{CopyDirection, Statement};
+use crate::csv::{relation_to_csv, rows_from_csv};
 use crate::error::{SqlError, SqlResult};
 use crate::parser::parse_statement;
 
@@ -23,8 +24,10 @@ pub enum SqlOutput {
     Rows(Relation),
     /// An EXPLAIN plan rendering.
     Explain(String),
-    /// A statement with no result (e.g. SET).
+    /// A statement with no result (e.g. SET, CREATE TABLE, DROP TABLE).
     Ok,
+    /// A statement that affected `n` rows (e.g. COPY).
+    Affected(usize),
 }
 
 impl SqlOutput {
@@ -130,6 +133,72 @@ impl Session {
                 let rel = physical.collect().map_err(SqlError::from)?;
                 Ok(SqlOutput::Rows(rel))
             }
+            Statement::CreateTable {
+                name,
+                columns,
+                persisted,
+            } => {
+                if persisted && !self.db.is_durable() {
+                    return Err(SqlError::Engine(
+                        "CREATE TABLE ... PERSISTED requires a database opened on a storage \
+                         directory (Database::open or tsql <dir> / .open <dir>)"
+                            .into(),
+                    ));
+                }
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|(n, t)| Column::new(n, t))
+                        .collect(),
+                );
+                // On a durable database register_relation already writes
+                // the heap file + manifest entry; PERSISTED only asserts
+                // that durability is available.
+                self.db
+                    .register_relation(&name, Relation::empty(schema))
+                    .map_err(|e| SqlError::Engine(e.to_string()))?;
+                Ok(SqlOutput::Ok)
+            }
+            Statement::DropTable { name } => {
+                let existed = self
+                    .db
+                    .drop_table(&name)
+                    .map_err(|e| SqlError::Engine(e.to_string()))?;
+                if !existed {
+                    return Err(SqlError::Engine(format!("unknown table: {name}")));
+                }
+                Ok(SqlOutput::Ok)
+            }
+            Statement::Copy {
+                table,
+                path,
+                direction,
+            } => match direction {
+                CopyDirection::From => {
+                    let schema = self
+                        .db
+                        .read(|catalog, _| catalog.schema_of(&table))
+                        .map_err(SqlError::from)?;
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| SqlError::Engine(format!("read {path}: {e}")))?;
+                    let rows = rows_from_csv(&text, &schema)?;
+                    let n = self
+                        .db
+                        .insert_rows(&table, rows)
+                        .map_err(|e| SqlError::Engine(e.to_string()))?;
+                    Ok(SqlOutput::Affected(n))
+                }
+                CopyDirection::To => {
+                    let rel = self
+                        .db
+                        .relation(&table)
+                        .map_err(|e| SqlError::Engine(e.to_string()))?;
+                    let n = rel.len();
+                    std::fs::write(&path, relation_to_csv(&rel))
+                        .map_err(|e| SqlError::Engine(format!("write {path}: {e}")))?;
+                    Ok(SqlOutput::Affected(n))
+                }
+            },
         }
     }
 
@@ -243,6 +312,81 @@ mod tests {
         assert!(db.sql("SET enable_hashjoin = off").is_ok());
         assert!(!db.config().enable_hashjoin);
         db.set("enable_hashjoin", true).unwrap();
+    }
+
+    #[test]
+    fn create_copy_drop_round_trip() {
+        let dir = std::env::temp_dir().join("talign_sql_session_tests_ddl");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = Session::new();
+        s.execute("CREATE TABLE m (name str, x double, ts int, te int)")
+            .unwrap();
+        // Duplicate names error; unknown drops error.
+        assert!(s.execute("CREATE TABLE m (y int)").is_err());
+        assert!(s.execute("DROP TABLE nope").is_err());
+
+        let csv = dir.join("m.csv");
+        std::fs::write(&csv, "ann,1.5,0,8\njoe,,2,6\n").unwrap();
+        match s
+            .execute(&format!("COPY m FROM '{}'", csv.display()))
+            .unwrap()
+        {
+            SqlOutput::Affected(2) => {}
+            other => panic!("expected COPY 2, got {other:?}"),
+        }
+        let out = s.query("SELECT name FROM m WHERE x IS NULL").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::str("joe"));
+
+        // Export, reload into a second table, compare.
+        let out_csv = dir.join("out.csv");
+        s.execute(&format!("COPY m TO '{}'", out_csv.display()))
+            .unwrap();
+        s.execute("CREATE TABLE m2 (name str, x double, ts int, te int)")
+            .unwrap();
+        s.execute(&format!("COPY m2 FROM '{}'", out_csv.display()))
+            .unwrap();
+        let a = s.query("SELECT * FROM m").unwrap().sorted();
+        let b = s.query("SELECT * FROM m2").unwrap().sorted();
+        assert_eq!(a, b);
+
+        s.execute("DROP TABLE m").unwrap();
+        assert!(s.query("SELECT * FROM m").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_persisted_requires_and_uses_storage() {
+        let dir = std::env::temp_dir().join("talign_sql_session_tests_persisted");
+        let _ = std::fs::remove_dir_all(&dir);
+        // In-memory database: PERSISTED refuses with a helpful error.
+        let mut mem = Session::new();
+        let err = mem
+            .execute("CREATE TABLE t (a int) PERSISTED")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("storage directory"), "{err}");
+
+        // Durable database: the heap file appears and survives reopen.
+        let db = temporal_core::prelude::Database::open(&dir).unwrap();
+        let mut s = Session::with_database(db);
+        s.execute("CREATE TABLE t (name str, ts int, te int) PERSISTED")
+            .unwrap();
+        assert!(dir.join("t.heap").exists());
+        let csv = dir.join("t.csv");
+        std::fs::write(&csv, "ann,0,8\njoe,2,6\n").unwrap();
+        s.execute(&format!("COPY t FROM '{}'", csv.display()))
+            .unwrap();
+        drop(s);
+
+        let db = temporal_core::prelude::Database::open(&dir).unwrap();
+        let mut s = Session::with_database(db);
+        assert_eq!(s.query("SELECT * FROM t").unwrap().len(), 2);
+        // The planner scans persisted tables as streaming page scans.
+        let plan = s.explain("SELECT * FROM t").unwrap();
+        assert!(plan.contains("StorageScan on t"), "{plan}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub enum Kw {
     Set,
     Explain,
     Having,
+    Create,
+    Table,
+    Persisted,
+    Copy,
+    To,
+    Drop,
 }
 
 impl Kw {
@@ -93,6 +99,12 @@ impl Kw {
             "set" => Kw::Set,
             "explain" => Kw::Explain,
             "having" => Kw::Having,
+            "create" => Kw::Create,
+            "table" => Kw::Table,
+            "persisted" => Kw::Persisted,
+            "copy" => Kw::Copy,
+            "to" => Kw::To,
+            "drop" => Kw::Drop,
             _ => return None,
         })
     }

@@ -1,0 +1,239 @@
+//! Append-only heap files: ordered pages of variable-length records.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::disk::DiskManager;
+use crate::error::{StoreError, StoreResult};
+use crate::page::{Page, PageId};
+
+/// A table's heap file behind a [`BufferPool`]: records append to the last
+/// page (spilling into fresh pages) and scans visit pages in order, one
+/// pinned page at a time — a pool smaller than the file streams.
+///
+/// The heap is byte-oriented: records are opaque `&[u8]`. The tuple
+/// encoding (and the schema whose fingerprint every page carries) lives
+/// one layer up, in the engine's storage glue.
+#[derive(Debug)]
+pub struct TableHeap {
+    pool: BufferPool,
+    fingerprint: u64,
+    rows: AtomicU64,
+    /// Append cursor: the page currently taking inserts.
+    tail: Mutex<Option<PageId>>,
+}
+
+impl TableHeap {
+    /// Create a fresh (empty) heap file at `path`, truncating any previous
+    /// file, with `pool_pages` buffer frames.
+    pub fn create(
+        path: impl AsRef<Path>,
+        fingerprint: u64,
+        pool_pages: usize,
+    ) -> StoreResult<Self> {
+        let path = path.as_ref();
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let disk = DiskManager::open(path)?;
+        Ok(TableHeap {
+            pool: BufferPool::new(disk, pool_pages),
+            fingerprint,
+            rows: AtomicU64::new(0),
+            tail: Mutex::new(None),
+        })
+    }
+
+    /// Open an existing heap file, validating every page header against
+    /// `fingerprint` and counting rows (pages stream through the pool).
+    pub fn open(path: impl AsRef<Path>, fingerprint: u64, pool_pages: usize) -> StoreResult<Self> {
+        let heap = Self::open_with_count(path, fingerprint, pool_pages, 0)?;
+        let mut rows = 0u64;
+        for id in 0..heap.page_count() {
+            rows += heap.with_page(id, |page| Ok(page.tuple_count() as u64))?;
+        }
+        heap.rows.store(rows, Ordering::Relaxed);
+        Ok(heap)
+    }
+
+    /// Open an existing heap file **without** scanning it, trusting a
+    /// row count cached elsewhere (the database manifest). Pages are
+    /// still fingerprint-validated lazily, on every pinned access — this
+    /// only skips the eager whole-file pass, keeping `Database::open`
+    /// O(manifest) instead of O(data).
+    pub fn open_with_count(
+        path: impl AsRef<Path>,
+        fingerprint: u64,
+        pool_pages: usize,
+        rows: u64,
+    ) -> StoreResult<Self> {
+        let disk = DiskManager::open(path)?;
+        let pool = BufferPool::new(disk, pool_pages);
+        let pages = pool.disk().page_count();
+        // Validate the first page eagerly: catches opening under the
+        // wrong schema immediately, without reading the whole heap.
+        if pages > 0 {
+            pool.fetch(0)?.read().validate(fingerprint)?;
+        }
+        Ok(TableHeap {
+            pool,
+            fingerprint,
+            rows: AtomicU64::new(rows),
+            tail: Mutex::new(pages.checked_sub(1)),
+        })
+    }
+
+    /// The schema fingerprint every page of this heap carries.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of pages in the heap file.
+    pub fn page_count(&self) -> u32 {
+        self.pool.disk().page_count()
+    }
+
+    /// Number of records across all pages.
+    pub fn row_count(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// The buffer pool (for io accounting and capacity introspection).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Append one record, spilling into a fresh page when the tail page is
+    /// full.
+    pub fn append(&self, record: &[u8]) -> StoreResult<()> {
+        let mut tail = self.tail.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(id) = *tail {
+            let guard = self.pool.fetch(id)?;
+            // Validate before trusting the header's free-space pointers:
+            // a corrupt tail must surface as an error, not as pointer
+            // arithmetic inside `Page::insert`.
+            let fits = {
+                let page = guard.read();
+                page.validate(self.fingerprint)?;
+                page.fits(record.len())
+            };
+            if fits {
+                let inserted = guard.write().insert(record)?;
+                debug_assert!(inserted.is_some(), "free-space check guaranteed fit");
+                self.rows.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        // Tail missing or full: start a new page.
+        let mut page = Page::init(self.fingerprint);
+        if page.insert(record)?.is_none() {
+            return Err(StoreError::Capacity(format!(
+                "record of {} bytes does not fit an empty page",
+                record.len()
+            )));
+        }
+        let (id, _guard) = self.pool.allocate(page)?;
+        *tail = Some(id);
+        self.rows.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Run `f` over the pinned page `id` (validated). The pin is released
+    /// when `f` returns, so a sequential caller streams pages through the
+    /// pool rather than accumulating them.
+    pub fn with_page<R>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&Page) -> StoreResult<R>,
+    ) -> StoreResult<R> {
+        let guard = self.pool.fetch(id)?;
+        let page = guard.read();
+        page.validate(self.fingerprint)?;
+        f(&page)
+    }
+
+    /// Write back dirty pages and sync the file.
+    pub fn flush(&self) -> StoreResult<()> {
+        self.pool.flush_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn heap_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("talign_store_heap_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn append_spills_across_pages_and_reopens() {
+        let path = heap_path("spill.heap");
+        let heap = TableHeap::create(&path, 0xfeed, 2).unwrap();
+        let record = [7u8; 512];
+        for _ in 0..40 {
+            heap.append(&record).unwrap();
+        }
+        assert_eq!(heap.row_count(), 40);
+        assert!(heap.page_count() > 1, "512-byte records must spill");
+        heap.flush().unwrap();
+        let pages = heap.page_count();
+        drop(heap);
+
+        let heap = TableHeap::open(&path, 0xfeed, 2).unwrap();
+        assert_eq!(heap.row_count(), 40);
+        assert_eq!(heap.page_count(), pages);
+        let mut seen = 0;
+        for id in 0..heap.page_count() {
+            seen += heap
+                .with_page(id, |p| {
+                    for r in p.records() {
+                        assert_eq!(r.unwrap(), &record[..]);
+                    }
+                    Ok(p.tuple_count() as u64)
+                })
+                .unwrap();
+        }
+        assert_eq!(seen, 40);
+        // Appends continue on the reopened tail page without a new page
+        // until it fills.
+        let before = heap.page_count();
+        heap.append(&[1u8; 8]).unwrap();
+        assert_eq!(heap.page_count(), before);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_fingerprint_refuses_to_open() {
+        let path = heap_path("fp.heap");
+        let heap = TableHeap::create(&path, 1, 2).unwrap();
+        heap.append(b"x").unwrap();
+        heap.flush().unwrap();
+        drop(heap);
+        assert!(matches!(
+            TableHeap::open(&path, 2, 2),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_truncates_previous_contents() {
+        let path = heap_path("trunc.heap");
+        let heap = TableHeap::create(&path, 1, 2).unwrap();
+        heap.append(b"old").unwrap();
+        heap.flush().unwrap();
+        drop(heap);
+        let heap = TableHeap::create(&path, 1, 2).unwrap();
+        assert_eq!(heap.row_count(), 0);
+        assert_eq!(heap.page_count(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,61 @@
+//! # temporal-store
+//!
+//! Paged on-disk storage for the temporal-alignment workspace: the layer
+//! that lets a [`temporal relation`] outlive the process and outgrow RAM.
+//!
+//! The crate is deliberately **byte-oriented** — it knows nothing about
+//! rows, values or schemas. It provides:
+//!
+//! * [`page::Page`] — fixed-size slotted pages (header with schema
+//!   fingerprint, tuple count and free-space pointer; slot array; records
+//!   growing downward), whose in-memory form *is* the on-disk form;
+//! * [`disk::DiskManager`] — page-granular file I/O for one heap file;
+//! * [`buffer::BufferPool`] — a fixed set of frames with pin/unpin
+//!   accounting, clock (second-chance) eviction and dirty-page
+//!   write-back, so scans over files larger than the pool stream;
+//! * [`heap::TableHeap`] — an append-only heap file behind a pool, the
+//!   physical shape of one table;
+//! * [`manifest::Manifest`] — the `manifest.tsv` catalog-metadata file of
+//!   a database directory (table name → heap file, schema fingerprint,
+//!   opaque schema string).
+//!
+//! The tuple encoding (rows ↔ records, schemas ↔ fingerprints) lives one
+//! layer up in `temporal-engine`'s storage glue, which also provides the
+//! `StorageScanExec` executor node decoding pages straight into row
+//! batches.
+//!
+//! [`temporal relation`]: https://doi.org/10.1145/2213836.2213886
+//!
+//! ```
+//! use temporal_store::heap::TableHeap;
+//!
+//! let path = std::env::temp_dir().join("talign_store_doc.heap");
+//! let heap = TableHeap::create(&path, 0xabc, 4).unwrap();
+//! heap.append(b"first").unwrap();
+//! heap.append(b"second").unwrap();
+//! heap.flush().unwrap();
+//!
+//! let reopened = TableHeap::open(&path, 0xabc, 4).unwrap();
+//! assert_eq!(reopened.row_count(), 2);
+//! reopened
+//!     .with_page(0, |page| {
+//!         assert_eq!(page.record(0).unwrap(), b"first");
+//!         Ok(())
+//!     })
+//!     .unwrap();
+//! std::fs::remove_file(&path).unwrap();
+//! ```
+
+pub mod buffer;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod manifest;
+pub mod page;
+
+pub use buffer::{BufferPool, PageGuard, DEFAULT_POOL_PAGES};
+pub use disk::DiskManager;
+pub use error::{StoreError, StoreResult};
+pub use heap::TableHeap;
+pub use manifest::{Manifest, TableMeta, MANIFEST_FILE};
+pub use page::{Page, PageId, SlotId, MAX_RECORD_SIZE, PAGE_SIZE};

@@ -373,7 +373,7 @@ fn rust_and_sql_share_one_catalog() {
     assert_eq!(via_frame.len(), 1);
 
     // Dropping through the Database is visible to SQL too.
-    assert!(db.drop_table("s"));
+    assert!(db.drop_table("s").unwrap());
     assert!(db.sql_rows("SELECT * FROM s").is_err());
     assert_eq!(db.list_tables(), vec!["r".to_string()]);
 }
@@ -452,7 +452,8 @@ fn frames_are_lazy_until_collect() {
     let db = Database::new();
     db.register("t", &rel1("t", &[(1, 0, 5)])).unwrap();
     let frame = db.table("t").unwrap().filter(col("k").ge(lit(0i64)));
-    db.register_or_replace("t", &rel1("t", &[(1, 0, 5), (2, 1, 3), (3, 4, 6)]));
+    db.register_or_replace("t", &rel1("t", &[(1, 0, 5), (2, 1, 3), (3, 4, 6)]))
+        .unwrap();
     assert_eq!(frame.collect().unwrap().len(), 3);
 }
 
