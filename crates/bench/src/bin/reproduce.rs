@@ -416,6 +416,52 @@ fn chain(full: bool) {
         &points,
     );
     save("chain_pipeline", &points);
+
+    // Thread scaling: the same compiled plan through the morsel-driven
+    // executor at threads ∈ {1, 2, 4}. Only the larger sizes — below a few
+    // thousand tuples the `parallel_min_rows` gate (correctly) keeps
+    // everything serial and the series would just repeat itself.
+    let scaling_sizes = &sizes[sizes.len().saturating_sub(3)..];
+    let mut scaling = Vec::new();
+    for &n in scaling_sizes {
+        let r = prefix(&data, n);
+        let cap = (n / 10) as i64;
+        for threads in [1usize, 2, 4] {
+            let planner = Planner::new(PlannerConfig {
+                threads,
+                ..planner.config
+            });
+            let (dt, rows) = (0..3)
+                .map(|_| time(|| run_chain(ChainMode::PlanFirst, &r, &r, cap, &planner)))
+                .min_by(|a, b| a.0.cmp(&b.0))
+                .expect("three runs");
+            scaling.push(Point {
+                series: format!("plan-first(threads={threads})"),
+                n,
+                seconds: dt.as_secs_f64(),
+                output_rows: rows,
+            });
+        }
+    }
+    print_points(
+        "Chain thread scaling: the same plan-first chain at threads ∈ {1, 2, 4}",
+        &scaling,
+    );
+    if let Some(&n_max) = scaling_sizes.last() {
+        let secs = |threads: usize| {
+            scaling
+                .iter()
+                .find(|p| p.n == n_max && p.series.ends_with(&format!("threads={threads})")))
+                .map(|p| p.seconds)
+        };
+        if let (Some(t1), Some(t4)) = (secs(1), secs(4)) {
+            println!(
+                "speedup at n={n_max}: threads=4 is {:.2}× over threads=1",
+                t1 / t4
+            );
+        }
+    }
+    save("thread_scaling", &scaling);
 }
 
 /// The paged-storage scan benchmark (not a paper figure): a full-table

@@ -195,7 +195,8 @@ pub fn run_chain(
                 let physical = plan
                     .physical(&planner, &temporal_engine::catalog::Catalog::new())
                     .expect("chain plan");
-                physical.collect_rowwise().expect("chain run").len()
+                let state = ExecutionState::new(config);
+                physical.collect_rowwise(&state).expect("chain run").len()
             } else {
                 plan.execute(&planner).expect("chain run").len()
             }

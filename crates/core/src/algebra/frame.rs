@@ -388,6 +388,16 @@ impl Database {
             .map_err(TemporalError::from)
     }
 
+    /// Set an integer GUC by name (e.g. `threads`, `parallel_min_rows`) —
+    /// applies to every frame and SQL session sharing this database.
+    pub fn set_int(&self, guc: &str, value: i64) -> TemporalResult<()> {
+        self.state_mut()
+            .planner
+            .config
+            .set_int(guc, value)
+            .map_err(TemporalError::from)
+    }
+
     /// A copy of the current planner configuration.
     pub fn config(&self) -> PlannerConfig {
         self.state().planner.config
@@ -441,7 +451,8 @@ impl Database {
     /// concurrent registration or `SET` on the shared database.
     pub fn run(&self, plan: &TemporalPlan) -> TemporalResult<TemporalRelation> {
         let physical = self.physical(plan)?;
-        let out = physical.collect()?;
+        let state = ExecutionState::new(self.config());
+        let out = physical.collect(&state)?;
         TemporalRelation::new(out)
     }
 
@@ -753,9 +764,10 @@ impl TemporalFrame {
     /// shared lock is dropped before execution starts.
     pub fn collect_batches(&self) -> TemporalResult<Vec<RowBatch>> {
         let physical = self.db.physical(self.plan()?)?;
-        let mut exec = physical.execute().map_err(TemporalError::from)?;
+        let state = ExecutionState::new(self.db.config());
+        let mut exec = physical.execute(&state).map_err(TemporalError::from)?;
         let mut out = Vec::new();
-        while let Some(batch) = exec.next_batch().map_err(TemporalError::from)? {
+        while let Some(batch) = exec.next_batch(&state).map_err(TemporalError::from)? {
             out.push(batch);
         }
         Ok(out)

@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use temporal_engine::batch::RowBatch;
-use temporal_engine::exec::{ExecNode, SortExec};
+use temporal_engine::batch::{RowBatch, BATCH_SIZE};
+use temporal_engine::exec::{ExecNode, ExecutionState, SortExec};
 use temporal_engine::plan::ExtensionNode;
 use temporal_engine::prelude::*;
 
@@ -133,6 +133,11 @@ pub struct AbsorbExec {
     te_idx: usize,
     /// Last emitted row (for exact-duplicate elimination).
     last: Option<Row>,
+    /// May this node split its input into data-run partitions and absorb
+    /// them on workers? False for the per-partition sub-sweeps.
+    allow_parallel: bool,
+    /// Output of a partitioned parallel absorb, drained a batch at a time.
+    outbuf: Option<std::vec::IntoIter<Row>>,
 }
 
 impl AbsorbExec {
@@ -146,7 +151,40 @@ impl AbsorbExec {
             ts_idx: n - 2,
             te_idx: n - 1,
             last: None,
+            allow_parallel: true,
+            outbuf: None,
         }
+    }
+
+    /// Partitioned absorb: materialize the sorted input, cut it at data-run
+    /// boundaries (absorption groups never straddle a cut — the cut snaps
+    /// forward past any group that would) and run an independent serial
+    /// absorb per partition on workers. The absorb state fully resets at
+    /// every data change, so the concatenation in partition order is
+    /// row-identical to one serial pass (see
+    /// [`crate::primitives::parallel`]). Falls back to serving the
+    /// materialized rows serially when the input is small or one giant run.
+    fn try_parallel(&mut self, state: &ExecutionState) -> EngineResult<()> {
+        use crate::primitives::parallel::{data_partition_ranges, RowsExec};
+        use temporal_engine::exec::workers::par_run;
+        self.allow_parallel = false;
+        let schema = self.input.schema().clone();
+        let rows = temporal_engine::exec::collect_rows_batched(self.input.as_mut(), state)?;
+        let ranges = data_partition_ranges(&rows, self.data_width, state.threads());
+        if !state.parallel(rows.len()) || ranges.len() <= 1 {
+            self.input = Box::new(RowsExec::new(schema, rows));
+            return Ok(());
+        }
+        let chunks = par_run(state.threads(), ranges.len(), |i| {
+            let (a, b) = ranges[i];
+            let mut sub =
+                AbsorbExec::new(Box::new(RowsExec::new(schema.clone(), rows[a..b].to_vec())));
+            sub.allow_parallel = false;
+            temporal_engine::exec::collect_rows_batched(&mut sub, state)
+        })?;
+        state.note_partitions(ranges.len());
+        self.outbuf = Some(chunks.concat().into_iter());
+        Ok(())
     }
 
     /// Feed one sorted input row through the absorb state; returns the row
@@ -181,8 +219,8 @@ impl ExecNode for AbsorbExec {
         self.input.schema()
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
-        while let Some(row) = self.input.next()? {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
+        while let Some(row) = self.input.next(state)? {
             if let Some(out) = self.admit(row)? {
                 return Ok(Some(out));
             }
@@ -193,8 +231,18 @@ impl ExecNode for AbsorbExec {
     /// Batch path: filter a whole sorted input batch through the absorb
     /// state per call. Loops past fully absorbed batches — `Some` batches
     /// are never empty.
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
-        while let Some(batch) = self.input.next_batch()? {
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
+        if self.allow_parallel && self.group.is_none() && state.threads() > 1 {
+            self.try_parallel(state)?;
+        }
+        if let Some(it) = &mut self.outbuf {
+            let chunk: Vec<Row> = it.by_ref().take(BATCH_SIZE).collect();
+            if chunk.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(RowBatch::new(self.input.schema().clone(), chunk)));
+        }
+        while let Some(batch) = self.input.next_batch(state)? {
             let (schema, rows) = batch.into_parts();
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
@@ -294,6 +342,33 @@ mod tests {
             let slow = absorb_ref(&r).unwrap();
             assert!(fast.same_set(&slow), "case {rows:?}: {fast} vs {slow}");
         }
+    }
+
+    #[test]
+    fn parallel_absorb_is_row_identical_to_serial() {
+        // Long runs per value (runs straddle naive cut points), nested and
+        // duplicated intervals.
+        let names = ["a", "b", "c"];
+        let mut rows: Vec<(&str, i64, i64)> = Vec::new();
+        for i in 0..150i64 {
+            let v = names[(i % 3) as usize];
+            rows.push((v, i % 11, i % 11 + 1 + i % 13));
+            if i % 10 == 0 {
+                rows.push((v, i % 11, i % 11 + 1 + i % 13)); // exact duplicate
+            }
+        }
+        let r = rel(&rows);
+        let plan = AbsorbNode::plan(LogicalPlan::inline_scan(r.rel().clone()));
+        let catalog = temporal_engine::catalog::Catalog::new();
+        let serial = Planner::default().run(&plan, &catalog).unwrap();
+        let par = Planner::new(PlannerConfig {
+            threads: 4,
+            parallel_min_rows: 1,
+            ..Default::default()
+        })
+        .run(&plan, &catalog)
+        .unwrap();
+        assert_eq!(serial.rows(), par.rows(), "absorb must be row-identical");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use temporal_engine::batch::{RowBatch, BATCH_SIZE};
-use temporal_engine::exec::ExecNode;
+use temporal_engine::exec::{ExecNode, ExecutionState};
 use temporal_engine::plan::{CostModel, ExtensionNode, PlanStats};
 use temporal_engine::prelude::*;
 
@@ -392,6 +392,12 @@ pub struct AdjustmentExec {
     batched: bool,
     inbuf: std::collections::VecDeque<Row>,
     input_done: bool,
+    /// May this node split its input into data-run partitions and sweep
+    /// them on workers? True for planner-built nodes, false for the
+    /// per-partition sub-sweeps (no nested fan-out).
+    allow_parallel: bool,
+    /// Output of a partitioned parallel sweep, drained a batch at a time.
+    outbuf: Option<std::vec::IntoIter<Row>>,
 }
 
 impl AdjustmentExec {
@@ -419,7 +425,47 @@ impl AdjustmentExec {
             batched: false,
             inbuf: std::collections::VecDeque::new(),
             input_done: false,
+            allow_parallel: true,
+            outbuf: None,
         }
+    }
+
+    /// Partitioned sweep: materialize the (already sorted) input, cut it at
+    /// data-run boundaries and sweep each partition with an independent
+    /// serial sub-sweep on a worker. Concatenated in partition order this is
+    /// row-identical to one serial sweep (see [`super::parallel`]); groups
+    /// that would straddle a cut are pushed whole into the earlier
+    /// partition. Falls back to the serial machinery (input pre-buffered)
+    /// when the input is too small or collapses into one run.
+    fn try_parallel(&mut self, state: &ExecutionState) -> EngineResult<()> {
+        use super::parallel::{data_partition_ranges, RowsExec};
+        use temporal_engine::exec::workers::par_run;
+        self.allow_parallel = false;
+        let in_schema = self.input.schema().clone();
+        let rows = temporal_engine::exec::collect_rows_batched(self.input.as_mut(), state)?;
+        let ranges = data_partition_ranges(&rows, self.ts_idx, state.threads());
+        if !state.parallel(rows.len()) || ranges.len() <= 1 {
+            self.batched = true;
+            self.inbuf = rows.into();
+            self.input_done = true;
+            return Ok(());
+        }
+        let (schema, mode) = (self.schema.clone(), self.mode);
+        let chunks = par_run(state.threads(), ranges.len(), |i| {
+            let (a, b) = ranges[i];
+            let mut sub = AdjustmentExec::new(
+                Box::new(RowsExec::new(in_schema.clone(), rows[a..b].to_vec())),
+                schema.clone(),
+                mode,
+            );
+            sub.allow_parallel = false;
+            temporal_engine::exec::collect_rows_batched(&mut sub, state)
+        })?;
+        state.note_partitions(ranges.len());
+        self.started = true;
+        self.prev = None; // serial machinery is done; serve from outbuf
+        self.outbuf = Some(chunks.concat().into_iter());
+        Ok(())
     }
 
     /// Build an output tuple: the r tuple's data values over `[s, e)`.
@@ -434,9 +480,9 @@ impl AdjustmentExec {
     /// Pull the next input tuple through whichever protocol this node is
     /// being driven with: direct `next()` in row mode, the refilled batch
     /// buffer in batch mode.
-    fn fetch_input(&mut self) -> EngineResult<Option<Row>> {
+    fn fetch_input(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
         if !self.batched {
-            return self.input.next();
+            return self.input.next(state);
         }
         loop {
             if let Some(row) = self.inbuf.pop_front() {
@@ -445,7 +491,7 @@ impl AdjustmentExec {
             if self.input_done {
                 return Ok(None);
             }
-            match self.input.next_batch()? {
+            match self.input.next_batch(state)? {
                 Some(batch) => self.inbuf.extend(batch.into_rows()),
                 None => self.input_done = true,
             }
@@ -461,10 +507,10 @@ impl AdjustmentExec {
     /// baseline the batch speedups are measured against. Any change to the
     /// sweep rules must be mirrored there; `tests/batch_differential.rs`
     /// pins the two row-for-row.
-    fn step(&mut self) -> EngineResult<Option<Row>> {
+    fn step(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
         if !self.started {
             self.started = true;
-            self.curr = self.fetch_input()?;
+            self.curr = self.fetch_input(state)?;
             self.prev = self.curr.clone();
             self.sameleft = true;
             if let Some(c) = &self.curr {
@@ -515,7 +561,7 @@ impl AdjustmentExec {
                     }
                     AdjustMode::Normalize => {}
                 }
-                let next = self.fetch_input()?;
+                let next = self.fetch_input(state)?;
                 self.sameleft = match &next {
                     Some(n) => n.values()[..self.r_width] == curr_row.values()[..self.r_width],
                     None => false,
@@ -552,8 +598,8 @@ impl ExecNode for AdjustmentExec {
         &self.schema
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
-        self.step()
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
+        self.step(state)
     }
 
     /// Batch path: sweep whole sorted groups per call — the input is
@@ -563,11 +609,21 @@ impl ExecNode for AdjustmentExec {
     /// sweep advances identically (same branches, same emissions — the
     /// differential tests drive both), but the per-tuple `Option<Row>`
     /// clones of the re-entrant formulation are replaced by moves.
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
         self.batched = true;
+        if self.allow_parallel && !self.started && state.threads() > 1 {
+            self.try_parallel(state)?;
+        }
+        if let Some(it) = &mut self.outbuf {
+            let chunk: Vec<Row> = it.by_ref().take(BATCH_SIZE).collect();
+            if chunk.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(RowBatch::new(self.schema.clone(), chunk)));
+        }
         if !self.started {
             self.started = true;
-            self.curr = self.fetch_input()?;
+            self.curr = self.fetch_input(state)?;
             self.prev = self.curr.clone();
             self.sameleft = true;
             if let Some(c) = &self.curr {
@@ -618,7 +674,7 @@ impl ExecNode for AdjustmentExec {
                 // On an input error, put the taken tuple back so the node
                 // stays re-entrant (the row path clones instead of taking
                 // and re-errors cleanly on the next poll).
-                let next = match self.fetch_input() {
+                let next = match self.fetch_input(state) {
                     Ok(n) => n,
                     Err(e) => {
                         self.curr = Some(curr_row);
@@ -840,7 +896,7 @@ mod tests {
             fn schema(&self) -> &Schema {
                 &self.schema
             }
-            fn next(&mut self) -> EngineResult<Option<Row>> {
+            fn next(&mut self, _state: &ExecutionState) -> EngineResult<Option<Row>> {
                 if !self.emitted {
                     self.emitted = true;
                     Ok(Some(Self::row()))
@@ -851,7 +907,10 @@ mod tests {
             // Deliver the tuple as a whole batch so the failure arrives on
             // the *second* pull — mid-group, after the sweep has taken its
             // current tuple.
-            fn next_batch(&mut self) -> EngineResult<Option<temporal_engine::batch::RowBatch>> {
+            fn next_batch(
+                &mut self,
+                _state: &ExecutionState,
+            ) -> EngineResult<Option<temporal_engine::batch::RowBatch>> {
                 if !self.emitted {
                     self.emitted = true;
                     Ok(Some(temporal_engine::batch::RowBatch::new(
@@ -886,11 +945,72 @@ mod tests {
             )
         };
         let mut exec = mk(&out_schema);
-        assert!(exec.next_batch().is_err());
-        assert!(exec.next_batch().is_err(), "re-poll must re-error");
+        let state = ExecutionState::default();
+        assert!(exec.next_batch(&state).is_err());
+        assert!(exec.next_batch(&state).is_err(), "re-poll must re-error");
         let mut exec = mk(&out_schema);
-        assert!(exec.next().is_err());
-        assert!(exec.next().is_err(), "row path re-poll must re-error");
+        assert!(exec.next(&state).is_err());
+        assert!(exec.next(&state).is_err(), "row path re-poll must re-error");
+    }
+
+    #[test]
+    fn parallel_sweep_is_row_identical_to_serial() {
+        // Many groups with shared data values (so data-runs span several
+        // r-tuples and some runs straddle naive cut points), gaps, overlaps
+        // and unmatched tuples. Compare the full planned pipeline under a
+        // 4-worker state against the serial planner, for every sweep mode.
+        let mut r_rows: Vec<(&str, i64, i64)> = Vec::new();
+        let names = ["a", "b", "c", "d", "e"];
+        for i in 0..120i64 {
+            let v = names[(i % 5) as usize];
+            r_rows.push((v, i % 37, i % 37 + 3 + i % 7));
+        }
+        let mut s_rows: Vec<(&str, i64, i64)> = Vec::new();
+        for i in 0..90i64 {
+            let v = names[(i % 4) as usize];
+            s_rows.push((v, i % 29, i % 29 + 2 + i % 5));
+        }
+        let r = rel("r", &r_rows);
+        let s = rel("s", &s_rows);
+        let theta = col(0).eq(col(3));
+        let serial = Planner::default();
+        let par = Planner::new(PlannerConfig {
+            threads: 4,
+            parallel_min_rows: 1,
+            ..Default::default()
+        });
+        // Alignment (with and without θ).
+        for theta in [None, Some(theta)] {
+            let a = align_eval(&r, &s, theta.clone(), &serial).unwrap();
+            let b = align_eval(&r, &s, theta, &par).unwrap();
+            assert_eq!(
+                a.rel().rows(),
+                b.rel().rows(),
+                "align must be row-identical"
+            );
+        }
+        // Normalization (grouped and ungrouped).
+        for b in [&[][..], &[(0usize, 0usize)][..]] {
+            let x = normalize_eval(&r, &s, b, &serial).unwrap();
+            let y = normalize_eval(&r, &s, b, &par).unwrap();
+            assert_eq!(
+                x.rel().rows(),
+                y.rel().rows(),
+                "normalize must be row-identical"
+            );
+        }
+        // Gaps-only (anti-join primitive).
+        let catalog = temporal_engine::catalog::Catalog::new();
+        let gaps = |p: &Planner| {
+            let plan = antijoin_gaps_plan(
+                LogicalPlan::inline_scan(r.rel().clone()),
+                LogicalPlan::inline_scan(s.rel().clone()),
+                None,
+            )
+            .unwrap();
+            p.run(&plan, &catalog).unwrap()
+        };
+        assert_eq!(gaps(&serial).rows(), gaps(&par).rows());
     }
 
     #[test]

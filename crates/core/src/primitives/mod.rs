@@ -21,4 +21,5 @@ pub mod absorb;
 pub mod adjustment;
 pub mod aligner;
 pub mod extend;
+pub(crate) mod parallel;
 pub mod splitter;

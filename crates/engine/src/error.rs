@@ -23,6 +23,8 @@ pub enum EngineError {
     Storage(String),
     /// An internal invariant was violated (a bug in the engine).
     Internal(String),
+    /// The query was cancelled via its execution state.
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +39,7 @@ impl fmt::Display for EngineError {
             EngineError::Evaluation(m) => write!(f, "evaluation error: {m}"),
             EngineError::Storage(m) => write!(f, "storage error: {m}"),
             EngineError::Internal(m) => write!(f, "internal error: {m}"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

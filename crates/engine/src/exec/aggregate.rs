@@ -6,7 +6,7 @@
 
 use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::{EngineError, EngineResult};
-use crate::exec::{collect_rows, collect_rows_batched, BoxedExec, ExecNode};
+use crate::exec::{collect_rows, collect_rows_batched, BoxedExec, ExecNode, ExecutionState};
 use crate::expr::{AggCall, AggFunc, Expr};
 use crate::hashing::FxHashMap;
 use crate::schema::Schema;
@@ -190,11 +190,11 @@ impl HashAggregateExec {
         }
     }
 
-    fn compute(&mut self, batched: bool) -> EngineResult<Vec<Row>> {
+    fn compute(&mut self, state: &ExecutionState, batched: bool) -> EngineResult<Vec<Row>> {
         let rows = if batched {
-            collect_rows_batched(self.input.as_mut())?
+            collect_rows_batched(self.input.as_mut(), state)?
         } else {
-            collect_rows(self.input.as_mut())?
+            collect_rows(self.input.as_mut(), state)?
         };
         aggregate_rows(&rows, &self.group, &self.aggs)
     }
@@ -205,9 +205,9 @@ impl ExecNode for HashAggregateExec {
         &self.schema
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
         if self.out.is_none() {
-            let rows = self.compute(false)?;
+            let rows = self.compute(state, false)?;
             self.out = Some(rows.into_iter());
         }
         Ok(self.out.as_mut().expect("initialized").next())
@@ -215,9 +215,9 @@ impl ExecNode for HashAggregateExec {
 
     /// Batch path: drain the input batch-wise, then emit the groups a
     /// chunk at a time (group order is first-seen input order either way).
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
         if self.out.is_none() {
-            let rows = self.compute(true)?;
+            let rows = self.compute(state, true)?;
             self.out = Some(rows.into_iter());
         }
         let it = self.out.as_mut().expect("initialized");
@@ -233,7 +233,7 @@ impl ExecNode for HashAggregateExec {
 mod tests {
     use super::*;
     use crate::exec::test_util::int2_rel;
-    use crate::exec::{collect, SeqScanExec};
+    use crate::exec::{collect, ExecutionState, SeqScanExec};
     use crate::expr::col;
     use crate::relation::Relation;
     use crate::schema::{Column, DataType};
@@ -265,7 +265,7 @@ mod tests {
                 ("max", DataType::Int),
             ]),
         ));
-        let out = collect(agg).unwrap();
+        let out = collect(agg, &ExecutionState::default()).unwrap();
         assert_eq!(out.len(), 2);
         // first-seen order: group 1 then group 2
         assert_eq!(
@@ -305,7 +305,7 @@ mod tests {
                 ("s", DataType::Int),
             ]),
         ));
-        let out = collect(agg).unwrap();
+        let out = collect(agg, &ExecutionState::default()).unwrap();
         assert_eq!(
             out.rows()[0].to_vec(),
             vec![Value::Int(3), Value::Int(2), Value::Int(4)]
@@ -322,7 +322,7 @@ mod tests {
             vec![AggCall::count_star(), AggCall::new(AggFunc::Max, col(1))],
             agg_schema(&[("c", DataType::Int), ("m", DataType::Int)]),
         ));
-        let out = collect(agg).unwrap();
+        let out = collect(agg, &ExecutionState::default()).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][0], Value::Int(0));
         assert!(out.rows()[0][1].is_null());
@@ -338,7 +338,7 @@ mod tests {
             vec![AggCall::count_star()],
             agg_schema(&[("g", DataType::Int), ("c", DataType::Int)]),
         ));
-        let out = collect(agg).unwrap();
+        let out = collect(agg, &ExecutionState::default()).unwrap();
         assert!(out.is_empty());
     }
 
@@ -363,7 +363,7 @@ mod tests {
             vec![AggCall::new(AggFunc::Sum, col(1))],
             agg_schema(&[("g", DataType::Int), ("s", DataType::Int)]),
         ));
-        let out = collect(agg).unwrap();
+        let out = collect(agg, &ExecutionState::default()).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0][1], Value::Int(3));
     }

@@ -1,7 +1,7 @@
 //! Duplicate elimination (set semantics), streaming.
 
 use crate::error::EngineResult;
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::{BoxedExec, ExecNode, ExecutionState};
 use crate::hashing::FxHashSet;
 use crate::schema::Schema;
 use crate::tuple::Row;
@@ -27,8 +27,8 @@ impl ExecNode for DistinctExec {
         self.input.schema()
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
-        while let Some(row) = self.input.next()? {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
+        while let Some(row) = self.input.next(state)? {
             if self.seen.insert(row.clone()) {
                 return Ok(Some(row));
             }
@@ -41,7 +41,7 @@ impl ExecNode for DistinctExec {
 mod tests {
     use super::*;
     use crate::exec::test_util::int2_rel;
-    use crate::exec::{collect, SeqScanExec};
+    use crate::exec::{collect, ExecutionState, SeqScanExec};
     use crate::relation::Relation;
     use crate::schema::{Column, DataType};
     use crate::value::Value;
@@ -50,7 +50,11 @@ mod tests {
     fn removes_duplicates_preserving_order() {
         let rel = int2_rel(("a", "b"), &[(1, 1), (2, 2), (1, 1), (2, 2), (3, 3)]).into_shared();
         let scan = Box::new(SeqScanExec::new(rel));
-        let out = collect(Box::new(DistinctExec::new(scan))).unwrap();
+        let out = collect(
+            Box::new(DistinctExec::new(scan)),
+            &ExecutionState::default(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out.rows()[2][0], Value::Int(3));
     }
@@ -64,7 +68,11 @@ mod tests {
         .unwrap()
         .into_shared();
         let scan = Box::new(SeqScanExec::new(rel));
-        let out = collect(Box::new(DistinctExec::new(scan))).unwrap();
+        let out = collect(
+            Box::new(DistinctExec::new(scan)),
+            &ExecutionState::default(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 1);
     }
 }

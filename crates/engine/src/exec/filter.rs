@@ -2,7 +2,7 @@
 
 use crate::batch::RowBatch;
 use crate::error::EngineResult;
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::{BoxedExec, ExecNode, ExecutionState};
 use crate::expr::Expr;
 use crate::schema::Schema;
 use crate::tuple::Row;
@@ -24,8 +24,8 @@ impl ExecNode for FilterExec {
         self.input.schema()
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
-        while let Some(row) = self.input.next()? {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
+        while let Some(row) = self.input.next(state)? {
             if self.predicate.eval_pred(row.values())? {
                 return Ok(Some(row));
             }
@@ -36,8 +36,8 @@ impl ExecNode for FilterExec {
     /// Batch path: one vectorized predicate evaluation per input batch.
     /// Loops past batches the predicate empties — `Some` batches are never
     /// empty.
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
-        while let Some(batch) = self.input.next_batch()? {
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
+        while let Some(batch) = self.input.next_batch(state)? {
             let keep = self.predicate.eval_pred_batch(batch.rows())?;
             let (schema, mut rows) = batch.into_parts();
             let mut it = keep.into_iter();
@@ -54,7 +54,7 @@ impl ExecNode for FilterExec {
 mod tests {
     use super::*;
     use crate::exec::test_util::int_rel;
-    use crate::exec::{collect, SeqScanExec};
+    use crate::exec::{collect, ExecutionState, SeqScanExec};
     use crate::expr::{col, lit};
     use crate::value::Value;
 
@@ -63,7 +63,7 @@ mod tests {
         let rel = int_rel("a", &[1, 5, 3, 7]).into_shared();
         let scan = Box::new(SeqScanExec::new(rel));
         let filter = Box::new(FilterExec::new(scan, col(0).gt(lit(3i64))));
-        let out = collect(filter).unwrap();
+        let out = collect(filter, &ExecutionState::default()).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.rows()[0][0], Value::Int(5));
         assert_eq!(out.rows()[1][0], Value::Int(7));
@@ -81,7 +81,7 @@ mod tests {
         .into_shared();
         let scan = Box::new(SeqScanExec::new(rel));
         let filter = Box::new(FilterExec::new(scan, col(0).gt(lit(0i64))));
-        let out = collect(filter).unwrap();
+        let out = collect(filter, &ExecutionState::default()).unwrap();
         assert_eq!(out.len(), 1);
     }
 }

@@ -3,12 +3,26 @@
 //! The reduction rules conjoin `r.T = s.T` to every θ, so reduced temporal
 //! joins always expose hashable keys — the mechanism behind the paper's
 //! fast Fig. 15d results.
+//!
+//! Under a parallel [`ExecutionState`] the batch path partitions both
+//! sides: the build table is assembled from per-worker hash shards
+//! (disjoint key ranges, merged without overlap), and the probe input is
+//! split into contiguous morsels probed on workers against the shared
+//! read-only table. Matched-flags on the build side are atomic booleans —
+//! monotonic false→true marks, order-independent — so even Right/Full
+//! joins probe in parallel and the trailing unmatched-scan observes the
+//! same flags as a serial probe. Morsel outputs concatenate in input
+//! order, keeping the parallel probe row-identical to the serial one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::workers::{par_run, split_ranges};
+use crate::exec::{BoxedExec, ExecNode, ExecutionState};
 use crate::expr::{CompiledPred, Expr};
-use crate::hashing::FxHashMap;
+use crate::hashing::{FxHashMap, FxHasher};
 use crate::plan::JoinType;
 use crate::schema::Schema;
 use crate::tuple::Row;
@@ -16,6 +30,8 @@ use crate::value::Value;
 
 enum Phase {
     Probe,
+    /// Morsel-parallel probe output, drained a batch at a time.
+    Buffered(std::vec::IntoIter<Row>),
     BuildUnmatched(usize),
     Done,
 }
@@ -36,7 +52,7 @@ pub struct HashJoinExec {
 
     table: FxHashMap<Vec<Value>, Vec<usize>>,
     build_rows: Vec<Row>,
-    build_matched: Vec<bool>,
+    build_matched: Vec<AtomicBool>,
     built: bool,
 
     cur_left: Option<Row>,
@@ -44,6 +60,17 @@ pub struct HashJoinExec {
     cand_pos: usize,
     cur_left_matched: bool,
     phase: Phase,
+}
+
+/// One shard's build input: `(key, build index)` pairs, indices ascending.
+type ShardEntries = Vec<(Vec<Value>, usize)>;
+
+/// Deterministic shard of a build key (FxHash, same per process).
+fn key_shard(key: &[Value], shards: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    (h.finish() as usize) % shards
 }
 
 impl HashJoinExec {
@@ -82,28 +109,88 @@ impl HashJoinExec {
         }
     }
 
-    fn build(&mut self, batched: bool) -> EngineResult<()> {
+    fn build(&mut self, state: &ExecutionState, batched: bool) -> EngineResult<()> {
         if self.built {
             return Ok(());
         }
         let mut right = self.right.take().expect("build called once");
         let rows = if batched {
-            crate::exec::collect_rows_batched(right.as_mut())?
+            crate::exec::collect_rows_batched(right.as_mut(), state)?
         } else {
-            crate::exec::collect_rows(right.as_mut())?
+            crate::exec::collect_rows(right.as_mut(), state)?
         };
-        for row in rows {
-            let idx = self.build_rows.len();
-            let key: Vec<Value> = self.keys.iter().map(|&(_, r)| row[r].clone()).collect();
-            // NULL keys never join, but the row may still surface as
-            // unmatched for Right/Full joins.
-            if !key.iter().any(Value::is_null) {
-                self.table.entry(key).or_default().push(idx);
+        if batched && state.parallel(rows.len()) {
+            self.build_parallel(state, &rows)?;
+        } else {
+            for (idx, row) in rows.iter().enumerate() {
+                let key: Vec<Value> = self.keys.iter().map(|&(_, r)| row[r].clone()).collect();
+                // NULL keys never join, but the row may still surface as
+                // unmatched for Right/Full joins.
+                if !key.iter().any(Value::is_null) {
+                    self.table.entry(key).or_default().push(idx);
+                }
             }
-            self.build_rows.push(row);
         }
-        self.build_matched = vec![false; self.build_rows.len()];
+        self.build_matched = (0..rows.len()).map(|_| AtomicBool::new(false)).collect();
+        self.build_rows = rows;
         self.built = true;
+        Ok(())
+    }
+
+    /// Partitioned build: extract keys over contiguous chunks on workers,
+    /// bucketing each chunk's keys by a deterministic key hash, then let
+    /// each worker own one hash shard (disjoint key sets) and build its map
+    /// from the moved-in buckets — no key is cloned or rescanned. Chunks
+    /// are transposed in order and bucket entries carry ascending build
+    /// indices, so candidate lists stay in build-row order — the same table
+    /// a serial build produces.
+    fn build_parallel(&mut self, state: &ExecutionState, rows: &[Row]) -> EngineResult<()> {
+        let threads = state.threads();
+        let ranges = split_ranges(rows.len(), threads);
+        let keys = &self.keys;
+        // chunk → shard → (key, build index), indices ascending per bucket.
+        let chunk_buckets = par_run(threads, ranges.len(), |i| {
+            let (a, b) = ranges[i];
+            let mut buckets: Vec<Vec<(Vec<Value>, usize)>> = vec![Vec::new(); threads];
+            for (idx, row) in rows[a..b].iter().enumerate() {
+                let key: Vec<Value> = keys.iter().map(|&(_, r)| row[r].clone()).collect();
+                // NULL keys never join, but the row may still surface as
+                // unmatched for Right/Full joins.
+                if !key.iter().any(Value::is_null) {
+                    let shard = key_shard(&key, threads);
+                    buckets[shard].push((key, a + idx));
+                }
+            }
+            Ok(buckets)
+        })?;
+        // Transpose by move: shard → entries in ascending index order
+        // (chunks are visited in range order).
+        let mut shard_entries: Vec<ShardEntries> = vec![Vec::new(); threads];
+        for mut chunk in chunk_buckets {
+            for (shard, bucket) in chunk.drain(..).enumerate() {
+                shard_entries[shard].extend(bucket);
+            }
+        }
+        let shard_slots: Vec<Mutex<Option<ShardEntries>>> = shard_entries
+            .into_iter()
+            .map(|e| Mutex::new(Some(e)))
+            .collect();
+        let shards = par_run(threads, threads, |w| {
+            let entries = shard_slots[w]
+                .lock()
+                .expect("shard input claimed once")
+                .take()
+                .expect("each shard consumed once");
+            let mut m: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+            for (key, idx) in entries {
+                m.entry(key).or_default().push(idx);
+            }
+            Ok(m)
+        })?;
+        state.note_partitions(ranges.len() + threads);
+        for m in shards {
+            self.table.extend(m);
+        }
         Ok(())
     }
 
@@ -114,17 +201,43 @@ impl HashJoinExec {
         }
     }
 
-    /// Probe a whole left batch. Candidate lists are read in place (no
+    /// The immutable probe context: everything a worker needs to probe a
+    /// morsel of left rows against the built table.
+    fn probe_side(&self) -> ProbeSide<'_> {
+        ProbeSide {
+            table: &self.table,
+            build_rows: &self.build_rows,
+            build_matched: &self.build_matched,
+            keys: &self.keys,
+            residual: self.residual.as_ref(),
+            join_type: self.join_type,
+            right_width: self.right_width,
+        }
+    }
+}
+
+/// Shared read-only probe state (see [`HashJoinExec::probe_side`]). All
+/// fields are `Sync`; matched-marks go through atomics, so any number of
+/// workers can probe disjoint morsels concurrently.
+struct ProbeSide<'a> {
+    table: &'a FxHashMap<Vec<Value>, Vec<usize>>,
+    build_rows: &'a [Row],
+    build_matched: &'a [AtomicBool],
+    keys: &'a [(usize, usize)],
+    residual: Option<&'a Expr>,
+    join_type: JoinType,
+    right_width: usize,
+}
+
+impl ProbeSide<'_> {
+    /// Probe a run of left rows. Candidate lists are read in place (no
     /// per-row clone). Simple residuals (every reduced temporal condition:
     /// equality leftovers, interval overlaps) are compiled once and
     /// evaluated over the *pair* of rows, so the combined row is only
     /// materialized for candidates that actually join — late
     /// materialization, the batch path's main win on high-fanout probes.
-    fn probe_batch(&mut self, lrows: &[Row]) -> EngineResult<Vec<Row>> {
-        let compiled = self
-            .residual
-            .as_ref()
-            .map(|e| (CompiledPred::compile(e), e));
+    fn probe(&self, lrows: &[Row], left_width: usize) -> EngineResult<Vec<Row>> {
+        let compiled = self.residual.map(|e| (CompiledPred::compile(e), e));
         let mut out: Vec<Row> = Vec::new();
         let mut key: Vec<Value> = Vec::with_capacity(self.keys.len());
         // Scratch for the general (non-compilable) residual: candidate
@@ -146,11 +259,11 @@ impl HashJoinExec {
                     // only on a pass.
                     for &bi in cands {
                         let build = &self.build_rows[bi];
-                        if !pred.matches_pair(l.values(), build.values(), self.left_width)? {
+                        if !pred.matches_pair(l.values(), build.values(), left_width)? {
                             continue;
                         }
                         matched = true;
-                        self.build_matched[bi] = true;
+                        self.build_matched[bi].store(true, Ordering::Relaxed);
                         match self.join_type {
                             JoinType::Inner | JoinType::Left | JoinType::Right | JoinType::Full => {
                                 out.push(l.concat(build));
@@ -175,7 +288,7 @@ impl HashJoinExec {
                             continue;
                         }
                         matched = true;
-                        self.build_matched[bi] = true;
+                        self.build_matched[bi].store(true, Ordering::Relaxed);
                         if self.join_type == JoinType::Semi {
                             out.push(l.clone());
                         }
@@ -196,7 +309,7 @@ impl HashJoinExec {
                             continue;
                         }
                         matched = true;
-                        self.build_matched[bi] = true;
+                        self.build_matched[bi].store(true, Ordering::Relaxed);
                         match self.join_type {
                             JoinType::Inner | JoinType::Left | JoinType::Right | JoinType::Full => {
                                 out.push(c);
@@ -208,7 +321,7 @@ impl HashJoinExec {
                 None => {
                     for &bi in cands {
                         matched = true;
-                        self.build_matched[bi] = true;
+                        self.build_matched[bi].store(true, Ordering::Relaxed);
                         match self.join_type {
                             JoinType::Inner | JoinType::Left | JoinType::Right | JoinType::Full => {
                                 out.push(l.concat(&self.build_rows[bi]));
@@ -239,16 +352,17 @@ impl ExecNode for HashJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
-        self.build(false)?;
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
+        self.build(state, false)?;
         loop {
             match self.phase {
                 Phase::Done => return Ok(None),
+                Phase::Buffered(_) => unreachable!("row path never buffers"),
                 Phase::BuildUnmatched(ref mut i) => {
                     while *i < self.build_rows.len() {
                         let idx = *i;
                         *i += 1;
-                        if !self.build_matched[idx] {
+                        if !self.build_matched[idx].load(Ordering::Relaxed) {
                             return Ok(Some(self.build_rows[idx].nulls_concat(self.left_width)));
                         }
                     }
@@ -256,7 +370,7 @@ impl ExecNode for HashJoinExec {
                 }
                 Phase::Probe => {
                     if self.cur_left.is_none() {
-                        match self.left.next()? {
+                        match self.left.next(state)? {
                             Some(l) => {
                                 let key: Vec<Value> =
                                     self.keys.iter().map(|&(lk, _)| l[lk].clone()).collect();
@@ -287,7 +401,7 @@ impl ExecNode for HashJoinExec {
                         let combined = left_row.concat(&self.build_rows[idx]);
                         if self.residual_ok(&combined)? {
                             self.cur_left_matched = true;
-                            self.build_matched[idx] = true;
+                            self.build_matched[idx].store(true, Ordering::Relaxed);
                             match self.join_type {
                                 JoinType::Inner
                                 | JoinType::Left
@@ -320,20 +434,35 @@ impl ExecNode for HashJoinExec {
         }
     }
 
-    /// Batch path: probe a whole left batch per call. Candidate lists are
-    /// read in place (no per-row clone), and the residual predicate is
-    /// evaluated once, vectorized, over every candidate of the batch.
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
-        self.build(true)?;
+    /// Batch path: probe a whole left batch per call (serial), or — under
+    /// a parallel state — drain the left side once and probe contiguous
+    /// morsels on workers, then emit the buffered output a batch at a
+    /// time. Candidate lists are read in place (no per-row clone), and the
+    /// residual predicate is evaluated once, vectorized, over every
+    /// candidate of a batch.
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
+        self.build(state, true)?;
         loop {
             match self.phase {
                 Phase::Done => return Ok(None),
+                Phase::Buffered(ref mut it) => {
+                    let chunk: Vec<Row> = it.by_ref().take(BATCH_SIZE).collect();
+                    if chunk.is_empty() {
+                        self.phase = if self.join_type.emits_right_unmatched() {
+                            Phase::BuildUnmatched(0)
+                        } else {
+                            Phase::Done
+                        };
+                        continue;
+                    }
+                    return Ok(Some(RowBatch::new(self.schema.clone(), chunk)));
+                }
                 Phase::BuildUnmatched(ref mut i) => {
                     let mut out = Vec::new();
                     while *i < self.build_rows.len() && out.len() < BATCH_SIZE {
                         let idx = *i;
                         *i += 1;
-                        if !self.build_matched[idx] {
+                        if !self.build_matched[idx].load(Ordering::Relaxed) {
                             out.push(self.build_rows[idx].nulls_concat(self.left_width));
                         }
                     }
@@ -345,8 +474,29 @@ impl ExecNode for HashJoinExec {
                         return Ok(Some(RowBatch::new(self.schema.clone(), out)));
                     }
                 }
+                Phase::Probe if state.threads() > 1 => {
+                    // Morsel-parallel probe: materialize the probe input,
+                    // split it into contiguous morsels, probe them on
+                    // workers and concatenate in morsel order.
+                    let lrows = crate::exec::collect_rows_batched(self.left.as_mut(), state)?;
+                    let out = if state.parallel(lrows.len()) {
+                        let threads = state.threads();
+                        let ranges = split_ranges(lrows.len(), threads);
+                        let side = self.probe_side();
+                        let left_width = self.left_width;
+                        let chunks = par_run(threads, ranges.len(), |i| {
+                            let (a, b) = ranges[i];
+                            side.probe(&lrows[a..b], left_width)
+                        })?;
+                        state.note_partitions(ranges.len());
+                        chunks.concat()
+                    } else {
+                        self.probe_side().probe(&lrows, self.left_width)?
+                    };
+                    self.phase = Phase::Buffered(out.into_iter());
+                }
                 Phase::Probe => {
-                    let Some(batch) = self.left.next_batch()? else {
+                    let Some(batch) = self.left.next_batch(state)? else {
                         self.phase = if self.join_type.emits_right_unmatched() {
                             Phase::BuildUnmatched(0)
                         } else {
@@ -354,7 +504,7 @@ impl ExecNode for HashJoinExec {
                         };
                         continue;
                     };
-                    let out = self.probe_batch(batch.rows())?;
+                    let out = self.probe_side().probe(batch.rows(), self.left_width)?;
                     if !out.is_empty() {
                         return Ok(Some(RowBatch::new(self.schema.clone(), out)));
                     }
@@ -368,8 +518,9 @@ impl ExecNode for HashJoinExec {
 mod tests {
     use super::*;
     use crate::exec::test_util::int2_rel;
-    use crate::exec::{collect, NestedLoopJoinExec, SeqScanExec};
+    use crate::exec::{collect, ExecutionState, NestedLoopJoinExec, SeqScanExec};
     use crate::expr::col;
+    use crate::plan::PlannerConfig;
     use crate::relation::Relation;
     use crate::schema::{Column, DataType};
 
@@ -384,7 +535,7 @@ mod tests {
         residual: Option<Expr>,
     ) -> Relation {
         let node = HashJoinExec::new(scan(l), scan(r), vec![(0, 0)], residual, jt);
-        collect(Box::new(node)).unwrap()
+        collect(Box::new(node), &ExecutionState::default()).unwrap()
     }
 
     /// Same join via nested loop, as the semantics oracle.
@@ -399,7 +550,7 @@ mod tests {
             Some(res) => col(0).eq(col(2)).and(res),
         };
         let node = NestedLoopJoinExec::new(scan(l), scan(r), jt, Some(cond));
-        collect(Box::new(node)).unwrap()
+        collect(Box::new(node), &ExecutionState::default()).unwrap()
     }
 
     #[test]
@@ -471,7 +622,7 @@ mod tests {
             None,
             JoinType::Full,
         );
-        let out = collect(Box::new(node)).unwrap();
+        let out = collect(Box::new(node), &ExecutionState::default()).unwrap();
         // matched (2,2,2,8); unmatched left (ω,1,ω,ω); unmatched right (ω,ω,ω,9)
         assert_eq!(out.len(), 3);
     }
@@ -509,10 +660,51 @@ mod tests {
                         jt,
                     ))
                 };
-                let rows = collect_rowwise(mk(residual.clone())).unwrap();
-                let batches = collect(mk(residual)).unwrap();
+                let rows =
+                    collect_rowwise(mk(residual.clone()), &ExecutionState::default()).unwrap();
+                let batches = collect(mk(residual), &ExecutionState::default()).unwrap();
                 assert_eq!(rows.rows(), batches.rows(), "join type {jt:?}");
             }
         }
+    }
+
+    #[test]
+    fn parallel_probe_is_row_identical_to_serial() {
+        // Enough rows to trip the parallel gate with parallel_min_rows=1,
+        // duplicate keys for fanout, NULL keys, unmatched rows both sides.
+        let l: Vec<(i64, i64)> = (0..500).map(|i| (i % 23, i)).collect();
+        let r: Vec<(i64, i64)> = (0..300).map(|i| (i % 31, 1000 + i)).collect();
+        let par_state = ExecutionState::new(PlannerConfig {
+            threads: 4,
+            parallel_min_rows: 1,
+            ..Default::default()
+        });
+        let serial_state = ExecutionState::default();
+        let residuals = [None, Some(col(1).lt(col(3)))];
+        for jt in [
+            JoinType::Inner,
+            JoinType::Left,
+            JoinType::Right,
+            JoinType::Full,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            for residual in &residuals {
+                let mk = || {
+                    Box::new(HashJoinExec::new(
+                        scan(&l),
+                        scan(&r),
+                        vec![(0, 0)],
+                        residual.clone(),
+                        jt,
+                    ))
+                };
+                let serial = collect(mk(), &serial_state).unwrap();
+                let par = collect(mk(), &par_state).unwrap();
+                assert_eq!(serial.rows(), par.rows(), "join type {jt:?}");
+            }
+        }
+        let (_, _, partitions) = par_state.stats.snapshot();
+        assert!(partitions > 0, "parallel probe must actually partition");
     }
 }

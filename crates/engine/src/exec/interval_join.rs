@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 
 use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
-use crate::exec::{collect_rows, collect_rows_batched, BoxedExec, ExecNode};
+use crate::exec::{collect_rows, collect_rows_batched, BoxedExec, ExecNode, ExecutionState};
 use crate::expr::{CompiledPred, Expr};
 use crate::plan::JoinType;
 use crate::schema::Schema;
@@ -124,19 +124,19 @@ impl IntervalJoinExec {
 
     /// Materialize and sort both sides (once), via the protocol the caller
     /// is driving.
-    fn ensure_state(&mut self, batched: bool) -> EngineResult<()> {
+    fn ensure_state(&mut self, state: &ExecutionState, batched: bool) -> EngineResult<()> {
         if self.state.is_some() {
             return Ok(());
         }
         let (l_rows, r_rows) = if batched {
             (
-                collect_rows_batched(self.left.as_mut())?,
-                collect_rows_batched(self.right.as_mut())?,
+                collect_rows_batched(self.left.as_mut(), state)?,
+                collect_rows_batched(self.right.as_mut(), state)?,
             )
         } else {
             (
-                collect_rows(self.left.as_mut())?,
-                collect_rows(self.right.as_mut())?,
+                collect_rows(self.left.as_mut(), state)?,
+                collect_rows(self.right.as_mut(), state)?,
             )
         };
         self.state = Some(SweepState {
@@ -264,12 +264,12 @@ impl ExecNode for IntervalJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
         loop {
             if let Some(row) = self.pending.pop_front() {
                 return Ok(Some(row));
             }
-            self.ensure_state(false)?;
+            self.ensure_state(state, false)?;
             let mut buf = Vec::new();
             if !self.sweep_one_left(&mut buf, None)? {
                 return Ok(None);
@@ -282,8 +282,8 @@ impl ExecNode for IntervalJoinExec {
     /// batch worth of output has accumulated. The residual is compiled once
     /// per call (from a clone of the expression, so the borrow doesn't pin
     /// `self`), not once per left row.
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
-        self.ensure_state(true)?;
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
+        self.ensure_state(state, true)?;
         let residual = self.residual.clone();
         let compiled = residual.as_ref().and_then(CompiledPred::compile);
         let mut out: Vec<Row> = self.pending.drain(..).collect();
@@ -302,7 +302,7 @@ impl ExecNode for IntervalJoinExec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{collect, NestedLoopJoinExec, SeqScanExec};
+    use crate::exec::{collect, ExecutionState, NestedLoopJoinExec, SeqScanExec};
     use crate::expr::col;
     use crate::relation::Relation;
     use crate::schema::{Column, DataType};
@@ -328,7 +328,7 @@ mod tests {
 
     fn run_sweep(l: &Relation, r: &Relation, jt: JoinType, residual: Option<Expr>) -> Relation {
         let node = IntervalJoinExec::new(scan(l), scan(r), 1, 2, 1, 2, residual, jt);
-        collect(Box::new(node)).unwrap()
+        collect(Box::new(node), &ExecutionState::default()).unwrap()
     }
 
     fn run_nl(l: &Relation, r: &Relation, jt: JoinType, residual: Option<Expr>) -> Relation {
@@ -338,7 +338,7 @@ mod tests {
             None => overlap,
         };
         let node = NestedLoopJoinExec::new(scan(l), scan(r), jt, Some(cond));
-        collect(Box::new(node)).unwrap()
+        collect(Box::new(node), &ExecutionState::default()).unwrap()
     }
 
     #[test]
@@ -430,8 +430,10 @@ mod tests {
                             jt,
                         ))
                     };
-                    let rows = collect_rowwise(mk_node(residual.clone())).unwrap();
-                    let batches = collect(mk_node(residual)).unwrap();
+                    let rows =
+                        collect_rowwise(mk_node(residual.clone()), &ExecutionState::default())
+                            .unwrap();
+                    let batches = collect(mk_node(residual), &ExecutionState::default()).unwrap();
                     assert_eq!(rows.rows(), batches.rows(), "{jt:?}");
                 }
             }
@@ -446,12 +448,12 @@ mod tests {
         let l = rel(&[(1, 0, 10), (2, 0, 10), (3, 0, 10)]);
         let r = rel(&[(7, 0, 10), (8, 0, 10), (9, 0, 10)]);
         let mut node = IntervalJoinExec::new(scan(&l), scan(&r), 1, 2, 1, 2, None, JoinType::Inner);
-        assert!(node.next().unwrap().is_some());
+        assert!(node.next(&ExecutionState::default()).unwrap().is_some());
         // 9 matches total; after one next() only the current left row's
         // remaining matches (2 of its 3) are buffered.
         assert_eq!(node.pending.len(), 2);
         let mut remaining = 0;
-        while node.next().unwrap().is_some() {
+        while node.next(&ExecutionState::default()).unwrap().is_some() {
             remaining += 1;
         }
         assert_eq!(remaining, 8);

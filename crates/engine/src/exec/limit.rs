@@ -1,7 +1,7 @@
 //! LIMIT: stop after `n` rows.
 
 use crate::error::EngineResult;
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::{BoxedExec, ExecNode, ExecutionState};
 use crate::schema::Schema;
 use crate::tuple::Row;
 
@@ -25,11 +25,11 @@ impl ExecNode for LimitExec {
         self.input.schema()
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
         if self.remaining == 0 {
             return Ok(None);
         }
-        match self.input.next()? {
+        match self.input.next(state)? {
             Some(r) => {
                 self.remaining -= 1;
                 Ok(Some(r))
@@ -46,18 +46,30 @@ impl ExecNode for LimitExec {
 mod tests {
     use super::*;
     use crate::exec::test_util::int_rel;
-    use crate::exec::{collect, SeqScanExec};
+    use crate::exec::{collect, ExecutionState, SeqScanExec};
 
     #[test]
     fn caps_output() {
         let scan = Box::new(SeqScanExec::new(int_rel("a", &[1, 2, 3]).into_shared()));
-        let out = collect(Box::new(LimitExec::new(scan, 2))).unwrap();
+        let out = collect(
+            Box::new(LimitExec::new(scan, 2)),
+            &ExecutionState::default(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
         let scan = Box::new(SeqScanExec::new(int_rel("a", &[1]).into_shared()));
-        let out = collect(Box::new(LimitExec::new(scan, 5))).unwrap();
+        let out = collect(
+            Box::new(LimitExec::new(scan, 5)),
+            &ExecutionState::default(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 1);
         let scan = Box::new(SeqScanExec::new(int_rel("a", &[1]).into_shared()));
-        let out = collect(Box::new(LimitExec::new(scan, 0))).unwrap();
+        let out = collect(
+            Box::new(LimitExec::new(scan, 0)),
+            &ExecutionState::default(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 0);
     }
 }

@@ -5,7 +5,7 @@
 //! rewrites Right joins by swapping inputs.
 
 use crate::error::EngineResult;
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::{BoxedExec, ExecNode, ExecutionState};
 use crate::expr::Expr;
 use crate::plan::JoinType;
 use crate::schema::Schema;
@@ -62,13 +62,13 @@ impl MergeJoinExec {
         }
     }
 
-    fn compute(&mut self) -> EngineResult<Vec<Row>> {
+    fn compute(&mut self, state: &ExecutionState) -> EngineResult<Vec<Row>> {
         let mut l_rows = Vec::new();
-        while let Some(r) = self.left.next()? {
+        while let Some(r) = self.left.next(state)? {
             l_rows.push(r);
         }
         let mut r_rows = Vec::new();
-        while let Some(r) = self.right.next()? {
+        while let Some(r) = self.right.next(state)? {
             r_rows.push(r);
         }
 
@@ -171,9 +171,9 @@ impl ExecNode for MergeJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
         if self.out.is_none() {
-            let rows = self.compute()?;
+            let rows = self.compute(state)?;
             self.out = Some(rows.into_iter());
         }
         Ok(self.out.as_mut().expect("initialized").next())
@@ -184,7 +184,7 @@ impl ExecNode for MergeJoinExec {
 mod tests {
     use super::*;
     use crate::exec::test_util::int2_rel;
-    use crate::exec::{collect, NestedLoopJoinExec, SeqScanExec, SortExec};
+    use crate::exec::{collect, ExecutionState, NestedLoopJoinExec, SeqScanExec, SortExec};
     use crate::expr::{col, SortKey};
     use crate::relation::Relation;
 
@@ -200,7 +200,7 @@ mod tests {
         residual: Option<Expr>,
     ) -> Relation {
         let node = MergeJoinExec::new(sorted_scan(l), sorted_scan(r), vec![(0, 0)], residual, jt);
-        collect(Box::new(node)).unwrap()
+        collect(Box::new(node), &ExecutionState::default()).unwrap()
     }
 
     fn run_nl(
@@ -214,7 +214,7 @@ mod tests {
             Some(res) => col(0).eq(col(2)).and(res),
         };
         let node = NestedLoopJoinExec::new(sorted_scan(l), sorted_scan(r), jt, Some(cond));
-        collect(Box::new(node)).unwrap()
+        collect(Box::new(node), &ExecutionState::default()).unwrap()
     }
 
     #[test]
@@ -266,7 +266,7 @@ mod tests {
         let l = Box::new(SeqScanExec::new(rel));
         let r = sorted_scan(&[(2, 9)]);
         let node = MergeJoinExec::new(l, r, vec![(0, 0)], None, JoinType::Left);
-        let out = collect(Box::new(node)).unwrap();
+        let out = collect(Box::new(node), &ExecutionState::default()).unwrap();
         assert_eq!(out.len(), 2);
         let unmatched = out.rows().iter().find(|r| r[0].is_null()).unwrap();
         assert!(unmatched[2].is_null());

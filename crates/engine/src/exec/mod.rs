@@ -21,6 +21,7 @@
 
 mod aggregate;
 mod distinct;
+mod exchange;
 mod filter;
 mod hash_join;
 mod interval_join;
@@ -31,11 +32,14 @@ mod project;
 mod scan;
 mod setops;
 mod sort;
+mod state;
 mod storage_scan;
 mod values;
+pub mod workers;
 
 pub use aggregate::{aggregate_rows, HashAggregateExec};
 pub use distinct::DistinctExec;
+pub use exchange::ExchangeExec;
 pub use filter::FilterExec;
 pub use hash_join::HashJoinExec;
 pub use interval_join::IntervalJoinExec;
@@ -45,7 +49,8 @@ pub use nl_join::NestedLoopJoinExec;
 pub use project::ProjectExec;
 pub use scan::SeqScanExec;
 pub use setops::HashSetOpExec;
-pub use sort::{sort_rows, sort_rows_batched, SortExec};
+pub use sort::{sort_rows, sort_rows_batched, sort_rows_parallel, SortExec};
+pub use state::{ExecStats, ExecutionState};
 pub use storage_scan::StorageScanExec;
 pub use values::ValuesExec;
 
@@ -56,12 +61,17 @@ use crate::schema::Schema;
 use crate::tuple::Row;
 
 /// A pipelined executor node.
-pub trait ExecNode {
+///
+/// Nodes are `Send` so an exchange operator can hand a partition's subtree
+/// to a worker thread; shared read-only inputs (`Arc<Relation>`, stored
+/// tables) make that safe. All per-query context arrives through the
+/// [`ExecutionState`] passed to every pull — nodes hold no config copies.
+pub trait ExecNode: Send {
     /// The output schema.
     fn schema(&self) -> &Schema;
 
     /// Produce the next output row, or `None` when exhausted.
-    fn next(&mut self) -> EngineResult<Option<Row>>;
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>>;
 
     /// Produce the next batch of output rows, or `None` when exhausted.
     /// Batches are never empty; their size is *about* [`BATCH_SIZE`]
@@ -73,10 +83,10 @@ pub trait ExecNode {
     /// node instance through exactly one of the two protocols — operators
     /// with native batch implementations keep separate pull state per
     /// protocol, and mixing them on one instance may skip or repeat rows.
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
         let mut batch = RowBatch::with_capacity(self.schema().clone(), BATCH_SIZE);
         while batch.len() < BATCH_SIZE {
-            match self.next()? {
+            match self.next(state)? {
                 Some(row) => batch.push(row),
                 None => break,
             }
@@ -91,9 +101,18 @@ pub type BoxedExec = Box<dyn ExecNode>;
 /// Drain a node into a materialized [`Relation`], batch-wise. This is the
 /// engine's default result collection (used by `PhysicalPlan::collect` and
 /// therefore `Planner::run`).
-pub fn collect(mut node: BoxedExec) -> EngineResult<Relation> {
+pub fn collect(mut node: BoxedExec, state: &ExecutionState) -> EngineResult<Relation> {
     let mut rel = Relation::empty(node.schema().clone());
-    while let Some(batch) = node.next_batch()? {
+    while let Some(batch) = node.next_batch(state)? {
+        state.check_cancelled()?;
+        state
+            .stats
+            .rows_emitted
+            .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        state
+            .stats
+            .batches_emitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         rel.push_batch(batch)?;
     }
     Ok(rel)
@@ -102,19 +121,23 @@ pub fn collect(mut node: BoxedExec) -> EngineResult<Relation> {
 /// Drain a node into a materialized [`Relation`] one row at a time — the
 /// pre-batch Volcano path, kept working so the two protocols can be
 /// differentially tested and benchmarked against each other.
-pub fn collect_rowwise(mut node: BoxedExec) -> EngineResult<Relation> {
+pub fn collect_rowwise(mut node: BoxedExec, state: &ExecutionState) -> EngineResult<Relation> {
     let schema = node.schema().clone();
     let mut rows = Vec::new();
-    while let Some(row) = node.next()? {
+    while let Some(row) = node.next(state)? {
         rows.push(row);
     }
+    state
+        .stats
+        .rows_emitted
+        .fetch_add(rows.len() as u64, std::sync::atomic::Ordering::Relaxed);
     Relation::new(schema, rows)
 }
 
 /// Drain a node into a row vector via the row protocol (schema discarded).
-pub fn collect_rows(node: &mut dyn ExecNode) -> EngineResult<Vec<Row>> {
+pub fn collect_rows(node: &mut dyn ExecNode, state: &ExecutionState) -> EngineResult<Vec<Row>> {
     let mut rows = Vec::new();
-    while let Some(row) = node.next()? {
+    while let Some(row) = node.next(state)? {
         rows.push(row);
     }
     Ok(rows)
@@ -122,9 +145,13 @@ pub fn collect_rows(node: &mut dyn ExecNode) -> EngineResult<Vec<Row>> {
 
 /// Drain a node into a row vector via the batch protocol — the
 /// materialization step of blocking operators on the batch path.
-pub fn collect_rows_batched(node: &mut dyn ExecNode) -> EngineResult<Vec<Row>> {
+pub fn collect_rows_batched(
+    node: &mut dyn ExecNode,
+    state: &ExecutionState,
+) -> EngineResult<Vec<Row>> {
     let mut rows = Vec::new();
-    while let Some(batch) = node.next_batch()? {
+    while let Some(batch) = node.next_batch(state)? {
+        state.check_cancelled()?;
         rows.extend(batch.into_rows());
     }
     Ok(rows)

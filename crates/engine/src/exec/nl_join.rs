@@ -6,7 +6,7 @@
 //! baseline degenerates on the `Ddisj`/`Drand` workloads (Sec. 7.4).
 
 use crate::error::EngineResult;
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::{BoxedExec, ExecNode, ExecutionState};
 use crate::expr::Expr;
 use crate::plan::JoinType;
 use crate::schema::Schema;
@@ -63,9 +63,9 @@ impl NestedLoopJoinExec {
         }
     }
 
-    fn materialize_right(&mut self) -> EngineResult<()> {
+    fn materialize_right(&mut self, state: &ExecutionState) -> EngineResult<()> {
         if let Some(mut right) = self.right.take() {
-            while let Some(r) = right.next()? {
+            while let Some(r) = right.next(state)? {
                 self.right_rows.push(r);
             }
             self.right_matched = vec![false; self.right_rows.len()];
@@ -86,8 +86,8 @@ impl ExecNode for NestedLoopJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
-        self.materialize_right()?;
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
+        self.materialize_right(state)?;
         loop {
             match self.phase {
                 Phase::Done => return Ok(None),
@@ -104,7 +104,7 @@ impl ExecNode for NestedLoopJoinExec {
                 }
                 Phase::Probe => {
                     if self.cur_left.is_none() {
-                        match self.left.next()? {
+                        match self.left.next(state)? {
                             Some(l) => {
                                 self.cur_left = Some(l);
                                 self.right_pos = 0;
@@ -163,7 +163,7 @@ impl ExecNode for NestedLoopJoinExec {
 mod tests {
     use super::*;
     use crate::exec::test_util::int2_rel;
-    use crate::exec::{collect, SeqScanExec};
+    use crate::exec::{collect, ExecutionState, SeqScanExec};
     use crate::expr::col;
     use crate::value::Value;
 
@@ -178,7 +178,7 @@ mod tests {
         cond: Option<Expr>,
     ) -> Vec<Vec<Value>> {
         let node = NestedLoopJoinExec::new(scan(l), scan(r), jt, cond);
-        collect(Box::new(node))
+        collect(Box::new(node), &ExecutionState::default())
             .unwrap()
             .rows()
             .iter()
@@ -302,7 +302,7 @@ mod tests {
         .into_shared();
         let right = Box::new(SeqScanExec::new(right_rel));
         let node = NestedLoopJoinExec::new(left, right, JoinType::Left, keq());
-        let out = collect(Box::new(node)).unwrap();
+        let out = collect(Box::new(node), &ExecutionState::default()).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.rows()[0][2].is_null());
     }
@@ -316,7 +316,7 @@ mod tests {
             JoinType::Left,
             keq(),
         );
-        let first = node.next().unwrap().unwrap();
+        let first = node.next(&ExecutionState::default()).unwrap().unwrap();
         assert_eq!(first[0], Value::Int(1));
     }
 }

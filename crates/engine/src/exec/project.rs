@@ -5,7 +5,7 @@
 
 use crate::batch::RowBatch;
 use crate::error::EngineResult;
-use crate::exec::{BoxedExec, ExecNode};
+use crate::exec::{BoxedExec, ExecNode, ExecutionState};
 use crate::expr::Expr;
 use crate::schema::Schema;
 use crate::tuple::Row;
@@ -34,8 +34,8 @@ impl ExecNode for ProjectExec {
         &self.schema
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
-        match self.input.next()? {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
+        match self.input.next(state)? {
             Some(row) => {
                 let mut out: Vec<Value> = Vec::with_capacity(self.exprs.len());
                 for e in &self.exprs {
@@ -49,8 +49,8 @@ impl ExecNode for ProjectExec {
 
     /// Batch path: one vectorized evaluation per output expression, then
     /// one pass re-assembling the value columns into rows.
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
-        match self.input.next_batch()? {
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
+        match self.input.next_batch(state)? {
             None => Ok(None),
             Some(batch) => {
                 let n = batch.len();
@@ -74,7 +74,7 @@ impl ExecNode for ProjectExec {
 mod tests {
     use super::*;
     use crate::exec::test_util::int2_rel;
-    use crate::exec::{collect, SeqScanExec};
+    use crate::exec::{collect, ExecutionState, SeqScanExec};
     use crate::expr::col;
     use crate::schema::{Column, DataType};
 
@@ -91,7 +91,7 @@ mod tests {
             vec![col(1), col(0).add(col(1))],
             schema,
         ));
-        let out = collect(proj).unwrap();
+        let out = collect(proj, &ExecutionState::default()).unwrap();
         assert_eq!(out.rows()[0].to_vec(), vec![Value::Int(10), Value::Int(11)]);
         assert_eq!(out.rows()[1].to_vec(), vec![Value::Int(20), Value::Int(22)]);
     }

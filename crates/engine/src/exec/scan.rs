@@ -4,20 +4,35 @@ use std::sync::Arc;
 
 use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
-use crate::exec::ExecNode;
+use crate::exec::{ExecNode, ExecutionState};
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::tuple::Row;
 
 /// Scans an `Arc<Relation>`; row clones are `Arc` bumps, not deep copies.
+/// A scan may cover only a contiguous row range — the morsel shape the
+/// parallel planner hands to exchange partitions.
 pub struct SeqScanExec {
     rel: Arc<Relation>,
     pos: usize,
+    end: usize,
 }
 
 impl SeqScanExec {
     pub fn new(rel: Arc<Relation>) -> Self {
-        SeqScanExec { rel, pos: 0 }
+        let end = rel.len();
+        SeqScanExec { rel, pos: 0, end }
+    }
+
+    /// Scan only rows `start..end` (clamped to the relation) — one morsel
+    /// of a partitioned scan.
+    pub fn with_range(rel: Arc<Relation>, start: usize, end: usize) -> Self {
+        let end = end.min(rel.len());
+        SeqScanExec {
+            rel,
+            pos: start.min(end),
+            end,
+        }
     }
 }
 
@@ -26,25 +41,23 @@ impl ExecNode for SeqScanExec {
         self.rel.schema()
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
-        match self.rel.rows().get(self.pos) {
-            Some(row) => {
-                self.pos += 1;
-                Ok(Some(row.clone()))
-            }
-            None => Ok(None),
+    fn next(&mut self, _state: &ExecutionState) -> EngineResult<Option<Row>> {
+        if self.pos >= self.end {
+            return Ok(None);
         }
+        let row = self.rel.rows()[self.pos].clone();
+        self.pos += 1;
+        Ok(Some(row))
     }
 
     /// Batch path: clone a contiguous chunk of the backing relation (each
     /// clone is an `Arc` bump).
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
-        let rows = self.rel.rows();
-        if self.pos >= rows.len() {
+    fn next_batch(&mut self, _state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
+        if self.pos >= self.end {
             return Ok(None);
         }
-        let end = (self.pos + BATCH_SIZE).min(rows.len());
-        let chunk = rows[self.pos..end].to_vec();
+        let end = (self.pos + BATCH_SIZE).min(self.end);
+        let chunk = self.rel.rows()[self.pos..end].to_vec();
         self.pos = end;
         Ok(Some(RowBatch::new(self.rel.schema().clone(), chunk)))
     }
@@ -60,7 +73,7 @@ mod tests {
     fn scans_all_rows_in_order() {
         let rel = int_rel("a", &[3, 1, 2]).into_shared();
         let scan: BoxedExec = Box::new(SeqScanExec::new(rel.clone()));
-        let out = collect(scan).unwrap();
+        let out = collect(scan, &ExecutionState::default()).unwrap();
         assert_eq!(out.rows(), rel.rows());
     }
 
@@ -68,7 +81,21 @@ mod tests {
     fn empty_scan() {
         let rel = int_rel("a", &[]).into_shared();
         let mut scan = SeqScanExec::new(rel);
-        assert!(scan.next().unwrap().is_none());
-        assert!(scan.next().unwrap().is_none());
+        let state = ExecutionState::default();
+        assert!(scan.next(&state).unwrap().is_none());
+        assert!(scan.next(&state).unwrap().is_none());
+    }
+
+    #[test]
+    fn ranged_scan_covers_exactly_its_morsel() {
+        let rel = int_rel("a", &[0, 1, 2, 3, 4]).into_shared();
+        let scan: BoxedExec = Box::new(SeqScanExec::with_range(rel.clone(), 1, 4));
+        let out = collect(scan, &ExecutionState::default()).unwrap();
+        let vals: Vec<i64> = out.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+        // Out-of-bounds ranges clamp.
+        let scan: BoxedExec = Box::new(SeqScanExec::with_range(rel, 4, 99));
+        let out = collect(scan, &ExecutionState::default()).unwrap();
+        assert_eq!(out.len(), 1);
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::{EngineError, EngineResult};
-use crate::exec::{collect_rows, collect_rows_batched, BoxedExec, ExecNode};
+use crate::exec::{collect_rows, collect_rows_batched, BoxedExec, ExecNode, ExecutionState};
 use crate::hashing::FxHashSet;
 use crate::plan::SetOpKind;
 use crate::schema::Schema;
@@ -34,16 +34,16 @@ impl HashSetOpExec {
         })
     }
 
-    fn compute(&mut self, batched: bool) -> EngineResult<Vec<Row>> {
+    fn compute(&mut self, state: &ExecutionState, batched: bool) -> EngineResult<Vec<Row>> {
         let (left_rows, right_rows) = if batched {
             (
-                collect_rows_batched(self.left.as_mut())?,
-                collect_rows_batched(self.right.as_mut())?,
+                collect_rows_batched(self.left.as_mut(), state)?,
+                collect_rows_batched(self.right.as_mut(), state)?,
             )
         } else {
             (
-                collect_rows(self.left.as_mut())?,
-                collect_rows(self.right.as_mut())?,
+                collect_rows(self.left.as_mut(), state)?,
+                collect_rows(self.right.as_mut(), state)?,
             )
         };
         let mut out = Vec::new();
@@ -84,9 +84,9 @@ impl ExecNode for HashSetOpExec {
         self.left.schema()
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
         if self.out.is_none() {
-            let rows = self.compute(false)?;
+            let rows = self.compute(state, false)?;
             self.out = Some(rows.into_iter());
         }
         Ok(self.out.as_mut().expect("initialized").next())
@@ -94,9 +94,9 @@ impl ExecNode for HashSetOpExec {
 
     /// Batch path: drain both inputs batch-wise, then emit the
     /// (materialized) result a chunk at a time.
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
         if self.out.is_none() {
-            let rows = self.compute(true)?;
+            let rows = self.compute(state, true)?;
             self.out = Some(rows.into_iter());
         }
         let it = self.out.as_mut().expect("initialized");
@@ -112,14 +112,14 @@ impl ExecNode for HashSetOpExec {
 mod tests {
     use super::*;
     use crate::exec::test_util::{int_rel, rows_of};
-    use crate::exec::{collect, SeqScanExec};
+    use crate::exec::{collect, ExecutionState, SeqScanExec};
     use crate::value::Value;
 
     fn run(kind: SetOpKind, l: &[i64], r: &[i64]) -> Vec<i64> {
         let left = Box::new(SeqScanExec::new(int_rel("a", l).into_shared()));
         let right = Box::new(SeqScanExec::new(int_rel("a", r).into_shared()));
         let node = HashSetOpExec::new(kind, left, right).unwrap();
-        let out = collect(Box::new(node)).unwrap();
+        let out = collect(Box::new(node), &ExecutionState::default()).unwrap();
         let mut v: Vec<i64> = rows_of(&out)
             .into_iter()
             .map(|r| r[0].as_int().unwrap())
@@ -173,7 +173,7 @@ mod tests {
             ))
         };
         let node = HashSetOpExec::new(SetOpKind::Except, mk(), mk()).unwrap();
-        let out = collect(Box::new(node)).unwrap();
+        let out = collect(Box::new(node), &ExecutionState::default()).unwrap();
         assert!(out.is_empty());
     }
 }

@@ -1,0 +1,178 @@
+//! Shared per-query execution state.
+//!
+//! One [`ExecutionState`] is created per plan execution and threaded by
+//! reference through every [`crate::exec::ExecNode`] call. It replaces the
+//! per-node config copies of the pre-parallel executor: a node that needs a
+//! planner setting reads the state's GUC snapshot, a node that shares a
+//! materialized intermediate (a spool) registers it in the state's
+//! concurrency-keyed cache, and every node observes the same cancellation
+//! flag and contributes to the same per-query stats. The state is `Sync`,
+//! so exchange workers on different partitions of the same plan can share
+//! it — this is the contract that makes morsel-driven parallelism possible.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{EngineError, EngineResult};
+use crate::plan::PlannerConfig;
+use crate::relation::Relation;
+
+/// Monotonic per-query execution counters. All relaxed atomics: the stats
+/// are diagnostic, never load-bearing for correctness.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Rows materialized by the top-level collect.
+    pub rows_emitted: AtomicU64,
+    /// Batches materialized by the top-level collect.
+    pub batches_emitted: AtomicU64,
+    /// Partition tasks executed by exchange/parallel operators.
+    pub partitions_run: AtomicU64,
+}
+
+impl ExecStats {
+    /// Snapshot `(rows, batches, partitions)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.rows_emitted.load(Ordering::Relaxed),
+            self.batches_emitted.load(Ordering::Relaxed),
+            self.partitions_run.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One spool slot: the shared materialized intermediate, locked
+/// independently of the registry map so fills don't serialize lookups.
+type SpoolSlot = Arc<Mutex<Option<Arc<Relation>>>>;
+
+/// Shared state for one plan execution (see module docs).
+#[derive(Debug)]
+pub struct ExecutionState {
+    /// GUC snapshot taken at execution start. Immutable for the lifetime
+    /// of the query, so every worker sees the same settings.
+    config: PlannerConfig,
+    /// Cooperative cancellation: checked at batch boundaries by the
+    /// collect loops and by exchange workers between morsels.
+    cancelled: AtomicBool,
+    /// Per-query counters.
+    pub stats: ExecStats,
+    /// Spool registry: shared materialized intermediates, keyed by the
+    /// plan node's address. The outer map guard is held only to look up or
+    /// insert a slot; materialization happens under the slot's own lock,
+    /// so two workers hitting the same spool serialize on that spool only
+    /// and nested spools cannot deadlock the registry.
+    spools: Mutex<HashMap<usize, SpoolSlot>>,
+}
+
+impl ExecutionState {
+    /// State for one execution under the given GUC snapshot.
+    pub fn new(config: PlannerConfig) -> ExecutionState {
+        ExecutionState {
+            config,
+            cancelled: AtomicBool::new(false),
+            stats: ExecStats::default(),
+            spools: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The GUC snapshot this query runs under.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Effective worker count for parallel operators (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.config.threads.max(1)
+    }
+
+    /// Minimum input rows before an operator goes parallel.
+    pub fn parallel_min_rows(&self) -> usize {
+        self.config.parallel_min_rows
+    }
+
+    /// True when `threads` and the input size warrant a parallel path.
+    pub fn parallel(&self, input_rows: usize) -> bool {
+        self.threads() > 1 && input_rows >= self.parallel_min_rows().max(2)
+    }
+
+    /// Record that a parallel operator ran `n` partition tasks.
+    pub fn note_partitions(&self, n: usize) {
+        self.stats
+            .partitions_run
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Request cooperative cancellation of this execution.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Error out if the query has been cancelled.
+    pub fn check_cancelled(&self) -> EngineResult<()> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(EngineError::Cancelled);
+        }
+        Ok(())
+    }
+
+    /// Fetch the spool keyed by `key`, materializing it with `fill` on
+    /// first access. Concurrent accessors of the same key block until the
+    /// first one has filled it; distinct keys do not contend.
+    pub fn spool_get_or_fill(
+        &self,
+        key: usize,
+        fill: impl FnOnce() -> EngineResult<Relation>,
+    ) -> EngineResult<Arc<Relation>> {
+        let slot = {
+            let mut map = self.spools.lock().expect("spool registry poisoned");
+            map.entry(key).or_default().clone()
+        };
+        let mut guard = slot.lock().expect("spool slot poisoned");
+        if let Some(rel) = guard.as_ref() {
+            return Ok(rel.clone());
+        }
+        let rel = Arc::new(fill()?);
+        *guard = Some(rel.clone());
+        Ok(rel)
+    }
+}
+
+impl Default for ExecutionState {
+    /// State with the default GUC snapshot — the entry point used by code
+    /// that runs an executor tree outside a planned query (tests, direct
+    /// executor construction).
+    fn default() -> Self {
+        ExecutionState::new(PlannerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+
+    #[test]
+    fn spool_fills_once() {
+        let state = ExecutionState::default();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let rel = state
+                .spool_get_or_fill(7, || {
+                    calls += 1;
+                    Ok(Relation::empty(Schema::new(vec![])))
+                })
+                .unwrap();
+            assert_eq!(rel.len(), 0);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn cancellation_trips_the_check() {
+        let state = ExecutionState::default();
+        assert!(state.check_cancelled().is_ok());
+        state.cancel();
+        assert!(state.check_cancelled().is_err());
+    }
+}

@@ -7,14 +7,17 @@
 //! buffer pool holds are in memory, so a table larger than the pool (or
 //! than RAM) scans in constant space. Both Volcano protocols pull from
 //! the same page cursor, so `next()` and `next_batch()` agree row for
-//! row.
+//! row. A scan may cover only a contiguous page range — the morsel shape
+//! the parallel planner hands to exchange partitions; concurrent
+//! partitions share the table's buffer pool, whose pin path is per-frame
+//! (see `temporal_store::buffer`).
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
-use crate::exec::ExecNode;
+use crate::exec::{ExecNode, ExecutionState};
 use crate::schema::Schema;
 use crate::storage::StoredTable;
 use crate::tuple::Row;
@@ -23,22 +26,37 @@ use crate::tuple::Row;
 pub struct StorageScanExec {
     table: Arc<StoredTable>,
     next_page: u32,
+    end_page: u32,
     pending: VecDeque<Row>,
 }
 
 impl StorageScanExec {
     pub fn new(table: Arc<StoredTable>) -> Self {
+        let end_page = table.page_count();
         StorageScanExec {
             table,
             next_page: 0,
+            end_page,
             pending: VecDeque::new(),
         }
     }
 
-    /// Decode pages until `pending` holds at least `want` rows or the heap
-    /// is exhausted.
+    /// Scan only pages `start..end` (clamped) — one morsel of a
+    /// partitioned heap scan.
+    pub fn with_page_range(table: Arc<StoredTable>, start: u32, end: u32) -> Self {
+        let end_page = end.min(table.page_count());
+        StorageScanExec {
+            table,
+            next_page: start.min(end_page),
+            end_page,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Decode pages until `pending` holds at least `want` rows or the
+    /// morsel's page range is exhausted.
     fn refill(&mut self, want: usize) -> EngineResult<()> {
-        while self.pending.len() < want && self.next_page < self.table.page_count() {
+        while self.pending.len() < want && self.next_page < self.end_page {
             let rows = self.table.decode_page(self.next_page)?;
             self.next_page += 1;
             self.pending.extend(rows);
@@ -52,14 +70,14 @@ impl ExecNode for StorageScanExec {
         self.table.schema()
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
+    fn next(&mut self, _state: &ExecutionState) -> EngineResult<Option<Row>> {
         if self.pending.is_empty() {
             self.refill(1)?;
         }
         Ok(self.pending.pop_front())
     }
 
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self, _state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
         self.refill(BATCH_SIZE)?;
         if self.pending.is_empty() {
             return Ok(None);
@@ -100,7 +118,7 @@ mod tests {
         let t = stored("order.heap", 5000, 2);
         assert!(t.page_count() > 2);
         let scan: BoxedExec = Box::new(StorageScanExec::new(t.clone()));
-        let out = collect(scan).unwrap();
+        let out = collect(scan, &ExecutionState::default()).unwrap();
         assert_eq!(out.len(), 5000);
         for (i, r) in out.rows().iter().enumerate() {
             assert_eq!(r[0], Value::Int(i as i64));
@@ -110,8 +128,13 @@ mod tests {
     #[test]
     fn row_protocol_matches_batch_protocol() {
         let t = stored("protocols.heap", 3000, 2);
-        let batch = collect(Box::new(StorageScanExec::new(t.clone())) as BoxedExec).unwrap();
-        let row = collect_rowwise(Box::new(StorageScanExec::new(t)) as BoxedExec).unwrap();
+        let state = ExecutionState::default();
+        let batch = collect(
+            Box::new(StorageScanExec::new(t.clone())) as BoxedExec,
+            &state,
+        )
+        .unwrap();
+        let row = collect_rowwise(Box::new(StorageScanExec::new(t)) as BoxedExec, &state).unwrap();
         assert_eq!(batch.rows(), row.rows());
     }
 
@@ -119,7 +142,32 @@ mod tests {
     fn empty_table_scans_empty() {
         let t = stored("empty.heap", 0, 2);
         let mut scan = StorageScanExec::new(t);
-        assert!(scan.next_batch().unwrap().is_none());
-        assert!(scan.next().unwrap().is_none());
+        let state = ExecutionState::default();
+        assert!(scan.next_batch(&state).unwrap().is_none());
+        assert!(scan.next(&state).unwrap().is_none());
+    }
+
+    #[test]
+    fn page_range_morsels_cover_the_table_exactly() {
+        let t = stored("morsels.heap", 4000, 4);
+        let pages = t.page_count();
+        assert!(pages >= 2);
+        let state = ExecutionState::default();
+        let whole = collect(
+            Box::new(StorageScanExec::new(t.clone())) as BoxedExec,
+            &state,
+        )
+        .unwrap();
+        let mid = pages / 2;
+        let mut rows = Vec::new();
+        for (s, e) in [(0, mid), (mid, pages)] {
+            let part = collect(
+                Box::new(StorageScanExec::with_page_range(t.clone(), s, e)) as BoxedExec,
+                &state,
+            )
+            .unwrap();
+            rows.extend(part.rows().to_vec());
+        }
+        assert_eq!(rows, whole.rows());
     }
 }

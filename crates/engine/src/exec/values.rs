@@ -1,7 +1,7 @@
 //! Inline row source (VALUES lists, constant relations).
 
 use crate::error::EngineResult;
-use crate::exec::ExecNode;
+use crate::exec::{ExecNode, ExecutionState};
 use crate::schema::Schema;
 use crate::tuple::Row;
 
@@ -25,7 +25,7 @@ impl ExecNode for ValuesExec {
         &self.schema
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
+    fn next(&mut self, _state: &ExecutionState) -> EngineResult<Option<Row>> {
         Ok(self.rows.next())
     }
 }
@@ -44,7 +44,7 @@ mod tests {
             schema,
             vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])],
         );
-        let out = collect(Box::new(node)).unwrap();
+        let out = collect(Box::new(node), &ExecutionState::default()).unwrap();
         assert_eq!(out.len(), 2);
     }
 }

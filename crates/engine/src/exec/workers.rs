@@ -1,0 +1,147 @@
+//! Minimal scoped worker pool for morsel-driven parallelism.
+//!
+//! The build is offline (no rayon), so this is the whole threading layer:
+//! a set of `std::thread::scope` workers claiming task indices from a
+//! shared atomic counter. Results land in per-task slots, so the output
+//! order is the task order regardless of which worker ran what — the
+//! property every parallel operator relies on for determinism.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::{EngineError, EngineResult};
+
+/// What the hardware can actually run concurrently. Worker counts are
+/// capped here: oversubscribing a core never speeds up CPU-bound work, it
+/// only adds context-switch overhead — so `threads = 4` on a single-core
+/// box runs the same partitioned algorithms serially (identical output by
+/// the slot-order guarantee) instead of thrashing the scheduler.
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `tasks` closures `f(task_index)` on up to `threads` workers and
+/// return their results in task order. Serial (no spawn) when the
+/// effective worker count — `threads` capped by the hardware — is 1, or
+/// there is at most one task. On error the first failure is reported and
+/// remaining unclaimed tasks are skipped.
+pub fn par_run<T, F>(threads: usize, tasks: usize, f: F) -> EngineResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> EngineResult<T> + Sync,
+{
+    let threads = threads.min(hardware_threads());
+    if threads <= 1 || tasks <= 1 {
+        return (0..tasks).map(&f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let first_err: Mutex<Option<EngineError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(tasks) {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    return;
+                }
+                match f(i) {
+                    Ok(v) => {
+                        *slots[i].lock().expect("slot poisoned") = Some(v);
+                    }
+                    Err(e) => {
+                        let mut slot = first_err.lock().expect("error slot poisoned");
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        failed.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_err.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("every task ran")
+        })
+        .collect())
+}
+
+/// Split `n` items into at most `parts` contiguous ranges of near-equal
+/// size (empty ranges are never produced; fewer parts come back when
+/// `n < parts`). The ranges cover `0..n` in order.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let out = par_run(4, 64, |i| Ok(i * 2)).unwrap();
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_fallback_matches() {
+        let out = par_run(1, 5, Ok).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn first_error_wins_and_propagates() {
+        let res: EngineResult<Vec<usize>> = par_run(4, 100, |i| {
+            if i == 3 {
+                Err(EngineError::Internal("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let r = split_ranges(n, parts);
+                let total: usize = r.iter().map(|(a, b)| b - a).sum();
+                assert_eq!(total, n);
+                assert!(r.iter().all(|(a, b)| a < b));
+                for w in r.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+}

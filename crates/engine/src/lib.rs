@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::batch::{RowBatch, BATCH_SIZE};
     pub use crate::catalog::{Catalog, TableSource};
     pub use crate::error::{EngineError, EngineResult};
-    pub use crate::exec::{BoxedExec, ExecNode};
+    pub use crate::exec::{BoxedExec, ExecNode, ExecStats, ExecutionState};
     pub use crate::expr::{
         col, lit, name, AggCall, AggFunc, ArithOp, CmpOp, ColumnRef, Expr, Func, SortKey,
     };

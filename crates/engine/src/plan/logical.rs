@@ -37,14 +37,6 @@ pub trait ExtensionNode: fmt::Debug + Send + Sync {
     /// Build the executor, given already-built children.
     fn build_exec(&self, children: Vec<BoxedExec>) -> EngineResult<BoxedExec>;
 
-    /// Reset any per-execution state (e.g. a shared result cache) before a
-    /// new execution of the plan begins. Called once per node (deduplicated
-    /// by identity) from [`PhysicalPlan::execute`], so re-executing a plan
-    /// observes current table contents. Default: no state, no-op.
-    ///
-    /// [`PhysicalPlan::execute`]: crate::plan::PhysicalPlan::execute
-    fn reset_exec_state(&self) {}
-
     /// Declare that output column `out_col` is a verbatim copy of column
     /// `in_col` of input `input_idx` **and** that a selection on it
     /// commutes with this node: filtering the input rows on that column

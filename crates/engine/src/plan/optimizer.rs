@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use crate::catalog::Catalog;
 use crate::error::{EngineError, EngineResult};
+use crate::exec::ExecutionState;
 use crate::expr::{col, detect_overlap_pattern, fold, split_join_condition, Expr, SortKey};
 use crate::plan::cost::{CostModel, DISABLE_COST};
 use crate::plan::{JoinType, LogicalPlan, PhysicalPlan};
@@ -43,8 +44,32 @@ pub struct PlannerConfig {
     /// applied before costing. On by default; switchable so benchmarks can
     /// isolate the effect of cross-operator optimization.
     pub enable_rewrites: bool,
+    /// Worker threads for parallel execution (the `threads` GUC). 1 =
+    /// serial. The default comes from the `TEMPORAL_THREADS` environment
+    /// variable when set (how CI runs the whole suite at `threads = 4`),
+    /// else 1. Parallel operators are exact: any `threads` value produces
+    /// row-identical output.
+    pub threads: usize,
+    /// Minimum input rows before an operator takes its parallel path (the
+    /// `parallel_min_rows` GUC) — spawn overhead dwarfs the work below
+    /// this. Tests lower it to 1 to exercise parallel code on small data.
+    pub parallel_min_rows: usize,
     pub cost_model: CostModel,
 }
+
+/// Default worker count: `TEMPORAL_THREADS` env var when set, else 1.
+fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("TEMPORAL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(1, |n| n.clamp(1, 256))
+    })
+}
+
+/// Default parallel threshold (rows).
+pub const DEFAULT_PARALLEL_MIN_ROWS: usize = 256;
 
 impl Default for PlannerConfig {
     fn default() -> Self {
@@ -55,6 +80,8 @@ impl Default for PlannerConfig {
             enable_intervaljoin: false,
             enable_intervaljoin_auto: true,
             enable_rewrites: true,
+            threads: default_threads(),
+            parallel_min_rows: DEFAULT_PARALLEL_MIN_ROWS,
             cost_model: CostModel::default(),
         }
     }
@@ -108,6 +135,25 @@ impl PlannerConfig {
             other => {
                 return Err(EngineError::Unsupported(format!(
                     "unknown planner setting '{other}'"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Set an integer-valued setting by its GUC name (`SET threads = 4`).
+    pub fn set_int(&mut self, name: &str, value: i64) -> EngineResult<()> {
+        let positive = |v: i64| -> EngineResult<usize> {
+            usize::try_from(v).ok().filter(|&v| v >= 1).ok_or_else(|| {
+                EngineError::Unsupported(format!("setting '{name}' requires a value ≥ 1"))
+            })
+        };
+        match name {
+            "threads" => self.threads = positive(value)?.min(256),
+            "parallel_min_rows" => self.parallel_min_rows = positive(value)?,
+            other => {
+                return Err(EngineError::Unsupported(format!(
+                    "unknown integer planner setting '{other}'"
                 )))
             }
         }
@@ -246,9 +292,12 @@ impl Planner {
         })
     }
 
-    /// Plan and execute in one step.
+    /// Plan and execute in one step: one [`ExecutionState`] is created
+    /// from the planner's GUC snapshot and drives the whole execution —
+    /// the single entry point for running a plan.
     pub fn run(&self, lp: &LogicalPlan, catalog: &Catalog) -> EngineResult<Relation> {
-        self.plan(lp, catalog)?.collect()
+        let state = ExecutionState::new(self.config);
+        self.plan(lp, catalog)?.collect(&state)
     }
 
     /// Cost-based join algorithm selection.
@@ -454,10 +503,12 @@ mod tests {
         let cond = col(0).eq(col(2)).and(col(1).lt(col(3)));
         for jt in [JoinType::Inner, JoinType::Left, JoinType::Full] {
             let reference = join_plan(PlannerConfig::nestloop_only(), cond.clone(), jt)
-                .collect()
+                .collect(&ExecutionState::default())
                 .unwrap();
             for config in [PlannerConfig::all_enabled(), PlannerConfig::no_merge()] {
-                let out = join_plan(config, cond.clone(), jt).collect().unwrap();
+                let out = join_plan(config, cond.clone(), jt)
+                    .collect(&ExecutionState::default())
+                    .unwrap();
                 assert!(out.same_bag(&reference), "join type {jt:?}");
             }
         }

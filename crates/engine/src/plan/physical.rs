@@ -5,14 +5,14 @@ use std::sync::Arc;
 
 use crate::error::EngineResult;
 use crate::exec::{
-    collect, BoxedExec, DistinctExec, FilterExec, HashAggregateExec, HashJoinExec, HashSetOpExec,
-    IntervalJoinExec, LimitExec, MergeJoinExec, NestedLoopJoinExec, ProjectExec, SeqScanExec,
-    SortExec, StorageScanExec,
+    collect, BoxedExec, DistinctExec, ExchangeExec, ExecutionState, FilterExec, HashAggregateExec,
+    HashJoinExec, HashSetOpExec, IntervalJoinExec, LimitExec, MergeJoinExec, NestedLoopJoinExec,
+    ProjectExec, SeqScanExec, SortExec, StorageScanExec,
 };
 use crate::expr::{AggCall, Expr, SortKey};
 use crate::plan::cost::{CostModel, PlanStats};
 use crate::plan::logical::ExtensionNode;
-use crate::plan::{JoinType, SetOpKind};
+use crate::plan::{JoinType, PlannerConfig, SetOpKind};
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::storage::StoredTable;
@@ -161,47 +161,132 @@ impl PhysicalPlan {
         }
     }
 
-    /// Build the executor tree. Resets per-execution extension state
-    /// first (once per distinct node), so a plan can be executed again and
-    /// observe current table contents — a spool's shared cache lives for
-    /// exactly one execution.
-    pub fn execute(&self) -> EngineResult<BoxedExec> {
-        let mut seen = std::collections::HashSet::new();
-        self.reset_extension_state(&mut seen);
-        self.build_exec_tree()
+    /// Build the executor tree for one execution under `state`. Plans
+    /// carry no per-execution state (a spool's cache lives in `state`'s
+    /// registry), so the same plan can be executed repeatedly — each run
+    /// under a fresh [`ExecutionState`] observes current table contents.
+    /// When the state's GUC snapshot enables parallelism, scan pipelines
+    /// are partitioned into morsels behind an exchange operator.
+    pub fn execute(&self, state: &ExecutionState) -> EngineResult<BoxedExec> {
+        self.build_subtree(state)
     }
 
-    fn reset_extension_state(&self, seen: &mut std::collections::HashSet<usize>) {
-        if let PhysicalPlan::Extension { node, .. } = self {
-            if seen.insert(Arc::as_ptr(node) as *const u8 as usize) {
-                node.reset_exec_state();
+    /// Recursive build entry: partition this subtree behind an exchange
+    /// when it is a scan pipeline worth splitting, otherwise build the
+    /// serial operator and recurse on children (which get the same
+    /// chance).
+    fn build_subtree(&self, state: &ExecutionState) -> EngineResult<BoxedExec> {
+        if state.threads() > 1 {
+            if let Some(exec) = self.build_parallel(state)? {
+                return Ok(exec);
             }
         }
-        for c in self.children() {
-            c.reset_extension_state(seen);
+        self.build_exec_tree(state)
+    }
+
+    /// If this subtree is a partitionable scan pipeline (filter/project
+    /// chains over a single scan) large enough to be worth splitting,
+    /// build it as up to `state.threads()` contiguous-range partitions
+    /// behind an [`ExchangeExec`]; otherwise `None`. Partitions concatenate
+    /// in input order, so the exchange output is row-identical to the
+    /// serial pipeline.
+    fn build_parallel(&self, state: &ExecutionState) -> EngineResult<Option<BoxedExec>> {
+        let Some(units) = self.pipeline_units() else {
+            return Ok(None);
+        };
+        let rows = self.pipeline_rows().unwrap_or(0);
+        if !state.parallel(rows) {
+            return Ok(None);
+        }
+        let ranges = crate::exec::workers::split_ranges(units, state.threads());
+        if ranges.len() <= 1 {
+            return Ok(None);
+        }
+        let parts = ranges
+            .iter()
+            .map(|&(a, b)| self.build_ranged(a, b))
+            .collect::<EngineResult<Vec<_>>>()?;
+        Ok(Some(Box::new(ExchangeExec::new(self.schema(), parts))))
+    }
+
+    /// Partition units of a scan pipeline: rows for an in-memory scan,
+    /// pages for a storage scan; `None` when the subtree is not a pure
+    /// pipeline over a single scan.
+    fn pipeline_units(&self) -> Option<usize> {
+        match self {
+            PhysicalPlan::SeqScan { rel, .. } => Some(rel.len()),
+            PhysicalPlan::StorageScan { table, .. } => Some(table.page_count() as usize),
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+                input.pipeline_units()
+            }
+            _ => None,
         }
     }
 
-    fn build_exec_tree(&self) -> EngineResult<BoxedExec> {
+    /// Source row count of a scan pipeline (for the parallelism size
+    /// gate); `None` when not a pipeline.
+    fn pipeline_rows(&self) -> Option<usize> {
+        match self {
+            PhysicalPlan::SeqScan { rel, .. } => Some(rel.len()),
+            PhysicalPlan::StorageScan { table, .. } => Some(table.row_count() as usize),
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+                input.pipeline_rows()
+            }
+            _ => None,
+        }
+    }
+
+    /// Build one ranged partition of a scan pipeline: the leaf scan is
+    /// restricted to `[start, end)` partition units, the filter/project
+    /// chain above it is rebuilt per partition.
+    fn build_ranged(&self, start: usize, end: usize) -> EngineResult<BoxedExec> {
         Ok(match self {
-            PhysicalPlan::SeqScan { rel, .. } => Box::new(SeqScanExec::new(rel.clone())),
-            PhysicalPlan::StorageScan { table, .. } => {
-                Box::new(StorageScanExec::new(table.clone()))
+            PhysicalPlan::SeqScan { rel, .. } => {
+                Box::new(SeqScanExec::with_range(rel.clone(), start, end))
             }
-            PhysicalPlan::Filter { input, predicate } => {
-                Box::new(FilterExec::new(input.build_exec_tree()?, predicate.clone()))
-            }
+            PhysicalPlan::StorageScan { table, .. } => Box::new(StorageScanExec::with_page_range(
+                table.clone(),
+                start as u32,
+                end as u32,
+            )),
+            PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec::new(
+                input.build_ranged(start, end)?,
+                predicate.clone(),
+            )),
             PhysicalPlan::Project {
                 input,
                 exprs,
                 schema,
             } => Box::new(ProjectExec::new(
-                input.build_exec_tree()?,
+                input.build_ranged(start, end)?,
+                exprs.clone(),
+                schema.clone(),
+            )),
+            other => unreachable!("build_ranged on non-pipeline node {other:?}"),
+        })
+    }
+
+    fn build_exec_tree(&self, state: &ExecutionState) -> EngineResult<BoxedExec> {
+        Ok(match self {
+            PhysicalPlan::SeqScan { rel, .. } => Box::new(SeqScanExec::new(rel.clone())),
+            PhysicalPlan::StorageScan { table, .. } => {
+                Box::new(StorageScanExec::new(table.clone()))
+            }
+            PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec::new(
+                input.build_subtree(state)?,
+                predicate.clone(),
+            )),
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => Box::new(ProjectExec::new(
+                input.build_subtree(state)?,
                 exprs.clone(),
                 schema.clone(),
             )),
             PhysicalPlan::Sort { input, keys } => {
-                Box::new(SortExec::new(input.build_exec_tree()?, keys.clone()))
+                Box::new(SortExec::new(input.build_subtree(state)?, keys.clone()))
             }
             PhysicalPlan::HashAggregate {
                 input,
@@ -209,13 +294,13 @@ impl PhysicalPlan {
                 aggs,
                 schema,
             } => Box::new(HashAggregateExec::new(
-                input.build_exec_tree()?,
+                input.build_subtree(state)?,
                 group.clone(),
                 aggs.clone(),
                 schema.clone(),
             )),
             PhysicalPlan::Distinct { input } => {
-                Box::new(DistinctExec::new(input.build_exec_tree()?))
+                Box::new(DistinctExec::new(input.build_subtree(state)?))
             }
             PhysicalPlan::NestedLoopJoin {
                 left,
@@ -223,8 +308,8 @@ impl PhysicalPlan {
                 join_type,
                 condition,
             } => Box::new(NestedLoopJoinExec::new(
-                left.build_exec_tree()?,
-                right.build_exec_tree()?,
+                left.build_subtree(state)?,
+                right.build_subtree(state)?,
                 *join_type,
                 condition.clone(),
             )),
@@ -235,8 +320,8 @@ impl PhysicalPlan {
                 keys,
                 residual,
             } => Box::new(HashJoinExec::new(
-                left.build_exec_tree()?,
-                right.build_exec_tree()?,
+                left.build_subtree(state)?,
+                right.build_subtree(state)?,
                 keys.clone(),
                 residual.clone(),
                 *join_type,
@@ -248,8 +333,8 @@ impl PhysicalPlan {
                 keys,
                 residual,
             } => Box::new(MergeJoinExec::new(
-                left.build_exec_tree()?,
-                right.build_exec_tree()?,
+                left.build_subtree(state)?,
+                right.build_subtree(state)?,
                 keys.clone(),
                 residual.clone(),
                 *join_type,
@@ -261,8 +346,8 @@ impl PhysicalPlan {
                 endpoints,
                 residual,
             } => Box::new(IntervalJoinExec::new(
-                left.build_exec_tree()?,
-                right.build_exec_tree()?,
+                left.build_subtree(state)?,
+                right.build_subtree(state)?,
                 endpoints.0,
                 endpoints.1,
                 endpoints.2,
@@ -272,16 +357,16 @@ impl PhysicalPlan {
             )),
             PhysicalPlan::HashSetOp { kind, left, right } => Box::new(HashSetOpExec::new(
                 *kind,
-                left.build_exec_tree()?,
-                right.build_exec_tree()?,
+                left.build_subtree(state)?,
+                right.build_subtree(state)?,
             )?),
             PhysicalPlan::Limit { input, n } => {
-                Box::new(LimitExec::new(input.build_exec_tree()?, *n))
+                Box::new(LimitExec::new(input.build_subtree(state)?, *n))
             }
             PhysicalPlan::Extension { node, children } => {
                 let mut built = Vec::with_capacity(children.len());
                 for c in children {
-                    built.push(c.build_exec_tree()?);
+                    built.push(c.build_subtree(state)?);
                 }
                 node.build_exec(built)?
             }
@@ -291,15 +376,15 @@ impl PhysicalPlan {
     /// Execute and materialize the result. Drains the executor tree
     /// batch-wise ([`crate::exec::ExecNode::next_batch`]) — the engine's
     /// default execution path.
-    pub fn collect(&self) -> EngineResult<Relation> {
-        collect(self.execute()?)
+    pub fn collect(&self, state: &ExecutionState) -> EngineResult<Relation> {
+        collect(self.execute(state)?, state)
     }
 
     /// Execute and materialize via the row-at-a-time Volcano protocol —
     /// the pre-batch path, kept working so the two protocols can be
     /// differentially tested and benchmarked against each other.
-    pub fn collect_rowwise(&self) -> EngineResult<Relation> {
-        crate::exec::collect_rowwise(self.execute()?)
+    pub fn collect_rowwise(&self, state: &ExecutionState) -> EngineResult<Relation> {
+        crate::exec::collect_rowwise(self.execute(state)?, state)
     }
 
     /// Estimated rows/cost for this subtree.
@@ -401,11 +486,55 @@ impl PhysicalPlan {
     pub fn explain(&self) -> String {
         let model = CostModel::default();
         let mut out = String::new();
-        self.explain_into(&mut out, 0, &model);
+        self.explain_into(&mut out, 0, &model, None);
         out
     }
 
-    fn explain_into(&self, out: &mut String, indent: usize, model: &CostModel) {
+    /// EXPLAIN with the parallelism the given GUC snapshot would produce:
+    /// a header with the effective worker count, and an `Exchange` line
+    /// above every scan pipeline that execution would split into ranged
+    /// partitions (`execute` inserts the exchange at build time, so the
+    /// plan tree itself stays serial — this prints the execution shape).
+    pub fn explain_parallel(&self, config: &PlannerConfig) -> String {
+        let state = ExecutionState::new(*config);
+        let model = CostModel::default();
+        let mut out = format!(
+            "Parallelism: threads={} (parallel_min_rows={})\n",
+            state.threads(),
+            state.parallel_min_rows()
+        );
+        self.explain_into(&mut out, 0, &model, Some(&state));
+        out
+    }
+
+    fn explain_into(
+        &self,
+        out: &mut String,
+        indent: usize,
+        model: &CostModel,
+        par: Option<&ExecutionState>,
+    ) {
+        // Would execution put an exchange over this pipeline? Mirror the
+        // `build_parallel` gate exactly, then print the partition shape and
+        // the (serial, per-partition) pipeline below it.
+        if let Some(state) = par {
+            if state.threads() > 1 {
+                if let Some(units) = self.pipeline_units() {
+                    let rows = self.pipeline_rows().unwrap_or(0);
+                    let ranges = crate::exec::workers::split_ranges(units, state.threads());
+                    if state.parallel(rows) && ranges.len() > 1 {
+                        let pad = "  ".repeat(indent);
+                        out.push_str(&format!(
+                            "{pad}Exchange ({} partitions over {} units, gather in order)\n",
+                            ranges.len(),
+                            units,
+                        ));
+                        self.explain_into(out, indent + 1, model, None);
+                        return;
+                    }
+                }
+            }
+        }
         let pad = "  ".repeat(indent);
         let st = self.stats(model);
         let head =
@@ -426,23 +555,23 @@ impl PhysicalPlan {
                     "Filter: {}",
                     predicate.display(Some(&input.schema()))
                 )));
-                input.explain_into(out, indent + 1, model);
+                input.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::Project { input, .. } => {
                 out.push_str(&head("Project".to_string()));
-                input.explain_into(out, indent + 1, model);
+                input.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::Sort { input, keys } => {
                 out.push_str(&head(format!("Sort ({} keys)", keys.len())));
-                input.explain_into(out, indent + 1, model);
+                input.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::HashAggregate { input, group, .. } => {
                 out.push_str(&head(format!("HashAggregate ({} group cols)", group.len())));
-                input.explain_into(out, indent + 1, model);
+                input.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::Distinct { input } => {
                 out.push_str(&head("Distinct".to_string()));
-                input.explain_into(out, indent + 1, model);
+                input.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::NestedLoopJoin {
                 left,
@@ -451,8 +580,8 @@ impl PhysicalPlan {
                 ..
             } => {
                 out.push_str(&head(format!("NestedLoopJoin[{}]", join_type.name())));
-                left.explain_into(out, indent + 1, model);
-                right.explain_into(out, indent + 1, model);
+                left.explain_into(out, indent + 1, model, par);
+                right.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::HashJoin {
                 left,
@@ -466,8 +595,8 @@ impl PhysicalPlan {
                     join_type.name(),
                     keys.len()
                 )));
-                left.explain_into(out, indent + 1, model);
-                right.explain_into(out, indent + 1, model);
+                left.explain_into(out, indent + 1, model, par);
+                right.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::MergeJoin {
                 left,
@@ -481,8 +610,8 @@ impl PhysicalPlan {
                     join_type.name(),
                     keys.len()
                 )));
-                left.explain_into(out, indent + 1, model);
-                right.explain_into(out, indent + 1, model);
+                left.explain_into(out, indent + 1, model, par);
+                right.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::IntervalJoin {
                 left,
@@ -491,22 +620,22 @@ impl PhysicalPlan {
                 ..
             } => {
                 out.push_str(&head(format!("IntervalJoin[{}] (sweep)", join_type.name())));
-                left.explain_into(out, indent + 1, model);
-                right.explain_into(out, indent + 1, model);
+                left.explain_into(out, indent + 1, model, par);
+                right.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::HashSetOp { kind, left, right } => {
                 out.push_str(&head(format!("HashSetOp[{}]", kind.name())));
-                left.explain_into(out, indent + 1, model);
-                right.explain_into(out, indent + 1, model);
+                left.explain_into(out, indent + 1, model, par);
+                right.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::Limit { input, n } => {
                 out.push_str(&head(format!("Limit {n}")));
-                input.explain_into(out, indent + 1, model);
+                input.explain_into(out, indent + 1, model, par);
             }
             PhysicalPlan::Extension { node, children } => {
                 out.push_str(&head(node.explain()));
                 for c in children {
-                    c.explain_into(out, indent + 1, model);
+                    c.explain_into(out, indent + 1, model, par);
                 }
             }
         }

@@ -10,31 +10,32 @@
 //! the engine's equivalent of PostgreSQL's shared CTE scan: every clone of
 //! the wrapped plan shares one result cache, so the subtree runs exactly
 //! once per query execution no matter how many times the reduction rules
-//! mention it. The cache lives for exactly one execution:
-//! `PhysicalPlan::execute` calls [`ExtensionNode::reset_exec_state`] before
-//! building, so re-running a plan observes current table contents.
+//! mention it.
+//!
+//! The cache lives in the per-query [`ExecutionState`] spool registry,
+//! keyed by the spool node's identity — not in the plan. A plan therefore
+//! carries no execution state at all: re-running it under a fresh state
+//! observes current table contents, and two concurrent executions of the
+//! same plan (or two exchange workers inside one execution) cannot step on
+//! each other's cache.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
-use crate::exec::{collect, collect_rowwise, BoxedExec, ExecNode};
+use crate::exec::{collect, collect_rowwise, BoxedExec, ExecNode, ExecutionState};
 use crate::plan::cost::{CostModel, PlanStats};
 use crate::plan::logical::{ExtensionNode, LogicalPlan};
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::tuple::Row;
 
-/// A logical node that materializes its input once and serves the buffered
-/// rows to every plan occurrence sharing this node.
+/// A logical node that materializes its input once per execution and
+/// serves the buffered rows to every plan occurrence sharing this node.
 #[derive(Debug)]
 pub struct SpoolNode {
     input: LogicalPlan,
     schema: Schema,
-    /// Filled by the first executor to pull from the spool within one
-    /// execution; the other occurrences read it. Cleared by
-    /// [`ExtensionNode::reset_exec_state`] when a new execution begins.
-    cache: Arc<Mutex<Option<Arc<Relation>>>>,
 }
 
 impl SpoolNode {
@@ -42,11 +43,15 @@ impl SpoolNode {
     /// materialization of it.
     pub fn shared(input: LogicalPlan) -> LogicalPlan {
         let schema = input.schema();
-        LogicalPlan::extension(Arc::new(SpoolNode {
-            input,
-            schema,
-            cache: Arc::new(Mutex::new(None)),
-        }))
+        LogicalPlan::extension(Arc::new(SpoolNode { input, schema }))
+    }
+
+    /// Registry key: the node's address. Occurrences of the same spool
+    /// share the node (behind one `Arc`), so they build executors with the
+    /// same key; a rebuilt node ([`ExtensionNode::with_new_inputs`]) is a
+    /// new allocation and therefore a new key.
+    fn cache_key(&self) -> usize {
+        self as *const SpoolNode as usize
     }
 }
 
@@ -61,15 +66,9 @@ impl ExtensionNode for SpoolNode {
 
     fn with_new_inputs(&self, mut inputs: Vec<LogicalPlan>) -> Arc<dyn ExtensionNode> {
         assert_eq!(inputs.len(), 1);
-        // New input ⇒ new cache: the rewritten occurrence must not serve
-        // results computed for the old subtree (or vice versa).
         let input = inputs.remove(0);
         let schema = input.schema();
-        Arc::new(SpoolNode {
-            input,
-            schema,
-            cache: Arc::new(Mutex::new(None)),
-        })
+        Arc::new(SpoolNode { input, schema })
     }
 
     fn schema(&self) -> Schema {
@@ -84,19 +83,16 @@ impl ExtensionNode for SpoolNode {
         Ok(Box::new(SpoolExec {
             child: Some(children.remove(0)),
             schema: self.schema.clone(),
-            cache: Arc::clone(&self.cache),
+            key: self.cache_key(),
             local: None,
             pos: 0,
         }))
     }
 
     // No passthrough: pushing a filter below a *shared* node would detach
-    // this occurrence from the cache (with_new_inputs makes a fresh one)
-    // and silently drop the sharing the spool exists for.
-
-    fn reset_exec_state(&self) {
-        *self.cache.lock().expect("spool cache poisoned") = None;
-    }
+    // this occurrence from the cache (with_new_inputs makes a fresh node,
+    // hence a fresh cache key) and silently drop the sharing the spool
+    // exists for.
 
     fn explain(&self) -> String {
         "Spool (shared materialization)".to_string()
@@ -104,40 +100,36 @@ impl ExtensionNode for SpoolNode {
 }
 
 /// Executor for [`SpoolNode`]: the first stream to pull drains the child
-/// into the shared cache; every stream then serves rows from the cache
-/// (resolved once per stream, then read lock-free).
+/// into the execution state's spool registry; every stream then serves
+/// rows from the shared materialization (resolved once per stream, then
+/// read lock-free).
 pub struct SpoolExec {
     child: Option<BoxedExec>,
     schema: Schema,
-    cache: Arc<Mutex<Option<Arc<Relation>>>>,
+    key: usize,
     /// Local handle to the materialized relation, filled on first `next()`
-    /// so the shared mutex is taken once per stream, not once per row.
+    /// so the registry is consulted once per stream, not once per row.
     local: Option<Arc<Relation>>,
     pos: usize,
 }
 
 impl SpoolExec {
-    /// Materialize (or attach to) the shared cache. The first stream to
-    /// pull drains the child through the protocol that stream is being
-    /// driven with — batch-wise under `next_batch()`, row-wise under
+    /// Materialize (or attach to) the shared cache in `state`. The first
+    /// stream to pull drains the child through the protocol that stream is
+    /// being driven with — batch-wise under `next_batch()`, row-wise under
     /// `next()` — so the spool subtree belongs to the same execution path
     /// as the rest of the plan.
-    fn materialized(&mut self, batched: bool) -> EngineResult<&Relation> {
+    fn materialized(&mut self, state: &ExecutionState, batched: bool) -> EngineResult<&Relation> {
         if self.local.is_none() {
-            let mut guard = self.cache.lock().expect("spool cache poisoned");
-            let rel = match guard.as_ref() {
-                Some(rel) => Arc::clone(rel),
-                None => {
-                    let child = self.child.take().expect("spool child built exactly once");
-                    let rel = if batched {
-                        Arc::new(collect(child)?)
-                    } else {
-                        Arc::new(collect_rowwise(child)?)
-                    };
-                    *guard = Some(Arc::clone(&rel));
-                    rel
+            let child = &mut self.child;
+            let rel = state.spool_get_or_fill(self.key, || {
+                let node = child.take().expect("spool child built exactly once");
+                if batched {
+                    collect(node, state)
+                } else {
+                    collect_rowwise(node, state)
                 }
-            };
+            })?;
             self.local = Some(rel);
         }
         Ok(self.local.as_ref().expect("filled above"))
@@ -149,9 +141,9 @@ impl ExecNode for SpoolExec {
         &self.schema
     }
 
-    fn next(&mut self) -> EngineResult<Option<Row>> {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
         let pos = self.pos;
-        let rel = self.materialized(false)?;
+        let rel = self.materialized(state, false)?;
         let row = rel.rows().get(pos).cloned();
         self.pos += 1;
         Ok(row)
@@ -159,9 +151,9 @@ impl ExecNode for SpoolExec {
 
     /// Batch path: serve a contiguous chunk of the shared materialization
     /// (row clones are `Arc` bumps).
-    fn next_batch(&mut self) -> EngineResult<Option<RowBatch>> {
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
         let pos = self.pos;
-        let rel = self.materialized(true)?;
+        let rel = self.materialized(state, true)?;
         let rows = rel.rows();
         if pos >= rows.len() {
             return Ok(None);
@@ -181,6 +173,7 @@ mod tests {
     use crate::plan::{JoinType, Planner};
     use crate::schema::{Column, DataType};
     use crate::value::Value;
+    use std::sync::Mutex;
 
     /// An exec that counts how many times its source is drained, via a
     /// shared counter.
@@ -194,7 +187,7 @@ mod tests {
         fn schema(&self) -> &Schema {
             self.rel.schema()
         }
-        fn next(&mut self) -> EngineResult<Option<Row>> {
+        fn next(&mut self, _state: &ExecutionState) -> EngineResult<Option<Row>> {
             if self.pos == 0 {
                 *self.drains.lock().unwrap() += 1;
             }
@@ -219,7 +212,6 @@ mod tests {
         let node = SpoolNode {
             input: LogicalPlan::inline_scan(rel()),
             schema: rel().schema().clone(),
-            cache: Arc::new(Mutex::new(None)),
         };
         let mk_child = || -> BoxedExec {
             Box::new(CountingScan {
@@ -228,13 +220,14 @@ mod tests {
                 drains: Arc::clone(&drains),
             })
         };
+        let state = ExecutionState::default();
         let mut a = node.build_exec(vec![mk_child()]).unwrap();
         let mut b = node.build_exec(vec![mk_child()]).unwrap();
         let mut n = 0;
-        while a.next().unwrap().is_some() {
+        while a.next(&state).unwrap().is_some() {
             n += 1;
         }
-        while b.next().unwrap().is_some() {
+        while b.next(&state).unwrap().is_some() {
             n += 1;
         }
         assert_eq!(n, 10);
@@ -259,8 +252,9 @@ mod tests {
         use crate::plan::PlannerConfig;
         use crate::schema::{Column, DataType};
         // With rewrites off, plan_inner keeps the ORIGINAL spool node, so
-        // the same physical node is executed twice — the per-execution
-        // reset must re-materialize against the current catalog.
+        // the same physical node is executed twice — each execution runs
+        // under a fresh ExecutionState, so the second run must
+        // re-materialize against the current catalog.
         let planner = Planner::new(PlannerConfig {
             enable_rewrites: false,
             ..Default::default()
@@ -294,11 +288,12 @@ mod tests {
             ..Default::default()
         });
         let shared = SpoolNode::shared(LogicalPlan::inline_scan(rel()));
-        // Warm the original node's cache: build an executor and pull a row
-        // (execute() resets the cache first, next() materializes into it).
+        // Warm the original node's cache in one execution state: build an
+        // executor and pull a row (next() materializes into the registry).
         let physical = planner.plan(&shared, &Catalog::new()).unwrap();
-        let mut exec = physical.execute().unwrap();
-        assert!(exec.next().unwrap().is_some());
+        let state = ExecutionState::default();
+        let mut exec = physical.execute(&state).unwrap();
+        assert!(exec.next(&state).unwrap().is_some());
         // Rebuild with a different input: must not serve the warm cache.
         let LogicalPlan::Extension { node } = &shared else {
             panic!("spool is an extension")

@@ -8,10 +8,11 @@ use temporal_engine::schema::DataType;
 #[allow(clippy::large_enum_variant)]
 pub enum Statement {
     Select(SelectStmt),
-    /// `SET <guc> = on|off|true|false` — planner switches (Sec. 7.2).
+    /// `SET <guc> = on|off|true|false|<int>` — planner switches (Sec. 7.2)
+    /// and integer GUCs such as `threads`.
     Set {
         name: String,
-        value: bool,
+        value: SetValue,
     },
     /// `EXPLAIN <select>` — print the physical plan.
     Explain(Box<Statement>),
@@ -56,6 +57,13 @@ pub enum Quantifier {
     All,
     Distinct,
     Absorb,
+}
+
+/// The right-hand side of a `SET` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetValue {
+    Bool(bool),
+    Int(i64),
 }
 
 /// Set operation chaining.

@@ -89,14 +89,15 @@ impl Parser {
             let name = self.expect_ident()?;
             self.expect(Token::Eq)?;
             let value = match self.advance() {
-                Token::Keyword(Kw::True) => true,
-                Token::Keyword(Kw::False) => false,
+                Token::Keyword(Kw::True) => SetValue::Bool(true),
+                Token::Keyword(Kw::False) => SetValue::Bool(false),
                 // `on` happens to lex as the ON keyword.
-                Token::Keyword(Kw::On) => true,
-                Token::Ident(s) if s == "off" => false,
+                Token::Keyword(Kw::On) => SetValue::Bool(true),
+                Token::Ident(s) if s == "off" => SetValue::Bool(false),
+                Token::Int(v) => SetValue::Int(v),
                 other => {
                     return Err(SqlError::Parse(format!(
-                        "expected on/off/true/false, found {other}"
+                        "expected on/off/true/false or an integer, found {other}"
                     )))
                 }
             };
@@ -793,7 +794,14 @@ mod tests {
         match parse_statement("SET enable_mergejoin = off").unwrap() {
             Statement::Set { name, value } => {
                 assert_eq!(name, "enable_mergejoin");
-                assert!(!value);
+                assert_eq!(value, SetValue::Bool(false));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("SET threads = 4").unwrap() {
+            Statement::Set { name, value } => {
+                assert_eq!(name, "threads");
+                assert_eq!(value, SetValue::Int(4));
             }
             other => panic!("{other:?}"),
         }

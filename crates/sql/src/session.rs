@@ -12,7 +12,7 @@ use temporal_core::trel::TemporalRelation;
 use temporal_engine::prelude::*;
 
 use crate::analyzer::Analyzer;
-use crate::ast::{CopyDirection, Statement};
+use crate::ast::{CopyDirection, SetValue, Statement};
 use crate::csv::{relation_to_csv, rows_from_csv};
 use crate::error::{SqlError, SqlResult};
 use crate::parser::parse_statement;
@@ -107,16 +107,25 @@ impl Session {
     fn run_statement(&mut self, stmt: Statement) -> SqlResult<SqlOutput> {
         match stmt {
             Statement::Set { name, value } => {
-                self.db
-                    .set(&name, value)
-                    .map_err(|e| SqlError::Analyze(e.to_string()))?;
+                match value {
+                    SetValue::Bool(b) => self.db.set(&name, b),
+                    SetValue::Int(i) => self.db.set_int(&name, i),
+                }
+                .map_err(|e| SqlError::Analyze(e.to_string()))?;
                 Ok(SqlOutput::Ok)
             }
             Statement::Explain(inner) => match *inner {
                 Statement::Select(sel) => self.db.read(|catalog, planner| {
                     let plan = Analyzer::new(catalog).analyze(&sel)?;
                     let physical = planner.plan(&plan, catalog).map_err(SqlError::from)?;
-                    Ok(SqlOutput::Explain(physical.explain()))
+                    // Under a parallel configuration, show the execution
+                    // shape (exchanges, partition counts) too.
+                    let text = if planner.config.threads > 1 {
+                        physical.explain_parallel(&planner.config)
+                    } else {
+                        physical.explain()
+                    };
+                    Ok(SqlOutput::Explain(text))
                 }),
                 other => Err(SqlError::Analyze(format!(
                     "EXPLAIN supports SELECT statements, got {other:?}"
@@ -130,7 +139,8 @@ impl Session {
                     let plan = Analyzer::new(catalog).analyze(&sel)?;
                     planner.plan(&plan, catalog).map_err(SqlError::from)
                 })?;
-                let rel = physical.collect().map_err(SqlError::from)?;
+                let state = ExecutionState::new(self.db.config());
+                let rel = physical.collect(&state).map_err(SqlError::from)?;
                 Ok(SqlOutput::Rows(rel))
             }
             Statement::CreateTable {

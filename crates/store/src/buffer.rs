@@ -11,7 +11,7 @@
 //! the heap in memory.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::disk::DiskManager;
@@ -24,7 +24,6 @@ pub const DEFAULT_POOL_PAGES: usize = 64;
 #[derive(Debug, Default, Clone, Copy)]
 struct FrameMeta {
     page: Option<PageId>,
-    pins: u32,
     dirty: bool,
     referenced: bool,
 }
@@ -38,10 +37,27 @@ struct PoolState {
 }
 
 /// A pinning page cache in front of one [`DiskManager`].
+///
+/// Concurrency design: the pool mutex guards only the page table, frame
+/// metadata and clock hand — never disk reads. Pin counts are per-frame
+/// atomics, so releasing a pin (every `PageGuard` drop, i.e. every page a
+/// scan streams past) takes no lock at all. Pinning still happens under
+/// the short map-guard — that is what makes the eviction check
+/// (`pins == 0` while holding the guard) race-free, since a pin count can
+/// only leave zero with the guard held. On a miss the victim frame is
+/// *claimed* (pinned, unmapped) under the guard, the guard is dropped, and
+/// the disk read runs outside it under the frame's own write latch;
+/// concurrent fetches of other pages proceed in parallel with the I/O.
+/// Dirty write-back stays under the map-guard (appends are rare): it is
+/// atomic with the victim's unmapping, so a concurrent re-fetch of the
+/// evicted page can never read the heap file before the write-back lands.
 #[derive(Debug)]
 pub struct BufferPool {
     disk: DiskManager,
     frames: Vec<Arc<RwLock<Page>>>,
+    /// Per-frame pin counts. Incremented only under the `state` guard;
+    /// decremented lock-free on guard drop.
+    pins: Vec<AtomicU32>,
     state: Mutex<PoolState>,
     /// Pages read from disk (cache misses) — observable evidence that a
     /// scan streamed rather than materialized.
@@ -57,6 +73,7 @@ impl BufferPool {
             frames: (0..capacity)
                 .map(|_| Arc::new(RwLock::new(Page::zeroed())))
                 .collect(),
+            pins: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
             state: Mutex::new(PoolState {
                 table: HashMap::with_capacity(capacity),
                 meta: vec![FrameMeta::default(); capacity],
@@ -94,23 +111,41 @@ impl BufferPool {
     }
 
     /// Pin page `id`, reading it from disk on a miss. The returned guard
-    /// keeps the page pinned (unevictable) until dropped.
+    /// keeps the page pinned (unevictable) until dropped. Hits touch the
+    /// pool mutex only for the table lookup; the miss path performs its
+    /// disk read outside the mutex (see the type-level docs).
     pub fn fetch(&self, id: PageId) -> StoreResult<PageGuard<'_>> {
         let mut state = self.lock_state();
         if let Some(&idx) = state.table.get(&id) {
-            state.meta[idx].pins += 1;
+            self.pins[idx].fetch_add(1, Ordering::Acquire);
             state.meta[idx].referenced = true;
             return Ok(self.guard(idx));
         }
-        let idx = self.free_frame(&mut state)?;
-        {
-            let mut frame = self.frames[idx].write().unwrap_or_else(|e| e.into_inner());
-            self.disk.read_page(id, &mut frame)?;
+        let idx = self.claim_frame(&mut state)?;
+        // Latch the frame before releasing the map-guard, then read outside
+        // the guard: other fetches proceed concurrently with the I/O.
+        let mut frame = self.frames[idx].write().unwrap_or_else(|e| e.into_inner());
+        drop(state);
+        if let Err(e) = self.disk.read_page(id, &mut frame) {
+            drop(frame);
+            self.release_claim(idx);
+            return Err(e);
         }
+        drop(frame);
         self.io_reads.fetch_add(1, Ordering::Relaxed);
+        // Publish the mapping — unless a concurrent miss on the same id won
+        // the race, in which case adopt the winner's frame and release ours
+        // (one redundant read, never two frames mapped to one page).
+        let mut state = self.lock_state();
+        if let Some(&winner) = state.table.get(&id) {
+            self.pins[winner].fetch_add(1, Ordering::Acquire);
+            state.meta[winner].referenced = true;
+            drop(state);
+            self.release_claim(idx);
+            return Ok(self.guard(winner));
+        }
         state.meta[idx] = FrameMeta {
             page: Some(id),
-            pins: 1,
             dirty: false,
             referenced: true,
         };
@@ -122,29 +157,42 @@ impl BufferPool {
     /// and a guard over the (already dirty-free, just-written) frame.
     /// A frame is secured *before* the disk append, so a pool with every
     /// frame pinned fails cleanly without having written phantom bytes.
+    /// The append stays under the map-guard — appends are rare and the id
+    /// must be mapped atomically with its assignment.
     pub fn allocate(&self, page: Page) -> StoreResult<(PageId, PageGuard<'_>)> {
         let mut state = self.lock_state();
-        let idx = self.free_frame(&mut state)?;
-        let id = self.disk.allocate_page(&page)?;
-        *self.frames[idx].write().unwrap_or_else(|e| e.into_inner()) = page;
+        let idx = self.claim_frame(&mut state)?;
+        let id = match self.disk.allocate_page(&page) {
+            Ok(id) => id,
+            Err(e) => {
+                drop(state);
+                self.release_claim(idx);
+                return Err(e);
+            }
+        };
         state.meta[idx] = FrameMeta {
             page: Some(id),
-            pins: 1,
             dirty: false,
             referenced: true,
         };
         state.table.insert(id, idx);
+        // Latch before unmapping the guard so a concurrent fetch of `id`
+        // blocks on the latch until the contents are in place.
+        let mut frame = self.frames[idx].write().unwrap_or_else(|e| e.into_inner());
+        drop(state);
+        *frame = page;
+        drop(frame);
         Ok((id, self.guard(idx)))
     }
 
-    /// Select a victim frame, write its page back if dirty, and detach it
-    /// from the page table **and** its own metadata before returning — so
-    /// if the caller's subsequent disk I/O fails, the frame is cleanly
-    /// empty rather than claiming (and later re-flushing) a page it no
-    /// longer owns.
-    fn free_frame(&self, state: &mut PoolState) -> StoreResult<usize> {
+    /// Select a victim frame, write its page back if dirty, detach it from
+    /// the page table and pin it for the caller. The write-back happens
+    /// under the map-guard, atomically with the unmapping: once the guard
+    /// drops, any re-fetch of the evicted page reads the written-back
+    /// bytes. On error the frame is left cleanly empty and unpinned.
+    fn claim_frame(&self, state: &mut PoolState) -> StoreResult<usize> {
         let idx = self.evict_victim(state)?;
-        // pins == 0 guarantees no outstanding guard holds the frame lock.
+        // pins == 0 guarantees no outstanding guard holds the frame latch.
         let old = state.meta[idx];
         if let Some(old_id) = old.page {
             if old.dirty {
@@ -154,7 +202,13 @@ impl BufferPool {
             state.table.remove(&old_id);
             state.meta[idx] = FrameMeta::default();
         }
+        self.pins[idx].store(1, Ordering::Release);
         Ok(idx)
+    }
+
+    /// Abandon a claimed-but-unpublished frame (failed I/O, lost race).
+    fn release_claim(&self, idx: usize) {
+        self.pins[idx].store(0, Ordering::Release);
     }
 
     /// Clock (second-chance) victim selection over unpinned frames.
@@ -163,10 +217,10 @@ impl BufferPool {
         for _ in 0..2 * n {
             let idx = state.hand;
             state.hand = (state.hand + 1) % n;
-            let meta = &mut state.meta[idx];
-            if meta.pins > 0 {
+            if self.pins[idx].load(Ordering::Acquire) > 0 {
                 continue;
             }
+            let meta = &mut state.meta[idx];
             if meta.referenced {
                 meta.referenced = false;
                 continue;
@@ -186,11 +240,10 @@ impl BufferPool {
         }
     }
 
+    /// Lock-free: every guard drop is one atomic decrement.
     fn unpin(&self, idx: usize) {
-        let mut state = self.lock_state();
-        let meta = &mut state.meta[idx];
-        debug_assert!(meta.pins > 0, "unpin without pin");
-        meta.pins = meta.pins.saturating_sub(1);
+        let prev = self.pins[idx].fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "unpin without pin");
     }
 
     fn mark_dirty(&self, idx: usize) {
@@ -348,6 +401,72 @@ mod tests {
         let mut raw = Page::zeroed();
         disk.read_page(0, &mut raw).unwrap();
         assert_eq!(raw.record(1).unwrap(), b"persisted-on-drop");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_fetches_stream_correct_pages() {
+        // 8 workers hammer a 3-frame pool over 12 pages (hits, misses,
+        // evictions and same-page races all occur); every fetch must
+        // observe the right contents, and pins must drain back to zero.
+        let (pool, path) = pool("concurrent.heap", 12, 3);
+        std::thread::scope(|scope| {
+            for w in 0..8u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let id = ((i * 7 + w * 5) % 12) as PageId;
+                        let g = pool.fetch(id).unwrap();
+                        assert_eq!(
+                            g.read().record(0).unwrap(),
+                            format!("page-{id}").as_bytes(),
+                            "worker {w} iteration {i}"
+                        );
+                    }
+                });
+            }
+        });
+        for (idx, pin) in pool.pins.iter().enumerate() {
+            assert_eq!(pin.load(Ordering::Acquire), 0, "frame {idx} still pinned");
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writes_survive_eviction_pressure() {
+        // Writers dirty distinct pages through a pool with heavy eviction;
+        // after a flush, the heap file must hold every write.
+        let (pool, path) = pool("concwrite.heap", 8, 2);
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for round in 0..3u64 {
+                        for p in 0..2u64 {
+                            let id = (w * 2 + p) as PageId;
+                            let g = pool.fetch(id).unwrap();
+                            g.write()
+                                .insert(format!("w{w}-r{round}-p{p}").as_bytes())
+                                .unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        pool.flush_all().unwrap();
+        let mut raw = Page::zeroed();
+        for w in 0..4u64 {
+            for p in 0..2u64 {
+                let id = (w * 2 + p) as PageId;
+                pool.disk().read_page(id, &mut raw).unwrap();
+                // Record 0 is the seed; records 1..=3 are the three rounds.
+                assert_eq!(
+                    raw.record(3).unwrap(),
+                    format!("w{w}-r2-p{p}").as_bytes(),
+                    "page {id}"
+                );
+            }
+        }
         std::fs::remove_file(path).unwrap();
     }
 

@@ -24,10 +24,10 @@ fn assert_paths_identical_logical(lp: &LogicalPlan, planner: &Planner, label: &s
         .plan(lp, &Catalog::new())
         .unwrap_or_else(|e| panic!("{label}: plan: {e}"));
     let row_path = physical
-        .collect_rowwise()
+        .collect_rowwise(&ExecutionState::default())
         .unwrap_or_else(|e| panic!("{label}: row path: {e}"));
     let batch_path = physical
-        .collect()
+        .collect(&ExecutionState::default())
         .unwrap_or_else(|e| panic!("{label}: batch path: {e}"));
     assert_eq!(
         row_path.rows(),
@@ -294,15 +294,16 @@ fn exact_batch_size_and_empty_inputs() {
             .collect(),
     )
     .unwrap();
+    let state = ExecutionState::default();
     let mut scan = temporal_alignment::engine::exec::SeqScanExec::new(exact.into_shared());
-    let first = scan.next_batch().unwrap().expect("one full batch");
+    let first = scan.next_batch(&state).unwrap().expect("one full batch");
     assert_eq!(first.len(), BATCH_SIZE);
-    assert!(scan.next_batch().unwrap().is_none());
+    assert!(scan.next_batch(&state).unwrap().is_none());
 
     let empty = Relation::empty(schema.clone());
     let mut scan = temporal_alignment::engine::exec::SeqScanExec::new(empty.into_shared());
-    assert!(scan.next_batch().unwrap().is_none());
-    assert!(scan.next_batch().unwrap().is_none());
+    assert!(scan.next_batch(&state).unwrap().is_none());
+    assert!(scan.next_batch(&state).unwrap().is_none());
 }
 
 /// A filter that empties whole input batches must skip them (batches are
@@ -321,6 +322,7 @@ fn filter_skips_emptied_batches() {
     // Keep nothing at all.
     let lp = LogicalPlan::inline_scan(rel).filter(col(0).lt(lit(0i64)));
     let physical = Planner::default().plan(&lp, &Catalog::new()).unwrap();
-    let mut exec = physical.execute().unwrap();
-    assert!(exec.next_batch().unwrap().is_none());
+    let state = ExecutionState::default();
+    let mut exec = physical.execute(&state).unwrap();
+    assert!(exec.next_batch(&state).unwrap().is_none());
 }

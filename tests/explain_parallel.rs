@@ -1,0 +1,88 @@
+//! EXPLAIN must surface the parallel execution shape: under `SET threads
+//! = N` the session prints the effective worker count and an `Exchange`
+//! line above every scan pipeline that execution would partition, while a
+//! serial session prints the classic plan unchanged. The exact rendering
+//! is pinned by a golden file (`tests/golden/explain_parallel.txt`);
+//! refresh it with `UPDATE_GOLDENS=1 cargo test --test explain_parallel`.
+
+mod common;
+
+use common::rel1;
+use temporal_alignment::sql::Session;
+
+/// 600 deterministic rows: big enough to clear the default
+/// `parallel_min_rows` gate, duplicate-free by construction.
+fn fixture() -> temporal_alignment::core::trel::TemporalRelation {
+    let rows: Vec<(i64, i64, i64)> = (0..600).map(|i| (i % 7, i, i + 1)).collect();
+    rel1("r", &rows)
+}
+
+#[test]
+fn explain_shows_exchange_under_parallel_session() {
+    let mut session = Session::new();
+    session.register_temporal("r", &fixture()).unwrap();
+    let query = "SELECT * FROM r WHERE k < 3";
+
+    session.execute("SET threads = 1").unwrap();
+    let serial = session.explain(query).unwrap();
+    session.execute("SET threads = 4").unwrap();
+    let parallel = session.explain(query).unwrap();
+
+    assert!(
+        !serial.contains("Exchange") && !serial.contains("Parallelism"),
+        "serial EXPLAIN must not show parallel operators:\n{serial}"
+    );
+    assert!(
+        parallel.starts_with("Parallelism: threads=4"),
+        "parallel EXPLAIN must lead with the worker count:\n{parallel}"
+    );
+    assert!(
+        parallel.contains("Exchange (4 partitions over 600 units"),
+        "parallel EXPLAIN must show the partitioned scan pipeline:\n{parallel}"
+    );
+
+    let rendered = format!(
+        "-- EXPLAIN {query} (threads = 1)\n{serial}\n-- EXPLAIN {query} (threads = 4)\n{parallel}"
+    );
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("explain_parallel.txt");
+    if std::env::var("UPDATE_GOLDENS").is_ok() {
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDENS=1 cargo test --test explain_parallel",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "EXPLAIN output drifted from the golden file; \
+         run UPDATE_GOLDENS=1 cargo test --test explain_parallel if intentional"
+    );
+}
+
+#[test]
+fn set_threads_changes_results_not_at_all() {
+    // The same query through a serial and a 4-worker session must return
+    // identical rows in identical order.
+    let mut session = Session::new();
+    session.register_temporal("r", &fixture()).unwrap();
+    let query = "SELECT * FROM r WHERE k < 3";
+
+    session.execute("SET threads = 1").unwrap();
+    let serial = session.query(query).unwrap();
+    session.execute("SET threads = 4").unwrap();
+    let parallel = session.query(query).unwrap();
+    assert_eq!(serial.rows(), parallel.rows());
+}
+
+#[test]
+fn set_threads_rejects_nonsense() {
+    let mut session = Session::new();
+    assert!(session.execute("SET threads = 4").is_ok());
+    assert!(session.execute("SET nonsense_guc = 4").is_err());
+}
