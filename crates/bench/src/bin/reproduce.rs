@@ -537,6 +537,80 @@ fn storage(full: bool) {
     save("scan_storage", &points);
 }
 
+/// Timeslice (`AS OF`) over a persisted table under the three access
+/// paths: full scan (pruning off), zone-map pruned scan (index off), and
+/// the interval-index probe (defaults). Ddisj data is time-clustered in
+/// heap order — the page-pruning best case, and the shape the paper's
+/// timeslice queries assume.
+fn timeslice(full: bool) {
+    use temporal_core::prelude::Database;
+    let sizes: &[usize] = if full {
+        &[25_000, 50_000, 100_000, 200_000]
+    } else {
+        &[2_500, 5_000, 10_000, 20_000]
+    };
+    const POOL: usize = 8;
+    let dir = std::env::temp_dir().join("talign_bench_timeslice");
+    let _ = std::fs::remove_dir_all(&dir);
+    let settings: [(&str, bool, bool); 3] = [
+        ("full-scan", false, false),
+        ("zonemap", true, false),
+        ("index", true, true),
+    ];
+    let mut points = Vec::new();
+    let mut per_n: Vec<(usize, f64, f64)> = Vec::new(); // (n, full, best-pruned)
+    for &n in sizes {
+        let (r, _) = ddisj(n);
+        // Mid-timeline instant: hits exactly one ddisj slot.
+        let v = 20 * (n as i64 / 2) + 2;
+        let db = Database::open_with_pool(dir.join(n.to_string()), POOL).expect("open storage dir");
+        db.register("r", &r).expect("register persisted");
+        let (mut t_full, mut t_pruned) = (f64::MAX, f64::MAX);
+        for &(series, zonemaps, index) in &settings {
+            db.set("enable_zonemaps", zonemaps).expect("set zonemaps");
+            db.set("enable_interval_index", index).expect("set index");
+            let (dt, rows) = (0..3)
+                .map(|_| {
+                    time(|| {
+                        db.table("r")
+                            .unwrap()
+                            .as_of(v)
+                            .collect()
+                            .expect("as of")
+                            .len()
+                    })
+                })
+                .min_by(|a, b| a.0.cmp(&b.0))
+                .expect("three runs");
+            let secs = dt.as_secs_f64();
+            if zonemaps {
+                t_pruned = t_pruned.min(secs);
+            } else {
+                t_full = secs;
+            }
+            points.push(Point {
+                series: series.into(),
+                n,
+                seconds: secs,
+                output_rows: rows,
+            });
+        }
+        per_n.push((n, t_full, t_pruned));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    print_points(
+        "Timeslice: AS OF over a persisted table — full scan vs zone maps vs interval index",
+        &points,
+    );
+    for (n, t_full, t_pruned) in &per_n {
+        println!(
+            "n={n}: pruned timeslice {:.1}× over full scan",
+            t_full / t_pruned.max(1e-9)
+        );
+    }
+    save("timeslice", &points);
+}
+
 fn table1() {
     println!("\n=== Table 1 (verified executably in semantics::properties)");
     println!("{}", render_table1());
@@ -569,6 +643,7 @@ fn main() {
         "ablation" => ablation(full),
         "chain" => chain(full),
         "storage" => storage(full),
+        "timeslice" => timeslice(full),
         "all" => {
             table1();
             fig13(full);
@@ -582,10 +657,11 @@ fn main() {
             ablation(full);
             chain(full);
             storage(full);
+            timeslice(full);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|ablation|chain|storage|all"
+                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|ablation|chain|storage|timeslice|all"
             );
             std::process::exit(2);
         }

@@ -20,7 +20,8 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use temporal_engine::catalog::Catalog;
 use temporal_engine::prelude::*;
 use temporal_engine::storage::{
-    self, heap_path, Manifest, StoredTable, TableMeta, DEFAULT_BUFFER_POOL_PAGES,
+    self, heap_path, index_path, IntervalIndex, Manifest, StoredTable, TableMeta,
+    DEFAULT_BUFFER_POOL_PAGES,
 };
 
 use crate::algebra::TemporalPlan;
@@ -159,6 +160,14 @@ impl Database {
                     pool_pages,
                     meta.rows,
                 )?;
+                // Reattach the interval index leniently: a missing or
+                // unreadable index file only loses the pruning fast path,
+                // never the table (scans degrade to zone maps / full).
+                if let Some(index_file) = &meta.index {
+                    if let Ok(index) = IntervalIndex::open(dir.join(index_file), pool_pages) {
+                        table.attach_index(index);
+                    }
+                }
                 state
                     .catalog
                     .register_stored(name.clone(), Arc::new(table))?;
@@ -333,6 +342,12 @@ impl Database {
             .as_mut()
             .expect("persist_into requires a storage root");
         let table = StoredTable::persist_relation(&root.dir, name, rel, root.pool_pages)?;
+        let index = table.index_file_name();
+        if index.is_none() {
+            // A non-temporal replacement must not leave a stale index from
+            // a previous temporal incarnation of the name behind.
+            let _ = std::fs::remove_file(index_path(&root.dir, name));
+        }
         root.manifest.insert(
             name,
             TableMeta {
@@ -340,6 +355,7 @@ impl Database {
                 fingerprint: storage::schema_fingerprint(table.schema()),
                 rows: table.row_count(),
                 schema: storage::schema_to_string(table.schema()),
+                index,
             },
         );
         root.manifest.save(&root.dir).map_err(EngineError::from)?;
@@ -355,6 +371,9 @@ impl Database {
         if root.manifest.remove(name).is_some() {
             root.manifest.save(&root.dir).map_err(EngineError::from)?;
         }
+        // The index is derived data — a failed removal cannot resurrect
+        // the table, so it is best-effort.
+        let _ = std::fs::remove_file(index_path(&root.dir, name));
         let path = heap_path(&root.dir, name);
         match std::fs::remove_file(&path) {
             Ok(()) => Ok(()),
@@ -457,8 +476,10 @@ impl Database {
     }
 
     /// Plan (and optimize) a composed [`TemporalPlan`] under the shared
-    /// lock, returning the self-contained physical plan.
-    fn physical(&self, plan: &TemporalPlan) -> TemporalResult<PhysicalPlan> {
+    /// lock, returning the self-contained physical plan. Public so
+    /// callers can execute with their own [`ExecutionState`] and inspect
+    /// its counters (pages read/skipped, rows) afterwards.
+    pub fn physical(&self, plan: &TemporalPlan) -> TemporalResult<PhysicalPlan> {
         self.read(|catalog, planner| plan.physical(planner, catalog))
     }
 }
@@ -582,6 +603,20 @@ impl TemporalFrame {
     /// against this frame's schema).
     pub fn filter(self, predicate: Expr) -> TemporalFrame {
         self.lift(|p| p.selection(predicate))
+    }
+
+    /// Timeslice: rows whose valid interval contains instant `v` — sugar
+    /// for `filter(ts <= v AND te > v)` on the half-open `[ts, te)`
+    /// convention. The canonical range shape lets the planner's
+    /// access-path selection serve it from page zone maps or the
+    /// persistent interval index; SQL's `FROM t AS OF v` lowers to the
+    /// same predicate, so both surfaces plan identically.
+    pub fn as_of(self, v: i64) -> TemporalFrame {
+        self.lift(|p| {
+            let n = p.schema().len();
+            let predicate = col(n - 2).le(lit(v)).and(col(n - 1).gt(lit(v)));
+            p.selection(predicate)
+        })
     }
 
     /// ×ᵀ: temporal Cartesian product.

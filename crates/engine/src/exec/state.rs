@@ -28,6 +28,11 @@ pub struct ExecStats {
     pub batches_emitted: AtomicU64,
     /// Partition tasks executed by exchange/parallel operators.
     pub partitions_run: AtomicU64,
+    /// Heap pages pinned and decoded by storage scans.
+    pub pages_read: AtomicU64,
+    /// Heap pages pruned before decode (zone map or interval index said
+    /// the page cannot satisfy the scan's bounds).
+    pub pages_skipped: AtomicU64,
 }
 
 impl ExecStats {
@@ -37,6 +42,14 @@ impl ExecStats {
             self.rows_emitted.load(Ordering::Relaxed),
             self.batches_emitted.load(Ordering::Relaxed),
             self.partitions_run.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot `(pages_read, pages_skipped)` — the scan-pruning ledger.
+    pub fn pages(&self) -> (u64, u64) {
+        (
+            self.pages_read.load(Ordering::Relaxed),
+            self.pages_skipped.load(Ordering::Relaxed),
         )
     }
 }
@@ -100,6 +113,16 @@ impl ExecutionState {
         self.stats
             .partitions_run
             .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Record one heap page pinned and decoded by a storage scan.
+    pub fn note_page_read(&self) {
+        self.stats.pages_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` heap pages pruned before decode.
+    pub fn note_pages_skipped(&self, n: u64) {
+        self.stats.pages_skipped.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Request cooperative cancellation of this execution.

@@ -22,9 +22,14 @@ use crate::schema::Schema;
 use crate::storage::StoredTable;
 use crate::tuple::Row;
 
-/// Scans a [`StoredTable`] page by page.
+/// Scans a [`StoredTable`] page by page. The page set is either a
+/// contiguous range (the classic full-scan morsel) or an explicit list of
+/// surviving pages handed down by the pruning access paths.
 pub struct StorageScanExec {
     table: Arc<StoredTable>,
+    /// When `Some`, `next_page..end_page` index into this list instead of
+    /// being page numbers themselves.
+    pages: Option<Arc<Vec<u32>>>,
     next_page: u32,
     end_page: u32,
     pending: VecDeque<Row>,
@@ -35,6 +40,7 @@ impl StorageScanExec {
         let end_page = table.page_count();
         StorageScanExec {
             table,
+            pages: None,
             next_page: 0,
             end_page,
             pending: VecDeque::new(),
@@ -47,6 +53,26 @@ impl StorageScanExec {
         let end_page = end.min(table.page_count());
         StorageScanExec {
             table,
+            pages: None,
+            next_page: start.min(end_page),
+            end_page,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Scan positions `start..end` (clamped) of an explicit page list —
+    /// one morsel of a pruned scan, where `pages` is the surviving page
+    /// set resolved by a zone-map sweep or an interval-index probe.
+    pub fn with_page_list(
+        table: Arc<StoredTable>,
+        pages: Arc<Vec<u32>>,
+        start: u32,
+        end: u32,
+    ) -> Self {
+        let end_page = end.min(pages.len() as u32);
+        StorageScanExec {
+            table,
+            pages: Some(pages),
             next_page: start.min(end_page),
             end_page,
             pending: VecDeque::new(),
@@ -54,11 +80,16 @@ impl StorageScanExec {
     }
 
     /// Decode pages until `pending` holds at least `want` rows or the
-    /// morsel's page range is exhausted.
-    fn refill(&mut self, want: usize) -> EngineResult<()> {
+    /// morsel's page set is exhausted.
+    fn refill(&mut self, want: usize, state: &ExecutionState) -> EngineResult<()> {
         while self.pending.len() < want && self.next_page < self.end_page {
-            let rows = self.table.decode_page(self.next_page)?;
+            let page_no = match &self.pages {
+                Some(list) => list[self.next_page as usize],
+                None => self.next_page,
+            };
+            let rows = self.table.decode_page(page_no)?;
             self.next_page += 1;
+            state.note_page_read();
             self.pending.extend(rows);
         }
         Ok(())
@@ -70,15 +101,15 @@ impl ExecNode for StorageScanExec {
         self.table.schema()
     }
 
-    fn next(&mut self, _state: &ExecutionState) -> EngineResult<Option<Row>> {
+    fn next(&mut self, state: &ExecutionState) -> EngineResult<Option<Row>> {
         if self.pending.is_empty() {
-            self.refill(1)?;
+            self.refill(1, state)?;
         }
         Ok(self.pending.pop_front())
     }
 
-    fn next_batch(&mut self, _state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
-        self.refill(BATCH_SIZE)?;
+    fn next_batch(&mut self, state: &ExecutionState) -> EngineResult<Option<RowBatch>> {
+        self.refill(BATCH_SIZE, state)?;
         if self.pending.is_empty() {
             return Ok(None);
         }
@@ -145,6 +176,42 @@ mod tests {
         let state = ExecutionState::default();
         assert!(scan.next_batch(&state).unwrap().is_none());
         assert!(scan.next(&state).unwrap().is_none());
+    }
+
+    #[test]
+    fn page_list_scan_reads_only_listed_pages() {
+        let t = stored("pagelist.heap", 4000, 4);
+        let pages = t.page_count();
+        assert!(pages >= 4);
+        let list: Arc<Vec<u32>> = Arc::new((0..pages).step_by(2).collect());
+        let state = ExecutionState::default();
+        let out = collect(
+            Box::new(StorageScanExec::with_page_list(
+                t.clone(),
+                list.clone(),
+                0,
+                list.len() as u32,
+            )) as BoxedExec,
+            &state,
+        )
+        .unwrap();
+        assert_eq!(state.stats.pages().0, list.len() as u64);
+        let whole = collect(
+            Box::new(StorageScanExec::new(t)) as BoxedExec,
+            &ExecutionState::default(),
+        )
+        .unwrap();
+        assert!(!out.is_empty() && out.len() < whole.len());
+        // Rows on even pages only, in page order.
+        let ids: Vec<i64> = out
+            .rows()
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

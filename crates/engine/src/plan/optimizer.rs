@@ -13,10 +13,11 @@ use std::sync::Arc;
 use crate::catalog::Catalog;
 use crate::error::{EngineError, EngineResult};
 use crate::exec::ExecutionState;
-use crate::expr::{col, detect_overlap_pattern, fold, split_join_condition, Expr, SortKey};
+use crate::expr::{col, detect_overlap_pattern, fold, split_join_condition, CmpOp, Expr, SortKey};
 use crate::plan::cost::{CostModel, DISABLE_COST};
 use crate::plan::{JoinType, LogicalPlan, PhysicalPlan};
 use crate::relation::Relation;
+use crate::storage::ZoneBounds;
 use crate::value::Value;
 
 /// Planner switches and cost constants (PostgreSQL GUC equivalents).
@@ -44,6 +45,18 @@ pub struct PlannerConfig {
     /// applied before costing. On by default; switchable so benchmarks can
     /// isolate the effect of cross-operator optimization.
     pub enable_rewrites: bool,
+    /// Zone-map scan pruning: storage scans under a filter with temporal
+    /// (or first-key-column) range conjuncts skip pages whose header
+    /// min/max synopsis cannot match. On by default; the
+    /// `TEMPORAL_ZONEMAPS` environment variable (0/false/off) flips the
+    /// default, mirroring `TEMPORAL_THREADS` (how CI runs the fallback
+    /// suite).
+    pub enable_zonemaps: bool,
+    /// Interval-index access path: `AS OF` timeslices (and any filter with
+    /// `ts <=` / `te >` bounds) may probe the table's persistent interval
+    /// index instead of sweeping zone maps, when the cost model prefers it.
+    /// On by default; `TEMPORAL_INTERVAL_INDEX` flips the default.
+    pub enable_interval_index: bool,
     /// Worker threads for parallel execution (the `threads` GUC). 1 =
     /// serial. The default comes from the `TEMPORAL_THREADS` environment
     /// variable when set (how CI runs the whole suite at `threads = 4`),
@@ -68,6 +81,27 @@ fn default_threads() -> usize {
     })
 }
 
+/// An on-by-default boolean env override: only `0`, `false` or `off`
+/// (case-insensitive) disable the feature.
+fn env_flag(var: &str) -> bool {
+    !matches!(
+        std::env::var(var).map(|v| v.trim().to_ascii_lowercase()),
+        Ok(ref v) if v == "0" || v == "false" || v == "off"
+    )
+}
+
+/// Default zone-map pruning state (`TEMPORAL_ZONEMAPS`, default on).
+fn default_zonemaps() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| env_flag("TEMPORAL_ZONEMAPS"))
+}
+
+/// Default interval-index state (`TEMPORAL_INTERVAL_INDEX`, default on).
+fn default_interval_index() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| env_flag("TEMPORAL_INTERVAL_INDEX"))
+}
+
 /// Default parallel threshold (rows).
 pub const DEFAULT_PARALLEL_MIN_ROWS: usize = 256;
 
@@ -80,6 +114,8 @@ impl Default for PlannerConfig {
             enable_intervaljoin: false,
             enable_intervaljoin_auto: true,
             enable_rewrites: true,
+            enable_zonemaps: default_zonemaps(),
+            enable_interval_index: default_interval_index(),
             threads: default_threads(),
             parallel_min_rows: DEFAULT_PARALLEL_MIN_ROWS,
             cost_model: CostModel::default(),
@@ -132,6 +168,8 @@ impl PlannerConfig {
             "enable_intervaljoin" => self.enable_intervaljoin = value,
             "enable_intervaljoin_auto" => self.enable_intervaljoin_auto = value,
             "enable_rewrites" => self.enable_rewrites = value,
+            "enable_zonemaps" => self.enable_zonemaps = value,
+            "enable_interval_index" => self.enable_interval_index = value,
             other => {
                 return Err(EngineError::Unsupported(format!(
                     "unknown planner setting '{other}'"
@@ -210,6 +248,7 @@ impl Planner {
                     crate::catalog::TableSource::Stored(table) => PhysicalPlan::StorageScan {
                         table,
                         label: name.clone(),
+                        bounds: None,
                     },
                 }
             }
@@ -217,10 +256,20 @@ impl Planner {
                 rel: rel.clone(),
                 label: "inline".to_string(),
             },
-            LogicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
-                input: Box::new(self.plan_inner(input, catalog, memo)?),
-                predicate: fold(predicate),
-            },
+            LogicalPlan::Filter { input, predicate } => {
+                let planned = self.plan_inner(input, catalog, memo)?;
+                let predicate = fold(predicate);
+                // Filter-over-storage-scan is the access-path hook: the
+                // pushdown rewrite has already sunk predicates to their
+                // scans, so temporal range conjuncts recognized here can
+                // prune pages. The filter always stays on top — pruning
+                // only ever skips pages that cannot contain a match.
+                let planned = self.choose_access_path(planned, &predicate);
+                PhysicalPlan::Filter {
+                    input: Box::new(planned),
+                    predicate,
+                }
+            }
             LogicalPlan::Project {
                 input,
                 exprs,
@@ -290,6 +339,71 @@ impl Planner {
                 planned
             }
         })
+    }
+
+    /// Cost-based access-path selection for a storage scan under a filter.
+    /// When the (folded, pushed-down) predicate carries range conjuncts
+    /// over the table's temporal columns (or its first key column), three
+    /// candidates compete: the full scan, a zone-map pruned scan, and an
+    /// interval-index probe. The chosen path only narrows the *page set*;
+    /// the caller keeps the full filter on top, so an over-approximate
+    /// page set can never change results.
+    fn choose_access_path(&self, input: PhysicalPlan, predicate: &Expr) -> PhysicalPlan {
+        if !self.config.enable_zonemaps && !self.config.enable_interval_index {
+            return input;
+        }
+        let PhysicalPlan::StorageScan {
+            table,
+            label,
+            bounds: None,
+        } = &input
+        else {
+            return input;
+        };
+        let Some((tsi, tei)) = table.temporal_cols() else {
+            return input;
+        };
+        let bounds = extract_zone_bounds(predicate, tsi, tei, table.key_col());
+        if bounds.is_empty() {
+            return input;
+        }
+        let model = &self.config.cost_model;
+        let rows = table.row_count() as f64;
+        let pages = (table.page_count() as f64).max(1.0);
+        let sel = 0.33f64.powi(bounds.bound_count() as i32);
+        let mut best_cost = model.full_scan_cost(rows, pages);
+        let mut best = None;
+        if self.config.enable_zonemaps {
+            let cost = model.zone_scan_cost(rows, pages, sel);
+            if cost < best_cost {
+                best_cost = cost;
+                best = Some(false);
+            }
+        }
+        // The index serves probes with an upper start / lower end bound;
+        // ties go to the index (it touches index pages, not every header).
+        if self.config.enable_interval_index && (bounds.ts_le.is_some() || bounds.te_gt.is_some()) {
+            if let Some(index) = table.index() {
+                let levels = index.levels().unwrap_or(1) as f64;
+                let cost = model.index_scan_cost(rows, pages, levels, sel);
+                if cost <= best_cost {
+                    best = Some(true);
+                }
+            }
+        }
+        match best {
+            None => input,
+            Some(false) => PhysicalPlan::StorageScan {
+                table: table.clone(),
+                label: label.clone(),
+                bounds: Some(bounds),
+            },
+            Some(true) => PhysicalPlan::IndexScan {
+                table: table.clone(),
+                label: label.clone(),
+                bounds,
+            },
+        }
     }
 
     /// Plan and execute in one step: one [`ExecutionState`] is created
@@ -405,6 +519,105 @@ impl Planner {
             .min_by(|a, b| a.0.total_cmp(&b.0))
             .expect("at least the nested-loop candidate exists");
         Ok(best.1)
+    }
+}
+
+/// Extract page-pruning [`ZoneBounds`] from the range conjuncts of a
+/// (folded) predicate: comparisons between the table's temporal columns
+/// (`ts_col`, `te_col`) or its zone key column and integer literals, plus
+/// non-negated `BETWEEN`. Conjuncts that don't fit contribute nothing —
+/// the bounds are an over-approximation of the predicate by construction,
+/// and the caller re-applies the full predicate above the pruned scan.
+pub fn extract_zone_bounds(
+    predicate: &Expr,
+    ts_col: usize,
+    te_col: usize,
+    key_col: Option<usize>,
+) -> ZoneBounds {
+    let mut bounds = ZoneBounds::default();
+    for conj in predicate.conjuncts() {
+        match conj {
+            Expr::Cmp(op, l, r) => {
+                let (c, op, v) = match (l.as_ref(), r.as_ref()) {
+                    (Expr::Col(c), Expr::Lit(Value::Int(v))) => (*c, *op, *v),
+                    (Expr::Lit(Value::Int(v)), Expr::Col(c)) => (*c, op.swapped(), *v),
+                    _ => continue,
+                };
+                apply_bound(&mut bounds, c, op, v, ts_col, te_col, key_col);
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => {
+                if let (Expr::Col(c), Expr::Lit(Value::Int(lo)), Expr::Lit(Value::Int(hi))) =
+                    (expr.as_ref(), low.as_ref(), high.as_ref())
+                {
+                    apply_bound(&mut bounds, *c, CmpOp::Ge, *lo, ts_col, te_col, key_col);
+                    apply_bound(&mut bounds, *c, CmpOp::Le, *hi, ts_col, te_col, key_col);
+                }
+            }
+            _ => {}
+        }
+    }
+    bounds
+}
+
+/// Fold one `col op literal` conjunct into `bounds`, tightening any bound
+/// already present. Strict comparisons shift by one (integer domain), with
+/// saturation at the i64 edges keeping the bound conservative.
+fn apply_bound(
+    bounds: &mut ZoneBounds,
+    c: usize,
+    op: CmpOp,
+    v: i64,
+    ts_col: usize,
+    te_col: usize,
+    key_col: Option<usize>,
+) {
+    fn tighten_min(slot: &mut Option<i64>, v: i64) {
+        *slot = Some(slot.map_or(v, |s| s.min(v)));
+    }
+    fn tighten_max(slot: &mut Option<i64>, v: i64) {
+        *slot = Some(slot.map_or(v, |s| s.max(v)));
+    }
+    if c == ts_col {
+        match op {
+            CmpOp::Le => tighten_min(&mut bounds.ts_le, v),
+            CmpOp::Lt => tighten_min(&mut bounds.ts_le, v.saturating_sub(1)),
+            CmpOp::Ge => tighten_max(&mut bounds.ts_ge, v),
+            CmpOp::Gt => tighten_max(&mut bounds.ts_ge, v.saturating_add(1)),
+            CmpOp::Eq => {
+                tighten_min(&mut bounds.ts_le, v);
+                tighten_max(&mut bounds.ts_ge, v);
+            }
+            CmpOp::Ne => {}
+        }
+    } else if c == te_col {
+        match op {
+            CmpOp::Gt => tighten_max(&mut bounds.te_gt, v),
+            CmpOp::Ge => tighten_max(&mut bounds.te_gt, v.saturating_sub(1)),
+            CmpOp::Lt => tighten_min(&mut bounds.te_lt, v),
+            CmpOp::Le => tighten_min(&mut bounds.te_lt, v.saturating_add(1)),
+            CmpOp::Eq => {
+                tighten_max(&mut bounds.te_gt, v.saturating_sub(1));
+                tighten_min(&mut bounds.te_lt, v.saturating_add(1));
+            }
+            CmpOp::Ne => {}
+        }
+    } else if Some(c) == key_col {
+        match op {
+            CmpOp::Le => tighten_min(&mut bounds.key_le, v),
+            CmpOp::Lt => tighten_min(&mut bounds.key_le, v.saturating_sub(1)),
+            CmpOp::Ge => tighten_max(&mut bounds.key_ge, v),
+            CmpOp::Gt => tighten_max(&mut bounds.key_ge, v.saturating_add(1)),
+            CmpOp::Eq => {
+                tighten_min(&mut bounds.key_le, v);
+                tighten_max(&mut bounds.key_ge, v);
+            }
+            CmpOp::Ne => {}
+        }
     }
 }
 

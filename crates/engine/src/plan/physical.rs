@@ -15,7 +15,11 @@ use crate::plan::logical::ExtensionNode;
 use crate::plan::{JoinType, PlannerConfig, SetOpKind};
 use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::storage::StoredTable;
+use crate::storage::{StoredTable, ZoneBounds};
+
+/// A pruned-scan resolution: the stored table plus the sorted list of
+/// heap pages that survived zone-map / interval-index pruning.
+type PrunedScan = (Arc<StoredTable>, Arc<Vec<u32>>);
 
 /// A physical (executable) plan.
 #[derive(Debug, Clone)]
@@ -26,9 +30,24 @@ pub enum PhysicalPlan {
     },
     /// Streaming scan over a heap-file table: pages decode into batches
     /// through the table's buffer pool, never materializing the heap.
+    /// With `bounds` set, page zone maps prune pages whose min/max
+    /// summaries cannot satisfy the bounds — header-only checks, no row
+    /// decoding; the planner keeps the originating filter on top, so the
+    /// over-approximate page set never changes results.
     StorageScan {
         table: Arc<StoredTable>,
         label: String,
+        bounds: Option<ZoneBounds>,
+    },
+    /// Probe the table's persistent interval index (a B+tree on
+    /// valid-start with max-valid-end augmentation) for the page set that
+    /// can overlap the bounds, then scan only those pages. Degrades to a
+    /// zone-map sweep or a full scan when the index or the GUCs are
+    /// unavailable at execution time — never errors on a missing index.
+    IndexScan {
+        table: Arc<StoredTable>,
+        label: String,
+        bounds: ZoneBounds,
     },
     Filter {
         input: Box<PhysicalPlan>,
@@ -102,7 +121,9 @@ impl PhysicalPlan {
     pub fn schema(&self) -> Schema {
         match self {
             PhysicalPlan::SeqScan { rel, .. } => rel.schema().clone(),
-            PhysicalPlan::StorageScan { table, .. } => table.schema().clone(),
+            PhysicalPlan::StorageScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
+                table.schema().clone()
+            }
             PhysicalPlan::Filter { input, .. } => input.schema(),
             PhysicalPlan::Project { schema, .. } => schema.clone(),
             PhysicalPlan::Sort { input, .. } => input.schema(),
@@ -145,7 +166,9 @@ impl PhysicalPlan {
     /// traversal below goes through it.
     pub fn children(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::SeqScan { .. } | PhysicalPlan::StorageScan { .. } => vec![],
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::StorageScan { .. }
+            | PhysicalPlan::IndexScan { .. } => vec![],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Sort { input, .. }
@@ -198,15 +221,87 @@ impl PhysicalPlan {
         if !state.parallel(rows) {
             return Ok(None);
         }
+        // Resolve page pruning at the pipeline's leaf first, so partitions
+        // are formed over the *surviving* page set — pruning and
+        // parallelism compose instead of fighting over the range layout.
+        let pruned = self.pipeline_pruning(state)?;
+        let units = pruned.as_ref().map_or(units, |(_, pages)| pages.len());
         let ranges = crate::exec::workers::split_ranges(units, state.threads());
         if ranges.len() <= 1 {
+            // Too little left to split: fall back to the serial build,
+            // which re-resolves the page set and accounts the skips.
             return Ok(None);
         }
         let parts = ranges
             .iter()
-            .map(|&(a, b)| self.build_ranged(a, b))
+            .map(|&(a, b)| self.build_ranged(a, b, pruned.as_ref()))
             .collect::<EngineResult<Vec<_>>>()?;
+        if let Some((table, pages)) = &pruned {
+            state.note_pages_skipped(
+                u64::from(table.page_count()).saturating_sub(pages.len() as u64),
+            );
+        }
         Ok(Some(Box::new(ExchangeExec::new(self.schema(), parts))))
+    }
+
+    /// Resolve the pruned page set at the leaf of a scan pipeline, if the
+    /// leaf is a pruning scan and the GUC snapshot keeps pruning on.
+    fn pipeline_pruning(&self, state: &ExecutionState) -> EngineResult<Option<PrunedScan>> {
+        match self {
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+                input.pipeline_pruning(state)
+            }
+            leaf => leaf.resolve_scan_pages(state),
+        }
+    }
+
+    /// The page set this scan should read, resolved against the table's
+    /// zone maps and interval index under the execution-time GUC snapshot.
+    /// `None` means "read everything" — either the node carries no bounds
+    /// or every pruning structure is disabled/absent. The result is
+    /// conservative: pages are only dropped when their zone or index
+    /// evidence proves no row can match.
+    fn resolve_scan_pages(&self, state: &ExecutionState) -> EngineResult<Option<PrunedScan>> {
+        Ok(match self {
+            PhysicalPlan::StorageScan {
+                table,
+                bounds: Some(bounds),
+                ..
+            } if state.config().enable_zonemaps => {
+                let pages = table.zone_surviving_pages(bounds)?;
+                Some((table.clone(), Arc::new(pages)))
+            }
+            PhysicalPlan::IndexScan { table, bounds, .. } => {
+                let config = state.config();
+                if config.enable_interval_index {
+                    if let Some(index) = table.index() {
+                        let mut pages = index
+                            .probe(bounds.ts_le, bounds.te_gt)
+                            .map_err(crate::error::EngineError::from)?;
+                        if config.enable_zonemaps {
+                            // Zone re-check: the index only knows ts/te, the
+                            // zones also carry key bounds and lower ts bounds.
+                            let mut kept = Vec::with_capacity(pages.len());
+                            for page in pages {
+                                if table.zone_of(page)?.may_match(bounds) {
+                                    kept.push(page);
+                                }
+                            }
+                            pages = kept;
+                        }
+                        return Ok(Some((table.clone(), Arc::new(pages))));
+                    }
+                }
+                // Index missing or disabled: degrade to a zone sweep, or a
+                // full scan when zone maps are off too.
+                if config.enable_zonemaps {
+                    Some((table.clone(), Arc::new(table.zone_surviving_pages(bounds)?)))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        })
     }
 
     /// Partition units of a scan pipeline: rows for an in-memory scan,
@@ -215,7 +310,9 @@ impl PhysicalPlan {
     fn pipeline_units(&self) -> Option<usize> {
         match self {
             PhysicalPlan::SeqScan { rel, .. } => Some(rel.len()),
-            PhysicalPlan::StorageScan { table, .. } => Some(table.page_count() as usize),
+            PhysicalPlan::StorageScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
+                Some(table.page_count() as usize)
+            }
             PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
                 input.pipeline_units()
             }
@@ -228,7 +325,9 @@ impl PhysicalPlan {
     fn pipeline_rows(&self) -> Option<usize> {
         match self {
             PhysicalPlan::SeqScan { rel, .. } => Some(rel.len()),
-            PhysicalPlan::StorageScan { table, .. } => Some(table.row_count() as usize),
+            PhysicalPlan::StorageScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
+                Some(table.row_count() as usize)
+            }
             PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
                 input.pipeline_rows()
             }
@@ -238,19 +337,36 @@ impl PhysicalPlan {
 
     /// Build one ranged partition of a scan pipeline: the leaf scan is
     /// restricted to `[start, end)` partition units, the filter/project
-    /// chain above it is rebuilt per partition.
-    fn build_ranged(&self, start: usize, end: usize) -> EngineResult<BoxedExec> {
+    /// chain above it is rebuilt per partition. With `pruned` set, the
+    /// units index into the surviving page list rather than the raw page
+    /// range.
+    fn build_ranged(
+        &self,
+        start: usize,
+        end: usize,
+        pruned: Option<&PrunedScan>,
+    ) -> EngineResult<BoxedExec> {
         Ok(match self {
             PhysicalPlan::SeqScan { rel, .. } => {
                 Box::new(SeqScanExec::with_range(rel.clone(), start, end))
             }
-            PhysicalPlan::StorageScan { table, .. } => Box::new(StorageScanExec::with_page_range(
-                table.clone(),
-                start as u32,
-                end as u32,
-            )),
+            PhysicalPlan::StorageScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
+                match pruned {
+                    Some((_, pages)) => Box::new(StorageScanExec::with_page_list(
+                        table.clone(),
+                        pages.clone(),
+                        start as u32,
+                        end as u32,
+                    )),
+                    None => Box::new(StorageScanExec::with_page_range(
+                        table.clone(),
+                        start as u32,
+                        end as u32,
+                    )),
+                }
+            }
             PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec::new(
-                input.build_ranged(start, end)?,
+                input.build_ranged(start, end, pruned)?,
                 predicate.clone(),
             )),
             PhysicalPlan::Project {
@@ -258,7 +374,7 @@ impl PhysicalPlan {
                 exprs,
                 schema,
             } => Box::new(ProjectExec::new(
-                input.build_ranged(start, end)?,
+                input.build_ranged(start, end, pruned)?,
                 exprs.clone(),
                 schema.clone(),
             )),
@@ -269,8 +385,19 @@ impl PhysicalPlan {
     fn build_exec_tree(&self, state: &ExecutionState) -> EngineResult<BoxedExec> {
         Ok(match self {
             PhysicalPlan::SeqScan { rel, .. } => Box::new(SeqScanExec::new(rel.clone())),
-            PhysicalPlan::StorageScan { table, .. } => {
-                Box::new(StorageScanExec::new(table.clone()))
+            PhysicalPlan::StorageScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
+                match self.resolve_scan_pages(state)? {
+                    Some((table, pages)) => {
+                        // The single serial accounting site for page skips;
+                        // the parallel path accounts in `build_parallel`.
+                        state.note_pages_skipped(
+                            u64::from(table.page_count()).saturating_sub(pages.len() as u64),
+                        );
+                        let n = pages.len() as u32;
+                        Box::new(StorageScanExec::with_page_list(table, pages, 0, n))
+                    }
+                    None => Box::new(StorageScanExec::new(table.clone())),
+                }
             }
             PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec::new(
                 input.build_subtree(state)?,
@@ -391,7 +518,21 @@ impl PhysicalPlan {
     pub fn stats(&self, model: &CostModel) -> PlanStats {
         match self {
             PhysicalPlan::SeqScan { rel, .. } => model.scan(rel.len() as f64),
+            // StorageScan keeps the page-blind estimate even when bounds
+            // are attached: pruning narrows pages read, not rows emitted
+            // (the filter above does the row-level work), and the legacy
+            // shape is pinned by golden EXPLAIN output.
             PhysicalPlan::StorageScan { table, .. } => model.scan(table.row_count() as f64),
+            PhysicalPlan::IndexScan { table, bounds, .. } => {
+                let rows = table.row_count() as f64;
+                let pages = (table.page_count() as f64).max(1.0);
+                let sel = 0.33f64.powi(bounds.bound_count() as i32);
+                let levels = table.index().and_then(|i| i.levels().ok()).unwrap_or(1) as f64;
+                PlanStats::new(
+                    (rows * sel).max(1.0),
+                    model.index_scan_cost(rows, pages, levels, sel),
+                )
+            }
             PhysicalPlan::Filter { input, predicate } => {
                 model.filter(input.stats(model), predicate)
             }
@@ -543,9 +684,28 @@ impl PhysicalPlan {
             PhysicalPlan::SeqScan { rel, label } => {
                 out.push_str(&head(format!("SeqScan on {label} [{} rows]", rel.len())));
             }
-            PhysicalPlan::StorageScan { table, label } => {
+            PhysicalPlan::StorageScan {
+                table,
+                label,
+                bounds,
+            } => {
+                let zone = match bounds {
+                    Some(b) => format!(" using zonemap ({b})"),
+                    None => String::new(),
+                };
                 out.push_str(&head(format!(
-                    "StorageScan on {label} [{} pages, {} rows]",
+                    "StorageScan on {label}{zone} [{} pages, {} rows]",
+                    table.page_count(),
+                    table.row_count()
+                )));
+            }
+            PhysicalPlan::IndexScan {
+                table,
+                label,
+                bounds,
+            } => {
+                out.push_str(&head(format!(
+                    "IndexScan on {label} using interval index ({bounds}) [{} pages, {} rows]",
                     table.page_count(),
                     table.row_count()
                 )));

@@ -11,9 +11,9 @@
 
 use std::hash::Hasher;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use temporal_store::{Page, TableHeap};
+use temporal_store::{IndexEntry, Page, PageId, TableHeap};
 
 use crate::error::{EngineError, EngineResult};
 use crate::hashing::FxHasher;
@@ -25,7 +25,33 @@ use crate::value::Value;
 /// File extension of heap files inside a database directory.
 pub const HEAP_EXT: &str = "heap";
 
-pub use temporal_store::{Manifest, TableMeta, DEFAULT_POOL_PAGES as DEFAULT_BUFFER_POOL_PAGES};
+/// File extension of interval-index files inside a database directory.
+pub const INDEX_EXT: &str = "tidx";
+
+pub use temporal_store::{
+    IntervalIndex, Manifest, PageZone, TableMeta, ZoneBounds,
+    DEFAULT_POOL_PAGES as DEFAULT_BUFFER_POOL_PAGES,
+};
+
+/// The `(ts, te)` column positions when `schema` has the temporal shape —
+/// at least two columns with the trailing pair both `Int` (the workspace
+/// convention for valid-time `[ts, te)` attributes).
+pub fn temporal_cols(schema: &Schema) -> Option<(usize, usize)> {
+    let n = schema.len();
+    let cols = schema.cols();
+    if n >= 2 && cols[n - 2].dtype == DataType::Int && cols[n - 1].dtype == DataType::Int {
+        Some((n - 2, n - 1))
+    } else {
+        None
+    }
+}
+
+/// The zone-map key column: the first column, when it is `Int` and not
+/// itself one of the temporal columns.
+fn zone_key_col(schema: &Schema) -> Option<usize> {
+    let (ts, _) = temporal_cols(schema)?;
+    (ts > 0 && schema.cols()[0].dtype == DataType::Int).then_some(0)
+}
 
 // ---- schema codec --------------------------------------------------------
 
@@ -170,6 +196,12 @@ pub struct StoredTable {
     schema: Schema,
     path: PathBuf,
     heap: TableHeap,
+    /// `(ts, te)` positions when the schema has the temporal shape.
+    temporal: Option<(usize, usize)>,
+    /// First column, when it participates in the zone-map key bounds.
+    key_col: Option<usize>,
+    /// Persistent interval index over `(ts, te)`, when one is attached.
+    index: Mutex<Option<Arc<IntervalIndex>>>,
 }
 
 impl StoredTable {
@@ -195,12 +227,21 @@ impl StoredTable {
         }
         let path = path.as_ref().to_path_buf();
         let heap = TableHeap::create(&path, schema_fingerprint(&schema), pool_pages)?;
-        Ok(StoredTable {
-            name: name.into(),
+        Ok(StoredTable::assemble(name.into(), schema, path, heap))
+    }
+
+    fn assemble(name: String, schema: Schema, path: PathBuf, heap: TableHeap) -> StoredTable {
+        let temporal = temporal_cols(&schema);
+        let key_col = zone_key_col(&schema);
+        StoredTable {
+            name,
             schema,
             path,
             heap,
-        })
+            temporal,
+            key_col,
+            index: Mutex::new(None),
+        }
     }
 
     /// Open an existing heap file, validating every page against the
@@ -214,12 +255,7 @@ impl StoredTable {
         let schema = schema.without_qualifiers();
         let path = path.as_ref().to_path_buf();
         let heap = TableHeap::open(&path, schema_fingerprint(&schema), pool_pages)?;
-        Ok(StoredTable {
-            name: name.into(),
-            schema,
-            path,
-            heap,
-        })
+        Ok(StoredTable::assemble(name.into(), schema, path, heap))
     }
 
     /// Open an existing heap file without the eager whole-file validation
@@ -238,12 +274,7 @@ impl StoredTable {
         let path = path.as_ref().to_path_buf();
         let heap =
             TableHeap::open_with_count(&path, schema_fingerprint(&schema), pool_pages, rows)?;
-        Ok(StoredTable {
-            name: name.into(),
-            schema,
-            path,
-            heap,
-        })
+        Ok(StoredTable::assemble(name.into(), schema, path, heap))
     }
 
     /// Table name.
@@ -281,8 +312,20 @@ impl StoredTable {
         self.heap.pool().capacity()
     }
 
-    /// Append one row (arity-checked against the table schema).
-    pub fn append_row(&self, row: &Row) -> EngineResult<()> {
+    /// Append one row (arity-checked against the table schema), stamping
+    /// the page's zone map and maintaining the interval index when one is
+    /// attached. Returns the heap page the row landed on.
+    pub fn append_row(&self, row: &Row) -> EngineResult<PageId> {
+        let (page, entry) = self.append_row_inner(row)?;
+        if let (Some(entry), Some(index)) = (entry, self.index()) {
+            index.append(&[entry])?;
+        }
+        Ok(page)
+    }
+
+    /// Append + zone-stamp one row; the index entry (if any) is returned
+    /// to the caller instead of applied, so bulk paths can batch.
+    fn append_row_inner(&self, row: &Row) -> EngineResult<(PageId, Option<IndexEntry>)> {
         if row.len() != self.schema.len() {
             return Err(EngineError::SchemaMismatch(format!(
                 "row has {} values, stored table '{}' has {} columns",
@@ -293,16 +336,89 @@ impl StoredTable {
         }
         let mut buf = Vec::with_capacity(64);
         encode_row(row, &mut buf);
-        self.heap.append(&buf)?;
+        let values = row.values();
+        // Rows with NULL (or non-Int) temporal attributes poison the
+        // page's zone map and are left out of the index: the canonical
+        // temporal range conjuncts evaluate to false on them, so neither
+        // pruning layer can lose such a row.
+        let interval = self
+            .temporal
+            .and_then(|(tsi, tei)| match (&values[tsi], &values[tei]) {
+                (Value::Int(ts), Value::Int(te)) => Some((*ts, *te)),
+                _ => None,
+            });
+        let page = match interval {
+            Some((ts, te)) => {
+                let key = self.key_col.and_then(|k| match &values[k] {
+                    Value::Int(v) => Some(*v),
+                    _ => None,
+                });
+                self.heap.append_with_zone(&buf, ts, te, key)?
+            }
+            None => self.heap.append(&buf)?,
+        };
+        Ok((page, interval.map(|(ts, te)| (ts, te, page))))
+    }
+
+    /// Append many rows, batching the interval-index maintenance.
+    pub fn append_rows<'r>(&self, rows: impl IntoIterator<Item = &'r Row>) -> EngineResult<()> {
+        let mut entries = Vec::new();
+        for r in rows {
+            let (_, entry) = self.append_row_inner(r)?;
+            entries.extend(entry);
+        }
+        if !entries.is_empty() {
+            if let Some(index) = self.index() {
+                index.append(&entries)?;
+            }
+        }
         Ok(())
     }
 
-    /// Append many rows.
-    pub fn append_rows<'r>(&self, rows: impl IntoIterator<Item = &'r Row>) -> EngineResult<()> {
-        for r in rows {
-            self.append_row(r)?;
+    /// Header-only zone map of heap page `page_no`.
+    pub fn zone_of(&self, page_no: u32) -> EngineResult<PageZone> {
+        self.heap.zone_of(page_no).map_err(EngineError::from)
+    }
+
+    /// The heap pages whose zone maps may satisfy `bounds`, in order.
+    /// Pages with poisoned (unknown) zones always survive.
+    pub fn zone_surviving_pages(&self, bounds: &ZoneBounds) -> EngineResult<Vec<PageId>> {
+        let mut pages = Vec::new();
+        for page_no in 0..self.page_count() {
+            if self.zone_of(page_no)?.may_match(bounds) {
+                pages.push(page_no);
+            }
         }
-        Ok(())
+        Ok(pages)
+    }
+
+    /// `(ts, te)` column positions when the schema has the temporal shape.
+    pub fn temporal_cols(&self) -> Option<(usize, usize)> {
+        self.temporal
+    }
+
+    /// The zone-map key column position, if one participates.
+    pub fn key_col(&self) -> Option<usize> {
+        self.key_col
+    }
+
+    /// The attached interval index, if any.
+    pub fn index(&self) -> Option<Arc<IntervalIndex>> {
+        self.index.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Attach an interval index to this table.
+    pub fn attach_index(&self, index: IntervalIndex) {
+        *self.index.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(index));
+    }
+
+    /// The index file name (for the manifest), when an index is attached.
+    pub fn index_file_name(&self) -> Option<String> {
+        self.index().and_then(|i| {
+            i.path()
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+        })
     }
 
     /// Decode all rows of page `page_no` (one pinned page; the pin is
@@ -341,9 +457,14 @@ impl StoredTable {
         Ok(rel)
     }
 
-    /// Write back dirty pages and sync the heap file.
+    /// Write back dirty pages and sync the heap file (and the interval
+    /// index, when one is attached).
     pub fn flush(&self) -> EngineResult<()> {
-        self.heap.flush().map_err(EngineError::from)
+        self.heap.flush()?;
+        if let Some(index) = self.index() {
+            index.flush()?;
+        }
+        Ok(())
     }
 
     /// Create a stored table at `dir/<name>.heap` and fill it with the
@@ -363,11 +484,16 @@ impl StoredTable {
             .map_err(|e| EngineError::Storage(format!("create {}: {e}", dir.display())))?;
         let path = heap_path(dir, name);
         let tmp = dir.join(format!(".{name}.{HEAP_EXT}.tmp"));
-        {
+        let entries = {
             let table = StoredTable::create(&tmp, name, rel.schema().clone(), pool_pages)?;
-            table.append_rows(rel.rows())?;
+            let mut entries = Vec::new();
+            for r in rel.rows() {
+                let (_, entry) = table.append_row_inner(r)?;
+                entries.extend(entry);
+            }
             table.flush()?;
-        }
+            entries
+        };
         std::fs::rename(&tmp, &path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             EngineError::Storage(format!(
@@ -376,19 +502,43 @@ impl StoredTable {
                 path.display()
             ))
         })?;
-        Ok(Arc::new(StoredTable::open_with_count(
+        let table = StoredTable::open_with_count(
             &path,
             name,
             rel.schema().clone(),
             pool_pages,
             rel.len() as u64,
-        )?))
+        )?;
+        // Temporal tables get a freshly bulk-loaded interval index (same
+        // temp-then-rename discipline; the heap stays valid without it).
+        if table.temporal_cols().is_some() {
+            let idx_path = index_path(dir, name);
+            let idx_tmp = dir.join(format!(".{name}.{INDEX_EXT}.tmp"));
+            let index = IntervalIndex::build(&idx_tmp, pool_pages, entries)?;
+            index.flush()?;
+            drop(index);
+            std::fs::rename(&idx_tmp, &idx_path).map_err(|e| {
+                let _ = std::fs::remove_file(&idx_tmp);
+                EngineError::Storage(format!(
+                    "rename {} → {}: {e}",
+                    idx_tmp.display(),
+                    idx_path.display()
+                ))
+            })?;
+            table.attach_index(IntervalIndex::open(&idx_path, pool_pages)?);
+        }
+        Ok(Arc::new(table))
     }
 }
 
 /// The heap file path of table `name` inside database directory `dir`.
 pub fn heap_path(dir: &Path, name: &str) -> PathBuf {
     dir.join(format!("{name}.{HEAP_EXT}"))
+}
+
+/// The interval-index file path of table `name` inside directory `dir`.
+pub fn index_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.{INDEX_EXT}"))
 }
 
 /// A table name becomes both a file name (`<name>.heap`) and a manifest

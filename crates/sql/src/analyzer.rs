@@ -166,23 +166,55 @@ impl<'a> Analyzer<'a> {
 
     // ---- FROM items ------------------------------------------------------
 
+    /// Lower `AS OF <expr>` to the canonical timeslice predicate
+    /// `ts <= v AND te > v` over the table's trailing `(ts, te)` columns —
+    /// the same range shape [`TemporalFrame::as_of`] produces, so both
+    /// surfaces hit the planner's access-path selection identically.
+    fn apply_as_of(
+        &self,
+        plan: LogicalPlan,
+        schema: &Schema,
+        as_of: &Option<AstExpr>,
+        name: &str,
+    ) -> SqlResult<LogicalPlan> {
+        let Some(ast) = as_of else {
+            return Ok(plan);
+        };
+        let n = schema.len();
+        let temporal = n >= 2
+            && schema.cols()[n - 2].dtype == DataType::Int
+            && schema.cols()[n - 1].dtype == DataType::Int;
+        if !temporal {
+            return Err(SqlError::Analyze(format!(
+                "AS OF requires a temporal table; '{name}' lacks trailing integer (ts, te) columns"
+            )));
+        }
+        let v = self.scalar(ast, schema)?;
+        let predicate = col(n - 2).le(v.clone()).and(col(n - 1).gt(v));
+        Ok(plan.filter(predicate))
+    }
+
     fn table_ref(&self, tr: &TableRef, ctes: &CteScope) -> SqlResult<(LogicalPlan, Schema)> {
         match tr {
-            TableRef::Named { name, alias } => {
+            TableRef::Named { name, alias, as_of } => {
                 let qualifier = alias.clone().unwrap_or_else(|| name.clone());
                 if let Some((plan, schema)) = ctes.get(name) {
                     let q = schema.with_qualifier(&qualifier);
-                    return Ok((requalify(plan.clone(), &q), q));
+                    let plan = self.apply_as_of(requalify(plan.clone(), &q), &q, as_of, name)?;
+                    return Ok((plan, q));
                 }
                 let schema = self
                     .catalog
                     .schema_of(name)
                     .map_err(|e| SqlError::Analyze(e.to_string()))?
                     .with_qualifier(&qualifier);
-                Ok((
+                let plan = self.apply_as_of(
                     LogicalPlan::table_scan(name.clone(), schema.clone()),
-                    schema,
-                ))
+                    &schema,
+                    as_of,
+                    name,
+                )?;
+                Ok((plan, schema))
             }
             TableRef::Subquery { query, alias } => {
                 let (plan, schema) = self.select(query, ctes)?;

@@ -152,6 +152,11 @@ pub enum TableRef {
     Named {
         name: String,
         alias: Option<String>,
+        /// `AS OF <expr>` timeslice: rows whose valid interval contains
+        /// the instant. Lowered to the canonical `ts <= v AND te > v`
+        /// range predicate, which the planner can serve from page zone
+        /// maps or the interval index.
+        as_of: Option<AstExpr>,
     },
     Subquery {
         query: Box<SelectStmt>,

@@ -428,8 +428,18 @@ impl Parser {
             return Ok(left);
         }
         let name = self.expect_ident()?;
+        // `t AS OF <expr>` — the OF lookahead keeps `t AS x` aliases working.
+        let as_of = if matches!(self.peek(), Token::Keyword(Kw::As))
+            && matches!(self.peek2(), Token::Keyword(Kw::Of))
+        {
+            self.eat_kw(Kw::As);
+            self.eat_kw(Kw::Of);
+            Some(self.add_expr()?)
+        } else {
+            None
+        };
         let alias = self.opt_alias();
-        Ok(TableRef::Named { name, alias })
+        Ok(TableRef::Named { name, alias, as_of })
     }
 
     fn opt_alias(&mut self) -> Option<String> {

@@ -13,6 +13,7 @@ pub enum Kw {
     Order,
     By,
     As,
+    Of,
     On,
     Join,
     Left,
@@ -66,6 +67,7 @@ impl Kw {
             "order" => Kw::Order,
             "by" => Kw::By,
             "as" => Kw::As,
+            "of" => Kw::Of,
             "on" => Kw::On,
             "join" => Kw::Join,
             "left" => Kw::Left,

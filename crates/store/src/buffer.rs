@@ -21,6 +21,11 @@ use crate::page::{Page, PageId};
 /// Default number of frames in a table's buffer pool (64 × 4 KiB = 256 KiB).
 pub const DEFAULT_POOL_PAGES: usize = 64;
 
+/// Yield-and-retry rounds before a fully-pinned pool is reported as
+/// exhausted. Concurrent fetches pin frames only for the duration of a
+/// guard, so "all frames pinned" is almost always a transient state.
+const EXHAUSTED_RETRIES: usize = 10_000;
+
 #[derive(Debug, Default, Clone, Copy)]
 struct FrameMeta {
     page: Option<PageId>,
@@ -116,12 +121,30 @@ impl BufferPool {
     /// disk read outside the mutex (see the type-level docs).
     pub fn fetch(&self, id: PageId) -> StoreResult<PageGuard<'_>> {
         let mut state = self.lock_state();
-        if let Some(&idx) = state.table.get(&id) {
-            self.pins[idx].fetch_add(1, Ordering::Acquire);
-            state.meta[idx].referenced = true;
-            return Ok(self.guard(idx));
-        }
-        let idx = self.claim_frame(&mut state)?;
+        let mut attempts = 0;
+        let idx = loop {
+            if let Some(&idx) = state.table.get(&id) {
+                self.pins[idx].fetch_add(1, Ordering::Acquire);
+                state.meta[idx].referenced = true;
+                return Ok(self.guard(idx));
+            }
+            // Every frame pinned is usually transient (concurrent fetches
+            // mid-flight): yield and retry before giving up, re-checking
+            // the table since the page may have landed meanwhile.
+            match self.claim_frame(&mut state) {
+                Ok(idx) => break idx,
+                Err(e @ StoreError::Capacity(_)) => {
+                    attempts += 1;
+                    if attempts > EXHAUSTED_RETRIES {
+                        return Err(e);
+                    }
+                    drop(state);
+                    std::thread::yield_now();
+                    state = self.lock_state();
+                }
+                Err(e) => return Err(e),
+            }
+        };
         // Latch the frame before releasing the map-guard, then read outside
         // the guard: other fetches proceed concurrently with the I/O.
         let mut frame = self.frames[idx].write().unwrap_or_else(|e| e.into_inner());
@@ -161,7 +184,22 @@ impl BufferPool {
     /// must be mapped atomically with its assignment.
     pub fn allocate(&self, page: Page) -> StoreResult<(PageId, PageGuard<'_>)> {
         let mut state = self.lock_state();
-        let idx = self.claim_frame(&mut state)?;
+        let mut attempts = 0;
+        let idx = loop {
+            match self.claim_frame(&mut state) {
+                Ok(idx) => break idx,
+                Err(e @ StoreError::Capacity(_)) => {
+                    attempts += 1;
+                    if attempts > EXHAUSTED_RETRIES {
+                        return Err(e);
+                    }
+                    drop(state);
+                    std::thread::yield_now();
+                    state = self.lock_state();
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let id = match self.disk.allocate_page(&page) {
             Ok(id) => id,
             Err(e) => {

@@ -1,5 +1,6 @@
 //! Append-only heap files: ordered pages of variable-length records.
 
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -7,7 +8,7 @@ use std::sync::Mutex;
 use crate::buffer::BufferPool;
 use crate::disk::DiskManager;
 use crate::error::{StoreError, StoreResult};
-use crate::page::{Page, PageId};
+use crate::page::{Page, PageId, PageZone};
 
 /// A table's heap file behind a [`BufferPool`]: records append to the last
 /// page (spilling into fresh pages) and scans visit pages in order, one
@@ -23,6 +24,10 @@ pub struct TableHeap {
     rows: AtomicU64,
     /// Append cursor: the page currently taking inserts.
     tail: Mutex<Option<PageId>>,
+    /// Zone maps of *frozen* pages (every page before the tail — the heap
+    /// is append-only, so those can never change again). Lets repeated
+    /// pruning passes skip pages without re-pinning them through the pool.
+    zone_cache: Mutex<HashMap<PageId, PageZone>>,
 }
 
 impl TableHeap {
@@ -43,6 +48,7 @@ impl TableHeap {
             fingerprint,
             rows: AtomicU64::new(0),
             tail: Mutex::new(None),
+            zone_cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -82,6 +88,7 @@ impl TableHeap {
             fingerprint,
             rows: AtomicU64::new(rows),
             tail: Mutex::new(pages.checked_sub(1)),
+            zone_cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -106,8 +113,35 @@ impl TableHeap {
     }
 
     /// Append one record, spilling into a fresh page when the tail page is
-    /// full.
-    pub fn append(&self, record: &[u8]) -> StoreResult<()> {
+    /// full. The record carries no zone information, so the tail page's
+    /// zone map is marked unknown. Returns the page that took the record.
+    pub fn append(&self, record: &[u8]) -> StoreResult<PageId> {
+        self.append_inner(record, None)
+    }
+
+    /// Append one record whose valid-time interval is `[ts, te)` (and
+    /// whose first key column, when integer, is `key`), widening the tail
+    /// page's zone map. Returns the page that took the record — the heap
+    /// position an interval index entry points at.
+    pub fn append_with_zone(
+        &self,
+        record: &[u8],
+        ts: i64,
+        te: i64,
+        key: Option<i64>,
+    ) -> StoreResult<PageId> {
+        self.append_inner(record, Some((ts, te, key)))
+    }
+
+    fn append_inner(
+        &self,
+        record: &[u8],
+        zone: Option<(i64, i64, Option<i64>)>,
+    ) -> StoreResult<PageId> {
+        let stamp = |page: &mut Page| match zone {
+            Some((ts, te, key)) => page.zone_add(ts, te, key),
+            None => page.zone_clear(),
+        };
         let mut tail = self.tail.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(id) = *tail {
             let guard = self.pool.fetch(id)?;
@@ -120,10 +154,13 @@ impl TableHeap {
                 page.fits(record.len())
             };
             if fits {
-                let inserted = guard.write().insert(record)?;
+                let mut page = guard.write();
+                let inserted = page.insert(record)?;
                 debug_assert!(inserted.is_some(), "free-space check guaranteed fit");
+                stamp(&mut page);
+                drop(page);
                 self.rows.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                return Ok(id);
             }
         }
         // Tail missing or full: start a new page.
@@ -134,10 +171,41 @@ impl TableHeap {
                 record.len()
             )));
         }
+        stamp(&mut page);
         let (id, _guard) = self.pool.allocate(page)?;
         *tail = Some(id);
         self.rows.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(id)
+    }
+
+    /// The zone map of page `id`, from the header alone — no record is
+    /// decoded. Frozen pages (everything before the append tail) are
+    /// cached, so a pruning pass over a previously-scanned heap touches
+    /// the pool only for pages it has never seen.
+    pub fn zone_of(&self, id: PageId) -> StoreResult<PageZone> {
+        if let Some(z) = self
+            .zone_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+        {
+            return Ok(*z);
+        }
+        // Only pages strictly before the tail are immutable; the decision
+        // is taken *before* reading, which is safe because a page that is
+        // frozen now can never be written again.
+        let frozen = {
+            let tail = self.tail.lock().unwrap_or_else(|e| e.into_inner());
+            tail.is_some_and(|t| id < t)
+        };
+        let zone = self.with_page(id, |page| Ok(page.zone()))?;
+        if frozen {
+            self.zone_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id, zone);
+        }
+        Ok(zone)
     }
 
     /// Run `f` over the pinned page `id` (validated). The pin is released
@@ -221,6 +289,55 @@ mod tests {
             TableHeap::open(&path, 2, 2),
             Err(StoreError::Corrupt(_))
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zone_maps_persist_and_zone_of_caches_frozen_pages() {
+        use crate::page::ZoneBounds;
+        let path = heap_path("zones.heap");
+        let heap = TableHeap::create(&path, 5, 2).unwrap();
+        let record = [3u8; 512];
+        for i in 0..40i64 {
+            heap.append_with_zone(&record, i, i + 10, Some(i % 4))
+                .unwrap();
+        }
+        heap.flush().unwrap();
+        let pages = heap.page_count();
+        assert!(pages > 1);
+        drop(heap);
+
+        let heap = TableHeap::open(&path, 5, 2).unwrap();
+        // Every page's zone is readable header-only and consistent with
+        // the appended intervals; rows i live on page i/7 (7 per page).
+        let z0 = heap.zone_of(0).unwrap();
+        assert!(z0.time_valid && z0.key_valid);
+        assert_eq!(z0.min_ts, 0);
+        assert_eq!(z0.max_te, 6 + 10);
+        assert!(z0.may_match(&ZoneBounds::as_of(3)));
+        let zl = heap.zone_of(pages - 1).unwrap();
+        assert!(!zl.may_match(&ZoneBounds::as_of(3)));
+        // Frozen pages come from the cache on the second read even after
+        // the pool evicted them (pool=2 < pages).
+        let io_before = heap.pool().io_reads();
+        for id in 0..pages {
+            heap.zone_of(id).unwrap();
+        }
+        let io_mid = heap.pool().io_reads();
+        for id in 0..pages - 1 {
+            heap.zone_of(id).unwrap();
+        }
+        assert_eq!(
+            heap.pool().io_reads(),
+            io_mid,
+            "frozen zones must be cached"
+        );
+        assert!(io_mid > io_before);
+        // A plain (zone-less) append poisons only the tail page's zone.
+        heap.append(&[9u8; 8]).unwrap();
+        let z_tail = heap.zone_of(heap.page_count() - 1).unwrap();
+        assert!(!z_tail.time_valid);
+        assert!(z_tail.may_match(&ZoneBounds::as_of(-999)));
         std::fs::remove_file(&path).unwrap();
     }
 

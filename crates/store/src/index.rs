@@ -1,0 +1,526 @@
+//! A persistent interval index: a paged, bulk-loaded B+tree over the
+//! valid-time **start** of every record, augmented with the **maximum
+//! valid-time end** of each subtree — the classic augmented interval tree,
+//! laid out on the same 4 KiB pages as the heaps and served through the
+//! same [`BufferPool`].
+//!
+//! One leaf entry per heap record: `(ts, te, heap_page)`. Leaves are
+//! written in `ts` order by the bulk load, internal nodes fan out over
+//! them carrying `(first_ts_of_child, max_te_of_subtree, child)`. A
+//! timeslice/overlap probe `ts <= B ∧ te > A` then descends only into
+//! subtrees whose key range starts at or below `B` **and** whose
+//! `max_te` exceeds `A` — the augmentation is what prunes long-dead
+//! subtrees that a plain B+tree on `ts` would still walk.
+//!
+//! Appends after the bulk load go to an unsorted **overflow chain**
+//! (linked leaf pages scanned linearly by every probe), so maintenance is
+//! O(1) per row; the next `persist` rebuild folds the overflow back into
+//! the sorted tree. The probe's answer is the *set of heap pages* that
+//! may hold matching records — the scan still decodes and re-filters
+//! them, so a false positive costs time, never correctness.
+//!
+//! ```text
+//! page 0: meta  (root, levels, entry counts, overflow head/tail)
+//! page k: node  [magic | kind | count | next | entry₀ … entryₙ]
+//!                leaf entry:     ts i64, te i64, heap_page u32
+//!                internal entry: first_ts i64, max_te i64, child u32
+//! ```
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::disk::DiskManager;
+use crate::error::{StoreError, StoreResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// One index entry: the record's interval and the heap page holding it.
+pub type IndexEntry = (i64, i64, PageId);
+
+const MAGIC: u32 = 0x5449_4458; // "TIDX"
+const NIL: u32 = u32::MAX;
+
+const KIND_META: u8 = 0;
+const KIND_LEAF: u8 = 1;
+const KIND_INTERNAL: u8 = 2;
+
+// Node header: magic u32 | kind u8 | pad u8 | count u16 | next u32 | pad.
+const N_KIND: usize = 4;
+const N_COUNT: usize = 6;
+const N_NEXT: usize = 8;
+const NODE_HDR: usize = 16;
+/// Entries per node (leaf and internal entries are both 20 bytes).
+const ENTRY_SIZE: usize = 20;
+const NODE_CAP: usize = (PAGE_SIZE - NODE_HDR) / ENTRY_SIZE;
+
+// Meta page layout (page 0).
+const M_LEVELS: usize = 6;
+const M_ROOT: usize = 8;
+const M_OVER_HEAD: usize = 12;
+const M_OVER_TAIL: usize = 16;
+const M_ENTRIES: usize = 20;
+const M_OVER_ENTRIES: usize = 28;
+
+fn get_u16(b: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(b[off..off + 2].try_into().expect("2 bytes"))
+}
+
+fn get_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn get_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+}
+
+fn get_i64(b: &[u8], off: usize) -> i64 {
+    get_u64(b, off) as i64
+}
+
+fn put_u16(b: &mut [u8], off: usize, v: u16) {
+    b[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(b: &mut [u8], off: usize, v: u32) {
+    b[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut [u8], off: usize, v: u64) {
+    b[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(b: &mut [u8], off: usize, v: i64) {
+    put_u64(b, off, v as u64);
+}
+
+/// Serialize one node page. Both node kinds share the 20-byte entry shape
+/// `(i64, i64, u32)`, so this covers leaves and internals alike.
+fn node_page(kind: u8, entries: &[IndexEntry], next: u32) -> Page {
+    debug_assert!(entries.len() <= NODE_CAP);
+    let mut page = Page::zeroed();
+    let b = page.as_bytes_mut();
+    put_u32(b, 0, MAGIC);
+    b[N_KIND] = kind;
+    put_u16(b, N_COUNT, entries.len() as u16);
+    put_u32(b, N_NEXT, next);
+    for (i, &(a, c, p)) in entries.iter().enumerate() {
+        let off = NODE_HDR + i * ENTRY_SIZE;
+        put_i64(b, off, a);
+        put_i64(b, off + 8, c);
+        put_u32(b, off + 16, p);
+    }
+    page
+}
+
+/// Deserialize a node's entries (and its chain pointer).
+fn read_node(page: &Page, expect_kind: Option<u8>) -> StoreResult<(u8, Vec<IndexEntry>, u32)> {
+    let b = page.as_bytes();
+    if get_u32(b, 0) != MAGIC {
+        return Err(StoreError::Corrupt("bad interval-index node magic".into()));
+    }
+    let kind = b[N_KIND];
+    if expect_kind.is_some_and(|k| k != kind) {
+        return Err(StoreError::Corrupt(format!(
+            "interval-index node kind {kind} where {expect_kind:?} was expected"
+        )));
+    }
+    let count = get_u16(b, N_COUNT) as usize;
+    if count > NODE_CAP {
+        return Err(StoreError::Corrupt(format!(
+            "interval-index node claims {count} entries (capacity {NODE_CAP})"
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let off = NODE_HDR + i * ENTRY_SIZE;
+        entries.push((get_i64(b, off), get_i64(b, off + 8), get_u32(b, off + 16)));
+    }
+    Ok((kind, entries, get_u32(b, N_NEXT)))
+}
+
+/// The index file behind a buffer pool. All probes go through the pool
+/// (pinned, counted in `io_reads`), appends serialize on `append_lock`.
+#[derive(Debug)]
+pub struct IntervalIndex {
+    pool: BufferPool,
+    append_lock: Mutex<()>,
+}
+
+impl IntervalIndex {
+    /// Bulk-load a fresh index at `path` (truncating any previous file)
+    /// from the full entry set. Entries are sorted by `(ts, te, page)`
+    /// and packed into leaves; internal levels are built bottom-up.
+    pub fn build(
+        path: impl AsRef<Path>,
+        pool_pages: usize,
+        mut entries: Vec<IndexEntry>,
+    ) -> StoreResult<IntervalIndex> {
+        let path = path.as_ref();
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let disk = DiskManager::open(path)?;
+        let total = entries.len() as u64;
+        entries.sort_unstable();
+
+        // Page 0 is the meta page; reserve it first so node ids start at 1.
+        disk.allocate_page(&node_page(KIND_META, &[], NIL))?;
+
+        // Leaves in ts order, each summarized as (first_ts, max_te, id).
+        let mut level: Vec<IndexEntry> = Vec::new();
+        for chunk in entries.chunks(NODE_CAP) {
+            let id = disk.allocate_page(&node_page(KIND_LEAF, chunk, NIL))?;
+            let max_te = chunk.iter().map(|e| e.1).max().expect("non-empty chunk");
+            level.push((chunk[0].0, max_te, id));
+        }
+        let mut levels = u16::from(!level.is_empty());
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in level.chunks(NODE_CAP) {
+                let id = disk.allocate_page(&node_page(KIND_INTERNAL, chunk, NIL))?;
+                let max_te = chunk.iter().map(|e| e.1).max().expect("non-empty chunk");
+                next.push((chunk[0].0, max_te, id));
+            }
+            level = next;
+            levels += 1;
+        }
+        let root = level.first().map_or(NIL, |&(_, _, id)| id);
+
+        let mut meta = node_page(KIND_META, &[], NIL);
+        {
+            let b = meta.as_bytes_mut();
+            put_u16(b, M_LEVELS, levels);
+            put_u32(b, M_ROOT, root);
+            put_u32(b, M_OVER_HEAD, NIL);
+            put_u32(b, M_OVER_TAIL, NIL);
+            put_u64(b, M_ENTRIES, total);
+            put_u64(b, M_OVER_ENTRIES, 0);
+        }
+        disk.write_page(0, &meta)?;
+        disk.sync()?;
+        Ok(IntervalIndex {
+            pool: BufferPool::new(disk, pool_pages),
+            append_lock: Mutex::new(()),
+        })
+    }
+
+    /// Open an existing index file, validating the meta page.
+    pub fn open(path: impl AsRef<Path>, pool_pages: usize) -> StoreResult<IntervalIndex> {
+        let disk = DiskManager::open(path.as_ref())?;
+        if disk.page_count() == 0 {
+            return Err(StoreError::Corrupt(format!(
+                "interval index {} is empty (no meta page)",
+                path.as_ref().display()
+            )));
+        }
+        let pool = BufferPool::new(disk, pool_pages);
+        {
+            let guard = pool.fetch(0)?;
+            read_node(&guard.read(), Some(KIND_META))?;
+        }
+        Ok(IntervalIndex {
+            pool,
+            append_lock: Mutex::new(()),
+        })
+    }
+
+    /// The index file path (for manifest bookkeeping).
+    pub fn path(&self) -> &Path {
+        self.pool.disk().path()
+    }
+
+    /// The buffer pool (io accounting).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Pages in the index file (meta + nodes).
+    pub fn page_count(&self) -> u32 {
+        self.pool.disk().page_count()
+    }
+
+    fn meta(&self) -> StoreResult<(u16, u32, u32, u64, u64)> {
+        let guard = self.pool.fetch(0)?;
+        let page = guard.read();
+        read_node(&page, Some(KIND_META))?;
+        let b = page.as_bytes();
+        Ok((
+            get_u16(b, M_LEVELS),
+            get_u32(b, M_ROOT),
+            get_u32(b, M_OVER_HEAD),
+            get_u64(b, M_ENTRIES),
+            get_u64(b, M_OVER_ENTRIES),
+        ))
+    }
+
+    /// Total entries (sorted tree + overflow chain).
+    pub fn entry_count(&self) -> StoreResult<u64> {
+        let (_, _, _, entries, overflow) = self.meta()?;
+        Ok(entries + overflow)
+    }
+
+    /// Tree height in levels (0 = empty, 1 = a single leaf level).
+    pub fn levels(&self) -> StoreResult<u16> {
+        Ok(self.meta()?.0)
+    }
+
+    /// Entries sitting in the unsorted overflow chain (folded back into
+    /// the sorted tree by the next bulk rebuild).
+    pub fn overflow_entries(&self) -> StoreResult<u64> {
+        Ok(self.meta()?.4)
+    }
+
+    /// Append entries for freshly-inserted rows to the overflow chain.
+    pub fn append(&self, entries: &[IndexEntry]) -> StoreResult<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let _lock = self.append_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let (_, _, _, _, mut over_count) = self.meta()?;
+        let mut tail = {
+            let guard = self.pool.fetch(0)?;
+            let b = guard.read();
+            get_u32(b.as_bytes(), M_OVER_TAIL)
+        };
+        let mut remaining = entries;
+        while !remaining.is_empty() {
+            // Top up the current tail node, if any and not full.
+            if tail != NIL {
+                let guard = self.pool.fetch(tail)?;
+                let mut page = guard.write();
+                let b = page.as_bytes_mut();
+                let count = get_u16(b, N_COUNT) as usize;
+                let room = NODE_CAP - count;
+                let take = room.min(remaining.len());
+                for (i, &(a, c, p)) in remaining[..take].iter().enumerate() {
+                    let off = NODE_HDR + (count + i) * ENTRY_SIZE;
+                    put_i64(b, off, a);
+                    put_i64(b, off + 8, c);
+                    put_u32(b, off + 16, p);
+                }
+                put_u16(b, N_COUNT, (count + take) as u16);
+                drop(page);
+                over_count += take as u64;
+                remaining = &remaining[take..];
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+            // Chain a fresh overflow node.
+            let take = remaining.len().min(NODE_CAP);
+            let (new_id, _guard) =
+                self.pool
+                    .allocate(node_page(KIND_LEAF, &remaining[..take], NIL))?;
+            over_count += take as u64;
+            remaining = &remaining[take..];
+            let guard = self.pool.fetch(0)?;
+            let mut meta = guard.write();
+            let b = meta.as_bytes_mut();
+            if get_u32(b, M_OVER_HEAD) == NIL {
+                put_u32(b, M_OVER_HEAD, new_id);
+            }
+            put_u32(b, M_OVER_TAIL, new_id);
+            drop(meta);
+            if tail != NIL {
+                let guard = self.pool.fetch(tail)?;
+                put_u32(guard.write().as_bytes_mut(), N_NEXT, new_id);
+            }
+            tail = new_id;
+        }
+        let guard = self.pool.fetch(0)?;
+        put_u64(guard.write().as_bytes_mut(), M_OVER_ENTRIES, over_count);
+        Ok(())
+    }
+
+    /// The set of heap pages that may hold a record with `ts <= ts_le`
+    /// and `te > te_gt` (an `AS OF v` probe passes `Some(v)` for both; a
+    /// `None` side is unbounded), sorted ascending and deduplicated.
+    /// Subtrees whose smallest `ts` exceeds `ts_le` or whose `max_te` is
+    /// at most `te_gt` are skipped — the interval-tree augmentation at
+    /// work.
+    pub fn probe(&self, ts_le: Option<i64>, te_gt: Option<i64>) -> StoreResult<Vec<PageId>> {
+        let ts_ok = |ts: i64| ts_le.is_none_or(|b| ts <= b);
+        let te_ok = |te: i64| te_gt.is_none_or(|b| te > b);
+        let (_, root, over_head, _, _) = self.meta()?;
+        let mut hits = std::collections::BTreeSet::new();
+        let mut stack = Vec::new();
+        if root != NIL {
+            stack.push(root);
+        }
+        while let Some(id) = stack.pop() {
+            // Copy the node out before descending: the walk never holds
+            // more than one pin, so a tiny pool cannot deadlock.
+            let (kind, node_entries, _) = {
+                let guard = self.pool.fetch(id)?;
+                let node = read_node(&guard.read(), None)?;
+                node
+            };
+            match kind {
+                KIND_LEAF => {
+                    for &(ts, te, page) in &node_entries {
+                        if !ts_ok(ts) {
+                            break; // leaf entries are ts-sorted
+                        }
+                        if te_ok(te) {
+                            hits.insert(page);
+                        }
+                    }
+                }
+                KIND_INTERNAL => {
+                    for &(first_ts, max_te, child) in &node_entries {
+                        if !ts_ok(first_ts) {
+                            break; // children are ts-sorted too
+                        }
+                        if te_ok(max_te) {
+                            stack.push(child);
+                        }
+                    }
+                }
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "interval-index walk hit node kind {other}"
+                    )))
+                }
+            }
+        }
+        // Overflow chain: unsorted, scanned linearly.
+        let mut next = over_head;
+        while next != NIL {
+            let (_, node_entries, chained) = {
+                let guard = self.pool.fetch(next)?;
+                let node = read_node(&guard.read(), Some(KIND_LEAF))?;
+                node
+            };
+            for &(ts, te, page) in &node_entries {
+                if ts_ok(ts) && te_ok(te) {
+                    hits.insert(page);
+                }
+            }
+            next = chained;
+        }
+        Ok(hits.into_iter().collect())
+    }
+
+    /// Write back dirty pages and sync the file.
+    pub fn flush(&self) -> StoreResult<()> {
+        self.pool.flush_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn idx_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("talign_store_index_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// Brute-force oracle over raw entries.
+    fn oracle(entries: &[IndexEntry], ts_le: i64, te_gt: i64) -> Vec<PageId> {
+        let mut hits: Vec<PageId> = entries
+            .iter()
+            .filter(|&&(ts, te, _)| ts <= ts_le && te > te_gt)
+            .map(|&(_, _, p)| p)
+            .collect();
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+
+    #[test]
+    fn bulk_load_probe_matches_oracle() {
+        let path = idx_path("bulk.tidx");
+        // Enough entries for a two-level tree (NODE_CAP = 204).
+        let entries: Vec<IndexEntry> = (0..2000i64)
+            .map(|i| {
+                let ts = (i * 37) % 500;
+                (ts, ts + 1 + (i % 40), (i / 10) as PageId)
+            })
+            .collect();
+        let idx = IntervalIndex::build(&path, 8, entries.clone()).unwrap();
+        assert_eq!(idx.entry_count().unwrap(), 2000);
+        assert!(idx.levels().unwrap() >= 2);
+        for v in [-1i64, 0, 13, 250, 499, 540, 1000] {
+            assert_eq!(
+                idx.probe(Some(v), Some(v)).unwrap(),
+                oracle(&entries, v, v),
+                "AS OF {v}"
+            );
+        }
+        // Overlap-style probe with distinct bounds.
+        assert_eq!(
+            idx.probe(Some(400), Some(100)).unwrap(),
+            oracle(&entries, 400, 100)
+        );
+        // Unbounded sides return everything on that side — no sentinel values.
+        assert_eq!(
+            idx.probe(None, None).unwrap(),
+            oracle(&entries, i64::MAX, i64::MIN)
+        );
+        assert_eq!(
+            idx.probe(None, Some(100)).unwrap(),
+            oracle(&entries, i64::MAX, 100)
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_and_overflow_appends() {
+        let path = idx_path("overflow.tidx");
+        let mut entries: Vec<IndexEntry> =
+            (0..300i64).map(|i| (i, i + 5, (i / 7) as PageId)).collect();
+        let idx = IntervalIndex::build(&path, 4, entries.clone()).unwrap();
+        idx.flush().unwrap();
+        drop(idx);
+
+        let idx = IntervalIndex::open(&path, 4).unwrap();
+        // Appends land in the overflow chain and are visible to probes.
+        let fresh: Vec<IndexEntry> = (0..450i64)
+            .map(|i| (1000 + i, 1002 + i, (100 + i / 7) as PageId))
+            .collect();
+        idx.append(&fresh).unwrap();
+        entries.extend_from_slice(&fresh);
+        assert_eq!(idx.entry_count().unwrap(), 750);
+        assert_eq!(idx.overflow_entries().unwrap(), 450);
+        for v in [2i64, 150, 299, 1001, 1200, 1448] {
+            assert_eq!(
+                idx.probe(Some(v), Some(v)).unwrap(),
+                oracle(&entries, v, v),
+                "AS OF {v}"
+            );
+        }
+        idx.flush().unwrap();
+        drop(idx);
+        // The overflow chain survives reopen.
+        let idx = IntervalIndex::open(&path, 4).unwrap();
+        assert_eq!(idx.entry_count().unwrap(), 750);
+        assert_eq!(
+            idx.probe(Some(1200), Some(1200)).unwrap(),
+            oracle(&entries, 1200, 1200)
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_index_probes_empty() {
+        let path = idx_path("empty.tidx");
+        let idx = IntervalIndex::build(&path, 2, Vec::new()).unwrap();
+        assert_eq!(idx.entry_count().unwrap(), 0);
+        assert_eq!(idx.levels().unwrap(), 0);
+        assert!(idx.probe(Some(0), Some(0)).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_non_index_files() {
+        let path = idx_path("garbage.tidx");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(IntervalIndex::open(&path, 2).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -50,6 +50,7 @@ pub mod buffer;
 pub mod disk;
 pub mod error;
 pub mod heap;
+pub mod index;
 pub mod manifest;
 pub mod page;
 
@@ -57,5 +58,6 @@ pub use buffer::{BufferPool, PageGuard, DEFAULT_POOL_PAGES};
 pub use disk::DiskManager;
 pub use error::{StoreError, StoreResult};
 pub use heap::TableHeap;
+pub use index::{IndexEntry, IntervalIndex};
 pub use manifest::{Manifest, TableMeta, MANIFEST_FILE};
-pub use page::{Page, PageId, SlotId, MAX_RECORD_SIZE, PAGE_SIZE};
+pub use page::{Page, PageId, PageZone, SlotId, ZoneBounds, MAX_RECORD_SIZE, PAGE_SIZE};

@@ -11,8 +11,11 @@
 //! ```
 //!
 //! (tab-separated: name, heap file, schema fingerprint in hex, row count,
-//! schema string). The schema string is opaque to this crate — the engine
-//! layer defines and parses it. Saves are atomic (temp file + rename).
+//! schema string, and — when the table has a persistent interval index —
+//! a sixth field naming the index file). The schema string is opaque to
+//! this crate — the engine layer defines and parses it. Saves are atomic
+//! (temp file + rename). Five-field lines from pre-index manifests still
+//! load: the index is simply absent.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -35,6 +38,9 @@ pub struct TableMeta {
     pub rows: u64,
     /// Schema description, opaque at this layer.
     pub schema: String,
+    /// Interval-index file name (relative to the database directory),
+    /// if the table has a persistent interval index.
+    pub index: Option<String>,
 }
 
 /// The table-name → [`TableMeta`] map of one database directory.
@@ -65,9 +71,9 @@ impl Manifest {
                 continue;
             }
             let fields: Vec<&str> = line.split('\t').collect();
-            if fields.len() != 5 {
+            if fields.len() != 5 && fields.len() != 6 {
                 return Err(StoreError::Corrupt(format!(
-                    "manifest line {}: expected 5 tab-separated fields, got {}",
+                    "manifest line {}: expected 5 or 6 tab-separated fields, got {}",
                     i + 1,
                     fields.len()
                 )));
@@ -85,6 +91,7 @@ impl Manifest {
                     fingerprint,
                     rows,
                     schema: fields[4].to_string(),
+                    index: fields.get(5).map(|s| s.to_string()),
                 },
             );
         }
@@ -97,7 +104,13 @@ impl Manifest {
         let mut out = String::from(HEADER);
         out.push('\n');
         for (name, meta) in &self.tables {
-            for field in [name.as_str(), meta.file.as_str(), meta.schema.as_str()] {
+            let index = meta.index.as_deref().unwrap_or("");
+            for field in [
+                name.as_str(),
+                meta.file.as_str(),
+                meta.schema.as_str(),
+                index,
+            ] {
                 if field.contains('\t') || field.contains('\n') {
                     return Err(StoreError::Corrupt(format!(
                         "manifest field may not contain tabs or newlines: {field:?}"
@@ -105,9 +118,14 @@ impl Manifest {
                 }
             }
             out.push_str(&format!(
-                "{name}\t{}\t{:x}\t{}\t{}\n",
+                "{name}\t{}\t{:x}\t{}\t{}",
                 meta.file, meta.fingerprint, meta.rows, meta.schema
             ));
+            if let Some(index) = &meta.index {
+                out.push('\t');
+                out.push_str(index);
+            }
+            out.push('\n');
         }
         let tmp = dir.join(format!(".{MANIFEST_FILE}.tmp"));
         std::fs::write(&tmp, out)?;
@@ -165,6 +183,7 @@ mod tests {
             fingerprint: 0xdead_beef,
             rows: 12,
             schema: "a:int,ts:int,te:int".to_string(),
+            index: None,
         }
     }
 
@@ -178,6 +197,30 @@ mod tests {
         let back = Manifest::load(&dir).unwrap();
         assert_eq!(m, back);
         assert_eq!(back.get("r").unwrap().rows, 12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_field_roundtrips_and_old_lines_still_load() {
+        let dir = tmpdir("index_field");
+        let mut m = Manifest::default();
+        m.insert("plain", meta("plain.heap"));
+        let mut with_index = meta("r.heap");
+        with_index.index = Some("r.tidx".to_string());
+        m.insert("r", with_index);
+        m.save(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.get("r").unwrap().index.as_deref(), Some("r.tidx"));
+        assert_eq!(back.get("plain").unwrap().index, None);
+        // A hand-written five-field (pre-index) line loads with no index.
+        std::fs::write(
+            Manifest::path_in(&dir),
+            "old\told.heap\tabc\t7\ta:int,ts:int,te:int\n",
+        )
+        .unwrap();
+        let old = Manifest::load(&dir).unwrap();
+        assert_eq!(old.get("old").unwrap().index, None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

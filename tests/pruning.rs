@@ -1,0 +1,281 @@
+//! Page pruning end to end (ISSUE 7): per-page zone maps and the
+//! persistent interval index must (a) never change results — on, off, and
+//! in-memory execution agree row-for-row on the paper's synthetic
+//! datasets, (b) demonstrably skip pages on selective `AS OF` timeslices
+//! (asserted through the `pages_read` / `pages_skipped` counters), and
+//! (c) survive a drop/reopen through the manifest, with the frame and SQL
+//! surfaces choosing the same access path.
+
+use proptest::prelude::*;
+use temporal_alignment::core::prelude::*;
+use temporal_alignment::engine::prelude::*;
+use temporal_alignment::sql::{DatabaseSqlExt, Session};
+use temporal_datasets::{ddisj, deq, drand};
+
+/// A unique scratch directory for one test.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("talign_pruning_tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Flip both pruning GUCs on the shared planner.
+fn set_pruning(db: &Database, zonemaps: bool, index: bool) {
+    db.set("enable_zonemaps", zonemaps).unwrap();
+    db.set("enable_interval_index", index).unwrap();
+}
+
+/// Execute `table AS OF v` with an inspectable [`ExecutionState`]:
+/// returns the result rows plus the `(pages_read, pages_skipped)`
+/// counters of that single execution.
+fn run_as_of(db: &Database, table: &str, v: i64) -> (Vec<Row>, (u64, u64)) {
+    let plan = db.table(table).unwrap().as_of(v).into_plan().unwrap();
+    let physical = db.physical(&plan).unwrap();
+    let state = ExecutionState::new(db.config());
+    let rel = physical.collect(&state).unwrap();
+    (rel.rows().to_vec(), state.stats.pages())
+}
+
+/// Brute-force timeslice over the raw rows (trailing `ts`, `te`).
+fn oracle_as_of(rel: &TemporalRelation, v: i64) -> Vec<Row> {
+    let n = rel.schema().len();
+    rel.rows()
+        .iter()
+        .filter(|r| {
+            matches!((&r[n - 2], &r[n - 1]),
+                (Value::Int(ts), Value::Int(te)) if *ts <= v && *te > v)
+        })
+        .cloned()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Differential: timeslices over persisted tables agree with the
+    /// brute-force oracle under every pruning-GUC combination — zone maps
+    /// and the interval index may only skip pages, never rows.
+    #[test]
+    fn pruning_matches_oracle_on_synthetic_datasets(
+        n in 50usize..400,
+        seed in 0u64..1000,
+        pick in 0u64..10_000,
+    ) {
+        let dir = scratch("proptest-differential");
+        let db = Database::open(&dir).unwrap();
+        let (dd_r, _) = ddisj(n);
+        let (de_r, _) = deq(n);
+        let (dr_r, _) = drand(n, seed);
+        db.register("dd", &dd_r).unwrap();
+        db.register("de", &de_r).unwrap();
+        db.register("dr", &dr_r).unwrap();
+        for (name, rel) in [("dd", &dd_r), ("de", &de_r), ("dr", &dr_r)] {
+            // Instants across (and beyond) each dataset's timeline.
+            for v in [0, 1, (pick % (20 * n as u64)) as i64, 100, -5] {
+                let expected = oracle_as_of(rel, v);
+                for (zm, ix) in [(true, true), (true, false), (false, true), (false, false)] {
+                    set_pruning(&db, zm, ix);
+                    let (rows, (read, skipped)) = run_as_of(&db, name, v);
+                    prop_assert_eq!(
+                        &rows, &expected,
+                        "{} AS OF {} drifted (zonemaps={}, index={})", name, v, zm, ix
+                    );
+                    if !zm && !ix {
+                        prop_assert_eq!(skipped, 0, "pruning off must not skip pages");
+                    }
+                    prop_assert!(read + skipped > 0, "scan touched no pages at all");
+                }
+            }
+        }
+        set_pruning(&db, true, true);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A selective `AS OF` on a persisted, time-clustered table must read
+/// only the overlapping pages: `pages_skipped` dominates, and turning
+/// pruning off reads every page of the heap.
+#[test]
+fn selective_as_of_skips_pages() {
+    let dir = scratch("skips-pages");
+    let db = Database::open(&dir).unwrap();
+    // Ddisj tiles the timeline in registration order, so heap pages are
+    // perfectly time-clustered — the worst case for a full scan, the best
+    // case for pruning.
+    let (r, _) = ddisj(3000);
+    db.register("r", &r).unwrap();
+    // Explicit: these assertions need pruning on even when the suite
+    // runs with TEMPORAL_ZONEMAPS=0 / TEMPORAL_INTERVAL_INDEX=0.
+    set_pruning(&db, true, true);
+    let total = db.read(|catalog, _| match catalog.source("r").unwrap() {
+        TableSource::Stored(t) => t.page_count() as u64,
+        TableSource::Mem(_) => panic!("r must be stored"),
+    });
+    assert!(total > 4, "need a multi-page heap, got {total} pages");
+
+    // AS OF mid-timeline hits exactly one row → at most a page or two.
+    let v = 20 * 1500 + 2;
+    let (rows, (read, skipped)) = run_as_of(&db, "r", v);
+    assert_eq!(rows.len(), 1, "ddisj AS OF mid-slot hits exactly one row");
+    assert!(
+        skipped > 0 && skipped >= total - 2,
+        "expected nearly all of {total} pages skipped, got {skipped} (read {read})"
+    );
+    assert_eq!(
+        read + skipped,
+        total,
+        "every page is either read or skipped"
+    );
+
+    // Zone maps alone (no index) must prune just as hard on clustered data.
+    set_pruning(&db, true, false);
+    let (rows, (read_zm, skipped_zm)) = run_as_of(&db, "r", v);
+    assert_eq!(rows.len(), 1);
+    assert!(
+        skipped_zm >= total - 2,
+        "zone maps alone pruned {skipped_zm}"
+    );
+    assert!(read_zm <= 2);
+
+    // Pruning off: the scan reads the whole heap and skips nothing.
+    set_pruning(&db, false, false);
+    let (rows, (read_off, skipped_off)) = run_as_of(&db, "r", v);
+    assert_eq!(rows.len(), 1);
+    assert_eq!((read_off, skipped_off), (total, 0));
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Half-open boundary semantics survive pruning bit-for-bit: `ts == v`
+/// is included, `te == v` is excluded, under every GUC combination.
+#[test]
+fn boundary_intervals_never_drift() {
+    let dir = scratch("boundaries");
+    let db = Database::open(&dir).unwrap();
+    let rel = TemporalRelation::from_rows(
+        Schema::new(vec![Column::new("id", DataType::Int)]),
+        vec![
+            (vec![Value::Int(1)], Interval::of(5, 10)), // te == v: out
+            (vec![Value::Int(2)], Interval::of(10, 15)), // ts == v: in
+            (vec![Value::Int(3)], Interval::of(9, 11)), // straddles: in
+            (vec![Value::Int(4)], Interval::of(11, 12)), // later: out
+        ],
+    )
+    .unwrap();
+    db.register("b", &rel).unwrap();
+    for (zm, ix) in [(true, true), (true, false), (false, true), (false, false)] {
+        set_pruning(&db, zm, ix);
+        let (rows, _) = run_as_of(&db, "b", 10);
+        let ids: Vec<_> = rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(
+            ids,
+            vec![Value::Int(2), Value::Int(3)],
+            "boundary drift at v=10 (zonemaps={zm}, index={ix})"
+        );
+    }
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The interval index is registered in the manifest and survives a
+/// drop/reopen: the reopened database still plans an IndexScan, answers
+/// identically, and `drop_table` removes the index file with the heap.
+#[test]
+fn interval_index_reopens_through_manifest() {
+    let dir = scratch("index-reopen");
+    let db = Database::open(&dir).unwrap();
+    let (r, _) = drand(3000, 42);
+    db.register("r", &r).unwrap();
+    // Explicit: these assertions need pruning on even when the suite
+    // runs with TEMPORAL_ZONEMAPS=0 / TEMPORAL_INTERVAL_INDEX=0.
+    set_pruning(&db, true, true);
+    let tidx = dir.join("r.tidx");
+    assert!(tidx.exists(), "persist must build {}", tidx.display());
+
+    let v = 5000;
+    let explain = db.table("r").unwrap().as_of(v).explain().unwrap();
+    assert!(
+        explain.contains("IndexScan on r using interval index"),
+        "expected an IndexScan access path, got:\n{explain}"
+    );
+    let (before, _) = run_as_of(&db, "r", v);
+    assert_eq!(before, oracle_as_of(&r, v));
+    drop(db);
+
+    // Reopen: the manifest's index column re-attaches the .tidx file.
+    let db = Database::open(&dir).unwrap();
+    set_pruning(&db, true, true); // fresh planner re-reads the env defaults
+    let explain = db.table("r").unwrap().as_of(v).explain().unwrap();
+    assert!(
+        explain.contains("IndexScan on r using interval index"),
+        "reopened database lost the index path:\n{explain}"
+    );
+    let (after, (read, skipped)) = run_as_of(&db, "r", v);
+    assert_eq!(before, after, "reopen changed the timeslice");
+    assert!(read + skipped > 0);
+
+    // Appends maintain the index without a rebuild.
+    let extra: Row = vec![Value::Int(9999), Value::Int(v), Value::Int(v + 1)].into();
+    db.insert_rows("r", vec![extra.clone()]).unwrap();
+    let (appended, _) = run_as_of(&db, "r", v);
+    assert_eq!(appended.len(), after.len() + 1);
+    assert!(appended.contains(&extra));
+
+    assert!(db.drop_table("r").unwrap());
+    assert!(!tidx.exists(), "drop_table must remove the index file");
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The frame and SQL surfaces print the same chosen access path for the
+/// same timeslice — `AS OF` lowers to one canonical predicate.
+#[test]
+fn explain_access_path_identical_on_both_surfaces() {
+    let dir = scratch("explain-parity");
+    let db = Database::open(&dir).unwrap();
+    let (r, _) = drand(3000, 7);
+    db.register("r", &r).unwrap();
+    // Explicit: these assertions need pruning on even when the suite
+    // runs with TEMPORAL_ZONEMAPS=0 / TEMPORAL_INTERVAL_INDEX=0.
+    set_pruning(&db, true, true);
+    let v = 4000;
+
+    let frame_explain = db.table("r").unwrap().as_of(v).explain().unwrap();
+    let mut session = Session::with_database(db.clone());
+    let sql_explain = session
+        .explain(&format!("SELECT * FROM r AS OF {v}"))
+        .unwrap();
+
+    let scan_line = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("Scan on "))
+            .map(str::trim)
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no scan line in:\n{s}"))
+    };
+    let (f, s) = (scan_line(&frame_explain), scan_line(&sql_explain));
+    assert_eq!(
+        f, s,
+        "access paths diverge:\n{frame_explain}\nvs\n{sql_explain}"
+    );
+    assert!(
+        f.contains("using interval index") || f.contains("using zonemap"),
+        "timeslice did not choose a pruned access path: {f}"
+    );
+
+    // SQL SET reaches the same GUCs: forcing pruning off falls back to a
+    // plain storage scan on both surfaces.
+    db.sql("SET enable_zonemaps = false").unwrap();
+    db.sql("SET enable_interval_index = false").unwrap();
+    let off = db.table("r").unwrap().as_of(v).explain().unwrap();
+    let off_line = scan_line(&off);
+    assert!(
+        off_line.starts_with("StorageScan on r ["),
+        "pruning off must plan a plain scan: {off_line}"
+    );
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
