@@ -611,6 +611,67 @@ fn timeslice(full: bool) {
     save("timeslice", &points);
 }
 
+/// Durability cost and recovery speed (ISSUE 8): single-row insert
+/// throughput under the three `sync_mode` policies, and the time to
+/// reopen after a simulated crash (the handle is leaked, so every
+/// insert since the last checkpoint exists only in the WAL and must be
+/// replayed). `off` never fsyncs, `commit` fsyncs once per insert
+/// batch, `always` fsyncs every record — the spread between the series
+/// is the price of each durability guarantee.
+fn wal(full: bool) {
+    use temporal_core::prelude::Database;
+    let sizes: &[usize] = if full {
+        &[2_000, 5_000, 10_000]
+    } else {
+        &[250, 500, 1_000]
+    };
+    let dir = std::env::temp_dir().join("talign_bench_wal");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut points = Vec::new();
+    for &n in sizes {
+        for mode in ["off", "commit", "always"] {
+            let d = dir.join(format!("{mode}-{n}"));
+            let db = Database::open(&d).expect("open wal bench dir");
+            db.set_str("sync_mode", mode).expect("set sync_mode");
+            let (base, _) = ddisj(16);
+            db.register("t", &base).expect("register");
+            let (dt, rows) = time(|| {
+                for i in 0..n as i64 {
+                    let row = vec![Value::Int(i), Value::Int(2 * i), Value::Int(2 * i + 1)];
+                    db.insert_rows("t", vec![row.into()]).expect("insert");
+                }
+                n
+            });
+            points.push(Point {
+                series: format!("insert({mode})"),
+                n,
+                seconds: dt.as_secs_f64(),
+                output_rows: rows,
+            });
+            // Crash by leaking the handle: no flush, no checkpoint — the
+            // reopen below replays every insert from the log and rebuilds
+            // the interval index, which is what this series times.
+            std::mem::forget(db);
+            let (dt, rows) = time(|| {
+                let db = Database::open(&d).expect("recover");
+                db.table("t").expect("table").collect().expect("scan").len()
+            });
+            points.push(Point {
+                series: format!("recover({mode})"),
+                n,
+                seconds: dt.as_secs_f64(),
+                output_rows: rows,
+            });
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    print_points(
+        "WAL: per-row insert cost under sync_mode ∈ {off, commit, always} and crash-recovery replay",
+        &points,
+    );
+    save("wal", &points);
+}
+
 fn table1() {
     println!("\n=== Table 1 (verified executably in semantics::properties)");
     println!("{}", render_table1());
@@ -644,6 +705,7 @@ fn main() {
         "chain" => chain(full),
         "storage" => storage(full),
         "timeslice" => timeslice(full),
+        "wal" => wal(full),
         "all" => {
             table1();
             fig13(full);
@@ -658,10 +720,11 @@ fn main() {
             chain(full);
             storage(full);
             timeslice(full);
+            wal(full);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|ablation|chain|storage|timeslice|all"
+                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|ablation|chain|storage|timeslice|wal|all"
             );
             std::process::exit(2);
         }

@@ -19,22 +19,36 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use temporal_engine::catalog::Catalog;
 use temporal_engine::prelude::*;
+use temporal_engine::recovery;
 use temporal_engine::storage::{
-    self, heap_path, index_path, IntervalIndex, Manifest, StoredTable, TableMeta,
-    DEFAULT_BUFFER_POOL_PAGES,
+    self, heap_path, index_path, IntervalIndex, Manifest, StoredTable, SyncMode, TableMeta, Wal,
+    DEFAULT_BUFFER_POOL_PAGES, PAGE_SIZE,
 };
 
 use crate::algebra::TemporalPlan;
 use crate::error::{TemporalError, TemporalResult};
 use crate::trel::TemporalRelation;
 
+/// Default `wal_checkpoint_pages`: checkpoint once the WAL holds about
+/// this many pages' worth of bytes since the last one.
+const DEFAULT_WAL_CHECKPOINT_PAGES: u64 = 256;
+
 /// The on-disk side of an opened database: the directory, its manifest,
-/// and the per-table buffer pool size used when (re)opening heap files.
+/// the write-ahead log, and the per-table buffer pool size used when
+/// (re)opening heap files.
 #[derive(Debug)]
 struct StorageRoot {
     dir: PathBuf,
     manifest: Manifest,
     pool_pages: usize,
+    /// The directory's write-ahead log: every mutation is logged (and,
+    /// under `sync_mode` `commit`/`always`, synced) before it is
+    /// acknowledged, so `Database::open` can redo it after a crash.
+    wal: Arc<Wal>,
+    /// Checkpoint threshold (`wal_checkpoint_pages`): once the log grows
+    /// past this many pages' worth of bytes, the next mutation flushes
+    /// everything and truncates it.
+    checkpoint_pages: u64,
 }
 
 /// Shared database state: one catalog, one planner, optionally one
@@ -44,6 +58,59 @@ struct DbState {
     catalog: Catalog,
     planner: Planner,
     storage: Option<StorageRoot>,
+}
+
+impl DbState {
+    /// Flush every stored table, refresh the manifest's row counts, save
+    /// it, and truncate the WAL. Everything logged so far is now on the
+    /// data pages, so recovery no longer needs the log prefix.
+    fn checkpoint(&mut self) -> TemporalResult<()> {
+        let Some(root) = &mut self.storage else {
+            return Ok(());
+        };
+        let mut refreshed = Vec::new();
+        for name in self.catalog.list_tables() {
+            if let Ok(TableSource::Stored(table)) = self.catalog.source(&name) {
+                table.flush()?;
+                refreshed.push((name, table.row_count()));
+            }
+        }
+        for (name, rows) in refreshed {
+            if let Some(meta) = root.manifest.get(&name) {
+                if meta.rows != rows {
+                    let mut meta = meta.clone();
+                    meta.rows = rows;
+                    root.manifest.insert(name, meta);
+                }
+            }
+        }
+        root.manifest.save(&root.dir).map_err(EngineError::from)?;
+        root.wal.checkpoint().map_err(EngineError::from)?;
+        Ok(())
+    }
+
+    /// Checkpoint if the WAL has outgrown the configured threshold.
+    fn maybe_checkpoint(&mut self) -> TemporalResult<()> {
+        let due = self.storage.as_ref().is_some_and(|root| {
+            root.wal.bytes_since_checkpoint() > root.checkpoint_pages * PAGE_SIZE as u64
+        });
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DbState {
+    /// Best-effort checkpoint when the last handle goes away: flushes the
+    /// pools and truncates the WAL so the next open replays nothing.
+    /// Errors are swallowed (there is nowhere to report them from a
+    /// destructor) — that is fine, because the WAL already holds
+    /// everything a reopen needs; use [`Database::close`] to observe
+    /// flush failures.
+    fn drop(&mut self) {
+        let _ = self.checkpoint();
+    }
 }
 
 /// The unified front door: a shared [`Catalog`] + [`Planner`] behind the
@@ -144,7 +211,10 @@ impl Database {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)
             .map_err(|e| engine_storage_err(format!("create {}: {e}", dir.display())))?;
-        let manifest = Manifest::load(&dir).map_err(EngineError::from)?;
+        // Crash recovery first: replay whatever consistent prefix survives
+        // in the WAL over the heap files, rebuild touched indexes, and get
+        // back the settled manifest plus the live log handle.
+        let (manifest, wal, report) = recovery::recover(&dir, pool_pages)?;
         let db = Database::new();
         {
             let mut state = db.state_mut();
@@ -152,7 +222,8 @@ impl Database {
                 let schema = storage::schema_from_string(&meta.schema)?;
                 // Trust the manifest's cached row count: pages validate
                 // lazily on every pinned access, so open stays
-                // O(manifest), not O(data).
+                // O(manifest), not O(data). (Recovery already recounted
+                // any table it replayed into.)
                 let table = StoredTable::open_with_count(
                     dir.join(&meta.file),
                     name.clone(),
@@ -168,6 +239,7 @@ impl Database {
                         table.attach_index(index);
                     }
                 }
+                table.attach_wal(Arc::clone(&wal));
                 state
                     .catalog
                     .register_stored(name.clone(), Arc::new(table))?;
@@ -176,7 +248,14 @@ impl Database {
                 dir,
                 manifest,
                 pool_pages,
+                wal,
+                checkpoint_pages: DEFAULT_WAL_CHECKPOINT_PAGES,
             });
+            if report.did_work() {
+                // Fold the replayed state into the data files and truncate
+                // the log, so the next open starts clean.
+                state.checkpoint()?;
+            }
         }
         Ok(db)
     }
@@ -271,6 +350,59 @@ impl Database {
         self.state().storage.is_some()
     }
 
+    /// Checkpoint a persisted database: flush every stored table, refresh
+    /// and save the manifest, and truncate the WAL (everything logged so
+    /// far is now on the data pages). A no-op on an in-memory database.
+    /// Checkpoints also fire automatically once the log outgrows the
+    /// `wal_checkpoint_pages` threshold (see [`Database::set_int`]).
+    pub fn checkpoint(&self) -> TemporalResult<()> {
+        self.state_mut().checkpoint()
+    }
+
+    /// Checkpoint, then close every stored table's buffer pools,
+    /// surfacing the I/O errors the silent drop path can only print.
+    /// The database must not be used afterwards.
+    pub fn close(&self) -> TemporalResult<()> {
+        let mut state = self.state_mut();
+        state.checkpoint()?;
+        for name in state.catalog.list_tables() {
+            if let Ok(TableSource::Stored(table)) = state.catalog.source(&name) {
+                table.close()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The WAL durability policy of a persisted database (`None` when
+    /// in-memory). Defaults to [`SyncMode::Commit`], overridable via the
+    /// `TEMPORAL_SYNC_MODE` environment variable or `set_str`.
+    pub fn sync_mode(&self) -> Option<SyncMode> {
+        self.state().storage.as_ref().map(|r| r.wal.mode())
+    }
+
+    /// Set a string-valued setting by name. Currently that is
+    /// `sync_mode` — when the WAL fsyncs — with values `off` (never:
+    /// fastest, a crash can lose recent commits), `commit` (once per
+    /// acknowledged batch; the default) or `always` (on every record).
+    /// Accepted but inert on an in-memory database, so scripts run
+    /// against either backing.
+    pub fn set_str(&self, name: &str, value: &str) -> TemporalResult<()> {
+        if name.eq_ignore_ascii_case("sync_mode") {
+            let mode = SyncMode::parse(value).ok_or_else(|| {
+                TemporalError::Unsupported(format!(
+                    "sync_mode accepts off, commit or always (got {value:?})"
+                ))
+            })?;
+            if let Some(root) = &self.state().storage {
+                root.wal.set_mode(mode);
+            }
+            return Ok(());
+        }
+        Err(TemporalError::Unsupported(format!(
+            "unknown string setting {name:?} (expected sync_mode)"
+        )))
+    }
+
     /// Persist table `name` into the database's storage directory: its
     /// current rows are written to `<dir>/<name>.heap`, the manifest is
     /// updated, and the catalog entry switches to the heap-file backing
@@ -310,15 +442,21 @@ impl Database {
                     }
                 }
                 table.append_rows(rows.iter())?;
-                table.flush()?;
                 if let Some(root) = &mut state.storage {
+                    // The rows are in the WAL (appends log through the
+                    // heap's sink); one commit-time sync makes the batch
+                    // durable under `sync_mode = commit`. No data-page
+                    // flush or manifest save here — recovery replays the
+                    // log; the manifest row count refreshes at the next
+                    // checkpoint.
+                    root.wal.commit().map_err(EngineError::from)?;
                     if let Some(meta) = root.manifest.get(name) {
                         let mut meta = meta.clone();
                         meta.rows = table.row_count();
                         root.manifest.insert(name, meta);
-                        root.manifest.save(&root.dir).map_err(EngineError::from)?;
                     }
                 }
+                state.maybe_checkpoint()?;
             }
             TableSource::Mem(rel) => {
                 let mut new_rel = (*rel).clone();
@@ -348,17 +486,30 @@ impl Database {
             // a previous temporal incarnation of the name behind.
             let _ = std::fs::remove_file(index_path(&root.dir, name));
         }
-        root.manifest.insert(
-            name,
-            TableMeta {
-                file: format!("{name}.{}", storage::HEAP_EXT),
-                fingerprint: storage::schema_fingerprint(table.schema()),
-                rows: table.row_count(),
-                schema: storage::schema_to_string(table.schema()),
-                index,
-            },
-        );
+        let meta = TableMeta {
+            file: format!("{name}.{}", storage::HEAP_EXT),
+            fingerprint: storage::schema_fingerprint(table.schema()),
+            rows: table.row_count(),
+            schema: storage::schema_to_string(table.schema()),
+            index,
+        };
+        // Log the (re)creation *after* its files are in place and *before*
+        // the manifest write: a crash in between replays the upsert from
+        // the log, and replay skips it when the heap file never landed.
+        root.wal
+            .append(&storage::WalRecord::TableUpsert {
+                name: name.to_string(),
+                file: meta.file.clone(),
+                fingerprint: meta.fingerprint,
+                rows: meta.rows,
+                schema: meta.schema.clone(),
+                index: meta.index.clone(),
+            })
+            .and_then(|_| root.wal.commit())
+            .map_err(EngineError::from)?;
+        root.manifest.insert(name, meta);
         root.manifest.save(&root.dir).map_err(EngineError::from)?;
+        table.attach_wal(Arc::clone(&root.wal));
         state.catalog.register_or_replace_stored(name, table);
         Ok(())
     }
@@ -369,6 +520,15 @@ impl Database {
             return Ok(());
         };
         if root.manifest.remove(name).is_some() {
+            // Log the drop before touching the manifest or files, so a
+            // crash mid-removal finishes the job on replay instead of
+            // resurrecting the table.
+            root.wal
+                .append(&storage::WalRecord::TableDrop {
+                    name: name.to_string(),
+                })
+                .and_then(|_| root.wal.commit())
+                .map_err(EngineError::from)?;
             root.manifest.save(&root.dir).map_err(EngineError::from)?;
         }
         // The index is derived data — a failed removal cannot resurrect
@@ -409,7 +569,21 @@ impl Database {
 
     /// Set an integer GUC by name (e.g. `threads`, `parallel_min_rows`) —
     /// applies to every frame and SQL session sharing this database.
+    /// `wal_checkpoint_pages` (how many pages' worth of WAL accumulate
+    /// before an automatic checkpoint) is handled here too; like
+    /// `sync_mode` it is accepted but inert on an in-memory database.
     pub fn set_int(&self, guc: &str, value: i64) -> TemporalResult<()> {
+        if guc.eq_ignore_ascii_case("wal_checkpoint_pages") {
+            if value <= 0 {
+                return Err(TemporalError::Unsupported(
+                    "wal_checkpoint_pages must be positive".into(),
+                ));
+            }
+            if let Some(root) = &mut self.state_mut().storage {
+                root.checkpoint_pages = value as u64;
+            }
+            return Ok(());
+        }
         self.state_mut()
             .planner
             .config

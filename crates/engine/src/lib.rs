@@ -62,6 +62,7 @@ pub mod exec;
 pub mod expr;
 pub mod hashing;
 pub mod plan;
+pub mod recovery;
 pub mod relation;
 pub mod schema;
 pub mod storage;

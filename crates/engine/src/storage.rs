@@ -29,8 +29,8 @@ pub const HEAP_EXT: &str = "heap";
 pub const INDEX_EXT: &str = "tidx";
 
 pub use temporal_store::{
-    IntervalIndex, Manifest, PageZone, TableMeta, ZoneBounds,
-    DEFAULT_POOL_PAGES as DEFAULT_BUFFER_POOL_PAGES,
+    IntervalIndex, Manifest, PageZone, SyncMode, TableMeta, Wal, WalRecord, ZoneBounds,
+    DEFAULT_POOL_PAGES as DEFAULT_BUFFER_POOL_PAGES, PAGE_SIZE,
 };
 
 /// The `(ts, te)` column positions when `schema` has the temporal shape —
@@ -463,6 +463,27 @@ impl StoredTable {
         self.heap.flush()?;
         if let Some(index) = self.index() {
             index.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Route every append through the database WAL: the heap logs each
+    /// acknowledged row (a full-page image on a page's first touch per
+    /// checkpoint epoch, a logical record afterwards) and its buffer pool
+    /// syncs the log before any dirty page write-back. The interval index
+    /// is *not* logged — it is derived data, rebuilt during recovery.
+    pub fn attach_wal(&self, wal: Arc<temporal_store::Wal>) {
+        self.heap.attach_wal(wal, self.name.clone());
+    }
+
+    /// Flush and close the table's buffer pools, surfacing the I/O errors
+    /// the silent drop path would swallow. The table must not be used
+    /// afterwards.
+    pub fn close(&self) -> EngineResult<()> {
+        self.heap.close()?;
+        if let Some(index) = self.index() {
+            index.flush()?;
+            index.pool().close()?;
         }
         Ok(())
     }

@@ -60,10 +60,13 @@ pub enum Quantifier {
 }
 
 /// The right-hand side of a `SET` statement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SetValue {
     Bool(bool),
     Int(i64),
+    /// A bare identifier, for string-valued settings such as
+    /// `SET sync_mode = commit`.
+    Ident(String),
 }
 
 /// Set operation chaining.

@@ -14,6 +14,7 @@
 //! * `.tables` (or `\d`) — list tables,
 //! * `.schema <t>` — show a table's columns,
 //! * `.open <dir>` — attach the persisted database in `<dir>`,
+//! * `.checkpoint` — flush everything and truncate the WAL,
 //! * `\q` — quit.
 //!
 //! Example session:
@@ -125,6 +126,10 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
                 }
                 Err(e) => println!("error: {e}"),
             },
+        },
+        ".checkpoint" => match session.database().checkpoint() {
+            Ok(()) => println!("checkpointed"),
+            Err(e) => println!("error: {e}"),
         },
         other => println!("unknown meta command: {other}"),
     }

@@ -95,9 +95,12 @@ impl Parser {
                 Token::Keyword(Kw::On) => SetValue::Bool(true),
                 Token::Ident(s) if s == "off" => SetValue::Bool(false),
                 Token::Int(v) => SetValue::Int(v),
+                // Other bare identifiers are string-valued settings, e.g.
+                // `SET sync_mode = commit`.
+                Token::Ident(s) => SetValue::Ident(s),
                 other => {
                     return Err(SqlError::Parse(format!(
-                        "expected on/off/true/false or an integer, found {other}"
+                        "expected on/off/true/false, an integer or an identifier, found {other}"
                     )))
                 }
             };

@@ -108,8 +108,14 @@ impl Session {
         match stmt {
             Statement::Set { name, value } => {
                 match value {
+                    // `sync_mode` is string-valued, but `off`/`on` lex as
+                    // booleans — route them back to their spellings.
+                    SetValue::Bool(b) if name.eq_ignore_ascii_case("sync_mode") => {
+                        self.db.set_str(&name, if b { "on" } else { "off" })
+                    }
                     SetValue::Bool(b) => self.db.set(&name, b),
                     SetValue::Int(i) => self.db.set_int(&name, i),
+                    SetValue::Ident(v) => self.db.set_str(&name, &v),
                 }
                 .map_err(|e| SqlError::Analyze(e.to_string()))?;
                 Ok(SqlOutput::Ok)

@@ -11,12 +11,13 @@
 //! the heap in memory.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::disk::DiskManager;
 use crate::error::{StoreError, StoreResult};
 use crate::page::{Page, PageId};
+use crate::wal::Wal;
 
 /// Default number of frames in a table's buffer pool (64 × 4 KiB = 256 KiB).
 pub const DEFAULT_POOL_PAGES: usize = 64;
@@ -67,6 +68,17 @@ pub struct BufferPool {
     /// Pages read from disk (cache misses) — observable evidence that a
     /// scan streamed rather than materialized.
     io_reads: AtomicU64,
+    /// The database WAL, when this pool backs a logged heap: synced
+    /// before any dirty page reaches disk (the write-*ahead* invariant,
+    /// see [`Wal::sync_for_write_ahead`]).
+    wal: Mutex<Option<Arc<Wal>>>,
+    /// Set by a successful [`BufferPool::close`]: the drop hook skips its
+    /// best-effort flush (everything is already durable).
+    closed: AtomicBool,
+    /// True while the last flush attempt failed — dirty pages may not be
+    /// on disk. A later fully-successful flush clears it (the dirty bits
+    /// were kept, so the retry rewrote everything).
+    poisoned: AtomicBool,
 }
 
 impl BufferPool {
@@ -85,6 +97,25 @@ impl BufferPool {
                 hand: 0,
             }),
             io_reads: AtomicU64::new(0),
+            wal: Mutex::new(None),
+            closed: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Attach the database WAL: from now on the log is synced before any
+    /// dirty page write-back, so a torn data page is always covered by a
+    /// durable full-page image.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        *self.wal.lock().unwrap_or_else(|e| e.into_inner()) = Some(wal);
+    }
+
+    /// Enforce write-ahead before a dirty page hits disk.
+    fn write_ahead(&self) -> StoreResult<()> {
+        let wal = self.wal.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        match wal {
+            Some(w) => w.sync_for_write_ahead(),
+            None => Ok(()),
         }
     }
 
@@ -101,6 +132,16 @@ impl BufferPool {
     /// Total pages read from disk so far (cache misses).
     pub fn io_reads(&self) -> u64 {
         self.io_reads.load(Ordering::Relaxed)
+    }
+
+    /// Total pages written to disk so far (write-backs and appends).
+    pub fn io_writes(&self) -> u64 {
+        self.disk.io_writes()
+    }
+
+    /// Total fsyncs issued on the heap file so far.
+    pub fn io_syncs(&self) -> u64 {
+        self.disk.io_syncs()
     }
 
     /// Page ids currently resident, sorted — test observability.
@@ -200,7 +241,14 @@ impl BufferPool {
                 Err(e) => return Err(e),
             }
         };
-        let id = match self.disk.allocate_page(&page) {
+        // Write-ahead applies to appends too: the new page carries an LSN,
+        // and letting it reach disk before the log would let a crash
+        // truncate the WAL below an LSN that is already on a data page
+        // (a later image at that LSN would then be skipped as "applied").
+        let id = match self
+            .write_ahead()
+            .and_then(|()| self.disk.allocate_page(&page))
+        {
             Ok(id) => id,
             Err(e) => {
                 drop(state);
@@ -234,6 +282,7 @@ impl BufferPool {
         let old = state.meta[idx];
         if let Some(old_id) = old.page {
             if old.dirty {
+                self.write_ahead()?;
                 let frame = self.frames[idx].read().unwrap_or_else(|e| e.into_inner());
                 self.disk.write_page(old_id, &frame)?;
             }
@@ -288,26 +337,102 @@ impl BufferPool {
         self.lock_state().meta[idx].dirty = true;
     }
 
-    /// Write every dirty frame back to disk and sync the file.
-    pub fn flush_all(&self) -> StoreResult<()> {
+    /// Write every dirty frame back to disk *without* syncing. On error
+    /// the failing frame keeps its dirty bit, so a retry rewrites it.
+    pub fn write_back_all(&self) -> StoreResult<()> {
         let mut state = self.lock_state();
+        let mut wrote_ahead = false;
         for idx in 0..self.frames.len() {
             let meta = state.meta[idx];
             if let (Some(id), true) = (meta.page, meta.dirty) {
+                if !wrote_ahead {
+                    self.write_ahead()?;
+                    wrote_ahead = true;
+                }
                 let frame = self.frames[idx].read().unwrap_or_else(|e| e.into_inner());
                 self.disk.write_page(id, &frame)?;
                 state.meta[idx].dirty = false;
             }
         }
-        drop(state);
-        self.disk.sync()
+        Ok(())
+    }
+
+    /// Write every dirty frame back to disk and sync the file. Failure
+    /// poisons the pool ([`BufferPool::is_poisoned`]); a later successful
+    /// flush clears the poison, since dirty bits survive failed writes.
+    pub fn flush_all(&self) -> StoreResult<()> {
+        let result = self.write_back_all().and_then(|()| self.disk.sync());
+        self.poisoned.store(result.is_err(), Ordering::SeqCst);
+        result
+    }
+
+    /// Did the last flush attempt fail (dirty pages may not be on disk)?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Flush-and-close: the explicit, fallible form of the drop hook.
+    /// After a successful close the drop hook does nothing; a failed
+    /// close leaves the pool poisoned and reports the error instead of
+    /// swallowing it the way `Drop` must.
+    pub fn close(&self) -> StoreResult<()> {
+        let result = self.flush_all();
+        if result.is_ok() {
+            self.closed.store(true, Ordering::SeqCst);
+        }
+        result
+    }
+
+    /// Replace page `id` wholesale, writing through to disk and keeping
+    /// any resident frame coherent. Recovery uses this to re-materialize
+    /// pages from WAL full-page images — the target may be torn (so it
+    /// cannot be fetched) or one past the end of the file (extend).
+    pub fn overwrite(&self, id: PageId, page: Page) -> StoreResult<()> {
+        let state = self.lock_state();
+        if let Some(&idx) = state.table.get(&id) {
+            let mut frame = self.frames[idx].write().unwrap_or_else(|e| e.into_inner());
+            *frame = page.clone();
+        }
+        // Hold the map-guard across the write so a concurrent fetch of a
+        // non-resident `id` cannot read the file mid-overwrite.
+        self.disk.write_page(id, &page)
+    }
+
+    /// Drop any resident frames for pages `>= first` (after the disk file
+    /// was truncated to `first` pages). The caller must ensure they are
+    /// unpinned — recovery is single-threaded.
+    pub fn discard_from(&self, first: PageId) {
+        let mut state = self.lock_state();
+        let stale: Vec<(PageId, usize)> = state
+            .table
+            .iter()
+            .filter(|(id, _)| **id >= first)
+            .map(|(id, idx)| (*id, *idx))
+            .collect();
+        for (id, idx) in stale {
+            debug_assert_eq!(self.pins[idx].load(Ordering::Acquire), 0);
+            state.table.remove(&id);
+            state.meta[idx] = FrameMeta::default();
+        }
     }
 }
 
 impl Drop for BufferPool {
-    /// Best-effort dirty-page write-back on close.
+    /// Best-effort dirty-page write-back on drop. An explicit
+    /// [`BufferPool::close`] beforehand makes this a no-op; without one,
+    /// a failure here cannot be returned, so it is reported on stderr
+    /// and the pool left poisoned rather than silently swallowed.
     fn drop(&mut self) {
-        let _ = self.flush_all();
+        if self.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Err(e) = self.flush_all() {
+            eprintln!(
+                "temporal-store: buffer pool drop could not flush {}: {e} \
+                 (use close() to handle this error)",
+                self.disk.path().display()
+            );
+        }
     }
 }
 
@@ -505,6 +630,67 @@ mod tests {
                 );
             }
         }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn close_flushes_and_disarms_the_drop_hook() {
+        let (pool, path) = pool("close.heap", 1, 1);
+        {
+            let g = pool.fetch(0).unwrap();
+            g.write().insert(b"closed-cleanly").unwrap();
+        }
+        let (writes_before, syncs_before) = (pool.io_writes(), pool.io_syncs());
+        pool.close().unwrap();
+        assert!(!pool.is_poisoned());
+        assert_eq!(pool.io_writes(), writes_before + 1, "one dirty write-back");
+        assert_eq!(pool.io_syncs(), syncs_before + 1);
+        drop(pool);
+        let disk = DiskManager::open(&path).unwrap();
+        let mut raw = Page::zeroed();
+        disk.read_page(0, &mut raw).unwrap();
+        assert_eq!(raw.record(1).unwrap(), b"closed-cleanly");
+        drop(disk);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn overwrite_extends_and_stays_cache_coherent() {
+        let (pool, path) = pool("overwrite.heap", 2, 2);
+        // Make page 0 resident, then overwrite it: both the cached frame
+        // and the disk copy must show the replacement.
+        {
+            let g = pool.fetch(0).unwrap();
+            assert_eq!(g.read().record(0).unwrap(), b"page-0");
+        }
+        let mut repl = Page::init(0);
+        repl.insert(b"replaced").unwrap();
+        pool.overwrite(0, repl).unwrap();
+        {
+            let g = pool.fetch(0).unwrap();
+            assert_eq!(g.read().record(0).unwrap(), b"replaced");
+        }
+        let mut raw = Page::zeroed();
+        pool.disk().read_page(0, &mut raw).unwrap();
+        assert_eq!(raw.record(0).unwrap(), b"replaced");
+        // Overwriting one past the end extends the file.
+        let mut fresh = Page::init(0);
+        fresh.insert(b"appended").unwrap();
+        pool.overwrite(2, fresh).unwrap();
+        assert_eq!(pool.disk().page_count(), 3);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn discard_from_forgets_truncated_pages() {
+        let (pool, path) = pool("discard.heap", 3, 3);
+        for i in 0..3 {
+            pool.fetch(i).unwrap();
+        }
+        pool.disk().truncate_pages(1).unwrap();
+        pool.discard_from(1);
+        assert_eq!(pool.cached_pages(), vec![0]);
+        assert!(pool.fetch(2).is_err());
         std::fs::remove_file(path).unwrap();
     }
 

@@ -1,11 +1,21 @@
 //! The disk manager: page-granular file I/O for one heap file.
+//!
+//! Every v3 page is CRC-stamped on its way to disk and verified on its
+//! way back, so a torn or bit-rotted page surfaces as a
+//! [`StoreError::Corrupt`] at read time instead of decoding to garbage.
+//! Pre-v3 pages (and the interval index's raw node pages, which carry
+//! their own magic) pass through untouched. Writes and syncs are counted
+//! for observability and pass through the [`crate::failpoints`] sites
+//! the crash-matrix tests arm.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::error::{StoreError, StoreResult};
+use crate::failpoints::{self, Action};
 use crate::page::{Page, PageId, PAGE_SIZE};
 
 /// Reads and writes whole pages of a single heap file. Thread-safe: the
@@ -14,6 +24,8 @@ use crate::page::{Page, PageId, PAGE_SIZE};
 #[derive(Debug)]
 pub struct DiskManager {
     path: PathBuf,
+    io_writes: AtomicU64,
+    io_syncs: AtomicU64,
     inner: Mutex<DiskInner>,
 }
 
@@ -24,9 +36,25 @@ struct DiskInner {
 }
 
 impl DiskManager {
-    /// Open (or create) the heap file at `path`.
+    /// Open (or create) the heap file at `path`. A file length that is
+    /// not a multiple of the page size is rejected as corrupt — recovery
+    /// uses [`DiskManager::open_trimming`] to repair such torn tails.
     pub fn open(path: impl AsRef<Path>) -> StoreResult<DiskManager> {
-        let path = path.as_ref().to_path_buf();
+        let (dm, trimmed) = Self::open_inner(path.as_ref(), false)?;
+        debug_assert!(!trimmed);
+        Ok(dm)
+    }
+
+    /// Open the heap file, rounding a torn (non-page-multiple) length
+    /// *down* to whole pages. Only recovery does this: the discarded
+    /// partial page is re-materialized from the WAL's full-page image.
+    /// Returns whether anything was trimmed.
+    pub fn open_trimming(path: impl AsRef<Path>) -> StoreResult<(DiskManager, bool)> {
+        Self::open_inner(path.as_ref(), true)
+    }
+
+    fn open_inner(path: &Path, trim: bool) -> StoreResult<(DiskManager, bool)> {
+        let path = path.to_path_buf();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -34,17 +62,33 @@ impl DiskManager {
             .truncate(false)
             .open(&path)?;
         let len = file.metadata()?.len();
+        let mut trimmed = false;
         if len % PAGE_SIZE as u64 != 0 {
-            return Err(StoreError::Corrupt(format!(
-                "heap file {} has length {len}, not a multiple of the page size {PAGE_SIZE}",
+            if !trim {
+                return Err(StoreError::Corrupt(format!(
+                    "heap file {} has length {len}, not a multiple of the page size {PAGE_SIZE}",
+                    path.display()
+                )));
+            }
+            let whole = len - len % PAGE_SIZE as u64;
+            eprintln!(
+                "temporal-store: trimming torn tail of {} ({len} → {whole} bytes)",
                 path.display()
-            )));
+            );
+            file.set_len(whole)?;
+            trimmed = true;
         }
+        let len = file.metadata()?.len();
         let pages = (len / PAGE_SIZE as u64) as u32;
-        Ok(DiskManager {
-            path,
-            inner: Mutex::new(DiskInner { file, pages }),
-        })
+        Ok((
+            DiskManager {
+                path,
+                io_writes: AtomicU64::new(0),
+                io_syncs: AtomicU64::new(0),
+                inner: Mutex::new(DiskInner { file, pages }),
+            },
+            trimmed,
+        ))
     }
 
     /// The heap file path (for manifest bookkeeping and error messages).
@@ -57,7 +101,18 @@ impl DiskManager {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).pages
     }
 
-    /// Read page `id` into `page`.
+    /// Pages written since open (observability, like `io_reads` on the
+    /// buffer pool).
+    pub fn io_writes(&self) -> u64 {
+        self.io_writes.load(Ordering::Relaxed)
+    }
+
+    /// Fsyncs issued since open.
+    pub fn io_syncs(&self) -> u64 {
+        self.io_syncs.load(Ordering::Relaxed)
+    }
+
+    /// Read page `id` into `page`, verifying its CRC (v3 pages).
     pub fn read_page(&self, id: PageId, page: &mut Page) -> StoreResult<()> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if id >= inner.pages {
@@ -71,6 +126,48 @@ impl DiskManager {
             .file
             .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         inner.file.read_exact(page.as_bytes_mut())?;
+        if !page.crc_ok() {
+            return Err(StoreError::Corrupt(format!(
+                "page {id} of {} fails its checksum (torn write or bit rot)",
+                self.path.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Stamp the CRC (v3 pages) and write the raw block, honoring any
+    /// armed failpoint. The caller holds the inner lock.
+    fn write_block(&self, inner: &mut DiskInner, id: PageId, page: &Page) -> StoreResult<()> {
+        if failpoints::power_cut() {
+            return Err(crate::failpoints::power_cut_error());
+        }
+        // Stamp the CRC on a scratch copy so the caller's in-memory page
+        // is untouched (its CRC is allowed to go stale between writes).
+        let mut scratch = page.clone();
+        scratch.stamp_crc();
+        inner
+            .file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        match failpoints::hit("disk::write_page") {
+            Some(Action::Crash) => {
+                #[cfg(feature = "failpoints")]
+                failpoints::trip_power_cut();
+                return Err(crate::failpoints::power_cut_error());
+            }
+            Some(Action::Torn { keep }) => {
+                let keep = keep.min(PAGE_SIZE);
+                inner.file.write_all(&scratch.as_bytes()[..keep])?;
+                #[cfg(feature = "failpoints")]
+                failpoints::trip_power_cut();
+                return Err(crate::failpoints::power_cut_error());
+            }
+            Some(Action::FlipBit { offset }) => {
+                scratch.as_bytes_mut()[offset % PAGE_SIZE] ^= 1;
+            }
+            None => {}
+        }
+        inner.file.write_all(scratch.as_bytes())?;
+        self.io_writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -84,10 +181,7 @@ impl DiskManager {
                 inner.pages
             )));
         }
-        inner
-            .file
-            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        inner.file.write_all(page.as_bytes())?;
+        self.write_block(&mut inner, id, page)?;
         if id == inner.pages {
             inner.pages += 1;
         }
@@ -98,18 +192,41 @@ impl DiskManager {
     pub fn allocate_page(&self, page: &Page) -> StoreResult<PageId> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let id = inner.pages;
-        inner
-            .file
-            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        inner.file.write_all(page.as_bytes())?;
+        self.write_block(&mut inner, id, page)?;
         inner.pages += 1;
         Ok(id)
     }
 
+    /// Truncate the file to `pages` whole pages. Recovery uses this to
+    /// drop a trailing page that is corrupt and covered by no WAL record
+    /// (such a page can only hold unacknowledged in-flight appends).
+    pub fn truncate_pages(&self, pages: u32) -> StoreResult<()> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if pages > inner.pages {
+            return Err(StoreError::Corrupt(format!(
+                "cannot truncate {} to {pages} pages: it has {}",
+                self.path.display(),
+                inner.pages
+            )));
+        }
+        inner.file.set_len(pages as u64 * PAGE_SIZE as u64)?;
+        inner.pages = pages;
+        Ok(())
+    }
+
     /// Flush file buffers to the OS (durability point).
     pub fn sync(&self) -> StoreResult<()> {
+        if failpoints::power_cut() {
+            return Err(crate::failpoints::power_cut_error());
+        }
+        if let Some(Action::Crash | Action::Torn { .. }) = failpoints::hit("disk::sync") {
+            #[cfg(feature = "failpoints")]
+            failpoints::trip_power_cut();
+            return Err(crate::failpoints::power_cut_error());
+        }
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.file.sync_all()?;
+        self.io_syncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -135,11 +252,14 @@ mod tests {
         let id = dm.allocate_page(&p).unwrap();
         assert_eq!(id, 0);
         assert_eq!(dm.page_count(), 1);
+        assert_eq!(dm.io_writes(), 1);
 
         let mut back = Page::zeroed();
         dm.read_page(0, &mut back).unwrap();
         back.validate(9).unwrap();
         assert_eq!(back.record(0).unwrap(), b"payload");
+        // The on-disk copy was CRC-stamped by the write.
+        assert!(back.crc_ok());
 
         // Reopen sees the same page count.
         drop(dm);
@@ -154,12 +274,70 @@ mod tests {
         let path = tmpfile("torn.heap");
         std::fs::write(&path, vec![0u8; PAGE_SIZE + 1]).unwrap();
         assert!(DiskManager::open(&path).is_err());
+        // The trimming open rounds the length down instead.
+        let (dm, trimmed) = DiskManager::open_trimming(&path).unwrap();
+        assert!(trimmed);
+        assert_eq!(dm.page_count(), 1);
+        drop(dm);
         std::fs::remove_file(&path).unwrap();
 
         let path = tmpfile("holes.heap");
         let _ = std::fs::remove_file(&path);
         let dm = DiskManager::open(&path).unwrap();
         assert!(dm.write_page(3, &Page::init(0)).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_page_fails_its_checksum_on_read() {
+        let path = tmpfile("bitrot.heap");
+        let _ = std::fs::remove_file(&path);
+        let dm = DiskManager::open(&path).unwrap();
+        let mut p = Page::init(1);
+        p.insert(b"precious").unwrap();
+        dm.allocate_page(&p).unwrap();
+        drop(dm);
+        // Flip one bit in the record area.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[PAGE_SIZE - 3] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let dm = DiskManager::open(&path).unwrap();
+        let mut back = Page::zeroed();
+        let err = dm.read_page(0, &mut back).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err}");
+        assert!(err.to_string().contains("checksum"));
+        drop(dm);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_pages_drops_the_tail() {
+        let path = tmpfile("trunc.heap");
+        let _ = std::fs::remove_file(&path);
+        let dm = DiskManager::open(&path).unwrap();
+        dm.allocate_page(&Page::init(0)).unwrap();
+        dm.allocate_page(&Page::init(0)).unwrap();
+        assert_eq!(dm.page_count(), 2);
+        dm.truncate_pages(1).unwrap();
+        assert_eq!(dm.page_count(), 1);
+        assert!(dm.truncate_pages(5).is_err());
+        let mut back = Page::zeroed();
+        assert!(dm.read_page(1, &mut back).is_err());
+        dm.read_page(0, &mut back).unwrap();
+        drop(dm);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_is_counted() {
+        let path = tmpfile("sync.heap");
+        let _ = std::fs::remove_file(&path);
+        let dm = DiskManager::open(&path).unwrap();
+        assert_eq!(dm.io_syncs(), 0);
+        dm.sync().unwrap();
+        dm.sync().unwrap();
+        assert_eq!(dm.io_syncs(), 2);
+        drop(dm);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -12,6 +12,9 @@ pub enum StoreError {
     /// A record cannot fit in a page, or the buffer pool has no evictable
     /// frame (every frame pinned).
     Capacity(String),
+    /// The manifest references a file that does not exist on disk — the
+    /// database directory is incomplete (partial copy, deleted heap).
+    Missing(String),
 }
 
 impl fmt::Display for StoreError {
@@ -20,6 +23,7 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "storage io error: {e}"),
             StoreError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
             StoreError::Capacity(m) => write!(f, "storage capacity: {m}"),
+            StoreError::Missing(m) => write!(f, "missing storage file: {m}"),
         }
     }
 }

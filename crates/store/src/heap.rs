@@ -3,12 +3,20 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::buffer::BufferPool;
 use crate::disk::DiskManager;
 use crate::error::{StoreError, StoreResult};
-use crate::page::{Page, PageId, PageZone};
+use crate::page::{Page, PageId, PageZone, PAGE_SIZE};
+use crate::wal::{Wal, WalRecord};
+
+/// Where a logged heap sends its append records.
+#[derive(Debug, Clone)]
+struct WalSink {
+    wal: Arc<Wal>,
+    table: String,
+}
 
 /// A table's heap file behind a [`BufferPool`]: records append to the last
 /// page (spilling into fresh pages) and scans visit pages in order, one
@@ -28,6 +36,10 @@ pub struct TableHeap {
     /// is append-only, so those can never change again). Lets repeated
     /// pruning passes skip pages without re-pinning them through the pool.
     zone_cache: Mutex<HashMap<PageId, PageZone>>,
+    /// When attached, every append is logged here before it is
+    /// acknowledged: a full-page image on the page's first touch per
+    /// checkpoint epoch, a logical record afterwards.
+    wal: Mutex<Option<WalSink>>,
 }
 
 impl TableHeap {
@@ -49,6 +61,7 @@ impl TableHeap {
             rows: AtomicU64::new(0),
             tail: Mutex::new(None),
             zone_cache: Mutex::new(HashMap::new()),
+            wal: Mutex::new(None),
         })
     }
 
@@ -89,7 +102,46 @@ impl TableHeap {
             rows: AtomicU64::new(rows),
             tail: Mutex::new(pages.checked_sub(1)),
             zone_cache: Mutex::new(HashMap::new()),
+            wal: Mutex::new(None),
         })
+    }
+
+    /// Open a heap file for crash recovery: the file length is rounded
+    /// down to whole pages (a torn final allocation is discarded), no
+    /// page is validated eagerly (torn pages are expected — redo
+    /// re-materializes them) and the row count starts at zero (call
+    /// [`TableHeap::recount_rows`] once replay settles). Returns whether
+    /// a partial trailing page was trimmed.
+    pub fn open_for_recovery(
+        path: impl AsRef<Path>,
+        fingerprint: u64,
+        pool_pages: usize,
+    ) -> StoreResult<(Self, bool)> {
+        let (disk, trimmed) = DiskManager::open_trimming(path)?;
+        let pool = BufferPool::new(disk, pool_pages);
+        let pages = pool.disk().page_count();
+        Ok((
+            TableHeap {
+                pool,
+                fingerprint,
+                rows: AtomicU64::new(0),
+                tail: Mutex::new(pages.checked_sub(1)),
+                zone_cache: Mutex::new(HashMap::new()),
+                wal: Mutex::new(None),
+            },
+            trimmed,
+        ))
+    }
+
+    /// Route every future append through `wal`, tagged as `table`. Also
+    /// hooks the buffer pool so dirty write-backs sync the log first
+    /// (the write-ahead invariant).
+    pub fn attach_wal(&self, wal: Arc<Wal>, table: impl Into<String>) {
+        self.pool.attach_wal(Arc::clone(&wal));
+        *self.wal.lock().unwrap_or_else(|e| e.into_inner()) = Some(WalSink {
+            wal,
+            table: table.into(),
+        });
     }
 
     /// The schema fingerprint every page of this heap carries.
@@ -158,6 +210,7 @@ impl TableHeap {
                 let inserted = page.insert(record)?;
                 debug_assert!(inserted.is_some(), "free-space check guaranteed fit");
                 stamp(&mut page);
+                self.log_append(&mut page, id, record, zone)?;
                 drop(page);
                 self.rows.fetch_add(1, Ordering::Relaxed);
                 return Ok(id);
@@ -172,10 +225,181 @@ impl TableHeap {
             )));
         }
         stamp(&mut page);
+        // The tail lock serializes allocations on this heap, so the next
+        // page id is known before `allocate` runs — the WAL record (and
+        // the page's LSN) must exist before the page can hit disk.
+        let next = self.pool.disk().page_count();
+        self.log_append(&mut page, next, record, zone)?;
         let (id, _guard) = self.pool.allocate(page)?;
+        debug_assert_eq!(id, next, "tail lock serializes heap allocation");
         *tail = Some(id);
         self.rows.fetch_add(1, Ordering::Relaxed);
         Ok(id)
+    }
+
+    /// Log one acknowledged append to the attached WAL (no-op when
+    /// detached): a full-page image the first time `id` is touched in
+    /// the current checkpoint epoch, a logical record afterwards. The
+    /// returned LSN is stamped onto the in-memory page so redo can tell
+    /// whether the on-disk copy already contains this change.
+    fn log_append(
+        &self,
+        page: &mut Page,
+        id: PageId,
+        record: &[u8],
+        zone: Option<(i64, i64, Option<i64>)>,
+    ) -> StoreResult<()> {
+        let sink = self.wal.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let Some(sink) = sink else { return Ok(()) };
+        let lsn = if sink.wal.first_touch(&sink.table, id) {
+            sink.wal.append(&WalRecord::HeapPageImage {
+                table: sink.table.clone(),
+                fingerprint: self.fingerprint,
+                page: id,
+                image: Box::new(*page.as_bytes()),
+            })?
+        } else {
+            sink.wal.append(&WalRecord::HeapAppend {
+                table: sink.table.clone(),
+                fingerprint: self.fingerprint,
+                page: id,
+                zone,
+                record: record.to_vec(),
+            })?
+        };
+        page.set_lsn(lsn);
+        Ok(())
+    }
+
+    /// Redo one logged full-page image: overwrite (or append) page `id`
+    /// unless the resident copy already carries an LSN at or past `lsn`.
+    /// A page that fails its checksum is exactly what the image repairs,
+    /// so corruption counts as "older". Returns whether it applied.
+    pub fn redo_page_image(
+        &self,
+        id: PageId,
+        image: &[u8; PAGE_SIZE],
+        lsn: u64,
+    ) -> StoreResult<bool> {
+        let mut tail = self.tail.lock().unwrap_or_else(|e| e.into_inner());
+        let pages = self.page_count();
+        if id > pages {
+            // A gap means every page in between was lost with the log
+            // tail — this image belongs to work that was never
+            // acknowledged, so it is safe to skip.
+            eprintln!(
+                "temporal-store: skipping page image for page {id} past end of heap ({pages} pages)"
+            );
+            return Ok(false);
+        }
+        if id < pages {
+            match self.pool.fetch(id) {
+                Ok(guard) => {
+                    if guard.read().lsn() >= lsn {
+                        return Ok(false);
+                    }
+                }
+                Err(StoreError::Corrupt(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut page = Page::zeroed();
+        page.as_bytes_mut().copy_from_slice(image);
+        page.set_lsn(lsn);
+        self.pool.overwrite(id, page)?;
+        self.zone_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
+        let pages = self.page_count();
+        *tail = pages.checked_sub(1);
+        Ok(true)
+    }
+
+    /// Redo one logged record append into page `id`, skipping it when
+    /// the page's LSN shows the insert already happened. The page must
+    /// exist: the WAL images every page before logging logical appends
+    /// against it, so a missing page means the log is inconsistent.
+    pub fn redo_append(
+        &self,
+        id: PageId,
+        record: &[u8],
+        zone: Option<(i64, i64, Option<i64>)>,
+        lsn: u64,
+    ) -> StoreResult<bool> {
+        let _tail = self.tail.lock().unwrap_or_else(|e| e.into_inner());
+        if id >= self.page_count() {
+            return Err(StoreError::Corrupt(format!(
+                "wal replays a record into page {id} of a {}-page heap (missing page image)",
+                self.page_count()
+            )));
+        }
+        let guard = self.pool.fetch(id)?;
+        let mut page = guard.write();
+        if page.lsn() >= lsn {
+            return Ok(false);
+        }
+        if page.insert(record)?.is_none() {
+            return Err(StoreError::Corrupt(format!(
+                "wal replays a {}-byte record that does not fit page {id}",
+                record.len()
+            )));
+        }
+        match zone {
+            Some((ts, te, key)) => page.zone_add(ts, te, key),
+            None => page.zone_clear(),
+        }
+        page.set_lsn(lsn);
+        Ok(true)
+    }
+
+    /// Drop trailing pages that fail their checksum or header validation.
+    /// After redo, a still-corrupt tail page holds only writes that were
+    /// never acknowledged (frozen pages are never rewritten, and every
+    /// covered page was just re-materialized from its logged image), so
+    /// recovery trims it. Corruption anywhere else is *not* repaired
+    /// here — it surfaces as an error from the next full scan. Returns
+    /// the number of pages removed.
+    pub fn trim_corrupt_tail(&self) -> StoreResult<u32> {
+        let mut tail = self.tail.lock().unwrap_or_else(|e| e.into_inner());
+        let mut pages = self.page_count();
+        let mut trimmed = 0u32;
+        while pages > 0 {
+            let last = pages - 1;
+            let bad = match self.pool.fetch(last) {
+                Ok(guard) => guard.read().validate(self.fingerprint).is_err(),
+                Err(StoreError::Corrupt(_)) => true,
+                Err(e) => return Err(e),
+            };
+            if !bad {
+                break;
+            }
+            eprintln!(
+                "temporal-store: dropping torn page {last} of {} (unacknowledged writes)",
+                self.pool.disk().path().display()
+            );
+            self.pool.discard_from(last);
+            self.pool.disk().truncate_pages(last)?;
+            self.zone_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&last);
+            trimmed += 1;
+            pages = last;
+        }
+        *tail = pages.checked_sub(1);
+        Ok(trimmed)
+    }
+
+    /// Recount rows with a full validated scan (recovery may have grown,
+    /// repaired or trimmed pages since the cached count was taken).
+    pub fn recount_rows(&self) -> StoreResult<u64> {
+        let mut rows = 0u64;
+        for id in 0..self.page_count() {
+            rows += self.with_page(id, |page| Ok(page.tuple_count() as u64))?;
+        }
+        self.rows.store(rows, Ordering::Relaxed);
+        Ok(rows)
     }
 
     /// The zone map of page `id`, from the header alone — no record is
@@ -225,6 +449,12 @@ impl TableHeap {
     /// Write back dirty pages and sync the file.
     pub fn flush(&self) -> StoreResult<()> {
         self.pool.flush_all()
+    }
+
+    /// Flush and close the underlying pool, surfacing any I/O error the
+    /// silent drop path would swallow.
+    pub fn close(&self) -> StoreResult<()> {
+        self.pool.close()
     }
 }
 
@@ -338,6 +568,131 @@ mod tests {
         let z_tail = heap.zone_of(heap.page_count() - 1).unwrap();
         assert!(!z_tail.time_valid);
         assert!(z_tail.may_match(&ZoneBounds::as_of(-999)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn wal_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("talign_store_heap_wal")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn attached_wal_gets_an_image_then_logical_records() {
+        let dir = wal_dir("fpi");
+        let (wal, _) = Wal::open(&dir).unwrap();
+        let heap = TableHeap::create(dir.join("t.heap"), 7, 4).unwrap();
+        heap.attach_wal(Arc::new(wal), "t");
+        for i in 0..3i64 {
+            heap.append_with_zone(&[i as u8; 16], i, i + 1, Some(i))
+                .unwrap();
+        }
+        drop(heap);
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert!(!scan.tail_truncated);
+        let recs: Vec<&WalRecord> = scan.records.iter().map(|(_, r)| r).collect();
+        assert_eq!(recs.len(), 3);
+        assert!(
+            matches!(recs[0], WalRecord::HeapPageImage { table, page: 0, .. } if table == "t"),
+            "first touch of a page logs its full image"
+        );
+        for rec in &recs[1..] {
+            assert!(matches!(
+                rec,
+                WalRecord::HeapAppend { table, page: 0, zone: Some(_), .. } if table == "t"
+            ));
+        }
+    }
+
+    #[test]
+    fn redo_rebuilds_unflushed_appends_and_is_idempotent() {
+        let dir = wal_dir("redo");
+        let (wal, _) = Wal::open(&dir).unwrap();
+        let wal = Arc::new(wal);
+        let path = dir.join("t.heap");
+        let heap = TableHeap::create(&path, 9, 4).unwrap();
+        heap.attach_wal(Arc::clone(&wal), "t");
+        let record = [5u8; 900];
+        for i in 0..10i64 {
+            heap.append_with_zone(&record, i, i + 2, None).unwrap();
+        }
+        wal.commit().unwrap();
+        // Crash: the heap's dirty pages never reach disk.
+        std::mem::forget(heap);
+        drop(wal);
+
+        let (_, scan) = Wal::open(&dir).unwrap();
+        let (heap, trimmed) = TableHeap::open_for_recovery(&path, 9, 4).unwrap();
+        assert!(!trimmed);
+        for _ in 0..2 {
+            // The second pass must be a no-op: LSNs make redo idempotent.
+            for (lsn, rec) in &scan.records {
+                match rec {
+                    WalRecord::HeapPageImage { page, image, .. } => {
+                        heap.redo_page_image(*page, image, *lsn).unwrap();
+                    }
+                    WalRecord::HeapAppend {
+                        page, zone, record, ..
+                    } => {
+                        heap.redo_append(*page, record, *zone, *lsn).unwrap();
+                    }
+                    other => panic!("unexpected record {other:?}"),
+                }
+            }
+            assert_eq!(heap.recount_rows().unwrap(), 10);
+        }
+        let mut seen = 0usize;
+        for id in 0..heap.page_count() {
+            heap.with_page(id, |p| {
+                for r in p.records() {
+                    assert_eq!(r.unwrap(), &record[..]);
+                    seen += 1;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(seen, 10);
+        heap.close().unwrap();
+    }
+
+    #[test]
+    fn trim_corrupt_tail_drops_only_the_torn_last_page() {
+        use std::io::{Seek, SeekFrom, Write};
+        let path = heap_path("torn.heap");
+        let heap = TableHeap::create(&path, 3, 4).unwrap();
+        let record = [1u8; 900];
+        for _ in 0..10 {
+            heap.append(&record).unwrap();
+        }
+        assert!(heap.page_count() >= 2);
+        heap.close().unwrap();
+        let rows_before_last = {
+            let heap = TableHeap::open(&path, 3, 4).unwrap();
+            let last = heap.page_count() - 1;
+            heap.row_count()
+                - heap
+                    .with_page(last, |p| Ok(p.tuple_count() as u64))
+                    .unwrap()
+        };
+        // Tear the last page: overwrite its second half with garbage.
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        let len = f.metadata().unwrap().len();
+        f.seek(SeekFrom::Start(len - (PAGE_SIZE as u64) / 2))
+            .unwrap();
+        f.write_all(&vec![0xAB; PAGE_SIZE / 2]).unwrap();
+        drop(f);
+
+        let (heap, trimmed) = TableHeap::open_for_recovery(&path, 3, 4).unwrap();
+        assert!(!trimmed);
+        assert_eq!(heap.trim_corrupt_tail().unwrap(), 1);
+        assert_eq!(heap.recount_rows().unwrap(), rows_before_last);
+        // Appends keep working after the trim.
+        heap.append(&record).unwrap();
+        assert_eq!(heap.row_count(), rows_before_last + 1);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -17,7 +17,14 @@
 //!   physical shape of one table;
 //! * [`manifest::Manifest`] — the `manifest.tsv` catalog-metadata file of
 //!   a database directory (table name → heap file, schema fingerprint,
-//!   opaque schema string).
+//!   opaque schema string);
+//! * [`wal::Wal`] — the write-ahead log (`wal.log`) of one database
+//!   directory: CRC-framed, LSN-stamped records with a [`wal::SyncMode`]
+//!   policy and sharp checkpoints, the substrate for the engine's
+//!   redo-only crash recovery;
+//! * [`failpoints`] — named fault-injection sites (crash / torn write /
+//!   bit flip) on every write path, active only under the `failpoints`
+//!   cargo feature, driving the crash-matrix recovery suite.
 //!
 //! The tuple encoding (rows ↔ records, schemas ↔ fingerprints) lives one
 //! layer up in `temporal-engine`'s storage glue, which also provides the
@@ -47,12 +54,15 @@
 //! ```
 
 pub mod buffer;
+pub mod crc32c;
 pub mod disk;
 pub mod error;
+pub mod failpoints;
 pub mod heap;
 pub mod index;
 pub mod manifest;
 pub mod page;
+pub mod wal;
 
 pub use buffer::{BufferPool, PageGuard, DEFAULT_POOL_PAGES};
 pub use disk::DiskManager;
@@ -61,3 +71,4 @@ pub use heap::TableHeap;
 pub use index::{IndexEntry, IntervalIndex};
 pub use manifest::{Manifest, TableMeta, MANIFEST_FILE};
 pub use page::{Page, PageId, PageZone, SlotId, ZoneBounds, MAX_RECORD_SIZE, PAGE_SIZE};
+pub use wal::{SyncMode, Wal, WalRecord, WalScan, WAL_FILE};

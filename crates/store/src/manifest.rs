@@ -100,6 +100,9 @@ impl Manifest {
 
     /// Atomically save the manifest into `dir` (temp file + rename).
     pub fn save(&self, dir: &Path) -> StoreResult<()> {
+        if crate::failpoints::power_cut() {
+            return Err(crate::failpoints::power_cut_error());
+        }
         std::fs::create_dir_all(dir)?;
         let mut out = String::from(HEADER);
         out.push('\n');
@@ -128,8 +131,58 @@ impl Manifest {
             out.push('\n');
         }
         let tmp = dir.join(format!(".{MANIFEST_FILE}.tmp"));
+        match crate::failpoints::hit("manifest::save") {
+            Some(crate::failpoints::Action::Crash) => {
+                #[cfg(feature = "failpoints")]
+                crate::failpoints::trip_power_cut();
+                return Err(crate::failpoints::power_cut_error());
+            }
+            Some(crate::failpoints::Action::Torn { keep }) => {
+                // Tear the *temp* file and stop before the rename: the
+                // previous manifest must survive untouched.
+                let keep = keep.min(out.len());
+                std::fs::write(&tmp, &out.as_bytes()[..keep])?;
+                #[cfg(feature = "failpoints")]
+                crate::failpoints::trip_power_cut();
+                return Err(crate::failpoints::power_cut_error());
+            }
+            Some(crate::failpoints::Action::FlipBit { offset }) => {
+                let mut bytes = out.into_bytes();
+                let len = bytes.len();
+                bytes[offset % len] ^= 1;
+                out = String::from_utf8_lossy(&bytes).into_owned();
+            }
+            None => {}
+        }
         std::fs::write(&tmp, out)?;
         std::fs::rename(&tmp, Self::path_in(dir))?;
+        Ok(())
+    }
+
+    /// Check that every file the manifest references exists in `dir`,
+    /// returning a [`StoreError::Missing`] naming the first absent heap
+    /// or index file. Run at open time: failing fast with a clear error
+    /// beats a confusing mid-query I/O failure from a half-copied
+    /// database directory.
+    pub fn verify_files(&self, dir: &Path) -> StoreResult<()> {
+        for (name, meta) in &self.tables {
+            let heap = dir.join(&meta.file);
+            if !heap.is_file() {
+                return Err(StoreError::Missing(format!(
+                    "table {name:?}: heap file {} referenced by the manifest does not exist",
+                    heap.display()
+                )));
+            }
+            if let Some(index) = &meta.index {
+                let index = dir.join(index);
+                if !index.is_file() {
+                    return Err(StoreError::Missing(format!(
+                        "table {name:?}: index file {} referenced by the manifest does not exist",
+                        index.display()
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -245,6 +298,24 @@ mod tests {
         let mut m = Manifest::default();
         m.insert("bad\tname", meta("f.heap"));
         assert!(m.save(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_files_names_the_missing_file() {
+        let dir = tmpdir("verify");
+        let mut m = Manifest::default();
+        let mut r = meta("r.heap");
+        r.index = Some("r.tidx".to_string());
+        m.insert("r", r);
+        // Nothing on disk yet: the heap is reported first.
+        let err = m.verify_files(&dir).unwrap_err();
+        assert!(matches!(&err, StoreError::Missing(msg) if msg.contains("r.heap")));
+        std::fs::write(dir.join("r.heap"), b"").unwrap();
+        let err = m.verify_files(&dir).unwrap_err();
+        assert!(matches!(&err, StoreError::Missing(msg) if msg.contains("r.tidx")));
+        std::fs::write(dir.join("r.tidx"), b"").unwrap();
+        m.verify_files(&dir).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

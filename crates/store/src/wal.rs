@@ -1,0 +1,927 @@
+//! The write-ahead log: one append-only `wal.log` per database directory.
+//!
+//! Every mutation of a persisted database is logged *before* its effect
+//! is acknowledged, so `Database::open` can redo the tail of history that
+//! never reached the heap files. The log is redo-only (ARIES without
+//! undo: appends are the only in-place page mutation, and an uncommitted
+//! append surviving replay is harmless — it re-creates a prefix of the
+//! in-flight batch).
+//!
+//! ## Framing
+//!
+//! The file starts with an 8-byte header (`"TWAL"` magic + format
+//! version), followed by records framed as
+//!
+//! ```text
+//! [len: u32][crc32c: u32][lsn: u64][payload: len bytes]
+//! ```
+//!
+//! where the CRC covers the LSN and payload. LSNs increase monotonically
+//! and are never reused, even across checkpoints — a page stamped with
+//! LSN `n` proves every record ≤ `n` is already applied to it, which is
+//! what makes replay idempotent. The scan on open stops at the first
+//! frame that is short, oversized, fails its CRC, or fails to decode,
+//! truncates the file there, and warns: a torn tail degrades to losing
+//! unacknowledged work, never to refusing to open.
+//!
+//! ## Full-page images
+//!
+//! The first record touching a heap page since the last checkpoint is a
+//! [`WalRecord::HeapPageImage`] (the complete post-modification page);
+//! later appends to the same page log the record bytes alone. Replay
+//! therefore always restores a torn or partially written page wholesale
+//! before logical appends land on it — the same reason PostgreSQL writes
+//! full pages after checkpoints. [`Wal::first_touch`] tracks the set of
+//! imaged pages, cleared at each checkpoint (and per table on
+//! create/drop, so a replaced table's fresh pages are re-imaged).
+//!
+//! ## Checkpoints and sync policy
+//!
+//! A checkpoint is sharp: the caller flushes every heap and index and
+//! saves the manifest *first*, then [`Wal::checkpoint`] atomically
+//! replaces the log with a fresh one holding a single
+//! [`WalRecord::Checkpoint`] (temp file + fsync + rename). A crash
+//! between the flush and the swap merely replays records whose page LSNs
+//! already mark them applied. [`SyncMode`] governs when the log is
+//! fsynced: `off` never (fast, no crash guarantee), `commit` once per
+//! logical operation, `always` after every record. Regardless of mode,
+//! the buffer pool syncs the log before writing back a dirty page — the
+//! write-*ahead* invariant — except under `off`, which explicitly opts
+//! out of torn-page protection.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::crc32c::{crc32c, crc32c_append};
+use crate::error::{StoreError, StoreResult};
+use crate::failpoints::{self, Action};
+use crate::page::{PageId, PAGE_SIZE};
+
+/// WAL file name inside a database directory.
+pub const WAL_FILE: &str = "wal.log";
+
+const WAL_MAGIC: u32 = 0x5457_414C; // "TWAL"
+const WAL_VERSION: u32 = 1;
+const HEADER_LEN: u64 = 8;
+const FRAME_HEADER: usize = 16; // len + crc + lsn
+/// Upper bound on a plausible payload — anything larger in a frame
+/// header means the length field itself is garbage.
+const MAX_PAYLOAD: u32 = (PAGE_SIZE as u32) * 4;
+
+/// When the log is fsynced. Parsed from the `sync_mode` GUC or the
+/// `TEMPORAL_SYNC_MODE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SyncMode {
+    /// Never fsync the log: fastest, survives process crashes that keep
+    /// the OS page cache, but an OS crash or power loss may lose or tear
+    /// acknowledged work.
+    Off = 0,
+    /// Fsync once per logical operation (the default).
+    Commit = 1,
+    /// Fsync after every record — the paranoid setting CI uses to catch
+    /// ordering bugs that only matter when syncs are real.
+    Always = 2,
+}
+
+impl SyncMode {
+    /// Parse a GUC/env spelling; `None` for anything unrecognized.
+    pub fn parse(s: &str) -> Option<SyncMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "false" | "0" => Some(SyncMode::Off),
+            "commit" | "on" | "true" | "1" => Some(SyncMode::Commit),
+            "always" => Some(SyncMode::Always),
+            _ => None,
+        }
+    }
+
+    /// The default mode: `TEMPORAL_SYNC_MODE` if set and valid, else
+    /// `commit`. Read once per process.
+    pub fn from_env() -> SyncMode {
+        static DEFAULT: OnceLock<SyncMode> = OnceLock::new();
+        *DEFAULT.get_or_init(|| {
+            std::env::var("TEMPORAL_SYNC_MODE")
+                .ok()
+                .and_then(|s| SyncMode::parse(&s))
+                .unwrap_or(SyncMode::Commit)
+        })
+    }
+
+    fn from_u8(v: u8) -> SyncMode {
+        match v {
+            0 => SyncMode::Off,
+            2 => SyncMode::Always,
+            _ => SyncMode::Commit,
+        }
+    }
+}
+
+impl std::fmt::Display for SyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SyncMode::Off => "off",
+            SyncMode::Commit => "commit",
+            SyncMode::Always => "always",
+        })
+    }
+}
+
+/// One logged mutation. The payload encoding is a tag byte followed by
+/// little-endian fields; strings are `u16`-length-prefixed UTF-8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A table was created or replaced: the manifest entry to (re)apply.
+    /// Logged after the heap/index files are in place, so replay skips
+    /// entries whose files vanished (the create never completed).
+    TableUpsert {
+        name: String,
+        file: String,
+        fingerprint: u64,
+        rows: u64,
+        schema: String,
+        index: Option<String>,
+    },
+    /// A table was dropped: remove the manifest entry and its files.
+    TableDrop { name: String },
+    /// One record appended to an already-imaged heap page. Carries the
+    /// table's schema fingerprint so replay never applies a stale
+    /// record to a replaced (re-fingerprinted) heap.
+    HeapAppend {
+        table: String,
+        fingerprint: u64,
+        page: PageId,
+        /// Zone-map delta: `None` poisons the page zone, `Some` widens it.
+        zone: Option<(i64, i64, Option<i64>)>,
+        record: Vec<u8>,
+    },
+    /// Full post-modification image of a heap page — the first record
+    /// touching the page since the last checkpoint.
+    HeapPageImage {
+        table: String,
+        fingerprint: u64,
+        page: PageId,
+        image: Box<[u8; PAGE_SIZE]>,
+    },
+    /// Everything before this record is flushed and synced.
+    Checkpoint,
+}
+
+const TAG_TABLE_UPSERT: u8 = 1;
+const TAG_TABLE_DROP: u8 = 2;
+const TAG_HEAP_APPEND: u8 = 3;
+const TAG_HEAP_PAGE_IMAGE: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> StoreResult<()> {
+    let len = u16::try_from(s.len()).map_err(|_| {
+        StoreError::Capacity(format!("WAL string field too long: {} bytes", s.len()))
+    })?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> StoreResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(StoreError::Corrupt("WAL record payload truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> StoreResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> StoreResult<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> StoreResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> StoreResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> StoreResult<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn str(&mut self) -> StoreResult<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("WAL string field is not UTF-8".into()))
+    }
+
+    fn done(&self) -> StoreResult<()> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::Corrupt(format!(
+                "WAL record has {} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl WalRecord {
+    fn encode(&self) -> StoreResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            WalRecord::TableUpsert {
+                name,
+                file,
+                fingerprint,
+                rows,
+                schema,
+                index,
+            } => {
+                out.push(TAG_TABLE_UPSERT);
+                put_str(&mut out, name)?;
+                put_str(&mut out, file)?;
+                out.extend_from_slice(&fingerprint.to_le_bytes());
+                out.extend_from_slice(&rows.to_le_bytes());
+                put_str(&mut out, schema)?;
+                match index {
+                    Some(ix) => {
+                        out.push(1);
+                        put_str(&mut out, ix)?;
+                    }
+                    None => out.push(0),
+                }
+            }
+            WalRecord::TableDrop { name } => {
+                out.push(TAG_TABLE_DROP);
+                put_str(&mut out, name)?;
+            }
+            WalRecord::HeapAppend {
+                table,
+                fingerprint,
+                page,
+                zone,
+                record,
+            } => {
+                out.push(TAG_HEAP_APPEND);
+                put_str(&mut out, table)?;
+                out.extend_from_slice(&fingerprint.to_le_bytes());
+                out.extend_from_slice(&page.to_le_bytes());
+                match zone {
+                    None => out.push(0),
+                    Some((ts, te, key)) => {
+                        out.push(if key.is_some() { 2 } else { 1 });
+                        out.extend_from_slice(&ts.to_le_bytes());
+                        out.extend_from_slice(&te.to_le_bytes());
+                        if let Some(k) = key {
+                            out.extend_from_slice(&k.to_le_bytes());
+                        }
+                    }
+                }
+                out.extend_from_slice(&(record.len() as u32).to_le_bytes());
+                out.extend_from_slice(record);
+            }
+            WalRecord::HeapPageImage {
+                table,
+                fingerprint,
+                page,
+                image,
+            } => {
+                out.push(TAG_HEAP_PAGE_IMAGE);
+                put_str(&mut out, table)?;
+                out.extend_from_slice(&fingerprint.to_le_bytes());
+                out.extend_from_slice(&page.to_le_bytes());
+                out.extend_from_slice(&image[..]);
+            }
+            WalRecord::Checkpoint => out.push(TAG_CHECKPOINT),
+        }
+        Ok(out)
+    }
+
+    fn decode(payload: &[u8]) -> StoreResult<WalRecord> {
+        let mut c = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let rec = match c.u8()? {
+            TAG_TABLE_UPSERT => {
+                let name = c.str()?;
+                let file = c.str()?;
+                let fingerprint = c.u64()?;
+                let rows = c.u64()?;
+                let schema = c.str()?;
+                let index = match c.u8()? {
+                    0 => None,
+                    1 => Some(c.str()?),
+                    f => {
+                        return Err(StoreError::Corrupt(format!(
+                            "WAL table-upsert has bad index flag {f}"
+                        )))
+                    }
+                };
+                WalRecord::TableUpsert {
+                    name,
+                    file,
+                    fingerprint,
+                    rows,
+                    schema,
+                    index,
+                }
+            }
+            TAG_TABLE_DROP => WalRecord::TableDrop { name: c.str()? },
+            TAG_HEAP_APPEND => {
+                let table = c.str()?;
+                let fingerprint = c.u64()?;
+                let page = c.u32()?;
+                let zone = match c.u8()? {
+                    0 => None,
+                    1 => Some((c.i64()?, c.i64()?, None)),
+                    2 => {
+                        let (ts, te) = (c.i64()?, c.i64()?);
+                        Some((ts, te, Some(c.i64()?)))
+                    }
+                    f => {
+                        return Err(StoreError::Corrupt(format!(
+                            "WAL heap-append has bad zone flag {f}"
+                        )))
+                    }
+                };
+                let len = c.u32()? as usize;
+                let record = c.take(len)?.to_vec();
+                WalRecord::HeapAppend {
+                    table,
+                    fingerprint,
+                    page,
+                    zone,
+                    record,
+                }
+            }
+            TAG_HEAP_PAGE_IMAGE => {
+                let table = c.str()?;
+                let fingerprint = c.u64()?;
+                let page = c.u32()?;
+                let mut image = Box::new([0u8; PAGE_SIZE]);
+                image.copy_from_slice(c.take(PAGE_SIZE)?);
+                WalRecord::HeapPageImage {
+                    table,
+                    fingerprint,
+                    page,
+                    image,
+                }
+            }
+            TAG_CHECKPOINT => WalRecord::Checkpoint,
+            t => return Err(StoreError::Corrupt(format!("WAL record has bad tag {t}"))),
+        };
+        c.done()?;
+        Ok(rec)
+    }
+}
+
+/// What [`Wal::open`] found in an existing log.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Records after the last checkpoint, in log order, with their LSNs.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Whether a torn/corrupt tail was truncated away.
+    pub tail_truncated: bool,
+}
+
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    next_lsn: u64,
+    bytes_since_checkpoint: u64,
+    /// Heap pages already carrying a full-page image this checkpoint epoch.
+    imaged: HashSet<(String, PageId)>,
+}
+
+/// The write-ahead log of one database directory. Thread-safe; cheap to
+/// share behind an `Arc`.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    mode: AtomicU8,
+    /// Set by [`Wal::append`], cleared by a successful sync: lets the
+    /// write-ahead hook skip redundant fsyncs.
+    unsynced: AtomicBool,
+    appended_records: AtomicU64,
+    syncs: AtomicU64,
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    /// The log path inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(WAL_FILE)
+    }
+
+    /// Open (creating if absent) the log of `dir` and scan it. The scan
+    /// validates every frame; the first torn or corrupt one truncates the
+    /// file there with a warning on stderr — recovery then replays
+    /// whatever consistent prefix survived.
+    pub fn open(dir: &Path) -> StoreResult<(Wal, WalScan)> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::path_in(dir);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(&WAL_MAGIC.to_le_bytes())?;
+            file.write_all(&WAL_VERSION.to_le_bytes())?;
+            bytes.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+            bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        }
+        if bytes.len() < HEADER_LEN as usize
+            || bytes[0..4] != WAL_MAGIC.to_le_bytes()
+            || bytes[4..8] != WAL_VERSION.to_le_bytes()
+        {
+            // A mangled header means nothing in the file can be trusted;
+            // start a fresh log rather than refuse to open.
+            eprintln!(
+                "temporal-store: WAL header of {} is corrupt — starting a fresh log",
+                path.display()
+            );
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&WAL_MAGIC.to_le_bytes())?;
+            file.write_all(&WAL_VERSION.to_le_bytes())?;
+            // Keep `bytes` mirroring the file so the scan below lands on
+            // `valid_end == HEADER_LEN` — seeking to 0 here would let the
+            // next append overwrite the header we just rewrote.
+            bytes.clear();
+            bytes.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+            bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        }
+        let mut records: Vec<(u64, WalRecord)> = Vec::new();
+        let mut max_lsn = 0u64;
+        let mut pos = (HEADER_LEN as usize).min(bytes.len());
+        let mut valid_end = pos;
+        let mut tail_truncated = false;
+        while pos + FRAME_HEADER <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let lsn = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8 bytes"));
+            if len > MAX_PAYLOAD || pos + FRAME_HEADER + len as usize > bytes.len() {
+                tail_truncated = true;
+                break;
+            }
+            let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len as usize];
+            if crc32c_append(crc32c(&lsn.to_le_bytes()), payload) != crc {
+                tail_truncated = true;
+                break;
+            }
+            let rec = match WalRecord::decode(payload) {
+                Ok(r) => r,
+                Err(_) => {
+                    tail_truncated = true;
+                    break;
+                }
+            };
+            if matches!(rec, WalRecord::Checkpoint) {
+                records.clear();
+            } else {
+                records.push((lsn, rec));
+            }
+            max_lsn = max_lsn.max(lsn);
+            pos += FRAME_HEADER + len as usize;
+            valid_end = pos;
+        }
+        if pos != bytes.len() && pos + FRAME_HEADER > bytes.len() {
+            // A dangling partial frame header is a torn tail too.
+            tail_truncated = true;
+        }
+        if tail_truncated {
+            eprintln!(
+                "temporal-store: WAL tail of {} is torn or corrupt at offset {valid_end} — \
+                 truncating ({} intact records kept)",
+                path.display(),
+                records.len()
+            );
+            file.set_len(valid_end as u64)?;
+        }
+        file.seek(SeekFrom::Start(valid_end as u64))?;
+        let wal = Wal {
+            path,
+            mode: AtomicU8::new(SyncMode::from_env() as u8),
+            unsynced: AtomicBool::new(false),
+            appended_records: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            inner: Mutex::new(WalInner {
+                file,
+                next_lsn: max_lsn + 1,
+                bytes_since_checkpoint: (valid_end as u64).saturating_sub(HEADER_LEN),
+                imaged: HashSet::new(),
+            }),
+        };
+        let scan = WalScan {
+            records,
+            tail_truncated,
+        };
+        Ok((wal, scan))
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The current sync policy.
+    pub fn mode(&self) -> SyncMode {
+        SyncMode::from_u8(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Change the sync policy (the `sync_mode` GUC).
+    pub fn set_mode(&self, mode: SyncMode) {
+        self.mode.store(mode as u8, Ordering::Relaxed);
+    }
+
+    /// Records appended since open (observability).
+    pub fn records_appended(&self) -> u64 {
+        self.appended_records.load(Ordering::Relaxed)
+    }
+
+    /// Fsyncs issued on the log since open (observability).
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Log bytes written since the last checkpoint — the
+    /// `wal_checkpoint_pages` trigger reads this.
+    pub fn bytes_since_checkpoint(&self) -> u64 {
+        self.lock().bytes_since_checkpoint
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WalInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record that `page` of `table` is about to be modified; returns
+    /// `true` when this is its first touch this checkpoint epoch, i.e.
+    /// the caller must log a full-page image instead of a logical append.
+    pub fn first_touch(&self, table: &str, page: PageId) -> bool {
+        self.lock().imaged.insert((table.to_string(), page))
+    }
+
+    /// Append one record, returning its LSN. Under `always` the record
+    /// is fsynced before returning; under `commit` the caller ends the
+    /// logical operation with [`Wal::commit`].
+    pub fn append(&self, rec: &WalRecord) -> StoreResult<u64> {
+        if failpoints::power_cut() {
+            return Err(failpoints::power_cut_error());
+        }
+        let payload = rec.encode()?;
+        // Creating or dropping a table invalidates any imaged-page
+        // bookkeeping for its name: a replacement heap's pages must be
+        // re-imaged before logical appends may target them.
+        let reset_table = match rec {
+            WalRecord::TableUpsert { name, .. } | WalRecord::TableDrop { name } => {
+                Some(name.clone())
+            }
+            _ => None,
+        };
+        let mut inner = self.lock();
+        let lsn = inner.next_lsn;
+        let crc = crc32c_append(crc32c(&lsn.to_le_bytes()), &payload);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&lsn.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        match failpoints::hit("wal::append") {
+            Some(Action::Crash) => {
+                #[cfg(feature = "failpoints")]
+                failpoints::trip_power_cut();
+                return Err(failpoints::power_cut_error());
+            }
+            Some(Action::Torn { keep }) => {
+                let keep = keep.min(frame.len());
+                inner.file.write_all(&frame[..keep])?;
+                #[cfg(feature = "failpoints")]
+                failpoints::trip_power_cut();
+                return Err(failpoints::power_cut_error());
+            }
+            Some(Action::FlipBit { offset }) => {
+                let off = offset % frame.len();
+                frame[off] ^= 1;
+            }
+            None => {}
+        }
+        inner.file.write_all(&frame)?;
+        inner.next_lsn += 1;
+        inner.bytes_since_checkpoint += frame.len() as u64;
+        if let Some(name) = reset_table {
+            inner.imaged.retain(|(t, _)| *t != name);
+        }
+        self.unsynced.store(true, Ordering::SeqCst);
+        self.appended_records.fetch_add(1, Ordering::Relaxed);
+        if self.mode() == SyncMode::Always {
+            self.sync_locked(&mut inner)?;
+        }
+        Ok(lsn)
+    }
+
+    fn sync_locked(&self, inner: &mut WalInner) -> StoreResult<()> {
+        if failpoints::power_cut() {
+            return Err(failpoints::power_cut_error());
+        }
+        if let Some(Action::Crash | Action::Torn { .. }) = failpoints::hit("wal::sync") {
+            #[cfg(feature = "failpoints")]
+            failpoints::trip_power_cut();
+            return Err(failpoints::power_cut_error());
+        }
+        inner.file.sync_data()?;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.unsynced.store(false, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// End-of-operation durability point: fsync under `commit`/`always`,
+    /// no-op under `off`.
+    pub fn commit(&self) -> StoreResult<()> {
+        if self.mode() == SyncMode::Off {
+            return Ok(());
+        }
+        if !self.unsynced.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut inner = self.lock();
+        self.sync_locked(&mut inner)
+    }
+
+    /// The write-*ahead* hook: called by the buffer pool before a dirty
+    /// heap page reaches disk, so the log records describing that page
+    /// are durable first. No-op when everything is already synced or
+    /// under `off` (which opts out of torn-page protection).
+    pub fn sync_for_write_ahead(&self) -> StoreResult<()> {
+        if self.mode() == SyncMode::Off {
+            return Ok(());
+        }
+        if !self.unsynced.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut inner = self.lock();
+        self.sync_locked(&mut inner)
+    }
+
+    /// Atomically replace the log with a fresh one holding a single
+    /// checkpoint record. The caller must have flushed and synced every
+    /// heap and index and saved the manifest *before* calling this. LSNs
+    /// keep increasing across the swap.
+    pub fn checkpoint(&self) -> StoreResult<u64> {
+        if failpoints::power_cut() {
+            return Err(failpoints::power_cut_error());
+        }
+        let mut inner = self.lock();
+        let lsn = inner.next_lsn;
+        let payload = WalRecord::Checkpoint.encode()?;
+        let crc = crc32c_append(crc32c(&lsn.to_le_bytes()), &payload);
+        let tmp = self.path.with_extension("log.tmp");
+        let mut out = File::create(&tmp)?;
+        out.write_all(&WAL_MAGIC.to_le_bytes())?;
+        out.write_all(&WAL_VERSION.to_le_bytes())?;
+        out.write_all(&(payload.len() as u32).to_le_bytes())?;
+        out.write_all(&crc.to_le_bytes())?;
+        out.write_all(&lsn.to_le_bytes())?;
+        out.write_all(&payload)?;
+        out.sync_all()?;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        if let Some(Action::Crash | Action::Torn { .. }) = failpoints::hit("wal::checkpoint") {
+            #[cfg(feature = "failpoints")]
+            failpoints::trip_power_cut();
+            return Err(failpoints::power_cut_error());
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        inner.file = file;
+        inner.next_lsn = lsn + 1;
+        inner.bytes_since_checkpoint = 0;
+        inner.imaged.clear();
+        self.unsynced.store(false, Ordering::SeqCst);
+        Ok(lsn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("talign_store_wal_tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::TableUpsert {
+                name: "r".into(),
+                file: "r.heap".into(),
+                fingerprint: 0xfeed,
+                rows: 3,
+                schema: "a:int,ts:int,te:int".into(),
+                index: Some("r.tidx".into()),
+            },
+            WalRecord::HeapPageImage {
+                table: "r".into(),
+                fingerprint: 0xfeed,
+                page: 0,
+                image: Box::new([0xabu8; PAGE_SIZE]),
+            },
+            WalRecord::HeapAppend {
+                table: "r".into(),
+                fingerprint: 0xfeed,
+                page: 0,
+                zone: Some((1, 9, Some(42))),
+                record: vec![1, 2, 3, 4],
+            },
+            WalRecord::HeapAppend {
+                table: "r".into(),
+                fingerprint: 0xfeed,
+                page: 0,
+                zone: None,
+                record: vec![],
+            },
+            WalRecord::TableDrop { name: "s".into() },
+        ]
+    }
+
+    #[test]
+    fn record_codec_roundtrips() {
+        for rec in sample_records() {
+            let bytes = rec.encode().unwrap();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), rec);
+        }
+        assert_eq!(
+            WalRecord::decode(&WalRecord::Checkpoint.encode().unwrap()).unwrap(),
+            WalRecord::Checkpoint
+        );
+    }
+
+    #[test]
+    fn append_scan_roundtrip_with_monotonic_lsns() {
+        let dir = tmpdir("roundtrip");
+        let recs = sample_records();
+        {
+            let (wal, scan) = Wal::open(&dir).unwrap();
+            assert!(scan.records.is_empty());
+            assert!(!scan.tail_truncated);
+            let mut last = 0;
+            for rec in &recs {
+                let lsn = wal.append(rec).unwrap();
+                assert!(lsn > last);
+                last = lsn;
+            }
+            wal.commit().unwrap();
+        }
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert!(!scan.tail_truncated);
+        let back: Vec<WalRecord> = scan.records.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(back, recs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_good_record() {
+        let dir = tmpdir("torn");
+        {
+            let (wal, _) = Wal::open(&dir).unwrap();
+            for rec in sample_records() {
+                wal.append(&rec).unwrap();
+            }
+            wal.commit().unwrap();
+        }
+        let path = Wal::path_in(&dir);
+        let full = std::fs::read(&path).unwrap();
+        // Chop the file mid-way through the last record: scan keeps the
+        // prefix and truncates the file to it.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert!(scan.tail_truncated);
+        assert_eq!(scan.records.len(), sample_records().len() - 1);
+        assert!(std::fs::metadata(&path).unwrap().len() < full.len() as u64 - 3);
+        // The truncated log is clean on the next open.
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert!(!scan.tail_truncated);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_any_record_drops_it_and_the_suffix() {
+        let dir = tmpdir("bitflip");
+        {
+            let (wal, _) = Wal::open(&dir).unwrap();
+            for rec in sample_records() {
+                wal.append(&rec).unwrap();
+            }
+            wal.commit().unwrap();
+        }
+        let path = Wal::path_in(&dir);
+        let pristine = std::fs::read(&path).unwrap();
+        let mut corrupt = pristine.clone();
+        let mid = HEADER_LEN as usize + (pristine.len() - HEADER_LEN as usize) / 2;
+        corrupt[mid] ^= 0x10;
+        std::fs::write(&path, &corrupt).unwrap();
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert!(scan.tail_truncated);
+        assert!(scan.records.len() < sample_records().len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_resets_log_and_keeps_lsns_monotonic() {
+        let dir = tmpdir("checkpoint");
+        let (wal, _) = Wal::open(&dir).unwrap();
+        let mut last = 0;
+        for rec in sample_records() {
+            last = wal.append(&rec).unwrap();
+        }
+        assert!(wal.bytes_since_checkpoint() > PAGE_SIZE as u64);
+        let ck = wal.checkpoint().unwrap();
+        assert!(ck > last);
+        assert_eq!(wal.bytes_since_checkpoint(), 0);
+        let post = wal
+            .append(&WalRecord::TableDrop { name: "r".into() })
+            .unwrap();
+        assert!(post > ck);
+        drop(wal);
+        // Replay sees only the post-checkpoint record.
+        let (_, scan) = Wal::open(&dir).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].0, post);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn first_touch_tracks_per_epoch_and_per_table() {
+        let dir = tmpdir("first_touch");
+        let (wal, _) = Wal::open(&dir).unwrap();
+        assert!(wal.first_touch("r", 0));
+        assert!(!wal.first_touch("r", 0));
+        assert!(wal.first_touch("r", 1));
+        assert!(wal.first_touch("s", 0));
+        // Dropping a table forgets its pages; an unrelated table keeps its.
+        wal.append(&WalRecord::TableDrop { name: "r".into() })
+            .unwrap();
+        assert!(wal.first_touch("r", 0));
+        assert!(!wal.first_touch("s", 0));
+        // A checkpoint forgets everything.
+        wal.checkpoint().unwrap();
+        assert!(wal.first_touch("s", 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_mode_parses_and_counts_syncs() {
+        assert_eq!(SyncMode::parse("off"), Some(SyncMode::Off));
+        assert_eq!(SyncMode::parse("COMMIT"), Some(SyncMode::Commit));
+        assert_eq!(SyncMode::parse(" always "), Some(SyncMode::Always));
+        assert_eq!(SyncMode::parse("fsync-maybe"), None);
+        let dir = tmpdir("sync_counts");
+        let (wal, _) = Wal::open(&dir).unwrap();
+        wal.set_mode(SyncMode::Off);
+        wal.append(&WalRecord::TableDrop { name: "a".into() })
+            .unwrap();
+        wal.commit().unwrap();
+        assert_eq!(wal.syncs(), 0);
+        wal.set_mode(SyncMode::Always);
+        wal.append(&WalRecord::TableDrop { name: "b".into() })
+            .unwrap();
+        assert_eq!(wal.syncs(), 1);
+        wal.set_mode(SyncMode::Commit);
+        wal.append(&WalRecord::TableDrop { name: "c".into() })
+            .unwrap();
+        assert_eq!(wal.syncs(), 1);
+        wal.commit().unwrap();
+        assert_eq!(wal.syncs(), 2);
+        wal.commit().unwrap(); // nothing new to sync
+        assert_eq!(wal.syncs(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
