@@ -5,7 +5,8 @@
 //! ```
 //!
 //! `<exp>` ∈ {table1, fig13, fig14, fig15a, fig15b, fig15c, fig15d,
-//! fig16a, fig16b, all} (default: all). Default sweeps are scaled to run
+//! fig16a, fig16b, ablation, chain, storage, timeslice, wal, serve,
+//! all} (default: all). Default sweeps are scaled to run
 //! in minutes on a laptop; `--full` uses the paper's input sizes (up to
 //! 80k–200k tuples — the quadratic `sql` baselines then take a long time,
 //! exactly as in the paper where they run for 1000+ seconds).
@@ -672,6 +673,87 @@ fn wal(full: bool) {
     save("wal", &points);
 }
 
+/// Group commit under concurrent clients (ISSUE 9): 1–8 connections
+/// hammer one *served* database with single-batch `INSERT`s over the
+/// wire under `sync_mode = commit`. Commits overlap, so the WAL's
+/// group-commit flusher satisfies several of them with one fsync —
+/// the reported `fsyncs/commit` drops below 1 as soon as committers
+/// run concurrently, while `commits/s` holds or rises.
+fn serve(full: bool) {
+    use temporal_core::prelude::Database;
+    use temporal_server::{Client, Response, Server};
+    let commits_per_client: usize = if full { 400 } else { 100 };
+    let dir = std::env::temp_dir().join("talign_bench_serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut points = Vec::new();
+    for &clients in &[1usize, 2, 4, 8] {
+        let d = dir.join(format!("c{clients}"));
+        let db = Database::open(&d).expect("open serve bench dir");
+        db.set_str("sync_mode", "commit").expect("set sync_mode");
+        let (base, _) = ddisj(16);
+        db.register("t", &base).expect("register");
+        let (c0, s0) = db.wal_stats().expect("wal stats");
+        let server = Server::bind(db.clone(), "127.0.0.1:0").expect("bind");
+        let addr = server.addr().to_string();
+        let handle = server.spawn();
+        let (dt, _) = time(|| {
+            let threads: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = addr.clone();
+                    std::thread::spawn(move || {
+                        let mut cl = Client::connect(&addr).expect("connect");
+                        for i in 0..commits_per_client {
+                            let j = (c * commits_per_client + i) as i64;
+                            let sql =
+                                format!("INSERT INTO t VALUES ({j}, {}, {})", 2 * j, 2 * j + 1);
+                            loop {
+                                match cl.execute(&sql).expect("insert") {
+                                    Response::Affected(_) => break,
+                                    Response::Error(e) if e.contains("busy") => continue,
+                                    other => panic!("insert: {other:?}"),
+                                }
+                            }
+                        }
+                        let _ = cl.quit();
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().expect("client thread");
+            }
+            clients * commits_per_client
+        });
+        let (c1, s1) = db.wal_stats().expect("wal stats");
+        handle.stop();
+        let commits = (c1 - c0).max(1);
+        let syncs = s1 - s0;
+        println!(
+            "clients={clients}: {:.0} commits/s, {:.3} fsyncs/commit ({commits} commits, {syncs} fsyncs)",
+            commits as f64 / dt.as_secs_f64(),
+            syncs as f64 / commits as f64
+        );
+        points.push(Point {
+            series: "commits".into(),
+            n: clients,
+            seconds: dt.as_secs_f64(),
+            output_rows: commits as usize,
+        });
+        points.push(Point {
+            series: "io_syncs".into(),
+            n: clients,
+            seconds: dt.as_secs_f64(),
+            output_rows: syncs as usize,
+        });
+        db.close().expect("close");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    print_points(
+        "Serve: group commit — concurrent committers share WAL fsyncs (fsyncs/commit = io_syncs ÷ commits per row pair)",
+        &points,
+    );
+    save("serve", &points);
+}
+
 fn table1() {
     println!("\n=== Table 1 (verified executably in semantics::properties)");
     println!("{}", render_table1());
@@ -706,6 +788,7 @@ fn main() {
         "storage" => storage(full),
         "timeslice" => timeslice(full),
         "wal" => wal(full),
+        "serve" => serve(full),
         "all" => {
             table1();
             fig13(full);
@@ -721,10 +804,11 @@ fn main() {
             storage(full);
             timeslice(full);
             wal(full);
+            serve(full);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|ablation|chain|storage|timeslice|wal|all"
+                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|ablation|chain|storage|timeslice|wal|serve|all"
             );
             std::process::exit(2);
         }

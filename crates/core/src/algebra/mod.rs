@@ -12,7 +12,7 @@ mod frame;
 mod plan;
 mod reduction;
 
-pub use frame::{Database, TemporalFrame};
+pub use frame::{Database, SessionGuard, TemporalFrame};
 pub use plan::TemporalPlan;
 pub use reduction::{
     reduce_aggregation, reduce_antijoin, reduce_join, reduce_projection, reduce_selection,

@@ -87,7 +87,9 @@ pub mod trel;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::algebra::{Database, TemporalAlgebra, TemporalFrame, TemporalPlan};
+    pub use crate::algebra::{
+        Database, SessionGuard, TemporalAlgebra, TemporalFrame, TemporalPlan,
+    };
     pub use crate::allen::{relate, AllenRelation};
     pub use crate::coalesce::{coalesce, snapshot_equivalent};
     pub use crate::date::{date_interval, fmt_day, Date};

@@ -25,6 +25,10 @@ pub enum EngineError {
     Internal(String),
     /// The query was cancelled via its execution state.
     Cancelled,
+    /// Another session holds the writer lock and the bounded wait expired.
+    /// Writers are serialized; callers should retry rather than assume
+    /// corruption.
+    Busy(String),
 }
 
 impl fmt::Display for EngineError {
@@ -40,6 +44,7 @@ impl fmt::Display for EngineError {
             EngineError::Storage(m) => write!(f, "storage error: {m}"),
             EngineError::Internal(m) => write!(f, "internal error: {m}"),
             EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Busy(m) => write!(f, "busy: {m}"),
         }
     }
 }

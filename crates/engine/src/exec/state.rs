@@ -14,9 +14,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use temporal_store::HeapSnapshot;
+
 use crate::error::{EngineError, EngineResult};
 use crate::plan::PlannerConfig;
 use crate::relation::Relation;
+use crate::storage::StoredTable;
 
 /// Monotonic per-query execution counters. All relaxed atomics: the stats
 /// are diagnostic, never load-bearing for correctness.
@@ -75,6 +78,12 @@ pub struct ExecutionState {
     /// so two workers hitting the same spool serialize on that spool only
     /// and nested spools cannot deadlock the registry.
     spools: Mutex<HashMap<usize, SpoolSlot>>,
+    /// Heap snapshots pinned by this query, keyed by table identity
+    /// (`Arc` pointer). The first scan of a table captures its snapshot;
+    /// every later scan — other morsels, other plan nodes, the pruning
+    /// page resolver — reuses it, so one statement sees one consistent
+    /// prefix of each table no matter how writers race it.
+    snapshots: Mutex<HashMap<usize, HeapSnapshot>>,
 }
 
 impl ExecutionState {
@@ -85,7 +94,18 @@ impl ExecutionState {
             cancelled: AtomicBool::new(false),
             stats: ExecStats::default(),
             spools: Mutex::new(HashMap::new()),
+            snapshots: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The statement-level [`HeapSnapshot`] of `table`, captured on first
+    /// use and memoized for the rest of the execution (see the `snapshots`
+    /// field). Identity is the `Arc` pointer: a re-registered table is a
+    /// different allocation and gets its own snapshot.
+    pub fn snapshot_for(&self, table: &Arc<StoredTable>) -> HeapSnapshot {
+        let key = Arc::as_ptr(table) as usize;
+        let mut map = self.snapshots.lock().expect("snapshot registry poisoned");
+        *map.entry(key).or_insert_with(|| table.snapshot())
     }
 
     /// The GUC snapshot this query runs under.

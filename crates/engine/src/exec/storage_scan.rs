@@ -15,6 +15,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use temporal_store::HeapSnapshot;
+
 use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
 use crate::exec::{ExecNode, ExecutionState};
@@ -32,6 +34,12 @@ pub struct StorageScanExec {
     pages: Option<Arc<Vec<u32>>>,
     next_page: u32,
     end_page: u32,
+    /// The statement snapshot this scan is clamped to, resolved from the
+    /// execution state on first pull (constructors don't see the state).
+    /// Pages past the snapshot are skipped and the snapshot's tail page is
+    /// decoded as a prefix, so the scan never observes a concurrent
+    /// writer's in-flight appends.
+    snapshot: Option<HeapSnapshot>,
     pending: VecDeque<Row>,
 }
 
@@ -43,6 +51,7 @@ impl StorageScanExec {
             pages: None,
             next_page: 0,
             end_page,
+            snapshot: None,
             pending: VecDeque::new(),
         }
     }
@@ -56,6 +65,7 @@ impl StorageScanExec {
             pages: None,
             next_page: start.min(end_page),
             end_page,
+            snapshot: None,
             pending: VecDeque::new(),
         }
     }
@@ -75,20 +85,32 @@ impl StorageScanExec {
             pages: Some(pages),
             next_page: start.min(end_page),
             end_page,
+            snapshot: None,
             pending: VecDeque::new(),
         }
     }
 
     /// Decode pages until `pending` holds at least `want` rows or the
-    /// morsel's page set is exhausted.
+    /// morsel's page set is exhausted. Every decode is clamped to the
+    /// statement snapshot (shared across all morsels of the query via
+    /// [`ExecutionState::snapshot_for`]): fully-visible pages decode
+    /// whole, the snapshot's tail page decodes as a tuple prefix, and
+    /// pages appended after the snapshot are skipped entirely.
     fn refill(&mut self, want: usize, state: &ExecutionState) -> EngineResult<()> {
+        let snap = *self
+            .snapshot
+            .get_or_insert_with(|| state.snapshot_for(&self.table));
         while self.pending.len() < want && self.next_page < self.end_page {
             let page_no = match &self.pages {
                 Some(list) => list[self.next_page as usize],
                 None => self.next_page,
             };
-            let rows = self.table.decode_page(page_no)?;
             self.next_page += 1;
+            let rows = match snap.visible_tuples(page_no) {
+                None => self.table.decode_page(page_no)?,
+                Some(0) => continue,
+                Some(tail) => self.table.decode_page_prefix(page_no, tail)?,
+            };
             state.note_page_read();
             self.pending.extend(rows);
         }
@@ -212,6 +234,46 @@ mod tests {
             })
             .collect();
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scan_is_clamped_to_the_statement_snapshot() {
+        let t = stored("snapclamp.heap", 1000, 4);
+        let state = ExecutionState::default();
+        // Pin the statement snapshot, then race in more rows.
+        let snap = state.snapshot_for(&t);
+        assert_eq!(snap.rows, 1000);
+        for i in 1000..2500 {
+            t.append_row(&Row::new(vec![Value::Int(i), Value::str(format!("r{i}"))]))
+                .unwrap();
+        }
+        assert_eq!(t.row_count(), 2500);
+        // Full scan under the pinned state sees exactly the old prefix…
+        let out = collect(
+            Box::new(StorageScanExec::new(t.clone())) as BoxedExec,
+            &state,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out.rows().last().unwrap()[0], Value::Int(999));
+        // …and so does a morsel over the (now larger) live page range.
+        let part = collect(
+            Box::new(StorageScanExec::with_page_range(
+                t.clone(),
+                0,
+                t.page_count(),
+            )) as BoxedExec,
+            &state,
+        )
+        .unwrap();
+        assert_eq!(part.len(), 1000);
+        // A fresh state snapshots the current heap and sees everything.
+        let fresh = collect(
+            Box::new(StorageScanExec::new(t)) as BoxedExec,
+            &ExecutionState::default(),
+        )
+        .unwrap();
+        assert_eq!(fresh.len(), 2500);
     }
 
     #[test]

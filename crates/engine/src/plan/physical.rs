@@ -260,7 +260,10 @@ impl PhysicalPlan {
     /// `None` means "read everything" — either the node carries no bounds
     /// or every pruning structure is disabled/absent. The result is
     /// conservative: pages are only dropped when their zone or index
-    /// evidence proves no row can match.
+    /// evidence proves no row can match. Resolved page sets are clamped to
+    /// the statement's heap snapshot, so a zone sweep or index probe that
+    /// races a concurrent appender never hands the scan a page past the
+    /// snapshot watermark.
     fn resolve_scan_pages(&self, state: &ExecutionState) -> EngineResult<Option<PrunedScan>> {
         Ok(match self {
             PhysicalPlan::StorageScan {
@@ -268,16 +271,20 @@ impl PhysicalPlan {
                 bounds: Some(bounds),
                 ..
             } if state.config().enable_zonemaps => {
-                let pages = table.zone_surviving_pages(bounds)?;
+                let snap = state.snapshot_for(table);
+                let mut pages = table.zone_surviving_pages(bounds)?;
+                pages.retain(|&p| snap.sees_page(p));
                 Some((table.clone(), Arc::new(pages)))
             }
             PhysicalPlan::IndexScan { table, bounds, .. } => {
                 let config = state.config();
+                let snap = state.snapshot_for(table);
                 if config.enable_interval_index {
                     if let Some(index) = table.index() {
                         let mut pages = index
                             .probe(bounds.ts_le, bounds.te_gt)
                             .map_err(crate::error::EngineError::from)?;
+                        pages.retain(|&p| snap.sees_page(p));
                         if config.enable_zonemaps {
                             // Zone re-check: the index only knows ts/te, the
                             // zones also carry key bounds and lower ts bounds.
@@ -295,7 +302,9 @@ impl PhysicalPlan {
                 // Index missing or disabled: degrade to a zone sweep, or a
                 // full scan when zone maps are off too.
                 if config.enable_zonemaps {
-                    Some((table.clone(), Arc::new(table.zone_surviving_pages(bounds)?)))
+                    let mut pages = table.zone_surviving_pages(bounds)?;
+                    pages.retain(|&p| snap.sees_page(p));
+                    Some((table.clone(), Arc::new(pages)))
                 } else {
                     None
                 }

@@ -13,7 +13,7 @@ use std::hash::Hasher;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use temporal_store::{IndexEntry, Page, PageId, TableHeap};
+use temporal_store::{AppendBatch, HeapSnapshot, IndexEntry, Page, PageId, TableHeap};
 
 use crate::error::{EngineError, EngineResult};
 use crate::hashing::FxHasher;
@@ -302,6 +302,21 @@ impl StoredTable {
         self.heap.page_count()
     }
 
+    /// Consistent visibility snapshot of the heap: an immutable prefix
+    /// `(pages, tail_tuples)` that concurrent appends never rewrite, so a
+    /// reader holding the snapshot scans a stable table prefix without
+    /// blocking writers (see [`HeapSnapshot`]).
+    pub fn snapshot(&self) -> HeapSnapshot {
+        self.heap.snapshot()
+    }
+
+    /// Defer snapshot publication of subsequent appends until the guard
+    /// drops — a multi-row write becomes visible to new snapshots
+    /// atomically instead of row by row.
+    pub fn begin_batch(&self) -> AppendBatch<'_> {
+        self.heap.begin_batch()
+    }
+
     /// Disk reads performed so far (buffer pool misses).
     pub fn io_reads(&self) -> u64 {
         self.heap.pool().io_reads()
@@ -429,6 +444,33 @@ impl StoredTable {
             .with_page(page_no, |page: &Page| {
                 let mut rows = Vec::with_capacity(page.tuple_count() as usize);
                 for rec in page.records() {
+                    let rec = rec?;
+                    match decode_row(rec, arity) {
+                        Ok(r) => rows.push(r),
+                        Err(e) => {
+                            return Err(temporal_store::StoreError::Corrupt(format!(
+                                "page {page_no}: {e}"
+                            )))
+                        }
+                    }
+                }
+                Ok(rows)
+            })
+            .map_err(EngineError::from)
+    }
+
+    /// Decode at most the first `limit` tuples of heap page `page_no` —
+    /// the clamped decode used when a page is the partially-visible tail
+    /// of a [`HeapSnapshot`]. Records appended past the snapshot's
+    /// watermark land after the prefix, so truncating the record iterator
+    /// is exactly the snapshot's visibility rule.
+    pub fn decode_page_prefix(&self, page_no: u32, limit: u16) -> EngineResult<Vec<Row>> {
+        let arity = self.schema.len();
+        self.heap
+            .with_page(page_no, |page: &Page| {
+                let visible = limit.min(page.tuple_count());
+                let mut rows = Vec::with_capacity(visible as usize);
+                for rec in page.records().take(visible as usize) {
                     let rec = rec?;
                     match decode_row(rec, arity) {
                         Ok(r) => rows.push(r),

@@ -1,7 +1,10 @@
-//! `tsql` — an interactive shell for the temporal SQL dialect.
+//! `tsql` — an interactive shell for the temporal SQL dialect, plus the
+//! server and client modes for concurrent multi-client serving.
 //!
 //! ```text
-//! cargo run -p temporal-sql --bin tsql [--demo] [DIR]
+//! cargo run -p temporal-server --bin tsql [--demo] [DIR]
+//! cargo run -p temporal-server --bin tsql -- --serve DIR [--listen ADDR]
+//! cargo run -p temporal-server --bin tsql -- --connect ADDR
 //! ```
 //!
 //! With `--demo`, the paper's running example (relations `r` and `p`,
@@ -9,7 +12,16 @@
 //! table are preloaded. With a `DIR` argument the shell opens (or
 //! creates) the **persisted database** rooted at that directory: its
 //! manifest's tables attach as heap-file-backed catalog entries and DDL
-//! writes through to disk. Statements end with `;`. Meta commands:
+//! writes through to disk.
+//!
+//! `--serve DIR` opens the persisted database and accepts concurrent
+//! clients on `ADDR` (default `127.0.0.1:5433`; an address containing
+//! `/` binds a Unix socket). Each connection gets its own session:
+//! planner `SET`s stay per-connection, readers run on heap snapshots,
+//! and concurrent commits share WAL fsyncs (group commit). `--connect
+//! ADDR` is the matching line-mode client.
+//!
+//! Statements end with `;`. Meta commands (local shell only):
 //!
 //! * `.tables` (or `\d`) — list tables,
 //! * `.schema <t>` — show a table's columns,
@@ -30,7 +42,11 @@ use std::io::{BufRead, Write};
 
 use temporal_core::prelude::*;
 use temporal_engine::prelude::*;
+use temporal_server::{Client, Server};
 use temporal_sql::{Session, SqlOutput};
+
+/// Default TCP listen address for `--serve`.
+const DEFAULT_LISTEN: &str = "127.0.0.1:5433";
 
 fn demo_session() -> Session {
     use temporal_core::interval::month::ym;
@@ -136,19 +152,130 @@ fn meta_command(session: &mut Session, line: &str) -> bool {
     true
 }
 
+/// `tsql --serve DIR [--listen ADDR]`: open the persisted database and
+/// accept connections until killed.
+fn serve(dir: &str, listen: &str) -> ! {
+    let db = match Database::open(dir) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error opening {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let tables = db.list_tables().len();
+    let server = match Server::bind(db, listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error binding {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "serving {dir} ({tables} tables) on {}; one session per connection",
+        server.addr()
+    );
+    if let Err(e) = server.serve() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `tsql --connect ADDR`: line-mode remote REPL.
+fn connect(addr: &str) -> ! {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error connecting to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("connected to {addr}; statements end with ';', \\q quits");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    eprint!("tsql> ");
+    std::io::stderr().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            if trimmed.is_empty() {
+                eprint!("tsql> ");
+                std::io::stderr().flush().ok();
+                continue;
+            }
+            if trimmed == "\\q" {
+                let _ = client.quit();
+                break;
+            }
+        }
+        // Multi-line entry folds onto one wire line (space-joined).
+        if !buffer.is_empty() {
+            buffer.push(' ');
+        }
+        buffer.push_str(trimmed);
+        if !trimmed.ends_with(';') {
+            eprint!("  ... ");
+            std::io::stderr().flush().ok();
+            continue;
+        }
+        let stmt = std::mem::take(&mut buffer);
+        match client.execute(stmt.trim_end_matches(';')) {
+            Ok(resp) => println!("{}", resp.render()),
+            Err(e) => {
+                eprintln!("connection error: {e}");
+                std::process::exit(1);
+            }
+        }
+        eprint!("tsql> ");
+        std::io::stderr().flush().ok();
+    }
+    std::process::exit(0);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tsql [--demo] [DIR]\n       tsql --serve DIR [--listen ADDR]\n       tsql --connect ADDR"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let mut demo = false;
     let mut dir: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut serve_dir: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut connect_addr: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--demo" => demo = true,
+            "--serve" => match args.next() {
+                Some(d) => serve_dir = Some(d),
+                None => usage(),
+            },
+            "--listen" => match args.next() {
+                Some(a) => listen = Some(a),
+                None => usage(),
+            },
+            "--connect" => match args.next() {
+                Some(a) => connect_addr = Some(a),
+                None => usage(),
+            },
             other if !other.starts_with('-') => dir = Some(other.to_string()),
             other => {
-                eprintln!("unknown flag: {other} (usage: tsql [--demo] [DIR])");
-                std::process::exit(2);
+                eprintln!("unknown flag: {other}");
+                usage();
             }
         }
     }
+    if let Some(addr) = connect_addr {
+        connect(&addr);
+    }
+    if let Some(dir) = serve_dir {
+        serve(&dir, listen.as_deref().unwrap_or(DEFAULT_LISTEN));
+    }
+
     let mut session = if let Some(dir) = dir {
         match Database::open(&dir) {
             Ok(db) => {
@@ -172,10 +299,7 @@ fn main() {
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
-    let interactive = true;
-    if interactive {
-        eprint!("tsql> ");
-    }
+    eprint!("tsql> ");
     std::io::stderr().flush().ok();
 
     for line in stdin.lock().lines() {
@@ -211,7 +335,7 @@ fn main() {
             Ok(SqlOutput::Rows(rel)) => println!("{}", rel.to_table()),
             Ok(SqlOutput::Explain(plan)) => println!("{plan}"),
             Ok(SqlOutput::Ok) => println!("OK"),
-            Ok(SqlOutput::Affected(n)) => println!("COPY {n}"),
+            Ok(SqlOutput::Affected(n)) => println!("AFFECTED {n}"),
             Err(e) => println!("error: {e}"),
         }
         eprint!("tsql> ");

@@ -1,0 +1,312 @@
+//! The wire protocol spoken between `tsql --serve` and its clients.
+//!
+//! The protocol is a deliberately simple, line-oriented exchange — the
+//! serving layer is infrastructure for the paper's algebra, not a study
+//! of wire formats — chosen so that `nc`/`socat` work as ad-hoc clients:
+//!
+//! * **Request**: one SQL statement per line (a trailing `;` is
+//!   accepted and stripped). Blank lines are ignored; `\q` closes the
+//!   connection.
+//! * **Response**: exactly one of
+//!   * `OK` — statement succeeded with no result (SET, CREATE TABLE, …),
+//!   * `AFFECTED <n>` — statement appended/changed `n` rows (INSERT, COPY),
+//!   * `ERR <message>` — failure; `<message>` is escaped onto one line,
+//!   * `ROWS <nrows> <ncols>` — followed by one header line of
+//!     tab-separated column names, `<nrows>` tab-separated data lines,
+//!     and a trailing `END` line.
+//!
+//! Fields escape `\` as `\\`, tab as `\t`, newline as `\n`, and carriage
+//! return as `\r`; SQL `NULL` is the bare field `\N` (as in PostgreSQL's
+//! `COPY` text format). EXPLAIN output is returned as a one-row, one-column
+//! (`plan`) result set with the newlines of the rendered plan escaped.
+
+use std::io::{self, BufRead, Write};
+
+use temporal_engine::prelude::{Relation, Value};
+use temporal_sql::SqlOutput;
+
+/// Escape one field for the wire: `\\`, `\t`, `\n`, `\r`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. Unknown escapes keep the escaped character; a
+/// trailing lone backslash is kept literally.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Serialize one value as a wire field (`\N` for NULL).
+pub fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "\\N".to_string(),
+        Value::Str(s) => escape(s),
+        other => escape(&other.to_string()),
+    }
+}
+
+/// Decode one wire field (`\N` → `None`).
+pub fn decode_field(field: &str) -> Option<String> {
+    if field == "\\N" {
+        None
+    } else {
+        Some(unescape(field))
+    }
+}
+
+/// Write the `ROWS` framing for a result relation.
+fn write_relation<W: Write>(w: &mut W, rel: &Relation) -> io::Result<()> {
+    writeln!(w, "ROWS {} {}", rel.len(), rel.schema().len())?;
+    let header: Vec<String> = rel.schema().names().into_iter().map(escape).collect();
+    writeln!(w, "{}", header.join("\t"))?;
+    for row in rel.iter() {
+        let fields: Vec<String> = row.values().iter().map(encode_value).collect();
+        writeln!(w, "{}", fields.join("\t"))?;
+    }
+    writeln!(w, "END")
+}
+
+/// Serialize one statement outcome.
+pub fn write_output<W: Write>(w: &mut W, out: &SqlOutput) -> io::Result<()> {
+    match out {
+        SqlOutput::Ok => writeln!(w, "OK"),
+        SqlOutput::Affected(n) => writeln!(w, "AFFECTED {n}"),
+        SqlOutput::Rows(rel) => write_relation(w, rel),
+        SqlOutput::Explain(plan) => {
+            writeln!(w, "ROWS 1 1")?;
+            writeln!(w, "plan")?;
+            writeln!(w, "{}", escape(plan))?;
+            writeln!(w, "END")
+        }
+    }
+}
+
+/// Serialize a failure.
+pub fn write_error<W: Write>(w: &mut W, msg: &str) -> io::Result<()> {
+    writeln!(w, "ERR {}", escape(msg))
+}
+
+/// A parsed server response (the client side of [`write_output`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `OK`
+    Ok,
+    /// `AFFECTED <n>`
+    Affected(u64),
+    /// `ERR <message>` (unescaped)
+    Error(String),
+    /// `ROWS …` block; `None` cells are SQL NULLs.
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Vec<Option<String>>>,
+    },
+}
+
+impl Response {
+    /// Render for an interactive client: a plain aligned table for rows,
+    /// the bare status otherwise.
+    pub fn render(&self) -> String {
+        match self {
+            Response::Ok => "OK".to_string(),
+            Response::Affected(n) => format!("AFFECTED {n}"),
+            Response::Error(msg) => format!("error: {msg}"),
+            Response::Rows { columns, rows } => {
+                let mut out = String::new();
+                out.push_str(&columns.join("\t"));
+                for row in rows {
+                    out.push('\n');
+                    let line: Vec<&str> =
+                        row.iter().map(|c| c.as_deref().unwrap_or("NULL")).collect();
+                    out.push_str(&line.join("\t"));
+                }
+                out.push_str(&format!("\n({} rows)", rows.len()));
+                out
+            }
+        }
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Read one full response from the server.
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
+    let status = read_line(r)?;
+    if status == "OK" {
+        return Ok(Response::Ok);
+    }
+    if let Some(rest) = status.strip_prefix("AFFECTED ") {
+        let n = rest.trim().parse::<u64>().map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad count: {status}"))
+        })?;
+        return Ok(Response::Affected(n));
+    }
+    if let Some(rest) = status.strip_prefix("ERR ") {
+        return Ok(Response::Error(unescape(rest)));
+    }
+    if status == "ERR" {
+        return Ok(Response::Error(String::new()));
+    }
+    let Some(rest) = status.strip_prefix("ROWS ") else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response line: {status}"),
+        ));
+    };
+    let mut parts = rest.split_whitespace();
+    let (nrows, ncols) = match (
+        parts.next().and_then(|p| p.parse::<usize>().ok()),
+        parts.next().and_then(|p| p.parse::<usize>().ok()),
+    ) {
+        (Some(r), Some(c)) => (r, c),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad ROWS header: {status}"),
+            ))
+        }
+    };
+    let header = read_line(r)?;
+    let columns: Vec<String> = if ncols == 0 {
+        Vec::new()
+    } else {
+        header.split('\t').map(unescape).collect()
+    };
+    if columns.len() != ncols {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("header has {} columns, expected {ncols}", columns.len()),
+        ));
+    }
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let line = read_line(r)?;
+        let row: Vec<Option<String>> = line.split('\t').map(decode_field).collect();
+        if row.len() != ncols {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row has {} fields, expected {ncols}", row.len()),
+            ));
+        }
+        rows.push(row);
+    }
+    let end = read_line(r)?;
+    if end != "END" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("missing END terminator, got: {end}"),
+        ));
+    }
+    Ok(Response::Rows { columns, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_engine::prelude::*;
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in ["", "plain", "a\tb", "line\nbreak", "back\\slash", "\\N"] {
+            assert_eq!(unescape(&escape(s)), s, "roundtrip of {s:?}");
+        }
+        // The escaped form of the literal string "\N" is not the NULL
+        // sentinel: the backslash doubles.
+        assert_eq!(escape("\\N"), "\\\\N");
+        assert_eq!(decode_field("\\N"), None);
+        assert_eq!(decode_field("\\\\N"), Some("\\N".to_string()));
+    }
+
+    #[test]
+    fn rows_roundtrip_through_the_wire() {
+        let rel = Relation::new(
+            Schema::new(vec![
+                Column::new("name", DataType::Str),
+                Column::new("n", DataType::Int),
+            ]),
+            vec![
+                Row::new(vec![Value::str("ann\tor\nnot"), Value::Int(-3)]),
+                Row::new(vec![Value::Null, Value::Int(7)]),
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_output(&mut buf, &SqlOutput::Rows(rel)).unwrap();
+        let resp = read_response(&mut buf.as_slice()).unwrap();
+        match resp {
+            Response::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["name", "n"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0].as_deref(), Some("ann\tor\nnot"));
+                assert_eq!(rows[0][1].as_deref(), Some("-3"));
+                assert_eq!(rows[1][0], None);
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn statuses_roundtrip() {
+        let mut buf = Vec::new();
+        write_output(&mut buf, &SqlOutput::Ok).unwrap();
+        write_output(&mut buf, &SqlOutput::Affected(42)).unwrap();
+        write_error(&mut buf, "boom:\nmulti line").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_response(&mut r).unwrap(), Response::Ok);
+        assert_eq!(read_response(&mut r).unwrap(), Response::Affected(42));
+        assert_eq!(
+            read_response(&mut r).unwrap(),
+            Response::Error("boom:\nmulti line".to_string())
+        );
+    }
+
+    #[test]
+    fn explain_is_a_one_row_result() {
+        let mut buf = Vec::new();
+        write_output(&mut buf, &SqlOutput::Explain("Scan r\n  Filter".into())).unwrap();
+        match read_response(&mut buf.as_slice()).unwrap() {
+            Response::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["plan"]);
+                assert_eq!(rows[0][0].as_deref(), Some("Scan r\n  Filter"));
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The serving loop: one shared [`Database`], one [`Session`] per
+//! connection.
+//!
+//! The server binds either a TCP address (`host:port`) or — when the
+//! address contains a `/` — a Unix-domain socket path. Each accepted
+//! connection gets its own OS thread and its own [`Session::scoped`]:
+//! planner `SET`s are connection-local, the session counts itself in
+//! [`Database::open_sessions`] (so a concurrent `close()` or `Drop`
+//! never tears the buffer pools out from under a live connection), and
+//! all statements execute against the one shared catalog, buffer pool
+//! and WAL.
+//!
+//! Concurrency comes from the layers below, not from the server:
+//! readers run against statement-level heap snapshots and never take the
+//! writer lock; writers serialize on the database writer mutex and batch
+//! their WAL fsyncs through the group-commit flusher. The server itself
+//! holds no locks across statements.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use temporal_core::prelude::Database;
+use temporal_sql::Session;
+
+use crate::protocol;
+
+/// Does `addr` name a Unix-domain socket (any address containing `/`)?
+pub fn is_unix_addr(addr: &str) -> bool {
+    addr.contains('/')
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+/// A bound, not-yet-running server. Call [`Server::serve`] to accept
+/// connections (blocking), or [`Server::spawn`] to run it on a
+/// background thread and keep a [`ServerHandle`] for shutdown.
+pub struct Server {
+    listener: Listener,
+    db: Database,
+    addr: String,
+    stop: Arc<AtomicBool>,
+}
+
+/// Shutdown handle for a spawned server: [`ServerHandle::stop`] makes
+/// the accept loop exit after at most one more connection.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: String,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The concrete address the server listens on (the resolved port for
+    /// `host:0` TCP binds, the path for Unix sockets).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Ask the accept loop to exit. Existing connections finish their
+    /// current statement stream; the listener stops taking new ones.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Poke the listener so a blocked `accept` returns.
+        if is_unix_addr(&self.addr) {
+            let _ = UnixStream::connect(&self.addr);
+        } else {
+            let _ = TcpStream::connect(&self.addr);
+        }
+    }
+}
+
+impl Server {
+    /// Bind `addr` (TCP `host:port`, or a Unix socket path if it
+    /// contains `/`) over the shared database. A stale socket file from
+    /// a previous run is removed before binding.
+    pub fn bind(db: Database, addr: &str) -> std::io::Result<Server> {
+        if is_unix_addr(addr) {
+            let path = PathBuf::from(addr);
+            // Best-effort cleanup of a leftover socket file; bind reports
+            // the real error if the path is genuinely busy.
+            let _ = std::fs::remove_file(&path);
+            let listener = UnixListener::bind(&path)?;
+            Ok(Server {
+                listener: Listener::Unix(listener, path.clone()),
+                db,
+                addr: path.display().to_string(),
+                stop: Arc::new(AtomicBool::new(false)),
+            })
+        } else {
+            let listener = TcpListener::bind(addr)?;
+            let addr = listener.local_addr()?.to_string();
+            Ok(Server {
+                listener: Listener::Tcp(listener),
+                db,
+                addr,
+                stop: Arc::new(AtomicBool::new(false)),
+            })
+        }
+    }
+
+    /// The concrete bound address (see [`ServerHandle::addr`]).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// A shutdown handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr.clone(),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Accept connections until [`ServerHandle::stop`] is called,
+    /// spawning one session thread per connection.
+    pub fn serve(self) -> std::io::Result<()> {
+        match self.listener {
+            Listener::Tcp(listener) => {
+                for stream in listener.incoming() {
+                    if self.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let db = self.db.clone();
+                    thread::spawn(move || {
+                        if let Ok(peer) = stream.try_clone() {
+                            let _ = serve_connection(
+                                Session::scoped(db),
+                                BufReader::new(peer),
+                                BufWriter::new(stream),
+                            );
+                        }
+                    });
+                }
+            }
+            Listener::Unix(listener, path) => {
+                for stream in listener.incoming() {
+                    if self.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let db = self.db.clone();
+                    thread::spawn(move || {
+                        if let Ok(peer) = stream.try_clone() {
+                            let _ = serve_connection(
+                                Session::scoped(db),
+                                BufReader::new(peer),
+                                BufWriter::new(stream),
+                            );
+                        }
+                    });
+                }
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a background thread; returns the shutdown
+    /// handle. Used by tests and by `tsql --serve` under the hood.
+    pub fn spawn(self) -> ServerHandle {
+        let handle = self.handle();
+        thread::spawn(move || {
+            let _ = self.serve();
+        });
+        handle
+    }
+}
+
+/// Drive one connection: read a statement per line, execute it on the
+/// connection's session, write one framed response. Errors are reported
+/// in-band as `ERR …`; only I/O failures end the loop early.
+fn serve_connection<R: BufRead, W: Write>(
+    mut session: Session,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        let stmt = line.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if stmt == "\\q" {
+            break;
+        }
+        let stmt = stmt.trim_end_matches(';').trim();
+        match session.execute(stmt) {
+            Ok(out) => protocol::write_output(&mut writer, &out)?,
+            Err(e) => protocol::write_error(&mut writer, &e.to_string())?,
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::protocol::Response;
+
+    #[test]
+    fn tcp_server_round_trip() {
+        let db = Database::default();
+        let server = Server::bind(db, "127.0.0.1:0").expect("bind");
+        let addr = server.addr().to_string();
+        let handle = server.spawn();
+
+        let mut c = Client::connect(&addr).expect("connect");
+        assert_eq!(
+            c.execute("CREATE TABLE t (name str, ts int, te int)")
+                .unwrap(),
+            Response::Ok
+        );
+        assert_eq!(
+            c.execute("INSERT INTO t VALUES ('ann', 0, 7), ('joe', 1, 5);")
+                .unwrap(),
+            Response::Affected(2)
+        );
+        match c.execute("SELECT name FROM t ORDER BY name").unwrap() {
+            Response::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["name"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0].as_deref(), Some("ann"));
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+        match c.execute("SELECT nope FROM t").unwrap() {
+            Response::Error(msg) => assert!(!msg.is_empty(), "error should carry a message"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn unix_socket_server_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tsql-sock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("db.sock");
+        let addr = sock.display().to_string();
+        assert!(is_unix_addr(&addr));
+
+        let db = Database::default();
+        let handle = Server::bind(db, &addr).expect("bind unix").spawn();
+        let mut c = Client::connect(&addr).expect("connect unix");
+        assert_eq!(
+            c.execute("CREATE TABLE u (x int, ts int, te int)").unwrap(),
+            Response::Ok
+        );
+        assert_eq!(
+            c.execute("INSERT INTO u VALUES (1, 0, 2)").unwrap(),
+            Response::Affected(1)
+        );
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sessions_do_not_share_planner_sets() {
+        let db = Database::default();
+        let handle = Server::bind(db, "127.0.0.1:0").expect("bind").spawn();
+        let addr = handle.addr().to_string();
+
+        let mut a = Client::connect(&addr).unwrap();
+        let mut b = Client::connect(&addr).unwrap();
+        assert_eq!(
+            a.execute("SET enable_mergejoin = off").unwrap(),
+            Response::Ok
+        );
+        // A planner SET on a scoped session lands in the per-connection
+        // overlay, so b keeps the shared default and both keep working.
+        assert_eq!(
+            b.execute("SET enable_mergejoin = on").unwrap(),
+            Response::Ok
+        );
+        match a.execute("SET not_a_guc = on").unwrap() {
+            Response::Error(msg) => assert!(msg.contains("not_a_guc")),
+            other => panic!("expected error, got {other:?}"),
+        }
+        handle.stop();
+    }
+}

@@ -38,6 +38,14 @@ pub enum Statement {
         path: String,
         direction: CopyDirection,
     },
+    /// `INSERT INTO t VALUES (lit, …), (lit, …)` — literal row append.
+    /// Values are restricted to literals (optionally signed numbers,
+    /// strings, booleans, NULL); arity is checked against the table
+    /// schema at execution.
+    Insert {
+        table: String,
+        rows: Vec<Vec<AstExpr>>,
+    },
 }
 
 /// Direction of a `COPY` statement.

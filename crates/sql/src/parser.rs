@@ -117,7 +117,52 @@ impl Parser {
         if self.eat_kw(Kw::Copy) {
             return self.copy();
         }
+        if self.eat_kw(Kw::Insert) {
+            return self.insert();
+        }
         Ok(Statement::Select(self.select_stmt()?))
+    }
+
+    /// `INSERT INTO t VALUES (lit, …) [, (lit, …)]*` (INSERT already
+    /// eaten). Values are literal-only: numbers (optionally signed),
+    /// strings, booleans and NULL.
+    fn insert(&mut self) -> SqlResult<Statement> {
+        self.expect_kw(Kw::Into)?;
+        let table = self.expect_ident()?;
+        self.expect_kw(Kw::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.insert_literal()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    /// One literal of a VALUES row.
+    fn insert_literal(&mut self) -> SqlResult<AstExpr> {
+        let negate = self.eat(&Token::Minus);
+        match self.advance() {
+            Token::Int(v) => Ok(AstExpr::IntLit(if negate { -v } else { v })),
+            Token::Float(v) => Ok(AstExpr::FloatLit(if negate { -v } else { v })),
+            Token::Str(s) if !negate => Ok(AstExpr::StringLit(s)),
+            Token::Keyword(Kw::True) if !negate => Ok(AstExpr::BoolLit(true)),
+            Token::Keyword(Kw::False) if !negate => Ok(AstExpr::BoolLit(false)),
+            Token::Keyword(Kw::Null) if !negate => Ok(AstExpr::NullLit),
+            other => Err(SqlError::Parse(format!(
+                "VALUES accepts literals (number, string, true/false, NULL), found {other}"
+            ))),
+        }
     }
 
     /// `CREATE TABLE t (col type, …) [PERSISTED]` (CREATE already eaten).
@@ -856,6 +901,29 @@ mod tests {
             } => assert!(matches!(**right, AstExpr::Binary { op: BinOp::Mul, .. })),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn insert_values_parses() {
+        let s = parse_statement("INSERT INTO t VALUES ('ann', -1.5, 0, 8), (NULL, 2.0, -3, true)")
+            .unwrap();
+        match s {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0], AstExpr::StringLit("ann".into()));
+                assert_eq!(rows[0][1], AstExpr::FloatLit(-1.5));
+                assert_eq!(rows[1][0], AstExpr::NullLit);
+                assert_eq!(rows[1][2], AstExpr::IntLit(-3));
+                assert_eq!(rows[1][3], AstExpr::BoolLit(true));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Non-literal values and malformed forms error.
+        assert!(parse_statement("INSERT INTO t VALUES (a + 1)").is_err());
+        assert!(parse_statement("INSERT t VALUES (1)").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES 1, 2").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (-'x')").is_err());
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! planner. [`DatabaseSqlExt`] adds `db.sql("…")` directly on
 //! [`Database`], making SQL a method call away from any frame code.
 
-use temporal_core::prelude::Database;
+use std::sync::Arc;
+
+use temporal_core::prelude::{Database, SessionGuard};
 use temporal_core::trel::TemporalRelation;
 use temporal_engine::prelude::*;
 
 use crate::analyzer::Analyzer;
-use crate::ast::{CopyDirection, SetValue, Statement};
+use crate::ast::{AstExpr, CopyDirection, SetValue, Statement};
 use crate::csv::{relation_to_csv, rows_from_csv};
 use crate::error::{SqlError, SqlResult};
 use crate::parser::parse_statement;
@@ -50,9 +52,22 @@ impl SqlOutput {
 /// sessions on the same database observe the change. (The [`Analyzer`] is
 /// a zero-allocation view over the catalog and is constructed per
 /// statement.)
+///
+/// [`Session::scoped`] builds the *server* flavor instead: planner `SET`s
+/// apply to a per-session overlay (other connections are unaffected), and
+/// the session registers itself with the database so a concurrent
+/// `close()` leaves the buffer pools alone until the last connection
+/// leaves. Storage-global settings (`sync_mode`, `wal_checkpoint_pages`)
+/// stay shared either way — there is one WAL.
 #[derive(Debug, Default, Clone)]
 pub struct Session {
     db: Database,
+    /// Per-session planner-config overlay: when `Some`, `SET` writes here
+    /// and queries plan with it; the shared planner is untouched.
+    local: Option<PlannerConfig>,
+    /// Open-session registration (scoped sessions only); shared so the
+    /// session stays `Clone`.
+    _guard: Option<Arc<SessionGuard>>,
 }
 
 impl Session {
@@ -65,7 +80,26 @@ impl Session {
     /// tables registered on `db` (or via frames) are queryable here, and
     /// vice versa.
     pub fn with_database(db: Database) -> Session {
-        Session { db }
+        Session {
+            db,
+            local: None,
+            _guard: None,
+        }
+    }
+
+    /// A connection-scoped session over a shared [`Database`]: planner
+    /// `SET` statements apply only to this session (seeded from the
+    /// shared config at creation), and the session is counted in
+    /// [`Database::open_sessions`] until dropped. This is what the server
+    /// hands each client connection.
+    pub fn scoped(db: Database) -> Session {
+        let local = Some(db.config());
+        let guard = Arc::new(db.open_session());
+        Session {
+            db,
+            local,
+            _guard: Some(guard),
+        }
     }
 
     /// The shared database handle behind this session.
@@ -93,9 +127,14 @@ impl Session {
             .map_err(|e| SqlError::Engine(e.to_string()))
     }
 
-    /// The current planner configuration (join-method switches).
+    /// The planner configuration this session executes under: the local
+    /// overlay for a [`Session::scoped`] session, the shared config
+    /// otherwise.
     pub fn config(&self) -> PlannerConfig {
-        self.db.config()
+        match self.local {
+            Some(cfg) => cfg,
+            None => self.db.config(),
+        }
     }
 
     /// Execute one statement.
@@ -107,32 +146,54 @@ impl Session {
     fn run_statement(&mut self, stmt: Statement) -> SqlResult<SqlOutput> {
         match stmt {
             Statement::Set { name, value } => {
-                match value {
+                match (&mut self.local, value) {
                     // `sync_mode` is string-valued, but `off`/`on` lex as
-                    // booleans — route them back to their spellings.
-                    SetValue::Bool(b) if name.eq_ignore_ascii_case("sync_mode") => {
+                    // booleans — route them back to their spellings. Like
+                    // `wal_checkpoint_pages` it is storage-global (one
+                    // WAL), so it bypasses the session overlay.
+                    (_, SetValue::Bool(b)) if name.eq_ignore_ascii_case("sync_mode") => {
                         self.db.set_str(&name, if b { "on" } else { "off" })
                     }
-                    SetValue::Bool(b) => self.db.set(&name, b),
-                    SetValue::Int(i) => self.db.set_int(&name, i),
-                    SetValue::Ident(v) => self.db.set_str(&name, &v),
+                    (_, SetValue::Ident(v)) => self.db.set_str(&name, &v),
+                    (_, SetValue::Int(i)) if name.eq_ignore_ascii_case("wal_checkpoint_pages") => {
+                        self.db.set_int(&name, i)
+                    }
+                    // Scoped session: planner switches land in the local
+                    // overlay, other connections keep their settings.
+                    (Some(local), SetValue::Bool(b)) => local.set(&name, b).map_err(Into::into),
+                    (Some(local), SetValue::Int(i)) => local.set_int(&name, i).map_err(Into::into),
+                    (None, SetValue::Bool(b)) => self.db.set(&name, b),
+                    (None, SetValue::Int(i)) => self.db.set_int(&name, i),
                 }
-                .map_err(|e| SqlError::Analyze(e.to_string()))?;
+                .map_err(|e: temporal_core::prelude::TemporalError| {
+                    SqlError::Analyze(e.to_string())
+                })?;
                 Ok(SqlOutput::Ok)
             }
             Statement::Explain(inner) => match *inner {
-                Statement::Select(sel) => self.db.read(|catalog, planner| {
-                    let plan = Analyzer::new(catalog).analyze(&sel)?;
-                    let physical = planner.plan(&plan, catalog).map_err(SqlError::from)?;
-                    // Under a parallel configuration, show the execution
-                    // shape (exchanges, partition counts) too.
-                    let text = if planner.config.threads > 1 {
-                        physical.explain_parallel(&planner.config)
-                    } else {
-                        physical.explain()
-                    };
-                    Ok(SqlOutput::Explain(text))
-                }),
+                Statement::Select(sel) => {
+                    let local = self.local;
+                    self.db.read(|catalog, shared| {
+                        let planner;
+                        let planner = match local {
+                            Some(cfg) => {
+                                planner = Planner::new(cfg);
+                                &planner
+                            }
+                            None => shared,
+                        };
+                        let plan = Analyzer::new(catalog).analyze(&sel)?;
+                        let physical = planner.plan(&plan, catalog).map_err(SqlError::from)?;
+                        // Under a parallel configuration, show the execution
+                        // shape (exchanges, partition counts) too.
+                        let text = if planner.config.threads > 1 {
+                            physical.explain_parallel(&planner.config)
+                        } else {
+                            physical.explain()
+                        };
+                        Ok(SqlOutput::Explain(text))
+                    })
+                }
                 other => Err(SqlError::Analyze(format!(
                     "EXPLAIN supports SELECT statements, got {other:?}"
                 ))),
@@ -141,11 +202,21 @@ impl Session {
                 // Analyze and plan under the shared lock; execute after
                 // dropping it (the physical plan captures its scans), so a
                 // long query never blocks concurrent registration or SET.
-                let physical = self.db.read(|catalog, planner| {
+                // A scoped session plans with its local config overlay.
+                let local = self.local;
+                let physical = self.db.read(|catalog, shared| {
+                    let planner;
+                    let planner = match local {
+                        Some(cfg) => {
+                            planner = Planner::new(cfg);
+                            &planner
+                        }
+                        None => shared,
+                    };
                     let plan = Analyzer::new(catalog).analyze(&sel)?;
                     planner.plan(&plan, catalog).map_err(SqlError::from)
                 })?;
-                let state = ExecutionState::new(self.db.config());
+                let state = ExecutionState::new(self.config());
                 let rel = physical.collect(&state).map_err(SqlError::from)?;
                 Ok(SqlOutput::Rows(rel))
             }
@@ -215,6 +286,22 @@ impl Session {
                     Ok(SqlOutput::Affected(n))
                 }
             },
+            Statement::Insert { table, rows } => {
+                let rows = rows
+                    .into_iter()
+                    .map(|vals| {
+                        vals.into_iter()
+                            .map(literal_value)
+                            .collect::<SqlResult<Vec<_>>>()
+                            .map(Row::new)
+                    })
+                    .collect::<SqlResult<Vec<_>>>()?;
+                let n = self
+                    .db
+                    .insert_rows(&table, rows)
+                    .map_err(|e| SqlError::Engine(e.to_string()))?;
+                Ok(SqlOutput::Affected(n))
+            }
         }
     }
 
@@ -236,6 +323,23 @@ impl Session {
             _ => unreachable!("EXPLAIN produces Explain output"),
         }
     }
+}
+
+/// Evaluate one literal of an INSERT row (the parser only admits
+/// literals, so this is total over what it produces).
+fn literal_value(e: AstExpr) -> SqlResult<Value> {
+    Ok(match e {
+        AstExpr::IntLit(v) => Value::Int(v),
+        AstExpr::FloatLit(v) => Value::Double(v),
+        AstExpr::StringLit(s) => Value::str(s),
+        AstExpr::BoolLit(b) => Value::Bool(b),
+        AstExpr::NullLit => Value::Null,
+        other => {
+            return Err(SqlError::Analyze(format!(
+                "INSERT values must be literals, got {other:?}"
+            )))
+        }
+    })
 }
 
 /// SQL as a method on [`Database`]: the Rust frame API and `db.sql("…")`
@@ -315,6 +419,48 @@ mod tests {
         assert!(!b.config().enable_mergejoin);
         db.set("enable_mergejoin", true).unwrap();
         assert!(a.config().enable_mergejoin);
+    }
+
+    #[test]
+    fn insert_values_appends_rows() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (name str, x double, ts int, te int)")
+            .unwrap();
+        match s
+            .execute("INSERT INTO t VALUES ('ann', 1.5, 0, 8), ('joe', NULL, -2, 6)")
+            .unwrap()
+        {
+            SqlOutput::Affected(2) => {}
+            other => panic!("expected INSERT 2, got {other:?}"),
+        }
+        let out = s.query("SELECT name, ts FROM t WHERE ts < 0").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::str("joe"));
+        // Arity mismatch errors without appending a prefix.
+        assert!(s.execute("INSERT INTO t VALUES (1)").is_err());
+        assert_eq!(s.query("SELECT * FROM t").unwrap().len(), 2);
+        // Only literals are admitted.
+        assert!(s.execute("INSERT INTO t VALUES (name, 1, 2, 3)").is_err());
+    }
+
+    #[test]
+    fn scoped_sessions_keep_set_local_and_count_themselves() {
+        let db = Database::new();
+        db.register("r", &rel()).unwrap();
+        let mut a = Session::scoped(db.clone());
+        let b = Session::scoped(db.clone());
+        assert_eq!(db.open_sessions(), 2);
+        // SET in one scoped session is invisible to the other and to the
+        // shared planner.
+        a.execute("SET enable_mergejoin = off").unwrap();
+        assert!(!a.config().enable_mergejoin);
+        assert!(b.config().enable_mergejoin);
+        assert!(db.config().enable_mergejoin);
+        // Scoped sessions still query the shared catalog.
+        assert_eq!(a.query("SELECT n FROM r").unwrap().len(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(db.open_sessions(), 0);
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub enum Kw {
     Copy,
     To,
     Drop,
+    Insert,
+    Into,
+    Values,
 }
 
 impl Kw {
@@ -107,6 +110,9 @@ impl Kw {
             "copy" => Kw::Copy,
             "to" => Kw::To,
             "drop" => Kw::Drop,
+            "insert" => Kw::Insert,
+            "into" => Kw::Into,
+            "values" => Kw::Values,
             _ => return None,
         })
     }

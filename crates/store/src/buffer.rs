@@ -30,7 +30,6 @@ const EXHAUSTED_RETRIES: usize = 10_000;
 #[derive(Debug, Default, Clone, Copy)]
 struct FrameMeta {
     page: Option<PageId>,
-    dirty: bool,
     referenced: bool,
 }
 
@@ -54,9 +53,14 @@ struct PoolState {
 /// *claimed* (pinned, unmapped) under the guard, the guard is dropped, and
 /// the disk read runs outside it under the frame's own write latch;
 /// concurrent fetches of other pages proceed in parallel with the I/O.
-/// Dirty write-back stays under the map-guard (appends are rare): it is
-/// atomic with the victim's unmapping, so a concurrent re-fetch of the
-/// evicted page can never read the heap file before the write-back lands.
+/// Dirty bits are per-frame atomics set when a [`PageWriteGuard`] is
+/// released (still under the frame latch), so page writes never touch the
+/// pool mutex; write-back *clears* the bit before copying the frame out
+/// (swap-then-write), so a writer racing the flush leaves the bit set and
+/// the next flush rewrites the page — a mutation is never lost. Victim
+/// write-back stays under the map-guard: it is atomic with the victim's
+/// unmapping, so a concurrent re-fetch of the evicted page can never read
+/// the heap file before the write-back lands.
 #[derive(Debug)]
 pub struct BufferPool {
     disk: DiskManager,
@@ -64,6 +68,8 @@ pub struct BufferPool {
     /// Per-frame pin counts. Incremented only under the `state` guard;
     /// decremented lock-free on guard drop.
     pins: Vec<AtomicU32>,
+    /// Per-frame dirty bits, set lock-free on [`PageWriteGuard`] release.
+    dirty: Vec<AtomicBool>,
     state: Mutex<PoolState>,
     /// Pages read from disk (cache misses) — observable evidence that a
     /// scan streamed rather than materialized.
@@ -91,6 +97,7 @@ impl BufferPool {
                 .map(|_| Arc::new(RwLock::new(Page::zeroed())))
                 .collect(),
             pins: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+            dirty: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
             state: Mutex::new(PoolState {
                 table: HashMap::with_capacity(capacity),
                 meta: vec![FrameMeta::default(); capacity],
@@ -210,7 +217,6 @@ impl BufferPool {
         }
         state.meta[idx] = FrameMeta {
             page: Some(id),
-            dirty: false,
             referenced: true,
         };
         state.table.insert(id, idx);
@@ -258,7 +264,6 @@ impl BufferPool {
         };
         state.meta[idx] = FrameMeta {
             page: Some(id),
-            dirty: false,
             referenced: true,
         };
         state.table.insert(id, idx);
@@ -281,10 +286,16 @@ impl BufferPool {
         // pins == 0 guarantees no outstanding guard holds the frame latch.
         let old = state.meta[idx];
         if let Some(old_id) = old.page {
-            if old.dirty {
-                self.write_ahead()?;
-                let frame = self.frames[idx].read().unwrap_or_else(|e| e.into_inner());
-                self.disk.write_page(old_id, &frame)?;
+            if self.dirty[idx].swap(false, Ordering::Acquire) {
+                if let Err(e) = self.write_ahead().and_then(|()| {
+                    let frame = self.frames[idx].read().unwrap_or_else(|e| e.into_inner());
+                    self.disk.write_page(old_id, &frame)
+                }) {
+                    // Failed write-back: restore the bit so the page is
+                    // retried, and leave the frame mapped and unpinned.
+                    self.dirty[idx].store(true, Ordering::Release);
+                    return Err(e);
+                }
             }
             state.table.remove(&old_id);
             state.meta[idx] = FrameMeta::default();
@@ -333,25 +344,36 @@ impl BufferPool {
         debug_assert!(prev > 0, "unpin without pin");
     }
 
-    fn mark_dirty(&self, idx: usize) {
-        self.lock_state().meta[idx].dirty = true;
-    }
-
     /// Write every dirty frame back to disk *without* syncing. On error
     /// the failing frame keeps its dirty bit, so a retry rewrites it.
+    /// The dirty bit is cleared *before* the frame is copied out
+    /// (swap-then-write): a writer racing this flush re-sets the bit on
+    /// its guard release, so its mutation is rewritten by the next flush
+    /// instead of being lost under a clear-after-write protocol.
     pub fn write_back_all(&self) -> StoreResult<()> {
-        let mut state = self.lock_state();
+        let state = self.lock_state();
         let mut wrote_ahead = false;
         for idx in 0..self.frames.len() {
             let meta = state.meta[idx];
-            if let (Some(id), true) = (meta.page, meta.dirty) {
+            if let Some(id) = meta.page {
+                if !self.dirty[idx].swap(false, Ordering::Acquire) {
+                    continue;
+                }
                 if !wrote_ahead {
-                    self.write_ahead()?;
+                    if let Err(e) = self.write_ahead() {
+                        self.dirty[idx].store(true, Ordering::Release);
+                        return Err(e);
+                    }
                     wrote_ahead = true;
                 }
-                let frame = self.frames[idx].read().unwrap_or_else(|e| e.into_inner());
-                self.disk.write_page(id, &frame)?;
-                state.meta[idx].dirty = false;
+                let result = {
+                    let frame = self.frames[idx].read().unwrap_or_else(|e| e.into_inner());
+                    self.disk.write_page(id, &frame)
+                };
+                if let Err(e) = result {
+                    self.dirty[idx].store(true, Ordering::Release);
+                    return Err(e);
+                }
             }
         }
         Ok(())
@@ -413,6 +435,8 @@ impl BufferPool {
             debug_assert_eq!(self.pins[idx].load(Ordering::Acquire), 0);
             state.table.remove(&id);
             state.meta[idx] = FrameMeta::default();
+            // A stale dirty bit would write a truncated page back.
+            self.dirty[idx].store(false, Ordering::Release);
         }
     }
 }
@@ -450,10 +474,46 @@ impl PageGuard<'_> {
         self.frame.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Exclusive write access; marks the page dirty.
-    pub fn write(&self) -> RwLockWriteGuard<'_, Page> {
-        self.pool.mark_dirty(self.idx);
-        self.frame.write().unwrap_or_else(|e| e.into_inner())
+    /// Exclusive write access. The page is marked dirty when the returned
+    /// guard is *released* (while the frame latch is still held), so a
+    /// concurrent flush can never clear the dirty bit between the mark
+    /// and the mutation — see the pool's swap-then-write protocol.
+    pub fn write(&self) -> PageWriteGuard<'_> {
+        PageWriteGuard {
+            dirty: &self.pool.dirty[self.idx],
+            guard: self.frame.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+}
+
+/// Exclusive latched access to a pinned page. Dropping the guard sets the
+/// frame's dirty bit *before* the latch is released, which is the ordering
+/// the flush protocol relies on (a flusher blocked on the latch always
+/// observes the bit the mutation set).
+pub struct PageWriteGuard<'a> {
+    dirty: &'a AtomicBool,
+    guard: RwLockWriteGuard<'a, Page>,
+}
+
+impl std::ops::Deref for PageWriteGuard<'_> {
+    type Target = Page;
+
+    fn deref(&self) -> &Page {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for PageWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Page {
+        &mut self.guard
+    }
+}
+
+impl Drop for PageWriteGuard<'_> {
+    fn drop(&mut self) {
+        // Fields drop after this body, so the latch in `guard` is still
+        // held when the dirty bit lands.
+        self.dirty.store(true, Ordering::Release);
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::buffer::BufferPool;
@@ -16,6 +16,76 @@ use crate::wal::{Wal, WalRecord};
 struct WalSink {
     wal: Arc<Wal>,
     table: String,
+}
+
+/// A consistent prefix of one heap, captured atomically and readable
+/// without taking any heap lock. Because the heap is append-only, the
+/// prefix `pages 0 .. pages-1` with the last page capped at
+/// `tail_tuples` records can never change after capture: pages before
+/// the tail are frozen forever, and the tail page only *grows*. A scan
+/// that clamps itself to a snapshot therefore sees exactly the rows
+/// that were visible at capture time — snapshot isolation for readers,
+/// with writers never blocked and never blocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapSnapshot {
+    /// Number of visible pages (ids `0 .. pages`).
+    pub pages: u32,
+    /// Number of visible tuples on the last visible page (`pages - 1`).
+    pub tail_tuples: u16,
+    /// Total visible rows (a statistic for sizing decisions — exact
+    /// between batches, may lag mid-batch by design).
+    pub rows: u64,
+}
+
+impl HeapSnapshot {
+    /// The empty prefix.
+    pub const EMPTY: HeapSnapshot = HeapSnapshot {
+        pages: 0,
+        tail_tuples: 0,
+        rows: 0,
+    };
+
+    /// How many tuples of `page` this snapshot exposes: `None` means the
+    /// whole page (it is frozen below the snapshot tail), `Some(k)` caps
+    /// decoding at the first `k` slots (`Some(0)` for pages past the
+    /// snapshot entirely).
+    pub fn visible_tuples(&self, page: PageId) -> Option<u16> {
+        match (page + 1).cmp(&self.pages) {
+            std::cmp::Ordering::Less => None,
+            std::cmp::Ordering::Equal => Some(self.tail_tuples),
+            std::cmp::Ordering::Greater => Some(0),
+        }
+    }
+
+    /// Does this snapshot expose any tuple of `page`?
+    pub fn sees_page(&self, page: PageId) -> bool {
+        page + 1 < self.pages || (page + 1 == self.pages && self.tail_tuples > 0)
+    }
+
+    fn pack(pages: u32, tail_tuples: u16) -> u64 {
+        ((pages as u64) << 16) | tail_tuples as u64
+    }
+
+    fn unpack(word: u64) -> (u32, u16) {
+        ((word >> 16) as u32, (word & 0xFFFF) as u16)
+    }
+}
+
+/// Defers snapshot publication while a multi-row append batch is in
+/// flight: concurrent readers keep seeing the pre-batch prefix until the
+/// guard drops, so a batch becomes visible atomically (all rows or none)
+/// rather than row by row. Nests; the outermost drop publishes.
+#[must_use = "the batch is published when this guard drops"]
+pub struct AppendBatch<'a> {
+    heap: &'a TableHeap,
+}
+
+impl Drop for AppendBatch<'_> {
+    fn drop(&mut self) {
+        if self.heap.batch_depth.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.heap.publish_pending();
+        }
+    }
 }
 
 /// A table's heap file behind a [`BufferPool`]: records append to the last
@@ -40,6 +110,16 @@ pub struct TableHeap {
     /// acknowledged: a full-page image on the page's first touch per
     /// checkpoint epoch, a logical record afterwards.
     wal: Mutex<Option<WalSink>>,
+    /// Published prefix watermark, packed `(pages << 16) | tail_tuples`
+    /// — what [`TableHeap::snapshot`] reads, lock-free.
+    visible: AtomicU64,
+    /// Rows in the published prefix.
+    visible_rows: AtomicU64,
+    /// Latest (possibly unpublished) prefix, updated under the tail lock
+    /// on every append; promoted to `visible` outside a batch scope.
+    pending: AtomicU64,
+    /// Open [`AppendBatch`] scopes; > 0 defers publication.
+    batch_depth: AtomicU32,
 }
 
 impl TableHeap {
@@ -62,6 +142,10 @@ impl TableHeap {
             tail: Mutex::new(None),
             zone_cache: Mutex::new(HashMap::new()),
             wal: Mutex::new(None),
+            visible: AtomicU64::new(0),
+            visible_rows: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
+            batch_depth: AtomicU32::new(0),
         })
     }
 
@@ -74,6 +158,7 @@ impl TableHeap {
             rows += heap.with_page(id, |page| Ok(page.tuple_count() as u64))?;
         }
         heap.rows.store(rows, Ordering::Relaxed);
+        heap.refresh_visible()?;
         Ok(heap)
     }
 
@@ -96,14 +181,20 @@ impl TableHeap {
         if pages > 0 {
             pool.fetch(0)?.read().validate(fingerprint)?;
         }
-        Ok(TableHeap {
+        let heap = TableHeap {
             pool,
             fingerprint,
             rows: AtomicU64::new(rows),
             tail: Mutex::new(pages.checked_sub(1)),
             zone_cache: Mutex::new(HashMap::new()),
             wal: Mutex::new(None),
-        })
+            visible: AtomicU64::new(0),
+            visible_rows: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
+            batch_depth: AtomicU32::new(0),
+        };
+        heap.refresh_visible()?;
+        Ok(heap)
     }
 
     /// Open a heap file for crash recovery: the file length is rounded
@@ -128,6 +219,10 @@ impl TableHeap {
                 tail: Mutex::new(pages.checked_sub(1)),
                 zone_cache: Mutex::new(HashMap::new()),
                 wal: Mutex::new(None),
+                visible: AtomicU64::new(0),
+                visible_rows: AtomicU64::new(0),
+                pending: AtomicU64::new(0),
+                batch_depth: AtomicU32::new(0),
             },
             trimmed,
         ))
@@ -162,6 +257,61 @@ impl TableHeap {
     /// The buffer pool (for io accounting and capacity introspection).
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// Capture the currently published consistent prefix — lock-free, so
+    /// a reader opening a snapshot never waits on an in-flight append
+    /// (whose tail lock may be held across page I/O).
+    pub fn snapshot(&self) -> HeapSnapshot {
+        let (pages, tail_tuples) = HeapSnapshot::unpack(self.visible.load(Ordering::Acquire));
+        HeapSnapshot {
+            pages,
+            tail_tuples,
+            rows: self.visible_rows.load(Ordering::Acquire),
+        }
+    }
+
+    /// Open a batch scope: appends made while the guard lives stay
+    /// invisible to new snapshots until it drops, making a multi-row
+    /// batch visible atomically. (If the batch errors out part-way, the
+    /// rows appended so far are published on drop — the same prefix a
+    /// crash-recovery replay of the batch would surface.)
+    pub fn begin_batch(&self) -> AppendBatch<'_> {
+        self.batch_depth.fetch_add(1, Ordering::AcqRel);
+        AppendBatch { heap: self }
+    }
+
+    /// Promote the latest appended prefix to the published watermark.
+    fn publish_pending(&self) {
+        self.visible
+            .store(self.pending.load(Ordering::Acquire), Ordering::Release);
+        self.visible_rows
+            .store(self.rows.load(Ordering::Acquire), Ordering::Release);
+    }
+
+    /// Record (under the tail lock) that the heap now ends at `pages`
+    /// pages with `tail_tuples` records on the last one, and publish it
+    /// unless a batch scope is open.
+    fn note_append(&self, pages: u32, tail_tuples: u16) {
+        self.pending
+            .store(HeapSnapshot::pack(pages, tail_tuples), Ordering::Release);
+        if self.batch_depth.load(Ordering::Acquire) == 0 {
+            self.publish_pending();
+        }
+    }
+
+    /// Recompute the watermark from the file itself: the whole heap
+    /// becomes visible. Used at open and after recovery reshapes pages.
+    fn refresh_visible(&self) -> StoreResult<()> {
+        let pages = self.page_count();
+        let tail_tuples = match pages.checked_sub(1) {
+            Some(last) => self.with_page(last, |page| Ok(page.tuple_count()))?,
+            None => 0,
+        };
+        self.pending
+            .store(HeapSnapshot::pack(pages, tail_tuples), Ordering::Release);
+        self.publish_pending();
+        Ok(())
     }
 
     /// Append one record, spilling into a fresh page when the tail page is
@@ -211,8 +361,10 @@ impl TableHeap {
                 debug_assert!(inserted.is_some(), "free-space check guaranteed fit");
                 stamp(&mut page);
                 self.log_append(&mut page, id, record, zone)?;
+                let tail_tuples = page.tuple_count();
                 drop(page);
                 self.rows.fetch_add(1, Ordering::Relaxed);
+                self.note_append(id + 1, tail_tuples);
                 return Ok(id);
             }
         }
@@ -230,10 +382,12 @@ impl TableHeap {
         // the page's LSN) must exist before the page can hit disk.
         let next = self.pool.disk().page_count();
         self.log_append(&mut page, next, record, zone)?;
+        let tail_tuples = page.tuple_count();
         let (id, _guard) = self.pool.allocate(page)?;
         debug_assert_eq!(id, next, "tail lock serializes heap allocation");
         *tail = Some(id);
         self.rows.fetch_add(1, Ordering::Relaxed);
+        self.note_append(id + 1, tail_tuples);
         Ok(id)
     }
 
@@ -399,6 +553,7 @@ impl TableHeap {
             rows += self.with_page(id, |page| Ok(page.tuple_count() as u64))?;
         }
         self.rows.store(rows, Ordering::Relaxed);
+        self.refresh_visible()?;
         Ok(rows)
     }
 
@@ -693,6 +848,92 @@ mod tests {
         // Appends keep working after the trim.
         heap.append(&record).unwrap();
         assert_eq!(heap.row_count(), rows_before_last + 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshots_expose_a_stable_prefix() {
+        let path = heap_path("snap.heap");
+        let heap = TableHeap::create(&path, 2, 4).unwrap();
+        assert_eq!(heap.snapshot(), HeapSnapshot::EMPTY);
+        let record = [1u8; 512];
+        for _ in 0..10 {
+            heap.append(&record).unwrap();
+        }
+        let snap = heap.snapshot();
+        assert_eq!(snap.rows, 10);
+        assert_eq!(snap.pages, heap.page_count());
+        // The snapshot is immune to later appends.
+        for _ in 0..10 {
+            heap.append(&record).unwrap();
+        }
+        assert_eq!(snap.rows, 10);
+        let later = heap.snapshot();
+        assert_eq!(later.rows, 20);
+        assert!(later.pages >= snap.pages);
+        // Visible-tuple arithmetic: full pages below the tail, capped on
+        // the tail, nothing past it.
+        let mut total = 0u64;
+        for id in 0..heap.page_count() {
+            let on_page = heap.with_page(id, |p| Ok(p.tuple_count())).unwrap();
+            let visible = match snap.visible_tuples(id) {
+                None => on_page,
+                Some(k) => k.min(on_page),
+            };
+            total += visible as u64;
+        }
+        assert_eq!(total, 10, "snapshot caps decoding at its prefix");
+        assert!(snap.sees_page(0));
+        assert!(!snap.sees_page(heap.page_count()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_scope_publishes_atomically() {
+        let path = heap_path("batch.heap");
+        let heap = TableHeap::create(&path, 2, 4).unwrap();
+        heap.append(&[0u8; 64]).unwrap();
+        let batch = heap.begin_batch();
+        for _ in 0..5 {
+            heap.append(&[1u8; 64]).unwrap();
+        }
+        // Mid-batch: new snapshots still see the pre-batch prefix.
+        assert_eq!(heap.snapshot().rows, 1);
+        drop(batch);
+        assert_eq!(heap.snapshot().rows, 6);
+        // Nested scopes publish only at the outermost drop.
+        let outer = heap.begin_batch();
+        {
+            let inner = heap.begin_batch();
+            heap.append(&[2u8; 64]).unwrap();
+            drop(inner);
+            assert_eq!(heap.snapshot().rows, 6);
+        }
+        heap.append(&[3u8; 64]).unwrap();
+        drop(outer);
+        assert_eq!(heap.snapshot().rows, 8);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_restores_the_watermark() {
+        let path = heap_path("snap_reopen.heap");
+        let heap = TableHeap::create(&path, 4, 4).unwrap();
+        for _ in 0..7 {
+            heap.append(&[9u8; 128]).unwrap();
+        }
+        heap.close().unwrap();
+        let pages = heap.page_count();
+        drop(heap);
+        // Fast path (manifest-trusted count) and slow path both publish
+        // the full heap.
+        let heap = TableHeap::open_with_count(&path, 4, 4, 7).unwrap();
+        let snap = heap.snapshot();
+        assert_eq!((snap.pages, snap.rows), (pages, 7));
+        drop(heap);
+        let heap = TableHeap::open(&path, 4, 4).unwrap();
+        let snap = heap.snapshot();
+        assert_eq!((snap.pages, snap.rows), (pages, 7));
         std::fs::remove_file(&path).unwrap();
     }
 

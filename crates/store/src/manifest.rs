@@ -47,6 +47,12 @@ pub struct TableMeta {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
     tables: BTreeMap<String, TableMeta>,
+    /// Snapshot epoch: bumped by every committed write batch and saved
+    /// with the manifest, so a reopened database resumes its version
+    /// counter instead of restarting at zero. Serialized as a
+    /// `# epoch <n>` comment line — pre-epoch loaders skip it, and a
+    /// manifest without one loads as epoch 0.
+    epoch: u64,
 }
 
 impl Manifest {
@@ -66,8 +72,14 @@ impl Manifest {
             Err(e) => return Err(e.into()),
         };
         let mut tables = BTreeMap::new();
+        let mut epoch = 0u64;
         for (i, line) in text.lines().enumerate() {
             if line.starts_with('#') || line.trim().is_empty() {
+                if let Some(rest) = line.strip_prefix("# epoch ") {
+                    epoch = rest.trim().parse::<u64>().map_err(|_| {
+                        StoreError::Corrupt(format!("manifest line {}: bad epoch", i + 1))
+                    })?;
+                }
                 continue;
             }
             let fields: Vec<&str> = line.split('\t').collect();
@@ -95,7 +107,7 @@ impl Manifest {
                 },
             );
         }
-        Ok(Manifest { tables })
+        Ok(Manifest { tables, epoch })
     }
 
     /// Atomically save the manifest into `dir` (temp file + rename).
@@ -106,6 +118,7 @@ impl Manifest {
         std::fs::create_dir_all(dir)?;
         let mut out = String::from(HEADER);
         out.push('\n');
+        out.push_str(&format!("# epoch {}\n", self.epoch));
         for (name, meta) in &self.tables {
             let index = meta.index.as_deref().unwrap_or("");
             for field in [
@@ -184,6 +197,16 @@ impl Manifest {
             }
         }
         Ok(())
+    }
+
+    /// The persisted snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Set the snapshot epoch recorded by the next save.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Metadata of `name`, if present.
@@ -274,6 +297,27 @@ mod tests {
         .unwrap();
         let old = Manifest::load(&dir).unwrap();
         assert_eq!(old.get("old").unwrap().index, None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_roundtrips_and_defaults_to_zero() {
+        let dir = tmpdir("epoch");
+        let mut m = Manifest::default();
+        m.insert("r", meta("r.heap"));
+        assert_eq!(m.epoch(), 0);
+        m.set_epoch(41);
+        m.save(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap();
+        assert_eq!(back.epoch(), 41);
+        assert_eq!(back, m);
+        // A pre-epoch manifest (no comment line) loads as epoch 0.
+        std::fs::write(
+            Manifest::path_in(&dir),
+            "old\told.heap\tabc\t7\ta:int,ts:int,te:int\n",
+        )
+        .unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().epoch(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -48,13 +48,29 @@
 //! the buffer pool syncs the log before writing back a dirty page — the
 //! write-*ahead* invariant — except under `off`, which explicitly opts
 //! out of torn-page protection.
+//!
+//! ## Group commit
+//!
+//! Concurrent committers share fsyncs. Every append records its LSN in
+//! `last_lsn`; every successful fsync advances the `synced_lsn`
+//! watermark to the highest LSN that was in the file when the sync
+//! started. [`Wal::commit`] is therefore "wait until
+//! `synced_lsn ≥ my last append"`: the first committer to arrive
+//! becomes the *flusher* (elected under a small mutex), issues one
+//! `fsync`, advances the watermark, and wakes every waiter on the
+//! condvar; committers whose LSN the flush covered return without
+//! touching the disk at all. Under `sync_mode=always` the same election
+//! runs per record, so even the paranoid mode batches concurrent
+//! writers into shared syncs. One fsync can thus retire any number of
+//! concurrent commits — `io_syncs / commits < 1` as soon as two
+//! sessions commit at once.
 
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 use crate::crc32c::{crc32c, crc32c_append};
 use crate::error::{StoreError, StoreResult};
@@ -419,11 +435,20 @@ struct WalInner {
 pub struct Wal {
     path: PathBuf,
     mode: AtomicU8,
-    /// Set by [`Wal::append`], cleared by a successful sync: lets the
-    /// write-ahead hook skip redundant fsyncs.
-    unsynced: AtomicBool,
     appended_records: AtomicU64,
     syncs: AtomicU64,
+    /// Commit durability points requested via [`Wal::commit`] — the
+    /// denominator of the group-commit amortization ratio.
+    commits: AtomicU64,
+    /// Highest LSN handed out by [`Wal::append`].
+    last_lsn: AtomicU64,
+    /// Group-commit watermark: every record with LSN ≤ this is fsynced.
+    synced_lsn: AtomicU64,
+    /// Flusher election flag: `true` while one committer is inside the
+    /// shared fsync on behalf of the group.
+    flushing: Mutex<bool>,
+    /// Wakes committers parked behind the elected flusher.
+    flushed: Condvar,
     inner: Mutex<WalInner>,
 }
 
@@ -526,9 +551,15 @@ impl Wal {
         let wal = Wal {
             path,
             mode: AtomicU8::new(SyncMode::from_env() as u8),
-            unsynced: AtomicBool::new(false),
             appended_records: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            last_lsn: AtomicU64::new(max_lsn),
+            // Everything already in the file is as durable as it will
+            // ever be, so open starts with the watermark caught up.
+            synced_lsn: AtomicU64::new(max_lsn),
+            flushing: Mutex::new(false),
+            flushed: Condvar::new(),
             inner: Mutex::new(WalInner {
                 file,
                 next_lsn: max_lsn + 1,
@@ -566,6 +597,23 @@ impl Wal {
     /// Fsyncs issued on the log since open (observability).
     pub fn syncs(&self) -> u64 {
         self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Commit durability points requested since open (observability):
+    /// `syncs() / commits()` below 1 is group commit amortizing fsyncs.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Highest LSN handed out so far.
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn.load(Ordering::SeqCst)
+    }
+
+    /// The group-commit watermark: every record with LSN ≤ this is
+    /// durable on disk (modulo `sync_mode=off`, which never syncs).
+    pub fn synced_lsn(&self) -> u64 {
+        self.synced_lsn.load(Ordering::SeqCst)
     }
 
     /// Log bytes written since the last checkpoint — the
@@ -635,10 +683,14 @@ impl Wal {
         if let Some(name) = reset_table {
             inner.imaged.retain(|(t, _)| *t != name);
         }
-        self.unsynced.store(true, Ordering::SeqCst);
+        self.last_lsn.store(lsn, Ordering::SeqCst);
         self.appended_records.fetch_add(1, Ordering::Relaxed);
         if self.mode() == SyncMode::Always {
-            self.sync_locked(&mut inner)?;
+            // Per-record durability, but through the group flusher:
+            // concurrent appenders share one fsync instead of queueing
+            // their own.
+            drop(inner);
+            self.commit_upto(lsn)?;
         }
         Ok(lsn)
     }
@@ -652,23 +704,90 @@ impl Wal {
             failpoints::trip_power_cut();
             return Err(failpoints::power_cut_error());
         }
+        // Every record below `next_lsn` is in the file (writes happen
+        // under the same lock we hold), so a successful sync makes the
+        // watermark exactly `next_lsn - 1`.
+        let durable_upto = inner.next_lsn.saturating_sub(1);
         inner.file.sync_data()?;
         self.syncs.fetch_add(1, Ordering::Relaxed);
-        self.unsynced.store(false, Ordering::SeqCst);
+        self.synced_lsn.fetch_max(durable_upto, Ordering::SeqCst);
         Ok(())
     }
 
-    /// End-of-operation durability point: fsync under `commit`/`always`,
+    /// One shared fsync on behalf of the commit group. The inner lock is
+    /// held only long enough to duplicate the file handle and read the
+    /// covered watermark; the fsync itself runs *outside* it, so
+    /// concurrent appenders keep writing records into the log while the
+    /// disk works — which is exactly what lets the *next* flush cover
+    /// the whole group that formed during this one.
+    fn sync_group(&self) -> StoreResult<()> {
+        if failpoints::power_cut() {
+            return Err(failpoints::power_cut_error());
+        }
+        if let Some(Action::Crash | Action::Torn { .. }) = failpoints::hit("wal::sync") {
+            #[cfg(feature = "failpoints")]
+            failpoints::trip_power_cut();
+            return Err(failpoints::power_cut_error());
+        }
+        let (file, durable_upto) = {
+            let inner = self.lock();
+            (inner.file.try_clone()?, inner.next_lsn.saturating_sub(1))
+        };
+        file.sync_data()?;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.synced_lsn.fetch_max(durable_upto, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn lock_flushing(&self) -> std::sync::MutexGuard<'_, bool> {
+        self.flushing.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Group-commit core: return once every record with LSN ≤ `target`
+    /// is fsynced. The first arrival is elected flusher and syncs on
+    /// behalf of the group; later arrivals park on the condvar and
+    /// usually find the watermark already past their target when they
+    /// wake. A flusher error propagates to the flusher itself, while
+    /// woken waiters re-run the election and surface their own error.
+    fn commit_upto(&self, target: u64) -> StoreResult<()> {
+        loop {
+            if self.synced_lsn.load(Ordering::SeqCst) >= target {
+                return Ok(());
+            }
+            let mut flushing = self.lock_flushing();
+            // Re-check under the election lock: the previous flusher may
+            // have covered us between the atomic load and the lock.
+            if self.synced_lsn.load(Ordering::SeqCst) >= target {
+                return Ok(());
+            }
+            if !*flushing {
+                *flushing = true;
+                drop(flushing);
+                let result = self.sync_group();
+                let mut flushing = self.lock_flushing();
+                *flushing = false;
+                self.flushed.notify_all();
+                drop(flushing);
+                result?;
+            } else {
+                let guard = self
+                    .flushed
+                    .wait(flushing)
+                    .unwrap_or_else(|e| e.into_inner());
+                drop(guard);
+            }
+        }
+    }
+
+    /// End-of-operation durability point: fsync under `commit`/`always`
+    /// (amortized across concurrent committers by the group flusher),
     /// no-op under `off`.
     pub fn commit(&self) -> StoreResult<()> {
+        self.commits.fetch_add(1, Ordering::Relaxed);
         if self.mode() == SyncMode::Off {
             return Ok(());
         }
-        if !self.unsynced.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        let mut inner = self.lock();
-        self.sync_locked(&mut inner)
+        self.commit_upto(self.last_lsn.load(Ordering::SeqCst))
     }
 
     /// The write-*ahead* hook: called by the buffer pool before a dirty
@@ -679,7 +798,11 @@ impl Wal {
         if self.mode() == SyncMode::Off {
             return Ok(());
         }
-        if !self.unsynced.load(Ordering::SeqCst) {
+        // The records that must precede the caller's page were appended
+        // before this call, so they are ≤ `last_lsn` as read here; if the
+        // watermark already covers it, nothing to do.
+        let target = self.last_lsn.load(Ordering::SeqCst);
+        if self.synced_lsn.load(Ordering::SeqCst) >= target {
             return Ok(());
         }
         let mut inner = self.lock();
@@ -720,7 +843,8 @@ impl Wal {
         inner.next_lsn = lsn + 1;
         inner.bytes_since_checkpoint = 0;
         inner.imaged.clear();
-        self.unsynced.store(false, Ordering::SeqCst);
+        self.last_lsn.fetch_max(lsn, Ordering::SeqCst);
+        self.synced_lsn.fetch_max(lsn, Ordering::SeqCst);
         Ok(lsn)
     }
 }
@@ -922,6 +1046,101 @@ mod tests {
         assert_eq!(wal.syncs(), 2);
         wal.commit().unwrap(); // nothing new to sync
         assert_eq!(wal.syncs(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_watermark_tracks_durability() {
+        let dir = tmpdir("watermark");
+        let (wal, _) = Wal::open(&dir).unwrap();
+        wal.set_mode(SyncMode::Commit);
+        let base = wal.synced_lsn();
+        let a = wal
+            .append(&WalRecord::TableDrop { name: "a".into() })
+            .unwrap();
+        let b = wal
+            .append(&WalRecord::TableDrop { name: "b".into() })
+            .unwrap();
+        assert_eq!(wal.last_lsn(), b);
+        assert_eq!(wal.synced_lsn(), base);
+        wal.commit().unwrap();
+        assert!(wal.synced_lsn() >= b);
+        assert!(wal.synced_lsn() >= a);
+        assert_eq!(wal.syncs(), 1);
+        assert_eq!(wal.commits(), 1);
+        // A second commit with nothing new is covered by the watermark.
+        wal.commit().unwrap();
+        assert_eq!(wal.syncs(), 1);
+        assert_eq!(wal.commits(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_commits_share_one_fsync() {
+        use std::sync::{Arc, Barrier};
+        let dir = tmpdir("group_commit");
+        let (wal, _) = Wal::open(&dir).unwrap();
+        wal.set_mode(SyncMode::Commit);
+        let wal = Arc::new(wal);
+        let n = 8;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let wal = wal.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    wal.append(&WalRecord::TableDrop {
+                        name: format!("t{i}"),
+                    })
+                    .unwrap();
+                    // Every append lands before any commit starts, so the
+                    // first elected flusher's fsync covers all eight
+                    // committers: exactly one sync for the whole group.
+                    barrier.wait();
+                    wal.commit().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wal.commits(), n as u64);
+        assert_eq!(wal.syncs(), 1);
+        assert_eq!(wal.synced_lsn(), wal.last_lsn());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn always_mode_group_commits_across_appenders() {
+        use std::sync::Arc;
+        let dir = tmpdir("group_always");
+        let (wal, _) = Wal::open(&dir).unwrap();
+        wal.set_mode(SyncMode::Always);
+        let wal = Arc::new(wal);
+        let n = 4;
+        let per = 16;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let wal = wal.clone();
+                std::thread::spawn(move || {
+                    for j in 0..per {
+                        wal.append(&WalRecord::TableDrop {
+                            name: format!("t{i}_{j}"),
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Per-record durability still holds (watermark caught up), but
+        // concurrent appenders may share flushes, so the sync count never
+        // exceeds the record count.
+        assert_eq!(wal.synced_lsn(), wal.last_lsn());
+        assert!(wal.syncs() <= (n * per) as u64);
+        assert!(wal.syncs() >= 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

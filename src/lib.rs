@@ -20,7 +20,11 @@
 //! * [`baselines`] — the `sql` and `sql+normalize` comparison approaches
 //!   from Sec. 7.4/7.5;
 //! * [`sql`] — the SQL front end with the paper's `ALIGN` / `NORMALIZE` /
-//!   `ABSORB` surface syntax (Sec. 6.2/6.3).
+//!   `ABSORB` surface syntax (Sec. 6.2/6.3);
+//! * [`server`] — concurrent multi-client serving: the `tsql` shell plus
+//!   `tsql --serve` (session-per-connection line protocol over TCP or a
+//!   Unix socket) and `tsql --connect`, with snapshot reads and group
+//!   commit underneath.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -29,6 +33,7 @@ pub use temporal_baselines as baselines;
 pub use temporal_core as core;
 pub use temporal_datasets as datasets;
 pub use temporal_engine as engine;
+pub use temporal_server as server;
 pub use temporal_sql as sql;
 
 /// One-stop imports for applications: the [`core`] and [`engine`]
