@@ -6,7 +6,7 @@
 //!
 //! `<exp>` ∈ {table1, fig13, fig14, fig15a, fig15b, fig15c, fig15d,
 //! fig16a, fig16b, ablation, chain, storage, timeslice, wal, serve,
-//! all} (default: all). Default sweeps are scaled to run
+//! observe, all} (default: all). Default sweeps are scaled to run
 //! in minutes on a laptop; `--full` uses the paper's input sizes (up to
 //! 80k–200k tuples — the quadratic `sql` baselines then take a long time,
 //! exactly as in the paper where they run for 1000+ seconds).
@@ -692,7 +692,7 @@ fn serve(full: bool) {
         db.set_str("sync_mode", "commit").expect("set sync_mode");
         let (base, _) = ddisj(16);
         db.register("t", &base).expect("register");
-        let (c0, s0) = db.wal_stats().expect("wal stats");
+        let w0 = db.wal_stats().expect("wal stats");
         let server = Server::bind(db.clone(), "127.0.0.1:0").expect("bind");
         let addr = server.addr().to_string();
         let handle = server.spawn();
@@ -723,10 +723,10 @@ fn serve(full: bool) {
             }
             clients * commits_per_client
         });
-        let (c1, s1) = db.wal_stats().expect("wal stats");
+        let w1 = db.wal_stats().expect("wal stats");
         handle.stop();
-        let commits = (c1 - c0).max(1);
-        let syncs = s1 - s0;
+        let commits = (w1.commits - w0.commits).max(1);
+        let syncs = w1.syncs - w0.syncs;
         println!(
             "clients={clients}: {:.0} commits/s, {:.3} fsyncs/commit ({commits} commits, {syncs} fsyncs)",
             commits as f64 / dt.as_secs_f64(),
@@ -752,6 +752,90 @@ fn serve(full: bool) {
         &points,
     );
     save("serve", &points);
+}
+
+/// Observability overhead smoke (ISSUE 10): the plan-first chain pipeline
+/// run with per-operator instrumentation **off** vs **on** (the wrappers
+/// `EXPLAIN ANALYZE`, `trace` and `slow_query_ms` insert). Both arms run
+/// the identical physical plan; best-of-N of each, interleaved so
+/// allocator/scheduler drift hits both arms alike. Asserts the "free when
+/// off, cheap when on" contract: instrumented runtime within 5% of plain
+/// (with a half-millisecond absolute floor so micro-runs don't flake),
+/// and identical output cardinality.
+fn observe(full: bool) {
+    use std::time::Duration;
+    use temporal_core::prelude::TemporalPlan;
+    let n: usize = if full { 16_000 } else { 8_000 };
+    let reps = 5;
+    let data = incumben(IncumbenSpec::default());
+    let r = prefix(&data, n);
+    let cap = (n / 10) as i64;
+    let config = PlannerConfig::paper();
+    let planner = Planner::new(config);
+    // The chain benchmark's pipeline: ϑᵀ_{pcn} ∘ σᵀ_{ssn<cap} ∘ ⋈ᵀ_{pcn}.
+    let plan = TemporalPlan::scan(&r)
+        .join(TemporalPlan::scan(&r), Some(col(1).eq(col(5))))
+        .expect("chain join")
+        .selection(col(0).lt(lit(Value::Int(cap))))
+        .expect("chain selection")
+        .aggregation(&[1], vec![(AggCall::count_star(), "cnt".to_string())])
+        .expect("chain aggregation");
+    let physical = plan
+        .physical(&planner, &temporal_engine::catalog::Catalog::new())
+        .expect("chain plan");
+    let run_once = |instrument: bool| {
+        let state = if instrument {
+            ExecutionState::new(config).with_instrumentation()
+        } else {
+            ExecutionState::new(config)
+        };
+        physical.collect(&state).expect("chain run").len()
+    };
+    let (mut best_off, mut best_on) = (Duration::MAX, Duration::MAX);
+    let (mut rows_off, mut rows_on) = (0usize, 0usize);
+    for _ in 0..reps {
+        let (dt, rows) = time(|| run_once(false));
+        best_off = best_off.min(dt);
+        rows_off = rows;
+        let (dt, rows) = time(|| run_once(true));
+        best_on = best_on.min(dt);
+        rows_on = rows;
+    }
+    let overhead = best_on.as_secs_f64() / best_off.as_secs_f64() - 1.0;
+    let points = vec![
+        Point {
+            series: "instrument=off".into(),
+            n,
+            seconds: best_off.as_secs_f64(),
+            output_rows: rows_off,
+        },
+        Point {
+            series: "instrument=on".into(),
+            n,
+            seconds: best_on.as_secs_f64(),
+            output_rows: rows_on,
+        },
+    ];
+    print_points(
+        "Observe: chain pipeline, EXPLAIN ANALYZE instrumentation off vs on (< 5% budget)",
+        &points,
+    );
+    println!("instrumentation overhead: {:+.2}%", overhead * 100.0);
+    // Show the artifact the instrumentation buys: the annotated tree of
+    // one instrumented run.
+    let state = ExecutionState::new(config).with_instrumentation();
+    physical.collect(&state).expect("chain run");
+    println!("\n{}", physical.explain_analyze(&state));
+    save("observe", &points);
+    assert_eq!(
+        rows_off, rows_on,
+        "instrumentation changed the result cardinality"
+    );
+    assert!(
+        overhead < 0.05 || best_on.saturating_sub(best_off) < Duration::from_micros(500),
+        "instrumentation overhead {:.2}% exceeds the 5% budget ({best_off:?} off, {best_on:?} on)",
+        overhead * 100.0
+    );
 }
 
 fn table1() {
@@ -789,6 +873,7 @@ fn main() {
         "timeslice" => timeslice(full),
         "wal" => wal(full),
         "serve" => serve(full),
+        "observe" => observe(full),
         "all" => {
             table1();
             fig13(full);
@@ -805,10 +890,11 @@ fn main() {
             timeslice(full);
             wal(full);
             serve(full);
+            observe(full);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|ablation|chain|storage|timeslice|wal|serve|all"
+                "unknown experiment '{other}'; use table1|fig13|fig14|fig15a|fig15b|fig15c|fig15d|fig16a|fig16b|ablation|chain|storage|timeslice|wal|serve|observe|all"
             );
             std::process::exit(2);
         }

@@ -23,8 +23,8 @@ use temporal_engine::catalog::Catalog;
 use temporal_engine::prelude::*;
 use temporal_engine::recovery;
 use temporal_engine::storage::{
-    self, heap_path, index_path, IntervalIndex, Manifest, StoredTable, SyncMode, TableMeta, Wal,
-    DEFAULT_BUFFER_POOL_PAGES, PAGE_SIZE,
+    self, heap_path, index_path, IntervalIndex, Manifest, PoolStats, StoredTable, SyncMode,
+    TableMeta, Wal, WalStats, DEFAULT_BUFFER_POOL_PAGES, PAGE_SIZE,
 };
 
 use crate::algebra::TemporalPlan;
@@ -148,6 +148,17 @@ struct DbShared {
     /// checkpoint persists it into the manifest. Readers use it to detect
     /// cheaply whether anything changed between statements.
     epoch: AtomicU64,
+    /// Unified observability registry: named counters, gauges and latency
+    /// histograms from every layer (server sessions/statements, SQL
+    /// session latencies) accumulate here; store-side counters (buffer
+    /// pools, WAL) are *polled* into gauges at
+    /// [`Database::metrics_snapshot`] time, so their hot paths stay plain
+    /// atomic increments.
+    metrics: MetricsRegistry,
+    /// Ring-buffer span tracer behind the `trace` GUC: statement, plan
+    /// and operator spans land here and dump as chrome-trace JSON
+    /// (tsql `.trace <file>`).
+    tracer: Tracer,
 }
 
 impl Drop for DbShared {
@@ -239,6 +250,8 @@ impl Database {
                 writer: Mutex::new(()),
                 sessions: AtomicUsize::new(0),
                 epoch: AtomicU64::new(0),
+                metrics: MetricsRegistry::default(),
+                tracer: Tracer::default(),
             }),
         }
     }
@@ -520,15 +533,73 @@ impl Database {
         self.state().storage.as_ref().map(|r| r.wal.mode())
     }
 
-    /// WAL `(commits, io_syncs)` counters of a persisted database
-    /// (`None` when in-memory). The `reproduce -- serve` bench reports
-    /// their ratio: group commit drives fsyncs-per-commit below 1 as
-    /// soon as committers overlap.
-    pub fn wal_stats(&self) -> Option<(u64, u64)> {
-        self.state()
-            .storage
-            .as_ref()
-            .map(|r| (r.wal.commits(), r.wal.syncs()))
+    /// WAL counters of a persisted database (`None` when in-memory):
+    /// commits acknowledged, fsyncs issued, bytes appended and
+    /// checkpoints taken. [`WalStats::group_commit_ratio`]
+    /// (syncs ÷ commits) drops below 1 as soon as committers overlap on
+    /// the group-commit flusher — `reproduce -- serve` and the server's
+    /// `.stats` both report it.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.state().storage.as_ref().map(|r| r.wal.stats())
+    }
+
+    /// Aggregated buffer-pool counters across every stored table's pool
+    /// (`None` when in-memory): fetches, disk reads (misses), write-backs,
+    /// syncs, evictions and total capacity. [`PoolStats::hit_rate`] is
+    /// `1 − io_reads/fetches` over the aggregate.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        let state = self.state();
+        state.storage.as_ref()?;
+        let mut total = PoolStats::default();
+        for name in state.catalog.list_tables() {
+            if let Ok(TableSource::Stored(table)) = state.catalog.source(&name) {
+                total.merge(&table.pool_stats());
+            }
+        }
+        Some(total)
+    }
+
+    // ---- observability ---------------------------------------------------
+
+    /// The database-wide metrics registry. Any layer holding a handle can
+    /// register counters/gauges/histograms by name (`server.statements`,
+    /// `session.statement_us`, …); they all land in one
+    /// [`Database::metrics_snapshot`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The database-wide span tracer. Populated while the `trace` GUC is
+    /// on (`SET trace = on`, or `TEMPORAL_TRACE=1` at startup); dump with
+    /// tsql `.trace <file>` as chrome-trace JSON.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// One coherent snapshot of every metric: polls the store-side
+    /// counters (buffer pools, WAL) and ambient state (epoch, open
+    /// sessions) into gauges, then snapshots the whole registry. Two
+    /// snapshots [`MetricsSnapshot::diff`] into an interval view with
+    /// percentiles recomputed over just that window.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let m = &self.inner.metrics;
+        if let Some(pool) = self.pool_stats() {
+            m.gauge("pool.fetches").set(pool.fetches);
+            m.gauge("pool.io_reads").set(pool.io_reads);
+            m.gauge("pool.io_writes").set(pool.io_writes);
+            m.gauge("pool.io_syncs").set(pool.io_syncs);
+            m.gauge("pool.evictions").set(pool.evictions);
+            m.gauge("pool.capacity").set(pool.capacity);
+        }
+        if let Some(wal) = self.wal_stats() {
+            m.gauge("wal.commits").set(wal.commits);
+            m.gauge("wal.syncs").set(wal.syncs);
+            m.gauge("wal.bytes").set(wal.bytes);
+            m.gauge("wal.checkpoints").set(wal.checkpoints);
+        }
+        m.gauge("db.epoch").set(self.epoch());
+        m.gauge("db.sessions").set(self.open_sessions() as u64);
+        m.snapshot()
     }
 
     /// Set a string-valued setting by name. Currently that is
@@ -1177,6 +1248,19 @@ impl TemporalFrame {
         let plan = self.plan()?;
         self.db
             .read(|catalog, planner| plan.explain(planner, catalog))
+    }
+
+    /// EXPLAIN ANALYZE: plan, **execute** the pipeline with per-operator
+    /// instrumentation (the result is discarded), and render the same
+    /// physical tree as [`TemporalFrame::explain`] annotated with actual
+    /// rows, batches, wall-time and access-path counters (pages
+    /// read/skipped, parallel partitions) next to the optimizer's
+    /// estimates — the same rendering SQL `EXPLAIN ANALYZE` produces.
+    pub fn explain_analyze(&self) -> TemporalResult<String> {
+        let physical = self.db.physical(self.plan()?)?;
+        let state = ExecutionState::new(self.db.config()).with_instrumentation();
+        physical.collect(&state)?;
+        Ok(physical.explain_analyze(&state))
     }
 }
 

@@ -24,6 +24,7 @@ mod distinct;
 mod exchange;
 mod filter;
 mod hash_join;
+pub mod instrument;
 mod interval_join;
 mod limit;
 mod merge_join;
@@ -42,6 +43,7 @@ pub use distinct::DistinctExec;
 pub use exchange::ExchangeExec;
 pub use filter::FilterExec;
 pub use hash_join::HashJoinExec;
+pub use instrument::{Instrumentation, InstrumentedExec, OperatorStats};
 pub use interval_join::IntervalJoinExec;
 pub use limit::LimitExec;
 pub use merge_join::MergeJoinExec;

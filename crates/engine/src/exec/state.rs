@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex};
 use temporal_store::HeapSnapshot;
 
 use crate::error::{EngineError, EngineResult};
+use crate::exec::instrument::Instrumentation;
 use crate::plan::PlannerConfig;
 use crate::relation::Relation;
 use crate::storage::StoredTable;
@@ -84,6 +85,10 @@ pub struct ExecutionState {
     /// page resolver — reuses it, so one statement sees one consistent
     /// prefix of each table no matter how writers race it.
     snapshots: Mutex<HashMap<usize, HeapSnapshot>>,
+    /// Per-operator instrumentation registry (`EXPLAIN ANALYZE`, tracing,
+    /// `slow_query_ms`). `None` — the default — means the plan builder
+    /// inserts no metering wrappers at all.
+    instrument: Option<Instrumentation>,
 }
 
 impl ExecutionState {
@@ -95,7 +100,22 @@ impl ExecutionState {
             stats: ExecStats::default(),
             spools: Mutex::new(HashMap::new()),
             snapshots: Mutex::new(HashMap::new()),
+            instrument: None,
         }
+    }
+
+    /// Enable per-operator instrumentation for this execution: the plan
+    /// builder will wrap every executor node in a metering shim and
+    /// attach page ledgers to storage scans (see
+    /// [`crate::exec::instrument`]).
+    pub fn with_instrumentation(mut self) -> ExecutionState {
+        self.instrument = Some(Instrumentation::default());
+        self
+    }
+
+    /// The instrumentation registry, when enabled.
+    pub fn instrumentation(&self) -> Option<&Instrumentation> {
+        self.instrument.as_ref()
     }
 
     /// The statement-level [`HeapSnapshot`] of `table`, captured on first

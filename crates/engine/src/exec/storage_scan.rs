@@ -19,6 +19,7 @@ use temporal_store::HeapSnapshot;
 
 use crate::batch::{RowBatch, BATCH_SIZE};
 use crate::error::EngineResult;
+use crate::exec::instrument::OperatorStats;
 use crate::exec::{ExecNode, ExecutionState};
 use crate::schema::Schema;
 use crate::storage::StoredTable;
@@ -41,6 +42,10 @@ pub struct StorageScanExec {
     /// writer's in-flight appends.
     snapshot: Option<HeapSnapshot>,
     pending: VecDeque<Row>,
+    /// Per-plan-node page ledger (`EXPLAIN ANALYZE`): when attached, page
+    /// reads are credited to the originating plan node as well as to the
+    /// query-wide stats. All morsels of one scan share one ledger.
+    ledger: Option<Arc<OperatorStats>>,
 }
 
 impl StorageScanExec {
@@ -53,6 +58,7 @@ impl StorageScanExec {
             end_page,
             snapshot: None,
             pending: VecDeque::new(),
+            ledger: None,
         }
     }
 
@@ -67,6 +73,7 @@ impl StorageScanExec {
             end_page,
             snapshot: None,
             pending: VecDeque::new(),
+            ledger: None,
         }
     }
 
@@ -87,7 +94,14 @@ impl StorageScanExec {
             end_page,
             snapshot: None,
             pending: VecDeque::new(),
+            ledger: None,
         }
+    }
+
+    /// Attach a per-plan-node page ledger (see the `ledger` field).
+    pub fn with_ledger(mut self, ledger: Arc<OperatorStats>) -> Self {
+        self.ledger = Some(ledger);
+        self
     }
 
     /// Decode pages until `pending` holds at least `want` rows or the
@@ -112,6 +126,9 @@ impl StorageScanExec {
                 Some(tail) => self.table.decode_page_prefix(page_no, tail)?,
             };
             state.note_page_read();
+            if let Some(ledger) = &self.ledger {
+                ledger.note_page_read();
+            }
             self.pending.extend(rows);
         }
         Ok(())

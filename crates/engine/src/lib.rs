@@ -61,11 +61,13 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod hashing;
+pub mod metrics;
 pub mod plan;
 pub mod recovery;
 pub mod relation;
 pub mod schema;
 pub mod storage;
+pub mod trace;
 pub mod tuple;
 pub mod value;
 
@@ -74,9 +76,14 @@ pub mod prelude {
     pub use crate::batch::{RowBatch, BATCH_SIZE};
     pub use crate::catalog::{Catalog, TableSource};
     pub use crate::error::{EngineError, EngineResult};
-    pub use crate::exec::{BoxedExec, ExecNode, ExecStats, ExecutionState};
+    pub use crate::exec::{
+        BoxedExec, ExecNode, ExecStats, ExecutionState, Instrumentation, OperatorStats,
+    };
     pub use crate::expr::{
         col, lit, name, AggCall, AggFunc, ArithOp, CmpOp, ColumnRef, Expr, Func, SortKey,
+    };
+    pub use crate::metrics::{
+        Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     };
     pub use crate::plan::{
         ExtensionNode, JoinType, LogicalPlan, PhysicalPlan, Planner, PlannerConfig, SetOpKind,
@@ -84,6 +91,7 @@ pub mod prelude {
     pub use crate::relation::Relation;
     pub use crate::schema::{Column, DataType, Schema};
     pub use crate::storage::StoredTable;
+    pub use crate::trace::{Span, Tracer};
     pub use crate::tuple::Row;
     pub use crate::value::Value;
 }

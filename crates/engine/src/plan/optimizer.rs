@@ -67,6 +67,18 @@ pub struct PlannerConfig {
     /// `parallel_min_rows` GUC) — spawn overhead dwarfs the work below
     /// this. Tests lower it to 1 to exercise parallel code on small data.
     pub parallel_min_rows: usize,
+    /// Span tracing (`SET trace = on`): statements run instrumented and
+    /// the session layer records query/plan/operator spans into the
+    /// database's ring-buffer tracer (dumpable as chrome-trace JSON via
+    /// tsql `.trace <file>`). Off by default; the `TEMPORAL_TRACE`
+    /// environment variable (1/true/on) flips the default — how CI runs
+    /// the whole suite traced.
+    pub trace: bool,
+    /// Slow-statement logging threshold in milliseconds (`SET
+    /// slow_query_ms = N`). 0 — the default — disables it; above 0 every
+    /// statement runs instrumented and those at or over the threshold log
+    /// their text and per-operator breakdown to stderr.
+    pub slow_query_ms: usize,
     pub cost_model: CostModel,
 }
 
@@ -102,6 +114,18 @@ fn default_interval_index() -> bool {
     *FLAG.get_or_init(|| env_flag("TEMPORAL_INTERVAL_INDEX"))
 }
 
+/// Default tracing state (`TEMPORAL_TRACE`, default off — the inverse
+/// polarity of [`env_flag`]: only `1`, `true` or `on` enable it).
+fn default_trace() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| {
+        matches!(
+            std::env::var("TEMPORAL_TRACE").map(|v| v.trim().to_ascii_lowercase()),
+            Ok(ref v) if v == "1" || v == "true" || v == "on"
+        )
+    })
+}
+
 /// Default parallel threshold (rows).
 pub const DEFAULT_PARALLEL_MIN_ROWS: usize = 256;
 
@@ -118,6 +142,8 @@ impl Default for PlannerConfig {
             enable_interval_index: default_interval_index(),
             threads: default_threads(),
             parallel_min_rows: DEFAULT_PARALLEL_MIN_ROWS,
+            trace: default_trace(),
+            slow_query_ms: 0,
             cost_model: CostModel::default(),
         }
     }
@@ -170,6 +196,7 @@ impl PlannerConfig {
             "enable_rewrites" => self.enable_rewrites = value,
             "enable_zonemaps" => self.enable_zonemaps = value,
             "enable_interval_index" => self.enable_interval_index = value,
+            "trace" => self.trace = value,
             other => {
                 return Err(EngineError::Unsupported(format!(
                     "unknown planner setting '{other}'"
@@ -189,6 +216,12 @@ impl PlannerConfig {
         match name {
             "threads" => self.threads = positive(value)?.min(256),
             "parallel_min_rows" => self.parallel_min_rows = positive(value)?,
+            // 0 is meaningful here: it turns slow-statement logging off.
+            "slow_query_ms" => {
+                self.slow_query_ms = usize::try_from(value).map_err(|_| {
+                    EngineError::Unsupported(format!("setting '{name}' requires a value ≥ 0"))
+                })?
+            }
             other => {
                 return Err(EngineError::Unsupported(format!(
                     "unknown integer planner setting '{other}'"

@@ -3,11 +3,13 @@
 
 use std::sync::Arc;
 
+use std::sync::atomic::Ordering;
+
 use crate::error::EngineResult;
 use crate::exec::{
     collect, BoxedExec, DistinctExec, ExchangeExec, ExecutionState, FilterExec, HashAggregateExec,
-    HashJoinExec, HashSetOpExec, IntervalJoinExec, LimitExec, MergeJoinExec, NestedLoopJoinExec,
-    ProjectExec, SeqScanExec, SortExec, StorageScanExec,
+    HashJoinExec, HashSetOpExec, InstrumentedExec, IntervalJoinExec, LimitExec, MergeJoinExec,
+    NestedLoopJoinExec, OperatorStats, ProjectExec, SeqScanExec, SortExec, StorageScanExec,
 };
 use crate::expr::{AggCall, Expr, SortKey};
 use crate::plan::cost::{CostModel, PlanStats};
@@ -201,10 +203,50 @@ impl PhysicalPlan {
     fn build_subtree(&self, state: &ExecutionState) -> EngineResult<BoxedExec> {
         if state.threads() > 1 {
             if let Some(exec) = self.build_parallel(state)? {
+                // The per-partition pipelines are already instrumented
+                // node by node (`build_ranged`); wrapping the exchange
+                // under the same keys again would double-count.
                 return Ok(exec);
             }
         }
-        self.build_exec_tree(state)
+        let exec = self.build_exec_tree(state)?;
+        Ok(self.instrumented(exec, state))
+    }
+
+    /// This plan node's identity in the instrumentation registry: its
+    /// address, stable for as long as the caller borrows the plan (which
+    /// covers both execution and a subsequent `explain_analyze` render).
+    fn node_key(&self) -> usize {
+        self as *const PhysicalPlan as usize
+    }
+
+    /// Wrap `exec` in a metering shim when the state instruments; the
+    /// no-instrumentation path returns `exec` untouched.
+    fn instrumented(&self, exec: BoxedExec, state: &ExecutionState) -> BoxedExec {
+        match state.instrumentation() {
+            Some(ins) => Box::new(InstrumentedExec::new(exec, ins.op(self.node_key()))),
+            None => exec,
+        }
+    }
+
+    /// Box a storage scan, attaching this plan node's page ledger when
+    /// the state instruments.
+    fn boxed_scan(&self, scan: StorageScanExec, state: &ExecutionState) -> BoxedExec {
+        match state.instrumentation() {
+            Some(ins) => Box::new(scan.with_ledger(ins.op(self.node_key()))),
+            None => Box::new(scan),
+        }
+    }
+
+    /// The leaf scan of a filter/project pipeline (`self` when not a
+    /// pipeline) — the node page-skip accounting attributes to.
+    fn pipeline_leaf(&self) -> &PhysicalPlan {
+        match self {
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+                input.pipeline_leaf()
+            }
+            leaf => leaf,
+        }
     }
 
     /// If this subtree is a partitionable scan pipeline (filter/project
@@ -234,12 +276,20 @@ impl PhysicalPlan {
         }
         let parts = ranges
             .iter()
-            .map(|&(a, b)| self.build_ranged(a, b, pruned.as_ref()))
+            .map(|&(a, b)| self.build_ranged(a, b, pruned.as_ref(), state))
             .collect::<EngineResult<Vec<_>>>()?;
         if let Some((table, pages)) = &pruned {
-            state.note_pages_skipped(
-                u64::from(table.page_count()).saturating_sub(pages.len() as u64),
-            );
+            let skipped = u64::from(table.page_count()).saturating_sub(pages.len() as u64);
+            state.note_pages_skipped(skipped);
+            if let Some(ins) = state.instrumentation() {
+                ins.op(self.pipeline_leaf().node_key())
+                    .note_pages_skipped(skipped);
+            }
+        }
+        if let Some(ins) = state.instrumentation() {
+            ins.op(self.node_key())
+                .partitions
+                .fetch_add(ranges.len() as u64, Ordering::Relaxed);
         }
         Ok(Some(Box::new(ExchangeExec::new(self.schema(), parts))))
     }
@@ -348,34 +398,36 @@ impl PhysicalPlan {
     /// restricted to `[start, end)` partition units, the filter/project
     /// chain above it is rebuilt per partition. With `pruned` set, the
     /// units index into the surviving page list rather than the raw page
-    /// range.
+    /// range. Under instrumentation every partition's node is wrapped
+    /// under its plan node's key, so the partitions of one node aggregate
+    /// into one stats slot.
     fn build_ranged(
         &self,
         start: usize,
         end: usize,
         pruned: Option<&PrunedScan>,
+        state: &ExecutionState,
     ) -> EngineResult<BoxedExec> {
-        Ok(match self {
+        let exec: BoxedExec = match self {
             PhysicalPlan::SeqScan { rel, .. } => {
                 Box::new(SeqScanExec::with_range(rel.clone(), start, end))
             }
             PhysicalPlan::StorageScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
-                match pruned {
-                    Some((_, pages)) => Box::new(StorageScanExec::with_page_list(
+                let scan = match pruned {
+                    Some((_, pages)) => StorageScanExec::with_page_list(
                         table.clone(),
                         pages.clone(),
                         start as u32,
                         end as u32,
-                    )),
-                    None => Box::new(StorageScanExec::with_page_range(
-                        table.clone(),
-                        start as u32,
-                        end as u32,
-                    )),
-                }
+                    ),
+                    None => {
+                        StorageScanExec::with_page_range(table.clone(), start as u32, end as u32)
+                    }
+                };
+                self.boxed_scan(scan, state)
             }
             PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec::new(
-                input.build_ranged(start, end, pruned)?,
+                input.build_ranged(start, end, pruned, state)?,
                 predicate.clone(),
             )),
             PhysicalPlan::Project {
@@ -383,12 +435,13 @@ impl PhysicalPlan {
                 exprs,
                 schema,
             } => Box::new(ProjectExec::new(
-                input.build_ranged(start, end, pruned)?,
+                input.build_ranged(start, end, pruned, state)?,
                 exprs.clone(),
                 schema.clone(),
             )),
             other => unreachable!("build_ranged on non-pipeline node {other:?}"),
-        })
+        };
+        Ok(self.instrumented(exec, state))
     }
 
     fn build_exec_tree(&self, state: &ExecutionState) -> EngineResult<BoxedExec> {
@@ -399,13 +452,16 @@ impl PhysicalPlan {
                     Some((table, pages)) => {
                         // The single serial accounting site for page skips;
                         // the parallel path accounts in `build_parallel`.
-                        state.note_pages_skipped(
-                            u64::from(table.page_count()).saturating_sub(pages.len() as u64),
-                        );
+                        let skipped =
+                            u64::from(table.page_count()).saturating_sub(pages.len() as u64);
+                        state.note_pages_skipped(skipped);
+                        if let Some(ins) = state.instrumentation() {
+                            ins.op(self.node_key()).note_pages_skipped(skipped);
+                        }
                         let n = pages.len() as u32;
-                        Box::new(StorageScanExec::with_page_list(table, pages, 0, n))
+                        self.boxed_scan(StorageScanExec::with_page_list(table, pages, 0, n), state)
                     }
-                    None => Box::new(StorageScanExec::new(table.clone())),
+                    None => self.boxed_scan(StorageScanExec::new(table.clone()), state),
                 }
             }
             PhysicalPlan::Filter { input, predicate } => Box::new(FilterExec::new(
@@ -687,11 +743,23 @@ impl PhysicalPlan {
         }
         let pad = "  ".repeat(indent);
         let st = self.stats(model);
-        let head =
-            |name: String| format!("{pad}{name}  (rows≈{:.0} cost≈{:.2})\n", st.rows, st.cost);
+        out.push_str(&format!(
+            "{pad}{}  (rows≈{:.0} cost≈{:.2})\n",
+            self.node_label(),
+            st.rows,
+            st.cost
+        ));
+        for c in self.children() {
+            c.explain_into(out, indent + 1, model, par);
+        }
+    }
+
+    /// The head-line label of this node, shared by `EXPLAIN` and
+    /// `EXPLAIN ANALYZE` so the two surfaces print identical trees.
+    fn node_label(&self) -> String {
         match self {
             PhysicalPlan::SeqScan { rel, label } => {
-                out.push_str(&head(format!("SeqScan on {label} [{} rows]", rel.len())));
+                format!("SeqScan on {label} [{} rows]", rel.len())
             }
             PhysicalPlan::StorageScan {
                 table,
@@ -702,111 +770,139 @@ impl PhysicalPlan {
                     Some(b) => format!(" using zonemap ({b})"),
                     None => String::new(),
                 };
-                out.push_str(&head(format!(
+                format!(
                     "StorageScan on {label}{zone} [{} pages, {} rows]",
                     table.page_count(),
                     table.row_count()
-                )));
+                )
             }
             PhysicalPlan::IndexScan {
                 table,
                 label,
                 bounds,
-            } => {
-                out.push_str(&head(format!(
-                    "IndexScan on {label} using interval index ({bounds}) [{} pages, {} rows]",
-                    table.page_count(),
-                    table.row_count()
-                )));
-            }
+            } => format!(
+                "IndexScan on {label} using interval index ({bounds}) [{} pages, {} rows]",
+                table.page_count(),
+                table.row_count()
+            ),
             PhysicalPlan::Filter { input, predicate } => {
-                out.push_str(&head(format!(
-                    "Filter: {}",
-                    predicate.display(Some(&input.schema()))
-                )));
-                input.explain_into(out, indent + 1, model, par);
+                format!("Filter: {}", predicate.display(Some(&input.schema())))
             }
-            PhysicalPlan::Project { input, .. } => {
-                out.push_str(&head("Project".to_string()));
-                input.explain_into(out, indent + 1, model, par);
+            PhysicalPlan::Project { .. } => "Project".to_string(),
+            PhysicalPlan::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
+            PhysicalPlan::HashAggregate { group, .. } => {
+                format!("HashAggregate ({} group cols)", group.len())
             }
-            PhysicalPlan::Sort { input, keys } => {
-                out.push_str(&head(format!("Sort ({} keys)", keys.len())));
-                input.explain_into(out, indent + 1, model, par);
-            }
-            PhysicalPlan::HashAggregate { input, group, .. } => {
-                out.push_str(&head(format!("HashAggregate ({} group cols)", group.len())));
-                input.explain_into(out, indent + 1, model, par);
-            }
-            PhysicalPlan::Distinct { input } => {
-                out.push_str(&head("Distinct".to_string()));
-                input.explain_into(out, indent + 1, model, par);
-            }
-            PhysicalPlan::NestedLoopJoin {
-                left,
-                right,
-                join_type,
-                ..
-            } => {
-                out.push_str(&head(format!("NestedLoopJoin[{}]", join_type.name())));
-                left.explain_into(out, indent + 1, model, par);
-                right.explain_into(out, indent + 1, model, par);
+            PhysicalPlan::Distinct { .. } => "Distinct".to_string(),
+            PhysicalPlan::NestedLoopJoin { join_type, .. } => {
+                format!("NestedLoopJoin[{}]", join_type.name())
             }
             PhysicalPlan::HashJoin {
-                left,
-                right,
-                join_type,
-                keys,
-                ..
-            } => {
-                out.push_str(&head(format!(
-                    "HashJoin[{}] on {} key(s)",
-                    join_type.name(),
-                    keys.len()
-                )));
-                left.explain_into(out, indent + 1, model, par);
-                right.explain_into(out, indent + 1, model, par);
-            }
+                join_type, keys, ..
+            } => format!("HashJoin[{}] on {} key(s)", join_type.name(), keys.len()),
             PhysicalPlan::MergeJoin {
-                left,
-                right,
-                join_type,
-                keys,
-                ..
-            } => {
-                out.push_str(&head(format!(
-                    "MergeJoin[{}] on {} key(s)",
-                    join_type.name(),
-                    keys.len()
-                )));
-                left.explain_into(out, indent + 1, model, par);
-                right.explain_into(out, indent + 1, model, par);
+                join_type, keys, ..
+            } => format!("MergeJoin[{}] on {} key(s)", join_type.name(), keys.len()),
+            PhysicalPlan::IntervalJoin { join_type, .. } => {
+                format!("IntervalJoin[{}] (sweep)", join_type.name())
             }
-            PhysicalPlan::IntervalJoin {
-                left,
-                right,
-                join_type,
-                ..
-            } => {
-                out.push_str(&head(format!("IntervalJoin[{}] (sweep)", join_type.name())));
-                left.explain_into(out, indent + 1, model, par);
-                right.explain_into(out, indent + 1, model, par);
-            }
-            PhysicalPlan::HashSetOp { kind, left, right } => {
-                out.push_str(&head(format!("HashSetOp[{}]", kind.name())));
-                left.explain_into(out, indent + 1, model, par);
-                right.explain_into(out, indent + 1, model, par);
-            }
-            PhysicalPlan::Limit { input, n } => {
-                out.push_str(&head(format!("Limit {n}")));
-                input.explain_into(out, indent + 1, model, par);
-            }
-            PhysicalPlan::Extension { node, children } => {
-                out.push_str(&head(node.explain()));
-                for c in children {
-                    c.explain_into(out, indent + 1, model, par);
+            PhysicalPlan::HashSetOp { kind, .. } => format!("HashSetOp[{}]", kind.name()),
+            PhysicalPlan::Limit { n, .. } => format!("Limit {n}"),
+            PhysicalPlan::Extension { node, .. } => node.explain(),
+        }
+    }
+
+    /// Render this (already executed) plan annotated with the actual
+    /// per-operator counters the instrumented `state` collected: rows and
+    /// batches emitted, wall time inside the operator (inclusive of
+    /// children; parallel partitions sum), pages read/skipped for storage
+    /// scans, and the partition count at the root of an exchanged
+    /// pipeline. The tree shape and estimates are exactly [`Self::explain`]'s,
+    /// so plan-shape assertions hold across both.
+    ///
+    /// `state` must be the state the plan was executed under — operator
+    /// identity is the plan node address, so a different plan clone (or a
+    /// fresh state) renders every node as `never executed`.
+    pub fn explain_analyze(&self, state: &ExecutionState) -> String {
+        let model = CostModel::default();
+        let mut out = String::new();
+        self.explain_analyze_into(&mut out, 0, &model, state);
+        out
+    }
+
+    fn explain_analyze_into(
+        &self,
+        out: &mut String,
+        indent: usize,
+        model: &CostModel,
+        state: &ExecutionState,
+    ) {
+        let pad = "  ".repeat(indent);
+        let st = self.stats(model);
+        let actual = match state
+            .instrumentation()
+            .and_then(|ins| ins.get(self.node_key()))
+        {
+            Some(op) => {
+                let mut s = format!(
+                    " (actual rows={} batches={} time={:.3}ms",
+                    op.rows.load(Ordering::Relaxed),
+                    op.batches.load(Ordering::Relaxed),
+                    op.millis(),
+                );
+                let pages_read = op.pages_read.load(Ordering::Relaxed);
+                let pages_skipped = op.pages_skipped.load(Ordering::Relaxed);
+                if pages_read > 0 || pages_skipped > 0 {
+                    s.push_str(&format!(
+                        " pages_read={pages_read} pages_skipped={pages_skipped}"
+                    ));
                 }
+                let partitions = op.partitions.load(Ordering::Relaxed);
+                if partitions > 0 {
+                    s.push_str(&format!(" partitions={partitions}"));
+                }
+                s.push(')');
+                s
             }
+            None => " (never executed)".to_string(),
+        };
+        out.push_str(&format!(
+            "{pad}{}  (rows≈{:.0} cost≈{:.2}){actual}\n",
+            self.node_label(),
+            st.rows,
+            st.cost
+        ));
+        for c in self.children() {
+            c.explain_analyze_into(out, indent + 1, model, state);
+        }
+    }
+
+    /// `(depth, label, stats)` for every node of this tree that executed
+    /// under `state`, in explain (pre-)order — powers operator trace spans
+    /// and slow-query breakdowns without re-rendering the whole tree.
+    pub fn operator_stats(
+        &self,
+        state: &ExecutionState,
+    ) -> Vec<(usize, String, Arc<OperatorStats>)> {
+        let mut out = Vec::new();
+        self.operator_stats_into(state, 0, &mut out);
+        out
+    }
+
+    fn operator_stats_into(
+        &self,
+        state: &ExecutionState,
+        depth: usize,
+        out: &mut Vec<(usize, String, Arc<OperatorStats>)>,
+    ) {
+        if let Some(op) = state
+            .instrumentation()
+            .and_then(|ins| ins.get(self.node_key()))
+        {
+            out.push((depth, self.node_label(), op));
+        }
+        for c in self.children() {
+            c.operator_stats_into(state, depth + 1, out);
         }
     }
 

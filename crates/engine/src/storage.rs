@@ -29,8 +29,8 @@ pub const HEAP_EXT: &str = "heap";
 pub const INDEX_EXT: &str = "tidx";
 
 pub use temporal_store::{
-    IntervalIndex, Manifest, PageZone, SyncMode, TableMeta, Wal, WalRecord, ZoneBounds,
-    DEFAULT_POOL_PAGES as DEFAULT_BUFFER_POOL_PAGES, PAGE_SIZE,
+    IntervalIndex, Manifest, PageZone, PoolStats, SyncMode, TableMeta, Wal, WalRecord, WalStats,
+    ZoneBounds, DEFAULT_POOL_PAGES as DEFAULT_BUFFER_POOL_PAGES, PAGE_SIZE,
 };
 
 /// The `(ts, te)` column positions when `schema` has the temporal shape —
@@ -320,6 +320,12 @@ impl StoredTable {
     /// Disk reads performed so far (buffer pool misses).
     pub fn io_reads(&self) -> u64 {
         self.heap.pool().io_reads()
+    }
+
+    /// Full buffer-pool counters of this table's heap pool (fetches,
+    /// misses, write-backs, syncs, evictions, capacity).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.heap.pool().stats()
     }
 
     /// Buffer pool frame count.

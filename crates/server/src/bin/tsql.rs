@@ -27,6 +27,13 @@
 //! * `.schema <t>` — show a table's columns,
 //! * `.open <dir>` — attach the persisted database in `<dir>`,
 //! * `.checkpoint` — flush everything and truncate the WAL,
+//! * `.stats` — dump the metrics registry (also works over `--connect`:
+//!   the server answers it with a name/value result),
+//! * `.bufstats` — aggregated buffer-pool counters and hit rate,
+//! * `.timer on|off` — print wall-time plus pool/WAL deltas after each
+//!   statement,
+//! * `.trace <file>` — dump recorded spans (`SET trace = on` records
+//!   them) as chrome-trace JSON,
 //! * `\q` — quit.
 //!
 //! Example session:
@@ -40,9 +47,11 @@
 
 use std::io::{BufRead, Write};
 
+use std::time::Instant;
 use temporal_core::prelude::*;
 use temporal_engine::prelude::*;
-use temporal_server::{Client, Server};
+
+use temporal_server::{stats_relation, Client, Server};
 use temporal_sql::{Session, SqlOutput};
 
 /// Default TCP listen address for `--serve`.
@@ -105,11 +114,52 @@ fn demo_session() -> Session {
 }
 
 /// Handle a `.`/`\` meta command; returns `false` for `\q`.
-fn meta_command(session: &mut Session, line: &str) -> bool {
+fn meta_command(session: &mut Session, timer: &mut bool, line: &str) -> bool {
     let mut parts = line.split_whitespace();
     let cmd = parts.next().unwrap_or("");
     match cmd {
         "\\q" | ".quit" | ".exit" => return false,
+        ".stats" => {
+            println!("{}", stats_relation(session.database()).to_table());
+        }
+        ".bufstats" => match session.database().pool_stats() {
+            None => println!("(in-memory database — no buffer pools; .open <dir> first)"),
+            Some(p) => {
+                println!("fetches    {}", p.fetches);
+                println!("io_reads   {}", p.io_reads);
+                println!("io_writes  {}", p.io_writes);
+                println!("io_syncs   {}", p.io_syncs);
+                println!("evictions  {}", p.evictions);
+                println!("capacity   {}", p.capacity);
+                println!("hit_rate   {:.3}", p.hit_rate());
+            }
+        },
+        ".timer" => match parts.next() {
+            Some("on") => {
+                *timer = true;
+                println!("timer on");
+            }
+            Some("off") => {
+                *timer = false;
+                println!("timer off");
+            }
+            _ => println!("usage: .timer on|off"),
+        },
+        ".trace" => match parts.next() {
+            None => println!("usage: .trace <file>  (spans record while `SET trace = on`)"),
+            Some(path) => {
+                let db = session.database();
+                let spans = db.tracer().len();
+                let dropped = db.tracer().dropped();
+                match std::fs::write(path, db.tracer().chrome_trace_json()) {
+                    Ok(()) => println!(
+                        "wrote {spans} spans to {path} ({dropped} dropped); load it in a \
+                         chrome-trace viewer"
+                    ),
+                    Err(e) => println!("error: write {path}: {e}"),
+                }
+            }
+        },
         ".tables" | "\\d" => {
             let tables = session.database().list_tables();
             if tables.is_empty() {
@@ -208,6 +258,19 @@ fn connect(addr: &str) -> ! {
                 let _ = client.quit();
                 break;
             }
+            // Dot commands (`.stats`, …) go to the server as-is, no `;`.
+            if trimmed.starts_with('.') {
+                match client.execute(trimmed) {
+                    Ok(resp) => println!("{}", resp.render()),
+                    Err(e) => {
+                        eprintln!("connection error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                eprint!("tsql> ");
+                std::io::stderr().flush().ok();
+                continue;
+            }
         }
         // Multi-line entry folds onto one wire line (space-joined).
         if !buffer.is_empty() {
@@ -299,6 +362,7 @@ fn main() {
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
+    let mut timer = false;
     eprint!("tsql> ");
     std::io::stderr().flush().ok();
 
@@ -315,7 +379,7 @@ fn main() {
                 continue;
             }
             if trimmed.starts_with('.') || trimmed.starts_with('\\') {
-                if !meta_command(&mut session, trimmed) {
+                if !meta_command(&mut session, &mut timer, trimmed) {
                     break;
                 }
                 eprint!("tsql> ");
@@ -331,12 +395,35 @@ fn main() {
             continue;
         }
         let stmt = std::mem::take(&mut buffer);
+        let before = timer.then(|| {
+            let db = session.database();
+            (Instant::now(), db.pool_stats(), db.wal_stats())
+        });
         match session.execute(stmt.trim().trim_end_matches(';')) {
             Ok(SqlOutput::Rows(rel)) => println!("{}", rel.to_table()),
             Ok(SqlOutput::Explain(plan)) => println!("{plan}"),
             Ok(SqlOutput::Ok) => println!("OK"),
             Ok(SqlOutput::Affected(n)) => println!("AFFECTED {n}"),
             Err(e) => println!("error: {e}"),
+        }
+        if let Some((t0, pool0, wal0)) = before {
+            let db = session.database();
+            let mut report = format!("Time: {:.3} ms", t0.elapsed().as_secs_f64() * 1e3);
+            if let (Some(a), Some(b)) = (pool0, db.pool_stats()) {
+                report.push_str(&format!(
+                    "  pool: +{} fetches +{} reads",
+                    b.fetches.saturating_sub(a.fetches),
+                    b.io_reads.saturating_sub(a.io_reads),
+                ));
+            }
+            if let (Some(a), Some(b)) = (wal0, db.wal_stats()) {
+                report.push_str(&format!(
+                    "  wal: +{} commits +{} syncs",
+                    b.commits.saturating_sub(a.commits),
+                    b.syncs.saturating_sub(a.syncs),
+                ));
+            }
+            eprintln!("{report}");
         }
         eprint!("tsql> ");
         std::io::stderr().flush().ok();

@@ -25,4 +25,4 @@ pub mod server;
 
 pub use client::Client;
 pub use protocol::Response;
-pub use server::{Server, ServerHandle};
+pub use server::{stats_relation, Server, ServerHandle};

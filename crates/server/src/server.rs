@@ -25,7 +25,8 @@ use std::sync::Arc;
 use std::thread;
 
 use temporal_core::prelude::Database;
-use temporal_sql::Session;
+use temporal_engine::prelude::{Column, DataType, Relation, Row, Schema, Value};
+use temporal_sql::{Session, SqlOutput};
 
 use crate::protocol;
 
@@ -175,14 +176,65 @@ impl Server {
     }
 }
 
+/// Build the server's `.stats` result: one `(name, value)` row per
+/// metric. Counters and gauges come from one [`Database::metrics_snapshot`]
+/// (which polls the buffer pools and the WAL into `pool.*` / `wal.*`
+/// gauges); the derived ratios — group-commit fsyncs-per-commit and
+/// buffer-pool hit rate — and the statement-latency percentiles
+/// (`session.statement_us.p50_us` …) are appended after it.
+pub fn stats_relation(db: &Database) -> Relation {
+    let snap = db.metrics_snapshot();
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    pairs.push(("active_sessions".into(), db.open_sessions().to_string()));
+    for (k, v) in &snap.counters {
+        pairs.push((k.clone(), v.to_string()));
+    }
+    for (k, v) in &snap.gauges {
+        pairs.push((k.clone(), v.to_string()));
+    }
+    if let Some(wal) = db.wal_stats() {
+        pairs.push((
+            "wal.group_commit_ratio".into(),
+            format!("{:.3}", wal.group_commit_ratio()),
+        ));
+    }
+    if let Some(pool) = db.pool_stats() {
+        pairs.push(("pool.hit_rate".into(), format!("{:.3}", pool.hit_rate())));
+    }
+    let pct = |p: Option<u64>| p.map_or("-".to_string(), |v| v.to_string());
+    for (k, h) in &snap.histograms {
+        pairs.push((format!("{k}.count"), h.count.to_string()));
+        pairs.push((format!("{k}.p50"), pct(h.p50)));
+        pairs.push((format!("{k}.p95"), pct(h.p95)));
+        pairs.push((format!("{k}.p99"), pct(h.p99)));
+    }
+    let schema = Schema::new(vec![
+        Column::new("name", DataType::Str),
+        Column::new("value", DataType::Str),
+    ]);
+    let rows = pairs
+        .into_iter()
+        .map(|(n, v)| Row::new(vec![Value::str(n), Value::str(v)]))
+        .collect();
+    Relation::new(schema, rows).expect("stats relation is well-formed")
+}
+
 /// Drive one connection: read a statement per line, execute it on the
-/// connection's session, write one framed response. Errors are reported
-/// in-band as `ERR …`; only I/O failures end the loop early.
+/// connection's session, write one framed response. Lines starting with
+/// `.` are server commands (currently `.stats`); everything else is SQL.
+/// Errors are reported in-band as `ERR …`; only I/O failures end the
+/// loop early.
 fn serve_connection<R: BufRead, W: Write>(
     mut session: Session,
     reader: R,
     mut writer: W,
 ) -> std::io::Result<()> {
+    session
+        .database()
+        .metrics()
+        .counter("server.connections")
+        .inc();
+    let statements = session.database().metrics().counter("server.statements");
     for line in reader.lines() {
         let line = line?;
         let stmt = line.trim();
@@ -192,7 +244,22 @@ fn serve_connection<R: BufRead, W: Write>(
         if stmt == "\\q" {
             break;
         }
+        if let Some(cmd) = stmt.strip_prefix('.') {
+            match cmd.split_whitespace().next() {
+                Some("stats") => {
+                    let rel = stats_relation(session.database());
+                    protocol::write_output(&mut writer, &SqlOutput::Rows(rel))?;
+                }
+                _ => protocol::write_error(
+                    &mut writer,
+                    &format!("unknown server command .{cmd} (supported: .stats)"),
+                )?,
+            }
+            writer.flush()?;
+            continue;
+        }
         let stmt = stmt.trim_end_matches(';').trim();
+        statements.inc();
         match session.execute(stmt) {
             Ok(out) => protocol::write_output(&mut writer, &out)?,
             Err(e) => protocol::write_error(&mut writer, &e.to_string())?,

@@ -14,8 +14,14 @@ pub enum Statement {
         name: String,
         value: SetValue,
     },
-    /// `EXPLAIN <select>` — print the physical plan.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <select>` — print the physical plan. With
+    /// `ANALYZE` the query is *executed* under per-operator
+    /// instrumentation and the same tree is annotated with actual rows,
+    /// wall-time and pages read/skipped.
+    Explain {
+        analyze: bool,
+        query: Box<Statement>,
+    },
     /// `CREATE TABLE t (col type, …) [PERSISTED]` — DDL. On a database
     /// opened on a storage directory every table is durably backed by a
     /// heap file; `PERSISTED` *asserts* that durability is available and

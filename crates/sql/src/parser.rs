@@ -82,8 +82,12 @@ impl Parser {
 
     fn statement(&mut self) -> SqlResult<Statement> {
         if self.eat_kw(Kw::Explain) {
+            let analyze = self.eat_kw(Kw::Analyze);
             let inner = self.statement()?;
-            return Ok(Statement::Explain(Box::new(inner)));
+            return Ok(Statement::Explain {
+                analyze,
+                query: Box::new(inner),
+            });
         }
         if self.eat_kw(Kw::Set) {
             let name = self.expect_ident()?;
@@ -865,7 +869,11 @@ mod tests {
         }
         assert!(matches!(
             parse_statement("EXPLAIN SELECT * FROM r").unwrap(),
-            Statement::Explain(_)
+            Statement::Explain { analyze: false, .. }
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE SELECT * FROM r").unwrap(),
+            Statement::Explain { analyze: true, .. }
         ));
     }
 

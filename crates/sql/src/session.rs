@@ -8,6 +8,7 @@
 //! [`Database`], making SQL a method call away from any frame code.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use temporal_core::prelude::{Database, SessionGuard};
 use temporal_core::trel::TemporalRelation;
@@ -137,13 +138,64 @@ impl Session {
         }
     }
 
-    /// Execute one statement.
+    /// Execute one statement. Every statement's wall-time is recorded in
+    /// the shared `session.statement_us` latency histogram (what the
+    /// server's `.stats` reports percentiles over); the `trace` and
+    /// `slow_query_ms` GUCs add spans / slow-statement logs on the query
+    /// paths.
     pub fn execute(&mut self, sql: &str) -> SqlResult<SqlOutput> {
         let stmt = parse_statement(sql)?;
-        self.run_statement(stmt)
+        let started = Instant::now();
+        let out = self.run_statement(sql, stmt);
+        let metrics = self.db.metrics();
+        metrics.counter("session.statements").inc();
+        if out.is_err() {
+            metrics.counter("session.errors").inc();
+        }
+        metrics
+            .histogram("session.statement_us")
+            .record(started.elapsed().as_micros() as u64);
+        out
     }
 
-    fn run_statement(&mut self, stmt: Statement) -> SqlResult<SqlOutput> {
+    /// Post-execution observability for one executed query: emit
+    /// query/operator spans while `trace` is on, and log an operator
+    /// breakdown to stderr when the statement overran `slow_query_ms`.
+    fn observe_query(
+        &self,
+        sql: &str,
+        config: &PlannerConfig,
+        elapsed: Duration,
+        trace_start_us: Option<u64>,
+        physical: &PhysicalPlan,
+        state: &ExecutionState,
+    ) {
+        if config.slow_query_ms > 0 && elapsed.as_millis() >= config.slow_query_ms as u128 {
+            eprintln!(
+                "slow statement ({:.3} ms, slow_query_ms={}): {sql}\n{}",
+                elapsed.as_secs_f64() * 1e3,
+                config.slow_query_ms,
+                physical.explain_analyze(state)
+            );
+        }
+        let Some(t0) = trace_start_us else { return };
+        let tracer = self.db.tracer();
+        // Operator spans share the query's start offset (per-pull times
+        // interleave; only totals are kept) and sit on depth lanes so
+        // they stack under the query span in a trace viewer.
+        for (depth, label, op) in physical.operator_stats(state) {
+            tracer.record(Span {
+                name: label,
+                cat: "operator",
+                start_us: t0,
+                dur_us: op.micros(),
+                tid: depth as u64 + 1,
+            });
+        }
+        tracer.record_since(sql, "query", t0, 0);
+    }
+
+    fn run_statement(&mut self, sql: &str, stmt: Statement) -> SqlResult<SqlOutput> {
         match stmt {
             Statement::Set { name, value } => {
                 match (&mut self.local, value) {
@@ -170,10 +222,12 @@ impl Session {
                 })?;
                 Ok(SqlOutput::Ok)
             }
-            Statement::Explain(inner) => match *inner {
+            Statement::Explain { analyze, query } => match *query {
                 Statement::Select(sel) => {
+                    let config = self.config();
                     let local = self.local;
-                    self.db.read(|catalog, shared| {
+                    let trace_t0 = (analyze && config.trace).then(|| self.db.tracer().now_us());
+                    let physical = self.db.read(|catalog, shared| {
                         let planner;
                         let planner = match local {
                             Some(cfg) => {
@@ -183,16 +237,33 @@ impl Session {
                             None => shared,
                         };
                         let plan = Analyzer::new(catalog).analyze(&sel)?;
-                        let physical = planner.plan(&plan, catalog).map_err(SqlError::from)?;
+                        planner.plan(&plan, catalog).map_err(SqlError::from)
+                    })?;
+                    let text = if analyze {
+                        // ANALYZE really executes (result discarded) with
+                        // per-operator instrumentation — outside the shared
+                        // lock, like any SELECT — then annotates the same
+                        // tree EXPLAIN prints.
+                        let state = ExecutionState::new(config).with_instrumentation();
+                        let started = Instant::now();
+                        physical.collect(&state).map_err(SqlError::from)?;
+                        self.observe_query(
+                            sql,
+                            &config,
+                            started.elapsed(),
+                            trace_t0,
+                            &physical,
+                            &state,
+                        );
+                        physical.explain_analyze(&state)
+                    } else if config.threads > 1 {
                         // Under a parallel configuration, show the execution
                         // shape (exchanges, partition counts) too.
-                        let text = if planner.config.threads > 1 {
-                            physical.explain_parallel(&planner.config)
-                        } else {
-                            physical.explain()
-                        };
-                        Ok(SqlOutput::Explain(text))
-                    })
+                        physical.explain_parallel(&config)
+                    } else {
+                        physical.explain()
+                    };
+                    Ok(SqlOutput::Explain(text))
                 }
                 other => Err(SqlError::Analyze(format!(
                     "EXPLAIN supports SELECT statements, got {other:?}"
@@ -203,7 +274,10 @@ impl Session {
                 // dropping it (the physical plan captures its scans), so a
                 // long query never blocks concurrent registration or SET.
                 // A scoped session plans with its local config overlay.
+                let config = self.config();
                 let local = self.local;
+                let trace_t0 = config.trace.then(|| self.db.tracer().now_us());
+                let plan_t0 = trace_t0.map(|_| self.db.tracer().now_us());
                 let physical = self.db.read(|catalog, shared| {
                     let planner;
                     let planner = match local {
@@ -216,8 +290,31 @@ impl Session {
                     let plan = Analyzer::new(catalog).analyze(&sel)?;
                     planner.plan(&plan, catalog).map_err(SqlError::from)
                 })?;
-                let state = ExecutionState::new(self.config());
+                if let Some(t0) = plan_t0 {
+                    self.db.tracer().record_since("plan", "plan", t0, 0);
+                }
+                // `trace` and `slow_query_ms` both need per-operator
+                // numbers; plain runs skip instrumentation entirely (the
+                // timing wrappers are never built), keeping the hot path
+                // untouched.
+                let observe = config.trace || config.slow_query_ms > 0;
+                let state = if observe {
+                    ExecutionState::new(config).with_instrumentation()
+                } else {
+                    ExecutionState::new(config)
+                };
+                let started = Instant::now();
                 let rel = physical.collect(&state).map_err(SqlError::from)?;
+                if observe {
+                    self.observe_query(
+                        sql,
+                        &config,
+                        started.elapsed(),
+                        trace_t0,
+                        &physical,
+                        &state,
+                    );
+                }
                 Ok(SqlOutput::Rows(rel))
             }
             Statement::CreateTable {
@@ -321,6 +418,15 @@ impl Session {
         match self.execute(&format!("EXPLAIN {sql}"))? {
             SqlOutput::Explain(s) => Ok(s),
             _ => unreachable!("EXPLAIN produces Explain output"),
+        }
+    }
+
+    /// EXPLAIN ANALYZE a query: execute it with per-operator
+    /// instrumentation and return the annotated plan.
+    pub fn explain_analyze(&mut self, sql: &str) -> SqlResult<String> {
+        match self.execute(&format!("EXPLAIN ANALYZE {sql}"))? {
+            SqlOutput::Explain(s) => Ok(s),
+            _ => unreachable!("EXPLAIN ANALYZE produces Explain output"),
         }
     }
 }

@@ -46,6 +46,7 @@ pub enum Kw {
     Limit,
     Set,
     Explain,
+    Analyze,
     Having,
     Create,
     Table,
@@ -103,6 +104,7 @@ impl Kw {
             "limit" => Kw::Limit,
             "set" => Kw::Set,
             "explain" => Kw::Explain,
+            "analyze" => Kw::Analyze,
             "having" => Kw::Having,
             "create" => Kw::Create,
             "table" => Kw::Table,

@@ -41,6 +41,48 @@ struct PoolState {
     hand: usize,
 }
 
+/// Point-in-time counters of one buffer pool — or, via
+/// [`PoolStats::merge`], of every pool in a database. The observability
+/// surface behind `Database::pool_stats` and the tsql `.bufstats`
+/// dot-command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fetch calls (hits + misses).
+    pub fetches: u64,
+    /// Cache misses (pages read from disk).
+    pub io_reads: u64,
+    /// Pages written to disk (write-backs and appends).
+    pub io_writes: u64,
+    /// Fsyncs issued on the heap file(s).
+    pub io_syncs: u64,
+    /// Resident pages displaced by clock eviction.
+    pub evictions: u64,
+    /// Pool frames (summed when merged).
+    pub capacity: u64,
+}
+
+impl PoolStats {
+    /// Fraction of fetches served without a disk read, in `[0, 1]`. An
+    /// untouched pool reports 1.0 (nothing has missed yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.fetches == 0 {
+            1.0
+        } else {
+            1.0 - (self.io_reads.min(self.fetches) as f64 / self.fetches as f64)
+        }
+    }
+
+    /// Accumulate another pool's counters (database-wide aggregation).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.fetches += other.fetches;
+        self.io_reads += other.io_reads;
+        self.io_writes += other.io_writes;
+        self.io_syncs += other.io_syncs;
+        self.evictions += other.evictions;
+        self.capacity += other.capacity;
+    }
+}
+
 /// A pinning page cache in front of one [`DiskManager`].
 ///
 /// Concurrency design: the pool mutex guards only the page table, frame
@@ -74,6 +116,12 @@ pub struct BufferPool {
     /// Pages read from disk (cache misses) — observable evidence that a
     /// scan streamed rather than materialized.
     io_reads: AtomicU64,
+    /// Total [`BufferPool::fetch`] calls (hits + misses); with `io_reads`
+    /// this yields the pool hit rate.
+    fetches: AtomicU64,
+    /// Resident pages displaced to make room (clock victims that held a
+    /// mapped page).
+    evictions: AtomicU64,
     /// The database WAL, when this pool backs a logged heap: synced
     /// before any dirty page reaches disk (the write-*ahead* invariant,
     /// see [`Wal::sync_for_write_ahead`]).
@@ -104,6 +152,8 @@ impl BufferPool {
                 hand: 0,
             }),
             io_reads: AtomicU64::new(0),
+            fetches: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             wal: Mutex::new(None),
             closed: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
@@ -151,6 +201,28 @@ impl BufferPool {
         self.disk.io_syncs()
     }
 
+    /// Total [`BufferPool::fetch`] calls so far (hits + misses).
+    pub fn fetches(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// Resident pages displaced by clock eviction so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of this pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fetches: self.fetches(),
+            io_reads: self.io_reads(),
+            io_writes: self.io_writes(),
+            io_syncs: self.io_syncs(),
+            evictions: self.evictions(),
+            capacity: self.capacity() as u64,
+        }
+    }
+
     /// Page ids currently resident, sorted — test observability.
     pub fn cached_pages(&self) -> Vec<PageId> {
         let state = self.lock_state();
@@ -168,6 +240,7 @@ impl BufferPool {
     /// pool mutex only for the table lookup; the miss path performs its
     /// disk read outside the mutex (see the type-level docs).
     pub fn fetch(&self, id: PageId) -> StoreResult<PageGuard<'_>> {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
         let mut state = self.lock_state();
         let mut attempts = 0;
         let idx = loop {
@@ -299,6 +372,7 @@ impl BufferPool {
             }
             state.table.remove(&old_id);
             state.meta[idx] = FrameMeta::default();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         self.pins[idx].store(1, Ordering::Release);
         Ok(idx)

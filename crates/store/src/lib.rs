@@ -64,11 +64,11 @@ pub mod manifest;
 pub mod page;
 pub mod wal;
 
-pub use buffer::{BufferPool, PageGuard, PageWriteGuard, DEFAULT_POOL_PAGES};
+pub use buffer::{BufferPool, PageGuard, PageWriteGuard, PoolStats, DEFAULT_POOL_PAGES};
 pub use disk::DiskManager;
 pub use error::{StoreError, StoreResult};
 pub use heap::{AppendBatch, HeapSnapshot, TableHeap};
 pub use index::{IndexEntry, IntervalIndex};
 pub use manifest::{Manifest, TableMeta, MANIFEST_FILE};
 pub use page::{Page, PageId, PageZone, SlotId, ZoneBounds, MAX_RECORD_SIZE, PAGE_SIZE};
-pub use wal::{SyncMode, Wal, WalRecord, WalScan, WAL_FILE};
+pub use wal::{SyncMode, Wal, WalRecord, WalScan, WalStats, WAL_FILE};

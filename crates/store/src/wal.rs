@@ -420,6 +420,34 @@ pub struct WalScan {
     pub tail_truncated: bool,
 }
 
+/// Named snapshot of the log's observability counters — what
+/// `Database::wal_stats` and the server's `.stats` report. The
+/// group-commit amortization ratio is `syncs as f64 / commits as f64`
+/// (below 1 means concurrent committers shared fsyncs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Commit durability points requested ([`Wal::commit`]).
+    pub commits: u64,
+    /// Fsyncs issued on the log.
+    pub syncs: u64,
+    /// Frame bytes appended since open (never resets).
+    pub bytes: u64,
+    /// Checkpoints taken since open.
+    pub checkpoints: u64,
+}
+
+impl WalStats {
+    /// Fsyncs per commit — the group-commit amortization ratio. Reports
+    /// 0.0 before the first commit.
+    pub fn group_commit_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.syncs as f64 / self.commits as f64
+        }
+    }
+}
+
 #[derive(Debug)]
 struct WalInner {
     file: File,
@@ -436,10 +464,15 @@ pub struct Wal {
     path: PathBuf,
     mode: AtomicU8,
     appended_records: AtomicU64,
+    /// Frame bytes appended since open (headers included) — unlike the
+    /// per-epoch `bytes_since_checkpoint`, this never resets.
+    appended_bytes: AtomicU64,
     syncs: AtomicU64,
     /// Commit durability points requested via [`Wal::commit`] — the
     /// denominator of the group-commit amortization ratio.
     commits: AtomicU64,
+    /// Checkpoints taken since open.
+    checkpoints: AtomicU64,
     /// Highest LSN handed out by [`Wal::append`].
     last_lsn: AtomicU64,
     /// Group-commit watermark: every record with LSN ≤ this is fsynced.
@@ -552,8 +585,10 @@ impl Wal {
             path,
             mode: AtomicU8::new(SyncMode::from_env() as u8),
             appended_records: AtomicU64::new(0),
+            appended_bytes: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             commits: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
             last_lsn: AtomicU64::new(max_lsn),
             // Everything already in the file is as durable as it will
             // ever be, so open starts with the watermark caught up.
@@ -603,6 +638,27 @@ impl Wal {
     /// `syncs() / commits()` below 1 is group commit amortizing fsyncs.
     pub fn commits(&self) -> u64 {
         self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Frame bytes appended since open (never resets, unlike
+    /// [`Wal::bytes_since_checkpoint`]).
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints taken since open.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// One-shot snapshot of the log's observability counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            commits: self.commits(),
+            syncs: self.syncs(),
+            bytes: self.appended_bytes(),
+            checkpoints: self.checkpoints(),
+        }
     }
 
     /// Highest LSN handed out so far.
@@ -685,6 +741,8 @@ impl Wal {
         }
         self.last_lsn.store(lsn, Ordering::SeqCst);
         self.appended_records.fetch_add(1, Ordering::Relaxed);
+        self.appended_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
         if self.mode() == SyncMode::Always {
             // Per-record durability, but through the group flusher:
             // concurrent appenders share one fsync instead of queueing
@@ -845,6 +903,7 @@ impl Wal {
         inner.imaged.clear();
         self.last_lsn.fetch_max(lsn, Ordering::SeqCst);
         self.synced_lsn.fetch_max(lsn, Ordering::SeqCst);
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(lsn)
     }
 }
